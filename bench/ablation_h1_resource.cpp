@@ -1,0 +1,68 @@
+// Ablation (beyond the paper): two design choices around H1.
+//
+//  1. Re-sourcing the restored transfer: from the deleting server (the
+//     paper's choice) vs from the cheapest replicator at the insertion
+//     point.
+//  2. The paper's claim that "combinations of H1+H2 with RDF and GSDF
+//     resulted in similar trends" — we print all four builders under H1+H2.
+#include "bench_common.hpp"
+#include "core/cost_model.hpp"
+#include "core/validator.hpp"
+#include "heuristics/h1.hpp"
+#include "heuristics/h2.hpp"
+#include "heuristics/registry.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rtsp;
+  using namespace rtsp::bench;
+  FigureOptions opt = parse_figure_options(argc, argv);
+
+  // Part 1: re-source policy, measured on GOLCF schedules at r = 1..3.
+  std::cout << "=== Ablation: H1 re-source policy (paper: deleter) ===\n\n";
+  {
+    TextTable table;
+    table.header({"replicas/object", "dummies deleter", "dummies nearest",
+                  "cost deleter", "cost nearest"});
+    for (std::size_t r = 1; r <= 3; ++r) {
+      StatAccumulator d_del, d_near, c_del, c_near;
+      for (std::size_t trial = 0; trial < opt.sweep.trials; ++trial) {
+        Rng rng = Rng::for_trial(opt.sweep.base_seed, mix64(r, trial));
+        const Instance inst = make_equal_size_instance(opt.setup, r, rng);
+        Rng b1(mix64(trial, 1));
+        const Schedule base = make_pipeline("GOLCF").run(inst.model, inst.x_old,
+                                                         inst.x_new, b1);
+        H1Options paper_opts;  // resource_nearest = false
+        H1Options nearest_opts;
+        nearest_opts.resource_nearest = true;
+        Rng unused(0);
+        const Schedule h_paper = H1Improver(paper_opts).improve(
+            inst.model, inst.x_old, inst.x_new, base, unused);
+        const Schedule h_near = H1Improver(nearest_opts).improve(
+            inst.model, inst.x_old, inst.x_new, base, unused);
+        d_del.add(static_cast<double>(h_paper.dummy_transfer_count()));
+        d_near.add(static_cast<double>(h_near.dummy_transfer_count()));
+        c_del.add(static_cast<double>(schedule_cost(inst.model, h_paper)));
+        c_near.add(static_cast<double>(schedule_cost(inst.model, h_near)));
+      }
+      table.add_row({std::to_string(r), format_mean_err(d_del.mean(), d_del.stderr_mean()),
+                     format_mean_err(d_near.mean(), d_near.stderr_mean()),
+                     format_mean_err(c_del.mean(), c_del.stderr_mean()),
+                     format_mean_err(c_near.mean(), c_near.stderr_mean())});
+    }
+    table.print(std::cout);
+  }
+
+  // Part 2: every builder under H1+H2 (the paper's "similar trends" claim).
+  std::cout << "\n=== Ablation: builders under H1+H2 (dummy transfers) ===\n\n";
+  const auto points = replicas_sweep(
+      opt.setup, [](const PaperSetup& s, std::size_t r, Rng& rng) {
+        return make_equal_size_instance(s, r, rng);
+      });
+  opt.sweep.algorithms = {"AR+H1+H2", "GOLCF+H1+H2", "RDF+H1+H2", "GSDF+H1+H2"};
+  const SweepResult result = run_sweep(points, opt.sweep);
+  print_series(std::cout, result, Metric::DummyTransfers, "replicas/object");
+  if (!opt.csv_path.empty()) maybe_dump_csv(opt.csv_path, result, "replicas/object");
+  return 0;
+}

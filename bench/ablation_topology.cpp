@@ -1,0 +1,70 @@
+// Ablation (beyond the paper): topology sensitivity. The paper evaluates on
+// a BRITE Barabasi-Albert tree only; here Fig. 4's headline comparison
+// (GOLCF vs GOLCF+H1+H2 dummy transfers at r = 2) is repeated across
+// topology families with the same cost range, server and object counts.
+#include <functional>
+
+#include "bench_common.hpp"
+#include "workload/balanced_placement.hpp"
+
+namespace {
+
+using namespace rtsp;
+
+using TopologyFactory = std::function<Graph(std::size_t, Rng&)>;
+
+/// Paper workload on an arbitrary topology.
+Instance instance_on(const TopologyFactory& topo, const PaperSetup& setup,
+                     std::size_t replicas, Rng& rng) {
+  const Graph g = topo(setup.servers, rng);
+  CostMatrix costs = CostMatrix::from_graph_shortest_paths(g);
+  BalancedPlacementSpec pl;
+  pl.servers = setup.servers;
+  pl.objects = setup.objects;
+  pl.replicas_per_object = replicas;
+  ReplicationMatrix x_old = balanced_random_placement(pl, rng);
+  BalancedPlacementSpec pl2 = pl;
+  pl2.forbidden = &x_old;
+  ReplicationMatrix x_new = balanced_random_placement(pl2, rng);
+  ObjectCatalog objects = ObjectCatalog::uniform(setup.objects, setup.object_size);
+  std::vector<Size> caps = minimum_capacities(objects, x_old, x_new);
+  SystemModel model(ServerCatalog(std::move(caps)), std::move(objects),
+                    std::move(costs), setup.dummy_factor);
+  return Instance{std::move(model), std::move(x_old), std::move(x_new)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rtsp::bench;
+  FigureOptions opt = parse_figure_options(argc, argv);
+
+  const std::vector<std::pair<std::string, TopologyFactory>> topologies = {
+      {"BA tree (paper)",
+       [](std::size_t n, Rng& rng) { return barabasi_albert_tree(n, {1, 10}, rng); }},
+      {"uniform tree",
+       [](std::size_t n, Rng& rng) { return uniform_random_tree(n, {1, 10}, rng); }},
+      {"Waxman",
+       [](std::size_t n, Rng& rng) {
+         return waxman_connected(n, {}, {1, 10}, rng);
+       }},
+      {"Erdos-Renyi p=0.1",
+       [](std::size_t n, Rng& rng) {
+         return erdos_renyi_connected(n, 0.1, {1, 10}, rng);
+       }},
+      {"ring", [](std::size_t n, Rng&) { return ring_graph(n, 5); }},
+  };
+
+  std::vector<SweepPoint> points;
+  for (const auto& [name, factory] : topologies) {
+    const PaperSetup setup = opt.setup;
+    const TopologyFactory topo = factory;
+    points.push_back({name, [setup, topo](Rng& rng) {
+                        return instance_on(topo, setup, 2, rng);
+                      }});
+  }
+  run_figure("Ablation", "topology sensitivity (r=2, equal sizes)", points, opt,
+             {"GOLCF", "GOLCF+H1+H2", "GOLCF+H1+H2+OP1"}, Metric::DummyTransfers,
+             "topology");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Extension baseline: simulated annealing (SA) vs the paper's deterministic
+// rewrites, on small instances where SA's budget is meaningful. Answers
+// "how much does OP1's targeted reordering buy over generic local search?"
+#include "bench_common.hpp"
+#include "core/cost_model.hpp"
+#include "heuristics/registry.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+#include "workload/scenario.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rtsp;
+  const CliOptions cli(argc, argv);
+  const std::size_t trials =
+      static_cast<std::size_t>(cli.get_int("trials", "RTSP_TRIALS", 5));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(cli.get_int("seed", "RTSP_SEED", 11));
+
+  std::cout << "=== Baseline: simulated annealing vs deterministic rewrites"
+            << " (12 servers, 60 objects, r<=2, " << trials << " trials) ===\n\n";
+
+  const std::vector<std::string> algos = {"GOLCF", "GOLCF+SA", "GOLCF+OP1",
+                                          "GOLCF+H1+H2+OP1", "GOLCF+H1+H2+OP1+SA"};
+  std::vector<StatAccumulator> cost(algos.size());
+  std::vector<StatAccumulator> millis(algos.size());
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    Rng rng = Rng::for_trial(seed, trial);
+    RandomInstanceSpec spec;
+    spec.servers = 12;
+    spec.objects = 60;
+    spec.max_replicas = 2;
+    const Instance inst = random_instance(spec, rng);
+    for (std::size_t a = 0; a < algos.size(); ++a) {
+      Rng arng = Rng::for_trial(seed ^ 0x77, mix64(trial, a));
+      Timer timer;
+      const Schedule h =
+          make_pipeline(algos[a]).run(inst.model, inst.x_old, inst.x_new, arng);
+      millis[a].add(timer.millis());
+      cost[a].add(static_cast<double>(schedule_cost(inst.model, h)));
+    }
+  }
+
+  TextTable table;
+  table.header({"algorithm", "cost", "ms"});
+  for (std::size_t a = 0; a < algos.size(); ++a) {
+    table.add_row({algos[a], format_mean_err(cost[a].mean(), cost[a].stderr_mean()),
+                   format_mean_err(millis[a].mean(), millis[a].stderr_mean())});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Shared scaffolding for the paper-figure benchmark binaries.
+//
+// Every fig*_ binary reproduces one figure of the paper's Sec. 5: it takes
+// the canonical figure definition from experiment/figures.hpp, runs it over
+// RTSP_TRIALS seeds and prints the series as a table (optionally dumping
+// CSV). Absolute numbers differ from the paper (our BRITE-like topology
+// sample is not the authors'); orderings and trends are the reproduction
+// target — see EXPERIMENTS.md.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "experiment/figures.hpp"
+#include "experiment/report.hpp"
+#include "support/cli.hpp"
+#include "support/timer.hpp"
+
+namespace rtsp::bench {
+
+struct FigureOptions {
+  PaperSetup setup;
+  SweepConfig sweep;
+  std::string csv_path;
+};
+
+/// Common flags: --trials/RTSP_TRIALS, --seed/RTSP_SEED, --threads,
+/// --servers, --objects (scale knobs), --csv (dump path).
+inline FigureOptions parse_figure_options(int argc, char** argv) {
+  const CliOptions cli(argc, argv);
+  FigureOptions opt;
+  opt.setup.servers =
+      static_cast<std::size_t>(cli.get_int("servers", "RTSP_SERVERS", 50));
+  opt.setup.objects =
+      static_cast<std::size_t>(cli.get_int("objects", "RTSP_OBJECTS", 1000));
+  opt.sweep.trials = static_cast<std::size_t>(cli.get_int("trials", "RTSP_TRIALS", 5));
+  opt.sweep.base_seed =
+      static_cast<std::uint64_t>(cli.get_int("seed", "RTSP_SEED", 20070326));
+  opt.sweep.threads =
+      static_cast<std::size_t>(cli.get_int("threads", "RTSP_THREADS", 0));
+  opt.csv_path = cli.get_string("csv", "RTSP_CSV", "");
+  return opt;
+}
+
+/// Runs the sweep and prints the figure header, the headline series and the
+/// companion metric (cost for dummy figures and vice versa).
+inline void run_figure(const std::string& figure_id, const std::string& title,
+                       const std::vector<SweepPoint>& points, FigureOptions opt,
+                       std::vector<std::string> algorithms, Metric headline_metric,
+                       const std::string& x_label) {
+  opt.sweep.algorithms = std::move(algorithms);
+  std::cout << "=== " << figure_id << ": " << title << " ===\n";
+  std::cout << "setup: " << opt.setup.servers << " servers (BA tree, link costs 1-10), "
+            << opt.setup.objects << " objects, a=1, " << opt.sweep.trials
+            << " trials, seed " << opt.sweep.base_seed << "\n\n";
+  Timer timer;
+  const SweepResult result = run_sweep(points, opt.sweep);
+  print_series(std::cout, result, headline_metric, x_label);
+  std::cout << '\n';
+  const Metric companion = headline_metric == Metric::DummyTransfers
+                               ? Metric::ImplementationCost
+                               : Metric::DummyTransfers;
+  print_series(std::cout, result, companion, x_label);
+  std::printf("\n[%s done in %.1fs]\n", figure_id.c_str(), timer.seconds());
+  if (!opt.csv_path.empty()) {
+    maybe_dump_csv(opt.csv_path, result, x_label);
+    std::cout << "CSV written to " << opt.csv_path << '\n';
+  }
+}
+
+/// Runs a canonical paper figure.
+inline void run_figure(const FigureSpec& fig, const FigureOptions& opt) {
+  run_figure(fig.id, fig.title, fig.points, opt, fig.algorithms, fig.headline,
+             fig.x_label);
+}
+
+/// Convenience main body for the fig* binaries.
+inline int figure_main(int number, int argc, char** argv) {
+  const FigureOptions opt = parse_figure_options(argc, argv);
+  run_figure(paper_figure(number, opt.setup), opt);
+  return 0;
+}
+
+/// Figs. 4-7 x-axis helper kept for ablation benches that tweak the maker.
+template <typename MakeInstance>
+std::vector<SweepPoint> replicas_sweep(const PaperSetup& setup,
+                                       MakeInstance make_instance) {
+  std::vector<SweepPoint> points;
+  for (std::size_t r = 1; r <= 5; ++r) {
+    points.push_back({std::to_string(r), [setup, r, make_instance](Rng& rng) {
+                        return make_instance(setup, r, rng);
+                      }});
+  }
+  return points;
+}
+
+}  // namespace rtsp::bench

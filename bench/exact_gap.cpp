@@ -1,0 +1,63 @@
+// Optimality gap of the heuristics against the branch-and-bound optimum on
+// tiny instances (the only scale where the optimum is computable — RTSP
+// decision is NP-complete, Sec. 3.4).
+#include <iostream>
+
+#include "core/cost_model.hpp"
+#include "exact/branch_and_bound.hpp"
+#include "heuristics/registry.hpp"
+#include "support/cli.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+#include "workload/scenario.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rtsp;
+  const CliOptions cli(argc, argv);
+  const std::size_t trials =
+      static_cast<std::size_t>(cli.get_int("trials", "RTSP_TRIALS", 20));
+  const std::uint64_t base_seed =
+      static_cast<std::uint64_t>(cli.get_int("seed", "RTSP_SEED", 4));
+
+  const std::vector<std::string> algos = {"AR", "RDF", "GSDF", "GOLCF",
+                                          "GOLCF+H1+H2", "GOLCF+H1+H2+OP1"};
+  std::cout << "=== Heuristic cost / optimal cost on tiny instances "
+            << "(5 servers, 6 objects, " << trials << " instances) ===\n\n";
+
+  std::vector<StatAccumulator> ratio(algos.size());
+  std::size_t solved = 0;
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    Rng rng = Rng::for_trial(base_seed, trial);
+    RandomInstanceSpec spec;
+    spec.servers = 5;
+    spec.objects = 6;
+    spec.max_replicas = 2;
+    spec.max_object_size = 2;
+    const Instance inst = random_instance(spec, rng);
+    BnbOptions opts;
+    opts.max_nodes = 2'000'000;
+    const BnbResult exact = solve_exact(inst, opts);
+    if (!exact.proved_optimal) continue;
+    ++solved;
+    for (std::size_t a = 0; a < algos.size(); ++a) {
+      Rng arng = Rng::for_trial(base_seed ^ 0xabcd, mix64(trial, a));
+      const Schedule h =
+          make_pipeline(algos[a]).run(inst.model, inst.x_old, inst.x_new, arng);
+      const Cost c = schedule_cost(inst.model, h);
+      ratio[a].add(exact.cost > 0
+                       ? static_cast<double>(c) / static_cast<double>(exact.cost)
+                       : 1.0);
+    }
+  }
+
+  TextTable table;
+  table.header({"algorithm", "mean cost/opt", "worst cost/opt"});
+  for (std::size_t a = 0; a < algos.size(); ++a) {
+    table.add_row({algos[a], format_mean_err(ratio[a].mean(), ratio[a].stderr_mean()),
+                   format_mean_err(ratio[a].max(), 0)});
+  }
+  table.print(std::cout);
+  std::cout << "\n(" << solved << "/" << trials
+            << " instances solved to proven optimality)\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Extension experiment (the paper's Sec. 2.2 future work): how do the
+// cost-optimized schedules behave under *parallel* execution? For each
+// planner we report sequential cost, event-driven makespan at 1 and 4 ports
+// per server, and the bulk-synchronous round count of the phase partition.
+#include "bench_common.hpp"
+#include "core/cost_model.hpp"
+#include "core/validator.hpp"
+#include "extension/makespan.hpp"
+#include "extension/phases.hpp"
+#include "heuristics/registry.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rtsp;
+  using namespace rtsp::bench;
+  FigureOptions opt = parse_figure_options(argc, argv);
+  // Moderate size keeps the simulation sweep quick by default.
+  if (opt.setup.objects == 1000) opt.setup.objects = 400;
+
+  const std::vector<std::string> algos = {"RDF", "GSDF", "GOLCF", "GOLCF+H1+H2",
+                                          "GOLCF+H1+H2+OP1"};
+  std::cout << "=== Extension: parallel execution of cost-optimized schedules"
+            << " (r=2, " << opt.setup.objects << " objects, " << opt.sweep.trials
+            << " trials) ===\n\n";
+
+  TextTable table;
+  table.header({"planner", "cost", "makespan 1 port", "makespan 4 ports",
+                "speedup@4", "rounds (phases)"});
+  for (const std::string& spec : algos) {
+    StatAccumulator cost, mk1, mk4, speedup, rounds;
+    for (std::size_t trial = 0; trial < opt.sweep.trials; ++trial) {
+      Rng rng = Rng::for_trial(opt.sweep.base_seed, trial);
+      const Instance inst = make_equal_size_instance(opt.setup, 2, rng);
+      Rng arng = Rng::for_trial(opt.sweep.base_seed ^ 0x5a5a, trial);
+      const Schedule h =
+          make_pipeline(spec).run(inst.model, inst.x_old, inst.x_new, arng);
+      RTSP_REQUIRE(Validator::is_valid(inst.model, inst.x_old, inst.x_new, h));
+      cost.add(static_cast<double>(schedule_cost(inst.model, h)));
+      const auto one = simulate_makespan(inst.model, inst.x_old, h, {1.0, 1});
+      const auto four = simulate_makespan(inst.model, inst.x_old, h, {1.0, 4});
+      mk1.add(one.makespan);
+      mk4.add(four.makespan);
+      speedup.add(four.speedup);
+      rounds.add(static_cast<double>(
+          phase_partition(inst.model, inst.x_old, h, 1).rounds()));
+    }
+    table.add_row({spec, format_mean_err(cost.mean(), cost.stderr_mean()),
+                   format_mean_err(mk1.mean(), mk1.stderr_mean()),
+                   format_mean_err(mk4.mean(), mk4.stderr_mean()),
+                   format_mean_err(speedup.mean(), speedup.stderr_mean()),
+                   format_mean_err(rounds.mean(), rounds.stderr_mean())});
+  }
+  table.print(std::cout);
+  std::cout << "\n(model: transfer time = size x link / bandwidth; per-server"
+            << " port limit; rounds = bulk-synchronous phase partition)\n";
+  return 0;
+}

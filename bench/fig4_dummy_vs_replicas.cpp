@@ -1,0 +1,9 @@
+// Fig. 4 — number of dummy transfers vs replicas per object (equal object
+// sizes, 0% overlap, tight capacities).
+//
+// Paper's observations to reproduce: dummy transfers fall as replicas
+// increase; GOLCF beats AR; H1+H2 nearly nullify dummies from two replicas
+// per object on.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) { return rtsp::bench::figure_main(4, argc, argv); }

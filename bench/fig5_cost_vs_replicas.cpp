@@ -1,0 +1,8 @@
+// Fig. 5 — implementation cost vs replicas per object (equal object sizes).
+//
+// Paper's observations to reproduce: GOLCF+H1+H2+OP1 beats GOLCF+OP1 (dummy
+// elimination translates into cost savings because dummy links are priced
+// above every real path).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) { return rtsp::bench::figure_main(5, argc, argv); }

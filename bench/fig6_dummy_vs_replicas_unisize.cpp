@@ -1,0 +1,5 @@
+// Fig. 6 — number of dummy transfers vs replicas per object with object
+// sizes uniform in [1000, 5000] (the paper plots GOLCF variants only).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) { return rtsp::bench::figure_main(6, argc, argv); }

@@ -1,0 +1,5 @@
+// Fig. 7 — implementation cost vs replicas per object with object sizes
+// uniform in [1000, 5000].
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) { return rtsp::bench::figure_main(7, argc, argv); }

@@ -1,0 +1,8 @@
+// Fig. 8 — number of dummy transfers as more servers acquire one extra
+// object slot of capacity (equal sizes, 2 replicas per object).
+//
+// Paper's observations to reproduce: H1+H2 exploits the slack (falling
+// curve) while plain GOLCF stays nearly flat.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) { return rtsp::bench::figure_main(8, argc, argv); }

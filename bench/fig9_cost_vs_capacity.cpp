@@ -1,0 +1,8 @@
+// Fig. 9 — implementation cost as more servers acquire one extra object
+// slot of capacity (equal sizes, 2 replicas per object).
+//
+// Paper's observation to reproduce: GOLCF+H1+H2+OP1 stays below GOLCF+OP1,
+// with the gap growing as slack appears.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) { return rtsp::bench::figure_main(9, argc, argv); }

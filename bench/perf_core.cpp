@@ -1,0 +1,98 @@
+// Google-benchmark microbenchmarks for the substrates: topology generation
+// and shortest paths, replication-matrix queries, balanced placement, the
+// makespan simulator.
+#include <benchmark/benchmark.h>
+
+#include "extension/makespan.hpp"
+#include "heuristics/registry.hpp"
+#include "topology/cost_matrix.hpp"
+#include "topology/generators.hpp"
+#include "workload/balanced_placement.hpp"
+#include "workload/paper_setup.hpp"
+
+namespace {
+
+using namespace rtsp;
+
+void BM_BarabasiAlbertTree(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(barabasi_albert_tree(n, {1, 10}, rng).num_edges());
+  }
+}
+
+void BM_AllPairsShortestPaths(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(5);
+  const Graph g = barabasi_albert_tree(n, {1, 10}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CostMatrix::from_graph_shortest_paths(g).max_cost());
+  }
+}
+
+void BM_BalancedPlacement(benchmark::State& state) {
+  BalancedPlacementSpec spec;
+  spec.servers = 50;
+  spec.objects = static_cast<std::size_t>(state.range(0));
+  spec.replicas_per_object = static_cast<std::size_t>(state.range(1));
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(balanced_random_placement(spec, rng).total_replicas());
+  }
+}
+
+void BM_ZeroOverlapPair(benchmark::State& state) {
+  BalancedPlacementSpec spec;
+  spec.servers = 50;
+  spec.objects = 1000;
+  spec.replicas_per_object = static_cast<std::size_t>(state.range(0));
+  Rng rng(5);
+  for (auto _ : state) {
+    const ReplicationMatrix x_old = balanced_random_placement(spec, rng);
+    BalancedPlacementSpec spec2 = spec;
+    spec2.forbidden = &x_old;
+    benchmark::DoNotOptimize(balanced_random_placement(spec2, rng).total_replicas());
+  }
+}
+
+void BM_NearestReplicator(benchmark::State& state) {
+  PaperSetup setup;
+  setup.objects = 1000;
+  Rng rng(5);
+  const Instance inst = make_equal_size_instance(setup, 3, rng);
+  ServerId i = 0;
+  ObjectId k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(inst.model.nearest_replicator(i, k, inst.x_old));
+    i = (i + 1) % 50;
+    k = (k + 7) % 1000;
+  }
+}
+
+void BM_MakespanSimulation(benchmark::State& state) {
+  PaperSetup setup;
+  setup.objects = static_cast<std::size_t>(state.range(0));
+  Rng rng(5);
+  const Instance inst = make_equal_size_instance(setup, 2, rng);
+  Rng arng(6);
+  const Schedule h =
+      make_pipeline("GOLCF+H1+H2").run(inst.model, inst.x_old, inst.x_new, arng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulate_makespan(inst.model, inst.x_old, h).makespan);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_BarabasiAlbertTree)->Arg(50)->Arg(500);
+BENCHMARK(BM_AllPairsShortestPaths)->Arg(50)->Arg(200)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_BalancedPlacement)
+    ->Args({1000, 2})
+    ->Args({1000, 5})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ZeroOverlapPair)->Arg(2)->Arg(5)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_NearestReplicator);
+BENCHMARK(BM_MakespanSimulation)->Arg(250)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

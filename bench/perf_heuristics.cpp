@@ -1,0 +1,87 @@
+// Google-benchmark microbenchmarks: runtime scaling of the schedule
+// builders and improvers with instance size (servers fixed at the paper's
+// 50; objects and replicas swept).
+#include <benchmark/benchmark.h>
+
+#include "core/cost_model.hpp"
+#include "core/validator.hpp"
+#include "heuristics/registry.hpp"
+#include "workload/paper_setup.hpp"
+
+namespace {
+
+using namespace rtsp;
+
+Instance make_instance(std::size_t objects, std::size_t replicas, std::uint64_t seed) {
+  PaperSetup setup;
+  setup.objects = objects;
+  Rng rng(seed);
+  return make_equal_size_instance(setup, replicas, rng);
+}
+
+void run_pipeline_bench(benchmark::State& state, const std::string& spec) {
+  const std::size_t objects = static_cast<std::size_t>(state.range(0));
+  const std::size_t replicas = static_cast<std::size_t>(state.range(1));
+  const Instance inst = make_instance(objects, replicas, 99);
+  const Pipeline pipeline = make_pipeline(spec);
+  std::uint64_t trial = 0;
+  for (auto _ : state) {
+    Rng rng = Rng::for_trial(123, trial++);
+    const Schedule h = pipeline.run(inst.model, inst.x_old, inst.x_new, rng);
+    benchmark::DoNotOptimize(h.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(objects * replicas));
+}
+
+void BM_Builder_AR(benchmark::State& state) { run_pipeline_bench(state, "AR"); }
+void BM_Builder_GOLCF(benchmark::State& state) { run_pipeline_bench(state, "GOLCF"); }
+void BM_Builder_RDF(benchmark::State& state) { run_pipeline_bench(state, "RDF"); }
+void BM_Builder_GSDF(benchmark::State& state) { run_pipeline_bench(state, "GSDF"); }
+void BM_Chain_H1H2(benchmark::State& state) {
+  run_pipeline_bench(state, "GOLCF+H1+H2");
+}
+void BM_Chain_Full(benchmark::State& state) {
+  run_pipeline_bench(state, "GOLCF+H1+H2+OP1");
+}
+
+void BM_Validator(benchmark::State& state) {
+  const std::size_t objects = static_cast<std::size_t>(state.range(0));
+  const Instance inst = make_instance(objects, 2, 7);
+  Rng rng(1);
+  const Schedule h =
+      make_pipeline("GOLCF").run(inst.model, inst.x_old, inst.x_new, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Validator::is_valid(inst.model, inst.x_old, inst.x_new, h));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(h.size()));
+}
+
+void BM_ScheduleCost(benchmark::State& state) {
+  const Instance inst = make_instance(1000, 3, 7);
+  Rng rng(1);
+  const Schedule h =
+      make_pipeline("GOLCF").run(inst.model, inst.x_old, inst.x_new, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schedule_cost(inst.model, h));
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_Builder_AR)->Args({250, 2})->Args({1000, 2})->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Builder_GOLCF)
+    ->Args({250, 2})
+    ->Args({1000, 2})
+    ->Args({1000, 5})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Builder_RDF)->Args({1000, 2})->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Builder_GSDF)->Args({1000, 2})->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Chain_H1H2)->Args({250, 1})->Args({250, 2})->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Chain_Full)->Args({250, 2})->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Validator)->Arg(250)->Arg(1000)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ScheduleCost)->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,358 @@
+#include "cli/commands.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/cost_model.hpp"
+#include "core/feasibility.hpp"
+#include "core/schedule_stats.hpp"
+#include "core/transfer_graph.hpp"
+#include "core/validator.hpp"
+#include "exact/branch_and_bound.hpp"
+#include "extension/deadline.hpp"
+#include "extension/makespan.hpp"
+#include "extension/phases.hpp"
+#include "heuristics/registry.hpp"
+#include "io/dot_export.hpp"
+#include "io/instance_io.hpp"
+#include "io/json_export.hpp"
+#include "io/schedule_io.hpp"
+#include "support/cli.hpp"
+#include "support/histogram.hpp"
+#include "support/string_util.hpp"
+#include "support/table.hpp"
+#include "workload/paper_setup.hpp"
+#include "workload/scenario.hpp"
+
+namespace rtsp::cli {
+
+namespace {
+
+/// User-facing failure carrying the message already formatted.
+struct CliError {
+  std::string message;
+};
+
+Instance load_instance(const CliOptions& opt) {
+  const std::string path = opt.get_string("instance", "", "");
+  if (path.empty()) throw CliError{"missing --instance <file>"};
+  std::ifstream in(path);
+  if (!in) throw CliError{"cannot open instance file '" + path + "'"};
+  try {
+    return read_instance(in);
+  } catch (const std::exception& e) {
+    throw CliError{std::string("failed to parse instance: ") + e.what()};
+  }
+}
+
+Schedule load_schedule(const CliOptions& opt) {
+  const std::string path = opt.get_string("schedule", "", "");
+  if (path.empty()) throw CliError{"missing --schedule <file>"};
+  std::ifstream in(path);
+  if (!in) throw CliError{"cannot open schedule file '" + path + "'"};
+  try {
+    return read_schedule(in);
+  } catch (const std::exception& e) {
+    throw CliError{std::string("failed to parse schedule: ") + e.what()};
+  }
+}
+
+void write_text_file(const std::string& path, const std::string& content,
+                     std::ostream& out, const char* what) {
+  if (path.empty()) {
+    out << content;
+    return;
+  }
+  std::ofstream file(path);
+  if (!file) throw CliError{std::string("cannot open output file '") + path + "'"};
+  file << content;
+  out << what << " written to " << path << '\n';
+}
+
+int cmd_generate(const CliOptions& opt, std::ostream& out) {
+  const std::string kind = opt.get_string("kind", "", "paper-equal");
+  Rng rng(static_cast<std::uint64_t>(opt.get_int("seed", "RTSP_SEED", 1)));
+  PaperSetup setup;
+  setup.servers = static_cast<std::size_t>(opt.get_int("servers", "", 50));
+  setup.objects = static_cast<std::size_t>(opt.get_int("objects", "", 1000));
+  const std::size_t replicas =
+      static_cast<std::size_t>(opt.get_int("replicas", "", 2));
+
+  Instance inst = [&]() -> Instance {
+    if (kind == "paper-equal") return make_equal_size_instance(setup, replicas, rng);
+    if (kind == "paper-uniform") {
+      return make_uniform_size_instance(setup, replicas, rng);
+    }
+    if (kind == "paper-extra") {
+      const std::size_t extra =
+          static_cast<std::size_t>(opt.get_int("extra", "", 10));
+      return make_extra_capacity_instance(setup, replicas, extra, rng);
+    }
+    if (kind == "random") {
+      RandomInstanceSpec spec;
+      spec.servers = setup.servers;
+      spec.objects = setup.objects;
+      spec.min_replicas = 1;
+      spec.max_replicas = replicas;
+      spec.capacity_slack = opt.get_double("slack", "", 0.0);
+      return random_instance(spec, rng);
+    }
+    throw CliError{"unknown --kind '" + kind +
+                   "' (paper-equal | paper-uniform | paper-extra | random)"};
+  }();
+
+  write_text_file(opt.get_string("out", "", ""), instance_to_text(inst), out,
+                  "instance");
+  return 0;
+}
+
+int cmd_solve(const CliOptions& opt, std::ostream& out) {
+  const Instance inst = load_instance(opt);
+  const std::string algo = opt.get_string("algo", "", "GOLCF+H1+H2+OP1");
+  Rng rng(static_cast<std::uint64_t>(opt.get_int("seed", "RTSP_SEED", 1)));
+  Pipeline pipeline = [&] {
+    try {
+      return make_pipeline(algo);
+    } catch (const std::invalid_argument& e) {
+      throw CliError{e.what()};
+    }
+  }();
+  const Schedule h = pipeline.run(inst.model, inst.x_old, inst.x_new, rng);
+  if (opt.get_bool("json", "", false)) {
+    schedule_to_json(out, h);
+    const std::string json_out = opt.get_string("out", "", "");
+    if (!json_out.empty()) {
+      std::ostringstream buffer;
+      schedule_to_json(buffer, h);
+      write_text_file(json_out, buffer.str(), out, "schedule JSON");
+    }
+    return 0;
+  }
+  out << "algorithm:       " << pipeline.name() << '\n';
+  out << "actions:         " << h.size() << '\n';
+  out << "cost:            " << schedule_cost(inst.model, h) << '\n';
+  out << "dummy transfers: " << h.dummy_transfer_count() << '\n';
+  out << "lower bound:     "
+      << cost_lower_bound(inst.model, inst.x_old, inst.x_new) << '\n';
+  const std::string out_path = opt.get_string("out", "", "");
+  if (!out_path.empty()) {
+    write_text_file(out_path, schedule_to_text(h), out, "schedule");
+  }
+  return 0;
+}
+
+int cmd_exact(const CliOptions& opt, std::ostream& out) {
+  const Instance inst = load_instance(opt);
+  BnbOptions options;
+  options.max_nodes =
+      static_cast<std::uint64_t>(opt.get_int("max-nodes", "", 5'000'000));
+  options.allow_staging = opt.get_bool("staging", "", true);
+  const BnbResult result = solve_exact(inst, options);
+  out << "optimal:         " << (result.proved_optimal ? "proven" : "budget hit")
+      << '\n';
+  out << "cost:            " << result.cost << '\n';
+  out << "dummy transfers: " << result.schedule.dummy_transfer_count() << '\n';
+  out << "nodes expanded:  " << result.nodes_expanded << '\n';
+  const std::string out_path = opt.get_string("out", "", "");
+  if (!out_path.empty()) {
+    write_text_file(out_path, schedule_to_text(result.schedule), out, "schedule");
+  }
+  return result.proved_optimal ? 0 : 3;
+}
+
+int cmd_validate(const CliOptions& opt, std::ostream& out) {
+  const Instance inst = load_instance(opt);
+  const Schedule h = load_schedule(opt);
+  const auto v = Validator::validate(inst.model, inst.x_old, inst.x_new, h,
+                                     !opt.get_bool("all", "", false));
+  out << v.to_string() << '\n';
+  if (v.valid) {
+    out << "cost " << schedule_cost(inst.model, h) << ", "
+        << h.dummy_transfer_count() << " dummy transfer(s)\n";
+  }
+  return v.valid ? 0 : 2;
+}
+
+int cmd_stats(const CliOptions& opt, std::ostream& out) {
+  const Instance inst = load_instance(opt);
+  const Schedule h = load_schedule(opt);
+  const ScheduleStats stats = analyze_schedule(inst.model, h);
+  out << stats.to_string() << '\n';
+  const auto headroom = min_headroom(inst.model, inst.x_old, h);
+  Size tightest = headroom.empty() ? 0 : headroom[0];
+  ServerId tightest_server = 0;
+  for (ServerId i = 0; i < headroom.size(); ++i) {
+    if (headroom[i] < tightest) {
+      tightest = headroom[i];
+      tightest_server = i;
+    }
+  }
+  out << "tightest headroom: " << tightest << " units at S" << tightest_server
+      << '\n';
+  // Transfer-cost distribution (skipped for schedules without transfers).
+  std::vector<double> costs;
+  for (const Action& a : h) {
+    if (a.is_transfer()) {
+      costs.push_back(static_cast<double>(action_cost(inst.model, a)));
+    }
+  }
+  if (!costs.empty()) {
+    out << "transfer cost distribution:\n"
+        << Histogram::of(costs, 8).to_string();
+  }
+  return 0;
+}
+
+int cmd_deadline(const CliOptions& opt, std::ostream& out) {
+  const Instance inst = load_instance(opt);
+  const Schedule h = load_schedule(opt);
+  const auto v = Validator::validate(inst.model, inst.x_old, inst.x_new, h);
+  if (!v.valid) throw CliError{"schedule is invalid: " + v.to_string()};
+  DeadlineOptions options;
+  options.execution.ports = static_cast<std::size_t>(opt.get_int("ports", "", 1));
+  options.execution.bandwidth = opt.get_double("bandwidth", "", 1.0);
+  const auto before = simulate_makespan(inst.model, inst.x_old, h, options.execution);
+  options.deadline =
+      opt.get_double("deadline", "", before.makespan * 0.8);
+  const DeadlineResult r =
+      meet_deadline(inst.model, inst.x_old, inst.x_new, h, options);
+  out << "deadline:        " << options.deadline << '\n';
+  out << "makespan before: " << before.makespan << '\n';
+  out << "makespan after:  " << r.report.makespan << '\n';
+  out << "met:             " << (r.met ? "yes" : "no") << '\n';
+  out << "cost before:     " << schedule_cost(inst.model, h) << '\n';
+  out << "cost after:      " << r.cost << '\n';
+  const std::string out_path = opt.get_string("out", "", "");
+  if (!out_path.empty()) {
+    write_text_file(out_path, schedule_to_text(r.schedule), out, "schedule");
+  }
+  return r.met ? 0 : 3;
+}
+
+int cmd_info(const CliOptions& opt, std::ostream& out) {
+  const Instance inst = load_instance(opt);
+  if (opt.get_bool("json", "", false)) {
+    instance_summary_to_json(out, inst);
+    return 0;
+  }
+  const PlacementDelta delta(inst.x_old, inst.x_new);
+  out << "servers:           " << inst.model.num_servers() << '\n';
+  out << "objects:           " << inst.model.num_objects() << '\n';
+  out << "dummy link cost:   " << inst.model.dummy_link_cost() << '\n';
+  out << "outstanding:       " << delta.outstanding().size() << '\n';
+  out << "superfluous:       " << delta.superfluous().size() << '\n';
+  out << "overlap:           " << inst.x_old.overlap(inst.x_new) << '\n';
+  out << "X_new feasible:    "
+      << (storage_feasible(inst.model, inst.x_new) ? "yes" : "NO") << '\n';
+  out << "cost lower bound:  "
+      << cost_lower_bound(inst.model, inst.x_old, inst.x_new) << '\n';
+  out << "worst-case cost:   "
+      << worst_case_cost(inst.model, inst.x_old, inst.x_new) << '\n';
+  const TransferGraph tg(inst.model, inst.x_old, inst.x_new);
+  out << "transfer graph:    " << tg.arcs().size() << " arcs, "
+      << (tg.has_cycle() ? "cyclic" : "acyclic") << '\n';
+  out << "deadlock risk:     " << (tg.deadlock_risk(inst.x_old) ? "yes" : "no")
+      << '\n';
+  return 0;
+}
+
+int cmd_makespan(const CliOptions& opt, std::ostream& out) {
+  const Instance inst = load_instance(opt);
+  const Schedule h = load_schedule(opt);
+  MakespanOptions options;
+  options.ports = static_cast<std::size_t>(opt.get_int("ports", "", 1));
+  options.bandwidth = opt.get_double("bandwidth", "", 1.0);
+  const auto v = Validator::validate(inst.model, inst.x_old, inst.x_new, h);
+  if (!v.valid) throw CliError{"schedule is invalid: " + v.to_string()};
+  const MakespanReport report = simulate_makespan(inst.model, inst.x_old, h, options);
+  out << "serial time:      " << report.serial_time << '\n';
+  out << "makespan:         " << report.makespan << '\n';
+  out << "speedup:          " << report.speedup << '\n';
+  out << "peak parallelism: " << report.peak_parallelism << '\n';
+  return 0;
+}
+
+int cmd_phases(const CliOptions& opt, std::ostream& out) {
+  const Instance inst = load_instance(opt);
+  const Schedule h = load_schedule(opt);
+  const auto v = Validator::validate(inst.model, inst.x_old, inst.x_new, h);
+  if (!v.valid) throw CliError{"schedule is invalid: " + v.to_string()};
+  const std::size_t ports = static_cast<std::size_t>(opt.get_int("ports", "", 1));
+  const PhasePlan plan = phase_partition(inst.model, inst.x_old, h, ports);
+  out << plan.rounds() << " rounds, widest " << plan.max_width()
+      << ", bottleneck cost " << plan.bottleneck_cost(inst.model, h) << '\n';
+  if (opt.get_bool("print", "", false)) out << plan.to_string(h);
+  return 0;
+}
+
+int cmd_dot(const CliOptions& opt, std::ostream& out) {
+  const Instance inst = load_instance(opt);
+  const TransferGraph tg(inst.model, inst.x_old, inst.x_new);
+  write_text_file(opt.get_string("out", "", ""), transfer_graph_to_dot(tg), out,
+                  "DOT");
+  return 0;
+}
+
+}  // namespace
+
+void print_usage(std::ostream& out) {
+  out << "rtsp — replica transfer scheduling toolkit\n"
+         "\n"
+         "usage: rtsp <command> [options]\n"
+         "\n"
+         "commands:\n"
+         "  generate  --kind paper-equal|paper-uniform|paper-extra|random\n"
+         "            [--servers N] [--objects N] [--replicas R] [--extra E]\n"
+         "            [--slack F] [--seed S] [--out FILE]\n"
+         "  solve     --instance FILE [--algo SPEC] [--seed S] [--out FILE] [--json]\n"
+         "  exact     --instance FILE [--max-nodes N] [--staging BOOL] [--out FILE]\n"
+         "  validate  --instance FILE --schedule FILE [--all]\n"
+         "  stats     --instance FILE --schedule FILE\n"
+         "  info      --instance FILE [--json]\n"
+         "  makespan  --instance FILE --schedule FILE [--ports P] [--bandwidth B]\n"
+         "  deadline  --instance FILE --schedule FILE [--deadline T] [--ports P]\n"
+         "            [--bandwidth B] [--out FILE]\n"
+         "  phases    --instance FILE --schedule FILE [--ports P] [--print]\n"
+         "  dot       --instance FILE [--out FILE]\n"
+         "  help\n"
+         "\n"
+         "algorithm SPECs combine one builder (AR, GOLCF, RDF, GSDF) with\n"
+         "improvers (H1, H2, OP1, SA, H1H2FIX), e.g. GOLCF+H1+H2+OP1.\n";
+}
+
+int run_cli(int argc, const char* const* argv, std::ostream& out, std::ostream& err) {
+  if (argc < 2) {
+    print_usage(err);
+    return 1;
+  }
+  const std::string command = argv[1];
+  const CliOptions opt(argc - 1, argv + 1);
+  try {
+    if (command == "generate") return cmd_generate(opt, out);
+    if (command == "solve") return cmd_solve(opt, out);
+    if (command == "exact") return cmd_exact(opt, out);
+    if (command == "validate") return cmd_validate(opt, out);
+    if (command == "stats") return cmd_stats(opt, out);
+    if (command == "info") return cmd_info(opt, out);
+    if (command == "makespan") return cmd_makespan(opt, out);
+    if (command == "deadline") return cmd_deadline(opt, out);
+    if (command == "phases") return cmd_phases(opt, out);
+    if (command == "dot") return cmd_dot(opt, out);
+    if (command == "help" || command == "--help" || command == "-h") {
+      print_usage(out);
+      return 0;
+    }
+    err << "unknown command '" << command << "'\n";
+    print_usage(err);
+    return 1;
+  } catch (const CliError& e) {
+    err << "error: " << e.message << '\n';
+    return 1;
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
+
+}  // namespace rtsp::cli

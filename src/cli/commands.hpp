@@ -1,0 +1,28 @@
+// The `rtsp` command-line tool, as a testable library. The binary in
+// tools/rtsp_cli.cpp is a thin wrapper around run_cli().
+//
+// Subcommands:
+//   generate   build an instance (paper workloads or random) -> file
+//   solve      run an algorithm pipeline on an instance -> schedule file
+//   exact      branch-and-bound optimum on a (small) instance
+//   validate   check a schedule against an instance
+//   stats      schedule analytics (traffic, peaks, headroom)
+//   info       instance summary: delta, bounds, transfer-graph cycles
+//   makespan   parallel-execution simulation of a schedule
+//   phases     bulk-synchronous round partition of a schedule
+//   dot        Graphviz export of the transfer graph
+//   help       usage
+#pragma once
+
+#include <ostream>
+
+namespace rtsp::cli {
+
+/// Dispatches argv[1] to a subcommand. Returns a process exit code; writes
+/// results to `out` and complaints to `err` (never throws for user errors).
+int run_cli(int argc, const char* const* argv, std::ostream& out, std::ostream& err);
+
+/// Prints the usage text to `out`.
+void print_usage(std::ostream& out);
+
+}  // namespace rtsp::cli

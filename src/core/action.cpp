@@ -1,0 +1,22 @@
+#include "core/action.hpp"
+
+#include <sstream>
+
+namespace rtsp {
+
+std::string Action::to_string() const {
+  std::ostringstream os;
+  if (is_transfer()) {
+    os << "T(S" << server << " <- O" << object << " from ";
+    if (is_dummy(source)) os << "dummy";
+    else os << "S" << source;
+    os << ")";
+  } else {
+    os << "D(S" << server << ", O" << object << ")";
+  }
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Action& a) { return os << a.to_string(); }
+
+}  // namespace rtsp

@@ -1,0 +1,44 @@
+// Schedule actions: object transfers T_ikj and deletions D_ik.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "core/types.hpp"
+
+namespace rtsp {
+
+/// One schedule step. Transfers carry a source (possibly kDummyServer);
+/// deletions do not.
+struct Action {
+  enum class Kind : std::uint8_t { Transfer, Delete };
+
+  Kind kind = Kind::Delete;
+  ServerId server = 0;  ///< acting server S_i (destination for transfers)
+  ObjectId object = 0;  ///< object O_k
+  ServerId source = 0;  ///< transfer source S_j / kDummyServer; unused for Delete
+
+  /// The paper's T_ikj: copy object k onto server i from source j.
+  static Action transfer(ServerId i, ObjectId k, ServerId j) {
+    return Action{Kind::Transfer, i, k, j};
+  }
+  /// The paper's D_ik: delete object k's replica on server i.
+  static Action remove(ServerId i, ObjectId k) { return Action{Kind::Delete, i, k, 0}; }
+
+  bool is_transfer() const { return kind == Kind::Transfer; }
+  bool is_delete() const { return kind == Kind::Delete; }
+  bool is_dummy_transfer() const { return is_transfer() && is_dummy(source); }
+
+  /// Paper-style rendering: "T(S2 <- O5 from S7)" / "T(... from dummy)" /
+  /// "D(S2, O5)". Ids are 0-based.
+  std::string to_string() const;
+
+  friend bool operator==(const Action& a, const Action& b) {
+    if (a.kind != b.kind || a.server != b.server || a.object != b.object) return false;
+    return a.kind == Kind::Delete || a.source == b.source;
+  }
+};
+
+std::ostream& operator<<(std::ostream& os, const Action& a);
+
+}  // namespace rtsp

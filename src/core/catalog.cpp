@@ -1,0 +1,31 @@
+#include "core/catalog.hpp"
+
+namespace rtsp {
+
+ObjectCatalog::ObjectCatalog(std::vector<Size> sizes) : sizes_(std::move(sizes)) {
+  for (Size s : sizes_) {
+    RTSP_REQUIRE_MSG(s > 0, "object sizes must be positive");
+    total_ += s;
+  }
+}
+
+ObjectCatalog ObjectCatalog::uniform(std::size_t count, Size size) {
+  return ObjectCatalog(std::vector<Size>(count, size));
+}
+
+ServerCatalog::ServerCatalog(std::vector<Size> capacities)
+    : capacities_(std::move(capacities)) {
+  for (Size c : capacities_) RTSP_REQUIRE_MSG(c >= 0, "capacities must be >= 0");
+}
+
+ServerCatalog ServerCatalog::uniform(std::size_t count, Size capacity) {
+  return ServerCatalog(std::vector<Size>(count, capacity));
+}
+
+void ServerCatalog::add_capacity(ServerId i, Size extra) {
+  RTSP_REQUIRE(i < capacities_.size());
+  RTSP_REQUIRE(extra >= 0);
+  capacities_[i] += extra;
+}
+
+}  // namespace rtsp

@@ -1,0 +1,57 @@
+// Catalogs of object sizes and server capacities.
+#pragma once
+
+#include <vector>
+
+#include "core/types.hpp"
+#include "support/assert.hpp"
+
+namespace rtsp {
+
+/// Immutable list of object sizes, indexed by ObjectId.
+class ObjectCatalog {
+ public:
+  ObjectCatalog() = default;
+  explicit ObjectCatalog(std::vector<Size> sizes);
+
+  /// All objects share one size (the paper's equal-size experiments).
+  static ObjectCatalog uniform(std::size_t count, Size size);
+
+  std::size_t count() const { return sizes_.size(); }
+  Size size_of(ObjectId k) const {
+    RTSP_REQUIRE_MSG(k < sizes_.size(), "object " << k << " out of range");
+    return sizes_[k];
+  }
+  Size total_size() const { return total_; }
+  const std::vector<Size>& sizes() const { return sizes_; }
+
+ private:
+  std::vector<Size> sizes_;
+  Size total_ = 0;
+};
+
+/// Mutable list of server storage capacities, indexed by ServerId.
+class ServerCatalog {
+ public:
+  ServerCatalog() = default;
+  explicit ServerCatalog(std::vector<Size> capacities);
+
+  /// All servers share one capacity.
+  static ServerCatalog uniform(std::size_t count, Size capacity);
+
+  std::size_t count() const { return capacities_.size(); }
+  Size capacity(ServerId i) const {
+    RTSP_REQUIRE_MSG(i < capacities_.size(), "server " << i << " out of range");
+    return capacities_[i];
+  }
+  /// Grows server i's capacity by `extra` (>= 0); used by the paper's
+  /// extra-capacity experiment (Figs. 8-9).
+  void add_capacity(ServerId i, Size extra);
+
+  const std::vector<Size>& capacities() const { return capacities_; }
+
+ private:
+  std::vector<Size> capacities_;
+};
+
+}  // namespace rtsp

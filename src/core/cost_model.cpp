@@ -1,0 +1,24 @@
+#include "core/cost_model.hpp"
+
+namespace rtsp {
+
+Cost action_cost(const SystemModel& model, const Action& a) {
+  if (a.is_delete()) return 0;
+  return model.transfer_cost(a.server, a.object, a.source);
+}
+
+Cost schedule_cost(const SystemModel& model, const Schedule& schedule) {
+  Cost total = 0;
+  for (const Action& a : schedule) total += action_cost(model, a);
+  return total;
+}
+
+Cost dummy_transfer_cost(const SystemModel& model, const Schedule& schedule) {
+  Cost total = 0;
+  for (const Action& a : schedule) {
+    if (a.is_dummy_transfer()) total += action_cost(model, a);
+  }
+  return total;
+}
+
+}  // namespace rtsp

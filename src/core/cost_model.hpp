@@ -1,0 +1,23 @@
+// Implementation-cost computation (equation (1) of the paper).
+//
+// Costs are position-independent: C(T_ikj) = s(O_k) * l_ij with the dummy
+// link priced at a*(max l + 1), and deletions are free. Hence schedule cost
+// is a plain sum and no state simulation is needed.
+#pragma once
+
+#include "core/schedule.hpp"
+#include "core/system.hpp"
+
+namespace rtsp {
+
+/// Cost of a single action.
+Cost action_cost(const SystemModel& model, const Action& a);
+
+/// Total implementation cost I^H of a schedule.
+Cost schedule_cost(const SystemModel& model, const Schedule& schedule);
+
+/// Cost paid on dummy links only; schedule_cost minus this is the cost of
+/// proper server-to-server traffic.
+Cost dummy_transfer_cost(const SystemModel& model, const Schedule& schedule);
+
+}  // namespace rtsp

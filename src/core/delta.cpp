@@ -1,0 +1,56 @@
+#include "core/delta.hpp"
+
+#include "support/assert.hpp"
+
+namespace rtsp {
+
+PlacementDelta::PlacementDelta(const ReplicationMatrix& x_old,
+                               const ReplicationMatrix& x_new) {
+  RTSP_REQUIRE(x_old.num_servers() == x_new.num_servers());
+  RTSP_REQUIRE(x_old.num_objects() == x_new.num_objects());
+  for (ServerId i = 0; i < x_old.num_servers(); ++i) {
+    for (ObjectId k : x_new.objects_on(i)) {
+      if (!x_old.test(i, k)) outstanding_.push_back({i, k});
+    }
+    for (ObjectId k : x_old.objects_on(i)) {
+      if (!x_new.test(i, k)) superfluous_.push_back({i, k});
+    }
+  }
+}
+
+std::vector<Replica> PlacementDelta::outstanding_on(ServerId i) const {
+  std::vector<Replica> out;
+  for (const Replica& r : outstanding_) {
+    if (r.server == i) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<Replica> PlacementDelta::superfluous_on(ServerId i) const {
+  std::vector<Replica> out;
+  for (const Replica& r : superfluous_) {
+    if (r.server == i) out.push_back(r);
+  }
+  return out;
+}
+
+namespace {
+std::vector<ServerId> distinct_servers(const std::vector<Replica>& replicas) {
+  std::vector<ServerId> out;
+  for (const Replica& r : replicas) {
+    // replicas are (server, object)-sorted, so equal servers are adjacent
+    if (out.empty() || out.back() != r.server) out.push_back(r.server);
+  }
+  return out;
+}
+}  // namespace
+
+std::vector<ServerId> PlacementDelta::servers_with_outstanding() const {
+  return distinct_servers(outstanding_);
+}
+
+std::vector<ServerId> PlacementDelta::servers_with_superfluous() const {
+  return distinct_servers(superfluous_);
+}
+
+}  // namespace rtsp

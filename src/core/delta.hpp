@@ -1,0 +1,45 @@
+// PlacementDelta: the outstanding and superfluous replica sets that
+// distinguish X_new from X_old — the raw material of every builder.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "core/replication.hpp"
+#include "core/types.hpp"
+
+namespace rtsp {
+
+/// A replica position (server, object).
+struct Replica {
+  ServerId server;
+  ObjectId object;
+  friend bool operator==(const Replica&, const Replica&) = default;
+};
+
+class PlacementDelta {
+ public:
+  PlacementDelta(const ReplicationMatrix& x_old, const ReplicationMatrix& x_new);
+
+  /// Replicas to create: X_new = 1, X_old = 0, in (server, object) order.
+  const std::vector<Replica>& outstanding() const { return outstanding_; }
+  /// Replicas to drop: X_old = 1, X_new = 0, in (server, object) order.
+  const std::vector<Replica>& superfluous() const { return superfluous_; }
+
+  /// Outstanding replicas destined for server i.
+  std::vector<Replica> outstanding_on(ServerId i) const;
+  /// Superfluous replicas residing on server i.
+  std::vector<Replica> superfluous_on(ServerId i) const;
+
+  /// Servers with at least one outstanding/superfluous replica.
+  std::vector<ServerId> servers_with_outstanding() const;
+  std::vector<ServerId> servers_with_superfluous() const;
+
+  bool empty() const { return outstanding_.empty() && superfluous_.empty(); }
+
+ private:
+  std::vector<Replica> outstanding_;
+  std::vector<Replica> superfluous_;
+};
+
+}  // namespace rtsp

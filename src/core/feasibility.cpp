@@ -1,0 +1,64 @@
+#include "core/feasibility.hpp"
+
+#include <algorithm>
+
+#include "core/delta.hpp"
+
+namespace rtsp {
+
+bool storage_feasible(const SystemModel& model, const ReplicationMatrix& x) {
+  RTSP_REQUIRE(x.num_servers() == model.num_servers());
+  for (ServerId i = 0; i < model.num_servers(); ++i) {
+    if (x.used_storage(i, model.objects()) > model.capacity(i)) return false;
+  }
+  return true;
+}
+
+Cost cost_lower_bound(const SystemModel& model, const ReplicationMatrix& x_old,
+                      const ReplicationMatrix& x_new) {
+  const PlacementDelta delta(x_old, x_new);
+  Cost total = 0;
+  for (const Replica& r : delta.outstanding()) {
+    // Any schedule fetches (i, k) from a server that holds k at that moment:
+    // an X_old replicator, an earlier-filled X_new destination, or the dummy.
+    LinkCost best = model.dummy_link_cost();
+    for (ServerId j = 0; j < model.num_servers(); ++j) {
+      if (j == r.server) continue;
+      if (x_old.test(j, r.object) || x_new.test(j, r.object)) {
+        best = std::min(best, model.costs().at(r.server, j));
+      }
+    }
+    total += model.object_size(r.object) * best;
+  }
+  return total;
+}
+
+Cost worst_case_cost(const SystemModel& model, const ReplicationMatrix& x_old,
+                     const ReplicationMatrix& x_new) {
+  (void)x_old;  // the worst-case plan discards X_old entirely
+  Cost total = 0;
+  for (ServerId i = 0; i < model.num_servers(); ++i) {
+    for (ObjectId k : x_new.objects_on(i)) {
+      total += model.object_size(k) * model.dummy_link_cost();
+    }
+  }
+  return total;
+}
+
+Schedule worst_case_schedule(const SystemModel& model, const ReplicationMatrix& x_old,
+                             const ReplicationMatrix& x_new) {
+  RTSP_REQUIRE_MSG(storage_feasible(model, x_new),
+                   "X_new violates storage capacities; no schedule exists");
+  Schedule h;
+  for (ServerId i = 0; i < model.num_servers(); ++i) {
+    for (ObjectId k : x_old.objects_on(i)) h.push_back(Action::remove(i, k));
+  }
+  for (ServerId i = 0; i < model.num_servers(); ++i) {
+    for (ObjectId k : x_new.objects_on(i)) {
+      h.push_back(Action::transfer(i, k, kDummyServer));
+    }
+  }
+  return h;
+}
+
+}  // namespace rtsp

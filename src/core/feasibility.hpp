@@ -1,0 +1,31 @@
+// Feasibility checks and cost bounds for RTSP instances.
+#pragma once
+
+#include "core/replication.hpp"
+#include "core/schedule.hpp"
+#include "core/system.hpp"
+
+namespace rtsp {
+
+/// True if every server's row of `x` fits within its capacity. The extended
+/// RTSP (with the dummy server) has a solution iff this holds for X_new.
+bool storage_feasible(const SystemModel& model, const ReplicationMatrix& x);
+
+/// Admissible lower bound on implementation cost: every outstanding replica
+/// (i, k) must be fetched from *some* server that can ever hold k — an X_old
+/// replicator, another X_new destination of k, or the dummy — so its cost is
+/// at least s(O_k) times the cheapest such link.
+Cost cost_lower_bound(const SystemModel& model, const ReplicationMatrix& x_old,
+                      const ReplicationMatrix& x_new);
+
+/// Cost of the trivially feasible worst-case schedule of Sec. 3.3: delete
+/// every replica, then fetch everything in X_new from the dummy server.
+Cost worst_case_cost(const SystemModel& model, const ReplicationMatrix& x_old,
+                     const ReplicationMatrix& x_new);
+
+/// The worst-case schedule itself (always valid when X_new is storage
+/// feasible); useful as a baseline and in tests.
+Schedule worst_case_schedule(const SystemModel& model, const ReplicationMatrix& x_old,
+                             const ReplicationMatrix& x_new);
+
+}  // namespace rtsp

@@ -1,0 +1,82 @@
+#include "core/replication.hpp"
+
+#include <bit>
+
+namespace rtsp {
+
+ReplicationMatrix::ReplicationMatrix(std::size_t servers, std::size_t objects)
+    : servers_(servers),
+      objects_(objects),
+      words_per_row_((objects + 63) / 64),
+      words_(servers * words_per_row_, 0) {}
+
+ReplicationMatrix ReplicationMatrix::from_pairs(
+    std::size_t servers, std::size_t objects,
+    std::initializer_list<std::pair<ServerId, ObjectId>> pairs) {
+  ReplicationMatrix m(servers, objects);
+  for (const auto& [i, k] : pairs) m.set(i, k);
+  return m;
+}
+
+std::vector<ObjectId> ReplicationMatrix::objects_on(ServerId i) const {
+  RTSP_REQUIRE(i < servers_);
+  std::vector<ObjectId> out;
+  for (std::size_t w = 0; w < words_per_row_; ++w) {
+    std::uint64_t bits = words_[i * words_per_row_ + w];
+    while (bits) {
+      const int b = std::countr_zero(bits);
+      out.push_back(static_cast<ObjectId>(w * 64 + static_cast<std::size_t>(b)));
+      bits &= bits - 1;
+    }
+  }
+  return out;
+}
+
+std::vector<ServerId> ReplicationMatrix::replicators_of(ObjectId k) const {
+  RTSP_REQUIRE(k < objects_);
+  std::vector<ServerId> out;
+  for (ServerId i = 0; i < servers_; ++i) {
+    if (test(i, k)) out.push_back(i);
+  }
+  return out;
+}
+
+std::size_t ReplicationMatrix::replica_count(ObjectId k) const {
+  RTSP_REQUIRE(k < objects_);
+  std::size_t n = 0;
+  for (ServerId i = 0; i < servers_; ++i) n += test(i, k) ? 1 : 0;
+  return n;
+}
+
+std::size_t ReplicationMatrix::count_on(ServerId i) const {
+  RTSP_REQUIRE(i < servers_);
+  std::size_t n = 0;
+  for (std::size_t w = 0; w < words_per_row_; ++w) {
+    n += static_cast<std::size_t>(std::popcount(words_[i * words_per_row_ + w]));
+  }
+  return n;
+}
+
+std::size_t ReplicationMatrix::total_replicas() const {
+  std::size_t n = 0;
+  for (std::uint64_t w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+Size ReplicationMatrix::used_storage(ServerId i, const ObjectCatalog& objects) const {
+  RTSP_REQUIRE(objects.count() == objects_);
+  Size used = 0;
+  for (ObjectId k : objects_on(i)) used += objects.size_of(k);
+  return used;
+}
+
+std::size_t ReplicationMatrix::overlap(const ReplicationMatrix& other) const {
+  RTSP_REQUIRE(servers_ == other.servers_ && objects_ == other.objects_);
+  std::size_t n = 0;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    n += static_cast<std::size_t>(std::popcount(words_[w] & other.words_[w]));
+  }
+  return n;
+}
+
+}  // namespace rtsp

@@ -1,0 +1,90 @@
+// The M x N replication matrix X of the paper: X_ik = 1 iff server S_i holds
+// a replica of object O_k.
+//
+// Stored as packed 64-bit words, row-major, so row scans (what does server i
+// hold) and whole-matrix comparisons are word-parallel. The dummy server is
+// never part of the matrix.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <utility>
+#include <vector>
+
+#include "core/catalog.hpp"
+#include "core/types.hpp"
+
+namespace rtsp {
+
+class ReplicationMatrix {
+ public:
+  ReplicationMatrix() = default;
+
+  /// All-zero matrix for `servers` x `objects`.
+  ReplicationMatrix(std::size_t servers, std::size_t objects);
+
+  /// Convenience constructor from explicit (server, object) replica pairs.
+  static ReplicationMatrix from_pairs(std::size_t servers, std::size_t objects,
+                                      std::initializer_list<std::pair<ServerId, ObjectId>> pairs);
+
+  std::size_t num_servers() const { return servers_; }
+  std::size_t num_objects() const { return objects_; }
+
+  bool test(ServerId i, ObjectId k) const {
+    check(i, k);
+    return (words_[word_index(i, k)] >> (k & 63)) & 1u;
+  }
+  void set(ServerId i, ObjectId k) {
+    check(i, k);
+    words_[word_index(i, k)] |= (std::uint64_t{1} << (k & 63));
+  }
+  void clear(ServerId i, ObjectId k) {
+    check(i, k);
+    words_[word_index(i, k)] &= ~(std::uint64_t{1} << (k & 63));
+  }
+  void assign(ServerId i, ObjectId k, bool value) { value ? set(i, k) : clear(i, k); }
+
+  /// Objects held by server i, ascending.
+  std::vector<ObjectId> objects_on(ServerId i) const;
+
+  /// Servers holding object k, ascending. O(M).
+  std::vector<ServerId> replicators_of(ObjectId k) const;
+
+  /// Number of replicas of object k. O(M).
+  std::size_t replica_count(ObjectId k) const;
+
+  /// Number of replicas stored on server i. O(N/64).
+  std::size_t count_on(ServerId i) const;
+
+  /// Total number of replicas in the scheme.
+  std::size_t total_replicas() const;
+
+  /// Bytes of storage server i uses under this scheme.
+  Size used_storage(ServerId i, const ObjectCatalog& objects) const;
+
+  /// Number of (server, object) replicas present in both schemes — the
+  /// paper's "overlap".
+  std::size_t overlap(const ReplicationMatrix& other) const;
+
+  bool operator==(const ReplicationMatrix& other) const = default;
+
+  /// Packed bit words (row-major); exposed for hashing/memoization.
+  const std::vector<std::uint64_t>& words() const { return words_; }
+
+ private:
+  void check(ServerId i, ObjectId k) const {
+    RTSP_REQUIRE_MSG(i < servers_ && k < objects_,
+                     "replica (" << i << "," << k << ") out of " << servers_ << "x"
+                                 << objects_);
+  }
+  std::size_t word_index(ServerId i, ObjectId k) const {
+    return static_cast<std::size_t>(i) * words_per_row_ + (k >> 6);
+  }
+
+  std::size_t servers_ = 0;
+  std::size_t objects_ = 0;
+  std::size_t words_per_row_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace rtsp

@@ -1,0 +1,41 @@
+#include "core/schedule.hpp"
+
+#include <sstream>
+
+namespace rtsp {
+
+std::size_t Schedule::dummy_transfer_count() const {
+  std::size_t n = 0;
+  for (const Action& a : actions_) n += a.is_dummy_transfer() ? 1 : 0;
+  return n;
+}
+
+std::size_t Schedule::transfer_count() const {
+  std::size_t n = 0;
+  for (const Action& a : actions_) n += a.is_transfer() ? 1 : 0;
+  return n;
+}
+
+std::size_t Schedule::delete_count() const { return size() - transfer_count(); }
+
+std::vector<std::size_t> Schedule::transfer_positions_of(ObjectId k) const {
+  std::vector<std::size_t> out;
+  for (std::size_t u = 0; u < actions_.size(); ++u) {
+    if (actions_[u].is_transfer() && actions_[u].object == k) out.push_back(u);
+  }
+  return out;
+}
+
+std::string Schedule::to_string() const {
+  std::ostringstream os;
+  for (std::size_t u = 0; u < actions_.size(); ++u) {
+    os << u << ": " << actions_[u].to_string() << '\n';
+  }
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Schedule& s) {
+  return os << s.to_string();
+}
+
+}  // namespace rtsp

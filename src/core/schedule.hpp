@@ -1,0 +1,60 @@
+// Schedule: an ordered sequence of actions H = {A_1 ... A_t}.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/action.hpp"
+
+namespace rtsp {
+
+class Schedule {
+ public:
+  Schedule() = default;
+  explicit Schedule(std::vector<Action> actions) : actions_(std::move(actions)) {}
+
+  std::size_t size() const { return actions_.size(); }
+  bool empty() const { return actions_.empty(); }
+
+  const Action& operator[](std::size_t u) const { return actions_[u]; }
+  Action& operator[](std::size_t u) { return actions_[u]; }
+
+  const std::vector<Action>& actions() const { return actions_; }
+  std::vector<Action>& actions() { return actions_; }
+
+  void push_back(const Action& a) { actions_.push_back(a); }
+  void insert(std::size_t pos, const Action& a) {
+    actions_.insert(actions_.begin() + static_cast<std::ptrdiff_t>(pos), a);
+  }
+  void erase(std::size_t pos) {
+    actions_.erase(actions_.begin() + static_cast<std::ptrdiff_t>(pos));
+  }
+  void clear() { actions_.clear(); }
+
+  auto begin() const { return actions_.begin(); }
+  auto end() const { return actions_.end(); }
+
+  /// Number of transfers sourced at the dummy server — the feasibility
+  /// metric of the paper's Figs. 4, 6, 8.
+  std::size_t dummy_transfer_count() const;
+
+  std::size_t transfer_count() const;
+  std::size_t delete_count() const;
+
+  /// Indices of all transfers of object k, ascending.
+  std::vector<std::size_t> transfer_positions_of(ObjectId k) const;
+
+  /// Multi-line rendering, one action per line, prefixed by its index.
+  std::string to_string() const;
+
+  bool operator==(const Schedule& other) const = default;
+
+ private:
+  std::vector<Action> actions_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Schedule& s);
+
+}  // namespace rtsp

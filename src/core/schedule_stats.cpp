@@ -1,0 +1,112 @@
+#include "core/schedule_stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/cost_model.hpp"
+#include "support/stats.hpp"
+
+namespace rtsp {
+
+ScheduleStats analyze_schedule(const SystemModel& model, const Schedule& schedule) {
+  ScheduleStats s;
+  s.actions = schedule.size();
+  s.per_server.resize(model.num_servers());
+  s.transfers_per_object.resize(model.num_objects(), 0);
+  for (const Action& a : schedule) {
+    if (a.is_delete()) {
+      ++s.deletions;
+      ++s.per_server[a.server].deletions;
+      continue;
+    }
+    ++s.transfers;
+    const Size size = model.object_size(a.object);
+    const Cost cost = action_cost(model, a);
+    s.total_cost += cost;
+    ++s.transfers_per_object[a.object];
+    ServerTraffic& dest = s.per_server[a.server];
+    dest.bytes_in += size;
+    dest.cost_in += cost;
+    ++dest.transfers_in;
+    if (a.is_dummy_transfer()) {
+      ++s.dummy_transfers;
+      s.dummy_cost += cost;
+      s.dummy_volume += size;
+    } else {
+      s.real_volume += size;
+      ServerTraffic& src = s.per_server[a.source];
+      src.bytes_out += size;
+      ++src.transfers_out;
+    }
+  }
+  for (std::size_t n : s.transfers_per_object) {
+    s.max_object_fanout = std::max(s.max_object_fanout, n);
+  }
+  return s;
+}
+
+std::string ScheduleStats::to_string() const {
+  std::ostringstream os;
+  os << actions << " actions: " << transfers << " transfers ("
+     << dummy_transfers << " dummy), " << deletions << " deletions\n";
+  os << "cost " << total_cost << " (dummy share " << dummy_cost << "), volume "
+     << real_volume << " real + " << dummy_volume << " dummy\n";
+  Cost max_in = 0;
+  Cost max_out = 0;
+  std::size_t busiest_in = 0;
+  std::size_t busiest_out = 0;
+  for (std::size_t i = 0; i < per_server.size(); ++i) {
+    if (per_server[i].bytes_in > max_in) {
+      max_in = per_server[i].bytes_in;
+      busiest_in = i;
+    }
+    if (per_server[i].bytes_out > max_out) {
+      max_out = per_server[i].bytes_out;
+      busiest_out = i;
+    }
+  }
+  os << "busiest sink S" << busiest_in << " (" << human_count(static_cast<double>(max_in))
+     << " in), busiest source S" << busiest_out << " ("
+     << human_count(static_cast<double>(max_out)) << " out), max object fan-out "
+     << max_object_fanout;
+  return os.str();
+}
+
+std::vector<Size> peak_storage(const SystemModel& model, const ReplicationMatrix& x_old,
+                               const Schedule& schedule) {
+  RTSP_REQUIRE(x_old.num_servers() == model.num_servers());
+  std::vector<Size> used(model.num_servers());
+  std::vector<Size> peak(model.num_servers());
+  std::vector<std::vector<bool>> held(model.num_servers(),
+                                      std::vector<bool>(model.num_objects(), false));
+  for (ServerId i = 0; i < model.num_servers(); ++i) {
+    for (ObjectId k : x_old.objects_on(i)) {
+      held[i][k] = true;
+      used[i] += model.object_size(k);
+    }
+    peak[i] = used[i];
+  }
+  for (const Action& a : schedule) {
+    if (a.is_transfer() && !held[a.server][a.object]) {
+      held[a.server][a.object] = true;
+      used[a.server] += model.object_size(a.object);
+      peak[a.server] = std::max(peak[a.server], used[a.server]);
+    } else if (a.is_delete() && held[a.server][a.object]) {
+      held[a.server][a.object] = false;
+      used[a.server] -= model.object_size(a.object);
+    }
+  }
+  return peak;
+}
+
+std::vector<Size> min_headroom(const SystemModel& model, const ReplicationMatrix& x_old,
+                               const Schedule& schedule) {
+  std::vector<Size> peak = peak_storage(model, x_old, schedule);
+  std::vector<Size> headroom(peak.size());
+  for (ServerId i = 0; i < peak.size(); ++i) {
+    headroom[i] = model.capacity(i) - peak[i];
+  }
+  return headroom;
+}
+
+}  // namespace rtsp

@@ -1,0 +1,58 @@
+// Schedule analytics: per-server traffic, per-object transfer counts,
+// storage-utilisation timelines. Used by the CLI `stats` command, the
+// examples and the reports; everything here is derived data with no effect
+// on scheduling.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "core/system.hpp"
+
+namespace rtsp {
+
+struct ServerTraffic {
+  Cost bytes_in = 0;    ///< size-weighted cost-free volume received
+  Cost bytes_out = 0;   ///< volume served as a source (dummy excluded)
+  Cost cost_in = 0;     ///< implementation cost paid for inbound transfers
+  std::size_t transfers_in = 0;
+  std::size_t transfers_out = 0;
+  std::size_t deletions = 0;
+};
+
+struct ScheduleStats {
+  std::size_t actions = 0;
+  std::size_t transfers = 0;
+  std::size_t deletions = 0;
+  std::size_t dummy_transfers = 0;
+  Cost total_cost = 0;
+  Cost dummy_cost = 0;
+  /// Volume moved over real links / over the dummy link.
+  Size real_volume = 0;
+  Size dummy_volume = 0;
+  std::vector<ServerTraffic> per_server;
+  /// transfer count per object (objects never moved have 0).
+  std::vector<std::size_t> transfers_per_object;
+  /// Highest number of distinct objects an object was copied... the widest
+  /// fan-out: max transfers of any single object.
+  std::size_t max_object_fanout = 0;
+
+  /// Multi-line human-readable summary.
+  std::string to_string() const;
+};
+
+/// Computes the stats in one pass. The schedule need not be valid.
+ScheduleStats analyze_schedule(const SystemModel& model, const Schedule& schedule);
+
+/// Peak storage used on each server while executing `schedule` from `x_old`
+/// (lenient semantics). Useful for verifying how close to capacity a plan
+/// sails.
+std::vector<Size> peak_storage(const SystemModel& model, const ReplicationMatrix& x_old,
+                               const Schedule& schedule);
+
+/// Free-space headroom: min over time of capacity - used, per server.
+std::vector<Size> min_headroom(const SystemModel& model, const ReplicationMatrix& x_old,
+                               const Schedule& schedule);
+
+}  // namespace rtsp

@@ -1,0 +1,88 @@
+#include "core/state.hpp"
+
+namespace rtsp {
+
+const char* to_string(ActionError e) {
+  switch (e) {
+    case ActionError::None: return "ok";
+    case ActionError::SourceNotReplicator: return "source is not a replicator";
+    case ActionError::DestAlreadyReplicator: return "destination already replicates object";
+    case ActionError::InsufficientSpace: return "insufficient free space at destination";
+    case ActionError::SelfTransfer: return "transfer source equals destination";
+    case ActionError::NotReplicator: return "server does not replicate object";
+  }
+  return "unknown";
+}
+
+ExecutionState::ExecutionState(const SystemModel& model, ReplicationMatrix x)
+    : model_(&model), x_(std::move(x)) {
+  RTSP_REQUIRE(x_.num_servers() == model.num_servers());
+  RTSP_REQUIRE(x_.num_objects() == model.num_objects());
+  used_.resize(model.num_servers());
+  for (ServerId i = 0; i < model.num_servers(); ++i) {
+    used_[i] = x_.used_storage(i, model.objects());
+  }
+  replica_count_.resize(model.num_objects());
+  for (ObjectId k = 0; k < model.num_objects(); ++k) {
+    replica_count_[k] = x_.replica_count(k);
+  }
+}
+
+ActionError ExecutionState::classify(const Action& a) const {
+  RTSP_REQUIRE(a.server < model_->num_servers());
+  RTSP_REQUIRE(a.object < model_->num_objects());
+  if (a.is_transfer()) {
+    if (!is_dummy(a.source)) {
+      RTSP_REQUIRE(a.source < model_->num_servers());
+      if (a.source == a.server) return ActionError::SelfTransfer;
+      if (!x_.test(a.source, a.object)) return ActionError::SourceNotReplicator;
+    }
+    if (x_.test(a.server, a.object)) return ActionError::DestAlreadyReplicator;
+    if (free_space(a.server) < model_->object_size(a.object)) {
+      return ActionError::InsufficientSpace;
+    }
+    return ActionError::None;
+  }
+  return x_.test(a.server, a.object) ? ActionError::None : ActionError::NotReplicator;
+}
+
+void ExecutionState::apply(const Action& a) {
+  const ActionError e = classify(a);
+  RTSP_REQUIRE_MSG(e == ActionError::None,
+                   "invalid action " << a.to_string() << ": " << to_string(e));
+  if (a.is_transfer()) {
+    x_.set(a.server, a.object);
+    used_[a.server] += model_->object_size(a.object);
+    ++replica_count_[a.object];
+  } else {
+    x_.clear(a.server, a.object);
+    used_[a.server] -= model_->object_size(a.object);
+    --replica_count_[a.object];
+  }
+}
+
+ActionError ExecutionState::try_apply(const Action& a) {
+  const ActionError e = classify(a);
+  if (e == ActionError::None) apply(a);
+  return e;
+}
+
+void ExecutionState::apply_lenient(const Action& a) {
+  RTSP_REQUIRE(a.server < model_->num_servers());
+  RTSP_REQUIRE(a.object < model_->num_objects());
+  if (a.is_transfer()) {
+    if (!x_.test(a.server, a.object)) {
+      x_.set(a.server, a.object);
+      used_[a.server] += model_->object_size(a.object);
+      ++replica_count_[a.object];
+    }
+  } else {
+    if (x_.test(a.server, a.object)) {
+      x_.clear(a.server, a.object);
+      used_[a.server] -= model_->object_size(a.object);
+      --replica_count_[a.object];
+    }
+  }
+}
+
+}  // namespace rtsp

@@ -1,0 +1,65 @@
+// ExecutionState: the replication matrix X^u plus derived bookkeeping
+// (per-server used storage, per-object replica counts) that evolves as a
+// schedule executes. This is the stepwise semantics of Sec. 3.2.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/action.hpp"
+#include "core/replication.hpp"
+#include "core/system.hpp"
+
+namespace rtsp {
+
+/// Why an action is invalid in a given state (Sec. 3.2's validity rules).
+enum class ActionError {
+  None,
+  SourceNotReplicator,   ///< transfer: X_jk = 0 at the source
+  DestAlreadyReplicator, ///< transfer: X_ik = 1 already
+  InsufficientSpace,     ///< transfer: free space at i < s(O_k)
+  SelfTransfer,          ///< transfer: i == j
+  NotReplicator,         ///< delete: X_ik = 0
+};
+
+const char* to_string(ActionError e);
+
+class ExecutionState {
+ public:
+  /// Starts from placement `x`; model must outlive the state.
+  ExecutionState(const SystemModel& model, ReplicationMatrix x);
+
+  const SystemModel& model() const { return *model_; }
+  const ReplicationMatrix& placement() const { return x_; }
+
+  Size used(ServerId i) const { return used_[i]; }
+  Size free_space(ServerId i) const { return model_->capacity(i) - used_[i]; }
+  std::size_t replica_count(ObjectId k) const { return replica_count_[k]; }
+  bool holds(ServerId i, ObjectId k) const { return x_.test(i, k); }
+
+  /// Validity of `a` in the current state (ActionError::None when valid).
+  /// The dummy server is always a valid source.
+  ActionError classify(const Action& a) const;
+  bool can_apply(const Action& a) const { return classify(a) == ActionError::None; }
+
+  /// Applies a valid action; RTSP_REQUIREs validity.
+  void apply(const Action& a);
+
+  /// Applies if valid; returns the classification either way.
+  ActionError try_apply(const Action& a);
+
+  /// Best-effort application that ignores validity: transfers set the bit if
+  /// absent, deletions clear it if present; occupancy follows the actual bit
+  /// flips. Used by schedule-surgery code to approximate states of
+  /// transiently invalid schedules; final acceptance always goes through the
+  /// Validator.
+  void apply_lenient(const Action& a);
+
+ private:
+  const SystemModel* model_;
+  ReplicationMatrix x_;
+  std::vector<Size> used_;
+  std::vector<std::size_t> replica_count_;
+};
+
+}  // namespace rtsp

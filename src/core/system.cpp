@@ -1,0 +1,63 @@
+#include "core/system.hpp"
+
+namespace rtsp {
+
+SystemModel::SystemModel(ServerCatalog servers, ObjectCatalog objects, CostMatrix costs,
+                         double dummy_factor)
+    : servers_(std::move(servers)),
+      objects_(std::move(objects)),
+      costs_(std::move(costs)),
+      dummy_factor_(dummy_factor) {
+  RTSP_REQUIRE_MSG(costs_.size() == servers_.count(),
+                   "cost matrix size " << costs_.size() << " != server count "
+                                       << servers_.count());
+  RTSP_REQUIRE(dummy_factor_ > 0.0);
+  dummy_link_cost_ = costs_.dummy_cost(dummy_factor_);
+  sorted_neighbors_.reserve(servers_.count());
+  for (std::size_t i = 0; i < servers_.count(); ++i) {
+    const auto order = costs_.sorted_neighbors(i);
+    sorted_neighbors_.emplace_back(order.begin(), order.end());
+  }
+}
+
+std::optional<ServerId> SystemModel::nearest_replicator(ServerId i, ObjectId k,
+                                                        const ReplicationMatrix& x) const {
+  RTSP_REQUIRE(i < num_servers());
+  for (ServerId j : sorted_neighbors_[i]) {
+    if (x.test(j, k)) return j;
+  }
+  return std::nullopt;
+}
+
+std::optional<ServerId> SystemModel::second_nearest_replicator(
+    ServerId i, ObjectId k, const ReplicationMatrix& x) const {
+  RTSP_REQUIRE(i < num_servers());
+  bool found_first = false;
+  for (ServerId j : sorted_neighbors_[i]) {
+    if (x.test(j, k)) {
+      if (found_first) return j;
+      found_first = true;
+    }
+  }
+  return std::nullopt;
+}
+
+ServerId SystemModel::nearest_source_or_dummy(ServerId i, ObjectId k,
+                                              const ReplicationMatrix& x) const {
+  const auto j = nearest_replicator(i, k, x);
+  return j ? *j : kDummyServer;
+}
+
+LinkCost SystemModel::nearest_source_cost(ServerId i, ObjectId k,
+                                          const ReplicationMatrix& x) const {
+  const auto j = nearest_replicator(i, k, x);
+  return j ? costs_.at(i, *j) : dummy_link_cost_;
+}
+
+LinkCost SystemModel::second_nearest_source_cost(ServerId i, ObjectId k,
+                                                 const ReplicationMatrix& x) const {
+  const auto j = second_nearest_replicator(i, k, x);
+  return j ? costs_.at(i, *j) : dummy_link_cost_;
+}
+
+}  // namespace rtsp

@@ -1,0 +1,88 @@
+// SystemModel: the static part of an RTSP instance — servers, objects,
+// communication costs and the dummy-server configuration. Replication
+// matrices and schedules vary; the model does not.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/catalog.hpp"
+#include "core/replication.hpp"
+#include "core/types.hpp"
+#include "topology/cost_matrix.hpp"
+
+namespace rtsp {
+
+class SystemModel {
+ public:
+  /// dummy_factor is the paper's constant a >= 0; the dummy link cost is
+  /// a * (max l_ij + 1). The paper's experiments all use a = 1.
+  SystemModel(ServerCatalog servers, ObjectCatalog objects, CostMatrix costs,
+              double dummy_factor = 1.0);
+
+  std::size_t num_servers() const { return servers_.count(); }
+  std::size_t num_objects() const { return objects_.count(); }
+
+  const ServerCatalog& servers() const { return servers_; }
+  const ObjectCatalog& objects() const { return objects_; }
+  const CostMatrix& costs() const { return costs_; }
+
+  Size capacity(ServerId i) const { return servers_.capacity(i); }
+  Size object_size(ObjectId k) const { return objects_.size_of(k); }
+
+  /// Per-unit cost of the artificial dummy link.
+  LinkCost dummy_link_cost() const { return dummy_link_cost_; }
+  double dummy_factor() const { return dummy_factor_; }
+
+  /// Per-unit cost between server i and source j; j may be kDummyServer.
+  LinkCost source_link_cost(ServerId i, ServerId j) const {
+    RTSP_REQUIRE(i < num_servers());
+    if (is_dummy(j)) return dummy_link_cost_;
+    return costs_.at(i, j);
+  }
+
+  /// Full cost of transferring object k to server i from source j
+  /// (the paper's s(O_k) * l_ij); j may be kDummyServer.
+  Cost transfer_cost(ServerId i, ObjectId k, ServerId j) const {
+    return object_size(k) * source_link_cost(i, j);
+  }
+
+  /// Servers ordered by increasing link cost from i (ties by index),
+  /// excluding i; precomputed once.
+  const std::vector<ServerId>& neighbors_by_cost(ServerId i) const {
+    RTSP_REQUIRE(i < num_servers());
+    return sorted_neighbors_[i];
+  }
+
+  /// The paper's S_N(i,k,X): cheapest replicator of k for i under X,
+  /// excluding i itself. nullopt when k has no (other) replicator.
+  std::optional<ServerId> nearest_replicator(ServerId i, ObjectId k,
+                                             const ReplicationMatrix& x) const;
+
+  /// The paper's S_N2(i,k,X): second-cheapest replicator (needs two).
+  std::optional<ServerId> second_nearest_replicator(ServerId i, ObjectId k,
+                                                    const ReplicationMatrix& x) const;
+
+  /// Like nearest_replicator but falls back to kDummyServer — the source
+  /// every builder uses when no real replica exists.
+  ServerId nearest_source_or_dummy(ServerId i, ObjectId k,
+                                   const ReplicationMatrix& x) const;
+
+  /// Link cost from i to its nearest replicator, or the dummy cost if none.
+  LinkCost nearest_source_cost(ServerId i, ObjectId k,
+                               const ReplicationMatrix& x) const;
+
+  /// Link cost from i to its second-nearest replicator, or dummy if < 2.
+  LinkCost second_nearest_source_cost(ServerId i, ObjectId k,
+                                      const ReplicationMatrix& x) const;
+
+ private:
+  ServerCatalog servers_;
+  ObjectCatalog objects_;
+  CostMatrix costs_;
+  double dummy_factor_;
+  LinkCost dummy_link_cost_;
+  std::vector<std::vector<ServerId>> sorted_neighbors_;
+};
+
+}  // namespace rtsp

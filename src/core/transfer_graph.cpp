@@ -1,0 +1,122 @@
+#include "core/transfer_graph.hpp"
+
+#include <algorithm>
+
+namespace rtsp {
+
+TransferGraph::TransferGraph(const SystemModel& model, const ReplicationMatrix& x_old,
+                             const ReplicationMatrix& x_new)
+    : num_servers_(model.num_servers()), model_(&model), out_(model.num_servers()) {
+  const PlacementDelta delta(x_old, x_new);
+  for (const Replica& r : delta.outstanding()) {
+    for (ServerId j : x_old.replicators_of(r.object)) {
+      if (j == r.server) continue;
+      out_[j].push_back(arcs_.size());
+      arcs_.push_back({j, r.server, r.object});
+    }
+  }
+}
+
+std::vector<TransferGraph::Arc> TransferGraph::arcs_from(ServerId i) const {
+  RTSP_REQUIRE(i < num_servers_);
+  std::vector<Arc> out;
+  out.reserve(out_[i].size());
+  for (std::size_t a : out_[i]) out.push_back(arcs_[a]);
+  return out;
+}
+
+std::vector<std::vector<ServerId>> TransferGraph::strongly_connected_components() const {
+  // Iterative Tarjan (explicit stack) to stay safe on deep graphs.
+  const std::size_t n = num_servers_;
+  constexpr std::size_t kUnvisited = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> index(n, kUnvisited);
+  std::vector<std::size_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<std::size_t> stack;
+  std::vector<std::vector<ServerId>> sccs;
+  std::size_t next_index = 0;
+
+  struct Frame {
+    std::size_t node;
+    std::size_t arc_cursor;
+  };
+
+  for (std::size_t root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    std::vector<Frame> frames{{root, 0}};
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    while (!frames.empty()) {
+      Frame& fr = frames.back();
+      const std::size_t u = fr.node;
+      if (fr.arc_cursor < out_[u].size()) {
+        const std::size_t arc = out_[u][fr.arc_cursor++];
+        const std::size_t v = arcs_[arc].to;
+        if (index[v] == kUnvisited) {
+          index[v] = lowlink[v] = next_index++;
+          stack.push_back(v);
+          on_stack[v] = true;
+          frames.push_back({v, 0});
+        } else if (on_stack[v]) {
+          lowlink[u] = std::min(lowlink[u], index[v]);
+        }
+      } else {
+        if (lowlink[u] == index[u]) {
+          std::vector<ServerId> scc;
+          while (true) {
+            const std::size_t w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            scc.push_back(static_cast<ServerId>(w));
+            if (w == u) break;
+          }
+          std::sort(scc.begin(), scc.end());
+          sccs.push_back(std::move(scc));
+        }
+        frames.pop_back();
+        if (!frames.empty()) {
+          const std::size_t parent = frames.back().node;
+          lowlink[parent] = std::min(lowlink[parent], lowlink[u]);
+        }
+      }
+    }
+  }
+  return sccs;
+}
+
+bool TransferGraph::has_cycle() const {
+  for (const auto& scc : strongly_connected_components()) {
+    if (scc.size() > 1) return true;
+  }
+  return false;
+}
+
+bool TransferGraph::deadlock_risk(const ReplicationMatrix& x_old) const {
+  const auto sccs = strongly_connected_components();
+  for (const auto& scc : sccs) {
+    if (scc.size() <= 1) continue;
+    bool all_tight = true;
+    for (ServerId i : scc) {
+      const Size free = model_->capacity(i) - x_old.used_storage(i, model_->objects());
+      // The smallest object this server must receive along an in-SCC arc.
+      Size smallest_needed = 0;
+      bool receives = false;
+      for (const Arc& a : arcs_) {
+        if (a.to != i) continue;
+        if (!std::binary_search(scc.begin(), scc.end(), a.from)) continue;
+        const Size sz = model_->object_size(a.object);
+        smallest_needed = receives ? std::min(smallest_needed, sz) : sz;
+        receives = true;
+      }
+      if (!receives || free >= smallest_needed) {
+        all_tight = false;
+        break;
+      }
+    }
+    if (all_tight) return true;
+  }
+  return false;
+}
+
+}  // namespace rtsp

@@ -1,0 +1,60 @@
+// The transfer graph of Sec. 3.3 (Fig. 1b): a directed multigraph whose
+// nodes are servers and whose arcs, labelled by objects, run from every
+// potential source of an outstanding replica to its destination.
+//
+// Cyclic dependencies between tight servers are the deadlocks that force
+// dummy transfers; this module detects them via Tarjan's strongly connected
+// components and offers a conservative deadlock-risk predicate.
+#pragma once
+
+#include <vector>
+
+#include "core/delta.hpp"
+#include "core/replication.hpp"
+#include "core/system.hpp"
+
+namespace rtsp {
+
+class TransferGraph {
+ public:
+  struct Arc {
+    ServerId from;    ///< potential source (holds the object in X_old)
+    ServerId to;      ///< destination of the outstanding replica
+    ObjectId object;  ///< arc label
+  };
+
+  /// Builds arcs for every outstanding replica of (x_old -> x_new) from each
+  /// of its X_old replicators.
+  TransferGraph(const SystemModel& model, const ReplicationMatrix& x_old,
+                const ReplicationMatrix& x_new);
+
+  std::size_t num_servers() const { return num_servers_; }
+  const std::vector<Arc>& arcs() const { return arcs_; }
+
+  /// Outgoing arcs of a server.
+  std::vector<Arc> arcs_from(ServerId i) const;
+
+  /// Strongly connected components (Tarjan). Each inner vector lists the
+  /// member servers; components are returned in reverse topological order.
+  std::vector<std::vector<ServerId>> strongly_connected_components() const;
+
+  /// True if some SCC has more than one server, i.e. the transfer graph has
+  /// a directed cycle through distinct servers (the Fig. 1 pattern).
+  bool has_cycle() const;
+
+  /// Conservative deadlock-risk indicator: there is a multi-server SCC all
+  /// of whose members lack free space in X_old for the object they must
+  /// receive along the cycle. A true result means a schedule without dummy
+  /// transfers requires breaking the cycle through outside storage; a false
+  /// result does not guarantee feasibility (the decision problem is
+  /// NP-complete, Sec. 3.4).
+  bool deadlock_risk(const ReplicationMatrix& x_old) const;
+
+ private:
+  std::size_t num_servers_;
+  const SystemModel* model_;
+  std::vector<Arc> arcs_;
+  std::vector<std::vector<std::size_t>> out_;  // arc indices by source server
+};
+
+}  // namespace rtsp

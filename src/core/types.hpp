@@ -1,0 +1,27 @@
+// Fundamental identifier and quantity types of the RTSP model.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "topology/graph.hpp"  // LinkCost
+
+namespace rtsp {
+
+/// Index of a server, 0-based (the paper's S_{i+1}).
+using ServerId = std::uint32_t;
+/// Index of a data object, 0-based (the paper's O_{k+1}).
+using ObjectId = std::uint32_t;
+
+/// Storage quantity in abstract data units (the paper's "e.g. bytes").
+using Size = std::int64_t;
+/// Implementation cost in exact integer units: Size x LinkCost.
+using Cost = std::int64_t;
+
+/// Sentinel ServerId for the artificial dummy server S_d, which replicates
+/// every object, has unbounded capacity and uniform worst-case link cost.
+inline constexpr ServerId kDummyServer = std::numeric_limits<ServerId>::max();
+
+inline constexpr bool is_dummy(ServerId s) { return s == kDummyServer; }
+
+}  // namespace rtsp

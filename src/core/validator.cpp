@@ -1,0 +1,54 @@
+#include "core/validator.hpp"
+
+#include <sstream>
+
+namespace rtsp {
+
+std::string ValidationResult::to_string() const {
+  if (valid) return "valid";
+  std::ostringstream os;
+  os << "invalid (" << issues.size() << " issue" << (issues.size() == 1 ? "" : "s") << ")";
+  for (const auto& issue : issues) {
+    os << "\n  [" << issue.index << "] " << issue.message;
+  }
+  return os.str();
+}
+
+ValidationResult Validator::validate(const SystemModel& model,
+                                     const ReplicationMatrix& x_old,
+                                     const ReplicationMatrix& x_new,
+                                     const Schedule& schedule, bool stop_at_first) {
+  ValidationResult result;
+  ExecutionState state(model, x_old);
+  for (std::size_t u = 0; u < schedule.size(); ++u) {
+    const Action& a = schedule[u];
+    const ActionError e = state.try_apply(a);
+    if (e != ActionError::None) {
+      std::ostringstream os;
+      os << a.to_string() << ": " << to_string(e);
+      result.issues.push_back({u, e, os.str()});
+      if (stop_at_first) return result;
+    }
+  }
+  if (!(state.placement() == x_new)) {
+    // Point at the first differing replica to make diagnosis cheap.
+    for (ServerId i = 0; i < model.num_servers(); ++i) {
+      for (ObjectId k = 0; k < model.num_objects(); ++k) {
+        const bool got = state.placement().test(i, k);
+        const bool want = x_new.test(i, k);
+        if (got != want) {
+          std::ostringstream os;
+          os << "final state mismatch at (S" << i << ", O" << k << "): have "
+             << (got ? "replica" : "no replica") << ", X_new wants "
+             << (want ? "replica" : "no replica");
+          result.issues.push_back({schedule.size(), ActionError::None, os.str()});
+          if (stop_at_first) return result;
+        }
+      }
+    }
+  }
+  result.valid = result.issues.empty();
+  return result;
+}
+
+}  // namespace rtsp

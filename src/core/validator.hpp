@@ -1,0 +1,48 @@
+// Full schedule validation against a pair (X_old, X_new), with diagnostics.
+//
+// A schedule is valid w.r.t. (X_old, X_new) iff every action is valid in the
+// state produced by its predecessors and the final state equals X_new
+// (Sec. 3.2). All improvement heuristics gate their rewrites on this check.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "core/state.hpp"
+
+namespace rtsp {
+
+struct ValidationIssue {
+  std::size_t index;    ///< offending action position, or schedule size for end-state issues
+  ActionError error;    ///< ActionError::None for end-state mismatches
+  std::string message;
+};
+
+struct ValidationResult {
+  bool valid = false;
+  std::vector<ValidationIssue> issues;
+
+  explicit operator bool() const { return valid; }
+  std::string to_string() const;
+};
+
+class Validator {
+ public:
+  /// stop_at_first: report only the first issue (the default — cheaper and
+  /// what heuristics need); otherwise actions that fail are skipped and the
+  /// simulation continues, accumulating every issue.
+  static ValidationResult validate(const SystemModel& model,
+                                   const ReplicationMatrix& x_old,
+                                   const ReplicationMatrix& x_new,
+                                   const Schedule& schedule,
+                                   bool stop_at_first = true);
+
+  /// Convenience: just the boolean.
+  static bool is_valid(const SystemModel& model, const ReplicationMatrix& x_old,
+                       const ReplicationMatrix& x_new, const Schedule& schedule) {
+    return validate(model, x_old, x_new, schedule).valid;
+  }
+};
+
+}  // namespace rtsp

@@ -1,0 +1,131 @@
+#include "exact/branch_and_bound.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/delta.hpp"
+#include "core/feasibility.hpp"
+#include "core/state.hpp"
+#include "exact/search_common.hpp"
+#include "support/rng.hpp"  // mix64 for word hashing
+
+namespace rtsp {
+
+namespace {
+
+struct WordsHash {
+  std::size_t operator()(const std::vector<std::uint64_t>& words) const {
+    std::uint64_t h = 0x243f6a8885a308d3ULL;
+    for (std::uint64_t w : words) h = mix64(h, w);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+class Search {
+ public:
+  Search(const Instance& inst, const BnbOptions& opts)
+      : inst_(inst), opts_(opts), state_(inst.model, inst.x_old) {}
+
+  BnbResult run() {
+    RTSP_REQUIRE(storage_feasible(inst_.model, inst_.x_new));
+    // Incumbent: the always-valid worst-case schedule, or the caller's bound.
+    best_schedule_ = worst_case_schedule(inst_.model, inst_.x_old, inst_.x_new);
+    best_cost_ = schedule_cost(inst_.model, best_schedule_);
+    if (opts_.initial_upper_bound && *opts_.initial_upper_bound < best_cost_) {
+      // A tighter external bound prunes more, but we keep the worst-case
+      // schedule as the incumbent certificate until something better shows.
+      best_cost_ = std::min(best_cost_, *opts_.initial_upper_bound + 1);
+    }
+    dfs(0);
+    BnbResult result;
+    result.schedule = std::move(best_schedule_);
+    result.cost = schedule_cost(inst_.model, result.schedule);
+    result.proved_optimal = !budget_exhausted_;
+    result.nodes_expanded = nodes_;
+    return result;
+  }
+
+ private:
+  void dfs(Cost cost_so_far) {
+    if (budget_exhausted_) return;
+    if (++nodes_ > opts_.max_nodes) {
+      budget_exhausted_ = true;
+      return;
+    }
+    if (state_.placement() == inst_.x_new) {
+      if (cost_so_far < best_cost_ ||
+          (cost_so_far == best_cost_ && path_.size() < best_schedule_.size())) {
+        best_cost_ = cost_so_far;
+        best_schedule_ = path_;
+      }
+      return;
+    }
+    if (cost_so_far + lower_bound() >= best_cost_) return;
+
+    const auto& key = state_.placement().words();
+    auto [it, inserted] = visited_.try_emplace(key, cost_so_far);
+    if (!inserted) {
+      if (it->second <= cost_so_far) return;
+      it->second = cost_so_far;
+    }
+
+    for (const Action& a : candidate_actions()) {
+      state_.apply(a);
+      path_.push_back(a);
+      dfs(cost_so_far + action_cost(inst_.model, a));
+      // Undo via the exact inverse (always applicable leniently).
+      if (a.is_transfer()) {
+        state_.apply_lenient(Action::remove(a.server, a.object));
+      } else {
+        state_.apply_lenient(Action::transfer(a.server, a.object, kDummyServer));
+      }
+      path_.erase(path_.size() - 1);
+      if (budget_exhausted_) return;
+    }
+  }
+
+  /// Admissible bound: each missing X_new replica costs at least its size
+  /// times the cheapest link to any server that could ever provide it.
+  Cost lower_bound() const {
+    const SystemModel& m = inst_.model;
+    Cost lb = 0;
+    for (ServerId i = 0; i < m.num_servers(); ++i) {
+      for (ObjectId k : inst_.x_new.objects_on(i)) {
+        if (state_.holds(i, k)) continue;
+        LinkCost best = m.dummy_link_cost();
+        for (ServerId j = 0; j < m.num_servers(); ++j) {
+          if (j == i) continue;
+          if (state_.holds(j, k) || inst_.x_new.test(j, k)) {
+            best = std::min(best, m.costs().at(i, j));
+          }
+        }
+        lb += m.object_size(k) * best;
+      }
+    }
+    return lb;
+  }
+
+  std::vector<Action> candidate_actions() const {
+    return detail::exact_candidate_actions(inst_.model, inst_.x_new, state_,
+                                           opts_.allow_staging);
+  }
+
+  const Instance& inst_;
+  const BnbOptions& opts_;
+  ExecutionState state_;
+  Schedule path_;
+  Schedule best_schedule_;
+  Cost best_cost_ = 0;
+  std::uint64_t nodes_ = 0;
+  bool budget_exhausted_ = false;
+  std::unordered_map<std::vector<std::uint64_t>, Cost, WordsHash> visited_;
+};
+
+}  // namespace
+
+BnbResult solve_exact(const Instance& instance, const BnbOptions& options) {
+  Search search(instance, options);
+  return search.run();
+}
+
+}  // namespace rtsp

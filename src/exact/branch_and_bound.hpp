@@ -1,0 +1,49 @@
+// Exact (branch-and-bound) RTSP scheduler for small instances.
+//
+// Searches sequences of valid actions from X_old to X_new with cost-based
+// pruning, an admissible per-state lower bound, and memoization of the best
+// cost at which each replication state was reached. Used to measure the
+// optimality gap of the heuristics and to validate the Sec.-3.4 reduction.
+//
+// Search-space restrictions (documented, standard for this problem):
+//   * transfers only involve objects that still have an outstanding replica
+//     (staging copies onto third-party servers are allowed);
+//   * a replica that X_new requires is never deleted once present;
+//   * every transfer uses the cheapest currently available source (never
+//     worse, since cost depends only on the source link);
+//   * dummy sources are used only when no real replicator exists.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/cost_model.hpp"
+#include "core/schedule.hpp"
+#include "workload/scenario.hpp"
+
+namespace rtsp {
+
+struct BnbOptions {
+  /// Abort after expanding this many nodes; `proved_optimal` then reports
+  /// false and the best incumbent found so far is returned.
+  std::uint64_t max_nodes = 5'000'000;
+  /// Allow transfers to servers that are neither destinations nor X_old
+  /// holders (temporary staging replicas). Enlarges the space considerably.
+  bool allow_staging = true;
+  /// Optional initial incumbent (e.g. a heuristic schedule's cost) to
+  /// tighten pruning from the start.
+  std::optional<Cost> initial_upper_bound;
+};
+
+struct BnbResult {
+  Schedule schedule;      ///< best schedule found (valid w.r.t. the instance)
+  Cost cost = 0;          ///< its implementation cost
+  bool proved_optimal = false;
+  std::uint64_t nodes_expanded = 0;
+};
+
+/// Runs the search. RTSP_REQUIREs that X_new is storage feasible (the
+/// extended problem then always has a solution).
+BnbResult solve_exact(const Instance& instance, const BnbOptions& options = {});
+
+}  // namespace rtsp

@@ -1,0 +1,57 @@
+#include "exact/knapsack.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace rtsp {
+
+KnapsackSolution solve_knapsack(const KnapsackInstance& instance) {
+  const std::size_t n = instance.count();
+  RTSP_REQUIRE(instance.sizes.size() == n);
+  RTSP_REQUIRE(instance.capacity >= 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    RTSP_REQUIRE(instance.benefits[i] > 0 && instance.sizes[i] > 0);
+  }
+  const std::size_t cap = static_cast<std::size_t>(instance.capacity);
+
+  // dp[c] = best benefit using capacity <= c; take[i][c] records choices.
+  std::vector<std::int64_t> dp(cap + 1, 0);
+  std::vector<std::vector<bool>> take(n, std::vector<bool>(cap + 1, false));
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t sz = static_cast<std::size_t>(instance.sizes[i]);
+    const std::int64_t b = instance.benefits[i];
+    for (std::size_t c = cap + 1; c-- > sz;) {
+      // Strict improvement only: ties prefer NOT taking, which leaves more
+      // benefit-optimal subsets of smaller size.
+      if (dp[c - sz] + b > dp[c]) {
+        dp[c] = dp[c - sz] + b;
+        take[i][c] = true;
+      }
+    }
+  }
+
+  KnapsackSolution sol;
+  sol.best_benefit = dp[cap];
+  sol.chosen.assign(n, false);
+  std::size_t c = cap;
+  for (std::size_t i = n; i-- > 0;) {
+    if (take[i][c]) {
+      sol.chosen[i] = true;
+      c -= static_cast<std::size_t>(instance.sizes[i]);
+    }
+  }
+  sol.best_benefit_by_capacity = std::move(dp);
+  return sol;
+}
+
+std::int64_t KnapsackSolution::min_optimal_size() const {
+  for (std::size_t c = 0; c < best_benefit_by_capacity.size(); ++c) {
+    if (best_benefit_by_capacity[c] == best_benefit) {
+      return static_cast<std::int64_t>(c);
+    }
+  }
+  return 0;
+}
+
+}  // namespace rtsp

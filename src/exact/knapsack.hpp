@@ -1,0 +1,33 @@
+// (0,1) Knapsack: the problem RTSP-decision is reduced from (Sec. 3.4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace rtsp {
+
+struct KnapsackInstance {
+  std::vector<std::int64_t> benefits;  ///< b_i > 0
+  std::vector<std::int64_t> sizes;     ///< s_i > 0
+  std::int64_t capacity = 0;           ///< S >= 0
+
+  std::size_t count() const { return benefits.size(); }
+};
+
+struct KnapsackSolution {
+  std::int64_t best_benefit = 0;
+  std::vector<bool> chosen;  ///< a maximizing subset W
+  /// best_benefit_by_capacity[c] = optimal benefit with total size <= c.
+  /// The smallest c achieving best_benefit is the minimum total size over
+  /// all benefit-optimal subsets (used by the RTSP reduction's closed form).
+  std::vector<std::int64_t> best_benefit_by_capacity;
+
+  std::int64_t min_optimal_size() const;
+};
+
+/// Exact DP over capacity, O(n * S) time, with solution reconstruction.
+KnapsackSolution solve_knapsack(const KnapsackInstance& instance);
+
+}  // namespace rtsp

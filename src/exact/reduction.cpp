@@ -1,0 +1,110 @@
+#include "exact/reduction.hpp"
+
+#include <numeric>
+
+#include "support/assert.hpp"
+#include "topology/shortest_paths.hpp"
+
+namespace rtsp {
+
+ReducedInstance reduce_knapsack_to_rtsp(const KnapsackInstance& knapsack) {
+  const std::size_t n = knapsack.count();
+  RTSP_REQUIRE(n >= 1);
+  RTSP_REQUIRE(knapsack.sizes.size() == n);
+
+  Cost size_product = 1;
+  Size size_sum = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    RTSP_REQUIRE(knapsack.sizes[i] > 0 && knapsack.benefits[i] > 0);
+    RTSP_REQUIRE_MSG(size_product <= (1LL << 40) / knapsack.sizes[i],
+                     "knapsack sizes too large for the reduction gadget");
+    size_product *= knapsack.sizes[i];
+    size_sum += knapsack.sizes[i];
+  }
+
+  // Objects O_0..O_{n-1} are the knapsack objects; O_n is the big object.
+  std::vector<Size> sizes(knapsack.sizes.begin(), knapsack.sizes.end());
+  sizes.push_back(size_sum);
+  ObjectCatalog objects{std::move(sizes)};
+  const ObjectId big = static_cast<ObjectId>(n);
+
+  // Servers 0..n-1 hold one knapsack object each; server n is the paper's
+  // S_{n+1} (capacity S + sum s), server n+1 is S_{n+2} (capacity sum s,
+  // holding every knapsack object), server n+2 is S_{n+3} (holds O_big).
+  const ServerId sn1 = static_cast<ServerId>(n);
+  const ServerId sn2 = static_cast<ServerId>(n + 1);
+  const ServerId sn3 = static_cast<ServerId>(n + 2);
+  std::vector<Size> caps(n + 3);
+  for (std::size_t i = 0; i < n; ++i) caps[i] = knapsack.sizes[i];
+  caps[sn1] = knapsack.capacity + size_sum;
+  caps[sn2] = size_sum;
+  caps[sn3] = size_sum;
+
+  // Links per Fig. 2: S_i -- S_{n+1} at b'_i, S_{n+1} -- S_{n+2} at 1,
+  // S_{n+3} -- S_{n+2} at sum(b'_i + 1). All other costs follow shortest
+  // paths through this tree.
+  std::vector<Cost> scaled(n);
+  Graph g(n + 3);
+  Cost b_prime_sum = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = knapsack.benefits[i] * (size_product / knapsack.sizes[i]);
+    g.add_edge(i, sn1, scaled[i]);
+    b_prime_sum += scaled[i] + 1;
+  }
+  g.add_edge(sn1, sn2, 1);
+  g.add_edge(sn3, sn2, b_prime_sum);
+  CostMatrix costs = CostMatrix::from_graph_shortest_paths(g);
+
+  ReplicationMatrix x_old(n + 3, n + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    x_old.set(static_cast<ServerId>(i), static_cast<ObjectId>(i));
+    x_old.set(sn2, static_cast<ObjectId>(i));
+  }
+  x_old.set(sn1, big);
+  x_old.set(sn3, big);
+
+  // X_new: S_{n+1} and S_{n+2} interchange their contents.
+  ReplicationMatrix x_new = x_old;
+  x_new.clear(sn1, big);
+  x_new.set(sn2, big);
+  for (std::size_t i = 0; i < n; ++i) {
+    x_new.clear(sn2, static_cast<ObjectId>(i));
+    x_new.set(sn1, static_cast<ObjectId>(i));
+  }
+
+  SystemModel model(ServerCatalog(std::move(caps)), std::move(objects),
+                    std::move(costs), 1.0);
+  return ReducedInstance{Instance{std::move(model), std::move(x_old), std::move(x_new)},
+                         std::move(scaled), size_product};
+}
+
+Cost reduction_threshold(const KnapsackInstance& knapsack, std::int64_t k) {
+  Cost size_sum = 0;
+  Cost benefit_sum = 0;
+  Cost size_product = 1;
+  for (std::size_t i = 0; i < knapsack.count(); ++i) {
+    size_sum += knapsack.sizes[i];
+    benefit_sum += knapsack.benefits[i];
+    size_product *= knapsack.sizes[i];
+  }
+  return size_sum + (benefit_sum - k) * size_product + knapsack.capacity;
+}
+
+Cost reduced_optimal_cost(const KnapsackInstance& knapsack) {
+  const KnapsackSolution sol = solve_knapsack(knapsack);
+  Cost size_sum = 0;
+  Cost benefit_sum = 0;
+  Cost size_product = 1;
+  for (std::size_t i = 0; i < knapsack.count(); ++i) {
+    size_sum += knapsack.sizes[i];
+    benefit_sum += knapsack.benefits[i];
+    size_product *= knapsack.sizes[i];
+  }
+  // Schedule: ship W* into S_{n+1}'s slack (cost sum_{W*} s_i), move the big
+  // object across the unit link (cost sum s), then fetch the rest from the
+  // spoke servers (cost sum_{not W*} b'_i s_i = Prod(s) * b_i each).
+  return sol.min_optimal_size() + size_sum +
+         size_product * (benefit_sum - sol.best_benefit);
+}
+
+}  // namespace rtsp

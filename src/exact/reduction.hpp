@@ -1,0 +1,34 @@
+// The Sec. 3.4 polynomial reduction from (0,1) Knapsack-decision to
+// RTSP-decision, used to validate the NP-completeness construction and to
+// cross-check the exact solver: the optimal RTSP cost of the reduced
+// instance is Sum(s_i) + Sum_{i in W*} s_i + Prod(s) * Sum_{i notin W*} b_i
+// for a benefit-optimal, size-minimal knapsack subset W*.
+#pragma once
+
+#include "exact/knapsack.hpp"
+#include "workload/scenario.hpp"
+
+namespace rtsp {
+
+struct ReducedInstance {
+  Instance instance;  ///< the RTSP problem built from the knapsack input
+  /// Per-object link costs b'_i = b_i * Prod(s) / s_i (position i of the
+  /// paper's link (ii)); exposed for assertions.
+  std::vector<Cost> scaled_benefits;
+  Cost size_product = 1;  ///< Prod over all knapsack sizes
+};
+
+/// Builds the reduced RTSP instance. Sizes must be small enough that
+/// Prod(s) * max(b) fits in Cost (the construction is for analysis and
+/// testing, not scale).
+ReducedInstance reduce_knapsack_to_rtsp(const KnapsackInstance& knapsack);
+
+/// The decision threshold of the reduction: a valid schedule of cost
+/// <= threshold exists iff the knapsack instance admits benefit >= K.
+Cost reduction_threshold(const KnapsackInstance& knapsack, std::int64_t k);
+
+/// Closed-form optimal RTSP cost of the reduced instance, computed from the
+/// DP knapsack optimum (benefit-optimal, then size-minimal subset).
+Cost reduced_optimal_cost(const KnapsackInstance& knapsack);
+
+}  // namespace rtsp

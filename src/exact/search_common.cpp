@@ -1,0 +1,50 @@
+#include "exact/search_common.hpp"
+
+namespace rtsp::detail {
+
+std::vector<Action> exact_candidate_actions(const SystemModel& m,
+                                            const ReplicationMatrix& x_new,
+                                            const ExecutionState& state,
+                                            bool allow_staging) {
+  std::vector<Action> out;
+
+  // Which objects still need replicas somewhere?
+  std::vector<bool> object_pending(m.num_objects(), false);
+  for (ServerId i = 0; i < m.num_servers(); ++i) {
+    for (ObjectId k : x_new.objects_on(i)) {
+      if (!state.holds(i, k)) object_pending[k] = true;
+    }
+  }
+
+  // Destination transfers (cheapest source), then deletions, then staging.
+  for (ServerId i = 0; i < m.num_servers(); ++i) {
+    for (ObjectId k : x_new.objects_on(i)) {
+      if (state.holds(i, k)) continue;
+      if (state.free_space(i) < m.object_size(k)) continue;
+      out.push_back(
+          Action::transfer(i, k, m.nearest_source_or_dummy(i, k, state.placement())));
+    }
+  }
+  for (ServerId i = 0; i < m.num_servers(); ++i) {
+    for (ObjectId k = 0; k < m.num_objects(); ++k) {
+      // Never delete a replica X_new requires (documented restriction).
+      if (state.holds(i, k) && !x_new.test(i, k)) {
+        out.push_back(Action::remove(i, k));
+      }
+    }
+  }
+  if (allow_staging) {
+    for (ObjectId k = 0; k < m.num_objects(); ++k) {
+      if (!object_pending[k]) continue;
+      for (ServerId i = 0; i < m.num_servers(); ++i) {
+        if (state.holds(i, k) || x_new.test(i, k)) continue;
+        if (state.free_space(i) < m.object_size(k)) continue;
+        out.push_back(Action::transfer(
+            i, k, m.nearest_source_or_dummy(i, k, state.placement())));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace rtsp::detail

@@ -1,0 +1,21 @@
+// Action enumeration shared by the exact solvers (branch-and-bound and
+// uniform-cost search). The restrictions are documented in
+// branch_and_bound.hpp.
+#pragma once
+
+#include <vector>
+
+#include "core/state.hpp"
+
+namespace rtsp::detail {
+
+/// Valid actions worth branching on from `state` towards `x_new`:
+/// destination transfers from the cheapest source, deletions of replicas
+/// X_new does not require, and (optionally) staging transfers of objects
+/// that still have an outstanding replica somewhere.
+std::vector<Action> exact_candidate_actions(const SystemModel& model,
+                                            const ReplicationMatrix& x_new,
+                                            const ExecutionState& state,
+                                            bool allow_staging);
+
+}  // namespace rtsp::detail

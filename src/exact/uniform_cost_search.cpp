@@ -1,0 +1,118 @@
+#include "exact/uniform_cost_search.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+#include "core/feasibility.hpp"
+#include "core/state.hpp"
+#include "exact/search_common.hpp"
+#include "support/rng.hpp"  // mix64
+
+namespace rtsp {
+
+namespace {
+
+using Key = std::vector<std::uint64_t>;
+
+struct KeyHash {
+  std::size_t operator()(const Key& words) const {
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (std::uint64_t w : words) h = mix64(h, w);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+struct NodeInfo {
+  Cost best_cost = 0;
+  bool settled = false;
+  Key predecessor;   ///< empty for the start state
+  Action via{};      ///< action taken from the predecessor
+};
+
+struct QueueEntry {
+  Cost cost;
+  Key key;
+  bool operator>(const QueueEntry& o) const { return cost > o.cost; }
+};
+
+}  // namespace
+
+UcsResult solve_exact_ucs(const Instance& instance, const UcsOptions& options) {
+  RTSP_REQUIRE(storage_feasible(instance.model, instance.x_new));
+  const SystemModel& model = instance.model;
+
+  std::unordered_map<Key, NodeInfo, KeyHash> nodes;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> frontier;
+
+  const Key start = instance.x_old.words();
+  const Key goal = instance.x_new.words();
+  nodes[start] = NodeInfo{};
+  frontier.push({0, start});
+
+  UcsResult result;
+  while (!frontier.empty()) {
+    const QueueEntry top = frontier.top();
+    frontier.pop();
+    NodeInfo& info = nodes[top.key];
+    if (info.settled || top.cost != info.best_cost) continue;  // stale
+    info.settled = true;
+    ++result.states_expanded;
+    if (result.states_expanded > options.max_states) break;
+
+    if (top.key == goal) {
+      // Reconstruct the action path backwards.
+      std::vector<Action> actions;
+      Key cursor = top.key;
+      while (true) {
+        const NodeInfo& n = nodes[cursor];
+        if (n.predecessor.empty() && cursor == start) break;
+        actions.push_back(n.via);
+        cursor = n.predecessor;
+      }
+      std::reverse(actions.begin(), actions.end());
+      result.schedule = Schedule(std::move(actions));
+      result.cost = top.cost;
+      result.proved_optimal = true;
+      return result;
+    }
+
+    // Rebuild the replication state from the key's row-major bit words
+    // (tiny instances only, so the O(M*N) rebuild is fine).
+    ReplicationMatrix x(instance.x_old.num_servers(), instance.x_old.num_objects());
+    const std::size_t words_per_row = top.key.size() / x.num_servers();
+    for (ServerId i = 0; i < x.num_servers(); ++i) {
+      for (ObjectId k = 0; k < x.num_objects(); ++k) {
+        const std::uint64_t word =
+            top.key[static_cast<std::size_t>(i) * words_per_row + (k >> 6)];
+        if ((word >> (k & 63)) & 1u) x.set(i, k);
+      }
+    }
+    const ExecutionState state(model, x);
+
+    for (const Action& a :
+         detail::exact_candidate_actions(model, instance.x_new, state,
+                                         options.allow_staging)) {
+      const Cost next_cost = top.cost + action_cost(model, a);
+      ExecutionState next = state;
+      next.apply(a);
+      const Key next_key = next.placement().words();
+      auto [it, inserted] = nodes.try_emplace(next_key);
+      NodeInfo& n = it->second;
+      if (!inserted && (n.settled || next_cost >= n.best_cost)) continue;
+      n.best_cost = next_cost;
+      n.predecessor = top.key;
+      n.via = a;
+      frontier.push({next_cost, next_key});
+    }
+  }
+
+  // Budget exhausted (or frontier dry, which cannot happen for feasible
+  // instances): fall back to the worst-case certificate.
+  result.schedule = worst_case_schedule(model, instance.x_old, instance.x_new);
+  result.cost = schedule_cost(model, result.schedule);
+  result.proved_optimal = false;
+  return result;
+}
+
+}  // namespace rtsp

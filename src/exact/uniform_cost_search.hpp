@@ -1,0 +1,33 @@
+// Uniform-cost (Dijkstra) search over replication states — a second,
+// independent exact method used to cross-check the branch-and-bound solver
+// on tiny instances.
+//
+// States are replication matrices; edges are valid actions under the same
+// restrictions as branch_and_bound.hpp (cheapest-source transfers, optional
+// staging, never delete an X_new replica once present). Deletions cost 0,
+// so this is Dijkstra with zero-weight edges — correct because every cycle
+// contains a positive-cost transfer. Memory grows with the explored state
+// count; use only where branch-and-bound is also feasible.
+#pragma once
+
+#include "exact/branch_and_bound.hpp"
+
+namespace rtsp {
+
+struct UcsOptions {
+  std::uint64_t max_states = 2'000'000;  ///< abort bound on explored states
+  bool allow_staging = true;
+};
+
+struct UcsResult {
+  Schedule schedule;
+  Cost cost = 0;
+  bool proved_optimal = false;
+  std::uint64_t states_expanded = 0;
+};
+
+/// Dijkstra from X_old to X_new over the action graph. RTSP_REQUIREs that
+/// X_new is storage feasible.
+UcsResult solve_exact_ucs(const Instance& instance, const UcsOptions& options = {});
+
+}  // namespace rtsp

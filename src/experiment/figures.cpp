@@ -1,0 +1,90 @@
+#include "experiment/figures.hpp"
+
+#include "support/assert.hpp"
+
+namespace rtsp {
+
+namespace {
+
+template <typename MakeInstance>
+std::vector<SweepPoint> replicas_sweep(const PaperSetup& setup,
+                                       MakeInstance make_instance) {
+  std::vector<SweepPoint> points;
+  for (std::size_t r = 1; r <= 5; ++r) {
+    points.push_back({std::to_string(r), [setup, r, make_instance](Rng& rng) {
+                        return make_instance(setup, r, rng);
+                      }});
+  }
+  return points;
+}
+
+std::vector<SweepPoint> extra_capacity_sweep(const PaperSetup& setup,
+                                             std::size_t replicas) {
+  std::vector<SweepPoint> points;
+  const std::size_t step = std::max<std::size_t>(1, setup.servers / 10);
+  for (std::size_t extra = 0; extra <= setup.servers; extra += step) {
+    points.push_back(
+        {std::to_string(extra), [setup, replicas, extra](Rng& rng) {
+           return make_extra_capacity_instance(setup, replicas, extra, rng);
+         }});
+  }
+  return points;
+}
+
+std::vector<SweepPoint> equal_size_points(const PaperSetup& setup) {
+  return replicas_sweep(setup, [](const PaperSetup& s, std::size_t r, Rng& rng) {
+    return make_equal_size_instance(s, r, rng);
+  });
+}
+
+std::vector<SweepPoint> uniform_size_points(const PaperSetup& setup) {
+  return replicas_sweep(setup, [](const PaperSetup& s, std::size_t r, Rng& rng) {
+    return make_uniform_size_instance(s, r, rng);
+  });
+}
+
+}  // namespace
+
+FigureSpec paper_figure(int number, const PaperSetup& setup) {
+  switch (number) {
+    case 4:
+      return {"Fig 4", "dummy transfers vs replicas/object (equal sizes)",
+              "replicas/object", equal_size_points(setup),
+              {"AR", "GOLCF", "AR+H1+H2", "GOLCF+H1+H2"}, Metric::DummyTransfers};
+    case 5:
+      return {"Fig 5", "implementation cost vs replicas/object (equal sizes)",
+              "replicas/object", equal_size_points(setup),
+              {"AR", "GOLCF", "GOLCF+OP1", "GOLCF+H1+H2+OP1"},
+              Metric::ImplementationCost};
+    case 6:
+      return {"Fig 6",
+              "dummy transfers vs replicas/object (uniform sizes 1000-5000)",
+              "replicas/object", uniform_size_points(setup),
+              {"GOLCF", "GOLCF+H1+H2"}, Metric::DummyTransfers};
+    case 7:
+      return {"Fig 7",
+              "implementation cost vs replicas/object (uniform sizes 1000-5000)",
+              "replicas/object", uniform_size_points(setup),
+              {"GOLCF", "GOLCF+OP1", "GOLCF+H1+H2+OP1"},
+              Metric::ImplementationCost};
+    case 8:
+      return {"Fig 8", "dummy transfers vs servers with extra capacity (r=2)",
+              "servers with extra capacity", extra_capacity_sweep(setup, 2),
+              {"GOLCF", "GOLCF+H1+H2"}, Metric::DummyTransfers};
+    case 9:
+      return {"Fig 9", "implementation cost vs servers with extra capacity (r=2)",
+              "servers with extra capacity", extra_capacity_sweep(setup, 2),
+              {"GOLCF+OP1", "GOLCF+H1+H2+OP1"}, Metric::ImplementationCost};
+    default:
+      RTSP_REQUIRE_MSG(false, "no such paper figure: " << number);
+  }
+  return {};
+}
+
+std::vector<FigureSpec> all_paper_figures(const PaperSetup& setup) {
+  std::vector<FigureSpec> figs;
+  for (int n = 4; n <= 9; ++n) figs.push_back(paper_figure(n, setup));
+  return figs;
+}
+
+}  // namespace rtsp

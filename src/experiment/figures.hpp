@@ -1,0 +1,34 @@
+// Canonical definitions of the paper's evaluation figures (Sec. 5): the
+// sweep, the algorithm set and the headline metric of each. The bench
+// binaries render these; the reproduction test suite runs scaled-down
+// versions and asserts the paper's qualitative findings.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "experiment/runner.hpp"
+#include "workload/paper_setup.hpp"
+
+namespace rtsp {
+
+struct FigureSpec {
+  std::string id;       ///< "Fig 4" ... "Fig 9"
+  std::string title;
+  std::string x_label;
+  std::vector<SweepPoint> points;
+  std::vector<std::string> algorithms;
+  Metric headline = Metric::DummyTransfers;
+};
+
+/// Returns the figure definition for `number` in 4..9, built on `setup`
+/// (which may be scaled down for tests). Sweeps:
+///   Figs 4-7: replicas per object 1..5 (equal / uniform object sizes);
+///   Figs 8-9: servers with one extra object slot, 0..servers in ten steps,
+///             at 2 replicas per object.
+FigureSpec paper_figure(int number, const PaperSetup& setup);
+
+/// All six figures.
+std::vector<FigureSpec> all_paper_figures(const PaperSetup& setup);
+
+}  // namespace rtsp

@@ -1,0 +1,32 @@
+#include "experiment/metrics.hpp"
+
+namespace rtsp {
+
+void CellMetrics::add(const TrialMetrics& t) {
+  dummy_transfers.add(static_cast<double>(t.dummy_transfers));
+  implementation_cost.add(static_cast<double>(t.implementation_cost));
+  schedule_length.add(static_cast<double>(t.schedule_length));
+  seconds.add(t.seconds);
+}
+
+const char* metric_name(Metric m) {
+  switch (m) {
+    case Metric::DummyTransfers: return "dummy transfers";
+    case Metric::ImplementationCost: return "implementation cost";
+    case Metric::ScheduleLength: return "schedule length";
+    case Metric::Seconds: return "algorithm seconds";
+  }
+  return "?";
+}
+
+const SampleSet& metric_samples(const CellMetrics& cell, Metric m) {
+  switch (m) {
+    case Metric::DummyTransfers: return cell.dummy_transfers;
+    case Metric::ImplementationCost: return cell.implementation_cost;
+    case Metric::ScheduleLength: return cell.schedule_length;
+    case Metric::Seconds: return cell.seconds;
+  }
+  return cell.dummy_transfers;
+}
+
+}  // namespace rtsp

@@ -1,0 +1,37 @@
+// Per-trial measurements and their aggregates.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "core/types.hpp"
+#include "support/stats.hpp"
+
+namespace rtsp {
+
+/// What one algorithm produced on one instance.
+struct TrialMetrics {
+  std::size_t dummy_transfers = 0;  ///< Figs. 4, 6, 8 metric
+  Cost implementation_cost = 0;     ///< Figs. 5, 7, 9 metric
+  std::size_t schedule_length = 0;
+  std::size_t transfers = 0;
+  double seconds = 0.0;  ///< algorithm wall time
+};
+
+/// Aggregates over trials of one (sweep point, algorithm) cell.
+struct CellMetrics {
+  SampleSet dummy_transfers;
+  SampleSet implementation_cost;
+  SampleSet schedule_length;
+  SampleSet seconds;
+
+  void add(const TrialMetrics& t);
+};
+
+/// Which aggregate a report should tabulate.
+enum class Metric { DummyTransfers, ImplementationCost, ScheduleLength, Seconds };
+
+const char* metric_name(Metric m);
+const SampleSet& metric_samples(const CellMetrics& cell, Metric m);
+
+}  // namespace rtsp

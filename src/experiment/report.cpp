@@ -1,0 +1,79 @@
+#include "experiment/report.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "support/csv.hpp"
+#include "support/table.hpp"
+
+namespace rtsp {
+
+void print_series(std::ostream& out, const SweepResult& result, Metric metric,
+                  const std::string& x_label) {
+  TextTable table;
+  std::vector<std::string> header = {x_label};
+  for (const auto& algo : result.algorithms) header.push_back(algo);
+  table.header(std::move(header));
+  for (std::size_t p = 0; p < result.point_labels.size(); ++p) {
+    std::vector<std::string> row = {result.point_labels[p]};
+    for (std::size_t a = 0; a < result.algorithms.size(); ++a) {
+      const SampleSet& s = metric_samples(result.cells[p][a], metric);
+      row.push_back(format_mean_err(s.mean(), s.stderr_mean()));
+    }
+    table.add_row(std::move(row));
+  }
+  out << metric_name(metric) << " (mean ± stderr over "
+      << (result.cells.empty() || result.cells[0].empty()
+              ? 0
+              : result.cells[0][0].dummy_transfers.count())
+      << " trials)\n";
+  table.print(out);
+}
+
+namespace {
+
+void write_series_rows(CsvWriter& csv, const SweepResult& result, Metric metric,
+                       const std::string& x_label) {
+  (void)x_label;
+  for (std::size_t p = 0; p < result.point_labels.size(); ++p) {
+    for (std::size_t a = 0; a < result.algorithms.size(); ++a) {
+      const SampleSet& s = metric_samples(result.cells[p][a], metric);
+      csv.field(metric_name(metric))
+          .field(result.point_labels[p])
+          .field(result.algorithms[a])
+          .field(s.count())
+          .field(s.mean())
+          .field(s.stddev())
+          .field(s.stderr_mean())
+          .field(s.min())
+          .field(s.max());
+      csv.end_row();
+    }
+  }
+}
+
+}  // namespace
+
+void write_series_csv(std::ostream& out, const SweepResult& result, Metric metric,
+                      const std::string& x_label) {
+  CsvWriter csv(out);
+  csv.row({"metric", x_label, "algorithm", "n", "mean", "stddev", "stderr", "min",
+           "max"});
+  write_series_rows(csv, result, metric, x_label);
+}
+
+void maybe_dump_csv(const std::string& path, const SweepResult& result,
+                    const std::string& x_label) {
+  if (path.empty()) return;
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open CSV output file: " + path);
+  CsvWriter csv(out);
+  csv.row({"metric", x_label, "algorithm", "n", "mean", "stddev", "stderr", "min",
+           "max"});
+  for (Metric m : {Metric::DummyTransfers, Metric::ImplementationCost,
+                   Metric::ScheduleLength, Metric::Seconds}) {
+    write_series_rows(csv, result, m, x_label);
+  }
+}
+
+}  // namespace rtsp

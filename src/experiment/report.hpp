@@ -1,0 +1,26 @@
+// Paper-style figure reports: one row per sweep point, one column per
+// algorithm, mean ± standard error — plus long-format CSV dumps.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "experiment/runner.hpp"
+
+namespace rtsp {
+
+/// Prints a figure series table, e.g.
+///   replicas/object   AR        GOLCF     ...
+///   1                 812 ± 12  533 ± 9   ...
+void print_series(std::ostream& out, const SweepResult& result, Metric metric,
+                  const std::string& x_label);
+
+/// Writes long-format CSV: x,algorithm,n,mean,stddev,stderr,min,max.
+void write_series_csv(std::ostream& out, const SweepResult& result, Metric metric,
+                      const std::string& x_label);
+
+/// Writes every metric to `path` if non-empty (one header + blocks).
+void maybe_dump_csv(const std::string& path, const SweepResult& result,
+                    const std::string& x_label);
+
+}  // namespace rtsp

@@ -1,0 +1,78 @@
+#include "experiment/runner.hpp"
+
+#include <stdexcept>
+
+#include "core/cost_model.hpp"
+#include "core/validator.hpp"
+#include "heuristics/registry.hpp"
+#include "support/thread_pool.hpp"
+#include "support/timer.hpp"
+
+namespace rtsp {
+
+SweepResult run_sweep(const std::vector<SweepPoint>& points, const SweepConfig& config) {
+  RTSP_REQUIRE(!points.empty());
+  RTSP_REQUIRE(!config.algorithms.empty());
+  RTSP_REQUIRE(config.trials >= 1);
+
+  // Parse pipelines once (also validates the specs before any work runs).
+  std::vector<Pipeline> pipelines;
+  pipelines.reserve(config.algorithms.size());
+  for (const auto& spec : config.algorithms) pipelines.push_back(make_pipeline(spec));
+
+  const std::size_t num_points = points.size();
+  const std::size_t num_algos = pipelines.size();
+  const std::size_t num_tasks = num_points * config.trials;
+
+  // raw[task][algo]: each parallel task owns one slot, so no locking.
+  std::vector<std::vector<TrialMetrics>> raw(num_tasks,
+                                             std::vector<TrialMetrics>(num_algos));
+
+  parallel_for(config.threads, num_tasks, [&](std::size_t task) {
+    const std::size_t point_idx = task / config.trials;
+    const std::size_t trial = task % config.trials;
+    // Stream ids: instance stream and per-algorithm streams are all
+    // derived from (base_seed, point, trial, lane) and independent.
+    const std::uint64_t task_seed =
+        mix64(config.base_seed, mix64(point_idx, trial));
+    Rng instance_rng(mix64(task_seed, 0));
+    const Instance instance = points[point_idx].factory(instance_rng);
+
+    for (std::size_t a = 0; a < num_algos; ++a) {
+      Rng algo_rng(mix64(task_seed, 1 + a));
+      Timer timer;
+      const Schedule h =
+          pipelines[a].run(instance.model, instance.x_old, instance.x_new, algo_rng);
+      TrialMetrics& m = raw[task][a];
+      m.seconds = timer.seconds();
+      m.dummy_transfers = h.dummy_transfer_count();
+      m.implementation_cost = schedule_cost(instance.model, h);
+      m.schedule_length = h.size();
+      m.transfers = h.transfer_count();
+      if (config.validate) {
+        const auto v =
+            Validator::validate(instance.model, instance.x_old, instance.x_new, h);
+        if (!v.valid) {
+          throw std::logic_error("algorithm " + pipelines[a].name() +
+                                 " produced an invalid schedule at point '" +
+                                 points[point_idx].label + "' trial " +
+                                 std::to_string(trial) + ": " + v.to_string());
+        }
+      }
+    }
+  });
+
+  SweepResult result;
+  for (const auto& p : points) result.point_labels.push_back(p.label);
+  for (const auto& p : pipelines) result.algorithms.push_back(p.name());
+  result.cells.assign(num_points, std::vector<CellMetrics>(num_algos));
+  for (std::size_t task = 0; task < num_tasks; ++task) {
+    const std::size_t point_idx = task / config.trials;
+    for (std::size_t a = 0; a < num_algos; ++a) {
+      result.cells[point_idx][a].add(raw[task][a]);
+    }
+  }
+  return result;
+}
+
+}  // namespace rtsp

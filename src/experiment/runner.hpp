@@ -1,0 +1,47 @@
+// Sweep runner: evaluates a set of algorithm pipelines over a parameter
+// sweep, many seeds per point, all algorithms sharing each trial's instance
+// (paired comparison, as the paper's plots imply). Trials run in parallel;
+// results are deterministic in the base seed regardless of thread count.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "experiment/metrics.hpp"
+#include "support/rng.hpp"
+#include "workload/scenario.hpp"
+
+namespace rtsp {
+
+/// Builds the instance for one trial of one sweep point.
+using InstanceFactory = std::function<Instance(Rng&)>;
+
+struct SweepPoint {
+  std::string label;  ///< x-axis label, e.g. "2" for two replicas per object
+  InstanceFactory factory;
+};
+
+struct SweepConfig {
+  std::vector<std::string> algorithms;  ///< pipeline specs, e.g. "GOLCF+OP1"
+  std::size_t trials = 5;
+  std::uint64_t base_seed = 0x5eed5eedULL;
+  std::size_t threads = 0;  ///< 0 = hardware concurrency
+  /// Validate every produced schedule against the instance (cheap; any
+  /// violation throws — heuristic bugs never silently skew results).
+  bool validate = true;
+};
+
+struct SweepResult {
+  std::vector<std::string> point_labels;
+  std::vector<std::string> algorithms;
+  /// cells[point][algorithm]
+  std::vector<std::vector<CellMetrics>> cells;
+};
+
+/// Runs the sweep. Per (point, trial): one instance is generated with the
+/// trial's own RNG stream, then every algorithm runs on it with an
+/// algorithm-specific stream.
+SweepResult run_sweep(const std::vector<SweepPoint>& points, const SweepConfig& config);
+
+}  // namespace rtsp

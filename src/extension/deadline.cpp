@@ -1,0 +1,146 @@
+#include "extension/deadline.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "core/cost_model.hpp"
+#include "core/validator.hpp"
+#include "heuristics/surgery.hpp"
+
+namespace rtsp {
+
+namespace {
+
+/// Transfer finish times, sorted descending — the profile the repair loop
+/// minimises lexicographically. Minimising only the maximum plateaus as
+/// soon as several transfers tie near the end; the lexicographic order
+/// keeps draining the tail.
+std::vector<double> finish_profile(const SystemModel& model, const Schedule& h,
+                                   const MakespanReport& report, double bandwidth) {
+  std::vector<double> finishes;
+  finishes.reserve(h.size());
+  for (std::size_t u = 0; u < h.size(); ++u) {
+    if (!h[u].is_transfer()) continue;
+    finishes.push_back(report.start_times[u] +
+                       static_cast<double>(action_cost(model, h[u])) / bandwidth);
+  }
+  std::sort(finishes.begin(), finishes.end(), std::greater<>());
+  return finishes;
+}
+
+bool lex_less(const std::vector<double>& a, const std::vector<double>& b) {
+  return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
+}
+
+/// Indices of the `count` last-finishing transfers, worst first.
+std::vector<std::size_t> critical_transfers(const SystemModel& model,
+                                            const Schedule& h,
+                                            const MakespanReport& report,
+                                            double bandwidth, std::size_t count) {
+  std::vector<std::pair<double, std::size_t>> finishes;
+  for (std::size_t u = 0; u < h.size(); ++u) {
+    if (!h[u].is_transfer()) continue;
+    finishes.emplace_back(
+        report.start_times[u] +
+            static_cast<double>(action_cost(model, h[u])) / bandwidth,
+        u);
+  }
+  std::sort(finishes.begin(), finishes.end(),
+            [](const auto& x, const auto& y) { return x.first > y.first; });
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < finishes.size() && i < count; ++i) {
+    out.push_back(finishes[i].second);
+  }
+  return out;
+}
+
+struct Candidate {
+  Schedule schedule;
+  MakespanReport report;
+  std::vector<double> profile;
+  Cost cost;
+};
+
+}  // namespace
+
+DeadlineResult meet_deadline(const SystemModel& model, const ReplicationMatrix& x_old,
+                             const ReplicationMatrix& x_new, Schedule start,
+                             const DeadlineOptions& options) {
+  RTSP_REQUIRE(options.deadline >= 0.0);
+  {
+    const auto v = Validator::validate(model, x_old, x_new, start);
+    RTSP_REQUIRE_MSG(v.valid, "meet_deadline needs a valid starting schedule: "
+                                  << v.to_string());
+  }
+  const double bw = options.execution.bandwidth;
+
+  DeadlineResult best;
+  best.schedule = std::move(start);
+  best.report = simulate_makespan(model, x_old, best.schedule, options.execution);
+  best.cost = schedule_cost(model, best.schedule);
+  std::vector<double> best_profile =
+      finish_profile(model, best.schedule, best.report, bw);
+
+  for (std::size_t iter = 0;
+       iter < options.max_iterations && best.report.makespan > options.deadline;
+       ++iter) {
+    std::optional<Candidate> adopted;
+    auto consider = [&](Schedule cand) {
+      if (!Validator::is_valid(model, x_old, x_new, cand)) return;
+      MakespanReport rep = simulate_makespan(model, x_old, cand, options.execution);
+      std::vector<double> profile = finish_profile(model, cand, rep, bw);
+      const std::vector<double>& incumbent =
+          adopted ? adopted->profile : best_profile;
+      if (!lex_less(profile, incumbent)) return;
+      const Cost cand_cost = schedule_cost(model, cand);
+      adopted = Candidate{std::move(cand), std::move(rep), std::move(profile),
+                          cand_cost};
+    };
+
+    for (std::size_t crit :
+         critical_transfers(model, best.schedule, best.report, bw, 6)) {
+      const Action critical = best.schedule[crit];
+
+      // Family 1: alternative sources alive just before the transfer.
+      const ExecutionState st =
+          simulate_prefix_lenient(model, x_old, best.schedule, crit);
+      for (ServerId s = 0; s < model.num_servers(); ++s) {
+        if (s == critical.server || s == critical.source) continue;
+        if (!st.holds(s, critical.object)) continue;
+        Schedule cand = best.schedule;
+        cand[crit].source = s;
+        consider(std::move(cand));
+      }
+
+      // Family 2: hoist the transfer towards the front (a few target
+      // positions), repairing capacity and re-sourcing it there.
+      for (const std::size_t denom : {4u, 2u}) {
+        const std::size_t to = crit / denom;
+        if (to >= crit) continue;
+        Schedule cand = best.schedule;
+        move_action_earlier(cand, crit, to);
+        {
+          const ExecutionState at_to = simulate_prefix_lenient(model, x_old, cand, to);
+          const auto nearest = model.nearest_replicator(
+              critical.server, critical.object, at_to.placement());
+          cand[to].source = nearest ? *nearest : kDummyServer;
+        }
+        const auto repair = pull_deletions_for_space(
+            model, x_old, cand, to, crit, OrphanPolicy::NearestElseDummy);
+        if (!repair.ok) continue;
+        consider(std::move(cand));
+      }
+    }
+
+    if (!adopted) break;  // no rewrite improves the finish profile
+    best.schedule = std::move(adopted->schedule);
+    best.report = std::move(adopted->report);
+    best.cost = adopted->cost;
+    best_profile = std::move(adopted->profile);
+  }
+
+  best.met = best.report.makespan <= options.deadline;
+  return best;
+}
+
+}  // namespace rtsp

@@ -1,0 +1,41 @@
+// Deadline-constrained RTSP — the paper's Sec. 2.2 future work ("study RTSP
+// when X_new must be reached within a time deadline").
+//
+// meet_deadline() starts from a (typically cost-minimal) schedule and
+// greedily rewrites it until its parallel makespan fits the deadline:
+// each iteration identifies the transfer finishing last in the makespan
+// simulation and tries two families of rewrites —
+//   1. re-sourcing it to another replicator alive at its position (shifting
+//      load off a hot source), and
+//   2. hoisting it earlier in the schedule (with the same capacity repair
+//      machinery H1/OP1 use), so it no longer waits on the critical chain —
+// adopting the candidate with the lowest makespan (ties broken by cost)
+// provided it validates and strictly improves the makespan. The result is
+// monotone in makespan and reports whether the deadline was met; cost may
+// rise — that trade-off is the point of the deadline variant.
+#pragma once
+
+#include "extension/makespan.hpp"
+
+namespace rtsp {
+
+struct DeadlineOptions {
+  double deadline = 0.0;          ///< required makespan bound (time units)
+  MakespanOptions execution;      ///< parallel-execution model
+  std::size_t max_iterations = 200;
+};
+
+struct DeadlineResult {
+  Schedule schedule;
+  MakespanReport report;  ///< simulation of the returned schedule
+  bool met = false;       ///< report.makespan <= deadline
+  Cost cost = 0;
+};
+
+/// Rewrites `start` (which must be valid w.r.t. the instance) towards the
+/// deadline. Never returns a schedule with a worse makespan than `start`.
+DeadlineResult meet_deadline(const SystemModel& model, const ReplicationMatrix& x_old,
+                             const ReplicationMatrix& x_new, Schedule start,
+                             const DeadlineOptions& options);
+
+}  // namespace rtsp

@@ -1,0 +1,78 @@
+#include "extension/dependency_graph.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/assert.hpp"
+
+namespace rtsp {
+
+DependencyGraph::DependencyGraph(const Schedule& schedule)
+    : deps_(schedule.size()), dependents_(schedule.size()) {
+  // Latest transfer creating replica (server, object); latest deletion of
+  // (server, object); readers of (server, object) since its creation.
+  std::map<std::pair<ServerId, ObjectId>, std::size_t> last_create;
+  std::map<std::pair<ServerId, ObjectId>, std::size_t> last_delete;
+  std::map<std::pair<ServerId, ObjectId>, std::vector<std::size_t>> readers;
+
+  for (std::size_t u = 0; u < schedule.size(); ++u) {
+    const Action& a = schedule[u];
+    if (a.is_transfer()) {
+      // Source replica must exist: depend on its creating transfer.
+      if (!is_dummy(a.source)) {
+        const auto key = std::make_pair(a.source, a.object);
+        if (const auto it = last_create.find(key); it != last_create.end()) {
+          add_edge(it->second, u);
+        }
+        readers[key].push_back(u);
+      }
+      // Re-creation after deletion must wait for the deletion.
+      const auto self = std::make_pair(a.server, a.object);
+      if (const auto it = last_delete.find(self); it != last_delete.end()) {
+        add_edge(it->second, u);
+      }
+      last_create[self] = u;
+      readers[self].clear();
+    } else {
+      const auto self = std::make_pair(a.server, a.object);
+      // All reads of the replica must complete first.
+      for (std::size_t r : readers[self]) add_edge(r, u);
+      readers[self].clear();
+      // And its creation, if it happened inside the schedule.
+      if (const auto it = last_create.find(self); it != last_create.end()) {
+        add_edge(it->second, u);
+      }
+      last_delete[self] = u;
+    }
+  }
+}
+
+void DependencyGraph::add_edge(std::size_t before, std::size_t after) {
+  RTSP_REQUIRE(before < after);
+  auto& d = deps_[after];
+  if (std::find(d.begin(), d.end(), before) == d.end()) {
+    d.push_back(before);
+    dependents_[before].push_back(after);
+  }
+}
+
+std::size_t DependencyGraph::critical_path_length() const {
+  std::vector<std::size_t> depth(deps_.size(), 1);
+  std::size_t best = deps_.empty() ? 0 : 1;
+  for (std::size_t u = 0; u < deps_.size(); ++u) {
+    for (std::size_t d : deps_[u]) depth[u] = std::max(depth[u], depth[d] + 1);
+    best = std::max(best, depth[u]);
+  }
+  return best;
+}
+
+bool DependencyGraph::edges_point_backwards() const {
+  for (std::size_t u = 0; u < deps_.size(); ++u) {
+    for (std::size_t d : deps_[u]) {
+      if (d >= u) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace rtsp

@@ -1,0 +1,52 @@
+// Dependency extraction for parallel schedule execution — groundwork for
+// the paper's stated future work (reaching X_new within a time deadline).
+//
+// A sequential RTSP schedule over-serialises: only data dependencies must be
+// kept. For a valid schedule we extract the precedence DAG:
+//   * a transfer depends on the latest earlier transfer that created its
+//     source replica (if the source is not an X_old holding);
+//   * a deletion depends on every earlier transfer that reads the doomed
+//     replica, and on the transfer that created it;
+//   * a transfer to (i, k) depends on the latest earlier deletion D_ik
+//     (re-creation after deletion).
+// Capacity is a runtime resource, not a precedence edge; the makespan
+// simulator enforces it when starting actions.
+#pragma once
+
+#include <vector>
+
+#include "core/schedule.hpp"
+
+namespace rtsp {
+
+class DependencyGraph {
+ public:
+  /// Builds the DAG; `schedule` should be valid (checked by callers).
+  explicit DependencyGraph(const Schedule& schedule);
+
+  std::size_t size() const { return deps_.size(); }
+
+  /// Indices of actions that must complete before action u starts.
+  const std::vector<std::size_t>& dependencies_of(std::size_t u) const {
+    return deps_[u];
+  }
+  /// Indices of actions waiting on u.
+  const std::vector<std::size_t>& dependents_of(std::size_t u) const {
+    return dependents_[u];
+  }
+
+  /// Length (in actions) of the longest dependency chain.
+  std::size_t critical_path_length() const;
+
+  /// True (always, by construction): every edge points backwards in the
+  /// original order. Exposed for tests.
+  bool edges_point_backwards() const;
+
+ private:
+  void add_edge(std::size_t before, std::size_t after);
+
+  std::vector<std::vector<std::size_t>> deps_;
+  std::vector<std::vector<std::size_t>> dependents_;
+};
+
+}  // namespace rtsp

@@ -1,0 +1,121 @@
+#include "extension/makespan.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "core/cost_model.hpp"
+
+namespace rtsp {
+
+namespace {
+
+struct Running {
+  double finish;
+  std::size_t index;
+  bool operator>(const Running& o) const {
+    return finish != o.finish ? finish > o.finish : index > o.index;
+  }
+};
+
+}  // namespace
+
+MakespanReport simulate_makespan(const SystemModel& model,
+                                 const ReplicationMatrix& x_old,
+                                 const Schedule& schedule,
+                                 const MakespanOptions& options) {
+  RTSP_REQUIRE(options.bandwidth > 0.0);
+  RTSP_REQUIRE(options.ports >= 1);
+  const std::size_t t_count = schedule.size();
+  const DependencyGraph dag(schedule);
+
+  // Per-server queues: actions touching a server's storage must *start* in
+  // schedule order, which provably keeps occupancy within the sequential
+  // envelope and makes the list scheduler deadlock-free (see header).
+  std::vector<std::vector<std::size_t>> server_queue(model.num_servers());
+  for (std::size_t u = 0; u < t_count; ++u) {
+    server_queue[schedule[u].server].push_back(u);
+  }
+  std::vector<std::size_t> cursor(model.num_servers(), 0);
+
+  std::vector<std::size_t> deps_left(t_count, 0);
+  for (std::size_t u = 0; u < t_count; ++u) deps_left[u] = dag.dependencies_of(u).size();
+
+  std::vector<Size> used(model.num_servers(), 0);
+  for (ServerId i = 0; i < model.num_servers(); ++i) {
+    used[i] = x_old.used_storage(i, model.objects());
+  }
+  std::vector<std::size_t> ports_used(model.num_servers(), 0);
+
+  std::vector<bool> finished(t_count, false);
+  std::priority_queue<Running, std::vector<Running>, std::greater<>> running;
+
+  MakespanReport report;
+  report.start_times.assign(t_count, 0.0);
+  double now = 0.0;
+  std::size_t done = 0;
+
+  auto duration = [&](const Action& a) {
+    if (a.is_delete()) return 0.0;
+    return static_cast<double>(action_cost(model, a)) / options.bandwidth;
+  };
+  for (std::size_t u = 0; u < t_count; ++u) report.serial_time += duration(schedule[u]);
+
+  auto complete = [&](std::size_t u) {
+    finished[u] = true;
+    ++done;
+    for (std::size_t w : dag.dependents_of(u)) --deps_left[w];
+  };
+
+  while (done < t_count) {
+    // Start everything that can start now.
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (ServerId s = 0; s < model.num_servers(); ++s) {
+        if (cursor[s] >= server_queue[s].size()) continue;
+        const std::size_t u = server_queue[s][cursor[s]];
+        if (deps_left[u] != 0) continue;
+        const Action& a = schedule[u];
+        if (a.is_delete()) {
+          // Instantaneous: storage is released and the action completes.
+          used[s] -= model.object_size(a.object);
+          report.start_times[u] = now;
+          ++cursor[s];
+          complete(u);
+          progress = true;
+        } else {
+          if (model.capacity(s) - used[s] < model.object_size(a.object)) continue;
+          if (ports_used[s] >= options.ports) continue;
+          if (!is_dummy(a.source) && ports_used[a.source] >= options.ports) continue;
+          used[s] += model.object_size(a.object);
+          ++ports_used[s];
+          if (!is_dummy(a.source)) ++ports_used[a.source];
+          report.start_times[u] = now;
+          ++cursor[s];
+          running.push({now + duration(a), u});
+          report.peak_parallelism = std::max(report.peak_parallelism, running.size());
+          progress = true;
+        }
+      }
+    }
+    if (done == t_count) break;
+    RTSP_REQUIRE_MSG(!running.empty(),
+                     "makespan simulation stuck — schedule is not valid");
+    // Advance to the earliest finish and retire every transfer ending then.
+    now = running.top().finish;
+    while (!running.empty() && running.top().finish == now) {
+      const std::size_t u = running.top().index;
+      running.pop();
+      const Action& a = schedule[u];
+      --ports_used[a.server];
+      if (!is_dummy(a.source)) --ports_used[a.source];
+      complete(u);
+    }
+  }
+
+  report.makespan = now;
+  report.speedup = report.makespan > 0.0 ? report.serial_time / report.makespan : 1.0;
+  return report;
+}
+
+}  // namespace rtsp

@@ -1,0 +1,40 @@
+// Parallel execution of an RTSP schedule and its makespan — the quantity the
+// paper's future-work deadline variant would constrain.
+//
+// Model: a transfer of O_k from S_j to S_i occupies one "port" on both
+// endpoints for s(O_k) * l_ij / bandwidth time units (so with bandwidth 1
+// the makespan of a fully serial schedule equals its implementation cost);
+// deletions are instantaneous; the dummy server has unlimited ports. An
+// event-driven list scheduler starts any action whose dependencies are done,
+// whose endpoints have a free port and whose destination has free space,
+// breaking ties by original schedule position (which guarantees progress:
+// the sequential order itself is always feasible).
+#pragma once
+
+#include "core/system.hpp"
+#include "extension/dependency_graph.hpp"
+
+namespace rtsp {
+
+struct MakespanOptions {
+  double bandwidth = 1.0;     ///< data units * cost units per time unit
+  std::size_t ports = 1;      ///< concurrent transfers per server (>= 1)
+};
+
+struct MakespanReport {
+  double makespan = 0.0;
+  double serial_time = 0.0;        ///< sum of all transfer durations
+  double speedup = 1.0;            ///< serial_time / makespan (1 if no work)
+  std::size_t peak_parallelism = 0;
+  /// Start time of every action in schedule order (deletions take 0 time).
+  std::vector<double> start_times;
+};
+
+/// Simulates parallel execution of a valid schedule for (x_old -> ...).
+/// RTSP_REQUIREs that the simulation completes (true for valid schedules).
+MakespanReport simulate_makespan(const SystemModel& model,
+                                 const ReplicationMatrix& x_old,
+                                 const Schedule& schedule,
+                                 const MakespanOptions& options = {});
+
+}  // namespace rtsp

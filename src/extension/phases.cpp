@@ -1,0 +1,113 @@
+#include "extension/phases.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/cost_model.hpp"
+#include "extension/dependency_graph.hpp"
+
+namespace rtsp {
+
+std::size_t PhasePlan::max_width() const {
+  std::size_t w = 0;
+  for (const auto& p : phases) w = std::max(w, p.size());
+  return w;
+}
+
+Cost PhasePlan::bottleneck_cost(const SystemModel& model,
+                                const Schedule& schedule) const {
+  Cost total = 0;
+  for (const auto& phase : phases) {
+    Cost slowest = 0;
+    for (std::size_t u : phase) {
+      slowest = std::max(slowest, action_cost(model, schedule[u]));
+    }
+    total += slowest;
+  }
+  return total;
+}
+
+std::string PhasePlan::to_string(const Schedule& schedule) const {
+  std::ostringstream os;
+  for (std::size_t r = 0; r < phases.size(); ++r) {
+    os << "round " << r << ":";
+    for (std::size_t u : phases[r]) os << "  " << schedule[u].to_string();
+    os << '\n';
+  }
+  return os.str();
+}
+
+PhasePlan phase_partition(const SystemModel& model, const ReplicationMatrix& x_old,
+                          const Schedule& schedule, std::size_t ports) {
+  RTSP_REQUIRE(ports >= 1);
+  const std::size_t n = schedule.size();
+  const DependencyGraph dag(schedule);
+
+  std::vector<std::size_t> deps_left(n);
+  for (std::size_t u = 0; u < n; ++u) deps_left[u] = dag.dependencies_of(u).size();
+
+  // Per-server storage-order queues (see header, rule b).
+  std::vector<std::vector<std::size_t>> server_queue(model.num_servers());
+  for (std::size_t u = 0; u < n; ++u) server_queue[schedule[u].server].push_back(u);
+  std::vector<std::size_t> cursor(model.num_servers(), 0);
+
+  std::vector<Size> used(model.num_servers());
+  for (ServerId i = 0; i < model.num_servers(); ++i) {
+    used[i] = x_old.used_storage(i, model.objects());
+  }
+
+  std::vector<bool> done(n, false);
+  std::size_t finished = 0;
+
+  PhasePlan plan;
+  while (finished < n) {
+    std::vector<std::size_t> round;
+    std::vector<std::size_t> ports_used(model.num_servers(), 0);
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (ServerId s = 0; s < model.num_servers(); ++s) {
+        if (cursor[s] >= server_queue[s].size()) continue;
+        const std::size_t u = server_queue[s][cursor[s]];
+        // Dependencies must have completed in an *earlier* round: an action
+        // already placed in this round is not yet usable as a source.
+        bool ready = deps_left[u] == 0;
+        if (ready) {
+          for (std::size_t d : dag.dependencies_of(u)) {
+            if (std::find(round.begin(), round.end(), d) != round.end()) {
+              ready = false;
+              break;
+            }
+          }
+        }
+        if (!ready) continue;
+        const Action& a = schedule[u];
+        if (a.is_delete()) {
+          used[s] -= model.object_size(a.object);
+        } else {
+          if (model.capacity(s) - used[s] < model.object_size(a.object)) continue;
+          if (ports_used[s] >= ports) continue;
+          if (!is_dummy(a.source) && ports_used[a.source] >= ports) continue;
+          used[s] += model.object_size(a.object);
+          ++ports_used[s];
+          if (!is_dummy(a.source)) ++ports_used[a.source];
+        }
+        ++cursor[s];
+        round.push_back(u);
+        progress = true;
+      }
+    }
+    RTSP_REQUIRE_MSG(!round.empty(),
+                     "phase partition stuck — schedule is not valid");
+    std::sort(round.begin(), round.end());
+    for (std::size_t u : round) {
+      done[u] = true;
+      ++finished;
+      for (std::size_t w : dag.dependents_of(u)) --deps_left[w];
+    }
+    plan.phases.push_back(std::move(round));
+  }
+  return plan;
+}
+
+}  // namespace rtsp

@@ -1,0 +1,44 @@
+// Phase partitioning: turn a sequential schedule into synchronous rounds of
+// concurrently executable actions — the "bulk" alternative to the
+// event-driven makespan simulator for operators who deploy transitions in
+// discrete maintenance windows.
+//
+// Round semantics: every action in a round starts together after the
+// previous round fully completes. A round is feasible when (a) each action's
+// dependencies finished in earlier rounds, (b) actions touching a server's
+// storage appear in schedule order across rounds (same rule as the makespan
+// simulator — keeps occupancy within the sequential envelope), (c) each
+// server takes part in at most `ports` transfers and (d) destination
+// capacity, accounted in schedule order, is never exceeded. Deletions are
+// free and do not consume ports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "core/system.hpp"
+
+namespace rtsp {
+
+struct PhasePlan {
+  /// phases[r] lists the schedule positions executed in round r, ascending.
+  std::vector<std::vector<std::size_t>> phases;
+
+  std::size_t rounds() const { return phases.size(); }
+  /// Size of the largest round.
+  std::size_t max_width() const;
+  /// Sum of the most expensive transfer per round (a bulk-synchronous
+  /// makespan estimate when each round waits for its slowest transfer).
+  Cost bottleneck_cost(const SystemModel& model, const Schedule& schedule) const;
+
+  std::string to_string(const Schedule& schedule) const;
+};
+
+/// Greedily packs the valid schedule into rounds. RTSP_REQUIREs progress
+/// (guaranteed for valid schedules, by the same argument as the makespan
+/// simulator).
+PhasePlan phase_partition(const SystemModel& model, const ReplicationMatrix& x_old,
+                          const Schedule& schedule, std::size_t ports = 1);
+
+}  // namespace rtsp

@@ -1,0 +1,102 @@
+#include "heuristics/annealing.hpp"
+
+#include <cmath>
+
+#include "core/cost_model.hpp"
+#include "core/validator.hpp"
+#include "heuristics/surgery.hpp"
+
+namespace rtsp {
+
+namespace {
+
+/// Picks the index of a random transfer action, or npos if none exist.
+std::size_t random_transfer(const Schedule& h, Rng& rng) {
+  std::vector<std::size_t> transfers;
+  transfers.reserve(h.size());
+  for (std::size_t p = 0; p < h.size(); ++p) {
+    if (h[p].is_transfer()) transfers.push_back(p);
+  }
+  if (transfers.empty()) return npos;
+  return transfers[rng.below(transfers.size())];
+}
+
+}  // namespace
+
+Schedule AnnealingImprover::improve(const SystemModel& model,
+                                    const ReplicationMatrix& x_old,
+                                    const ReplicationMatrix& x_new, Schedule schedule,
+                                    Rng& rng) const {
+  if (schedule.empty()) return schedule;
+  RTSP_REQUIRE_MSG(Validator::is_valid(model, x_old, x_new, schedule),
+                   "annealing requires a valid starting schedule");
+
+  Schedule current = schedule;
+  Cost current_cost = schedule_cost(model, current);
+  Schedule best = current;
+  Cost best_cost = current_cost;
+
+  const double t0 =
+      options_.initial_temperature_fraction * static_cast<double>(current_cost);
+  const double t_end = t0 * options_.final_temperature_ratio;
+
+  for (std::size_t it = 0; it < options_.iterations; ++it) {
+    // Geometric cooling from t0 to t_end.
+    const double progress = options_.iterations > 1
+                                ? static_cast<double>(it) /
+                                      static_cast<double>(options_.iterations - 1)
+                                : 1.0;
+    const double temperature =
+        t0 > 0.0 ? t0 * std::pow(t_end / t0 > 0 ? t_end / t0 : 1e-9, progress) : 0.0;
+
+    Schedule cand = current;
+    const std::uint64_t kind = rng.below(3);
+    if (kind == 0) {
+      // Relocate a transfer earlier and re-source it there.
+      const std::size_t v = random_transfer(cand, rng);
+      if (v == npos) break;
+      const std::size_t to = rng.below(v + 1);
+      move_action_earlier(cand, v, to);
+      const ExecutionState st = simulate_prefix_lenient(model, x_old, cand, to);
+      Action& moved = cand[to];
+      const auto nearest = model.nearest_replicator(moved.server, moved.object,
+                                                    st.placement());
+      moved.source = nearest ? *nearest : kDummyServer;
+    } else if (kind == 1) {
+      // Re-source a transfer in place to its cheapest available source.
+      const std::size_t v = random_transfer(cand, rng);
+      if (v == npos) break;
+      const ExecutionState st = simulate_prefix_lenient(model, x_old, cand, v);
+      Action& a = cand[v];
+      const auto nearest = model.nearest_replicator(a.server, a.object,
+                                                    st.placement());
+      const ServerId new_src = nearest ? *nearest : kDummyServer;
+      if (new_src == a.source) continue;
+      a.source = new_src;
+    } else {
+      // Cost-neutral adjacent swap.
+      if (cand.size() < 2) continue;
+      const std::size_t p = rng.below(cand.size() - 1);
+      std::swap(cand[p], cand[p + 1]);
+    }
+
+    const Cost cand_cost = schedule_cost(model, cand);
+    const Cost delta = cand_cost - current_cost;
+    bool accept = delta <= 0;
+    if (!accept && temperature > 0.0) {
+      accept = rng.uniform01() <
+               std::exp(-static_cast<double>(delta) / temperature);
+    }
+    if (!accept) continue;
+    if (!Validator::is_valid(model, x_old, x_new, cand)) continue;
+    current = std::move(cand);
+    current_cost = cand_cost;
+    if (current_cost < best_cost) {
+      best = current;
+      best_cost = current_cost;
+    }
+  }
+  return best;
+}
+
+}  // namespace rtsp

@@ -1,0 +1,43 @@
+// Simulated-annealing schedule improver — an extension baseline beyond the
+// paper, used to sanity-check how much headroom the deterministic rewrites
+// (H1/H2/OP1) leave on the table.
+//
+// Because action costs are position-independent (Sec. 3.2), pure
+// reorderings are cost-neutral; cost only changes through transfer sources.
+// The move set therefore couples relocation with re-sourcing:
+//   * relocate-and-re-source: move a transfer earlier and source it from
+//     the cheapest replicator at the new position;
+//   * re-source in place: switch a transfer to the cheapest source
+//     available at its position;
+//   * adjacent swap: cost-neutral diversification that unlocks later moves.
+// Proposals that fail full validation are rejected, so every intermediate
+// state is a valid schedule; the best state seen (including the input) is
+// returned, making the improver monotone like OP1.
+#pragma once
+
+#include "heuristics/scheduler.hpp"
+
+namespace rtsp {
+
+struct AnnealingOptions {
+  std::size_t iterations = 5000;
+  /// T0 = initial_temperature_fraction * cost(input); 0 disables uphill
+  /// moves entirely (pure stochastic hill climbing).
+  double initial_temperature_fraction = 0.02;
+  /// Final temperature as a fraction of T0 (geometric cooling in between).
+  double final_temperature_ratio = 1e-3;
+};
+
+class AnnealingImprover final : public ScheduleImprover {
+ public:
+  explicit AnnealingImprover(AnnealingOptions options = {}) : options_(options) {}
+  std::string name() const override { return "SA"; }
+  Schedule improve(const SystemModel& model, const ReplicationMatrix& x_old,
+                   const ReplicationMatrix& x_new, Schedule schedule,
+                   Rng& rng) const override;
+
+ private:
+  AnnealingOptions options_;
+};
+
+}  // namespace rtsp

@@ -1,0 +1,36 @@
+#include "heuristics/ar.hpp"
+
+#include "core/delta.hpp"
+#include "core/feasibility.hpp"
+#include "heuristics/builder_common.hpp"
+
+namespace rtsp {
+
+Schedule ArBuilder::build(const SystemModel& model, const ReplicationMatrix& x_old,
+                          const ReplicationMatrix& x_new, Rng& rng) const {
+  RTSP_REQUIRE_MSG(storage_feasible(model, x_new), "X_new exceeds server capacities");
+  const PlacementDelta delta(x_old, x_new);
+  ExecutionState state(model, x_old);
+  SuperfluousTracker tracker(model.num_servers(), delta);
+  Schedule h;
+
+  std::vector<Replica> transfers = delta.outstanding();
+  rng.shuffle(transfers);
+  for (const Replica& r : transfers) {
+    make_space_random(state, tracker, h, r.server, r.object, rng);
+    const Action t = nearest_transfer(state, r.server, r.object);
+    state.apply(t);
+    h.push_back(t);
+  }
+
+  std::vector<Replica> leftovers = tracker.remaining();
+  rng.shuffle(leftovers);
+  for (const Replica& r : leftovers) {
+    const Action d = Action::remove(r.server, r.object);
+    state.apply(d);
+    h.push_back(d);
+  }
+  return h;
+}
+
+}  // namespace rtsp

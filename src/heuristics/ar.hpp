@@ -1,0 +1,20 @@
+// AR — All Random (Sec. 4.2).
+//
+// Outstanding replicas are created in uniformly random order; deletions of
+// superfluous replicas at the destination are emitted lazily, only when space
+// is needed, picking victims at random. Remaining superfluous replicas are
+// deleted at the end.
+#pragma once
+
+#include "heuristics/scheduler.hpp"
+
+namespace rtsp {
+
+class ArBuilder final : public ScheduleBuilder {
+ public:
+  std::string name() const override { return "AR"; }
+  Schedule build(const SystemModel& model, const ReplicationMatrix& x_old,
+                 const ReplicationMatrix& x_new, Rng& rng) const override;
+};
+
+}  // namespace rtsp

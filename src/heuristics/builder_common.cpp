@@ -1,0 +1,57 @@
+#include "heuristics/builder_common.hpp"
+
+#include <algorithm>
+
+namespace rtsp {
+
+SuperfluousTracker::SuperfluousTracker(std::size_t num_servers,
+                                       const PlacementDelta& delta)
+    : per_server_(num_servers) {
+  for (const Replica& r : delta.superfluous()) {
+    per_server_[r.server].push_back(r.object);
+    ++total_;
+  }
+}
+
+void SuperfluousTracker::remove(ServerId i, ObjectId k) {
+  RTSP_REQUIRE(i < per_server_.size());
+  auto& v = per_server_[i];
+  const auto it = std::find(v.begin(), v.end(), k);
+  RTSP_REQUIRE_MSG(it != v.end(), "superfluous replica (S" << i << ", O" << k
+                                                           << ") already removed");
+  v.erase(it);
+  --total_;
+}
+
+std::vector<Replica> SuperfluousTracker::remaining() const {
+  std::vector<Replica> out;
+  out.reserve(total_);
+  for (ServerId i = 0; i < per_server_.size(); ++i) {
+    for (ObjectId k : per_server_[i]) out.push_back({i, k});
+  }
+  return out;
+}
+
+Action nearest_transfer(const ExecutionState& state, ServerId i, ObjectId k) {
+  const ServerId src =
+      state.model().nearest_source_or_dummy(i, k, state.placement());
+  return Action::transfer(i, k, src);
+}
+
+void make_space_random(ExecutionState& state, SuperfluousTracker& tracker,
+                       Schedule& schedule, ServerId i, ObjectId k, Rng& rng) {
+  const Size needed = state.model().object_size(k);
+  while (state.free_space(i) < needed) {
+    const auto& candidates = tracker.on(i);
+    RTSP_REQUIRE_MSG(!candidates.empty(),
+                     "cannot free space on S" << i << " for O" << k
+                                              << ": no superfluous replicas left");
+    const ObjectId victim = candidates[rng.below(candidates.size())];
+    const Action d = Action::remove(i, victim);
+    state.apply(d);
+    schedule.push_back(d);
+    tracker.remove(i, victim);
+  }
+}
+
+}  // namespace rtsp

@@ -1,0 +1,46 @@
+// Shared machinery for schedule builders and improvers.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/delta.hpp"
+#include "core/schedule.hpp"
+#include "core/state.hpp"
+#include "support/rng.hpp"
+
+namespace rtsp {
+
+/// Tracks which superfluous replicas are still present as a builder runs,
+/// grouped by server for O(1) "what can I delete here" queries.
+class SuperfluousTracker {
+ public:
+  SuperfluousTracker(std::size_t num_servers, const PlacementDelta& delta);
+
+  /// Superfluous replicas still present on server i (unspecified order,
+  /// stable between mutations).
+  const std::vector<ObjectId>& on(ServerId i) const { return per_server_[i]; }
+
+  /// Removes (i, k); RTSP_REQUIREs that it was present.
+  void remove(ServerId i, ObjectId k);
+
+  /// All remaining superfluous replicas, grouped by server.
+  std::vector<Replica> remaining() const;
+
+  std::size_t total_remaining() const { return total_; }
+
+ private:
+  std::vector<std::vector<ObjectId>> per_server_;
+  std::size_t total_ = 0;
+};
+
+/// Transfer of k to i from its cheapest current replicator (dummy if none).
+Action nearest_transfer(const ExecutionState& state, ServerId i, ObjectId k);
+
+/// Deletes random superfluous replicas on `i` (updating state, tracker and
+/// schedule) until `i` can host object k. RTSP_REQUIREs success — guaranteed
+/// whenever X_new is storage feasible and only superfluous replicas remain.
+void make_space_random(ExecutionState& state, SuperfluousTracker& tracker,
+                       Schedule& schedule, ServerId i, ObjectId k, Rng& rng);
+
+}  // namespace rtsp

@@ -1,0 +1,36 @@
+#include "heuristics/fixpoint.hpp"
+
+#include "support/assert.hpp"
+
+namespace rtsp {
+
+FixpointImprover::FixpointImprover(std::vector<ImproverPtr> chain, int max_rounds)
+    : chain_(std::move(chain)), max_rounds_(max_rounds) {
+  RTSP_REQUIRE(!chain_.empty());
+  RTSP_REQUIRE(max_rounds_ >= 1);
+  name_ = "FIX(";
+  for (std::size_t i = 0; i < chain_.size(); ++i) {
+    RTSP_REQUIRE(chain_[i] != nullptr);
+    if (i) name_ += "+";
+    name_ += chain_[i]->name();
+  }
+  name_ += ")";
+}
+
+Schedule FixpointImprover::improve(const SystemModel& model,
+                                   const ReplicationMatrix& x_old,
+                                   const ReplicationMatrix& x_new, Schedule schedule,
+                                   Rng& rng) const {
+  last_rounds_ = 0;
+  for (int round = 0; round < max_rounds_; ++round) {
+    ++last_rounds_;
+    const Schedule before = schedule;
+    for (const auto& imp : chain_) {
+      schedule = imp->improve(model, x_old, x_new, std::move(schedule), rng);
+    }
+    if (schedule == before) break;
+  }
+  return schedule;
+}
+
+}  // namespace rtsp

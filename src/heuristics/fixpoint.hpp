@@ -1,0 +1,38 @@
+// FixpointImprover: applies a chain of improvers repeatedly until the
+// schedule stops changing (or a round cap is hit).
+//
+// H1 and H2 interact — a replica staged by H2 can unlock an H1 move and
+// vice versa — so running the pair to a fixpoint is the natural "apply H1
+// and H2" semantics when squeezing out the last dummy transfers. Each inner
+// improver is already monotone (validity preserved, target metric never
+// worsened), so the fixpoint terminates: the schedule can only change
+// finitely often under strictly-improving rewrites.
+#pragma once
+
+#include <vector>
+
+#include "heuristics/scheduler.hpp"
+
+namespace rtsp {
+
+class FixpointImprover final : public ScheduleImprover {
+ public:
+  explicit FixpointImprover(std::vector<ImproverPtr> chain, int max_rounds = 16);
+
+  std::string name() const override { return name_; }
+  Schedule improve(const SystemModel& model, const ReplicationMatrix& x_old,
+                   const ReplicationMatrix& x_new, Schedule schedule,
+                   Rng& rng) const override;
+
+  /// Rounds executed by the most recent improve() call (diagnostic; the
+  /// improver itself is stateless across calls apart from this counter).
+  int last_rounds() const { return last_rounds_; }
+
+ private:
+  std::vector<ImproverPtr> chain_;
+  int max_rounds_;
+  std::string name_;
+  mutable int last_rounds_ = 0;
+};
+
+}  // namespace rtsp

@@ -1,0 +1,109 @@
+#include "heuristics/golcf.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/feasibility.hpp"
+#include "heuristics/builder_common.hpp"
+
+namespace rtsp {
+
+Cost golcf_benefit(const ExecutionState& state, ServerId holder, ObjectId object,
+                   const std::vector<ServerId>& pending_destinations) {
+  const SystemModel& model = state.model();
+  const ReplicationMatrix& x = state.placement();
+  Cost benefit = 0;
+  for (ServerId j : pending_destinations) {
+    const auto nearest = model.nearest_replicator(j, object, x);
+    if (!nearest || *nearest != holder) continue;
+    const LinkCost via_holder = model.costs().at(j, holder);
+    const LinkCost via_second = model.second_nearest_source_cost(j, object, x);
+    benefit += model.object_size(object) * (via_second - via_holder);
+  }
+  return benefit;
+}
+
+namespace {
+
+/// Deletes superfluous replicas on `i` in increasing-benefit order until
+/// object k fits. `pending` holds, per object, the destinations not yet
+/// served this run (used by the benefit computation).
+void make_space_by_benefit(ExecutionState& state, SuperfluousTracker& tracker,
+                           Schedule& h, ServerId i, ObjectId k,
+                           const std::vector<std::vector<ServerId>>& pending) {
+  const Size needed = state.model().object_size(k);
+  while (state.free_space(i) < needed) {
+    const auto& candidates = tracker.on(i);
+    RTSP_REQUIRE_MSG(!candidates.empty(),
+                     "cannot free space on S" << i << " for O" << k);
+    ObjectId victim = candidates.front();
+    Cost best = std::numeric_limits<Cost>::max();
+    for (ObjectId cand : candidates) {
+      const Cost b = golcf_benefit(state, i, cand, pending[cand]);
+      if (b < best || (b == best && cand < victim)) {
+        best = b;
+        victim = cand;
+      }
+    }
+    const Action d = Action::remove(i, victim);
+    state.apply(d);
+    h.push_back(d);
+    tracker.remove(i, victim);
+  }
+}
+
+}  // namespace
+
+Schedule GolcfBuilder::build(const SystemModel& model, const ReplicationMatrix& x_old,
+                             const ReplicationMatrix& x_new, Rng& rng) const {
+  RTSP_REQUIRE_MSG(storage_feasible(model, x_new), "X_new exceeds server capacities");
+  const PlacementDelta delta(x_old, x_new);
+  ExecutionState state(model, x_old);
+  SuperfluousTracker tracker(model.num_servers(), delta);
+  Schedule h;
+
+  // Destinations still awaiting each object.
+  std::vector<std::vector<ServerId>> pending(model.num_objects());
+  for (const Replica& r : delta.outstanding()) pending[r.object].push_back(r.server);
+
+  std::vector<ObjectId> object_order;
+  object_order.reserve(model.num_objects());
+  for (ObjectId k = 0; k < model.num_objects(); ++k) {
+    if (!pending[k].empty()) object_order.push_back(k);
+  }
+  rng.shuffle(object_order);
+
+  for (ObjectId k : object_order) {
+    auto& dests = pending[k];
+    while (!dests.empty()) {
+      // Destination with the cheapest current source (ties: lowest id).
+      std::size_t best_idx = 0;
+      LinkCost best_cost = std::numeric_limits<LinkCost>::max();
+      for (std::size_t idx = 0; idx < dests.size(); ++idx) {
+        const LinkCost c =
+            model.nearest_source_cost(dests[idx], k, state.placement());
+        if (c < best_cost || (c == best_cost && dests[idx] < dests[best_idx])) {
+          best_cost = c;
+          best_idx = idx;
+        }
+      }
+      const ServerId i = dests[best_idx];
+      dests.erase(dests.begin() + static_cast<std::ptrdiff_t>(best_idx));
+      make_space_by_benefit(state, tracker, h, i, k, pending);
+      const Action t = nearest_transfer(state, i, k);
+      state.apply(t);
+      h.push_back(t);
+    }
+  }
+
+  std::vector<Replica> leftovers = tracker.remaining();
+  rng.shuffle(leftovers);
+  for (const Replica& r : leftovers) {
+    const Action d = Action::remove(r.server, r.object);
+    state.apply(d);
+    h.push_back(d);
+  }
+  return h;
+}
+
+}  // namespace rtsp

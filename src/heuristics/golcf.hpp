@@ -1,0 +1,31 @@
+// GOLCF — Greedy Object Lowest Cost First (Sec. 4.2, originally [14]).
+//
+// Objects are processed one at a time (random order). For the current object
+// the destination with the cheapest current-source link is served next, so a
+// freshly created replica immediately becomes a source for the remaining
+// destinations. Space is made by deleting superfluous replicas in increasing
+// benefit order, where the benefit B_ik of a superfluous replica (eq. 4) is
+// the extra cost pending destinations whose nearest source is S_i would pay
+// through their second-nearest source (dummy if none) if the replica
+// disappeared.
+#pragma once
+
+#include "core/delta.hpp"
+#include "core/state.hpp"
+#include "heuristics/scheduler.hpp"
+
+namespace rtsp {
+
+class GolcfBuilder final : public ScheduleBuilder {
+ public:
+  std::string name() const override { return "GOLCF"; }
+  Schedule build(const SystemModel& model, const ReplicationMatrix& x_old,
+                 const ReplicationMatrix& x_new, Rng& rng) const override;
+};
+
+/// Equation (4): benefit of the superfluous replica of `object` on `holder`
+/// given the still-pending destinations of that object. Exposed for tests.
+Cost golcf_benefit(const ExecutionState& state, ServerId holder, ObjectId object,
+                   const std::vector<ServerId>& pending_destinations);
+
+}  // namespace rtsp

@@ -1,0 +1,20 @@
+// GSDF — Grouped by Server Deletions First (Sec. 4.1).
+//
+// Visits servers in random order; for each, deletes its superfluous replicas
+// and immediately fetches its outstanding replicas, so replicas deleted for
+// other servers cannot yet have starved its sources. The first server visited
+// never needs a dummy transfer.
+#pragma once
+
+#include "heuristics/scheduler.hpp"
+
+namespace rtsp {
+
+class GsdfBuilder final : public ScheduleBuilder {
+ public:
+  std::string name() const override { return "GSDF"; }
+  Schedule build(const SystemModel& model, const ReplicationMatrix& x_old,
+                 const ReplicationMatrix& x_new, Rng& rng) const override;
+};
+
+}  // namespace rtsp

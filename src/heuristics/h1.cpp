@@ -1,0 +1,114 @@
+#include "heuristics/h1.hpp"
+
+#include <optional>
+
+#include "core/validator.hpp"
+#include "heuristics/surgery.hpp"
+
+namespace rtsp {
+
+namespace {
+
+class H1Run {
+ public:
+  H1Run(const SystemModel& model, const ReplicationMatrix& x_old,
+        const ReplicationMatrix& x_new, const H1Options& options)
+      : model_(model), x_old_(x_old), x_new_(x_new), options_(options) {}
+
+  Schedule run(Schedule h) const {
+    for (int pass = 0; pass < options_.max_passes; ++pass) {
+      bool changed = false;
+      std::size_t u = 0;
+      while (u < h.size()) {
+        if (h[u].is_dummy_transfer()) {
+          if (auto better = try_restore_at(h, u)) {
+            // All mutations live at indices <= u, so the tail is intact and
+            // the scan may simply continue.
+            h = std::move(*better);
+            changed = true;
+          }
+        }
+        ++u;
+      }
+      if (!changed) break;  // new dummies from case (iii) need another pass
+    }
+    return h;
+  }
+
+ private:
+  /// Transactional attempt: returns the rewritten schedule only when it
+  /// validates and strictly reduces the dummy count.
+  std::optional<Schedule> try_restore_at(const Schedule& h, std::size_t u) const {
+    Schedule cand = h;
+    if (!restore_dummy(cand, u, 0)) return std::nullopt;
+    if (cand.dummy_transfer_count() >= h.dummy_transfer_count()) return std::nullopt;
+    if (!Validator::is_valid(model_, x_old_, x_new_, cand)) return std::nullopt;
+    return cand;
+  }
+
+  /// Moves the dummy transfer at `u` before the nearest preceding deletion
+  /// of its object and repairs capacity. Mutates `cand`; may leave it
+  /// invalid (the caller validates). Returns false when no move exists.
+  bool restore_dummy(Schedule& cand, std::size_t u, int depth) const {
+    if (depth >= options_.max_recursion_depth) return false;
+    const ServerId i = cand[u].server;
+    const ObjectId k = cand[u].object;
+
+    const std::size_t d_pos = find_preceding_deletion(cand, u, k);
+    if (d_pos == npos) return false;
+    const ServerId j = cand[d_pos].server;
+    if (j == i) return false;  // cannot source from the destination itself
+
+    ServerId src = j;
+    if (options_.resource_nearest) {
+      const ExecutionState st = simulate_prefix_lenient(model_, x_old_, cand, d_pos);
+      const auto nearest = model_.nearest_replicator(i, k, st.placement());
+      if (nearest) src = *nearest;
+    }
+
+    cand.erase(u);
+    cand.insert(d_pos, Action::transfer(i, k, src));
+    // The displaced region [d_pos+1, u] now holds D_jk followed by the old
+    // in-between sub-schedule; all pulls stay inside it.
+    const auto repair = pull_deletions_for_space(model_, x_old_, cand, d_pos, u,
+                                                 OrphanPolicy::Dummy);
+    if (!repair.ok) return false;
+
+    // Case (iii): the repair may have orphaned readers into dummy
+    // transfers; try to restore each one recursively (failure just leaves
+    // it as a dummy — the caller's strict-improvement gate decides).
+    for (const Action& signature : repair.new_dummies) {
+      const std::size_t pos = find_dummy(cand, signature);
+      if (pos == npos) continue;  // already rewritten by a nested restore
+      Schedule backup = cand;
+      if (!restore_dummy(cand, pos, depth + 1)) cand = std::move(backup);
+    }
+    return true;
+  }
+
+  static std::size_t find_dummy(const Schedule& h, const Action& signature) {
+    for (std::size_t p = 0; p < h.size(); ++p) {
+      const Action& a = h[p];
+      if (a.is_dummy_transfer() && a.server == signature.server &&
+          a.object == signature.object) {
+        return p;
+      }
+    }
+    return npos;
+  }
+
+  const SystemModel& model_;
+  const ReplicationMatrix& x_old_;
+  const ReplicationMatrix& x_new_;
+  const H1Options& options_;
+};
+
+}  // namespace
+
+Schedule H1Improver::improve(const SystemModel& model, const ReplicationMatrix& x_old,
+                             const ReplicationMatrix& x_new, Schedule schedule,
+                             Rng& /*rng*/) const {
+  return H1Run(model, x_old, x_new, options_).run(std::move(schedule));
+}
+
+}  // namespace rtsp

@@ -1,0 +1,141 @@
+#include "heuristics/h2.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "core/validator.hpp"
+#include "heuristics/surgery.hpp"
+
+namespace rtsp {
+
+namespace {
+
+struct Attempt {
+  Schedule schedule;
+  bool touched_tail = false;  ///< mutations beyond the dummy's position
+};
+
+class H2Run {
+ public:
+  H2Run(const SystemModel& model, const ReplicationMatrix& x_old,
+        const ReplicationMatrix& x_new, const H2Options& options)
+      : model_(model), x_old_(x_old), x_new_(x_new), options_(options) {}
+
+  Schedule run(Schedule h) const {
+    for (int pass = 0; pass < options_.max_passes; ++pass) {
+      bool changed = false;
+      bool restart = false;
+      std::size_t u = 0;
+      while (u < h.size()) {
+        if (h[u].is_dummy_transfer()) {
+          if (auto attempt = try_restore_at(h, u)) {
+            h = std::move(attempt->schedule);
+            changed = true;
+            if (attempt->touched_tail) {
+              restart = true;  // positions after u changed; rescan
+              break;
+            }
+            // Two actions were inserted at or before u+2; the next
+            // unscanned action now sits at u+3.
+            u += 3;
+            continue;
+          }
+        }
+        ++u;
+      }
+      if (!changed && !restart) break;
+    }
+    return h;
+  }
+
+ private:
+  std::optional<Attempt> try_restore_at(const Schedule& h, std::size_t u) const {
+    const ServerId dest = h[u].server;  // the paper's S_i'
+    const ObjectId k = h[u].object;
+    const std::size_t d_pos = find_preceding_deletion(h, u, k);
+    if (d_pos == npos) return std::nullopt;
+    const ServerId deleter = h[d_pos].server;  // the paper's S_i''
+
+    // Host candidates ranked by the added transfer cost
+    // s(O_k) * (l_{host,deleter} + l_{dest,host}).
+    const ExecutionState st = simulate_prefix_lenient(model_, x_old_, h, d_pos);
+    struct Candidate {
+      ServerId host;
+      Cost added_cost;
+      bool has_space;
+    };
+    std::vector<Candidate> candidates;
+    for (ServerId host = 0; host < model_.num_servers(); ++host) {
+      if (host == dest || host == deleter || st.holds(host, k)) continue;
+      const Cost added = model_.object_size(k) * (model_.costs().at(host, deleter) +
+                                                  model_.costs().at(dest, host));
+      const bool space = st.free_space(host) >= model_.object_size(k);
+      candidates.push_back({host, added, space});
+    }
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [](const Candidate& a, const Candidate& b) {
+                       return a.added_cost < b.added_cost;
+                     });
+
+    // Direct path: hosts that already have room at d_pos.
+    for (const Candidate& c : candidates) {
+      if (!c.has_space) continue;
+      Schedule cand = h;
+      cand.insert(d_pos, Action::transfer(c.host, k, deleter));
+      // Everything from d_pos on shifted one right; the dummy sits at u+1.
+      cand[u + 1] = Action::transfer(dest, k, c.host);
+      cand.insert(u + 2, Action::remove(c.host, k));
+      if (accept(cand, h)) return Attempt{std::move(cand), false};
+    }
+
+    // Fallback: create room on a host by pulling its later deletions of
+    // superfluous replicas forward (the validator plus the strict
+    // dummy-count gate enforce the paper's "one replica must survive per
+    // object" condition).
+    std::size_t tried = 0;
+    for (const Candidate& c : candidates) {
+      if (c.has_space) continue;
+      if (tried++ >= options_.max_fallback_hosts) break;
+      Schedule cand = h;
+      cand.insert(d_pos, Action::transfer(c.host, k, deleter));
+      const auto repair =
+          pull_deletions_for_space(model_, x_old_, cand, d_pos, cand.size() - 1,
+                                   OrphanPolicy::NearestElseDummy);
+      if (!repair.ok) continue;
+      // Pulls may have shifted the dummy transfer; locate it again.
+      std::size_t dummy_pos = npos;
+      for (std::size_t p = repair.t_pos + 1; p < cand.size(); ++p) {
+        const Action& a = cand[p];
+        if (a.is_dummy_transfer() && a.server == dest && a.object == k) {
+          dummy_pos = p;
+          break;
+        }
+      }
+      if (dummy_pos == npos) continue;
+      cand[dummy_pos] = Action::transfer(dest, k, c.host);
+      cand.insert(dummy_pos + 1, Action::remove(c.host, k));
+      if (accept(cand, h)) return Attempt{std::move(cand), true};
+    }
+    return std::nullopt;
+  }
+
+  bool accept(const Schedule& cand, const Schedule& original) const {
+    if (cand.dummy_transfer_count() >= original.dummy_transfer_count()) return false;
+    return Validator::is_valid(model_, x_old_, x_new_, cand);
+  }
+
+  const SystemModel& model_;
+  const ReplicationMatrix& x_old_;
+  const ReplicationMatrix& x_new_;
+  const H2Options& options_;
+};
+
+}  // namespace
+
+Schedule H2Improver::improve(const SystemModel& model, const ReplicationMatrix& x_old,
+                             const ReplicationMatrix& x_new, Schedule schedule,
+                             Rng& /*rng*/) const {
+  return H2Run(model, x_old, x_new, options_).run(std::move(schedule));
+}
+
+}  // namespace rtsp

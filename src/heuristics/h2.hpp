@@ -1,0 +1,38 @@
+// H2 — restore dummy transfers by creating temporary superfluous replicas
+// (Sec. 4.1).
+//
+// For each dummy transfer T_i'kd, H2 finds the nearest preceding deletion
+// D_i''k and injects a copy of O_k onto a spare server S_i immediately before
+// that deletion; the dummy transfer is then re-sourced to S_i and the
+// temporary replica deleted right after. When no server has free space, H2
+// tries to create it by pulling forward later deletions of superfluous
+// replicas, provided every object keeps at least one replica. Rewrites are
+// kept only when they validate and strictly reduce the dummy count.
+#pragma once
+
+#include "heuristics/scheduler.hpp"
+
+namespace rtsp {
+
+struct H2Options {
+  /// Candidate hosts are ranked by added transfer cost; this caps how many
+  /// are tried in the space-creating fallback (all are tried in the direct
+  /// free-space path, which is cheap).
+  std::size_t max_fallback_hosts = 4;
+  /// Safety cap on restart passes.
+  int max_passes = 64;
+};
+
+class H2Improver final : public ScheduleImprover {
+ public:
+  explicit H2Improver(H2Options options = {}) : options_(options) {}
+  std::string name() const override { return "H2"; }
+  Schedule improve(const SystemModel& model, const ReplicationMatrix& x_old,
+                   const ReplicationMatrix& x_new, Schedule schedule,
+                   Rng& rng) const override;
+
+ private:
+  H2Options options_;
+};
+
+}  // namespace rtsp

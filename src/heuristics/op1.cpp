@@ -1,0 +1,186 @@
+#include "heuristics/op1.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "core/cost_model.hpp"
+#include "core/validator.hpp"
+#include "heuristics/surgery.hpp"
+
+namespace rtsp {
+
+namespace {
+
+/// Transfer positions of each object that has at least two transfers.
+std::vector<std::pair<ObjectId, std::vector<std::size_t>>> multi_transfer_objects(
+    const Schedule& h, std::size_t num_objects) {
+  std::vector<std::vector<std::size_t>> by_object(num_objects);
+  for (std::size_t p = 0; p < h.size(); ++p) {
+    if (h[p].is_transfer()) by_object[h[p].object].push_back(p);
+  }
+  std::vector<std::pair<ObjectId, std::vector<std::size_t>>> out;
+  for (ObjectId k = 0; k < num_objects; ++k) {
+    if (by_object[k].size() >= 2) out.emplace_back(k, std::move(by_object[k]));
+  }
+  return out;
+}
+
+class Op1Run {
+ public:
+  Op1Run(const SystemModel& model, const ReplicationMatrix& x_old,
+         const ReplicationMatrix& x_new, const Op1Options& options)
+      : model_(model), x_old_(x_old), x_new_(x_new), options_(options) {}
+
+  Schedule run(Schedule h) const {
+    Cost current_cost = schedule_cost(model_, h);
+    std::size_t changes = 0;
+    std::size_t object_cursor = 0;  // used by the Continue policy
+    while (true) {
+      const auto objects = multi_transfer_objects(h, model_.num_objects());
+      if (objects.empty()) break;
+      bool adopted = false;
+      const std::size_t start = options_.restart == Op1Options::Restart::Continue
+                                    ? object_cursor % objects.size()
+                                    : 0;
+      for (std::size_t step = 0; step < objects.size() && !adopted; ++step) {
+        const std::size_t idx = (start + step) % objects.size();
+        const auto& [k, positions] = objects[idx];
+        for (std::size_t a = 0; a + 1 < positions.size() && !adopted; ++a) {
+          for (std::size_t b = a + 1; b < positions.size() && !adopted; ++b) {
+            const std::size_t u = positions[a];
+            const std::size_t v = positions[b];
+            if (options_.prescreen && estimate_delta(h, k, positions, u, v) >= 0) {
+              continue;
+            }
+            auto cand = build_candidate(h, u, v);
+            if (!cand) continue;
+            const Cost cand_cost = schedule_cost(model_, *cand);
+            if (cand_cost < current_cost &&
+                Validator::is_valid(model_, x_old_, x_new_, *cand)) {
+              h = std::move(*cand);
+              current_cost = cand_cost;
+              adopted = true;
+              object_cursor = idx;  // Continue resumes at this object
+            }
+          }
+        }
+      }
+      if (!adopted) break;
+      if (options_.max_changes != 0 && ++changes >= options_.max_changes) break;
+    }
+    return h;
+  }
+
+ private:
+  /// Optimistic cost change of moving v's transfer before u (negative =
+  /// potentially improving). Capacity penalties are ignored here; the exact
+  /// candidate cost decides adoption.
+  Cost estimate_delta(const Schedule& h, ObjectId k,
+                      const std::vector<std::size_t>& positions, std::size_t u,
+                      std::size_t v) const {
+    const ServerId i = h[v].server;
+    if (h[u].server == i) return 0;
+
+    // Replicators of k just before position u.
+    std::vector<bool> holds(model_.num_servers(), false);
+    for (ServerId s : x_old_.replicators_of(k)) holds[s] = true;
+    for (std::size_t p = 0; p < u; ++p) {
+      const Action& a = h[p];
+      if (a.object != k) continue;
+      if (a.is_transfer()) holds[a.server] = true;
+      else holds[a.server] = false;
+    }
+    LinkCost new_src = model_.dummy_link_cost();
+    for (ServerId s : model_.neighbors_by_cost(i)) {
+      if (holds[s]) {
+        new_src = model_.costs().at(i, s);
+        break;
+      }
+    }
+    const LinkCost old_src = model_.source_link_cost(i, h[v].source);
+    const Size size = model_.object_size(k);
+    Cost delta = size * (new_src - old_src);
+    for (std::size_t w : positions) {
+      if (w < u || w == v) continue;
+      const ServerId d = h[w].server;
+      if (d == i) continue;
+      const LinkCost cur = model_.source_link_cost(d, h[w].source);
+      const LinkCost via_i = model_.costs().at(d, i);
+      if (via_i < cur) delta -= size * (cur - via_i);
+    }
+    return delta;
+  }
+
+  /// Mechanically constructs the paper's H': move v's transfer before u's
+  /// enabling deletion run, re-source it, repair capacity (cases iii/iv) and
+  /// re-source the object's later transfers that benefit. Returns nullopt
+  /// when the capacity repair fails; validity is checked by the caller.
+  std::optional<Schedule> build_candidate(const Schedule& h, std::size_t u,
+                                          std::size_t v) const {
+    const ServerId i = h[v].server;
+    const ObjectId k = h[v].object;
+    if (h[u].server == i) return std::nullopt;
+
+    // u's enabling deletions: the contiguous run of deletions on S_i'
+    // immediately before u (the paper's D_i'k1..kn).
+    std::size_t insert_point = u;
+    while (insert_point > 0 && h[insert_point - 1].is_delete() &&
+           h[insert_point - 1].server == h[u].server) {
+      --insert_point;
+    }
+
+    Schedule cand = h;
+    move_action_earlier(cand, v, insert_point);
+    std::size_t t_pos = insert_point;
+
+    // Re-source the moved transfer to the nearest replicator at its new
+    // position (the paper's T_ikN(i,k,X^u)).
+    {
+      const ExecutionState st = simulate_prefix_lenient(model_, x_old_, cand, t_pos);
+      const auto nearest = model_.nearest_replicator(i, k, st.placement());
+      cand[t_pos].source = nearest ? *nearest : kDummyServer;
+    }
+
+    // Cases (iii)/(iv): make room at S_i by pulling its deletions forward,
+    // re-sourcing any orphaned readers to their nearest alternative.
+    const auto repair =
+        pull_deletions_for_space(model_, x_old_, cand, t_pos, v,
+                                 OrphanPolicy::NearestElseDummy);
+    if (!repair.ok) return std::nullopt;
+    t_pos = repair.t_pos;
+
+    // Later transfers of k switch to the new early replica when cheaper —
+    // but only while S_i still holds k (a later deletion of (i, k) bounds
+    // the window; H2's temporary replicas make this reachable).
+    std::size_t bound = cand.size();
+    for (std::size_t p = t_pos + 1; p < cand.size(); ++p) {
+      if (cand[p].is_delete() && cand[p].server == i && cand[p].object == k) {
+        bound = p;
+        break;
+      }
+    }
+    for (std::size_t p = t_pos + 1; p < bound; ++p) {
+      Action& a = cand[p];
+      if (!a.is_transfer() || a.object != k || a.server == i) continue;
+      const LinkCost cur = model_.source_link_cost(a.server, a.source);
+      const LinkCost via_i = model_.costs().at(a.server, i);
+      if (via_i < cur) a.source = i;
+    }
+    return cand;
+  }
+
+  const SystemModel& model_;
+  const ReplicationMatrix& x_old_;
+  const ReplicationMatrix& x_new_;
+  const Op1Options& options_;
+};
+
+}  // namespace
+
+Schedule Op1Improver::improve(const SystemModel& model, const ReplicationMatrix& x_old,
+                              const ReplicationMatrix& x_new, Schedule schedule,
+                              Rng& /*rng*/) const {
+  return Op1Run(model, x_old, x_new, options_).run(std::move(schedule));
+}
+
+}  // namespace rtsp

@@ -1,0 +1,26 @@
+#include "heuristics/pipeline.hpp"
+
+#include "support/assert.hpp"
+
+namespace rtsp {
+
+Pipeline::Pipeline(BuilderPtr builder, std::vector<ImproverPtr> improvers)
+    : builder_(std::move(builder)), improvers_(std::move(improvers)) {
+  RTSP_REQUIRE(builder_ != nullptr);
+  name_ = builder_->name();
+  for (const auto& imp : improvers_) {
+    RTSP_REQUIRE(imp != nullptr);
+    name_ += "+" + imp->name();
+  }
+}
+
+Schedule Pipeline::run(const SystemModel& model, const ReplicationMatrix& x_old,
+                       const ReplicationMatrix& x_new, Rng& rng) const {
+  Schedule h = builder_->build(model, x_old, x_new, rng);
+  for (const auto& imp : improvers_) {
+    h = imp->improve(model, x_old, x_new, std::move(h), rng);
+  }
+  return h;
+}
+
+}  // namespace rtsp

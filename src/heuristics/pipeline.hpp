@@ -1,0 +1,32 @@
+// Pipeline: a builder followed by a sequence of improvers — the paper's
+// algorithm combinations like GOLCF+H1+H2+OP1.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "heuristics/scheduler.hpp"
+
+namespace rtsp {
+
+class Pipeline {
+ public:
+  Pipeline(BuilderPtr builder, std::vector<ImproverPtr> improvers);
+
+  /// "BUILDER+IMP1+IMP2" derived from component names.
+  const std::string& name() const { return name_; }
+
+  const ScheduleBuilder& builder() const { return *builder_; }
+  const std::vector<ImproverPtr>& improvers() const { return improvers_; }
+
+  /// Builds the initial schedule and applies each improver in order.
+  Schedule run(const SystemModel& model, const ReplicationMatrix& x_old,
+               const ReplicationMatrix& x_new, Rng& rng) const;
+
+ private:
+  BuilderPtr builder_;
+  std::vector<ImproverPtr> improvers_;
+  std::string name_;
+};
+
+}  // namespace rtsp

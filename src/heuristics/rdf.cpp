@@ -1,0 +1,34 @@
+#include "heuristics/rdf.hpp"
+
+#include "core/delta.hpp"
+#include "core/feasibility.hpp"
+#include "heuristics/builder_common.hpp"
+
+namespace rtsp {
+
+Schedule RdfBuilder::build(const SystemModel& model, const ReplicationMatrix& x_old,
+                           const ReplicationMatrix& x_new, Rng& rng) const {
+  RTSP_REQUIRE_MSG(storage_feasible(model, x_new), "X_new exceeds server capacities");
+  const PlacementDelta delta(x_old, x_new);
+  ExecutionState state(model, x_old);
+  Schedule h;
+
+  std::vector<Replica> deletions = delta.superfluous();
+  rng.shuffle(deletions);
+  for (const Replica& r : deletions) {
+    const Action d = Action::remove(r.server, r.object);
+    state.apply(d);
+    h.push_back(d);
+  }
+
+  std::vector<Replica> transfers = delta.outstanding();
+  rng.shuffle(transfers);
+  for (const Replica& r : transfers) {
+    const Action t = nearest_transfer(state, r.server, r.object);
+    state.apply(t);
+    h.push_back(t);
+  }
+  return h;
+}
+
+}  // namespace rtsp

@@ -1,0 +1,19 @@
+// RDF — Random Deletions First (Sec. 4.1).
+//
+// Emits every deletion of a superfluous replica first (random order), then
+// every outstanding transfer (random order), each using its cheapest source
+// at that point, or the dummy when the last replica was already deleted.
+#pragma once
+
+#include "heuristics/scheduler.hpp"
+
+namespace rtsp {
+
+class RdfBuilder final : public ScheduleBuilder {
+ public:
+  std::string name() const override { return "RDF"; }
+  Schedule build(const SystemModel& model, const ReplicationMatrix& x_old,
+                 const ReplicationMatrix& x_new, Rng& rng) const override;
+};
+
+}  // namespace rtsp

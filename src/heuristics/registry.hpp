@@ -1,0 +1,24 @@
+// String-keyed factory for algorithm pipelines, e.g. "GOLCF+H1+H2+OP1".
+//
+// Builders: AR, GOLCF, RDF, GSDF. Improvers: H1, H2, OP1 (the paper's),
+// plus SA (simulated-annealing baseline) and H1H2FIX (H1 and H2 alternated
+// to a fixpoint). Components compose in any order, any subset; names are
+// case-insensitive.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "heuristics/pipeline.hpp"
+
+namespace rtsp {
+
+/// Parses "BUILDER[+IMPROVER...]" into a Pipeline; throws
+/// std::invalid_argument on unknown component names.
+Pipeline make_pipeline(const std::string& spec);
+
+/// Names accepted as the first / subsequent components of a spec.
+std::vector<std::string> known_builders();
+std::vector<std::string> known_improvers();
+
+}  // namespace rtsp

@@ -1,0 +1,40 @@
+// Algorithm interfaces: builders create a schedule from (X_old, X_new);
+// improvers rewrite an existing schedule (Sec. 4's two heuristic families).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/replication.hpp"
+#include "core/schedule.hpp"
+#include "core/system.hpp"
+#include "support/rng.hpp"
+
+namespace rtsp {
+
+/// Builds a valid schedule for (X_old, X_new) from scratch. Randomized
+/// builders draw from `rng`; deterministic ones ignore it.
+class ScheduleBuilder {
+ public:
+  virtual ~ScheduleBuilder() = default;
+  virtual std::string name() const = 0;
+  virtual Schedule build(const SystemModel& model, const ReplicationMatrix& x_old,
+                         const ReplicationMatrix& x_new, Rng& rng) const = 0;
+};
+
+/// Rewrites a schedule that is valid w.r.t. (X_old, X_new) into another valid
+/// schedule; implementations guarantee they never make their target metric
+/// worse (dummy transfers for H1/H2, implementation cost for OP1).
+class ScheduleImprover {
+ public:
+  virtual ~ScheduleImprover() = default;
+  virtual std::string name() const = 0;
+  virtual Schedule improve(const SystemModel& model, const ReplicationMatrix& x_old,
+                           const ReplicationMatrix& x_new, Schedule schedule,
+                           Rng& rng) const = 0;
+};
+
+using BuilderPtr = std::shared_ptr<const ScheduleBuilder>;
+using ImproverPtr = std::shared_ptr<const ScheduleImprover>;
+
+}  // namespace rtsp

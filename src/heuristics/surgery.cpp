@@ -1,0 +1,148 @@
+#include "heuristics/surgery.hpp"
+
+#include <algorithm>
+
+namespace rtsp {
+
+void move_action_earlier(Schedule& h, std::size_t from, std::size_t to) {
+  RTSP_REQUIRE(from < h.size());
+  RTSP_REQUIRE(to <= from);
+  if (to == from) return;
+  const Action a = h[from];
+  auto& v = h.actions();
+  v.erase(v.begin() + static_cast<std::ptrdiff_t>(from));
+  v.insert(v.begin() + static_cast<std::ptrdiff_t>(to), a);
+}
+
+ExecutionState simulate_prefix_lenient(const SystemModel& model,
+                                       const ReplicationMatrix& x_old,
+                                       const Schedule& h, std::size_t pos) {
+  RTSP_REQUIRE(pos <= h.size());
+  ExecutionState state(model, x_old);
+  for (std::size_t u = 0; u < pos; ++u) state.apply_lenient(h[u]);
+  return state;
+}
+
+Size occupancy_before(const SystemModel& model, const ReplicationMatrix& x_old,
+                      const Schedule& h, std::size_t pos, ServerId i) {
+  RTSP_REQUIRE(pos <= h.size());
+  // Track only the bits of server i: cheap and immune to unrelated
+  // invalidity elsewhere in the candidate.
+  std::vector<bool> held(model.num_objects());
+  Size used = 0;
+  for (ObjectId k : x_old.objects_on(i)) {
+    held[k] = true;
+    used += model.object_size(k);
+  }
+  for (std::size_t u = 0; u < pos; ++u) {
+    const Action& a = h[u];
+    if (a.server != i) continue;
+    if (a.is_transfer() && !held[a.object]) {
+      held[a.object] = true;
+      used += model.object_size(a.object);
+    } else if (a.is_delete() && held[a.object]) {
+      held[a.object] = false;
+      used -= model.object_size(a.object);
+    }
+  }
+  return used;
+}
+
+std::size_t find_preceding_deletion(const Schedule& h, std::size_t pos, ObjectId object) {
+  RTSP_REQUIRE(pos <= h.size());
+  for (std::size_t p = pos; p > 0; --p) {
+    const Action& a = h[p - 1];
+    if (a.is_delete() && a.object == object) return p - 1;
+  }
+  return npos;
+}
+
+namespace {
+
+/// Positions in (t_pos, deletion_pos) of transfers that read the replica a
+/// pulled deletion would destroy.
+std::vector<std::size_t> dependent_transfers(const Schedule& h, std::size_t t_pos,
+                                             std::size_t deletion_pos, ServerId server,
+                                             ObjectId object) {
+  std::vector<std::size_t> deps;
+  for (std::size_t q = t_pos + 1; q < deletion_pos; ++q) {
+    const Action& a = h[q];
+    if (a.is_transfer() && !is_dummy(a.source) && a.source == server &&
+        a.object == object) {
+      deps.push_back(q);
+    }
+  }
+  return deps;
+}
+
+}  // namespace
+
+SpaceRepairResult pull_deletions_for_space(const SystemModel& model,
+                                           const ReplicationMatrix& x_old, Schedule& h,
+                                           std::size_t t_pos, std::size_t limit,
+                                           OrphanPolicy policy) {
+  RTSP_REQUIRE(t_pos < h.size());
+  RTSP_REQUIRE(limit < h.size() && limit >= t_pos);
+  RTSP_REQUIRE(h[t_pos].is_transfer());
+  const ServerId dest = h[t_pos].server;
+  const ObjectId object = h[t_pos].object;
+  const Size needed = model.object_size(object);
+
+  SpaceRepairResult result;
+
+  // Phase 1 moves only standalone deletions (paper H1 case ii); phase 2 also
+  // moves deletions whose replica is still read in between, re-sourcing the
+  // readers (case iii).
+  for (int phase = 0; phase < 2; ++phase) {
+    while (model.capacity(dest) - occupancy_before(model, x_old, h, t_pos, dest) <
+           needed) {
+      // Next eligible deletion on the destination within (t_pos, limit].
+      std::size_t p = npos;
+      std::vector<std::size_t> deps;
+      for (std::size_t q = t_pos + 1; q <= limit; ++q) {
+        const Action& a = h[q];
+        if (!a.is_delete() || a.server != dest || a.object == object) continue;
+        deps = dependent_transfers(h, t_pos, q, dest, a.object);
+        if (phase == 0 && !deps.empty()) continue;  // not standalone yet
+        p = q;
+        break;
+      }
+      if (p == npos) break;  // phase exhausted
+
+      // Re-source the readers first (their positions are still valid).
+      for (std::size_t q : deps) {
+        Action& reader = h[q];
+        ServerId new_src = kDummyServer;
+        if (policy == OrphanPolicy::NearestElseDummy) {
+          const ExecutionState st = simulate_prefix_lenient(model, x_old, h, q);
+          // The doomed replica is about to move before t_pos, so exclude it.
+          ServerId best = kDummyServer;
+          LinkCost best_cost = model.dummy_link_cost();
+          for (ServerId s : model.neighbors_by_cost(reader.server)) {
+            if (s == dest) continue;
+            if (st.holds(s, reader.object)) {
+              best = s;
+              best_cost = model.costs().at(reader.server, s);
+              break;
+            }
+          }
+          (void)best_cost;
+          new_src = best;
+        }
+        reader.source = new_src;
+        if (is_dummy(new_src)) result.new_dummies.push_back(reader);
+      }
+      move_action_earlier(h, p, t_pos);
+      ++t_pos;  // the transfer shifted one slot right
+    }
+    if (model.capacity(dest) - occupancy_before(model, x_old, h, t_pos, dest) >=
+        needed) {
+      result.ok = true;
+      break;
+    }
+  }
+  result.t_pos = t_pos;
+  return result;
+}
+
+}  // namespace rtsp

@@ -1,0 +1,64 @@
+// Schedule surgery: the low-level rewrites shared by the improvement
+// heuristics H1, H2 and OP1 — moving actions earlier, approximating
+// intermediate states, and pulling a destination's deletions forward to
+// make room for a relocated transfer.
+//
+// All functions mutate candidate schedules that may be transiently invalid;
+// callers gate acceptance on the full Validator.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "core/state.hpp"
+
+namespace rtsp {
+
+/// Moves the action at index `from` to index `to` (to <= from); actions in
+/// [to, from) shift one slot right.
+void move_action_earlier(Schedule& h, std::size_t from, std::size_t to);
+
+/// Lenient execution state just before position `pos`, starting from x_old.
+ExecutionState simulate_prefix_lenient(const SystemModel& model,
+                                       const ReplicationMatrix& x_old,
+                                       const Schedule& h, std::size_t pos);
+
+/// Storage used on server `i` just before position `pos` under lenient
+/// semantics. O(pos).
+Size occupancy_before(const SystemModel& model, const ReplicationMatrix& x_old,
+                      const Schedule& h, std::size_t pos, ServerId i);
+
+/// How transfers orphaned by a pulled-forward deletion are re-sourced.
+enum class OrphanPolicy {
+  Dummy,             ///< H1: treat as new dummy transfers (paper's H'' trick)
+  NearestElseDummy,  ///< OP1 case (iii): nearest replicator at that position
+};
+
+struct SpaceRepairResult {
+  bool ok = false;        ///< destination can now host the transfer's object
+  std::size_t t_pos = 0;  ///< final position of the transfer
+  /// Transfers that were re-sourced to the dummy during the repair
+  /// (signatures, not positions — positions shift under later surgery).
+  std::vector<Action> new_dummies;
+};
+
+/// Makes room for the transfer at `t_pos` by moving deletions on its
+/// destination server from positions in (t_pos, limit] to immediately before
+/// it. Standalone deletions (no transfer in between reads the doomed
+/// replica) are moved first, in schedule order (H1 case ii); if space is
+/// still short, remaining deletions are moved and the transfers that read
+/// them are re-sourced per `policy` (H1 case iii / OP1 cases iii-iv).
+/// Deletions of the transfer's own object are never touched. All mutations
+/// stay within [t_pos, limit]; indices outside are unaffected.
+SpaceRepairResult pull_deletions_for_space(const SystemModel& model,
+                                           const ReplicationMatrix& x_old, Schedule& h,
+                                           std::size_t t_pos, std::size_t limit,
+                                           OrphanPolicy policy);
+
+/// Index of the last deletion of `object` strictly before `pos`, or npos.
+std::size_t find_preceding_deletion(const Schedule& h, std::size_t pos, ObjectId object);
+
+inline constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+}  // namespace rtsp

@@ -1,0 +1,43 @@
+#include "io/dot_export.hpp"
+
+#include <sstream>
+
+namespace rtsp {
+
+std::string topology_to_dot(const Graph& g) {
+  std::ostringstream os;
+  os << "graph topology {\n  node [shape=circle];\n";
+  for (std::size_t i = 0; i < g.num_nodes(); ++i) {
+    os << "  S" << i << ";\n";
+  }
+  for (const auto& e : g.edges()) {
+    os << "  S" << e.u << " -- S" << e.v << " [label=\"" << e.cost << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string transfer_graph_to_dot(const TransferGraph& g) {
+  std::ostringstream os;
+  os << "digraph transfers {\n  node [shape=circle];\n";
+  // Highlight servers inside multi-node SCCs (deadlock suspects).
+  std::vector<bool> in_cycle(g.num_servers(), false);
+  for (const auto& scc : g.strongly_connected_components()) {
+    if (scc.size() > 1) {
+      for (ServerId s : scc) in_cycle[s] = true;
+    }
+  }
+  for (std::size_t i = 0; i < g.num_servers(); ++i) {
+    os << "  S" << i;
+    if (in_cycle[i]) os << " [style=filled, fillcolor=lightcoral]";
+    os << ";\n";
+  }
+  for (const auto& arc : g.arcs()) {
+    os << "  S" << arc.from << " -> S" << arc.to << " [label=\"O" << arc.object
+       << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace rtsp

@@ -1,0 +1,19 @@
+// Graphviz DOT export of topologies and transfer graphs, for the examples
+// and for eyeballing deadlock cycles (Fig. 1b style).
+#pragma once
+
+#include <string>
+
+#include "core/transfer_graph.hpp"
+#include "topology/graph.hpp"
+
+namespace rtsp {
+
+/// Undirected topology with link costs as edge labels.
+std::string topology_to_dot(const Graph& g);
+
+/// The Sec.-3.3 transfer graph: directed arcs labelled with object ids;
+/// servers in multi-node strongly connected components are highlighted.
+std::string transfer_graph_to_dot(const TransferGraph& g);
+
+}  // namespace rtsp

@@ -1,0 +1,142 @@
+#include "io/instance_io.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "support/string_util.hpp"
+
+namespace rtsp {
+
+void write_instance(std::ostream& out, const Instance& instance) {
+  const SystemModel& m = instance.model;
+  out << "rtsp-instance v1\n";
+  out << "servers " << m.num_servers() << '\n';
+  out << "objects " << m.num_objects() << '\n';
+  out << "dummy_factor " << m.dummy_factor() << '\n';
+  out << "capacities";
+  for (ServerId i = 0; i < m.num_servers(); ++i) out << ' ' << m.capacity(i);
+  out << '\n';
+  out << "sizes";
+  for (ObjectId k = 0; k < m.num_objects(); ++k) out << ' ' << m.object_size(k);
+  out << '\n';
+  out << "costs\n";
+  for (ServerId i = 0; i < m.num_servers(); ++i) {
+    for (ServerId j = 0; j < m.num_servers(); ++j) {
+      out << m.costs().at(i, j) << (j + 1 < m.num_servers() ? ' ' : '\n');
+    }
+  }
+  auto dump_placement = [&](const char* tag, const ReplicationMatrix& x) {
+    for (ServerId i = 0; i < m.num_servers(); ++i) {
+      out << tag << ' ' << i;
+      for (ObjectId k : x.objects_on(i)) out << ' ' << k;
+      out << '\n';
+    }
+  };
+  dump_placement("old", instance.x_old);
+  dump_placement("new", instance.x_new);
+  out << "end\n";
+}
+
+std::string instance_to_text(const Instance& instance) {
+  std::ostringstream os;
+  write_instance(os, instance);
+  return os.str();
+}
+
+namespace {
+[[noreturn]] void fail(const std::string& why) {
+  throw std::runtime_error("instance parse error: " + why);
+}
+
+std::string next_line(std::istream& in) {
+  std::string line;
+  while (std::getline(in, line)) {
+    line = trim(line);
+    if (!line.empty()) return line;
+  }
+  fail("unexpected end of input");
+}
+}  // namespace
+
+Instance read_instance(std::istream& in) {
+  if (next_line(in) != "rtsp-instance v1") fail("bad magic line");
+
+  auto expect_keyword = [&](const std::string& line, const std::string& kw) {
+    if (!starts_with(line, kw + " ") && line != kw) {
+      fail("expected '" + kw + "', got '" + line + "'");
+    }
+  };
+
+  std::string line = next_line(in);
+  expect_keyword(line, "servers");
+  const std::size_t servers = std::stoul(line.substr(8));
+
+  line = next_line(in);
+  expect_keyword(line, "objects");
+  const std::size_t objects = std::stoul(line.substr(8));
+
+  line = next_line(in);
+  expect_keyword(line, "dummy_factor");
+  const double dummy_factor = std::stod(line.substr(13));
+
+  line = next_line(in);
+  expect_keyword(line, "capacities");
+  std::istringstream caps_in(line.substr(10));
+  std::vector<Size> caps(servers);
+  for (auto& c : caps) {
+    if (!(caps_in >> c)) fail("too few capacities");
+  }
+
+  line = next_line(in);
+  expect_keyword(line, "sizes");
+  std::istringstream sizes_in(line.substr(5));
+  std::vector<Size> sizes(objects);
+  for (auto& s : sizes) {
+    if (!(sizes_in >> s)) fail("too few sizes");
+  }
+
+  if (next_line(in) != "costs") fail("expected 'costs'");
+  std::vector<std::vector<LinkCost>> rows(servers, std::vector<LinkCost>(servers));
+  for (std::size_t i = 0; i < servers; ++i) {
+    std::istringstream row_in(next_line(in));
+    for (std::size_t j = 0; j < servers; ++j) {
+      if (!(row_in >> rows[i][j])) fail("short cost row " + std::to_string(i));
+    }
+  }
+
+  ReplicationMatrix x_old(servers, objects);
+  ReplicationMatrix x_new(servers, objects);
+  while (true) {
+    line = next_line(in);
+    if (line == "end") break;
+    std::istringstream row_in(line);
+    std::string tag;
+    long long server = -1;
+    if (!(row_in >> tag >> server) || server < 0 ||
+        static_cast<std::size_t>(server) >= servers) {
+      fail("bad placement line '" + line + "'");
+    }
+    ReplicationMatrix* target = nullptr;
+    if (tag == "old") target = &x_old;
+    else if (tag == "new") target = &x_new;
+    else fail("bad placement tag '" + tag + "'");
+    long long k = 0;
+    while (row_in >> k) {
+      if (k < 0 || static_cast<std::size_t>(k) >= objects) {
+        fail("object id out of range in '" + line + "'");
+      }
+      target->set(static_cast<ServerId>(server), static_cast<ObjectId>(k));
+    }
+  }
+
+  SystemModel model(ServerCatalog(std::move(caps)), ObjectCatalog(std::move(sizes)),
+                    CostMatrix::from_rows(std::move(rows)), dummy_factor);
+  return Instance{std::move(model), std::move(x_old), std::move(x_new)};
+}
+
+Instance instance_from_text(const std::string& text) {
+  std::istringstream is(text);
+  return read_instance(is);
+}
+
+}  // namespace rtsp

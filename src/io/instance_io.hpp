@@ -1,0 +1,22 @@
+// Plain-text RTSP instance serialisation (model + X_old + X_new), so
+// instances can be archived, diffed and replayed across machines.
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "workload/scenario.hpp"
+
+namespace rtsp {
+
+/// Writes the "rtsp-instance v1" format (self-describing, line-oriented).
+void write_instance(std::ostream& out, const Instance& instance);
+std::string instance_to_text(const Instance& instance);
+
+/// Parses what write_instance produced; throws std::runtime_error on
+/// malformed input.
+Instance read_instance(std::istream& in);
+Instance instance_from_text(const std::string& text);
+
+}  // namespace rtsp

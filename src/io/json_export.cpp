@@ -1,0 +1,209 @@
+#include "io/json_export.hpp"
+
+#include <cstdio>
+
+#include "core/delta.hpp"
+#include "core/feasibility.hpp"
+#include "support/assert.hpp"
+
+namespace rtsp {
+
+std::string JsonWriter::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::element_prefix() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // the key already emitted "name":
+  }
+  if (!stack_.empty()) {
+    if (stack_.back() == '1') out_ << ',';
+    else stack_.back() = '1';
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  element_prefix();
+  out_ << '{';
+  stack_.push_back('0');
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  RTSP_REQUIRE(!stack_.empty());
+  stack_.pop_back();
+  out_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  element_prefix();
+  out_ << '[';
+  stack_.push_back('0');
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  RTSP_REQUIRE(!stack_.empty());
+  stack_.pop_back();
+  out_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  RTSP_REQUIRE(!pending_key_);
+  element_prefix();
+  out_ << '"' << escape(name) << "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& s) {
+  element_prefix();
+  out_ << '"' << escape(s) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  element_prefix();
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  element_prefix();
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  element_prefix();
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out_ << buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  element_prefix();
+  out_ << (v ? "true" : "false");
+  return *this;
+}
+
+void schedule_to_json(std::ostream& out, const Schedule& schedule) {
+  JsonWriter j(out);
+  j.begin_object();
+  j.key("actions").begin_array();
+  for (const Action& a : schedule) {
+    j.begin_object();
+    j.key("type").value(a.is_transfer() ? "transfer" : "delete");
+    j.key("server").value(static_cast<std::uint64_t>(a.server));
+    j.key("object").value(static_cast<std::uint64_t>(a.object));
+    if (a.is_transfer()) {
+      if (a.is_dummy_transfer()) j.key("source").value("dummy");
+      else j.key("source").value(static_cast<std::uint64_t>(a.source));
+    }
+    j.end_object();
+  }
+  j.end_array();
+  j.key("transfers").value(schedule.transfer_count());
+  j.key("deletions").value(schedule.delete_count());
+  j.key("dummy_transfers").value(schedule.dummy_transfer_count());
+  j.end_object();
+  out << '\n';
+}
+
+void instance_summary_to_json(std::ostream& out, const Instance& instance) {
+  const SystemModel& m = instance.model;
+  const PlacementDelta delta(instance.x_old, instance.x_new);
+  JsonWriter j(out);
+  j.begin_object();
+  j.key("servers").value(m.num_servers());
+  j.key("objects").value(m.num_objects());
+  j.key("dummy_link_cost").value(static_cast<std::int64_t>(m.dummy_link_cost()));
+  j.key("outstanding").value(delta.outstanding().size());
+  j.key("superfluous").value(delta.superfluous().size());
+  j.key("overlap").value(instance.x_old.overlap(instance.x_new));
+  j.key("feasible").value(storage_feasible(m, instance.x_new));
+  j.key("cost_lower_bound")
+      .value(static_cast<std::int64_t>(
+          cost_lower_bound(m, instance.x_old, instance.x_new)));
+  j.key("worst_case_cost")
+      .value(static_cast<std::int64_t>(
+          worst_case_cost(m, instance.x_old, instance.x_new)));
+  j.key("capacities").begin_array();
+  for (ServerId i = 0; i < m.num_servers(); ++i) {
+    j.value(static_cast<std::int64_t>(m.capacity(i)));
+  }
+  j.end_array();
+  j.key("sizes").begin_array();
+  for (ObjectId k = 0; k < m.num_objects(); ++k) {
+    j.value(static_cast<std::int64_t>(m.object_size(k)));
+  }
+  j.end_array();
+  j.end_object();
+  out << '\n';
+}
+
+void sweep_to_json(std::ostream& out, const SweepResult& result,
+                   const std::string& x_label) {
+  JsonWriter j(out);
+  j.begin_object();
+  j.key("x_label").value(x_label);
+  j.key("algorithms").begin_array();
+  for (const auto& a : result.algorithms) j.value(a);
+  j.end_array();
+  j.key("points").begin_array();
+  for (std::size_t p = 0; p < result.point_labels.size(); ++p) {
+    j.begin_object();
+    j.key("x").value(result.point_labels[p]);
+    j.key("cells").begin_array();
+    for (std::size_t a = 0; a < result.algorithms.size(); ++a) {
+      j.begin_object();
+      j.key("algorithm").value(result.algorithms[a]);
+      for (const Metric m : {Metric::DummyTransfers, Metric::ImplementationCost,
+                             Metric::ScheduleLength, Metric::Seconds}) {
+        const SampleSet& s = metric_samples(result.cells[p][a], m);
+        std::string name = metric_name(m);
+        for (char& c : name) {
+          if (c == ' ') c = '_';
+        }
+        j.key(name).begin_object();
+        j.key("n").value(s.count());
+        j.key("mean").value(s.mean());
+        j.key("stddev").value(s.stddev());
+        j.key("min").value(s.min());
+        j.key("max").value(s.max());
+        j.end_object();
+      }
+      j.end_object();
+    }
+    j.end_array();
+    j.end_object();
+  }
+  j.end_array();
+  j.end_object();
+  out << '\n';
+}
+
+}  // namespace rtsp

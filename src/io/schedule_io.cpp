@@ -1,0 +1,87 @@
+#include "io/schedule_io.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "support/string_util.hpp"
+
+namespace rtsp {
+
+void write_schedule(std::ostream& out, const Schedule& schedule) {
+  for (const Action& a : schedule) {
+    if (a.is_transfer()) {
+      out << "T " << a.server << ' ' << a.object << ' ';
+      if (is_dummy(a.source)) out << "dummy";
+      else out << a.source;
+      out << '\n';
+    } else {
+      out << "D " << a.server << ' ' << a.object << '\n';
+    }
+  }
+}
+
+std::string schedule_to_text(const Schedule& schedule) {
+  std::ostringstream os;
+  write_schedule(os, schedule);
+  return os.str();
+}
+
+namespace {
+[[noreturn]] void parse_fail(std::size_t line_no, const std::string& line,
+                             const std::string& why) {
+  throw std::runtime_error("schedule parse error at line " + std::to_string(line_no) +
+                           " ('" + line + "'): " + why);
+}
+}  // namespace
+
+Schedule read_schedule(std::istream& in) {
+  Schedule h;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string body = trim(line.substr(0, line.find('#')));
+    if (body.empty()) continue;
+    std::istringstream fields(body);
+    std::string kind;
+    fields >> kind;
+    if (kind == "T") {
+      long long server = -1;
+      long long object = -1;
+      std::string source;
+      if (!(fields >> server >> object >> source)) {
+        parse_fail(line_no, line, "expected 'T <server> <object> <source>'");
+      }
+      if (server < 0 || object < 0) parse_fail(line_no, line, "negative id");
+      ServerId src = kDummyServer;
+      if (source != "dummy") {
+        try {
+          src = static_cast<ServerId>(std::stoul(source));
+        } catch (const std::exception&) {
+          parse_fail(line_no, line, "bad source '" + source + "'");
+        }
+      }
+      h.push_back(Action::transfer(static_cast<ServerId>(server),
+                                   static_cast<ObjectId>(object), src));
+    } else if (kind == "D") {
+      long long server = -1;
+      long long object = -1;
+      if (!(fields >> server >> object)) {
+        parse_fail(line_no, line, "expected 'D <server> <object>'");
+      }
+      if (server < 0 || object < 0) parse_fail(line_no, line, "negative id");
+      h.push_back(Action::remove(static_cast<ServerId>(server),
+                                 static_cast<ObjectId>(object)));
+    } else {
+      parse_fail(line_no, line, "unknown action kind '" + kind + "'");
+    }
+  }
+  return h;
+}
+
+Schedule schedule_from_text(const std::string& text) {
+  std::istringstream is(text);
+  return read_schedule(is);
+}
+
+}  // namespace rtsp

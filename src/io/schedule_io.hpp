@@ -1,0 +1,24 @@
+// Plain-text schedule serialisation.
+//
+// Format, one action per line (0-based ids; '#' starts a comment):
+//   T <server> <object> <source>    transfer; <source> is an id or "dummy"
+//   D <server> <object>             deletion
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "core/schedule.hpp"
+
+namespace rtsp {
+
+void write_schedule(std::ostream& out, const Schedule& schedule);
+std::string schedule_to_text(const Schedule& schedule);
+
+/// Parses the format above; throws std::runtime_error with a line number on
+/// malformed input.
+Schedule read_schedule(std::istream& in);
+Schedule schedule_from_text(const std::string& text);
+
+}  // namespace rtsp

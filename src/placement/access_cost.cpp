@@ -1,0 +1,35 @@
+#include "placement/access_cost.hpp"
+
+namespace rtsp {
+
+DemandMatrix uniform_demand(std::size_t servers, const std::vector<double>& rates) {
+  DemandMatrix d(servers, rates.size());
+  for (ServerId i = 0; i < servers; ++i) {
+    for (ObjectId k = 0; k < rates.size(); ++k) {
+      d.set(i, k, rates[k] / static_cast<double>(servers));
+    }
+  }
+  return d;
+}
+
+double access_cost(const SystemModel& model, const ReplicationMatrix& x,
+                   const DemandMatrix& demand) {
+  RTSP_REQUIRE(demand.servers() == model.num_servers());
+  RTSP_REQUIRE(demand.objects() == model.num_objects());
+  double total = 0.0;
+  for (ServerId i = 0; i < model.num_servers(); ++i) {
+    for (ObjectId k = 0; k < model.num_objects(); ++k) {
+      const double rate = demand.at(i, k);
+      if (rate == 0.0) continue;
+      LinkCost link = 0;
+      if (!x.test(i, k)) {
+        link = model.nearest_source_cost(i, k, x);  // dummy cost if no replica
+      }
+      total += rate * static_cast<double>(model.object_size(k)) *
+               static_cast<double>(link);
+    }
+  }
+  return total;
+}
+
+}  // namespace rtsp

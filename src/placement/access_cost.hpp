@@ -1,0 +1,40 @@
+// Client access cost of a replication scheme — the CDN/distributed-server
+// metric ([9], [13], [22] of the paper) that replica placement minimizes and
+// whose periodic re-optimization creates RTSP instances.
+#pragma once
+
+#include <vector>
+
+#include "core/replication.hpp"
+#include "core/system.hpp"
+
+namespace rtsp {
+
+/// Request rates: demand[i][k] = reads of object k issued at server i per
+/// unit time (a dense M x N matrix).
+struct DemandMatrix {
+  DemandMatrix(std::size_t servers, std::size_t objects)
+      : servers_(servers), objects_(objects), rates_(servers * objects, 0.0) {}
+
+  double at(ServerId i, ObjectId k) const { return rates_[i * objects_ + k]; }
+  void set(ServerId i, ObjectId k, double rate) { rates_[i * objects_ + k] = rate; }
+  std::size_t servers() const { return servers_; }
+  std::size_t objects() const { return objects_; }
+
+ private:
+  std::size_t servers_;
+  std::size_t objects_;
+  std::vector<double> rates_;
+};
+
+/// Builds demand where every server requests object k at rates[k] / M
+/// (uniform client spread over servers).
+DemandMatrix uniform_demand(std::size_t servers, const std::vector<double>& rates);
+
+/// Total access cost: sum over (i, k) of demand * s(O_k) * distance to the
+/// nearest replicator (0 when i replicates k itself; the dummy link cost
+/// when k has no replicator at all).
+double access_cost(const SystemModel& model, const ReplicationMatrix& x,
+                   const DemandMatrix& demand);
+
+}  // namespace rtsp

@@ -1,0 +1,106 @@
+#include "placement/greedy_place.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace rtsp {
+
+namespace {
+
+/// Access-cost reduction from adding replica (i, k) to x.
+double replica_benefit(const SystemModel& model, const ReplicationMatrix& x,
+                       const DemandMatrix& demand, ServerId i, ObjectId k) {
+  // Only object k's terms change; evaluate them directly.
+  double before = 0.0;
+  double after = 0.0;
+  for (ServerId j = 0; j < model.num_servers(); ++j) {
+    const double rate = demand.at(j, k);
+    if (rate == 0.0) continue;
+    LinkCost link_before = 0;
+    if (!x.test(j, k)) link_before = model.nearest_source_cost(j, k, x);
+    LinkCost link_after = link_before;
+    if (j == i) {
+      link_after = 0;
+    } else if (!x.test(j, k)) {
+      link_after = std::min(link_before, model.costs().at(j, i));
+    }
+    const double size = static_cast<double>(model.object_size(k));
+    before += rate * size * static_cast<double>(link_before);
+    after += rate * size * static_cast<double>(link_after);
+  }
+  return before - after;
+}
+
+}  // namespace
+
+ReplicationMatrix greedy_placement(const SystemModel& model, const DemandMatrix& demand,
+                                   const GreedyPlacementOptions& options, Rng& rng) {
+  RTSP_REQUIRE(demand.servers() == model.num_servers());
+  RTSP_REQUIRE(demand.objects() == model.num_objects());
+  const std::size_t m = model.num_servers();
+  const std::size_t n = model.num_objects();
+
+  ReplicationMatrix x(m, n);
+  std::vector<Size> used(m, 0);
+  std::vector<Size> budget(m);
+  for (ServerId i = 0; i < m; ++i) {
+    budget[i] = static_cast<Size>(
+        static_cast<double>(model.capacity(i)) * (1.0 - options.reserve_fraction));
+  }
+  auto fits = [&](ServerId i, ObjectId k) {
+    return used[i] + model.object_size(k) <= budget[i];
+  };
+  std::size_t total = 0;
+
+  // Phase 1: one mandatory replica per object, at the server with the
+  // highest demand-weighted pull that can host it (random tie-breaks).
+  std::vector<ObjectId> order(n);
+  for (ObjectId k = 0; k < n; ++k) order[k] = k;
+  rng.shuffle(order);
+  for (ObjectId k : order) {
+    ServerId best = kDummyServer;
+    double best_score = -1.0;
+    for (ServerId i = 0; i < m; ++i) {
+      if (!fits(i, k)) continue;
+      double score = 0.0;
+      for (ServerId j = 0; j < m; ++j) {
+        score += demand.at(j, k) /
+                 (1.0 + static_cast<double>(model.costs().at(j, i)));
+      }
+      if (score > best_score) {
+        best_score = score;
+        best = i;
+      }
+    }
+    RTSP_REQUIRE_MSG(!is_dummy(best), "no server can host object " << k);
+    x.set(best, k);
+    used[best] += model.object_size(k);
+    ++total;
+  }
+
+  // Phase 2: add replicas greedily by absolute benefit per storage unit.
+  while (options.max_total_replicas == 0 || total < options.max_total_replicas) {
+    ServerId best_i = kDummyServer;
+    ObjectId best_k = 0;
+    double best_density = 0.0;
+    for (ServerId i = 0; i < m; ++i) {
+      for (ObjectId k = 0; k < n; ++k) {
+        if (x.test(i, k) || !fits(i, k)) continue;
+        const double benefit = replica_benefit(model, x, demand, i, k);
+        const double density = benefit / static_cast<double>(model.object_size(k));
+        if (density > best_density) {
+          best_density = density;
+          best_i = i;
+          best_k = k;
+        }
+      }
+    }
+    if (is_dummy(best_i) || best_density <= 0.0) break;
+    x.set(best_i, best_k);
+    used[best_i] += model.object_size(best_k);
+    ++total;
+  }
+  return x;
+}
+
+}  // namespace rtsp

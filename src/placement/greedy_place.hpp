@@ -1,0 +1,30 @@
+// Greedy replica placement: produces the X_new that RTSP then implements.
+//
+// Classic greedy-by-benefit placement (Qiu et al. [17] family): starting
+// from one mandatory replica per object, repeatedly add the (server, object)
+// replica with the largest access-cost reduction per storage unit until no
+// replica fits or improves. This is deliberately a simple representative of
+// the placement literature — the paper treats placement as a black box whose
+// successive outputs feed RTSP.
+#pragma once
+
+#include "placement/access_cost.hpp"
+#include "support/rng.hpp"
+
+namespace rtsp {
+
+struct GreedyPlacementOptions {
+  /// Stop after this many replicas in total (0 = fill until no candidate).
+  std::size_t max_total_replicas = 0;
+  /// Keep a replica slot free on every server (fraction of capacity) so
+  /// the produced placements leave RTSP some room; 0 reproduces tight fits.
+  double reserve_fraction = 0.0;
+};
+
+/// Builds a placement for `demand` under the storage constraints of `model`.
+/// Every object gets at least one replica (at its cheapest demand-weighted
+/// server that fits); additional replicas are added greedily by benefit.
+ReplicationMatrix greedy_placement(const SystemModel& model, const DemandMatrix& demand,
+                                   const GreedyPlacementOptions& options, Rng& rng);
+
+}  // namespace rtsp

@@ -1,0 +1,36 @@
+#include "placement/zipf.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "support/assert.hpp"
+
+namespace rtsp {
+
+std::vector<double> zipf_weights(std::size_t count, double theta) {
+  RTSP_REQUIRE(theta >= 0.0);
+  std::vector<double> w(count);
+  double sum = 0.0;
+  for (std::size_t r = 0; r < count; ++r) {
+    w[r] = 1.0 / std::pow(static_cast<double>(r + 1), theta);
+    sum += w[r];
+  }
+  for (double& x : w) x /= sum;
+  return w;
+}
+
+std::vector<double> random_zipf_rates(std::size_t count, double theta,
+                                      double total_rate, Rng& rng) {
+  RTSP_REQUIRE(total_rate > 0.0);
+  std::vector<double> weights = zipf_weights(count, theta);
+  std::vector<std::size_t> ranking(count);
+  std::iota(ranking.begin(), ranking.end(), std::size_t{0});
+  rng.shuffle(ranking);
+  std::vector<double> rates(count);
+  for (std::size_t r = 0; r < count; ++r) {
+    rates[ranking[r]] = weights[r] * total_rate;
+  }
+  return rates;
+}
+
+}  // namespace rtsp

@@ -1,0 +1,21 @@
+// Zipf-like popularity distributions, the standard model for video/Web
+// object request rates (the paper's motivating workload).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace rtsp {
+
+/// Normalized popularity weights p_rank ~ 1/(rank+1)^theta for `count`
+/// objects, most popular first. theta = 0 is uniform.
+std::vector<double> zipf_weights(std::size_t count, double theta);
+
+/// Per-object request rates: zipf weights assigned to objects under a random
+/// popularity ranking, scaled so they sum to `total_rate`.
+std::vector<double> random_zipf_rates(std::size_t count, double theta,
+                                      double total_rate, Rng& rng);
+
+}  // namespace rtsp

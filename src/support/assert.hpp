@@ -1,0 +1,50 @@
+// Lightweight always-on assertion macros.
+//
+// RTSP_REQUIRE is used for precondition checks on public API boundaries and
+// stays enabled in release builds: the library manipulates schedules whose
+// invariants are cheap to check relative to the algorithms that use them.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace rtsp {
+
+/// Thrown when an RTSP_REQUIRE precondition fails.
+class PreconditionError : public std::logic_error {
+ public:
+  explicit PreconditionError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void require_failed(const char* expr, const char* file, int line,
+                                        const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw PreconditionError(os.str());
+}
+}  // namespace detail
+
+}  // namespace rtsp
+
+/// Precondition check that throws rtsp::PreconditionError on failure.
+#define RTSP_REQUIRE(expr)                                                \
+  do {                                                                    \
+    if (!(expr)) ::rtsp::detail::require_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+/// Precondition check with a streamed message, e.g.
+/// RTSP_REQUIRE_MSG(i < n, "server id " << i << " out of range");
+#define RTSP_REQUIRE_MSG(expr, stream_expr)                                  \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      std::ostringstream rtsp_require_os_;                                   \
+      rtsp_require_os_ << stream_expr;                                       \
+      ::rtsp::detail::require_failed(#expr, __FILE__, __LINE__,              \
+                                     rtsp_require_os_.str());                \
+    }                                                                        \
+  } while (0)

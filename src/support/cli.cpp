@@ -1,0 +1,65 @@
+#include "support/cli.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "support/string_util.hpp"
+
+namespace rtsp {
+
+CliOptions::CliOptions(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      arg.erase(0, 2);
+      const auto eq = arg.find('=');
+      if (eq != std::string::npos) {
+        flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        flags_[arg] = argv[++i];
+      } else {
+        flags_[arg] = "true";
+      }
+    } else {
+      positional_.push_back(arg);
+    }
+  }
+}
+
+bool CliOptions::has(const std::string& name) const { return flags_.count(name) != 0; }
+
+std::string CliOptions::get_string(const std::string& name, const std::string& env_var,
+                                   const std::string& fallback) const {
+  const auto it = flags_.find(name);
+  if (it != flags_.end()) return it->second;
+  if (!env_var.empty()) {
+    if (const char* v = std::getenv(env_var.c_str())) return v;
+  }
+  return fallback;
+}
+
+std::int64_t CliOptions::get_int(const std::string& name, const std::string& env_var,
+                                 std::int64_t fallback) const {
+  const std::string s = get_string(name, env_var, "");
+  if (s.empty()) return fallback;
+  return std::stoll(s);
+}
+
+double CliOptions::get_double(const std::string& name, const std::string& env_var,
+                              double fallback) const {
+  const std::string s = get_string(name, env_var, "");
+  if (s.empty()) return fallback;
+  return std::stod(s);
+}
+
+bool CliOptions::get_bool(const std::string& name, const std::string& env_var,
+                          bool fallback) const {
+  std::string s = get_string(name, env_var, "");
+  if (s.empty()) return fallback;
+  s = to_lower(s);
+  if (s == "1" || s == "true" || s == "yes" || s == "on") return true;
+  if (s == "0" || s == "false" || s == "no" || s == "off") return false;
+  throw std::invalid_argument("boolean option '" + name + "' got '" + s + "'");
+}
+
+}  // namespace rtsp

@@ -1,0 +1,46 @@
+// Tiny command-line / environment option parser for benches and examples.
+//
+// Usage:
+//   CliOptions cli(argc, argv);
+//   int trials = cli.get_int("trials", "RTSP_TRIALS", 5);
+//   std::string out = cli.get_string("csv", "RTSP_CSV", "");
+//
+// Flags are accepted as --name=value or --name value. Environment variables
+// (if named) act as defaults below explicit flags.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rtsp {
+
+class CliOptions {
+ public:
+  CliOptions() = default;
+  CliOptions(int argc, const char* const* argv);
+
+  /// True if --name or --name=... was passed.
+  bool has(const std::string& name) const;
+
+  /// Lookup order: explicit flag, then environment variable (if env_var
+  /// non-empty), then fallback.
+  std::string get_string(const std::string& name, const std::string& env_var,
+                         const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, const std::string& env_var,
+                       std::int64_t fallback) const;
+  double get_double(const std::string& name, const std::string& env_var,
+                    double fallback) const;
+  bool get_bool(const std::string& name, const std::string& env_var,
+                bool fallback) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace rtsp

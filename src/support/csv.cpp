@@ -1,0 +1,53 @@
+#include "support/csv.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace rtsp {
+
+std::string CsvWriter::escape(const std::string& s) {
+  const bool needs_quotes =
+      s.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return s;
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (char c : s) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  for (const auto& f : fields) field(f);
+  end_row();
+}
+
+CsvWriter& CsvWriter::field(const std::string& s) {
+  if (!at_row_start_) out_ << ',';
+  out_ << escape(s);
+  at_row_start_ = false;
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return field(std::string(buf));
+}
+
+CsvWriter& CsvWriter::field(std::int64_t v) { return field(std::to_string(v)); }
+CsvWriter& CsvWriter::field(std::uint64_t v) { return field(std::to_string(v)); }
+
+void CsvWriter::end_row() {
+  out_ << '\n';
+  at_row_start_ = true;
+}
+
+CsvFile::CsvFile(const std::string& path) : stream_(path), writer_(stream_) {
+  if (!stream_) throw std::runtime_error("cannot open CSV output file: " + path);
+}
+
+}  // namespace rtsp

@@ -1,0 +1,48 @@
+// Minimal CSV writer with RFC-4180 quoting, used for experiment dumps.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rtsp {
+
+/// Streams rows to an std::ostream. Fields containing commas, quotes or
+/// newlines are quoted; numeric overloads format with full precision.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  /// Writes a header or data row from pre-formatted fields.
+  void row(const std::vector<std::string>& fields);
+
+  /// Incremental interface: field(...) repeatedly, then end_row().
+  CsvWriter& field(const std::string& s);
+  CsvWriter& field(const char* s) { return field(std::string(s)); }
+  CsvWriter& field(double v);
+  CsvWriter& field(std::int64_t v);
+  CsvWriter& field(std::uint64_t v);
+  CsvWriter& field(int v) { return field(static_cast<std::int64_t>(v)); }
+  void end_row();
+
+  static std::string escape(const std::string& s);
+
+ private:
+  std::ostream& out_;
+  bool at_row_start_ = true;
+};
+
+/// Owns an output file plus a CsvWriter on it; throws on open failure.
+class CsvFile {
+ public:
+  explicit CsvFile(const std::string& path);
+  CsvWriter& writer() { return writer_; }
+
+ private:
+  std::ofstream stream_;
+  CsvWriter writer_;
+};
+
+}  // namespace rtsp

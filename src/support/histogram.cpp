@@ -1,0 +1,61 @@
+#include "support/histogram.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace rtsp {
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  RTSP_REQUIRE(lo < hi);
+  RTSP_REQUIRE(buckets >= 1);
+}
+
+Histogram Histogram::of(const std::vector<double>& values, std::size_t buckets) {
+  RTSP_REQUIRE(!values.empty());
+  double lo = values[0];
+  double hi = values[0];
+  for (double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (lo == hi) hi = lo + 1.0;  // degenerate data: one wide bucket
+  Histogram h(lo, hi, buckets);
+  for (double v : values) h.add(v);
+  return h;
+}
+
+void Histogram::add(double value) {
+  const double span = hi_ - lo_;
+  const double pos = (value - lo_) / span * static_cast<double>(counts_.size());
+  const std::ptrdiff_t raw = static_cast<std::ptrdiff_t>(pos);
+  const std::size_t idx = static_cast<std::size_t>(std::clamp<std::ptrdiff_t>(
+      raw, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1));
+  ++counts_[idx];
+  ++total_;
+}
+
+double Histogram::bucket_lo(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(counts_.size());
+}
+
+std::string Histogram::to_string(std::size_t bar_width) const {
+  std::size_t max_count = 1;
+  for (std::size_t c : counts_) max_count = std::max(max_count, c);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    char range[64];
+    std::snprintf(range, sizeof range, "[%11.4g, %11.4g)", bucket_lo(i),
+                  bucket_hi(i));
+    const std::size_t filled = counts_[i] * bar_width / max_count;
+    os << range << "  " << std::string(filled, '#')
+       << std::string(bar_width - filled, ' ') << "  " << counts_[i] << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace rtsp

@@ -1,0 +1,40 @@
+// Fixed-bucket histogram with ASCII rendering, used by the CLI `stats`
+// command to show transfer-cost distributions.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rtsp {
+
+class Histogram {
+ public:
+  /// `buckets` equal-width bins over [lo, hi]; values outside clamp to the
+  /// edge bins. Requires lo < hi and buckets >= 1.
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  /// Convenience: bounds from the data itself (min..max, padded when
+  /// degenerate). Requires non-empty values.
+  static Histogram of(const std::vector<double>& values, std::size_t buckets = 10);
+
+  void add(double value);
+
+  std::size_t count() const { return total_; }
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::size_t bucket(std::size_t i) const { return counts_[i]; }
+  double bucket_lo(std::size_t i) const;
+  double bucket_hi(std::size_t i) const { return bucket_lo(i + 1); }
+
+  /// Multi-line ASCII rendering, one row per bucket:
+  ///   [   10,    20)  ####______  12
+  std::string to_string(std::size_t bar_width = 30) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace rtsp

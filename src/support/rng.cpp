@@ -1,0 +1,33 @@
+#include "support/rng.hpp"
+
+#include <unordered_set>
+
+namespace rtsp {
+
+std::vector<std::size_t> sample_without_replacement(Rng& rng, std::size_t n,
+                                                    std::size_t count) {
+  RTSP_REQUIRE(count <= n);
+  std::vector<std::size_t> out;
+  out.reserve(count);
+  if (count * 3 >= n) {
+    // Dense case: partial Fisher-Yates over an index array.
+    std::vector<std::size_t> idx(n);
+    for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t j = i + static_cast<std::size_t>(rng.below(n - i));
+      std::swap(idx[i], idx[j]);
+      out.push_back(idx[i]);
+    }
+  } else {
+    // Sparse case: rejection sampling into a hash set.
+    std::unordered_set<std::size_t> seen;
+    seen.reserve(count * 2);
+    while (out.size() < count) {
+      const std::size_t x = static_cast<std::size_t>(rng.below(n));
+      if (seen.insert(x).second) out.push_back(x);
+    }
+  }
+  return out;
+}
+
+}  // namespace rtsp

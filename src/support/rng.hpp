@@ -1,0 +1,130 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// All experiment code seeds one Rng per trial via Rng::for_trial(base, trial)
+// so results are reproducible independently of thread scheduling. We use
+// xoshiro256** (Blackman & Vigna) seeded through SplitMix64, the standard
+// recipe; std::mt19937_64 is avoided because its state is large and its
+// distributions are not bit-reproducible across standard libraries.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace rtsp {
+
+/// SplitMix64 step: used for seed expansion and cheap hash mixing.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Mixes two 64-bit values into one (order-sensitive); used to derive
+/// independent per-trial seeds from (base_seed, trial_index).
+constexpr std::uint64_t mix64(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t s = a ^ (0x9e3779b97f4a7c15ULL + (b << 6) + (b >> 2));
+  std::uint64_t r = splitmix64(s);
+  s ^= b;
+  return r ^ splitmix64(s);
+}
+
+/// xoshiro256** generator. Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four words of state from `seed` via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x8badf00ddeadbeefULL) {
+    std::uint64_t sm = seed;
+    for (auto& w : state_) w = splitmix64(sm);
+  }
+
+  /// Deterministic per-trial generator: trials are independent streams.
+  static Rng for_trial(std::uint64_t base_seed, std::uint64_t trial) {
+    return Rng(mix64(base_seed, trial));
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<result_type>::max(); }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) using Lemire's multiply-shift rejection
+  /// method; bit-reproducible everywhere. bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) {
+    RTSP_REQUIRE(bound > 0);
+    // 128-bit multiply; rejection keeps the distribution exactly uniform.
+    while (true) {
+      const std::uint64_t x = (*this)();
+      const __uint128_t m = static_cast<__uint128_t>(x) * bound;
+      const std::uint64_t lo = static_cast<std::uint64_t>(m);
+      if (lo >= bound || lo >= (-bound) % bound) {
+        return static_cast<std::uint64_t>(m >> 64);
+      }
+    }
+  }
+
+  /// Uniform integer in the closed range [lo, hi].
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    RTSP_REQUIRE(lo <= hi);
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return span == 0  // full 64-bit range
+               ? static_cast<std::int64_t>((*this)())
+               : lo + static_cast<std::int64_t>(below(span));
+  }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double uniform01() { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi) { return lo + (hi - lo) * uniform01(); }
+
+  /// Bernoulli draw with probability p of true.
+  bool chance(double p) { return uniform01() < p; }
+
+  /// Fisher-Yates shuffle (deterministic given the generator state).
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Uniformly chosen element of a non-empty vector.
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    RTSP_REQUIRE(!v.empty());
+    return v[static_cast<std::size_t>(below(v.size()))];
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+/// Samples `count` distinct indices from [0, n) (count <= n), uniformly,
+/// in O(count) expected time; result is in random order.
+std::vector<std::size_t> sample_without_replacement(Rng& rng, std::size_t n,
+                                                    std::size_t count);
+
+}  // namespace rtsp

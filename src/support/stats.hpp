@@ -1,0 +1,60 @@
+// Streaming statistics accumulators used by the experiment harness.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rtsp {
+
+/// Welford-style accumulator: numerically stable mean/variance plus min/max.
+class StatAccumulator {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const { return std::sqrt(variance()); }
+  /// Standard error of the mean; 0 for fewer than two samples.
+  double stderr_mean() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Retains samples for percentile queries in addition to moments.
+class SampleSet {
+ public:
+  void add(double x);
+  std::size_t count() const { return samples_.size(); }
+  double mean() const { return acc_.mean(); }
+  double stddev() const { return acc_.stddev(); }
+  double stderr_mean() const { return acc_.stderr_mean(); }
+  double min() const { return acc_.min(); }
+  double max() const { return acc_.max(); }
+  /// Linear-interpolation percentile, q in [0,1]. Requires >= 1 sample.
+  double percentile(double q) const;
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  StatAccumulator acc_;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// "12.3k" / "4.56M"-style human-readable magnitude formatting.
+std::string human_count(double v);
+
+}  // namespace rtsp

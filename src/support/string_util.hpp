@@ -1,0 +1,23 @@
+// Small string helpers shared across the library.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rtsp {
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> split(const std::string& s, char delim);
+
+/// Trims ASCII whitespace from both ends.
+std::string trim(const std::string& s);
+
+std::string to_lower(std::string s);
+
+/// Joins items with `sep`.
+std::string join(const std::vector<std::string>& items, const std::string& sep);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(const std::string& s, const std::string& prefix);
+
+}  // namespace rtsp

@@ -1,0 +1,69 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace rtsp {
+
+void TextTable::header(std::vector<std::string> cells) { header_ = std::move(cells); }
+
+void TextTable::add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+void TextTable::align(std::size_t col, Align a) {
+  if (aligns_.size() <= col) aligns_.resize(col + 1);
+  aligns_[col] = a;
+}
+
+TextTable::Align TextTable::align_for(std::size_t col) const {
+  if (col < aligns_.size() && aligns_[col]) return *aligns_[col];
+  return col == 0 ? Align::Left : Align::Right;
+}
+
+void TextTable::print(std::ostream& out) const {
+  std::size_t ncols = header_.size();
+  for (const auto& r : rows_) ncols = std::max(ncols, r.size());
+  std::vector<std::size_t> width(ncols, 0);
+  auto widen = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c) width[c] = std::max(width[c], r[c].size());
+  };
+  if (!header_.empty()) widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < ncols; ++c) {
+      const std::string& cell = c < r.size() ? r[c] : std::string();
+      const std::size_t pad = width[c] - cell.size();
+      if (c) out << "  ";
+      if (align_for(c) == Align::Right) out << std::string(pad, ' ') << cell;
+      else out << cell << std::string(pad, ' ');
+    }
+    out << '\n';
+  };
+
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < ncols; ++c) total += width[c] + (c ? 2 : 0);
+    out << std::string(total, '-') << '\n';
+  }
+  for (const auto& r : rows_) emit(r);
+}
+
+std::string TextTable::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+std::string format_mean_err(double mean, double err) {
+  char buf[64];
+  if (err > 0.0) {
+    std::snprintf(buf, sizeof buf, "%.4g ± %.2g", mean, err);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.4g", mean);
+  }
+  return buf;
+}
+
+}  // namespace rtsp

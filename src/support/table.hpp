@@ -1,0 +1,38 @@
+// Column-aligned console table printer used by the benchmark harness to
+// print paper-style figure series.
+#pragma once
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rtsp {
+
+/// Collects rows of string cells and prints them with padded columns.
+/// The first row added via header() is separated by a rule.
+class TextTable {
+ public:
+  /// Column alignment; numbers read better right-aligned.
+  enum class Align { Left, Right };
+
+  void header(std::vector<std::string> cells);
+  void add_row(std::vector<std::string> cells);
+  /// Sets the alignment of column `col` (default Right for all but col 0).
+  void align(std::size_t col, Align a);
+
+  void print(std::ostream& out) const;
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::optional<Align>> aligns_;
+
+  Align align_for(std::size_t col) const;
+};
+
+/// Formats "mean ± stderr" with sensible precision for figure output.
+std::string format_mean_err(double mean, double err);
+
+}  // namespace rtsp

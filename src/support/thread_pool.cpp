@@ -1,0 +1,82 @@
+#include "support/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace rtsp {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  // An atomic cursor gives dynamic load balancing: trials vary wildly in
+  // runtime (OP1-heavy combos dominate), so static chunking would idle
+  // workers.
+  auto cursor = std::make_shared<std::atomic<std::size_t>>(0);
+  auto first_error = std::make_shared<std::atomic<bool>>(false);
+  auto error_mutex = std::make_shared<std::mutex>();
+  auto error = std::make_shared<std::exception_ptr>();
+
+  const std::size_t lanes = std::min(pool.size(), n);
+  std::vector<std::future<void>> futs;
+  futs.reserve(lanes);
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    futs.push_back(pool.submit([=, &body] {
+      while (true) {
+        const std::size_t i = cursor->fetch_add(1);
+        if (i >= n || first_error->load()) return;
+        try {
+          body(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(*error_mutex);
+          if (!first_error->exchange(true)) *error = std::current_exception();
+          return;
+        }
+      }
+    }));
+  }
+  for (auto& f : futs) f.get();
+  if (first_error->load()) std::rethrow_exception(*error);
+}
+
+void parallel_for(std::size_t threads, std::size_t n,
+                  const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  ThreadPool pool(threads);
+  parallel_for(pool, n, body);
+}
+
+}  // namespace rtsp

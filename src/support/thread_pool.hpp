@@ -1,0 +1,69 @@
+// Fixed-size thread pool plus a blocking parallel_for, used to run
+// independent experiment trials concurrently.
+//
+// Design notes (per the HPC guides): all parallelism is explicit, shared
+// mutable state is confined to the queue behind one mutex, and work items
+// never share data — each trial owns its Rng and instance. Determinism is
+// obtained by seeding per trial index, never per thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace rtsp {
+
+/// Simple FIFO thread pool. Tasks must not throw across the pool boundary
+/// unless retrieved through submit()'s future.
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 selects std::thread::hardware_concurrency
+  /// (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task; the returned future propagates its result/exception.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Runs body(i) for i in [0, n) on `pool`, blocking until all complete.
+/// Exceptions from bodies are rethrown (the first one encountered).
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& body);
+
+/// Convenience: parallel_for on a transient pool with `threads` workers
+/// (0 = hardware concurrency). For n==0 does nothing.
+void parallel_for(std::size_t threads, std::size_t n,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace rtsp

@@ -1,0 +1,74 @@
+#include "topology/cost_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "topology/shortest_paths.hpp"
+
+namespace rtsp {
+
+CostMatrix::CostMatrix(std::size_t n, LinkCost fill) : n_(n), data_(n * n, fill) {
+  RTSP_REQUIRE(fill >= 0);
+  for (std::size_t i = 0; i < n_; ++i) data_[i * n_ + i] = 0;
+}
+
+CostMatrix CostMatrix::from_graph_shortest_paths(const Graph& g) {
+  RTSP_REQUIRE_MSG(g.is_connected(), "cost matrix requires a connected graph");
+  CostMatrix m(g.num_nodes(), 0);
+  const auto apsp = all_pairs_shortest_paths(g);
+  for (std::size_t i = 0; i < m.n_; ++i) {
+    for (std::size_t j = 0; j < m.n_; ++j) m.data_[i * m.n_ + j] = apsp[i][j];
+  }
+  return m;
+}
+
+CostMatrix CostMatrix::from_rows(std::vector<std::vector<LinkCost>> rows) {
+  const std::size_t n = rows.size();
+  CostMatrix m(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    RTSP_REQUIRE_MSG(rows[i].size() == n, "cost matrix must be square");
+    for (std::size_t j = 0; j < n; ++j) {
+      RTSP_REQUIRE_MSG(rows[i][j] == rows[j][i], "cost matrix must be symmetric");
+      RTSP_REQUIRE(rows[i][j] >= 0);
+      if (i == j) RTSP_REQUIRE_MSG(rows[i][j] == 0, "diagonal must be zero");
+      m.data_[i * n + j] = rows[i][j];
+    }
+  }
+  return m;
+}
+
+void CostMatrix::set(std::size_t i, std::size_t j, LinkCost cost) {
+  RTSP_REQUIRE(i < n_ && j < n_ && i != j);
+  RTSP_REQUIRE(cost >= 0);
+  data_[i * n_ + j] = cost;
+  data_[j * n_ + i] = cost;
+}
+
+LinkCost CostMatrix::max_cost() const {
+  LinkCost m = 0;
+  for (LinkCost c : data_) m = std::max(m, c);
+  return m;
+}
+
+LinkCost CostMatrix::dummy_cost(double a) const {
+  RTSP_REQUIRE(a > 0.0);
+  const double raw = a * static_cast<double>(max_cost() + 1);
+  return static_cast<LinkCost>(std::llround(std::ceil(raw)));
+}
+
+std::vector<std::size_t> CostMatrix::sorted_neighbors(std::size_t i) const {
+  RTSP_REQUIRE(i < n_);
+  std::vector<std::size_t> order;
+  order.reserve(n_ > 0 ? n_ - 1 : 0);
+  for (std::size_t j = 0; j < n_; ++j) {
+    if (j != i) order.push_back(j);
+  }
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const LinkCost ca = at(i, a);
+    const LinkCost cb = at(i, b);
+    return ca != cb ? ca < cb : a < b;
+  });
+  return order;
+}
+
+}  // namespace rtsp

@@ -1,0 +1,55 @@
+// Dense symmetric matrix of per-unit server-to-server communication costs.
+//
+// This is the l_ij of the paper: fixed, symmetric, zero on the diagonal.
+// The dummy server's uniform cost a*(max l_ij + 1) is computed here but the
+// dummy itself is represented implicitly by SystemModel, not as a row.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "topology/graph.hpp"
+
+namespace rtsp {
+
+class CostMatrix {
+ public:
+  CostMatrix() = default;
+
+  /// n x n matrix with all off-diagonal entries `fill`.
+  CostMatrix(std::size_t n, LinkCost fill);
+
+  /// Builds the matrix of shortest-path costs of `g`; requires connectivity.
+  static CostMatrix from_graph_shortest_paths(const Graph& g);
+
+  /// Builds directly from explicit entries (must be square, symmetric,
+  /// zero diagonal, non-negative).
+  static CostMatrix from_rows(std::vector<std::vector<LinkCost>> rows);
+
+  std::size_t size() const { return n_; }
+
+  LinkCost at(std::size_t i, std::size_t j) const {
+    RTSP_REQUIRE(i < n_ && j < n_);
+    return data_[i * n_ + j];
+  }
+
+  /// Sets l_ij and l_ji; i != j, cost >= 0.
+  void set(std::size_t i, std::size_t j, LinkCost cost);
+
+  /// Largest off-diagonal entry (0 for matrices smaller than 2x2).
+  LinkCost max_cost() const;
+
+  /// The paper's dummy-transfer cost: a * (max l_ij + 1), rounded to
+  /// integer cost units (a = 1 in all the paper's experiments).
+  LinkCost dummy_cost(double a = 1.0) const;
+
+  /// Servers sorted by increasing cost from i (excluding i itself), ties
+  /// broken by index — the query order used for nearest-replicator lookups.
+  std::vector<std::size_t> sorted_neighbors(std::size_t i) const;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<LinkCost> data_;
+};
+
+}  // namespace rtsp

@@ -1,0 +1,160 @@
+#include "topology/generators.hpp"
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+namespace rtsp {
+
+namespace {
+LinkCost draw_cost(const LinkCostRange& r, Rng& rng) {
+  RTSP_REQUIRE(r.lo > 0 && r.lo <= r.hi);
+  return rng.uniform_int(r.lo, r.hi);
+}
+}  // namespace
+
+Graph barabasi_albert_tree(std::size_t n, LinkCostRange costs, Rng& rng) {
+  RTSP_REQUIRE(n >= 1);
+  Graph g(n);
+  if (n == 1) return g;
+  g.add_edge(0, 1, draw_cost(costs, rng));
+  // endpoint_bag holds each node once per incident edge, so sampling a
+  // uniform element of it is exactly degree-proportional sampling.
+  std::vector<std::size_t> endpoint_bag = {0, 1};
+  for (std::size_t v = 2; v < n; ++v) {
+    const std::size_t target = endpoint_bag[rng.below(endpoint_bag.size())];
+    g.add_edge(v, target, draw_cost(costs, rng));
+    endpoint_bag.push_back(v);
+    endpoint_bag.push_back(target);
+  }
+  return g;
+}
+
+Graph uniform_random_tree(std::size_t n, LinkCostRange costs, Rng& rng) {
+  RTSP_REQUIRE(n >= 1);
+  Graph g(n);
+  for (std::size_t v = 1; v < n; ++v) {
+    const std::size_t target = rng.below(v);
+    g.add_edge(v, target, draw_cost(costs, rng));
+  }
+  return g;
+}
+
+Graph erdos_renyi_connected(std::size_t n, double p, LinkCostRange costs, Rng& rng) {
+  RTSP_REQUIRE(n >= 1);
+  RTSP_REQUIRE(p >= 0.0 && p <= 1.0);
+  Graph g(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = u + 1; v < n; ++v) {
+      if (rng.chance(p)) g.add_edge(u, v, draw_cost(costs, rng));
+    }
+  }
+  // Connectivity repair: union-find the components, then wire every
+  // secondary component root to a random node of component 0's tree.
+  std::vector<std::size_t> parent(n);
+  for (std::size_t i = 0; i < n; ++i) parent[i] = i;
+  std::function<std::size_t(std::size_t)> find = [&](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (const auto& e : g.edges()) parent[find(e.u)] = find(e.v);
+  for (std::size_t v = 1; v < n; ++v) {
+    if (find(v) != find(0)) {
+      const std::size_t anchor = rng.below(v);
+      g.add_edge(v, anchor, draw_cost(costs, rng));
+      parent[find(v)] = find(anchor);
+    }
+  }
+  return g;
+}
+
+Graph waxman_connected(std::size_t n, WaxmanParams params, LinkCostRange costs,
+                       Rng& rng) {
+  RTSP_REQUIRE(n >= 1);
+  RTSP_REQUIRE(params.alpha > 0.0 && params.alpha <= 1.0);
+  RTSP_REQUIRE(params.beta > 0.0 && params.beta <= 1.0);
+  std::vector<double> xs(n);
+  std::vector<double> ys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs[i] = rng.uniform01();
+    ys[i] = rng.uniform01();
+  }
+  const double max_dist = std::sqrt(2.0);
+  Graph g(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = u + 1; v < n; ++v) {
+      const double dx = xs[u] - xs[v];
+      const double dy = ys[u] - ys[v];
+      const double d = std::sqrt(dx * dx + dy * dy);
+      const double p = params.alpha * std::exp(-d / (params.beta * max_dist));
+      if (rng.chance(p)) g.add_edge(u, v, draw_cost(costs, rng));
+    }
+  }
+  // Same union-find connectivity repair as erdos_renyi_connected.
+  std::vector<std::size_t> parent(n);
+  for (std::size_t i = 0; i < n; ++i) parent[i] = i;
+  std::function<std::size_t(std::size_t)> find = [&](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (const auto& e : g.edges()) parent[find(e.u)] = find(e.v);
+  for (std::size_t v = 1; v < n; ++v) {
+    if (find(v) != find(0)) {
+      const std::size_t anchor = rng.below(v);
+      g.add_edge(v, anchor, draw_cost(costs, rng));
+      parent[find(v)] = find(anchor);
+    }
+  }
+  return g;
+}
+
+Graph ring_graph(std::size_t n, LinkCost cost) {
+  RTSP_REQUIRE(n >= 3);
+  Graph g(n);
+  for (std::size_t i = 0; i < n; ++i) g.add_edge(i, (i + 1) % n, cost);
+  return g;
+}
+
+Graph star_graph(std::size_t n, LinkCost cost) {
+  RTSP_REQUIRE(n >= 2);
+  Graph g(n);
+  for (std::size_t i = 1; i < n; ++i) g.add_edge(0, i, cost);
+  return g;
+}
+
+Graph line_graph(std::size_t n, LinkCost cost) {
+  RTSP_REQUIRE(n >= 1);
+  Graph g(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1, cost);
+  return g;
+}
+
+Graph grid_graph(std::size_t rows, std::size_t cols, LinkCost cost) {
+  RTSP_REQUIRE(rows >= 1 && cols >= 1);
+  Graph g(rows * cols);
+  auto id = [cols](std::size_t r, std::size_t c) { return r * cols + c; };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(id(r, c), id(r, c + 1), cost);
+      if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c), cost);
+    }
+  }
+  return g;
+}
+
+Graph complete_graph(std::size_t n, LinkCost cost) {
+  RTSP_REQUIRE(n >= 1);
+  Graph g(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = u + 1; v < n; ++v) g.add_edge(u, v, cost);
+  }
+  return g;
+}
+
+}  // namespace rtsp

@@ -1,0 +1,53 @@
+// Random network generators.
+//
+// barabasi_albert_tree reproduces the paper's BRITE configuration: nodes join
+// one at a time and attach to an existing node chosen with probability
+// proportional to its current degree (preferential attachment, connectivity
+// 1), which yields the power-law-ish trees of Barabasi & Albert. Link costs
+// are drawn uniformly from an integer range (the paper uses [1, 10]).
+#pragma once
+
+#include <cstddef>
+
+#include "support/rng.hpp"
+#include "topology/graph.hpp"
+
+namespace rtsp {
+
+/// Inclusive integer range of per-link costs.
+struct LinkCostRange {
+  LinkCost lo = 1;
+  LinkCost hi = 10;
+};
+
+/// Preferential-attachment tree with n >= 1 nodes (the paper's topology).
+Graph barabasi_albert_tree(std::size_t n, LinkCostRange costs, Rng& rng);
+
+/// Uniform random attachment tree (each newcomer picks an existing node
+/// uniformly). Used as an ablation topology.
+Graph uniform_random_tree(std::size_t n, LinkCostRange costs, Rng& rng);
+
+/// G(n, p) with random costs, repaired to connectivity by linking each
+/// stranded component to a random node of the giant component.
+Graph erdos_renyi_connected(std::size_t n, double p, LinkCostRange costs, Rng& rng);
+
+/// Waxman random graph — BRITE's other classic model: nodes are placed
+/// uniformly in the unit square and each pair is linked with probability
+/// alpha * exp(-d / (beta * L)) where d is their Euclidean distance and L
+/// the maximum possible distance. Repaired to connectivity like
+/// erdos_renyi_connected. Used by the topology-sensitivity ablation.
+struct WaxmanParams {
+  double alpha = 0.4;  ///< overall link density, in (0, 1]
+  double beta = 0.3;   ///< decay length, in (0, 1]
+};
+Graph waxman_connected(std::size_t n, WaxmanParams params, LinkCostRange costs,
+                       Rng& rng);
+
+/// Deterministic shapes (fixed cost per link) for tests and examples.
+Graph ring_graph(std::size_t n, LinkCost cost);
+Graph star_graph(std::size_t n, LinkCost cost);   // node 0 is the hub
+Graph line_graph(std::size_t n, LinkCost cost);
+Graph grid_graph(std::size_t rows, std::size_t cols, LinkCost cost);
+Graph complete_graph(std::size_t n, LinkCost cost);
+
+}  // namespace rtsp

@@ -1,0 +1,47 @@
+#include "topology/graph.hpp"
+
+#include <vector>
+
+namespace rtsp {
+
+std::size_t Graph::add_node() {
+  adjacency_.emplace_back();
+  return adjacency_.size() - 1;
+}
+
+void Graph::add_edge(std::size_t u, std::size_t v, LinkCost cost) {
+  RTSP_REQUIRE_MSG(u < num_nodes() && v < num_nodes(),
+                   "edge endpoints " << u << "," << v << " out of range");
+  RTSP_REQUIRE(u != v);
+  RTSP_REQUIRE_MSG(cost > 0, "link cost must be positive, got " << cost);
+  adjacency_[u].push_back({v, cost});
+  adjacency_[v].push_back({u, cost});
+  edges_.push_back({u, v, cost});
+}
+
+bool Graph::is_connected() const {
+  const std::size_t n = num_nodes();
+  if (n <= 1) return true;
+  std::vector<bool> seen(n, false);
+  std::vector<std::size_t> stack = {0};
+  seen[0] = true;
+  std::size_t visited = 1;
+  while (!stack.empty()) {
+    const std::size_t u = stack.back();
+    stack.pop_back();
+    for (const auto& nb : adjacency_[u]) {
+      if (!seen[nb.node]) {
+        seen[nb.node] = true;
+        ++visited;
+        stack.push_back(nb.node);
+      }
+    }
+  }
+  return visited == n;
+}
+
+bool Graph::is_tree() const {
+  return num_nodes() > 0 && num_edges() == num_nodes() - 1 && is_connected();
+}
+
+}  // namespace rtsp

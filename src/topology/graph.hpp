@@ -1,0 +1,63 @@
+// Weighted undirected graph used to model the server network.
+//
+// The paper generates its topology with BRITE (Barabasi-Albert, connectivity
+// 1, i.e. a tree) and derives server-to-server costs as shortest-path sums of
+// integer link costs. This module provides the graph container; generators
+// and shortest paths live in sibling headers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace rtsp {
+
+/// Per-unit link cost. Integer so that all schedule costs are exact.
+using LinkCost = std::int64_t;
+
+/// Undirected weighted graph with an adjacency-list representation.
+class Graph {
+ public:
+  struct Edge {
+    std::size_t u;
+    std::size_t v;
+    LinkCost cost;
+  };
+  struct Neighbor {
+    std::size_t node;
+    LinkCost cost;
+  };
+
+  explicit Graph(std::size_t num_nodes = 0) : adjacency_(num_nodes) {}
+
+  std::size_t num_nodes() const { return adjacency_.size(); }
+  std::size_t num_edges() const { return edges_.size(); }
+
+  /// Appends an isolated node and returns its index.
+  std::size_t add_node();
+
+  /// Adds an undirected edge; cost must be positive. Parallel edges are
+  /// permitted (shortest-path code simply ignores the worse one).
+  void add_edge(std::size_t u, std::size_t v, LinkCost cost);
+
+  const std::vector<Neighbor>& neighbors(std::size_t u) const {
+    RTSP_REQUIRE(u < num_nodes());
+    return adjacency_[u];
+  }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  std::size_t degree(std::size_t u) const { return neighbors(u).size(); }
+
+  /// True if every node can reach every other (empty graphs are connected).
+  bool is_connected() const;
+
+  /// True if connected with exactly n-1 edges.
+  bool is_tree() const;
+
+ private:
+  std::vector<std::vector<Neighbor>> adjacency_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace rtsp

@@ -1,0 +1,63 @@
+#include "topology/shortest_paths.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+
+namespace rtsp {
+
+namespace {
+using QueueItem = std::pair<LinkCost, std::size_t>;  // (distance, node)
+}
+
+ShortestPathTree dijkstra_tree(const Graph& g, std::size_t source) {
+  RTSP_REQUIRE(source < g.num_nodes());
+  const std::size_t n = g.num_nodes();
+  ShortestPathTree out;
+  out.dist.assign(n, kUnreachable);
+  out.pred.assign(n, static_cast<std::size_t>(-1));
+  std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> pq;
+  out.dist[source] = 0;
+  pq.emplace(0, source);
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d != out.dist[u]) continue;  // stale entry
+    for (const auto& nb : g.neighbors(u)) {
+      const LinkCost nd = d + nb.cost;
+      if (nd < out.dist[nb.node]) {
+        out.dist[nb.node] = nd;
+        out.pred[nb.node] = u;
+        pq.emplace(nd, nb.node);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<LinkCost> dijkstra(const Graph& g, std::size_t source) {
+  return dijkstra_tree(g, source).dist;
+}
+
+std::vector<std::size_t> extract_path(const ShortestPathTree& t, std::size_t source,
+                                      std::size_t target) {
+  RTSP_REQUIRE(source < t.dist.size() && target < t.dist.size());
+  if (t.dist[target] == kUnreachable) return {};
+  std::vector<std::size_t> path;
+  for (std::size_t v = target; v != source; v = t.pred[v]) {
+    path.push_back(v);
+    RTSP_REQUIRE(v != static_cast<std::size_t>(-1));
+  }
+  path.push_back(source);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::vector<std::vector<LinkCost>> all_pairs_shortest_paths(const Graph& g) {
+  std::vector<std::vector<LinkCost>> d;
+  d.reserve(g.num_nodes());
+  for (std::size_t s = 0; s < g.num_nodes(); ++s) d.push_back(dijkstra(g, s));
+  return d;
+}
+
+}  // namespace rtsp

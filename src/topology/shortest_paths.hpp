@@ -1,0 +1,35 @@
+// Single-source and all-pairs shortest paths over Graph.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "topology/graph.hpp"
+
+namespace rtsp {
+
+/// Distance value reported for unreachable nodes.
+inline constexpr LinkCost kUnreachable = std::numeric_limits<LinkCost>::max();
+
+/// Dijkstra from `source`; returns per-node distances (kUnreachable where
+/// disconnected). All edge costs must be positive (enforced by Graph).
+std::vector<LinkCost> dijkstra(const Graph& g, std::size_t source);
+
+/// Dijkstra that also returns the predecessor array for path extraction
+/// (predecessor of the source and of unreachable nodes is SIZE_MAX).
+struct ShortestPathTree {
+  std::vector<LinkCost> dist;
+  std::vector<std::size_t> pred;
+};
+ShortestPathTree dijkstra_tree(const Graph& g, std::size_t source);
+
+/// Reconstructs the node sequence source..target from a ShortestPathTree;
+/// empty if target is unreachable.
+std::vector<std::size_t> extract_path(const ShortestPathTree& t, std::size_t source,
+                                      std::size_t target);
+
+/// All-pairs shortest path distances (n Dijkstra runs; the graphs here are
+/// small and sparse, so this beats Floyd-Warshall in practice).
+std::vector<std::vector<LinkCost>> all_pairs_shortest_paths(const Graph& g);
+
+}  // namespace rtsp

@@ -1,0 +1,171 @@
+#include "workload/balanced_placement.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace rtsp {
+
+namespace {
+
+bool allowed(const BalancedPlacementSpec& spec, const ReplicationMatrix& partial,
+             ServerId s, ObjectId k) {
+  if (partial.test(s, k)) return false;
+  if (spec.forbidden && spec.forbidden->test(s, k)) return false;
+  return true;
+}
+
+/// Frees one quota unit on some server allowed for `k` by relocating an
+/// already-placed replica of another object from it to `overfull`, a server
+/// with spare quota that is disallowed for `k`. Returns the freed server or
+/// kDummyServer on failure.
+ServerId swap_repair(const BalancedPlacementSpec& spec, ReplicationMatrix& partial,
+                     std::vector<std::size_t>& quota, ObjectId k, Rng& rng) {
+  std::vector<ServerId> donors;  // spare quota, but disallowed for k
+  for (ServerId s = 0; s < spec.servers; ++s) {
+    if (quota[s] > 0 && !allowed(spec, partial, s, k)) donors.push_back(s);
+  }
+  rng.shuffle(donors);
+  std::vector<ServerId> hosts;  // allowed for k but out of quota
+  for (ServerId s = 0; s < spec.servers; ++s) {
+    if (quota[s] == 0 && allowed(spec, partial, s, k)) hosts.push_back(s);
+  }
+  rng.shuffle(hosts);
+  for (ServerId host : hosts) {
+    std::vector<ObjectId> residents = partial.objects_on(host);
+    rng.shuffle(residents);
+    for (ObjectId moved : residents) {
+      // Pinned replicas are immovable.
+      if (spec.pinned && spec.pinned->test(host, moved)) continue;
+      for (ServerId donor : donors) {
+        if (!allowed(spec, partial, donor, moved)) continue;
+        partial.clear(host, moved);
+        partial.set(donor, moved);
+        --quota[donor];
+        ++quota[host];
+        return host;
+      }
+    }
+  }
+  return kDummyServer;
+}
+
+}  // namespace
+
+ReplicationMatrix balanced_random_placement(const BalancedPlacementSpec& spec,
+                                            Rng& rng) {
+  RTSP_REQUIRE(spec.servers > 0 && spec.objects > 0);
+  RTSP_REQUIRE_MSG(spec.replicas_per_object >= 1 &&
+                       spec.replicas_per_object <= spec.servers,
+                   "replicas per object must be in [1, servers]");
+  if (spec.forbidden) {
+    RTSP_REQUIRE(spec.forbidden->num_servers() == spec.servers);
+    RTSP_REQUIRE(spec.forbidden->num_objects() == spec.objects);
+  }
+  if (spec.pinned) {
+    RTSP_REQUIRE(spec.pinned->num_servers() == spec.servers);
+    RTSP_REQUIRE(spec.pinned->num_objects() == spec.objects);
+    if (spec.forbidden) {
+      RTSP_REQUIRE_MSG(spec.pinned->overlap(*spec.forbidden) == 0,
+                       "pinned and forbidden replicas must be disjoint");
+    }
+  }
+
+  // Per-server quotas: equal shares, remainder spread over random servers.
+  const std::size_t total = spec.objects * spec.replicas_per_object;
+  std::vector<std::size_t> quota(spec.servers, total / spec.servers);
+  {
+    const std::size_t rem = total % spec.servers;
+    for (std::size_t idx : sample_without_replacement(rng, spec.servers, rem)) {
+      ++quota[idx];
+    }
+  }
+
+  ReplicationMatrix placement(spec.servers, spec.objects);
+  std::vector<std::size_t> still_needed(spec.objects, spec.replicas_per_object);
+  if (spec.pinned) {
+    for (ObjectId k = 0; k < spec.objects; ++k) {
+      for (ServerId s : spec.pinned->replicators_of(k)) {
+        RTSP_REQUIRE_MSG(still_needed[k] > 0,
+                         "object " << k << " pins more than replicas_per_object");
+        RTSP_REQUIRE_MSG(quota[s] > 0,
+                         "pinned replicas overload server " << s << "'s quota");
+        placement.set(s, k);
+        --quota[s];
+        --still_needed[k];
+      }
+    }
+  }
+
+  std::vector<ObjectId> order(spec.objects);
+  std::iota(order.begin(), order.end(), 0u);
+  rng.shuffle(order);
+
+  for (ObjectId k : order) {
+    for (std::size_t rep = 0; rep < still_needed[k]; ++rep) {
+      // Sample a server proportionally to its remaining quota (the
+      // configuration-model distribution), which both randomizes the
+      // placement and keeps the tail feasible.
+      std::size_t weight_total = 0;
+      for (ServerId s = 0; s < spec.servers; ++s) {
+        if (allowed(spec, placement, s, k)) weight_total += quota[s];
+      }
+      ServerId chosen = kDummyServer;
+      if (weight_total > 0) {
+        std::size_t ticket = rng.below(weight_total);
+        for (ServerId s = 0; s < spec.servers; ++s) {
+          if (!allowed(spec, placement, s, k)) continue;
+          if (ticket < quota[s]) {
+            chosen = s;
+            break;
+          }
+          ticket -= quota[s];
+        }
+        RTSP_REQUIRE(!is_dummy(chosen));
+      } else {
+        chosen = swap_repair(spec, placement, quota, k, rng);
+        RTSP_REQUIRE_MSG(!is_dummy(chosen),
+                         "balanced placement infeasible for object "
+                             << k << " (servers=" << spec.servers
+                             << ", replicas=" << spec.replicas_per_object << ")");
+      }
+      placement.set(chosen, k);
+      --quota[chosen];
+    }
+  }
+  return placement;
+}
+
+ReplicationMatrix overlapping_balanced_placement(const ReplicationMatrix& x_old,
+                                                 std::size_t replicas_per_object,
+                                                 double overlap_fraction, Rng& rng) {
+  RTSP_REQUIRE(overlap_fraction >= 0.0 && overlap_fraction <= 1.0);
+  const std::size_t servers = x_old.num_servers();
+  const std::size_t objects = x_old.num_objects();
+  const std::size_t keep_per_object = static_cast<std::size_t>(
+      overlap_fraction * static_cast<double>(replicas_per_object) + 0.5);
+
+  ReplicationMatrix pinned(servers, objects);
+  ReplicationMatrix forbidden(servers, objects);
+  for (ObjectId k = 0; k < objects; ++k) {
+    std::vector<ServerId> old_sites = x_old.replicators_of(k);
+    RTSP_REQUIRE_MSG(old_sites.size() == replicas_per_object,
+                     "x_old must have exactly replicas_per_object replicas of "
+                     "every object (object " << k << " has " << old_sites.size()
+                                             << ")");
+    rng.shuffle(old_sites);
+    for (std::size_t idx = 0; idx < old_sites.size(); ++idx) {
+      if (idx < keep_per_object) pinned.set(old_sites[idx], k);
+      else forbidden.set(old_sites[idx], k);
+    }
+  }
+
+  BalancedPlacementSpec spec;
+  spec.servers = servers;
+  spec.objects = objects;
+  spec.replicas_per_object = replicas_per_object;
+  spec.forbidden = &forbidden;
+  spec.pinned = &pinned;
+  return balanced_random_placement(spec, rng);
+}
+
+}  // namespace rtsp

@@ -1,0 +1,48 @@
+// Balanced random placement generation.
+//
+// The paper's experiments allocate every object to `r` distinct servers,
+// uniformly at random, with every server holding exactly the same number of
+// replicas ("replicas equally distributed to servers"), and build X_new the
+// same way with zero overlap against X_old. This module implements that as
+// a quota-constrained random bipartite assignment with a swap-repair phase.
+#pragma once
+
+#include "core/replication.hpp"
+#include "support/rng.hpp"
+
+namespace rtsp {
+
+struct BalancedPlacementSpec {
+  std::size_t servers = 0;
+  std::size_t objects = 0;
+  /// Replicas per object; must satisfy replicas <= servers.
+  std::size_t replicas_per_object = 1;
+  /// Replica positions that must remain empty (e.g. X_old, to force the
+  /// paper's 0% overlap). May be null.
+  const ReplicationMatrix* forbidden = nullptr;
+  /// Replica positions that must be present (counting towards quotas and
+  /// per-object counts) — used to dial in a target overlap with X_old.
+  /// May be null; must be disjoint from `forbidden` and contain at most
+  /// replicas_per_object replicas per object.
+  const ReplicationMatrix* pinned = nullptr;
+};
+
+/// Generates a placement where every object has exactly
+/// `replicas_per_object` replicas, per-server replica counts differ by at
+/// most one (exactly equal when servers divides objects*replicas), every
+/// `pinned` replica is present and no replica collides with `forbidden`.
+/// Throws via RTSP_REQUIRE when the constraints are unsatisfiable after
+/// repair attempts.
+ReplicationMatrix balanced_random_placement(const BalancedPlacementSpec& spec, Rng& rng);
+
+/// Builds an X_new with (approximately) `overlap_fraction` of X_old's
+/// replicas retained in place: per object, round(f*r) random old sites are
+/// pinned and the rest are placed on fresh servers, with per-server load
+/// kept balanced. f = 0 reproduces the paper's zero-overlap regime; f = 1
+/// returns X_old itself. `x_old` must itself have `replicas_per_object`
+/// replicas of every object (as the paper's workloads do).
+ReplicationMatrix overlapping_balanced_placement(const ReplicationMatrix& x_old,
+                                                 std::size_t replicas_per_object,
+                                                 double overlap_fraction, Rng& rng);
+
+}  // namespace rtsp

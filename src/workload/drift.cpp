@@ -1,0 +1,80 @@
+#include "workload/drift.hpp"
+
+#include <algorithm>
+
+#include "placement/access_cost.hpp"
+#include "placement/greedy_place.hpp"
+#include "placement/zipf.hpp"
+
+namespace rtsp {
+
+DriftTrace generate_drift_trace(const DriftTraceSpec& spec, Rng& rng) {
+  RTSP_REQUIRE(spec.days >= 1);
+  RTSP_REQUIRE(spec.servers >= 2 && spec.objects >= 1);
+  RTSP_REQUIRE(spec.churn >= 0.0 && spec.churn <= 1.0);
+  RTSP_REQUIRE(spec.arrival_rate >= 0.0 && spec.arrival_rate <= 1.0);
+  RTSP_REQUIRE_MSG(spec.capacity_factor > 1.0,
+                   "capacity factor must exceed 1 for placements to fit");
+
+  const Graph g = barabasi_albert_tree(spec.servers, spec.link_costs, rng);
+  const Size capacity = static_cast<Size>(
+      spec.capacity_factor * static_cast<double>(spec.objects) *
+      static_cast<double>(spec.object_size) / static_cast<double>(spec.servers));
+  SystemModel model(ServerCatalog::uniform(spec.servers, capacity),
+                    ObjectCatalog::uniform(spec.objects, spec.object_size),
+                    CostMatrix::from_graph_shortest_paths(g));
+
+  DriftTrace trace{std::move(model), {}, {}, {}};
+  const SystemModel& m = trace.model;
+
+  std::vector<double> rates =
+      random_zipf_rates(spec.objects, spec.zipf_theta, spec.total_request_rate, rng);
+  const auto fresh_weights = zipf_weights(spec.objects, spec.zipf_theta);
+
+  std::vector<bool> arrived_today(spec.objects, false);
+  for (std::size_t day = 0; day < spec.days; ++day) {
+    if (day > 0) {
+      // Churn: re-roll a fraction of popularities (hits cool, sleepers rise).
+      const std::size_t churned = static_cast<std::size_t>(
+          spec.churn * static_cast<double>(spec.objects));
+      for (std::size_t idx :
+           sample_without_replacement(rng, spec.objects, churned)) {
+        const std::size_t rank = rng.below(spec.objects);
+        rates[idx] = fresh_weights[rank] * spec.total_request_rate;
+      }
+      // Arrivals: replace objects with brand-new content.
+      std::fill(arrived_today.begin(), arrived_today.end(), false);
+      const std::size_t arrivals = static_cast<std::size_t>(
+          spec.arrival_rate * static_cast<double>(spec.objects));
+      for (std::size_t idx :
+           sample_without_replacement(rng, spec.objects, arrivals)) {
+        arrived_today[idx] = true;
+        // New releases tend to be popular: draw from the top half.
+        const std::size_t rank = rng.below(std::max<std::size_t>(1, spec.objects / 2));
+        rates[idx] = fresh_weights[rank] * spec.total_request_rate;
+      }
+    }
+    trace.daily_rates.push_back(rates);
+    const DemandMatrix demand = uniform_demand(spec.servers, rates);
+    trace.placements.push_back(greedy_placement(m, demand, {}, rng));
+
+    if (day > 0) {
+      DriftTransition tr;
+      tr.x_old = trace.placements[day - 1];
+      tr.x_new = trace.placements[day];
+      // Newly arrived objects have no pre-existing replicas: clear their
+      // columns in x_old so their first copy must come from the archive.
+      for (ObjectId k = 0; k < spec.objects; ++k) {
+        if (!arrived_today[k]) continue;
+        ++tr.new_objects;
+        for (ServerId i = 0; i < spec.servers; ++i) {
+          if (tr.x_old.test(i, k)) tr.x_old.clear(i, k);
+        }
+      }
+      trace.transitions.push_back(std::move(tr));
+    }
+  }
+  return trace;
+}
+
+}  // namespace rtsp

@@ -1,0 +1,61 @@
+// Popularity-drift traces: multi-day workloads where RTSP is invoked once
+// per transition — the paper's motivating scenario ("user preferences change
+// with time ... the replication scheme must be changed e.g. on a daily
+// basis", Sec. 2.1) and the substrate of the continuous-rebalance example.
+//
+// Each day has Zipf-distributed request rates. Between days the ranking
+// churns (hits cool down) and a fraction of the catalogue is replaced by
+// brand-new objects (new releases). A new object has no replica anywhere, so
+// its first copy must come from the dummy server — the paper's deep-archive
+// fetch — making some dummy transfers legitimately unavoidable.
+#pragma once
+
+#include <vector>
+
+#include "core/system.hpp"
+#include "support/rng.hpp"
+#include "topology/generators.hpp"
+
+namespace rtsp {
+
+struct DriftTraceSpec {
+  std::size_t servers = 16;
+  std::size_t objects = 120;
+  std::size_t days = 5;
+  double zipf_theta = 1.0;
+  /// Fraction of objects whose popularity is re-rolled each day.
+  double churn = 0.25;
+  /// Fraction of the catalogue replaced by new objects each day.
+  double arrival_rate = 0.05;
+  double total_request_rate = 1000.0;
+  LinkCostRange link_costs{1, 10};
+  Size object_size = 10;
+  /// Per-server capacity as a multiple of the fair share
+  /// objects * size / servers; must be > 1 for replication to exist.
+  double capacity_factor = 1.6;
+};
+
+/// One day-to-day transition, ready to feed an RTSP pipeline. x_old is the
+/// previous day's placement with the columns of newly arrived objects
+/// cleared (their old content is gone; the bits cannot serve as sources).
+struct DriftTransition {
+  ReplicationMatrix x_old;
+  ReplicationMatrix x_new;
+  std::size_t new_objects = 0;  ///< arrivals in this transition
+};
+
+struct DriftTrace {
+  SystemModel model;
+  /// Per-day request rates (days entries).
+  std::vector<std::vector<double>> daily_rates;
+  /// Per-day placements (days entries, greedy placement per day).
+  std::vector<ReplicationMatrix> placements;
+  /// days - 1 transitions between consecutive placements.
+  std::vector<DriftTransition> transitions;
+};
+
+/// Generates the full trace: topology, daily demand, daily placements and
+/// the RTSP transitions between them.
+DriftTrace generate_drift_trace(const DriftTraceSpec& spec, Rng& rng);
+
+}  // namespace rtsp

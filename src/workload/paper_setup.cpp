@@ -1,0 +1,87 @@
+#include "workload/paper_setup.hpp"
+
+#include "workload/balanced_placement.hpp"
+
+namespace rtsp {
+
+namespace {
+
+/// Shared assembly: draw the tree, the two balanced zero-overlap
+/// placements, and the minimum capacities.
+Instance assemble(const PaperSetup& setup, ObjectCatalog objects,
+                  std::size_t replicas, Size extra_per_server,
+                  std::size_t servers_with_extra, Rng& rng) {
+  RTSP_REQUIRE(replicas >= 1 && replicas * 2 <= setup.servers);
+
+  const Graph g = barabasi_albert_tree(setup.servers, setup.link_costs, rng);
+  CostMatrix costs = CostMatrix::from_graph_shortest_paths(g);
+
+  BalancedPlacementSpec old_spec;
+  old_spec.servers = setup.servers;
+  old_spec.objects = setup.objects;
+  old_spec.replicas_per_object = replicas;
+  ReplicationMatrix x_old = balanced_random_placement(old_spec, rng);
+
+  BalancedPlacementSpec new_spec = old_spec;
+  new_spec.forbidden = &x_old;  // the paper's 0% overlap
+  ReplicationMatrix x_new = balanced_random_placement(new_spec, rng);
+
+  std::vector<Size> caps = minimum_capacities(objects, x_old, x_new);
+  if (servers_with_extra > 0) {
+    RTSP_REQUIRE(servers_with_extra <= setup.servers);
+    for (std::size_t idx :
+         sample_without_replacement(rng, setup.servers, servers_with_extra)) {
+      caps[idx] += extra_per_server;
+    }
+  }
+
+  SystemModel model(ServerCatalog(std::move(caps)), std::move(objects),
+                    std::move(costs), setup.dummy_factor);
+  return Instance{std::move(model), std::move(x_old), std::move(x_new)};
+}
+
+}  // namespace
+
+Instance make_equal_size_instance(const PaperSetup& setup, std::size_t replicas,
+                                  Rng& rng) {
+  return assemble(setup, ObjectCatalog::uniform(setup.objects, setup.object_size),
+                  replicas, 0, 0, rng);
+}
+
+Instance make_uniform_size_instance(const PaperSetup& setup, std::size_t replicas,
+                                    Rng& rng) {
+  std::vector<Size> sizes(setup.objects);
+  for (Size& s : sizes) {
+    s = rng.uniform_int(setup.min_object_size, setup.max_object_size);
+  }
+  return assemble(setup, ObjectCatalog(std::move(sizes)), replicas, 0, 0, rng);
+}
+
+Instance make_extra_capacity_instance(const PaperSetup& setup, std::size_t replicas,
+                                      std::size_t servers_with_extra, Rng& rng) {
+  return assemble(setup, ObjectCatalog::uniform(setup.objects, setup.object_size),
+                  replicas, setup.object_size, servers_with_extra, rng);
+}
+
+Instance make_overlap_instance(const PaperSetup& setup, std::size_t replicas,
+                               double overlap_fraction, Rng& rng) {
+  RTSP_REQUIRE(replicas >= 1 && replicas * 2 <= setup.servers);
+  const Graph g = barabasi_albert_tree(setup.servers, setup.link_costs, rng);
+  CostMatrix costs = CostMatrix::from_graph_shortest_paths(g);
+
+  BalancedPlacementSpec old_spec;
+  old_spec.servers = setup.servers;
+  old_spec.objects = setup.objects;
+  old_spec.replicas_per_object = replicas;
+  ReplicationMatrix x_old = balanced_random_placement(old_spec, rng);
+  ReplicationMatrix x_new =
+      overlapping_balanced_placement(x_old, replicas, overlap_fraction, rng);
+
+  ObjectCatalog objects = ObjectCatalog::uniform(setup.objects, setup.object_size);
+  std::vector<Size> caps = minimum_capacities(objects, x_old, x_new);
+  SystemModel model(ServerCatalog(std::move(caps)), std::move(objects),
+                    std::move(costs), setup.dummy_factor);
+  return Instance{std::move(model), std::move(x_old), std::move(x_new)};
+}
+
+}  // namespace rtsp

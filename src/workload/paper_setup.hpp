@@ -1,0 +1,53 @@
+// The exact experimental setups of the paper's Sec. 5.1:
+//
+//   * 50-server BRITE-like Barabasi-Albert tree, connectivity 1;
+//   * per-link costs uniform in {1..10}; server-to-server cost =
+//     shortest-path sum;
+//   * 1000 objects, dummy-cost constant a = 1;
+//   * X_old random and balanced, X_new balanced with 0% overlap
+//     ("servers interchanging their objects");
+//   * server capacities at the minimum needed for X_old and X_new.
+//
+// Experiment 1 (Figs. 4-5): equal object sizes (5000), replicas/object 1..5.
+// Experiment 2 (Figs. 6-7): sizes uniform in [1000, 5000].
+// Experiment 3 (Figs. 8-9): equal sizes, 2 replicas/object, a growing number
+// of random servers gets one extra object slot of capacity.
+#pragma once
+
+#include "support/rng.hpp"
+#include "workload/scenario.hpp"
+
+namespace rtsp {
+
+struct PaperSetup {
+  std::size_t servers = 50;
+  std::size_t objects = 1000;
+  LinkCostRange link_costs{1, 10};
+  double dummy_factor = 1.0;  // the paper's a
+  Size object_size = 5000;    // equal-size experiments
+  Size min_object_size = 1000;  // uniform-size experiment
+  Size max_object_size = 5000;
+};
+
+/// Experiment 1 instance: equal sizes, `replicas` copies of every object.
+Instance make_equal_size_instance(const PaperSetup& setup, std::size_t replicas,
+                                  Rng& rng);
+
+/// Experiment 2 instance: object sizes uniform in
+/// [min_object_size, max_object_size].
+Instance make_uniform_size_instance(const PaperSetup& setup, std::size_t replicas,
+                                    Rng& rng);
+
+/// Experiment 3 instance: equal sizes, `replicas` copies (the paper fixes
+/// 2), and `servers_with_extra` random servers with one extra object slot.
+Instance make_extra_capacity_instance(const PaperSetup& setup, std::size_t replicas,
+                                      std::size_t servers_with_extra, Rng& rng);
+
+/// Overlap-sweep instance (part of the evaluation the paper omits for
+/// space): equal sizes, `replicas` copies, and X_new retaining
+/// `overlap_fraction` of X_old's replicas in place. overlap 0 matches
+/// make_equal_size_instance's regime.
+Instance make_overlap_instance(const PaperSetup& setup, std::size_t replicas,
+                               double overlap_fraction, Rng& rng);
+
+}  // namespace rtsp

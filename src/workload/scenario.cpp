@@ -1,0 +1,69 @@
+#include "workload/scenario.hpp"
+
+#include <algorithm>
+
+#include "workload/balanced_placement.hpp"
+
+namespace rtsp {
+
+std::vector<Size> minimum_capacities(const ObjectCatalog& objects,
+                                     const ReplicationMatrix& x_old,
+                                     const ReplicationMatrix& x_new) {
+  RTSP_REQUIRE(x_old.num_servers() == x_new.num_servers());
+  std::vector<Size> caps(x_old.num_servers());
+  for (ServerId i = 0; i < x_old.num_servers(); ++i) {
+    caps[i] = std::max(x_old.used_storage(i, objects), x_new.used_storage(i, objects));
+  }
+  return caps;
+}
+
+Instance random_instance(const RandomInstanceSpec& spec, Rng& rng) {
+  RTSP_REQUIRE(spec.servers >= 2);
+  RTSP_REQUIRE(spec.min_replicas >= 1 && spec.min_replicas <= spec.max_replicas);
+  RTSP_REQUIRE_MSG(
+      spec.max_replicas * (spec.zero_overlap ? 2 : 1) <= spec.servers,
+      "not enough servers for the requested replica counts");
+  RTSP_REQUIRE(spec.min_object_size >= 1 &&
+               spec.min_object_size <= spec.max_object_size);
+
+  const Graph g = barabasi_albert_tree(spec.servers, spec.link_costs, rng);
+  CostMatrix costs = CostMatrix::from_graph_shortest_paths(g);
+
+  std::vector<Size> sizes(spec.objects);
+  for (Size& s : sizes) {
+    s = rng.uniform_int(spec.min_object_size, spec.max_object_size);
+  }
+  ObjectCatalog objects(std::move(sizes));
+
+  // Per-object replica counts: generate X_old/X_new object by object so the
+  // counts can differ per object. Quota balance is only enforced by the
+  // random sampling here — property tests don't need exact balance.
+  ReplicationMatrix x_old(spec.servers, spec.objects);
+  ReplicationMatrix x_new(spec.servers, spec.objects);
+  for (ObjectId k = 0; k < spec.objects; ++k) {
+    const std::size_t r = static_cast<std::size_t>(
+        rng.uniform_int(static_cast<std::int64_t>(spec.min_replicas),
+                        static_cast<std::int64_t>(spec.max_replicas)));
+    const auto old_sites = sample_without_replacement(rng, spec.servers, r);
+    for (std::size_t s : old_sites) x_old.set(static_cast<ServerId>(s), k);
+    // X_new sites, avoiding X_old when zero_overlap.
+    std::vector<ServerId> pool;
+    for (ServerId s = 0; s < spec.servers; ++s) {
+      if (!spec.zero_overlap || !x_old.test(s, k)) pool.push_back(s);
+    }
+    rng.shuffle(pool);
+    RTSP_REQUIRE(pool.size() >= r);
+    for (std::size_t idx = 0; idx < r; ++idx) x_new.set(pool[idx], k);
+  }
+
+  std::vector<Size> caps = minimum_capacities(objects, x_old, x_new);
+  const Size slack = static_cast<Size>(spec.capacity_slack *
+                                       static_cast<double>(spec.max_object_size));
+  for (Size& c : caps) c += slack;
+
+  SystemModel model(ServerCatalog(std::move(caps)), std::move(objects),
+                    std::move(costs), spec.dummy_factor);
+  return Instance{std::move(model), std::move(x_old), std::move(x_new)};
+}
+
+}  // namespace rtsp

@@ -1,0 +1,47 @@
+// Instance: a complete RTSP problem (model + X_old + X_new), plus a generic
+// randomized instance generator used by property tests and examples.
+#pragma once
+
+#include "core/feasibility.hpp"
+#include "core/system.hpp"
+#include "support/rng.hpp"
+#include "topology/generators.hpp"
+
+namespace rtsp {
+
+/// A self-contained RTSP problem statement.
+struct Instance {
+  SystemModel model;
+  ReplicationMatrix x_old;
+  ReplicationMatrix x_new;
+};
+
+/// Knobs for random instances (fuzz/property testing and examples). The
+/// defaults produce small, tight instances that still exercise deadlocks.
+struct RandomInstanceSpec {
+  std::size_t servers = 8;
+  std::size_t objects = 24;
+  std::size_t min_replicas = 1;
+  std::size_t max_replicas = 3;
+  Size min_object_size = 1;
+  Size max_object_size = 4;
+  LinkCostRange link_costs{1, 10};
+  /// Extra free space per server on top of the minimum needed, measured in
+  /// units of the largest object size: 0 reproduces the paper's tight
+  /// regime.
+  double capacity_slack = 0.0;
+  /// When true, X_new avoids every X_old replica (the paper's 0% overlap).
+  bool zero_overlap = true;
+  double dummy_factor = 1.0;
+};
+
+/// Draws a random tree topology, random sizes, balanced X_old / X_new with
+/// per-object random replica counts, and minimum (plus slack) capacities.
+Instance random_instance(const RandomInstanceSpec& spec, Rng& rng);
+
+/// Per-server minimum capacities max(used_old, used_new).
+std::vector<Size> minimum_capacities(const ObjectCatalog& objects,
+                                     const ReplicationMatrix& x_old,
+                                     const ReplicationMatrix& x_new);
+
+}  // namespace rtsp

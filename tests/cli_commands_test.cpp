@@ -1,0 +1,184 @@
+#include "cli/commands.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "io/instance_io.hpp"
+#include "io/schedule_io.hpp"
+#include "test_helpers.hpp"
+
+namespace rtsp {
+namespace {
+
+struct CliResult {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+CliResult run(std::vector<std::string> args) {
+  std::vector<const char*> argv = {"rtsp"};
+  for (const auto& a : args) argv.push_back(a.c_str());
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code = cli::run_cli(static_cast<int>(argv.size()), argv.data(), out, err);
+  return {code, out.str(), err.str()};
+}
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+std::string write_fig3_instance() {
+  const std::string path = temp_path("cli_fig3.rtsp");
+  std::ofstream f(path);
+  write_instance(f, testutil::fig3_instance());
+  return path;
+}
+
+TEST(Cli, NoArgsPrintsUsageAndFails) {
+  const CliResult r = run({});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, HelpSucceeds) {
+  const CliResult r = run({"help"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("generate"), std::string::npos);
+  EXPECT_NE(r.out.find("GOLCF+H1+H2+OP1"), std::string::npos);
+}
+
+TEST(Cli, UnknownCommandFails) {
+  const CliResult r = run({"frobnicate"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, GenerateSolveValidateRoundTrip) {
+  const std::string inst_path = temp_path("cli_gen.rtsp");
+  const std::string sched_path = temp_path("cli_gen.sched");
+  const CliResult gen = run({"generate", "--kind", "paper-equal", "--servers", "10",
+                             "--objects", "30", "--replicas", "2", "--seed", "5",
+                             "--out", inst_path});
+  ASSERT_EQ(gen.code, 0) << gen.err;
+
+  const CliResult solve = run({"solve", "--instance", inst_path, "--algo",
+                               "GOLCF+H1+H2", "--out", sched_path});
+  ASSERT_EQ(solve.code, 0) << solve.err;
+  EXPECT_NE(solve.out.find("cost:"), std::string::npos);
+
+  const CliResult validate =
+      run({"validate", "--instance", inst_path, "--schedule", sched_path});
+  EXPECT_EQ(validate.code, 0) << validate.err;
+  EXPECT_NE(validate.out.find("valid"), std::string::npos);
+
+  const CliResult stats =
+      run({"stats", "--instance", inst_path, "--schedule", sched_path});
+  EXPECT_EQ(stats.code, 0) << stats.err;
+  EXPECT_NE(stats.out.find("actions"), std::string::npos);
+  EXPECT_NE(stats.out.find("tightest headroom"), std::string::npos);
+
+  const CliResult makespan =
+      run({"makespan", "--instance", inst_path, "--schedule", sched_path});
+  EXPECT_EQ(makespan.code, 0) << makespan.err;
+  EXPECT_NE(makespan.out.find("speedup"), std::string::npos);
+
+  const CliResult phases = run(
+      {"phases", "--instance", inst_path, "--schedule", sched_path, "--ports", "2"});
+  EXPECT_EQ(phases.code, 0) << phases.err;
+  EXPECT_NE(phases.out.find("rounds"), std::string::npos);
+
+  // deadline exits 0 when met, 3 when not — both carry the full report.
+  const CliResult deadline = run({"deadline", "--instance", inst_path, "--schedule",
+                                  sched_path, "--deadline", "1e18"});
+  EXPECT_EQ(deadline.code, 0) << deadline.err;
+  EXPECT_NE(deadline.out.find("met:             yes"), std::string::npos);
+  const CliResult missed = run({"deadline", "--instance", inst_path, "--schedule",
+                                sched_path, "--deadline", "1"});
+  EXPECT_EQ(missed.code, 3);
+  EXPECT_NE(missed.out.find("met:             no"), std::string::npos);
+
+  // JSON variants parse-look sane.
+  const CliResult sj =
+      run({"solve", "--instance", inst_path, "--algo", "AR", "--json"});
+  EXPECT_EQ(sj.code, 0) << sj.err;
+  EXPECT_NE(sj.out.find("\"actions\":["), std::string::npos);
+  const CliResult ij = run({"info", "--instance", inst_path, "--json"});
+  EXPECT_EQ(ij.code, 0) << ij.err;
+  EXPECT_NE(ij.out.find("\"servers\":10"), std::string::npos);
+}
+
+TEST(Cli, ValidateDetectsCorruptedSchedule) {
+  const std::string inst_path = write_fig3_instance();
+  const std::string sched_path = temp_path("cli_bad.sched");
+  {
+    std::ofstream f(sched_path);
+    f << "D 0 0\n";  // deletes one replica, reaches nothing like X_new
+  }
+  const CliResult r =
+      run({"validate", "--instance", inst_path, "--schedule", sched_path});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.out.find("invalid"), std::string::npos);
+}
+
+TEST(Cli, InfoShowsBoundsAndCycles) {
+  const std::string inst_path = write_fig3_instance();
+  const CliResult r = run({"info", "--instance", inst_path});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("outstanding:       6"), std::string::npos);
+  EXPECT_NE(r.out.find("superfluous:       6"), std::string::npos);
+  EXPECT_NE(r.out.find("cost lower bound"), std::string::npos);
+  EXPECT_NE(r.out.find("transfer graph"), std::string::npos);
+}
+
+TEST(Cli, ExactSolvesTinyInstance) {
+  const std::string inst_path = write_fig3_instance();
+  const CliResult r =
+      run({"exact", "--instance", inst_path, "--max-nodes", "2000000"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("optimal:         proven"), std::string::npos);
+}
+
+TEST(Cli, DotOutputsDigraph) {
+  const std::string inst_path = write_fig3_instance();
+  const CliResult r = run({"dot", "--instance", inst_path});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("digraph transfers"), std::string::npos);
+}
+
+TEST(Cli, MissingFilesGiveUsefulErrors) {
+  EXPECT_EQ(run({"solve"}).code, 1);
+  EXPECT_NE(run({"solve"}).err.find("--instance"), std::string::npos);
+  const CliResult r = run({"solve", "--instance", "/nonexistent/file"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("cannot open"), std::string::npos);
+}
+
+TEST(Cli, BadAlgorithmSpecFails) {
+  const std::string inst_path = write_fig3_instance();
+  const CliResult r =
+      run({"solve", "--instance", inst_path, "--algo", "WAT+H1"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("unknown builder"), std::string::npos);
+}
+
+TEST(Cli, GenerateRejectsUnknownKind) {
+  const CliResult r = run({"generate", "--kind", "quantum"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("unknown --kind"), std::string::npos);
+}
+
+TEST(Cli, GenerateRandomKindProducesParsableInstance) {
+  const std::string path = temp_path("cli_random.rtsp");
+  const CliResult r = run({"generate", "--kind", "random", "--servers", "6",
+                           "--objects", "12", "--replicas", "2", "--out", path});
+  ASSERT_EQ(r.code, 0) << r.err;
+  std::ifstream f(path);
+  EXPECT_NO_THROW(read_instance(f));
+}
+
+}  // namespace
+}  // namespace rtsp

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "core/action.hpp"
+#include "core/schedule.hpp"
+
+namespace rtsp {
+namespace {
+
+TEST(Action, FactoriesAndPredicates) {
+  const Action t = Action::transfer(2, 5, 7);
+  EXPECT_TRUE(t.is_transfer());
+  EXPECT_FALSE(t.is_delete());
+  EXPECT_FALSE(t.is_dummy_transfer());
+  EXPECT_EQ(t.server, 2u);
+  EXPECT_EQ(t.object, 5u);
+  EXPECT_EQ(t.source, 7u);
+
+  const Action td = Action::transfer(2, 5, kDummyServer);
+  EXPECT_TRUE(td.is_dummy_transfer());
+
+  const Action d = Action::remove(3, 1);
+  EXPECT_TRUE(d.is_delete());
+  EXPECT_FALSE(d.is_dummy_transfer());
+}
+
+TEST(Action, ToStringFormats) {
+  EXPECT_EQ(Action::transfer(2, 5, 7).to_string(), "T(S2 <- O5 from S7)");
+  EXPECT_EQ(Action::transfer(2, 5, kDummyServer).to_string(),
+            "T(S2 <- O5 from dummy)");
+  EXPECT_EQ(Action::remove(3, 1).to_string(), "D(S3, O1)");
+}
+
+TEST(Action, EqualityIgnoresSourceForDeletes) {
+  Action d1 = Action::remove(1, 2);
+  Action d2 = Action::remove(1, 2);
+  d2.source = 99;  // irrelevant field
+  EXPECT_EQ(d1, d2);
+  EXPECT_NE(Action::transfer(1, 2, 0), Action::transfer(1, 2, 3));
+  EXPECT_NE(Action::transfer(1, 2, 0), Action::remove(1, 2));
+}
+
+TEST(Schedule, CountsAndPositions) {
+  Schedule h({Action::remove(0, 1), Action::transfer(1, 1, 0),
+              Action::transfer(2, 1, kDummyServer), Action::transfer(0, 2, 1),
+              Action::remove(1, 2)});
+  EXPECT_EQ(h.size(), 5u);
+  EXPECT_EQ(h.transfer_count(), 3u);
+  EXPECT_EQ(h.delete_count(), 2u);
+  EXPECT_EQ(h.dummy_transfer_count(), 1u);
+  EXPECT_EQ(h.transfer_positions_of(1), (std::vector<std::size_t>{1, 2}));
+  EXPECT_EQ(h.transfer_positions_of(2), (std::vector<std::size_t>{3}));
+  EXPECT_TRUE(h.transfer_positions_of(0).empty());
+}
+
+TEST(Schedule, InsertEraseMutation) {
+  Schedule h;
+  h.push_back(Action::remove(0, 0));
+  h.push_back(Action::remove(0, 1));
+  h.insert(1, Action::transfer(1, 0, 0));
+  EXPECT_EQ(h.size(), 3u);
+  EXPECT_TRUE(h[1].is_transfer());
+  h.erase(0);
+  EXPECT_EQ(h.size(), 2u);
+  EXPECT_TRUE(h[0].is_transfer());
+  h.clear();
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(Schedule, ToStringNumbersActions) {
+  Schedule h({Action::remove(0, 0), Action::transfer(1, 0, 0)});
+  const std::string s = h.to_string();
+  EXPECT_NE(s.find("0: D(S0, O0)"), std::string::npos);
+  EXPECT_NE(s.find("1: T(S1 <- O0 from S0)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rtsp

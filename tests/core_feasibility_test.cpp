@@ -1,0 +1,81 @@
+#include "core/feasibility.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/cost_model.hpp"
+#include "core/validator.hpp"
+#include "test_helpers.hpp"
+
+namespace rtsp {
+namespace {
+
+using testutil::fig1_instance;
+using testutil::matrix_model;
+using testutil::uniform_model;
+
+TEST(StorageFeasible, ChecksEveryServer) {
+  const SystemModel m = uniform_model({5, 3}, {2, 2, 2});
+  ReplicationMatrix x(2, 3);
+  x.set(0, 0);
+  x.set(0, 1);
+  x.set(1, 2);
+  EXPECT_TRUE(storage_feasible(m, x));
+  x.set(1, 0);  // server 1 now needs 4 > 3
+  EXPECT_FALSE(storage_feasible(m, x));
+}
+
+TEST(WorstCase, ScheduleIsValidAndCostMatches) {
+  const Instance inst = fig1_instance();
+  const Schedule h = worst_case_schedule(inst.model, inst.x_old, inst.x_new);
+  EXPECT_TRUE(Validator::is_valid(inst.model, inst.x_old, inst.x_new, h));
+  EXPECT_EQ(schedule_cost(inst.model, h),
+            worst_case_cost(inst.model, inst.x_old, inst.x_new));
+  // 4 unit objects fetched from the dummy at cost 2 each (max link 1 + 1).
+  EXPECT_EQ(schedule_cost(inst.model, h), 8);
+  EXPECT_EQ(h.dummy_transfer_count(), 4u);
+}
+
+TEST(WorstCase, InfeasibleTargetThrows) {
+  const SystemModel m = uniform_model({1}, {1, 1});
+  ReplicationMatrix x_new(1, 2);
+  x_new.set(0, 0);
+  x_new.set(0, 1);  // needs 2 > capacity 1
+  EXPECT_THROW(worst_case_schedule(m, ReplicationMatrix(1, 2), x_new),
+               PreconditionError);
+}
+
+TEST(LowerBound, ZeroWhenNothingOutstanding) {
+  const Instance inst = fig1_instance();
+  EXPECT_EQ(cost_lower_bound(inst.model, inst.x_old, inst.x_old), 0);
+}
+
+TEST(LowerBound, UsesCheapestConceivableSource) {
+  // Object 0 outstanding at S0; X_old holder S1 at cost 5, another X_new
+  // destination S2 at cost 2 — the bound may assume S2 serves S0.
+  const SystemModel m = matrix_model({4, 4, 4}, {3},
+                                     {{0, 5, 2}, {5, 0, 4}, {2, 4, 0}});
+  const auto x_old = ReplicationMatrix::from_pairs(3, 1, {{1, 0}});
+  const auto x_new = ReplicationMatrix::from_pairs(3, 1, {{0, 0}, {2, 0}});
+  // S0: cheapest of {S1:5, S2:2} = 2; S2: cheapest of {S1:4, S0:2} = 2.
+  EXPECT_EQ(cost_lower_bound(m, x_old, x_new), 3 * 2 + 3 * 2);
+}
+
+TEST(LowerBound, FallsBackToDummyWhenNoSourceExists) {
+  const SystemModel m = uniform_model({4, 4}, {3}, 5);
+  const ReplicationMatrix x_old(2, 1);  // object exists nowhere
+  const auto x_new = ReplicationMatrix::from_pairs(2, 1, {{0, 0}});
+  EXPECT_EQ(cost_lower_bound(m, x_old, x_new), 3 * 6);  // dummy = 5 + 1
+}
+
+TEST(LowerBound, NeverExceedsWorstCase) {
+  Rng rng(31);
+  for (int rep = 0; rep < 20; ++rep) {
+    RandomInstanceSpec spec;
+    const Instance inst = random_instance(spec, rng);
+    EXPECT_LE(cost_lower_bound(inst.model, inst.x_old, inst.x_new),
+              worst_case_cost(inst.model, inst.x_old, inst.x_new));
+  }
+}
+
+}  // namespace
+}  // namespace rtsp

@@ -1,0 +1,103 @@
+#include "core/replication.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtsp {
+namespace {
+
+TEST(ReplicationMatrix, StartsEmpty) {
+  ReplicationMatrix x(3, 100);
+  EXPECT_EQ(x.num_servers(), 3u);
+  EXPECT_EQ(x.num_objects(), 100u);
+  EXPECT_EQ(x.total_replicas(), 0u);
+  for (ServerId i = 0; i < 3; ++i) {
+    for (ObjectId k = 0; k < 100; ++k) EXPECT_FALSE(x.test(i, k));
+  }
+}
+
+TEST(ReplicationMatrix, SetClearAssign) {
+  ReplicationMatrix x(2, 70);  // spans two words
+  x.set(0, 3);
+  x.set(0, 64);  // second word
+  x.set(1, 69);
+  EXPECT_TRUE(x.test(0, 3));
+  EXPECT_TRUE(x.test(0, 64));
+  EXPECT_TRUE(x.test(1, 69));
+  EXPECT_FALSE(x.test(1, 3));
+  x.clear(0, 3);
+  EXPECT_FALSE(x.test(0, 3));
+  x.assign(1, 0, true);
+  EXPECT_TRUE(x.test(1, 0));
+  x.assign(1, 0, false);
+  EXPECT_FALSE(x.test(1, 0));
+  // Idempotent set/clear.
+  x.set(0, 64);
+  EXPECT_TRUE(x.test(0, 64));
+  x.clear(1, 3);
+  EXPECT_FALSE(x.test(1, 3));
+}
+
+TEST(ReplicationMatrix, OutOfRangeThrows) {
+  ReplicationMatrix x(2, 10);
+  EXPECT_THROW(x.test(2, 0), PreconditionError);
+  EXPECT_THROW(x.test(0, 10), PreconditionError);
+  EXPECT_THROW(x.set(5, 5), PreconditionError);
+}
+
+TEST(ReplicationMatrix, ObjectsOnIsSortedAndComplete) {
+  ReplicationMatrix x(1, 130);
+  x.set(0, 129);
+  x.set(0, 0);
+  x.set(0, 63);
+  x.set(0, 64);
+  EXPECT_EQ(x.objects_on(0), (std::vector<ObjectId>{0, 63, 64, 129}));
+}
+
+TEST(ReplicationMatrix, ReplicatorsAndCounts) {
+  ReplicationMatrix x(4, 5);
+  x.set(1, 2);
+  x.set(3, 2);
+  x.set(0, 0);
+  EXPECT_EQ(x.replicators_of(2), (std::vector<ServerId>{1, 3}));
+  EXPECT_EQ(x.replica_count(2), 2u);
+  EXPECT_EQ(x.replica_count(4), 0u);
+  EXPECT_EQ(x.count_on(1), 1u);
+  EXPECT_EQ(x.count_on(2), 0u);
+  EXPECT_EQ(x.total_replicas(), 3u);
+}
+
+TEST(ReplicationMatrix, UsedStorage) {
+  ObjectCatalog objects({10, 20, 30});
+  ReplicationMatrix x(2, 3);
+  x.set(0, 0);
+  x.set(0, 2);
+  EXPECT_EQ(x.used_storage(0, objects), 40);
+  EXPECT_EQ(x.used_storage(1, objects), 0);
+}
+
+TEST(ReplicationMatrix, OverlapCountsSharedReplicas) {
+  ReplicationMatrix a(2, 80);
+  ReplicationMatrix b(2, 80);
+  a.set(0, 1);
+  a.set(0, 70);
+  a.set(1, 5);
+  b.set(0, 70);
+  b.set(1, 5);
+  b.set(1, 6);
+  EXPECT_EQ(a.overlap(b), 2u);
+  EXPECT_EQ(b.overlap(a), 2u);
+  EXPECT_EQ(a.overlap(a), 3u);
+}
+
+TEST(ReplicationMatrix, EqualityAndFromPairs) {
+  const auto a = ReplicationMatrix::from_pairs(2, 4, {{0, 1}, {1, 3}});
+  auto b = ReplicationMatrix(2, 4);
+  b.set(0, 1);
+  b.set(1, 3);
+  EXPECT_EQ(a, b);
+  b.clear(1, 3);
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace rtsp

@@ -1,0 +1,97 @@
+#include "core/schedule_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/cost_model.hpp"
+#include "heuristics/registry.hpp"
+#include "test_helpers.hpp"
+
+namespace rtsp {
+namespace {
+
+using testutil::matrix_model;
+using testutil::uniform_model;
+
+TEST(ScheduleStats, CountsAndVolumes) {
+  const SystemModel m = matrix_model({20, 20, 20}, {5, 2},
+                                     {{0, 3, 6}, {3, 0, 1}, {6, 1, 0}});
+  const Schedule h({Action::transfer(0, 0, 1),               // 5 units in, cost 15
+                    Action::transfer(2, 1, kDummyServer),    // 2 units, cost 14
+                    Action::remove(1, 0), Action::remove(1, 1)});
+  const ScheduleStats s = analyze_schedule(m, h);
+  EXPECT_EQ(s.actions, 4u);
+  EXPECT_EQ(s.transfers, 2u);
+  EXPECT_EQ(s.deletions, 2u);
+  EXPECT_EQ(s.dummy_transfers, 1u);
+  EXPECT_EQ(s.total_cost, 15 + 14);
+  EXPECT_EQ(s.dummy_cost, 14);
+  EXPECT_EQ(s.real_volume, 5);
+  EXPECT_EQ(s.dummy_volume, 2);
+  EXPECT_EQ(s.per_server[0].bytes_in, 5);
+  EXPECT_EQ(s.per_server[0].cost_in, 15);
+  EXPECT_EQ(s.per_server[1].bytes_out, 5);
+  EXPECT_EQ(s.per_server[1].deletions, 2u);
+  EXPECT_EQ(s.per_server[2].bytes_in, 2);
+  EXPECT_EQ(s.per_server[2].transfers_in, 1u);
+  EXPECT_EQ(s.transfers_per_object[0], 1u);
+  EXPECT_EQ(s.transfers_per_object[1], 1u);
+  EXPECT_EQ(s.max_object_fanout, 1u);
+  EXPECT_NE(s.to_string().find("4 actions"), std::string::npos);
+}
+
+TEST(ScheduleStats, EmptySchedule) {
+  const SystemModel m = uniform_model({1}, {1});
+  const ScheduleStats s = analyze_schedule(m, Schedule{});
+  EXPECT_EQ(s.actions, 0u);
+  EXPECT_EQ(s.total_cost, 0);
+  EXPECT_EQ(s.max_object_fanout, 0u);
+}
+
+TEST(ScheduleStats, TotalCostMatchesCostModel) {
+  Rng rng(4);
+  RandomInstanceSpec spec;
+  const Instance inst = random_instance(spec, rng);
+  const Schedule h =
+      make_pipeline("GOLCF+H1+H2").run(inst.model, inst.x_old, inst.x_new, rng);
+  const ScheduleStats s = analyze_schedule(inst.model, h);
+  EXPECT_EQ(s.total_cost, schedule_cost(inst.model, h));
+  EXPECT_EQ(s.dummy_transfers, h.dummy_transfer_count());
+  EXPECT_EQ(s.transfers + s.deletions, h.size());
+}
+
+TEST(PeakStorage, TracksTheHighWaterMark) {
+  // Server 0: starts with 4+7=11, transfer adds 4 more (peak 15), then
+  // deletions bring it down.
+  const SystemModel m = uniform_model({20, 20}, {4, 7, 4});
+  ReplicationMatrix x_old(2, 3);
+  x_old.set(0, 0);
+  x_old.set(0, 1);
+  x_old.set(1, 2);
+  const Schedule h({Action::transfer(0, 2, 1), Action::remove(0, 1),
+                    Action::remove(0, 0)});
+  const auto peak = peak_storage(m, x_old, h);
+  EXPECT_EQ(peak[0], 15);
+  EXPECT_EQ(peak[1], 4);  // never grows
+  const auto headroom = min_headroom(m, x_old, h);
+  EXPECT_EQ(headroom[0], 5);
+  EXPECT_EQ(headroom[1], 16);
+}
+
+TEST(PeakStorage, TightSchedulesHaveZeroHeadroomSomewhere) {
+  Rng rng(12);
+  RandomInstanceSpec spec;
+  spec.capacity_slack = 0.0;
+  const Instance inst = random_instance(spec, rng);
+  const Schedule h =
+      make_pipeline("AR").run(inst.model, inst.x_old, inst.x_new, rng);
+  const auto headroom = min_headroom(inst.model, inst.x_old, h);
+  Size tightest = headroom[0];
+  for (Size v : headroom) {
+    tightest = std::min(tightest, v);
+    EXPECT_GE(v, 0);  // a valid schedule never oversubscribes
+  }
+  EXPECT_EQ(tightest, 0);  // zero-slack instances run some server full
+}
+
+}  // namespace
+}  // namespace rtsp

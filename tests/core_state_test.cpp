@@ -1,0 +1,106 @@
+#include "core/state.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace rtsp {
+namespace {
+
+using testutil::uniform_model;
+
+class StateTest : public testing::Test {
+ protected:
+  // Two servers, capacity 10 each; objects of size 4 and 7.
+  SystemModel model_ = uniform_model({10, 10}, {4, 7});
+  ReplicationMatrix start_ = ReplicationMatrix::from_pairs(2, 2, {{0, 0}, {0, 1}});
+};
+
+TEST_F(StateTest, InitialBookkeeping) {
+  ExecutionState s(model_, start_);
+  EXPECT_EQ(s.used(0), 11);  // oversubscribed start is representable
+  EXPECT_EQ(s.used(1), 0);
+  EXPECT_EQ(s.free_space(1), 10);
+  EXPECT_EQ(s.replica_count(0), 1u);
+  EXPECT_TRUE(s.holds(0, 1));
+  EXPECT_FALSE(s.holds(1, 1));
+}
+
+TEST_F(StateTest, ValidTransferUpdatesEverything) {
+  ExecutionState s(model_, start_);
+  const Action t = Action::transfer(1, 0, 0);
+  EXPECT_EQ(s.classify(t), ActionError::None);
+  s.apply(t);
+  EXPECT_TRUE(s.holds(1, 0));
+  EXPECT_EQ(s.used(1), 4);
+  EXPECT_EQ(s.replica_count(0), 2u);
+}
+
+TEST_F(StateTest, ValidDeleteUpdatesEverything) {
+  ExecutionState s(model_, start_);
+  const Action d = Action::remove(0, 1);
+  EXPECT_EQ(s.classify(d), ActionError::None);
+  s.apply(d);
+  EXPECT_FALSE(s.holds(0, 1));
+  EXPECT_EQ(s.used(0), 4);
+  EXPECT_EQ(s.replica_count(1), 0u);
+}
+
+TEST_F(StateTest, ClassifiesEveryErrorKind) {
+  ExecutionState s(model_, start_);
+  // Source not a replicator.
+  EXPECT_EQ(s.classify(Action::transfer(1, 0, 1)), ActionError::SelfTransfer);
+  EXPECT_EQ(s.classify(Action::transfer(1, 1, 1)), ActionError::SelfTransfer);
+  ExecutionState s2(model_, ReplicationMatrix(2, 2));
+  EXPECT_EQ(s2.classify(Action::transfer(1, 0, 0)), ActionError::SourceNotReplicator);
+  // Destination already replicates.
+  EXPECT_EQ(s.classify(Action::transfer(0, 0, kDummyServer)),
+            ActionError::DestAlreadyReplicator);
+  // Insufficient space: fill server 1 with object 1 (7), then object 0 (4)
+  // does not fit into the remaining 3.
+  s.apply(Action::transfer(1, 1, 0));
+  EXPECT_EQ(s.classify(Action::transfer(1, 0, 0)), ActionError::InsufficientSpace);
+  // Deleting something not held.
+  EXPECT_EQ(s.classify(Action::remove(1, 0)), ActionError::NotReplicator);
+}
+
+TEST_F(StateTest, DummySourceIsAlwaysAcceptable) {
+  ExecutionState s(model_, ReplicationMatrix(2, 2));
+  EXPECT_EQ(s.classify(Action::transfer(0, 0, kDummyServer)), ActionError::None);
+}
+
+TEST_F(StateTest, ApplyInvalidThrows) {
+  ExecutionState s(model_, start_);
+  EXPECT_THROW(s.apply(Action::remove(1, 0)), PreconditionError);
+}
+
+TEST_F(StateTest, TryApplyReportsWithoutThrowing) {
+  ExecutionState s(model_, start_);
+  EXPECT_EQ(s.try_apply(Action::remove(1, 0)), ActionError::NotReplicator);
+  EXPECT_FALSE(s.holds(1, 0));
+  EXPECT_EQ(s.try_apply(Action::remove(0, 0)), ActionError::None);
+  EXPECT_FALSE(s.holds(0, 0));
+}
+
+TEST_F(StateTest, LenientApplyIgnoresValidityButKeepsBooksExact) {
+  ExecutionState s(model_, start_);
+  // Lenient duplicate transfer: no double count.
+  s.apply_lenient(Action::transfer(0, 0, 1));
+  EXPECT_EQ(s.used(0), 11);
+  // Lenient delete of absent replica: no underflow.
+  s.apply_lenient(Action::remove(1, 0));
+  EXPECT_EQ(s.used(1), 0);
+  // Lenient transfer without source/space bookkeeping still lands.
+  s.apply_lenient(Action::transfer(1, 1, 0));
+  EXPECT_TRUE(s.holds(1, 1));
+  EXPECT_EQ(s.used(1), 7);
+}
+
+TEST_F(StateTest, ActionErrorNames) {
+  EXPECT_STREQ(to_string(ActionError::None), "ok");
+  EXPECT_STREQ(to_string(ActionError::InsufficientSpace),
+               "insufficient free space at destination");
+}
+
+}  // namespace
+}  // namespace rtsp

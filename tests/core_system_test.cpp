@@ -1,0 +1,83 @@
+#include "core/system.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace rtsp {
+namespace {
+
+using testutil::matrix_model;
+using testutil::uniform_model;
+
+TEST(SystemModel, BasicAccessors) {
+  const SystemModel m = uniform_model({10, 20}, {3, 4, 5}, 2);
+  EXPECT_EQ(m.num_servers(), 2u);
+  EXPECT_EQ(m.num_objects(), 3u);
+  EXPECT_EQ(m.capacity(1), 20);
+  EXPECT_EQ(m.object_size(2), 5);
+  EXPECT_EQ(m.dummy_link_cost(), 3);  // max link 2, a = 1
+}
+
+TEST(SystemModel, CostMatrixSizeMustMatchServers) {
+  EXPECT_THROW(SystemModel(ServerCatalog::uniform(3, 10),
+                           ObjectCatalog::uniform(2, 1), CostMatrix(2, 1)),
+               PreconditionError);
+}
+
+TEST(SystemModel, SourceLinkAndTransferCost) {
+  const SystemModel m = matrix_model({5, 5, 5}, {2, 3},
+                                     {{0, 4, 7}, {4, 0, 2}, {7, 2, 0}});
+  EXPECT_EQ(m.source_link_cost(0, 1), 4);
+  EXPECT_EQ(m.source_link_cost(0, kDummyServer), 8);  // max 7 + 1
+  EXPECT_EQ(m.transfer_cost(0, 1, 2), 3 * 7);
+  EXPECT_EQ(m.transfer_cost(1, 0, kDummyServer), 2 * 8);
+}
+
+TEST(SystemModel, DummyFactorScalesDummyCost) {
+  const SystemModel m = uniform_model({1}, {1}, 1, 3.0);
+  // Single server: max link 0 (no pairs), dummy = 3 * (0 + 1).
+  EXPECT_EQ(m.dummy_link_cost(), 3);
+}
+
+TEST(SystemModel, NearestAndSecondNearestReplicator) {
+  const SystemModel m = matrix_model({5, 5, 5, 5}, {1},
+                                     {{0, 3, 1, 9},
+                                      {3, 0, 4, 2},
+                                      {1, 4, 0, 5},
+                                      {9, 2, 5, 0}});
+  ReplicationMatrix x(4, 1);
+  EXPECT_EQ(m.nearest_replicator(0, 0, x), std::nullopt);
+  EXPECT_EQ(m.nearest_source_or_dummy(0, 0, x), kDummyServer);
+  EXPECT_EQ(m.nearest_source_cost(0, 0, x), 10);  // dummy: max 9 + 1
+
+  x.set(1, 0);
+  x.set(3, 0);
+  // From S0: S1 costs 3, S3 costs 9.
+  EXPECT_EQ(m.nearest_replicator(0, 0, x), std::optional<ServerId>(1));
+  EXPECT_EQ(m.second_nearest_replicator(0, 0, x), std::optional<ServerId>(3));
+  EXPECT_EQ(m.nearest_source_cost(0, 0, x), 3);
+  EXPECT_EQ(m.second_nearest_source_cost(0, 0, x), 9);
+  // Only one replicator: second-nearest falls back to dummy cost.
+  x.clear(3, 0);
+  EXPECT_EQ(m.second_nearest_replicator(0, 0, x), std::nullopt);
+  EXPECT_EQ(m.second_nearest_source_cost(0, 0, x), 10);
+}
+
+TEST(SystemModel, NearestExcludesSelf) {
+  const SystemModel m = uniform_model({5, 5}, {1}, 4);
+  ReplicationMatrix x(2, 1);
+  x.set(0, 0);
+  // Server 0 asking for object 0: itself is a replicator but must not be
+  // returned as a source.
+  EXPECT_EQ(m.nearest_replicator(0, 0, x), std::nullopt);
+  EXPECT_EQ(m.nearest_replicator(1, 0, x), std::optional<ServerId>(0));
+}
+
+TEST(SystemModel, NeighborsByCostTiesBrokenByIndex) {
+  const SystemModel m = uniform_model({1, 1, 1, 1}, {1}, 5);
+  EXPECT_EQ(m.neighbors_by_cost(2), (std::vector<ServerId>{0, 1, 3}));
+}
+
+}  // namespace
+}  // namespace rtsp

@@ -1,0 +1,136 @@
+#include "core/transfer_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "test_helpers.hpp"
+
+namespace rtsp {
+namespace {
+
+using testutil::fig1_instance;
+using testutil::uniform_model;
+
+TEST(TransferGraph, ArcsFromEveryPotentialSource) {
+  // Object 0 outstanding at S2, held by S0 and S1 in X_old.
+  const SystemModel m = uniform_model({3, 3, 3}, {1});
+  const auto x_old = ReplicationMatrix::from_pairs(3, 1, {{0, 0}, {1, 0}});
+  auto x_new = x_old;
+  x_new.set(2, 0);
+  const TransferGraph g(m, x_old, x_new);
+  ASSERT_EQ(g.arcs().size(), 2u);
+  std::set<ServerId> sources;
+  for (const auto& a : g.arcs()) {
+    EXPECT_EQ(a.to, 2u);
+    EXPECT_EQ(a.object, 0u);
+    sources.insert(a.from);
+  }
+  EXPECT_EQ(sources, (std::set<ServerId>{0, 1}));
+  EXPECT_EQ(g.arcs_from(0).size(), 1u);
+  EXPECT_TRUE(g.arcs_from(2).empty());
+}
+
+TEST(TransferGraph, NoArcsWhenNothingOutstanding) {
+  const SystemModel m = uniform_model({2, 2}, {1});
+  const auto x = ReplicationMatrix::from_pairs(2, 1, {{0, 0}});
+  const TransferGraph g(m, x, x);
+  EXPECT_TRUE(g.arcs().empty());
+  EXPECT_FALSE(g.has_cycle());
+  EXPECT_FALSE(g.deadlock_risk(x));
+}
+
+TEST(TransferGraph, Fig1CycleIsDetected) {
+  const Instance inst = fig1_instance();
+  const TransferGraph g(inst.model, inst.x_old, inst.x_new);
+  EXPECT_TRUE(g.has_cycle());
+  // All four servers form one SCC.
+  const auto sccs = g.strongly_connected_components();
+  const auto big = std::find_if(sccs.begin(), sccs.end(),
+                                [](const auto& c) { return c.size() == 4; });
+  EXPECT_NE(big, sccs.end());
+  // Every server is full and must receive along the cycle: deadlock risk.
+  EXPECT_TRUE(g.deadlock_risk(inst.x_old));
+}
+
+TEST(TransferGraph, ChainHasNoCycle) {
+  // S0 -> S1 -> S2 transfer chain, no back arcs.
+  const SystemModel m = uniform_model({2, 2, 2}, {1, 1, 1});
+  const auto x_old =
+      ReplicationMatrix::from_pairs(3, 3, {{0, 0}, {1, 1}, {2, 2}});
+  const auto x_new = ReplicationMatrix::from_pairs(
+      3, 3, {{0, 0}, {1, 0}, {1, 1}, {2, 1}, {2, 2}});
+  const TransferGraph g(m, x_old, x_new);
+  EXPECT_FALSE(g.has_cycle());
+  EXPECT_FALSE(g.deadlock_risk(x_old));
+  // SCCs are all singletons, in reverse topological order.
+  for (const auto& scc : g.strongly_connected_components()) {
+    EXPECT_EQ(scc.size(), 1u);
+  }
+}
+
+TEST(TransferGraph, CycleWithSlackIsNotFlaggedAsDeadlock) {
+  // Same Fig. 1 rotation but servers have room for two objects: the cycle
+  // exists yet nobody is tight.
+  SystemModel model = uniform_model({2, 2, 2, 2}, {1, 1, 1, 1});
+  ReplicationMatrix x_old(4, 4);
+  ReplicationMatrix x_new(4, 4);
+  for (ServerId i = 0; i < 4; ++i) x_old.set(i, i);
+  for (ServerId i = 0; i < 4; ++i) x_new.set(i, (i + 3) % 4);
+  const TransferGraph g(model, x_old, x_new);
+  EXPECT_TRUE(g.has_cycle());
+  EXPECT_FALSE(g.deadlock_risk(x_old));
+}
+
+TEST(TransferGraph, SccMatchesBruteForceReachability) {
+  // Random instances: Tarjan components must equal mutual-reachability
+  // classes computed by brute force over the arc set.
+  Rng rng(77);
+  for (int rep = 0; rep < 10; ++rep) {
+    RandomInstanceSpec spec;
+    spec.servers = 7;
+    spec.objects = 10;
+    spec.max_replicas = 2;
+    const Instance inst = random_instance(spec, rng);
+    const TransferGraph g(inst.model, inst.x_old, inst.x_new);
+
+    const std::size_t n = g.num_servers();
+    std::vector<std::vector<bool>> reach(n, std::vector<bool>(n, false));
+    for (std::size_t i = 0; i < n; ++i) reach[i][i] = true;
+    for (const auto& a : g.arcs()) reach[a.from][a.to] = true;
+    for (std::size_t k = 0; k < n; ++k) {
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+          if (reach[i][k] && reach[k][j]) reach[i][j] = true;
+        }
+      }
+    }
+    std::vector<std::size_t> brute_class(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::size_t cls = i;
+      for (std::size_t j = 0; j < i; ++j) {
+        if (reach[i][j] && reach[j][i]) {
+          cls = brute_class[j];
+          break;
+        }
+      }
+      brute_class[i] = cls;
+    }
+    std::vector<std::size_t> tarjan_class(n, 0);
+    const auto sccs = g.strongly_connected_components();
+    for (std::size_t c = 0; c < sccs.size(); ++c) {
+      for (ServerId s : sccs[c]) tarjan_class[s] = c;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        EXPECT_EQ(tarjan_class[i] == tarjan_class[j],
+                  brute_class[i] == brute_class[j])
+            << "servers " << i << "," << j << " rep " << rep;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rtsp

@@ -1,0 +1,89 @@
+#include "core/validator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace rtsp {
+namespace {
+
+using testutil::uniform_model;
+
+class ValidatorTest : public testing::Test {
+ protected:
+  // Two servers, room for two unit objects each.
+  SystemModel model_ = uniform_model({2, 2}, {1, 1});
+  ReplicationMatrix x_old_ = ReplicationMatrix::from_pairs(2, 2, {{0, 0}, {0, 1}});
+  ReplicationMatrix x_new_ = ReplicationMatrix::from_pairs(2, 2, {{1, 0}, {1, 1}});
+};
+
+TEST_F(ValidatorTest, AcceptsCorrectSchedule) {
+  const Schedule h({Action::transfer(1, 0, 0), Action::transfer(1, 1, 0),
+                    Action::remove(0, 0), Action::remove(0, 1)});
+  const auto v = Validator::validate(model_, x_old_, x_new_, h);
+  EXPECT_TRUE(v.valid);
+  EXPECT_TRUE(v.issues.empty());
+  EXPECT_EQ(v.to_string(), "valid");
+}
+
+TEST_F(ValidatorTest, RejectsActionInvalidMidway) {
+  // Second transfer uses a source that was already deleted.
+  const Schedule h({Action::transfer(1, 0, 0), Action::remove(0, 0),
+                    Action::remove(0, 1), Action::transfer(1, 1, 0)});
+  const auto v = Validator::validate(model_, x_old_, x_new_, h);
+  ASSERT_FALSE(v.valid);
+  ASSERT_EQ(v.issues.size(), 1u);
+  EXPECT_EQ(v.issues[0].index, 3u);
+  EXPECT_EQ(v.issues[0].error, ActionError::SourceNotReplicator);
+  EXPECT_NE(v.to_string().find("source is not a replicator"), std::string::npos);
+}
+
+TEST_F(ValidatorTest, RejectsCapacityViolation) {
+  // Push a third unit object onto server 0 (capacity 2, holds 2).
+  SystemModel model = uniform_model({2, 2}, {1, 1, 1});
+  ReplicationMatrix x_old(2, 3);
+  x_old.set(0, 0);
+  x_old.set(0, 1);
+  x_old.set(1, 2);
+  ReplicationMatrix x_new = x_old;
+  x_new.set(0, 2);
+  const Schedule h({Action::transfer(0, 2, 1)});
+  const auto v = Validator::validate(model, x_old, x_new, h);
+  ASSERT_FALSE(v.valid);
+  EXPECT_EQ(v.issues[0].error, ActionError::InsufficientSpace);
+}
+
+TEST_F(ValidatorTest, RejectsWrongFinalState) {
+  // Valid actions but deletions missing: final state has extra replicas.
+  const Schedule h({Action::transfer(1, 0, 0), Action::transfer(1, 1, 0)});
+  const auto v = Validator::validate(model_, x_old_, x_new_, h);
+  ASSERT_FALSE(v.valid);
+  EXPECT_EQ(v.issues[0].index, h.size());
+  EXPECT_EQ(v.issues[0].error, ActionError::None);
+  EXPECT_NE(v.issues[0].message.find("final state mismatch"), std::string::npos);
+}
+
+TEST_F(ValidatorTest, EmptyScheduleValidOnlyIfStatesEqual) {
+  EXPECT_FALSE(Validator::is_valid(model_, x_old_, x_new_, Schedule{}));
+  EXPECT_TRUE(Validator::is_valid(model_, x_old_, x_old_, Schedule{}));
+}
+
+TEST_F(ValidatorTest, CollectAllModeAccumulatesIssues) {
+  const Schedule h({Action::remove(1, 0),        // not a replicator
+                    Action::transfer(1, 0, 0),   // fine
+                    Action::remove(0, 0)});      // fine; but final state wrong
+  const auto v = Validator::validate(model_, x_old_, x_new_, h,
+                                     /*stop_at_first=*/false);
+  ASSERT_FALSE(v.valid);
+  EXPECT_GE(v.issues.size(), 2u);  // the bad delete + final mismatch
+}
+
+TEST_F(ValidatorTest, DummyTransfersAreValidActions) {
+  const Schedule h({Action::remove(0, 0), Action::remove(0, 1),
+                    Action::transfer(1, 0, kDummyServer),
+                    Action::transfer(1, 1, kDummyServer)});
+  EXPECT_TRUE(Validator::is_valid(model_, x_old_, x_new_, h));
+}
+
+}  // namespace
+}  // namespace rtsp

@@ -1,0 +1,135 @@
+// Differential and idempotence properties across solvers and improvers:
+//   * UCS and B&B agree and lower-bound every heuristic;
+//   * H1, H2 and OP1 are idempotent once converged;
+//   * random mutation storms on schedules never confuse the validator
+//     (fuzzing the surgery primitives).
+#include <gtest/gtest.h>
+
+#include "core/cost_model.hpp"
+#include "core/validator.hpp"
+#include "exact/uniform_cost_search.hpp"
+#include "heuristics/registry.hpp"
+#include "heuristics/surgery.hpp"
+#include "test_helpers.hpp"
+
+namespace rtsp {
+namespace {
+
+class DifferentialSeeds : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DifferentialSeeds, ExactMethodsBracketEveryHeuristic) {
+  Rng rng(GetParam());
+  RandomInstanceSpec spec;
+  spec.servers = 4;
+  spec.objects = 4;
+  spec.max_replicas = 1;
+  spec.max_object_size = 2;
+  const Instance inst = random_instance(spec, rng);
+  const UcsResult ucs = solve_exact_ucs(inst);
+  if (!ucs.proved_optimal) GTEST_SKIP() << "state budget exhausted";
+  EXPECT_GE(ucs.cost, cost_lower_bound(inst.model, inst.x_old, inst.x_new));
+  for (const std::string spec_name :
+       {"AR", "RDF", "GSDF", "GOLCF", "GOLCF+H1+H2+OP1", "GOLCF+SA"}) {
+    Rng arng(GetParam() ^ 0x1234);
+    const Schedule h =
+        make_pipeline(spec_name).run(inst.model, inst.x_old, inst.x_new, arng);
+    EXPECT_GE(schedule_cost(inst.model, h), ucs.cost) << spec_name;
+  }
+}
+
+TEST_P(DifferentialSeeds, ImproversAreIdempotent) {
+  Rng rng(GetParam());
+  RandomInstanceSpec spec;
+  spec.servers = 8;
+  spec.objects = 20;
+  spec.max_replicas = 2;
+  const Instance inst = random_instance(spec, rng);
+  const Schedule base =
+      make_pipeline("RDF").run(inst.model, inst.x_old, inst.x_new, rng);
+
+  for (const std::string imp : {"H1", "H2", "OP1"}) {
+    const Pipeline once = make_pipeline("RDF+" + imp);
+    const Pipeline twice = make_pipeline("RDF+" + imp + "+" + imp);
+    Rng r1(7);
+    Rng r2(7);
+    const Schedule a = once.run(inst.model, inst.x_old, inst.x_new, r1);
+    const Schedule b = twice.run(inst.model, inst.x_old, inst.x_new, r2);
+    EXPECT_EQ(a, b) << imp << " is not idempotent (seed " << GetParam() << ")";
+  }
+}
+
+TEST_P(DifferentialSeeds, MutationStormKeepsValidatorHonest) {
+  // Fuzz: random surgery on a valid schedule; whatever comes out, the
+  // validator's verdict must be consistent with a manual re-execution.
+  Rng rng(GetParam());
+  RandomInstanceSpec spec;
+  spec.servers = 6;
+  spec.objects = 12;
+  const Instance inst = random_instance(spec, rng);
+  Schedule h = make_pipeline("GSDF").run(inst.model, inst.x_old, inst.x_new, rng);
+  for (int storm = 0; storm < 50; ++storm) {
+    if (h.empty()) break;
+    const std::uint64_t kind = rng.below(3);
+    if (kind == 0) {
+      const std::size_t from = rng.below(h.size());
+      const std::size_t to = rng.below(from + 1);
+      move_action_earlier(h, from, to);
+    } else if (kind == 1) {
+      Action& a = h[rng.below(h.size())];
+      if (a.is_transfer()) {
+        a.source = rng.chance(0.3)
+                       ? kDummyServer
+                       : static_cast<ServerId>(rng.below(inst.model.num_servers()));
+        if (a.source == a.server) a.source = kDummyServer;
+      }
+    } else {
+      std::swap(h[rng.below(h.size())], h[rng.below(h.size())]);
+    }
+    // Differential check: validator verdict == manual lenient-free replay.
+    const auto verdict = Validator::validate(inst.model, inst.x_old, inst.x_new, h);
+    ExecutionState state(inst.model, inst.x_old);
+    bool replay_ok = true;
+    for (const Action& a : h) {
+      if (state.try_apply(a) != ActionError::None) {
+        replay_ok = false;
+        break;
+      }
+    }
+    if (replay_ok) replay_ok = state.placement() == inst.x_new;
+    EXPECT_EQ(verdict.valid, replay_ok) << "storm " << storm;
+  }
+}
+
+TEST_P(DifferentialSeeds, PullDeletionsNeverTouchesActionsBeyondLimit) {
+  Rng rng(GetParam());
+  RandomInstanceSpec spec;
+  spec.servers = 6;
+  spec.objects = 15;
+  const Instance inst = random_instance(spec, rng);
+  Schedule h = make_pipeline("RDF").run(inst.model, inst.x_old, inst.x_new, rng);
+  // Pick a random transfer and try to repair space for it in place.
+  std::vector<std::size_t> transfers;
+  for (std::size_t p = 0; p < h.size(); ++p) {
+    if (h[p].is_transfer()) transfers.push_back(p);
+  }
+  if (transfers.empty()) GTEST_SKIP();
+  const std::size_t t_pos = transfers[rng.below(transfers.size())];
+  const std::size_t limit =
+      t_pos + rng.below(h.size() - t_pos);  // in [t_pos, size)
+  const Schedule before = h;
+  pull_deletions_for_space(inst.model, inst.x_old, h, t_pos, limit,
+                           OrphanPolicy::Dummy);
+  ASSERT_EQ(h.size(), before.size());
+  for (std::size_t p = limit + 1; p < h.size(); ++p) {
+    EXPECT_EQ(h[p], before[p]) << "action beyond limit moved at " << p;
+  }
+  for (std::size_t p = 0; p < t_pos; ++p) {
+    EXPECT_EQ(h[p], before[p]) << "action before t_pos moved at " << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialSeeds,
+                         testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+}  // namespace
+}  // namespace rtsp

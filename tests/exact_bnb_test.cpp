@@ -1,0 +1,151 @@
+#include "exact/branch_and_bound.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/cost_model.hpp"
+#include "core/validator.hpp"
+#include "heuristics/registry.hpp"
+#include "test_helpers.hpp"
+
+namespace rtsp {
+namespace {
+
+using testutil::matrix_model;
+using testutil::uniform_model;
+
+TEST(Bnb, TrivialIdentityInstanceCostsNothing) {
+  SystemModel model = uniform_model({2, 2}, {1, 1});
+  const auto x = ReplicationMatrix::from_pairs(2, 2, {{0, 0}, {1, 1}});
+  const Instance inst{std::move(model), x, x};
+  const BnbResult r = solve_exact(inst);
+  EXPECT_TRUE(r.proved_optimal);
+  EXPECT_EQ(r.cost, 0);
+  EXPECT_TRUE(r.schedule.empty());
+}
+
+TEST(Bnb, SingleTransferUsesCheapestSource) {
+  const SystemModel m = matrix_model({1, 1, 1}, {1},
+                                     {{0, 4, 1}, {4, 0, 2}, {1, 2, 0}});
+  const auto x_old = ReplicationMatrix::from_pairs(3, 1, {{1, 0}, {2, 0}});
+  auto x_new = x_old;
+  x_new.set(0, 0);
+  const Instance inst{m, x_old, x_new};
+  const BnbResult r = solve_exact(inst);
+  EXPECT_TRUE(r.proved_optimal);
+  EXPECT_EQ(r.cost, 1);  // from S2
+  ASSERT_EQ(r.schedule.size(), 1u);
+  EXPECT_EQ(r.schedule[0], Action::transfer(0, 0, 2));
+}
+
+TEST(Bnb, CascadeBeatsDirectFetches) {
+  // Chain 0 -1- 1 -1- 2: filling S1 first lets S2 fetch cheaply.
+  const SystemModel m = matrix_model({1, 1, 1}, {1},
+                                     {{0, 1, 2}, {1, 0, 1}, {2, 1, 0}});
+  const auto x_old = ReplicationMatrix::from_pairs(3, 1, {{0, 0}});
+  const auto x_new =
+      ReplicationMatrix::from_pairs(3, 1, {{0, 0}, {1, 0}, {2, 0}});
+  const Instance inst{m, x_old, x_new};
+  const BnbResult r = solve_exact(inst);
+  EXPECT_TRUE(r.proved_optimal);
+  EXPECT_EQ(r.cost, 2);
+}
+
+TEST(Bnb, ForcedDeletionBeforeTransfer) {
+  // S1 must drop object 1 before it can take object 0.
+  SystemModel model = uniform_model({1, 1}, {1, 1});
+  const auto x_old = ReplicationMatrix::from_pairs(2, 2, {{0, 0}, {1, 1}});
+  const auto x_new = ReplicationMatrix::from_pairs(2, 2, {{0, 0}, {1, 0}});
+  const Instance inst{std::move(model), x_old, x_new};
+  const BnbResult r = solve_exact(inst);
+  EXPECT_TRUE(r.proved_optimal);
+  EXPECT_EQ(r.cost, 1);
+  ASSERT_EQ(r.schedule.size(), 2u);
+  EXPECT_TRUE(r.schedule[0].is_delete());
+  EXPECT_TRUE(r.schedule[1].is_transfer());
+}
+
+TEST(Bnb, StagingThroughThirdServerWhenItPays) {
+  // The swap instance with an expensive dummy (a = 5, so dummy link = 10):
+  // with staging allowed the dummy is avoidable and strictly cheaper.
+  SystemModel model = uniform_model({1, 1, 1}, {1, 1}, 1, /*dummy_factor=*/5.0);
+  const auto x_old = ReplicationMatrix::from_pairs(3, 2, {{0, 0}, {1, 1}});
+  const auto x_new = ReplicationMatrix::from_pairs(3, 2, {{0, 1}, {1, 0}});
+  const Instance inst{std::move(model), x_old, x_new};
+  const BnbResult with_staging = solve_exact(inst);
+  EXPECT_TRUE(with_staging.proved_optimal);
+  EXPECT_EQ(with_staging.schedule.dummy_transfer_count(), 0u);
+  // Stage one object on S2, swap, clean up: 3 transfers of cost 1.
+  EXPECT_EQ(with_staging.cost, 3);
+
+  BnbOptions no_staging;
+  no_staging.allow_staging = false;
+  const BnbResult without = solve_exact(inst, no_staging);
+  EXPECT_TRUE(without.proved_optimal);
+  // Without staging a dummy fetch is unavoidable: move one object over
+  // (cost 1), dummy-fetch the sacrificed one (cost 10).
+  EXPECT_EQ(without.cost, 11);
+  EXPECT_GE(without.schedule.dummy_transfer_count(), 1u);
+}
+
+TEST(Bnb, RespectsInitialUpperBound) {
+  SystemModel model = uniform_model({1, 1}, {1});
+  const auto x_old = ReplicationMatrix::from_pairs(2, 1, {{0, 0}});
+  const auto x_new = ReplicationMatrix::from_pairs(2, 1, {{0, 0}, {1, 0}});
+  const Instance inst{std::move(model), x_old, x_new};
+  BnbOptions opts;
+  opts.initial_upper_bound = 1;  // the true optimum
+  const BnbResult r = solve_exact(inst, opts);
+  EXPECT_TRUE(r.proved_optimal);
+  EXPECT_EQ(r.cost, 1);
+}
+
+TEST(Bnb, NodeBudgetExhaustionStillReturnsValidSchedule) {
+  Rng rng(5);
+  RandomInstanceSpec spec;
+  spec.servers = 6;
+  spec.objects = 10;
+  const Instance inst = random_instance(spec, rng);
+  BnbOptions opts;
+  opts.max_nodes = 50;  // guaranteed to run out
+  const BnbResult r = solve_exact(inst, opts);
+  EXPECT_FALSE(r.proved_optimal);
+  EXPECT_TRUE(Validator::is_valid(inst.model, inst.x_old, inst.x_new, r.schedule));
+}
+
+TEST(Bnb, InfeasibleTargetThrows) {
+  SystemModel model = uniform_model({1}, {1, 1});
+  ReplicationMatrix x_new(1, 2);
+  x_new.set(0, 0);
+  x_new.set(0, 1);
+  const Instance inst{std::move(model), ReplicationMatrix(1, 2), x_new};
+  EXPECT_THROW(solve_exact(inst), PreconditionError);
+}
+
+class BnbVsHeuristics : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BnbVsHeuristics, OptimumNeverExceedsAnyHeuristic) {
+  Rng rng(GetParam());
+  RandomInstanceSpec spec;
+  spec.servers = 4;
+  spec.objects = 5;
+  spec.max_replicas = 1;
+  spec.max_object_size = 2;
+  const Instance inst = random_instance(spec, rng);
+  BnbOptions opts;
+  opts.max_nodes = 3'000'000;
+  const BnbResult r = solve_exact(inst, opts);
+  ASSERT_TRUE(Validator::is_valid(inst.model, inst.x_old, inst.x_new, r.schedule));
+  EXPECT_GE(r.cost, cost_lower_bound(inst.model, inst.x_old, inst.x_new));
+  if (!r.proved_optimal) GTEST_SKIP() << "node budget exhausted";
+  for (const std::string spec_name : {"AR", "GOLCF", "GOLCF+H1+H2+OP1"}) {
+    Rng arng(GetParam() + 99);
+    const Schedule h =
+        make_pipeline(spec_name).run(inst.model, inst.x_old, inst.x_new, arng);
+    EXPECT_LE(r.cost, schedule_cost(inst.model, h)) << spec_name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BnbVsHeuristics, testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace rtsp

@@ -1,0 +1,115 @@
+#include "exact/knapsack.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+namespace rtsp {
+namespace {
+
+/// Exhaustive oracle for small n.
+std::int64_t brute_force_best(const KnapsackInstance& inst) {
+  const std::size_t n = inst.count();
+  std::int64_t best = 0;
+  for (std::size_t mask = 0; mask < (std::size_t{1} << n); ++mask) {
+    std::int64_t size = 0;
+    std::int64_t benefit = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (std::size_t{1} << i)) {
+        size += inst.sizes[i];
+        benefit += inst.benefits[i];
+      }
+    }
+    if (size <= inst.capacity) best = std::max(best, benefit);
+  }
+  return best;
+}
+
+std::int64_t brute_force_min_optimal_size(const KnapsackInstance& inst,
+                                          std::int64_t best_benefit) {
+  const std::size_t n = inst.count();
+  std::int64_t best_size = inst.capacity;
+  for (std::size_t mask = 0; mask < (std::size_t{1} << n); ++mask) {
+    std::int64_t size = 0;
+    std::int64_t benefit = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (std::size_t{1} << i)) {
+        size += inst.sizes[i];
+        benefit += inst.benefits[i];
+      }
+    }
+    if (size <= inst.capacity && benefit == best_benefit) {
+      best_size = std::min(best_size, size);
+    }
+  }
+  return best_size;
+}
+
+TEST(Knapsack, TextbookInstance) {
+  const KnapsackInstance inst{{60, 100, 120}, {10, 20, 30}, 50};
+  const auto sol = solve_knapsack(inst);
+  EXPECT_EQ(sol.best_benefit, 220);
+  EXPECT_FALSE(sol.chosen[0]);
+  EXPECT_TRUE(sol.chosen[1]);
+  EXPECT_TRUE(sol.chosen[2]);
+}
+
+TEST(Knapsack, ZeroCapacityTakesNothing) {
+  const KnapsackInstance inst{{5, 6}, {1, 1}, 0};
+  const auto sol = solve_knapsack(inst);
+  EXPECT_EQ(sol.best_benefit, 0);
+  EXPECT_FALSE(sol.chosen[0]);
+  EXPECT_FALSE(sol.chosen[1]);
+}
+
+TEST(Knapsack, AllItemsFit) {
+  const KnapsackInstance inst{{3, 4, 5}, {1, 1, 1}, 10};
+  const auto sol = solve_knapsack(inst);
+  EXPECT_EQ(sol.best_benefit, 12);
+  EXPECT_EQ(sol.min_optimal_size(), 3);
+}
+
+TEST(Knapsack, ChosenSubsetIsConsistent) {
+  const KnapsackInstance inst{{7, 2, 9, 4}, {3, 1, 5, 2}, 6};
+  const auto sol = solve_knapsack(inst);
+  std::int64_t size = 0;
+  std::int64_t benefit = 0;
+  for (std::size_t i = 0; i < inst.count(); ++i) {
+    if (sol.chosen[i]) {
+      size += inst.sizes[i];
+      benefit += inst.benefits[i];
+    }
+  }
+  EXPECT_LE(size, inst.capacity);
+  EXPECT_EQ(benefit, sol.best_benefit);
+}
+
+TEST(Knapsack, RejectsNonPositiveInputs) {
+  EXPECT_THROW(solve_knapsack(KnapsackInstance{{0}, {1}, 5}), PreconditionError);
+  EXPECT_THROW(solve_knapsack(KnapsackInstance{{1}, {0}, 5}), PreconditionError);
+  EXPECT_THROW(solve_knapsack(KnapsackInstance{{1}, {1}, -1}), PreconditionError);
+}
+
+class KnapsackRandom : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KnapsackRandom, MatchesBruteForce) {
+  Rng rng(GetParam());
+  for (int rep = 0; rep < 20; ++rep) {
+    const std::size_t n = 1 + rng.below(10);
+    KnapsackInstance inst;
+    for (std::size_t i = 0; i < n; ++i) {
+      inst.benefits.push_back(rng.uniform_int(1, 30));
+      inst.sizes.push_back(rng.uniform_int(1, 15));
+    }
+    inst.capacity = rng.uniform_int(0, 40);
+    const auto sol = solve_knapsack(inst);
+    EXPECT_EQ(sol.best_benefit, brute_force_best(inst));
+    EXPECT_EQ(sol.min_optimal_size(),
+              brute_force_min_optimal_size(inst, sol.best_benefit));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KnapsackRandom, testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace rtsp

@@ -1,0 +1,103 @@
+// Tests of the Sec. 3.4 Knapsack -> RTSP reduction gadget.
+#include "exact/reduction.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/delta.hpp"
+#include "core/feasibility.hpp"
+#include "core/validator.hpp"
+#include "exact/branch_and_bound.hpp"
+
+namespace rtsp {
+namespace {
+
+KnapsackInstance tiny() { return KnapsackInstance{{4, 3}, {2, 3}, 3}; }
+
+TEST(Reduction, BuildsTheFig2Structure) {
+  const KnapsackInstance ks = tiny();
+  const ReducedInstance red = reduce_knapsack_to_rtsp(ks);
+  const Instance& inst = red.instance;
+  const std::size_t n = ks.count();
+  EXPECT_EQ(inst.model.num_servers(), n + 3);
+  EXPECT_EQ(inst.model.num_objects(), n + 1);
+  EXPECT_EQ(red.size_product, 6);
+  // b'_i = b_i * Prod(s) / s_i.
+  EXPECT_EQ(red.scaled_benefits[0], 4 * 6 / 2);
+  EXPECT_EQ(red.scaled_benefits[1], 3 * 6 / 3);
+  // Link costs per Fig. 2 (others follow shortest paths).
+  const ServerId sn1 = 2, sn2 = 3, sn3 = 4;
+  EXPECT_EQ(inst.model.costs().at(sn1, sn2), 1);
+  EXPECT_EQ(inst.model.costs().at(0, sn1), red.scaled_benefits[0]);
+  EXPECT_EQ(inst.model.costs().at(1, sn1), red.scaled_benefits[1]);
+  EXPECT_EQ(inst.model.costs().at(sn3, sn2),
+            red.scaled_benefits[0] + red.scaled_benefits[1] + 2);
+  // Big object size = sum of knapsack sizes.
+  EXPECT_EQ(inst.model.object_size(static_cast<ObjectId>(n)), 5);
+  // Capacities: S_{n+1} has S + sum(s), S_{n+2} and S_{n+3} have sum(s).
+  EXPECT_EQ(inst.model.capacity(sn1), 3 + 5);
+  EXPECT_EQ(inst.model.capacity(sn2), 5);
+  EXPECT_EQ(inst.model.capacity(sn3), 5);
+  // X_old / X_new shape: the two middle servers interchange objects.
+  EXPECT_TRUE(inst.x_old.test(sn1, static_cast<ObjectId>(n)));
+  EXPECT_TRUE(inst.x_new.test(sn2, static_cast<ObjectId>(n)));
+  for (ObjectId k = 0; k < n; ++k) {
+    EXPECT_TRUE(inst.x_old.test(sn2, k));
+    EXPECT_TRUE(inst.x_new.test(sn1, k));
+    EXPECT_TRUE(inst.x_old.test(static_cast<ServerId>(k), k));
+    EXPECT_TRUE(inst.x_new.test(static_cast<ServerId>(k), k));
+  }
+  EXPECT_TRUE(storage_feasible(inst.model, inst.x_old));
+  EXPECT_TRUE(storage_feasible(inst.model, inst.x_new));
+}
+
+TEST(Reduction, OptimalRtspCostEqualsClosedForm) {
+  const KnapsackInstance ks = tiny();
+  const ReducedInstance red = reduce_knapsack_to_rtsp(ks);
+  const BnbResult result = solve_exact(red.instance);
+  ASSERT_TRUE(result.proved_optimal);
+  EXPECT_TRUE(Validator::is_valid(red.instance.model, red.instance.x_old,
+                                  red.instance.x_new, result.schedule));
+  EXPECT_EQ(result.cost, reduced_optimal_cost(ks));
+}
+
+TEST(Reduction, ClosedFormSpotCheck) {
+  // tiny(): best knapsack picks item 0 (benefit 4, size 2 <= 3).
+  // Optimal RTSP = sigma* + sum(s) + Prod(s) * (sum(b) - B*)
+  //              = 2 + 5 + 6 * (7 - 4) = 25.
+  EXPECT_EQ(reduced_optimal_cost(tiny()), 25);
+}
+
+TEST(Reduction, ThresholdFormula) {
+  // threshold = sum(s) + (sum(b) - K) * Prod(s) + S.
+  EXPECT_EQ(reduction_threshold(tiny(), 4), 5 + (7 - 4) * 6 + 3);
+  // Decision link: schedule of cost <= threshold(K) exists iff knapsack
+  // can reach benefit K. B* = 4 here.
+  const Cost opt = reduced_optimal_cost(tiny());
+  EXPECT_LE(opt, reduction_threshold(tiny(), 4));
+  EXPECT_GT(opt, reduction_threshold(tiny(), 5));
+}
+
+class ReductionRandom : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReductionRandom, ExactSolverAgreesWithClosedForm) {
+  Rng rng(GetParam());
+  KnapsackInstance ks;
+  const std::size_t n = 2 + rng.below(2);  // keep B&B affordable
+  for (std::size_t i = 0; i < n; ++i) {
+    ks.benefits.push_back(rng.uniform_int(1, 5));
+    ks.sizes.push_back(rng.uniform_int(1, 3));
+  }
+  ks.capacity = rng.uniform_int(1, 6);
+  const ReducedInstance red = reduce_knapsack_to_rtsp(ks);
+  BnbOptions opts;
+  opts.max_nodes = 2'000'000;
+  const BnbResult result = solve_exact(red.instance, opts);
+  ASSERT_TRUE(result.proved_optimal);
+  EXPECT_EQ(result.cost, reduced_optimal_cost(ks))
+      << "n=" << n << " cap=" << ks.capacity;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReductionRandom, testing::Values(10, 20, 30));
+
+}  // namespace
+}  // namespace rtsp

@@ -1,0 +1,106 @@
+// Cross-checks between the two independent exact methods: uniform-cost
+// search must agree with branch-and-bound everywhere both prove optimality.
+#include "exact/uniform_cost_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/cost_model.hpp"
+#include "core/validator.hpp"
+#include "exact/reduction.hpp"
+#include "test_helpers.hpp"
+
+namespace rtsp {
+namespace {
+
+TEST(Ucs, IdentityInstanceIsFree) {
+  SystemModel model = testutil::uniform_model({2, 2}, {1, 1});
+  const auto x = ReplicationMatrix::from_pairs(2, 2, {{0, 0}, {1, 1}});
+  const Instance inst{std::move(model), x, x};
+  const UcsResult r = solve_exact_ucs(inst);
+  EXPECT_TRUE(r.proved_optimal);
+  EXPECT_EQ(r.cost, 0);
+  EXPECT_TRUE(r.schedule.empty());
+}
+
+TEST(Ucs, AgreesWithBnbOnFig1) {
+  const Instance inst = testutil::fig1_instance();
+  const UcsResult ucs = solve_exact_ucs(inst);
+  const BnbResult bnb = solve_exact(inst);
+  ASSERT_TRUE(ucs.proved_optimal);
+  ASSERT_TRUE(bnb.proved_optimal);
+  EXPECT_EQ(ucs.cost, bnb.cost);
+  EXPECT_EQ(ucs.cost, 5);
+  EXPECT_TRUE(
+      Validator::is_valid(inst.model, inst.x_old, inst.x_new, ucs.schedule));
+  EXPECT_EQ(schedule_cost(inst.model, ucs.schedule), ucs.cost);
+}
+
+TEST(Ucs, AgreesWithBnbOnFig3) {
+  const Instance inst = testutil::fig3_instance();
+  const UcsResult ucs = solve_exact_ucs(inst);
+  const BnbResult bnb = solve_exact(inst);
+  ASSERT_TRUE(ucs.proved_optimal);
+  ASSERT_TRUE(bnb.proved_optimal);
+  EXPECT_EQ(ucs.cost, bnb.cost);
+  EXPECT_TRUE(
+      Validator::is_valid(inst.model, inst.x_old, inst.x_new, ucs.schedule));
+}
+
+TEST(Ucs, AgreesWithReductionClosedForm) {
+  const KnapsackInstance ks{{4, 3}, {2, 3}, 3};
+  const ReducedInstance red = reduce_knapsack_to_rtsp(ks);
+  const UcsResult ucs = solve_exact_ucs(red.instance);
+  ASSERT_TRUE(ucs.proved_optimal);
+  EXPECT_EQ(ucs.cost, reduced_optimal_cost(ks));
+}
+
+class UcsVsBnb : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(UcsVsBnb, SameOptimaOnRandomTinyInstances) {
+  Rng rng(GetParam());
+  RandomInstanceSpec spec;
+  spec.servers = 4;
+  spec.objects = 5;
+  spec.max_replicas = 1;
+  spec.max_object_size = 2;
+  const Instance inst = random_instance(spec, rng);
+  const UcsResult ucs = solve_exact_ucs(inst);
+  BnbOptions bopts;
+  bopts.max_nodes = 3'000'000;
+  const BnbResult bnb = solve_exact(inst, bopts);
+  if (!ucs.proved_optimal || !bnb.proved_optimal) {
+    GTEST_SKIP() << "budget exhausted";
+  }
+  EXPECT_EQ(ucs.cost, bnb.cost) << "seed " << GetParam();
+  EXPECT_TRUE(
+      Validator::is_valid(inst.model, inst.x_old, inst.x_new, ucs.schedule));
+  EXPECT_EQ(schedule_cost(inst.model, ucs.schedule), ucs.cost);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UcsVsBnb,
+                         testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST(Ucs, BudgetExhaustionFallsBackToWorstCase) {
+  Rng rng(3);
+  RandomInstanceSpec spec;
+  spec.servers = 6;
+  spec.objects = 10;
+  const Instance inst = random_instance(spec, rng);
+  UcsOptions opts;
+  opts.max_states = 3;
+  const UcsResult r = solve_exact_ucs(inst, opts);
+  EXPECT_FALSE(r.proved_optimal);
+  EXPECT_TRUE(Validator::is_valid(inst.model, inst.x_old, inst.x_new, r.schedule));
+}
+
+TEST(Ucs, InfeasibleTargetThrows) {
+  SystemModel model = testutil::uniform_model({1}, {1, 1});
+  ReplicationMatrix x_new(1, 2);
+  x_new.set(0, 0);
+  x_new.set(0, 1);
+  const Instance inst{std::move(model), ReplicationMatrix(1, 2), x_new};
+  EXPECT_THROW(solve_exact_ucs(inst), PreconditionError);
+}
+
+}  // namespace
+}  // namespace rtsp

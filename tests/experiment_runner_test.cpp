@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "experiment/report.hpp"
+#include "experiment/runner.hpp"
+
+namespace rtsp {
+namespace {
+
+std::vector<SweepPoint> tiny_points() {
+  std::vector<SweepPoint> points;
+  for (std::size_t r : {1, 2}) {
+    RandomInstanceSpec spec;
+    spec.servers = 8;
+    spec.objects = 16;
+    spec.min_replicas = r;
+    spec.max_replicas = r;
+    points.push_back(
+        {std::to_string(r), [spec](Rng& rng) { return random_instance(spec, rng); }});
+  }
+  return points;
+}
+
+SweepConfig tiny_config() {
+  SweepConfig cfg;
+  cfg.algorithms = {"AR", "GOLCF+H1+H2"};
+  cfg.trials = 3;
+  cfg.threads = 2;
+  return cfg;
+}
+
+TEST(Runner, ShapesAndCountsAreRight) {
+  const SweepResult result = run_sweep(tiny_points(), tiny_config());
+  ASSERT_EQ(result.point_labels.size(), 2u);
+  ASSERT_EQ(result.algorithms.size(), 2u);
+  EXPECT_EQ(result.algorithms[0], "AR");
+  EXPECT_EQ(result.algorithms[1], "GOLCF+H1+H2");
+  ASSERT_EQ(result.cells.size(), 2u);
+  for (const auto& row : result.cells) {
+    ASSERT_EQ(row.size(), 2u);
+    for (const auto& cell : row) {
+      EXPECT_EQ(cell.dummy_transfers.count(), 3u);
+      EXPECT_EQ(cell.implementation_cost.count(), 3u);
+      EXPECT_GT(cell.implementation_cost.mean(), 0.0);
+    }
+  }
+}
+
+TEST(Runner, DeterministicAcrossThreadCounts) {
+  SweepConfig one = tiny_config();
+  one.threads = 1;
+  SweepConfig four = tiny_config();
+  four.threads = 4;
+  const SweepResult a = run_sweep(tiny_points(), one);
+  const SweepResult b = run_sweep(tiny_points(), four);
+  for (std::size_t p = 0; p < a.cells.size(); ++p) {
+    for (std::size_t alg = 0; alg < a.cells[p].size(); ++alg) {
+      EXPECT_DOUBLE_EQ(a.cells[p][alg].implementation_cost.mean(),
+                       b.cells[p][alg].implementation_cost.mean());
+      EXPECT_DOUBLE_EQ(a.cells[p][alg].dummy_transfers.mean(),
+                       b.cells[p][alg].dummy_transfers.mean());
+    }
+  }
+}
+
+TEST(Runner, DifferentBaseSeedsChangeResults) {
+  SweepConfig cfg = tiny_config();
+  const SweepResult a = run_sweep(tiny_points(), cfg);
+  cfg.base_seed += 1;
+  const SweepResult b = run_sweep(tiny_points(), cfg);
+  bool any_diff = false;
+  for (std::size_t p = 0; p < a.cells.size(); ++p) {
+    for (std::size_t alg = 0; alg < a.cells[p].size(); ++alg) {
+      any_diff |= a.cells[p][alg].implementation_cost.mean() !=
+                  b.cells[p][alg].implementation_cost.mean();
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Runner, RejectsBadConfigs) {
+  SweepConfig cfg = tiny_config();
+  cfg.algorithms = {"NOT_AN_ALGO"};
+  EXPECT_THROW(run_sweep(tiny_points(), cfg), std::invalid_argument);
+  SweepConfig empty = tiny_config();
+  empty.algorithms.clear();
+  EXPECT_THROW(run_sweep(tiny_points(), empty), PreconditionError);
+  EXPECT_THROW(run_sweep({}, tiny_config()), PreconditionError);
+}
+
+TEST(Report, SeriesTableContainsAlgorithmsAndPoints) {
+  const SweepResult result = run_sweep(tiny_points(), tiny_config());
+  std::ostringstream out;
+  print_series(out, result, Metric::DummyTransfers, "replicas/object");
+  const std::string s = out.str();
+  EXPECT_NE(s.find("dummy transfers"), std::string::npos);
+  EXPECT_NE(s.find("replicas/object"), std::string::npos);
+  EXPECT_NE(s.find("GOLCF+H1+H2"), std::string::npos);
+  EXPECT_NE(s.find("\n1 "), std::string::npos);  // x row
+}
+
+TEST(Report, CsvHasHeaderAndOneRowPerCell) {
+  const SweepResult result = run_sweep(tiny_points(), tiny_config());
+  std::ostringstream out;
+  write_series_csv(out, result, Metric::ImplementationCost, "r");
+  std::istringstream lines(out.str());
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(lines, line)) ++count;
+  EXPECT_EQ(count, 1u + 2u * 2u);  // header + points x algorithms
+  EXPECT_NE(out.str().find("implementation cost"), std::string::npos);
+}
+
+TEST(Report, MaybeDumpCsvWritesFileOrSkips) {
+  const SweepResult result = run_sweep(tiny_points(), tiny_config());
+  maybe_dump_csv("", result, "r");  // no-op
+  const std::string path = testing::TempDir() + "/rtsp_sweep.csv";
+  maybe_dump_csv(path, result, "r");
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_NE(header.find("metric"), std::string::npos);
+}
+
+TEST(MetricHelpers, NamesAndSelection) {
+  CellMetrics cell;
+  TrialMetrics t;
+  t.dummy_transfers = 4;
+  t.implementation_cost = 100;
+  t.schedule_length = 9;
+  t.seconds = 0.5;
+  cell.add(t);
+  EXPECT_DOUBLE_EQ(metric_samples(cell, Metric::DummyTransfers).mean(), 4.0);
+  EXPECT_DOUBLE_EQ(metric_samples(cell, Metric::ImplementationCost).mean(), 100.0);
+  EXPECT_DOUBLE_EQ(metric_samples(cell, Metric::ScheduleLength).mean(), 9.0);
+  EXPECT_DOUBLE_EQ(metric_samples(cell, Metric::Seconds).mean(), 0.5);
+  EXPECT_STREQ(metric_name(Metric::DummyTransfers), "dummy transfers");
+}
+
+}  // namespace
+}  // namespace rtsp

@@ -1,0 +1,105 @@
+#include "extension/deadline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/cost_model.hpp"
+#include "core/validator.hpp"
+#include "heuristics/registry.hpp"
+#include "test_helpers.hpp"
+
+namespace rtsp {
+namespace {
+
+using testutil::uniform_model;
+
+TEST(Deadline, AlreadyMetReturnsInputUnchanged) {
+  const SystemModel m = uniform_model({3, 3}, {3}, 2);
+  const auto x_old = ReplicationMatrix::from_pairs(2, 1, {{0, 0}});
+  auto x_new = x_old;
+  x_new.set(1, 0);
+  const Schedule h({Action::transfer(1, 0, 0)});
+  DeadlineOptions opts;
+  opts.deadline = 100.0;
+  const DeadlineResult r = meet_deadline(m, x_old, x_new, h, opts);
+  EXPECT_TRUE(r.met);
+  EXPECT_EQ(r.schedule, h);
+  EXPECT_DOUBLE_EQ(r.report.makespan, 6.0);
+}
+
+TEST(Deadline, ReSourcesOffTheHotSource) {
+  // S0 and S3 both hold the object; a bad schedule sends both copies from
+  // S0 (port-serialised). Re-sourcing one to S3 halves the makespan.
+  const SystemModel m = uniform_model({3, 3, 3, 3}, {3}, 2);
+  const auto x_old = ReplicationMatrix::from_pairs(4, 1, {{0, 0}, {3, 0}});
+  auto x_new = x_old;
+  x_new.set(1, 0);
+  x_new.set(2, 0);
+  const Schedule hot({Action::transfer(1, 0, 0), Action::transfer(2, 0, 0)});
+  ASSERT_TRUE(Validator::is_valid(m, x_old, x_new, hot));
+  DeadlineOptions opts;
+  opts.deadline = 6.0;  // serial would take 12
+  const DeadlineResult r = meet_deadline(m, x_old, x_new, hot, opts);
+  EXPECT_TRUE(r.met) << "makespan " << r.report.makespan;
+  EXPECT_DOUBLE_EQ(r.report.makespan, 6.0);
+  EXPECT_TRUE(Validator::is_valid(m, x_old, x_new, r.schedule));
+}
+
+TEST(Deadline, ImpossibleDeadlineReportsUnmetButImproves) {
+  const SystemModel m = uniform_model({3, 3, 3}, {3}, 2);
+  const auto x_old = ReplicationMatrix::from_pairs(3, 1, {{0, 0}});
+  auto x_new = x_old;
+  x_new.set(1, 0);
+  x_new.set(2, 0);
+  // Chain schedule: S1 then S2-from-S1 — inherently two serial hops.
+  const Schedule h({Action::transfer(1, 0, 0), Action::transfer(2, 0, 1)});
+  DeadlineOptions opts;
+  opts.deadline = 1.0;  // unreachable: one transfer alone takes 6
+  const DeadlineResult r = meet_deadline(m, x_old, x_new, h, opts);
+  EXPECT_FALSE(r.met);
+  EXPECT_TRUE(Validator::is_valid(m, x_old, x_new, r.schedule));
+  // Never worse than the input's makespan.
+  const auto before = simulate_makespan(m, x_old, h, opts.execution);
+  EXPECT_LE(r.report.makespan, before.makespan + 1e-9);
+}
+
+TEST(Deadline, RejectsInvalidStartingSchedule) {
+  const SystemModel m = uniform_model({1, 1}, {1}, 2);
+  const auto x_old = ReplicationMatrix::from_pairs(2, 1, {{0, 0}});
+  auto x_new = x_old;
+  x_new.set(1, 0);
+  DeadlineOptions opts;
+  opts.deadline = 10.0;
+  EXPECT_THROW(meet_deadline(m, x_old, x_new, Schedule({Action::remove(1, 0)}), opts),
+               PreconditionError);
+}
+
+class DeadlineSeeds : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DeadlineSeeds, MonotoneMakespanAndValidOnRealSchedules) {
+  Rng rng(GetParam());
+  RandomInstanceSpec spec;
+  spec.servers = 8;
+  spec.objects = 24;
+  spec.max_replicas = 2;
+  const Instance inst = random_instance(spec, rng);
+  const Schedule start =
+      make_pipeline("GOLCF+H1+H2").run(inst.model, inst.x_old, inst.x_new, rng);
+  ASSERT_TRUE(Validator::is_valid(inst.model, inst.x_old, inst.x_new, start));
+  const auto before = simulate_makespan(inst.model, inst.x_old, start, {});
+
+  DeadlineOptions opts;
+  opts.deadline = before.makespan * 0.7;  // demand a 30% makespan cut
+  const DeadlineResult r =
+      meet_deadline(inst.model, inst.x_old, inst.x_new, start, opts);
+  EXPECT_TRUE(Validator::is_valid(inst.model, inst.x_old, inst.x_new, r.schedule));
+  EXPECT_LE(r.report.makespan, before.makespan + 1e-9);
+  EXPECT_EQ(r.cost, schedule_cost(inst.model, r.schedule));
+  if (r.met) {
+    EXPECT_LE(r.report.makespan, opts.deadline + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeadlineSeeds, testing::Values(4, 8, 15, 16, 23));
+
+}  // namespace
+}  // namespace rtsp

@@ -1,0 +1,92 @@
+#include "extension/dependency_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/validator.hpp"
+#include "heuristics/registry.hpp"
+#include "test_helpers.hpp"
+
+namespace rtsp {
+namespace {
+
+TEST(DependencyGraph, TransferDependsOnItsSourceCreation) {
+  // T(1,0,0) creates the source used by T(2,0,1).
+  const Schedule h({Action::transfer(1, 0, 0), Action::transfer(2, 0, 1)});
+  const DependencyGraph dag(h);
+  EXPECT_TRUE(dag.dependencies_of(0).empty());
+  EXPECT_EQ(dag.dependencies_of(1), (std::vector<std::size_t>{0}));
+  EXPECT_EQ(dag.dependents_of(0), (std::vector<std::size_t>{1}));
+  EXPECT_EQ(dag.critical_path_length(), 2u);
+}
+
+TEST(DependencyGraph, XOldSourcesHaveNoDependency) {
+  const Schedule h({Action::transfer(1, 0, 0), Action::transfer(2, 1, 0)});
+  const DependencyGraph dag(h);
+  EXPECT_TRUE(dag.dependencies_of(0).empty());
+  EXPECT_TRUE(dag.dependencies_of(1).empty());
+  EXPECT_EQ(dag.critical_path_length(), 1u);
+}
+
+TEST(DependencyGraph, DeletionWaitsForReaders) {
+  // D(0,0) must wait for T(1,0,0) and T(2,0,0), which both read (0,0).
+  const Schedule h({Action::transfer(1, 0, 0), Action::transfer(2, 0, 0),
+                    Action::remove(0, 0)});
+  const DependencyGraph dag(h);
+  EXPECT_EQ(dag.dependencies_of(2), (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(DependencyGraph, DeletionThenRecreationChains) {
+  // Delete (0,0), then re-create it from S1: the transfer depends on the
+  // deletion; a second deletion depends on the creating transfer.
+  const Schedule h({Action::transfer(1, 0, 0), Action::remove(0, 0),
+                    Action::transfer(0, 0, 1), Action::remove(0, 0)});
+  const DependencyGraph dag(h);
+  // D(0,0)@1 waits for its reader T(1,0,0)@0.
+  EXPECT_EQ(dag.dependencies_of(1), (std::vector<std::size_t>{0}));
+  // T(0,0,1)@2 waits for D(0,0)@1 (slot) and T(1,0,0)@0 (its source).
+  const auto deps2 = dag.dependencies_of(2);
+  EXPECT_NE(std::find(deps2.begin(), deps2.end(), 1u), deps2.end());
+  EXPECT_NE(std::find(deps2.begin(), deps2.end(), 0u), deps2.end());
+  // D(0,0)@3 waits for the re-creation @2.
+  const auto deps3 = dag.dependencies_of(3);
+  EXPECT_NE(std::find(deps3.begin(), deps3.end(), 2u), deps3.end());
+  EXPECT_EQ(dag.critical_path_length(), 4u);
+}
+
+TEST(DependencyGraph, DummyTransfersDependOnNothingUpstream) {
+  const Schedule h({Action::remove(0, 0), Action::transfer(1, 0, kDummyServer)});
+  const DependencyGraph dag(h);
+  // The dummy source always exists; only slot conflicts would matter and
+  // there are none here (different servers).
+  EXPECT_TRUE(dag.dependencies_of(1).empty());
+}
+
+TEST(DependencyGraph, IndependentActionsStayIndependent) {
+  const Schedule h({Action::transfer(1, 0, 0), Action::transfer(3, 1, 2),
+                    Action::remove(0, 0), Action::remove(2, 1)});
+  const DependencyGraph dag(h);
+  EXPECT_EQ(dag.critical_path_length(), 2u);  // reader -> deletion pairs
+  EXPECT_TRUE(dag.dependencies_of(1).empty());
+  EXPECT_EQ(dag.dependencies_of(2), (std::vector<std::size_t>{0}));
+  EXPECT_EQ(dag.dependencies_of(3), (std::vector<std::size_t>{1}));
+}
+
+TEST(DependencyGraph, EdgesAlwaysPointBackwards) {
+  Rng rng(123);
+  RandomInstanceSpec spec;
+  spec.servers = 8;
+  spec.objects = 20;
+  const Instance inst = random_instance(spec, rng);
+  const Schedule h =
+      make_pipeline("GOLCF+H1+H2").run(inst.model, inst.x_old, inst.x_new, rng);
+  ASSERT_TRUE(Validator::is_valid(inst.model, inst.x_old, inst.x_new, h));
+  const DependencyGraph dag(h);
+  EXPECT_TRUE(dag.edges_point_backwards());
+  EXPECT_LE(dag.critical_path_length(), h.size());
+  EXPECT_GE(dag.critical_path_length(), h.empty() ? 0u : 1u);
+}
+
+}  // namespace
+}  // namespace rtsp

@@ -1,0 +1,114 @@
+#include "extension/phases.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/validator.hpp"
+#include "extension/dependency_graph.hpp"
+#include "heuristics/registry.hpp"
+#include "test_helpers.hpp"
+
+namespace rtsp {
+namespace {
+
+using testutil::uniform_model;
+
+TEST(Phases, IndependentActionsShareARound) {
+  const SystemModel m = uniform_model({3, 3, 3, 3}, {3, 3}, 2);
+  ReplicationMatrix x_old(4, 2);
+  x_old.set(0, 0);
+  x_old.set(2, 1);
+  const Schedule h({Action::transfer(1, 0, 0), Action::transfer(3, 1, 2)});
+  const PhasePlan plan = phase_partition(m, x_old, h);
+  ASSERT_EQ(plan.rounds(), 1u);
+  EXPECT_EQ(plan.phases[0], (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(plan.max_width(), 2u);
+}
+
+TEST(Phases, DependentChainSplitsRounds) {
+  const SystemModel m = uniform_model({3, 3, 3}, {3}, 2);
+  const auto x_old = ReplicationMatrix::from_pairs(3, 1, {{0, 0}});
+  const Schedule h({Action::transfer(1, 0, 0), Action::transfer(2, 0, 1)});
+  const PhasePlan plan = phase_partition(m, x_old, h);
+  ASSERT_EQ(plan.rounds(), 2u);
+  EXPECT_EQ(plan.phases[0], (std::vector<std::size_t>{0}));
+  EXPECT_EQ(plan.phases[1], (std::vector<std::size_t>{1}));
+  // Bottleneck: each round's slowest transfer costs 6.
+  EXPECT_EQ(plan.bottleneck_cost(m, h), 12);
+}
+
+TEST(Phases, PortLimitSplitsSharedSource) {
+  const SystemModel m = uniform_model({3, 3, 3}, {3}, 2);
+  const auto x_old = ReplicationMatrix::from_pairs(3, 1, {{0, 0}});
+  const Schedule h({Action::transfer(1, 0, 0), Action::transfer(2, 0, 0)});
+  EXPECT_EQ(phase_partition(m, x_old, h, 1).rounds(), 2u);
+  EXPECT_EQ(phase_partition(m, x_old, h, 2).rounds(), 1u);
+}
+
+TEST(Phases, DeletionsAreFreeRiders) {
+  const SystemModel m = uniform_model({1, 1}, {1, 1}, 2);
+  const auto x_old = ReplicationMatrix::from_pairs(2, 2, {{0, 0}, {1, 1}});
+  const Schedule h({Action::remove(1, 1), Action::transfer(1, 0, 0)});
+  const PhasePlan plan = phase_partition(m, x_old, h);
+  ASSERT_EQ(plan.rounds(), 1u);
+  EXPECT_EQ(plan.phases[0].size(), 2u);
+}
+
+class PhaseSeeds : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PhaseSeeds, PartitionIsAPermutationRespectingDependencies) {
+  Rng rng(GetParam());
+  RandomInstanceSpec spec;
+  spec.servers = 8;
+  spec.objects = 20;
+  const Instance inst = random_instance(spec, rng);
+  const Schedule h =
+      make_pipeline("GOLCF+H1+H2").run(inst.model, inst.x_old, inst.x_new, rng);
+  ASSERT_TRUE(Validator::is_valid(inst.model, inst.x_old, inst.x_new, h));
+  const PhasePlan plan = phase_partition(inst.model, inst.x_old, h);
+
+  // Every action appears exactly once.
+  std::set<std::size_t> seen;
+  std::vector<std::size_t> round_of(h.size());
+  for (std::size_t r = 0; r < plan.rounds(); ++r) {
+    for (std::size_t u : plan.phases[r]) {
+      EXPECT_TRUE(seen.insert(u).second) << "duplicate action " << u;
+      round_of[u] = r;
+    }
+  }
+  EXPECT_EQ(seen.size(), h.size());
+
+  // Dependencies live in strictly earlier rounds.
+  const DependencyGraph dag(h);
+  for (std::size_t u = 0; u < h.size(); ++u) {
+    for (std::size_t d : dag.dependencies_of(u)) {
+      EXPECT_LT(round_of[d], round_of[u]);
+    }
+  }
+
+  // Executing the rounds in order is a valid linearisation.
+  Schedule linear;
+  for (const auto& phase : plan.phases) {
+    for (std::size_t u : phase) linear.push_back(h[u]);
+  }
+  EXPECT_TRUE(Validator::is_valid(inst.model, inst.x_old, inst.x_new, linear));
+
+  // Rounds never beat the critical path, never exceed the action count.
+  EXPECT_GE(plan.rounds(), dag.critical_path_length() == 0
+                               ? 0u
+                               : 1u);
+  EXPECT_LE(plan.rounds(), h.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PhaseSeeds, testing::Values(7, 14, 21, 28));
+
+TEST(Phases, EmptyScheduleHasNoRounds) {
+  const SystemModel m = uniform_model({1}, {1});
+  const PhasePlan plan = phase_partition(m, ReplicationMatrix(1, 1), Schedule{});
+  EXPECT_EQ(plan.rounds(), 0u);
+  EXPECT_EQ(plan.max_width(), 0u);
+}
+
+}  // namespace
+}  // namespace rtsp

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "core/cost_model.hpp"
+#include "core/validator.hpp"
+#include "heuristics/ar.hpp"
+#include "heuristics/builder_common.hpp"
+#include "heuristics/golcf.hpp"
+#include "heuristics/gsdf.hpp"
+#include "heuristics/rdf.hpp"
+#include "test_helpers.hpp"
+
+namespace rtsp {
+namespace {
+
+using testutil::fig1_instance;
+using testutil::fig3_instance;
+using testutil::matrix_model;
+using testutil::uniform_model;
+
+// ---------- shared helpers ----------
+
+TEST(SuperfluousTracker, TracksRemovals) {
+  const auto x_old = ReplicationMatrix::from_pairs(2, 3, {{0, 0}, {0, 1}, {1, 2}});
+  const auto x_new = ReplicationMatrix::from_pairs(2, 3, {{1, 2}});
+  const PlacementDelta delta(x_old, x_new);
+  SuperfluousTracker tracker(2, delta);
+  EXPECT_EQ(tracker.total_remaining(), 2u);
+  EXPECT_EQ(tracker.on(0).size(), 2u);
+  EXPECT_TRUE(tracker.on(1).empty());
+  tracker.remove(0, 1);
+  EXPECT_EQ(tracker.total_remaining(), 1u);
+  EXPECT_EQ(tracker.remaining(), (std::vector<Replica>{{0, 0}}));
+  EXPECT_THROW(tracker.remove(0, 1), PreconditionError);
+}
+
+TEST(NearestTransfer, PicksCheapestSourceOrDummy) {
+  const SystemModel m = matrix_model({9, 9, 9}, {1},
+                                     {{0, 4, 2}, {4, 0, 1}, {2, 1, 0}});
+  ExecutionState state(m, ReplicationMatrix::from_pairs(3, 1, {{1, 0}, {2, 0}}));
+  const Action t = nearest_transfer(state, 0, 0);
+  EXPECT_EQ(t.source, 2u);  // cost 2 beats 4
+  ExecutionState empty(m, ReplicationMatrix(3, 1));
+  EXPECT_TRUE(nearest_transfer(empty, 0, 0).is_dummy_transfer());
+}
+
+// ---------- builder validity across all four builders ----------
+
+class EveryBuilder
+    : public testing::TestWithParam<std::tuple<std::string, std::uint64_t>> {
+ protected:
+  static BuilderPtr make(const std::string& name) {
+    if (name == "RDF") return std::make_shared<RdfBuilder>();
+    if (name == "GSDF") return std::make_shared<GsdfBuilder>();
+    if (name == "AR") return std::make_shared<ArBuilder>();
+    return std::make_shared<GolcfBuilder>();
+  }
+};
+
+TEST_P(EveryBuilder, ProducesValidScheduleOnTightRandomInstances) {
+  const auto& [name, seed] = GetParam();
+  Rng rng(seed);
+  RandomInstanceSpec spec;
+  spec.servers = 10;
+  spec.objects = 30;
+  spec.max_replicas = 3;
+  spec.capacity_slack = 0.0;  // tight: deadlocks and dummies happen
+  const Instance inst = random_instance(spec, rng);
+  const Schedule h = make(name)->build(inst.model, inst.x_old, inst.x_new, rng);
+  const auto v = Validator::validate(inst.model, inst.x_old, inst.x_new, h);
+  EXPECT_TRUE(v.valid) << name << " seed " << seed << ": " << v.to_string();
+}
+
+TEST_P(EveryBuilder, ProducesValidScheduleOnFig1Deadlock) {
+  const auto& [name, seed] = GetParam();
+  Rng rng(seed);
+  const Instance inst = fig1_instance();
+  const Schedule h = make(name)->build(inst.model, inst.x_old, inst.x_new, rng);
+  EXPECT_TRUE(Validator::is_valid(inst.model, inst.x_old, inst.x_new, h));
+  // The rotation deadlock cannot be implemented without the dummy.
+  EXPECT_GE(h.dummy_transfer_count(), 1u);
+}
+
+TEST_P(EveryBuilder, NoActionsWhenSchemesAreEqual) {
+  const auto& [name, seed] = GetParam();
+  Rng rng(seed);
+  const Instance inst = fig3_instance();
+  const Schedule h = make(name)->build(inst.model, inst.x_old, inst.x_old, rng);
+  EXPECT_TRUE(h.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BuilderBySeed, EveryBuilder,
+    testing::Combine(testing::Values("RDF", "GSDF", "AR", "GOLCF"),
+                     testing::Values(1, 2, 3, 4, 5)),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------- builder-specific structure ----------
+
+TEST(Rdf, AllDeletionsPrecedeAllTransfers) {
+  Rng rng(9);
+  const Instance inst = fig3_instance();
+  const Schedule h = RdfBuilder().build(inst.model, inst.x_old, inst.x_new, rng);
+  bool seen_transfer = false;
+  for (const Action& a : h) {
+    if (a.is_transfer()) seen_transfer = true;
+    else EXPECT_FALSE(seen_transfer) << "deletion after a transfer in RDF";
+  }
+  // Fig. 3 has 6 superfluous and 6 outstanding replicas.
+  EXPECT_EQ(h.delete_count(), 6u);
+  EXPECT_EQ(h.transfer_count(), 6u);
+}
+
+TEST(Gsdf, ActionsAreGroupedByServer) {
+  Rng rng(9);
+  const Instance inst = fig3_instance();
+  const Schedule h = GsdfBuilder().build(inst.model, inst.x_old, inst.x_new, rng);
+  // Within the schedule, each server's deletions come right before its
+  // transfers; a server never reappears once another has started, except as
+  // a transfer source. Track the sequence of acting servers:
+  std::vector<ServerId> acting;
+  for (const Action& a : h) {
+    if (acting.empty() || acting.back() != a.server) acting.push_back(a.server);
+  }
+  // 4 servers, each forming at most one deletions-block + transfers-block
+  // means at most 4 distinct acting runs.
+  EXPECT_LE(acting.size(), 4u);
+}
+
+TEST(Golcf, BenefitFormulaMatchesEquationFour) {
+  // Destinations S0 (links: to S2=2, to S3=6) and S1 (links: to S2=3, to
+  // S3=4) both await object 0, currently held by S2 and S3.
+  const SystemModel m = matrix_model(
+      {9, 9, 9, 9}, {5},
+      {{0, 9, 2, 6}, {9, 0, 3, 4}, {2, 3, 0, 9}, {6, 4, 9, 0}});
+  ExecutionState state(m, ReplicationMatrix::from_pairs(4, 1, {{2, 0}, {3, 0}}));
+  // Benefit of S2's copy: S0's nearest is S2 (2) vs second (S3, 6) -> 4;
+  // S1's nearest is S2 (3) vs second (S3, 4) -> 1. Total (4+1)*size 5 = 25.
+  EXPECT_EQ(golcf_benefit(state, 2, 0, {0, 1}), 25);
+  // Benefit of S3's copy: it is nobody's nearest -> 0.
+  EXPECT_EQ(golcf_benefit(state, 3, 0, {0, 1}), 0);
+  // With only one replicator, the second-nearest is the dummy (cost 10).
+  ExecutionState lone(m, ReplicationMatrix::from_pairs(4, 1, {{2, 0}}));
+  EXPECT_EQ(golcf_benefit(lone, 2, 0, {0}), 5 * (10 - 2));
+}
+
+TEST(Golcf, ServesCheapestDestinationFirstAndCascades) {
+  // Chain topology 0-1-2 (cost 1 per hop); object at S0 must reach S1, S2.
+  // GOLCF serves S1 first (cost 1), then S2 from the new S1 copy (cost 1).
+  const SystemModel m = matrix_model({2, 2, 2}, {1},
+                                     {{0, 1, 2}, {1, 0, 1}, {2, 1, 0}});
+  const auto x_old = ReplicationMatrix::from_pairs(3, 1, {{0, 0}});
+  const auto x_new =
+      ReplicationMatrix::from_pairs(3, 1, {{0, 0}, {1, 0}, {2, 0}});
+  Rng rng(3);
+  const Schedule h = GolcfBuilder().build(m, x_old, x_new, rng);
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_EQ(h[0], Action::transfer(1, 0, 0));
+  EXPECT_EQ(h[1], Action::transfer(2, 0, 1));  // sourced from the new copy
+  EXPECT_EQ(schedule_cost(m, h), 2);
+}
+
+TEST(Ar, DeletesLazilyOnlyWhenSpaceIsNeeded) {
+  // One server with slack: AR should not delete before transferring there.
+  const SystemModel m = uniform_model({3, 1}, {1, 1, 1});
+  const auto x_old = ReplicationMatrix::from_pairs(2, 3, {{0, 0}, {0, 1}, {1, 2}});
+  // S0 swaps object 1 for object 2; S1 keeps its object.
+  const auto x_new = ReplicationMatrix::from_pairs(2, 3, {{0, 0}, {0, 2}, {1, 2}});
+  Rng rng(5);
+  const Schedule h = ArBuilder().build(m, x_old, x_new, rng);
+  EXPECT_TRUE(Validator::is_valid(m, x_old, x_new, h));
+  // S0 has one free unit (capacity 3, holds 2): the transfer can go first
+  // and the deletion of object 1 must come after it in AR's lazy policy.
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_TRUE(h[0].is_transfer());
+  EXPECT_TRUE(h[1].is_delete());
+}
+
+}  // namespace
+}  // namespace rtsp

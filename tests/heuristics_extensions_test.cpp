@@ -1,0 +1,146 @@
+// Tests for the extension improvers: FixpointImprover and the simulated
+// annealing baseline.
+#include <gtest/gtest.h>
+
+#include "core/cost_model.hpp"
+#include "core/validator.hpp"
+#include "heuristics/annealing.hpp"
+#include "heuristics/fixpoint.hpp"
+#include "heuristics/h1.hpp"
+#include "heuristics/h2.hpp"
+#include "heuristics/registry.hpp"
+#include "test_helpers.hpp"
+
+namespace rtsp {
+namespace {
+
+using testutil::matrix_model;
+
+TEST(Fixpoint, NameReflectsChain) {
+  FixpointImprover fp({std::make_shared<H1Improver>(), std::make_shared<H2Improver>()});
+  EXPECT_EQ(fp.name(), "FIX(H1+H2)");
+}
+
+TEST(Fixpoint, RejectsEmptyChain) {
+  EXPECT_THROW(FixpointImprover({}), PreconditionError);
+}
+
+TEST(Fixpoint, StopsAfterOneRoundWhenNothingChanges) {
+  Rng rng(3);
+  RandomInstanceSpec spec;
+  const Instance inst = random_instance(spec, rng);
+  const Schedule clean =
+      make_pipeline("GOLCF+H1+H2").run(inst.model, inst.x_old, inst.x_new, rng);
+  FixpointImprover fp({std::make_shared<H1Improver>(), std::make_shared<H2Improver>()});
+  Rng unused(0);
+  const Schedule result =
+      fp.improve(inst.model, inst.x_old, inst.x_new, clean, unused);
+  EXPECT_TRUE(Validator::is_valid(inst.model, inst.x_old, inst.x_new, result));
+  EXPECT_LE(fp.last_rounds(), 2);  // at most one changing + one confirming round
+}
+
+class FixpointSeeds : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FixpointSeeds, NeverWorseThanSinglePass) {
+  Rng rng(GetParam());
+  RandomInstanceSpec spec;
+  spec.servers = 9;
+  spec.objects = 27;
+  spec.max_replicas = 2;
+  const Instance inst = random_instance(spec, rng);
+  Rng b1(1);
+  const Schedule base =
+      make_pipeline("RDF").run(inst.model, inst.x_old, inst.x_new, b1);
+  Rng b2(1);
+  const Schedule single =
+      make_pipeline("RDF+H1+H2").run(inst.model, inst.x_old, inst.x_new, b2);
+  Rng b3(1);
+  const Schedule fixed =
+      make_pipeline("RDF+H1H2FIX").run(inst.model, inst.x_old, inst.x_new, b3);
+  EXPECT_TRUE(Validator::is_valid(inst.model, inst.x_old, inst.x_new, fixed));
+  EXPECT_LE(fixed.dummy_transfer_count(), single.dummy_transfer_count());
+  EXPECT_LE(fixed.dummy_transfer_count(), base.dummy_transfer_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FixpointSeeds, testing::Values(2, 4, 8, 16));
+
+TEST(Annealing, ImprovesABlatantlyBadSchedule) {
+  // Chain 0 -1- 1 -1- 2; serving the far server from the root wastes cost.
+  SystemModel model = matrix_model({2, 2, 2}, {1},
+                                   {{0, 1, 2}, {1, 0, 1}, {2, 1, 0}});
+  const auto x_old = ReplicationMatrix::from_pairs(3, 1, {{0, 0}});
+  const auto x_new =
+      ReplicationMatrix::from_pairs(3, 1, {{0, 0}, {1, 0}, {2, 0}});
+  const Instance inst{std::move(model), x_old, x_new};
+  const Schedule bad({Action::transfer(2, 0, 0), Action::transfer(1, 0, 0)});
+  AnnealingOptions opts;
+  opts.iterations = 2000;
+  Rng rng(5);
+  const Schedule improved = AnnealingImprover(opts).improve(
+      inst.model, inst.x_old, inst.x_new, bad, rng);
+  EXPECT_TRUE(Validator::is_valid(inst.model, inst.x_old, inst.x_new, improved));
+  EXPECT_EQ(schedule_cost(inst.model, improved), 2);  // the optimum
+}
+
+TEST(Annealing, RequiresValidInput) {
+  SystemModel model = matrix_model({1, 1}, {1}, {{0, 1}, {1, 0}});
+  const auto x_old = ReplicationMatrix::from_pairs(2, 1, {{0, 0}});
+  auto x_new = x_old;
+  x_new.set(1, 0);
+  const Instance inst{std::move(model), x_old, x_new};
+  const Schedule nonsense({Action::remove(1, 0)});
+  AnnealingImprover sa;
+  Rng rng(1);
+  EXPECT_THROW(
+      sa.improve(inst.model, inst.x_old, inst.x_new, nonsense, rng),
+      PreconditionError);
+}
+
+class AnnealingSeeds : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AnnealingSeeds, ValidAndNeverWorseThanInput) {
+  Rng rng(GetParam());
+  RandomInstanceSpec spec;
+  spec.servers = 7;
+  spec.objects = 15;
+  spec.max_replicas = 2;
+  const Instance inst = random_instance(spec, rng);
+  const Schedule base =
+      make_pipeline("AR").run(inst.model, inst.x_old, inst.x_new, rng);
+  AnnealingOptions opts;
+  opts.iterations = 800;
+  const AnnealingImprover sa(opts);
+  Rng sa_rng(GetParam() * 3 + 1);
+  const Schedule improved =
+      sa.improve(inst.model, inst.x_old, inst.x_new, base, sa_rng);
+  EXPECT_TRUE(Validator::is_valid(inst.model, inst.x_old, inst.x_new, improved));
+  EXPECT_LE(schedule_cost(inst.model, improved), schedule_cost(inst.model, base));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnnealingSeeds, testing::Values(3, 6, 9, 12));
+
+TEST(Annealing, ZeroTemperatureIsHillClimbing) {
+  Rng rng(44);
+  RandomInstanceSpec spec;
+  spec.servers = 6;
+  spec.objects = 12;
+  const Instance inst = random_instance(spec, rng);
+  const Schedule base =
+      make_pipeline("AR").run(inst.model, inst.x_old, inst.x_new, rng);
+  AnnealingOptions opts;
+  opts.iterations = 500;
+  opts.initial_temperature_fraction = 0.0;
+  Rng sa_rng(9);
+  const Schedule improved = AnnealingImprover(opts).improve(
+      inst.model, inst.x_old, inst.x_new, base, sa_rng);
+  EXPECT_TRUE(Validator::is_valid(inst.model, inst.x_old, inst.x_new, improved));
+  EXPECT_LE(schedule_cost(inst.model, improved), schedule_cost(inst.model, base));
+}
+
+TEST(Registry, NewImproverTokensWork) {
+  EXPECT_EQ(make_pipeline("GOLCF+SA").name(), "GOLCF+SA");
+  EXPECT_EQ(make_pipeline("RDF+H1H2FIX").name(), "RDF+FIX(H1+H2)");
+}
+
+}  // namespace
+}  // namespace rtsp

@@ -1,0 +1,146 @@
+#include "heuristics/h1.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/cost_model.hpp"
+#include "core/validator.hpp"
+#include "heuristics/gsdf.hpp"
+#include "heuristics/rdf.hpp"
+#include "test_helpers.hpp"
+
+namespace rtsp {
+namespace {
+
+using testutil::uniform_model;
+
+Schedule run_h1(const Instance& inst, Schedule h, H1Options opts = {}) {
+  Rng rng(0);
+  return H1Improver(opts).improve(inst.model, inst.x_old, inst.x_new, std::move(h),
+                                  rng);
+}
+
+TEST(H1, RestoresSimpleDummyViaCaseOne) {
+  // S0 swaps object 0 for object 1; S1 needs object 0 but the naive
+  // schedule deletes S0's copy first and falls back to the dummy.
+  SystemModel model = uniform_model({1, 2}, {1, 1});
+  const auto x_old = ReplicationMatrix::from_pairs(2, 2, {{0, 0}, {1, 1}});
+  const auto x_new = ReplicationMatrix::from_pairs(2, 2, {{0, 1}, {1, 0}, {1, 1}});
+  const Instance inst{std::move(model), x_old, x_new};
+  const Schedule naive({Action::remove(0, 0), Action::transfer(0, 1, 1),
+                        Action::transfer(1, 0, kDummyServer)});
+  ASSERT_TRUE(Validator::is_valid(inst.model, inst.x_old, inst.x_new, naive));
+  ASSERT_EQ(naive.dummy_transfer_count(), 1u);
+
+  const Schedule improved = run_h1(inst, naive);
+  EXPECT_TRUE(Validator::is_valid(inst.model, inst.x_old, inst.x_new, improved));
+  EXPECT_EQ(improved.dummy_transfer_count(), 0u);
+  // The transfer moved before the deletion and is sourced from the deleter.
+  EXPECT_EQ(improved[0], Action::transfer(1, 0, 0));
+  EXPECT_EQ(improved[1], Action::remove(0, 0));
+}
+
+TEST(H1, PullsStandaloneDeletionForCapacity) {
+  // S1 is full; its own superfluous deletion appears after the dummy
+  // transfer's only possible insertion point, so H1 must pull it forward
+  // (the paper's case ii).
+  SystemModel model = uniform_model({1, 1}, {1, 1});
+  const auto x_old = ReplicationMatrix::from_pairs(2, 2, {{0, 0}, {1, 1}});
+  const auto x_new = ReplicationMatrix::from_pairs(2, 2, {{1, 0}});
+  const Instance inst{std::move(model), x_old, x_new};
+  const Schedule naive({Action::remove(0, 0), Action::remove(1, 1),
+                        Action::transfer(1, 0, kDummyServer)});
+  ASSERT_TRUE(Validator::is_valid(inst.model, inst.x_old, inst.x_new, naive));
+
+  const Schedule improved = run_h1(inst, naive);
+  EXPECT_TRUE(Validator::is_valid(inst.model, inst.x_old, inst.x_new, improved));
+  EXPECT_EQ(improved.dummy_transfer_count(), 0u);
+}
+
+TEST(H1, LeavesScheduleAloneWhenNoDummies) {
+  SystemModel model = uniform_model({2, 2}, {1, 1});
+  const auto x_old = ReplicationMatrix::from_pairs(2, 2, {{0, 0}, {0, 1}});
+  const auto x_new = ReplicationMatrix::from_pairs(2, 2, {{1, 0}, {1, 1}});
+  const Instance inst{std::move(model), x_old, x_new};
+  const Schedule clean({Action::transfer(1, 0, 0), Action::transfer(1, 1, 0),
+                        Action::remove(0, 0), Action::remove(0, 1)});
+  EXPECT_EQ(run_h1(inst, clean), clean);
+}
+
+TEST(H1, KeepsDummyWhenObjectNeverHadAReplica) {
+  // Object 0 exists nowhere in X_old (a brand-new object): the dummy is the
+  // only possible source and must survive.
+  SystemModel model = uniform_model({1}, {1});
+  const ReplicationMatrix x_old(1, 1);
+  const auto x_new = ReplicationMatrix::from_pairs(1, 1, {{0, 0}});
+  const Instance inst{std::move(model), x_old, x_new};
+  const Schedule naive({Action::transfer(0, 0, kDummyServer)});
+  const Schedule improved = run_h1(inst, naive);
+  EXPECT_EQ(improved, naive);
+}
+
+TEST(H1, CaseThreeRecursionRestoresChainedDummies) {
+  // Pulling D(1,1) forward for capacity orphans the reader T(2,1,1), which
+  // temporarily becomes a dummy (the paper's H'' trick); the recursive
+  // restore then moves it before the pulled deletion, ending dummy-free.
+  SystemModel model = uniform_model({1, 1, 1}, {1, 1});
+  const auto x_old = ReplicationMatrix::from_pairs(3, 2, {{0, 0}, {1, 1}});
+  const auto x_new = ReplicationMatrix::from_pairs(3, 2, {{1, 0}, {2, 1}});
+  const Instance inst{std::move(model), x_old, x_new};
+  const Schedule naive({Action::remove(0, 0), Action::transfer(2, 1, 1),
+                        Action::remove(1, 1), Action::transfer(1, 0, kDummyServer)});
+  ASSERT_TRUE(Validator::is_valid(inst.model, inst.x_old, inst.x_new, naive));
+
+  const Schedule improved = run_h1(inst, naive);
+  EXPECT_TRUE(Validator::is_valid(inst.model, inst.x_old, inst.x_new, improved));
+  EXPECT_EQ(improved.dummy_transfer_count(), 0u);
+}
+
+TEST(H1, ResourceNearestPicksCheaperSourceThanDeleter) {
+  // Two replicators of object 0: S0 (expensive from S2) deletes its copy;
+  // S1 (cheap) keeps its copy. The paper's H1 re-sources to the deleter S0;
+  // with resource_nearest it picks S1 instead.
+  SystemModel model(
+      ServerCatalog({1, 1, 1}), ObjectCatalog({1}),
+      CostMatrix::from_rows({{0, 9, 8}, {9, 0, 1}, {8, 1, 0}}));
+  const auto x_old = ReplicationMatrix::from_pairs(3, 1, {{0, 0}, {1, 0}});
+  const auto x_new = ReplicationMatrix::from_pairs(3, 1, {{1, 0}, {2, 0}});
+  const Instance inst{std::move(model), x_old, x_new};
+  const Schedule naive({Action::remove(0, 0), Action::transfer(2, 0, kDummyServer)});
+  ASSERT_TRUE(Validator::is_valid(inst.model, inst.x_old, inst.x_new, naive));
+
+  const Schedule paper = run_h1(inst, naive);
+  ASSERT_EQ(paper.dummy_transfer_count(), 0u);
+  EXPECT_EQ(paper[0].source, 0u);  // deleter
+
+  H1Options opts;
+  opts.resource_nearest = true;
+  const Schedule nearest = run_h1(inst, naive, opts);
+  ASSERT_EQ(nearest.dummy_transfer_count(), 0u);
+  EXPECT_EQ(nearest[0].source, 1u);  // cheapest replicator at that point
+  EXPECT_LE(schedule_cost(inst.model, nearest), schedule_cost(inst.model, paper));
+}
+
+class H1Property : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(H1Property, ValidAndNeverMoreDummies) {
+  Rng rng(GetParam());
+  RandomInstanceSpec spec;
+  spec.servers = 8;
+  spec.objects = 24;
+  spec.max_replicas = 2;
+  const Instance inst = random_instance(spec, rng);
+  for (int round = 0; round < 2; ++round) {
+    const Schedule base = (round == 0 ? (const ScheduleBuilder&)RdfBuilder()
+                                      : (const ScheduleBuilder&)GsdfBuilder())
+                              .build(inst.model, inst.x_old, inst.x_new, rng);
+    const Schedule improved = run_h1(inst, base);
+    EXPECT_TRUE(Validator::is_valid(inst.model, inst.x_old, inst.x_new, improved));
+    EXPECT_LE(improved.dummy_transfer_count(), base.dummy_transfer_count());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, H1Property,
+                         testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+}  // namespace
+}  // namespace rtsp

@@ -1,0 +1,158 @@
+#include "heuristics/h2.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/cost_model.hpp"
+#include "core/validator.hpp"
+#include "heuristics/h1.hpp"
+#include "heuristics/rdf.hpp"
+#include "test_helpers.hpp"
+
+namespace rtsp {
+namespace {
+
+using testutil::uniform_model;
+
+Schedule run_h2(const Instance& inst, Schedule h) {
+  Rng rng(0);
+  return H2Improver().improve(inst.model, inst.x_old, inst.x_new, std::move(h), rng);
+}
+
+TEST(H2, UsesSpareServerAsTemporaryHost) {
+  // S0 and S1 swap unit objects with zero slack — H1 cannot help because
+  // every move violates capacity. S2 has a free slot: H2 stages there.
+  SystemModel model = uniform_model({1, 1, 1}, {1, 1});
+  const auto x_old = ReplicationMatrix::from_pairs(3, 2, {{0, 0}, {1, 1}});
+  const auto x_new = ReplicationMatrix::from_pairs(3, 2, {{0, 1}, {1, 0}});
+  const Instance inst{std::move(model), x_old, x_new};
+  // Naive schedule with a dummy: delete 0@S0, delete 1@S1, fetch both;
+  // object 0 has lost its last replica by then.
+  const Schedule naive({Action::remove(0, 0), Action::remove(1, 1),
+                        Action::transfer(0, 1, kDummyServer),
+                        Action::transfer(1, 0, kDummyServer)});
+  ASSERT_TRUE(Validator::is_valid(inst.model, inst.x_old, inst.x_new, naive));
+  ASSERT_EQ(naive.dummy_transfer_count(), 2u);
+
+  const Schedule improved = run_h2(inst, naive);
+  EXPECT_TRUE(Validator::is_valid(inst.model, inst.x_old, inst.x_new, improved));
+  // H2 alone restores the first dummy via S2 (the second restoration would
+  // need S2 twice concurrently, which capacity forbids).
+  EXPECT_EQ(improved.dummy_transfer_count(), 1u);
+  bool used_s2 = false;
+  for (const Action& a : improved) {
+    if (a.is_transfer() && a.server == 2) used_s2 = true;
+  }
+  EXPECT_TRUE(used_s2);
+
+  // The paper's H1+H2 combination clears the instance completely.
+  Rng rng(0);
+  Schedule chained =
+      H1Improver().improve(inst.model, inst.x_old, inst.x_new, naive, rng);
+  chained = run_h2(inst, chained);
+  EXPECT_TRUE(Validator::is_valid(inst.model, inst.x_old, inst.x_new, chained));
+  EXPECT_EQ(chained.dummy_transfer_count(), 0u);
+}
+
+TEST(H2, DoesNothingWithoutDummies) {
+  SystemModel model = uniform_model({2, 2}, {1, 1});
+  const auto x_old = ReplicationMatrix::from_pairs(2, 2, {{0, 0}, {0, 1}});
+  const auto x_new = ReplicationMatrix::from_pairs(2, 2, {{1, 0}, {1, 1}});
+  const Instance inst{std::move(model), x_old, x_new};
+  const Schedule clean({Action::transfer(1, 0, 0), Action::transfer(1, 1, 0),
+                        Action::remove(0, 0), Action::remove(0, 1)});
+  EXPECT_EQ(run_h2(inst, clean), clean);
+}
+
+TEST(H2, KeepsDummyWhenNoHostExists) {
+  // Two full servers, no third party: staging is impossible.
+  SystemModel model = uniform_model({1, 1}, {1, 1});
+  const auto x_old = ReplicationMatrix::from_pairs(2, 2, {{0, 0}, {1, 1}});
+  const auto x_new = ReplicationMatrix::from_pairs(2, 2, {{0, 1}, {1, 0}});
+  const Instance inst{std::move(model), x_old, x_new};
+  const Schedule naive({Action::remove(0, 0), Action::remove(1, 1),
+                        Action::transfer(0, 1, kDummyServer),
+                        Action::transfer(1, 0, kDummyServer)});
+  const Schedule improved = run_h2(inst, naive);
+  EXPECT_TRUE(Validator::is_valid(inst.model, inst.x_old, inst.x_new, improved));
+  // Both objects lose their last replica before their dummy fetches and no
+  // server can stage them: nothing improvable.
+  EXPECT_EQ(improved.dummy_transfer_count(), 2u);
+}
+
+TEST(H2, PicksCheapestFeasibleHost) {
+  // Two spare servers; S3 is much closer to both endpoints than S2.
+  SystemModel model(
+      ServerCatalog({1, 1, 1, 1}), ObjectCatalog({1, 1}),
+      CostMatrix::from_rows({{0, 1, 9, 1},
+                             {1, 0, 9, 1},
+                             {9, 9, 0, 9},
+                             {1, 1, 9, 0}}));
+  const auto x_old = ReplicationMatrix::from_pairs(4, 2, {{0, 0}, {1, 1}});
+  const auto x_new = ReplicationMatrix::from_pairs(4, 2, {{1, 0}});
+  const Instance inst{std::move(model), x_old, x_new};
+  const Schedule naive({Action::remove(0, 0), Action::remove(1, 1),
+                        Action::transfer(1, 0, kDummyServer)});
+  ASSERT_TRUE(Validator::is_valid(inst.model, inst.x_old, inst.x_new, naive));
+  const Schedule improved = run_h2(inst, naive);
+  EXPECT_EQ(improved.dummy_transfer_count(), 0u);
+  for (const Action& a : improved) {
+    if (a.is_transfer()) {
+      EXPECT_NE(a.server, 2u) << "expensive host chosen";
+    }
+  }
+}
+
+TEST(H2, FallbackCreatesSpaceByPullingLaterDeletions) {
+  // The only third-party server S2 is full, but its resident object 2 is
+  // superfluous and object 2 keeps a second replica on S3, so H2 may pull
+  // S2's deletion forward to stage there.
+  SystemModel model = uniform_model({1, 1, 1, 1}, {1, 1, 1});
+  ReplicationMatrix x_old(4, 3);
+  x_old.set(0, 0);
+  x_old.set(1, 1);
+  x_old.set(2, 2);
+  x_old.set(3, 2);
+  ReplicationMatrix x_new(4, 3);
+  x_new.set(0, 1);
+  x_new.set(1, 0);
+  x_new.set(3, 2);  // S2 drops its copy of object 2
+  const Instance inst{std::move(model), x_old, x_new};
+  const Schedule naive({Action::remove(0, 0), Action::remove(1, 1),
+                        Action::transfer(0, 1, kDummyServer),
+                        Action::transfer(1, 0, kDummyServer),
+                        Action::remove(2, 2)});
+  ASSERT_TRUE(Validator::is_valid(inst.model, inst.x_old, inst.x_new, naive));
+  const Schedule improved = run_h2(inst, naive);
+  EXPECT_TRUE(Validator::is_valid(inst.model, inst.x_old, inst.x_new, improved));
+  EXPECT_LT(improved.dummy_transfer_count(), naive.dummy_transfer_count());
+}
+
+class H2Property : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(H2Property, ValidAndNeverMoreDummies) {
+  Rng rng(GetParam());
+  RandomInstanceSpec spec;
+  spec.servers = 8;
+  spec.objects = 20;
+  spec.max_replicas = 2;
+  spec.capacity_slack = 1.0;  // some room for staging
+  const Instance inst = random_instance(spec, rng);
+  const Schedule base = RdfBuilder().build(inst.model, inst.x_old, inst.x_new, rng);
+  const Schedule improved = run_h2(inst, base);
+  EXPECT_TRUE(Validator::is_valid(inst.model, inst.x_old, inst.x_new, improved));
+  EXPECT_LE(improved.dummy_transfer_count(), base.dummy_transfer_count());
+
+  // H1 then H2, the paper's combination, must also hold the invariants.
+  Rng rng2(GetParam() + 1);
+  Schedule chained =
+      H1Improver().improve(inst.model, inst.x_old, inst.x_new, base, rng2);
+  chained = run_h2(inst, chained);
+  EXPECT_TRUE(Validator::is_valid(inst.model, inst.x_old, inst.x_new, chained));
+  EXPECT_LE(chained.dummy_transfer_count(), base.dummy_transfer_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, H2Property,
+                         testing::Values(101, 202, 303, 404, 505, 606));
+
+}  // namespace
+}  // namespace rtsp

@@ -1,0 +1,156 @@
+#include "heuristics/op1.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/cost_model.hpp"
+#include "core/validator.hpp"
+#include "heuristics/ar.hpp"
+#include "heuristics/golcf.hpp"
+#include "test_helpers.hpp"
+
+namespace rtsp {
+namespace {
+
+using testutil::matrix_model;
+using testutil::uniform_model;
+
+Schedule run_op1(const Instance& inst, Schedule h, Op1Options opts = {}) {
+  Rng rng(0);
+  return Op1Improver(opts).improve(inst.model, inst.x_old, inst.x_new, std::move(h),
+                                   rng);
+}
+
+TEST(Op1, ReordersSoNewReplicaServesLaterTransfers) {
+  // Chain 0 -1- 1 -1- 2 (so l02 = 2). Object 0 lives at S0 and must reach
+  // S1 and S2. A bad order serves S2 first straight from S0 (cost 2), then
+  // S1 (cost 1) — total 3. OP1 moves the S1 transfer first and re-sources
+  // the S2 transfer from S1 — total 2.
+  SystemModel model = matrix_model({2, 2, 2}, {1},
+                                   {{0, 1, 2}, {1, 0, 1}, {2, 1, 0}});
+  const auto x_old = ReplicationMatrix::from_pairs(3, 1, {{0, 0}});
+  const auto x_new =
+      ReplicationMatrix::from_pairs(3, 1, {{0, 0}, {1, 0}, {2, 0}});
+  const Instance inst{std::move(model), x_old, x_new};
+  const Schedule bad({Action::transfer(2, 0, 0), Action::transfer(1, 0, 0)});
+  ASSERT_EQ(schedule_cost(inst.model, bad), 3);
+
+  const Schedule improved = run_op1(inst, bad);
+  EXPECT_TRUE(Validator::is_valid(inst.model, inst.x_old, inst.x_new, improved));
+  EXPECT_EQ(schedule_cost(inst.model, improved), 2);
+  EXPECT_EQ(improved[0], Action::transfer(1, 0, 0));
+  EXPECT_EQ(improved[1], Action::transfer(2, 0, 1));
+}
+
+TEST(Op1, ConvertsLaterDummyTransfersAsSideEffect) {
+  // The second transfer of object 0 is a dummy; once the first transfer's
+  // replica exists earlier, OP1's re-sourcing replaces the dummy source.
+  SystemModel model = uniform_model({1, 1, 1}, {1});
+  const auto x_old = ReplicationMatrix::from_pairs(3, 1, {{0, 0}});
+  const auto x_new =
+      ReplicationMatrix::from_pairs(3, 1, {{1, 0}, {2, 0}});
+  const Instance inst{std::move(model), x_old, x_new};
+  // Bad order: delete the source, dummy-fetch S2, then fetch S1 from S2.
+  const Schedule bad({Action::transfer(1, 0, 0), Action::remove(0, 0),
+                      Action::transfer(2, 0, kDummyServer)});
+  ASSERT_TRUE(Validator::is_valid(inst.model, inst.x_old, inst.x_new, bad));
+  const Schedule improved = run_op1(inst, bad);
+  EXPECT_TRUE(Validator::is_valid(inst.model, inst.x_old, inst.x_new, improved));
+  // The dummy got re-sourced to S1's fresh replica.
+  EXPECT_EQ(improved.dummy_transfer_count(), 0u);
+  EXPECT_LT(schedule_cost(inst.model, improved), schedule_cost(inst.model, bad));
+}
+
+TEST(Op1, LeavesOptimalScheduleUnchanged) {
+  SystemModel model = matrix_model({2, 2, 2}, {1},
+                                   {{0, 1, 2}, {1, 0, 1}, {2, 1, 0}});
+  const auto x_old = ReplicationMatrix::from_pairs(3, 1, {{0, 0}});
+  const auto x_new =
+      ReplicationMatrix::from_pairs(3, 1, {{0, 0}, {1, 0}, {2, 0}});
+  const Instance inst{std::move(model), x_old, x_new};
+  const Schedule good({Action::transfer(1, 0, 0), Action::transfer(2, 0, 1)});
+  EXPECT_EQ(run_op1(inst, good), good);
+}
+
+TEST(Op1, RepairsCapacityWithCaseFourDeletionPull) {
+  // Destination S1 is full until its deletion, which sits just before its
+  // transfer; moving the transfer earlier must drag the deletion along.
+  SystemModel model = matrix_model({1, 1, 1}, {1, 1},
+                                   {{0, 1, 3}, {1, 0, 1}, {3, 1, 0}});
+  // X_old: S0{0}, S1{1}, S2{}; X_new: S0{0}, S1{0} replaces 1, S2{0}? S2
+  // capacity 1... keep S2 as second destination of object 0.
+  const auto x_old = ReplicationMatrix::from_pairs(3, 2, {{0, 0}, {1, 1}});
+  const auto x_new =
+      ReplicationMatrix::from_pairs(3, 2, {{0, 0}, {1, 0}, {2, 0}});
+  const Instance inst{std::move(model), x_old, x_new};
+  // Bad order: S2 fetched from distant S0 (cost 3) first, then S1's
+  // deletion and its transfer (cost 1).
+  const Schedule bad({Action::transfer(2, 0, 0), Action::remove(1, 1),
+                      Action::transfer(1, 0, 0)});
+  ASSERT_TRUE(Validator::is_valid(inst.model, inst.x_old, inst.x_new, bad));
+  ASSERT_EQ(schedule_cost(inst.model, bad), 4);
+  const Schedule improved = run_op1(inst, bad);
+  EXPECT_TRUE(Validator::is_valid(inst.model, inst.x_old, inst.x_new, improved));
+  // S1 first (1), S2 from S1 (1): total 2.
+  EXPECT_EQ(schedule_cost(inst.model, improved), 2);
+}
+
+TEST(Op1, ContinuePolicyReachesSameCostHere) {
+  SystemModel model = matrix_model({2, 2, 2}, {1},
+                                   {{0, 1, 2}, {1, 0, 1}, {2, 1, 0}});
+  const auto x_old = ReplicationMatrix::from_pairs(3, 1, {{0, 0}});
+  const auto x_new =
+      ReplicationMatrix::from_pairs(3, 1, {{0, 0}, {1, 0}, {2, 0}});
+  const Instance inst{std::move(model), x_old, x_new};
+  const Schedule bad({Action::transfer(2, 0, 0), Action::transfer(1, 0, 0)});
+  Op1Options opts;
+  opts.restart = Op1Options::Restart::Continue;
+  const Schedule improved = run_op1(inst, bad, opts);
+  EXPECT_EQ(schedule_cost(inst.model, improved), 2);
+}
+
+TEST(Op1, MaxChangesCapsWork) {
+  SystemModel model = matrix_model({2, 2, 2}, {1},
+                                   {{0, 1, 2}, {1, 0, 1}, {2, 1, 0}});
+  const auto x_old = ReplicationMatrix::from_pairs(3, 1, {{0, 0}});
+  const auto x_new =
+      ReplicationMatrix::from_pairs(3, 1, {{0, 0}, {1, 0}, {2, 0}});
+  const Instance inst{std::move(model), x_old, x_new};
+  const Schedule bad({Action::transfer(2, 0, 0), Action::transfer(1, 0, 0)});
+  Op1Options opts;
+  opts.max_changes = 1;
+  const Schedule improved = run_op1(inst, bad, opts);
+  EXPECT_TRUE(Validator::is_valid(inst.model, inst.x_old, inst.x_new, improved));
+  EXPECT_LE(schedule_cost(inst.model, improved), 3);
+}
+
+class Op1Property : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Op1Property, ValidAndNeverCostlier) {
+  Rng rng(GetParam());
+  RandomInstanceSpec spec;
+  spec.servers = 8;
+  spec.objects = 20;
+  spec.max_replicas = 3;
+  const Instance inst = random_instance(spec, rng);
+  for (int round = 0; round < 2; ++round) {
+    const Schedule base = (round == 0 ? (const ScheduleBuilder&)ArBuilder()
+                                      : (const ScheduleBuilder&)GolcfBuilder())
+                              .build(inst.model, inst.x_old, inst.x_new, rng);
+    const Schedule improved = run_op1(inst, base);
+    EXPECT_TRUE(Validator::is_valid(inst.model, inst.x_old, inst.x_new, improved));
+    EXPECT_LE(schedule_cost(inst.model, improved), schedule_cost(inst.model, base));
+
+    // Prescreen must not change the result's validity or direction; also
+    // exercise the no-prescreen path.
+    Op1Options noscreen;
+    noscreen.prescreen = false;
+    const Schedule slow = run_op1(inst, base, noscreen);
+    EXPECT_TRUE(Validator::is_valid(inst.model, inst.x_old, inst.x_new, slow));
+    EXPECT_LE(schedule_cost(inst.model, slow), schedule_cost(inst.model, base));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Op1Property, testing::Values(5, 15, 25, 35, 45));
+
+}  // namespace
+}  // namespace rtsp

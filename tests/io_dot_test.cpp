@@ -1,0 +1,45 @@
+#include "io/dot_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "topology/generators.hpp"
+
+namespace rtsp {
+namespace {
+
+TEST(DotExport, TopologyListsNodesAndLabelledEdges) {
+  const Graph g = line_graph(3, 7);
+  const std::string dot = topology_to_dot(g);
+  EXPECT_NE(dot.find("graph topology {"), std::string::npos);
+  EXPECT_NE(dot.find("S0"), std::string::npos);
+  EXPECT_NE(dot.find("S2"), std::string::npos);
+  EXPECT_NE(dot.find("S0 -- S1 [label=\"7\"]"), std::string::npos);
+  EXPECT_NE(dot.find("S1 -- S2 [label=\"7\"]"), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST(DotExport, TransferGraphShowsArcsAndHighlightsCycles) {
+  const Instance inst = testutil::fig1_instance();
+  const TransferGraph g(inst.model, inst.x_old, inst.x_new);
+  const std::string dot = transfer_graph_to_dot(g);
+  EXPECT_NE(dot.find("digraph transfers {"), std::string::npos);
+  // Rotation: S1 sources object 0 for S... every server is in the cycle.
+  EXPECT_NE(dot.find("fillcolor=lightcoral"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  EXPECT_NE(dot.find("[label=\"O"), std::string::npos);
+}
+
+TEST(DotExport, AcyclicTransferGraphHasNoHighlight) {
+  const SystemModel m(ServerCatalog::uniform(2, 2), ObjectCatalog::uniform(1, 1),
+                      CostMatrix(2, 1));
+  const auto x_old = ReplicationMatrix::from_pairs(2, 1, {{0, 0}});
+  const auto x_new = ReplicationMatrix::from_pairs(2, 1, {{0, 0}, {1, 0}});
+  const TransferGraph g(m, x_old, x_new);
+  const std::string dot = transfer_graph_to_dot(g);
+  EXPECT_EQ(dot.find("lightcoral"), std::string::npos);
+  EXPECT_NE(dot.find("S0 -> S1 [label=\"O0\"]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rtsp

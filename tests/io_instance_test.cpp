@@ -1,0 +1,65 @@
+#include "io/instance_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace rtsp {
+namespace {
+
+TEST(InstanceIo, RoundTripSmallInstance) {
+  const Instance inst = testutil::fig3_instance();
+  const Instance back = instance_from_text(instance_to_text(inst));
+  EXPECT_EQ(back.model.num_servers(), inst.model.num_servers());
+  EXPECT_EQ(back.model.num_objects(), inst.model.num_objects());
+  EXPECT_EQ(back.model.dummy_link_cost(), inst.model.dummy_link_cost());
+  for (ServerId i = 0; i < 4; ++i) {
+    EXPECT_EQ(back.model.capacity(i), inst.model.capacity(i));
+    for (ServerId j = 0; j < 4; ++j) {
+      EXPECT_EQ(back.model.costs().at(i, j), inst.model.costs().at(i, j));
+    }
+  }
+  for (ObjectId k = 0; k < 4; ++k) {
+    EXPECT_EQ(back.model.object_size(k), inst.model.object_size(k));
+  }
+  EXPECT_EQ(back.x_old, inst.x_old);
+  EXPECT_EQ(back.x_new, inst.x_new);
+}
+
+TEST(InstanceIo, RoundTripRandomInstances) {
+  Rng rng(66);
+  for (int rep = 0; rep < 5; ++rep) {
+    RandomInstanceSpec spec;
+    spec.servers = 6;
+    spec.objects = 12;
+    const Instance inst = random_instance(spec, rng);
+    const Instance back = instance_from_text(instance_to_text(inst));
+    EXPECT_EQ(back.x_old, inst.x_old);
+    EXPECT_EQ(back.x_new, inst.x_new);
+    for (ServerId i = 0; i < 6; ++i) {
+      EXPECT_EQ(back.model.capacity(i), inst.model.capacity(i));
+    }
+  }
+}
+
+TEST(InstanceIo, RejectsBadMagic) {
+  EXPECT_THROW(instance_from_text("not-an-instance\n"), std::runtime_error);
+}
+
+TEST(InstanceIo, RejectsTruncatedInput) {
+  const std::string text = instance_to_text(testutil::fig3_instance());
+  EXPECT_THROW(instance_from_text(text.substr(0, text.size() / 2)),
+               std::runtime_error);
+}
+
+TEST(InstanceIo, RejectsOutOfRangeIds) {
+  std::string text = instance_to_text(testutil::fig1_instance());
+  // Corrupt a placement line: object id 99 does not exist.
+  const auto pos = text.find("old 0");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 7, "old 0 99");
+  EXPECT_THROW(instance_from_text(text), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rtsp

@@ -1,0 +1,89 @@
+#include "io/json_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "test_helpers.hpp"
+
+namespace rtsp {
+namespace {
+
+TEST(JsonWriter, EscapesSpecials) {
+  EXPECT_EQ(JsonWriter::escape("plain"), "plain");
+  EXPECT_EQ(JsonWriter::escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonWriter::escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(JsonWriter::escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(JsonWriter::escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonWriter, ObjectsArraysAndCommas) {
+  std::ostringstream out;
+  JsonWriter j(out);
+  j.begin_object();
+  j.key("a").value(std::int64_t{1});
+  j.key("b").begin_array().value("x").value("y").end_array();
+  j.key("c").value(true);
+  j.key("d").value(2.5);
+  j.end_object();
+  EXPECT_EQ(out.str(), R"({"a":1,"b":["x","y"],"c":true,"d":2.5})");
+}
+
+TEST(JsonWriter, NestedObjects) {
+  std::ostringstream out;
+  JsonWriter j(out);
+  j.begin_object();
+  j.key("outer").begin_object().key("inner").value(std::int64_t{7}).end_object();
+  j.end_object();
+  EXPECT_EQ(out.str(), R"({"outer":{"inner":7}})");
+}
+
+TEST(ScheduleJson, ContainsActionsAndCounters) {
+  const Schedule h({Action::transfer(1, 2, 0), Action::remove(0, 2),
+                    Action::transfer(3, 4, kDummyServer)});
+  std::ostringstream out;
+  schedule_to_json(out, h);
+  const std::string s = out.str();
+  EXPECT_NE(s.find(R"("type":"transfer","server":1,"object":2,"source":0)"),
+            std::string::npos);
+  EXPECT_NE(s.find(R"("type":"delete","server":0,"object":2)"), std::string::npos);
+  EXPECT_NE(s.find(R"("source":"dummy")"), std::string::npos);
+  EXPECT_NE(s.find(R"("transfers":2)"), std::string::npos);
+  EXPECT_NE(s.find(R"("dummy_transfers":1)"), std::string::npos);
+}
+
+TEST(InstanceJson, SummarisesTheFig3Instance) {
+  std::ostringstream out;
+  instance_summary_to_json(out, testutil::fig3_instance());
+  const std::string s = out.str();
+  EXPECT_NE(s.find(R"("servers":4)"), std::string::npos);
+  EXPECT_NE(s.find(R"("objects":4)"), std::string::npos);
+  EXPECT_NE(s.find(R"("outstanding":6)"), std::string::npos);
+  EXPECT_NE(s.find(R"("superfluous":6)"), std::string::npos);
+  EXPECT_NE(s.find(R"("feasible":true)"), std::string::npos);
+  EXPECT_NE(s.find(R"("capacities":[2,2,2,2])"), std::string::npos);
+}
+
+TEST(SweepJson, HasAllMetricsPerCell) {
+  RandomInstanceSpec spec;
+  spec.servers = 6;
+  spec.objects = 12;
+  std::vector<SweepPoint> points = {
+      {"p0", [spec](Rng& rng) { return random_instance(spec, rng); }}};
+  SweepConfig cfg;
+  cfg.algorithms = {"AR"};
+  cfg.trials = 2;
+  const SweepResult result = run_sweep(points, cfg);
+  std::ostringstream out;
+  sweep_to_json(out, result, "x");
+  const std::string s = out.str();
+  EXPECT_NE(s.find(R"("x_label":"x")"), std::string::npos);
+  EXPECT_NE(s.find(R"("algorithm":"AR")"), std::string::npos);
+  EXPECT_NE(s.find(R"("dummy_transfers":{"n":2)"), std::string::npos);
+  EXPECT_NE(s.find(R"("implementation_cost":{"n":2)"), std::string::npos);
+  EXPECT_NE(s.find(R"("schedule_length")"), std::string::npos);
+  EXPECT_NE(s.find(R"("algorithm_seconds")"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rtsp

@@ -1,0 +1,52 @@
+#include "io/schedule_io.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtsp {
+namespace {
+
+Schedule sample() {
+  return Schedule({Action::remove(0, 3), Action::transfer(1, 3, 0),
+                   Action::transfer(2, 3, kDummyServer), Action::remove(1, 3)});
+}
+
+TEST(ScheduleIo, RoundTripPreservesEverything) {
+  const Schedule h = sample();
+  const Schedule back = schedule_from_text(schedule_to_text(h));
+  EXPECT_EQ(back, h);
+}
+
+TEST(ScheduleIo, TextFormatIsTheDocumentedOne) {
+  EXPECT_EQ(schedule_to_text(sample()),
+            "D 0 3\nT 1 3 0\nT 2 3 dummy\nD 1 3\n");
+}
+
+TEST(ScheduleIo, SkipsBlankLinesAndComments) {
+  const Schedule h = schedule_from_text(
+      "# a comment\n\nD 0 1   # trailing comment\n\n  T 1 1 0\n");
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_EQ(h[0], Action::remove(0, 1));
+  EXPECT_EQ(h[1], Action::transfer(1, 1, 0));
+}
+
+TEST(ScheduleIo, EmptyInputGivesEmptySchedule) {
+  EXPECT_TRUE(schedule_from_text("").empty());
+  EXPECT_TRUE(schedule_from_text("# only comments\n").empty());
+}
+
+TEST(ScheduleIo, MalformedInputThrowsWithLineNumber) {
+  try {
+    schedule_from_text("D 0 1\nX 1 2\n");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("unknown action kind"), std::string::npos);
+  }
+  EXPECT_THROW(schedule_from_text("T 1 2\n"), std::runtime_error);   // missing src
+  EXPECT_THROW(schedule_from_text("D 1\n"), std::runtime_error);     // missing obj
+  EXPECT_THROW(schedule_from_text("T 1 2 banana\n"), std::runtime_error);
+  EXPECT_THROW(schedule_from_text("T -1 2 0\n"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rtsp

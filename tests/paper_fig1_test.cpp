@@ -1,0 +1,74 @@
+// Regression tests for the paper's Fig. 1: the infeasible-without-dummy
+// rotation instance.
+#include <gtest/gtest.h>
+
+#include "core/cost_model.hpp"
+#include "core/transfer_graph.hpp"
+#include "core/validator.hpp"
+#include "exact/branch_and_bound.hpp"
+#include "heuristics/registry.hpp"
+#include "test_helpers.hpp"
+
+namespace rtsp {
+namespace {
+
+using testutil::fig1_instance;
+
+TEST(Fig1, TransferGraphShowsTheCircularDeadlock) {
+  const Instance inst = fig1_instance();
+  const TransferGraph g(inst.model, inst.x_old, inst.x_new);
+  // One arc per outstanding replica (each object has exactly one source).
+  EXPECT_EQ(g.arcs().size(), 4u);
+  EXPECT_TRUE(g.has_cycle());
+  EXPECT_TRUE(g.deadlock_risk(inst.x_old));
+}
+
+TEST(Fig1, EveryScheduleMustStartWithADeletion) {
+  // No server has free space, so the only valid first actions are
+  // deletions — which is why a dummy transfer is unavoidable.
+  const Instance inst = fig1_instance();
+  ExecutionState state(inst.model, inst.x_old);
+  for (ServerId i = 0; i < 4; ++i) {
+    for (ObjectId k = 0; k < 4; ++k) {
+      for (ServerId j = 0; j < 4; ++j) {
+        if (i == j) continue;
+        const Action t = Action::transfer(i, k, j);
+        EXPECT_NE(state.classify(t), ActionError::None) << t.to_string();
+      }
+      EXPECT_NE(state.classify(Action::transfer(i, k, kDummyServer)),
+                ActionError::None);
+    }
+  }
+}
+
+TEST(Fig1, ExactSolverFindsTheOptimum) {
+  const Instance inst = fig1_instance();
+  const BnbResult result = solve_exact(inst);
+  EXPECT_TRUE(result.proved_optimal);
+  EXPECT_TRUE(Validator::is_valid(inst.model, inst.x_old, inst.x_new,
+                                  result.schedule));
+  // At least one dummy transfer is forced (see the test above); the optimum
+  // pays the dummy link (cost 2) at least twice or finds a 1-dummy cascade.
+  EXPECT_GE(result.schedule.dummy_transfer_count(), 1u);
+  EXPECT_GE(result.cost, 2 + 3);  // >= one dummy fetch + three unit moves
+  EXPECT_LE(result.cost, 8);      // never worse than all-dummy
+}
+
+TEST(Fig1, HeuristicsStayWithinWorstCase) {
+  const Instance inst = fig1_instance();
+  const BnbResult optimal = solve_exact(inst);
+  for (const std::string spec :
+       {"AR", "GOLCF", "GOLCF+H1+H2", "GOLCF+H1+H2+OP1"}) {
+    Rng rng(1);
+    const Schedule h =
+        make_pipeline(spec).run(inst.model, inst.x_old, inst.x_new, rng);
+    EXPECT_TRUE(Validator::is_valid(inst.model, inst.x_old, inst.x_new, h)) << spec;
+    EXPECT_GE(schedule_cost(inst.model, h), optimal.cost) << spec;
+    EXPECT_LE(schedule_cost(inst.model, h),
+              worst_case_cost(inst.model, inst.x_old, inst.x_new))
+        << spec;
+  }
+}
+
+}  // namespace
+}  // namespace rtsp

@@ -1,0 +1,107 @@
+// Regression tests replaying the paper's Sec. 4.1 worked example on the
+// Fig. 3 network (objects A,B,C,D = 0,1,2,3; servers S1..S4 = 0..3).
+#include <gtest/gtest.h>
+
+#include "core/cost_model.hpp"
+#include "core/validator.hpp"
+#include "heuristics/h1.hpp"
+#include "heuristics/h2.hpp"
+#include "test_helpers.hpp"
+
+namespace rtsp {
+namespace {
+
+using testutil::fig3_instance;
+
+constexpr ObjectId A = 0, B = 1, C = 2, D = 3;
+
+/// The paper's RDF example schedule:
+/// { D_1A, D_4B, D_3B, D_4A, D_2D, D_2C,
+///   T_1Dd, T_4C3, T_3D1, T_2B1, T_2Ad, T_4D3 }.
+Schedule paper_rdf_schedule() {
+  return Schedule({
+      Action::remove(0, A), Action::remove(3, B), Action::remove(2, B),
+      Action::remove(3, A), Action::remove(1, D), Action::remove(1, C),
+      Action::transfer(0, D, kDummyServer), Action::transfer(3, C, 2),
+      Action::transfer(2, D, 0), Action::transfer(1, B, 0),
+      Action::transfer(1, A, kDummyServer), Action::transfer(3, D, 2),
+  });
+}
+
+TEST(Fig3, PaperRdfScheduleIsValidWithTwoDummies) {
+  const Instance inst = fig3_instance();
+  const Schedule h = paper_rdf_schedule();
+  const auto v = Validator::validate(inst.model, inst.x_old, inst.x_new, h);
+  EXPECT_TRUE(v.valid) << v.to_string();
+  EXPECT_EQ(h.dummy_transfer_count(), 2u);
+}
+
+TEST(Fig3, PaperGsdfScheduleIsValidWithOneDummy) {
+  // { D_2C, D_2D, T_2A1, T_2B1, D_3B, T_3Dd, D_4A, D_4B, T_4C3, T_4D3,
+  //   D_1A, T_1D3 } — servers visited in the order S2, S3, S4, S1.
+  const Instance inst = fig3_instance();
+  const Schedule h({
+      Action::remove(1, C), Action::remove(1, D), Action::transfer(1, A, 0),
+      Action::transfer(1, B, 0), Action::remove(2, B),
+      Action::transfer(2, D, kDummyServer), Action::remove(3, A),
+      Action::remove(3, B), Action::transfer(3, C, 2), Action::transfer(3, D, 2),
+      Action::remove(0, A), Action::transfer(0, D, 2),
+  });
+  const auto v = Validator::validate(inst.model, inst.x_old, inst.x_new, h);
+  EXPECT_TRUE(v.valid) << v.to_string();
+  EXPECT_EQ(h.dummy_transfer_count(), 1u);
+}
+
+TEST(Fig3, H1ReproducesThePaperRewriteExactly) {
+  // Sec. 4.1 walks H1 over the RDF schedule: first T_1Dd moves before D_2D
+  // (re-sourced from S2), then T_2Ad moves before D_4A, pulling the
+  // standalone deletion D_2C forward. Final schedule per the paper:
+  // { D_1A, D_4B, D_3B, D_2C, T_2A4, D_4A, T_1D2, D_2D,
+  //   T_4C3, T_3D1, T_2B1, T_4D3 }.
+  const Instance inst = fig3_instance();
+  Rng rng(0);
+  const Schedule improved = H1Improver().improve(inst.model, inst.x_old, inst.x_new,
+                                                 paper_rdf_schedule(), rng);
+  const Schedule expected({
+      Action::remove(0, A), Action::remove(3, B), Action::remove(2, B),
+      Action::remove(1, C), Action::transfer(1, A, 3), Action::remove(3, A),
+      Action::transfer(0, D, 1), Action::remove(1, D),
+      Action::transfer(3, C, 2), Action::transfer(2, D, 0),
+      Action::transfer(1, B, 0), Action::transfer(3, D, 2),
+  });
+  EXPECT_TRUE(Validator::is_valid(inst.model, inst.x_old, inst.x_new, improved));
+  EXPECT_EQ(improved.dummy_transfer_count(), 0u);
+  EXPECT_EQ(improved, expected) << "got:\n" << improved.to_string();
+}
+
+TEST(Fig3, H1CostNeverWorseThanRdf) {
+  const Instance inst = fig3_instance();
+  Rng rng(0);
+  const Schedule base = paper_rdf_schedule();
+  const Schedule improved =
+      H1Improver().improve(inst.model, inst.x_old, inst.x_new, base, rng);
+  // Dummy cost dominates: removing both dummies must cut the cost.
+  EXPECT_LT(schedule_cost(inst.model, improved), schedule_cost(inst.model, base));
+}
+
+TEST(Fig3, NearestSourceSelectionMatchesThePaper) {
+  // "the transfer of D to S4 uses S3 as source instead of S1 since
+  //  l_34 = 1 < l_14 = 2"
+  const Instance inst = fig3_instance();
+  ReplicationMatrix x(4, 4);
+  x.set(0, D);
+  x.set(2, D);
+  EXPECT_EQ(inst.model.nearest_replicator(3, D, x), std::optional<ServerId>(2));
+}
+
+TEST(Fig3, H2AlsoClearsTheRdfDummies) {
+  const Instance inst = fig3_instance();
+  Rng rng(0);
+  Schedule h = H2Improver().improve(inst.model, inst.x_old, inst.x_new,
+                                    paper_rdf_schedule(), rng);
+  EXPECT_TRUE(Validator::is_valid(inst.model, inst.x_old, inst.x_new, h));
+  EXPECT_LE(h.dummy_transfer_count(), 1u);
+}
+
+}  // namespace
+}  // namespace rtsp

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "core/validator.hpp"
+#include "heuristics/registry.hpp"
+#include "placement/access_cost.hpp"
+#include "placement/greedy_place.hpp"
+#include "placement/zipf.hpp"
+#include "test_helpers.hpp"
+#include "workload/scenario.hpp"
+
+namespace rtsp {
+namespace {
+
+using testutil::matrix_model;
+using testutil::uniform_model;
+
+TEST(Zipf, WeightsAreNormalizedAndMonotone) {
+  const auto w = zipf_weights(100, 0.8);
+  double sum = 0.0;
+  for (std::size_t r = 0; r < w.size(); ++r) {
+    sum += w[r];
+    if (r > 0) {
+      EXPECT_LE(w[r], w[r - 1]);
+    }
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Zipf, ThetaZeroIsUniform) {
+  const auto w = zipf_weights(10, 0.0);
+  for (double x : w) EXPECT_NEAR(x, 0.1, 1e-12);
+}
+
+TEST(Zipf, RandomRatesSumToTotal) {
+  Rng rng(5);
+  const auto rates = random_zipf_rates(50, 1.0, 1000.0, rng);
+  double sum = 0.0;
+  for (double r : rates) sum += r;
+  EXPECT_NEAR(sum, 1000.0, 1e-9);
+}
+
+TEST(AccessCost, ZeroWhenEverythingIsLocal) {
+  const SystemModel m = uniform_model({10, 10}, {1, 1}, 3);
+  ReplicationMatrix x(2, 2);
+  x.set(0, 0);
+  x.set(0, 1);
+  x.set(1, 0);
+  x.set(1, 1);
+  DemandMatrix demand(2, 2);
+  demand.set(0, 0, 5.0);
+  demand.set(1, 1, 2.0);
+  EXPECT_DOUBLE_EQ(access_cost(m, x, demand), 0.0);
+}
+
+TEST(AccessCost, UsesNearestReplicaDistance) {
+  const SystemModel m = matrix_model({10, 10, 10}, {2},
+                                     {{0, 1, 4}, {1, 0, 2}, {4, 2, 0}});
+  const auto x = ReplicationMatrix::from_pairs(3, 1, {{0, 0}});
+  DemandMatrix demand(3, 1);
+  demand.set(1, 0, 3.0);  // S1 reads from S0 at distance 1
+  demand.set(2, 0, 1.0);  // S2 reads from S0 at distance 4
+  EXPECT_DOUBLE_EQ(access_cost(m, x, demand), 3.0 * 2 * 1 + 1.0 * 2 * 4);
+}
+
+TEST(AccessCost, MissingObjectChargedAtDummyCost) {
+  const SystemModel m = uniform_model({10, 10}, {2}, 3);
+  const ReplicationMatrix x(2, 1);
+  DemandMatrix demand(2, 1);
+  demand.set(0, 0, 1.0);
+  EXPECT_DOUBLE_EQ(access_cost(m, x, demand), 1.0 * 2 * 4);  // dummy = 3+1
+}
+
+TEST(UniformDemand, SpreadsRatesOverServers) {
+  const auto d = uniform_demand(4, {8.0, 4.0});
+  EXPECT_DOUBLE_EQ(d.at(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(d.at(3, 1), 1.0);
+}
+
+class GreedyPlacementSeeds : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GreedyPlacementSeeds, RespectsCapacitiesAndPlacesEveryObject) {
+  Rng rng(GetParam());
+  const Graph g = barabasi_albert_tree(8, {1, 10}, rng);
+  SystemModel m(ServerCatalog::uniform(8, 30), ObjectCatalog::uniform(20, 5),
+                CostMatrix::from_graph_shortest_paths(g));
+  const auto rates = random_zipf_rates(20, 0.9, 100.0, rng);
+  const DemandMatrix demand = uniform_demand(8, rates);
+  const ReplicationMatrix x = greedy_placement(m, demand, {}, rng);
+  for (ObjectId k = 0; k < 20; ++k) EXPECT_GE(x.replica_count(k), 1u);
+  for (ServerId i = 0; i < 8; ++i) {
+    EXPECT_LE(x.used_storage(i, m.objects()), m.capacity(i));
+  }
+}
+
+TEST_P(GreedyPlacementSeeds, MoreReplicasNeverRaiseAccessCost) {
+  Rng rng(GetParam());
+  const Graph g = barabasi_albert_tree(8, {1, 10}, rng);
+  SystemModel m(ServerCatalog::uniform(8, 40), ObjectCatalog::uniform(15, 5),
+                CostMatrix::from_graph_shortest_paths(g));
+  const auto rates = random_zipf_rates(15, 0.9, 100.0, rng);
+  const DemandMatrix demand = uniform_demand(8, rates);
+  GreedyPlacementOptions one_each;
+  one_each.max_total_replicas = 15;  // phase 1 only
+  Rng r1 = rng;
+  Rng r2 = rng;
+  const ReplicationMatrix sparse = greedy_placement(m, demand, one_each, r1);
+  const ReplicationMatrix full = greedy_placement(m, demand, {}, r2);
+  EXPECT_LE(access_cost(m, full, demand), access_cost(m, sparse, demand));
+  EXPECT_GE(full.total_replicas(), sparse.total_replicas());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GreedyPlacementSeeds, testing::Values(2, 4, 6));
+
+TEST(PlacementEndToEnd, DriftedPopularityYieldsValidRtspMigration) {
+  // The paper's motivating loop: place for today's popularity, drift the
+  // popularity, re-place, then implement the move with RTSP heuristics.
+  Rng rng(11);
+  const Graph g = barabasi_albert_tree(10, {1, 10}, rng);
+  SystemModel m(ServerCatalog::uniform(10, 25), ObjectCatalog::uniform(30, 5),
+                CostMatrix::from_graph_shortest_paths(g));
+  const DemandMatrix before = uniform_demand(10, random_zipf_rates(30, 1.0, 100, rng));
+  const DemandMatrix after = uniform_demand(10, random_zipf_rates(30, 1.0, 100, rng));
+  const ReplicationMatrix x_old = greedy_placement(m, before, {}, rng);
+  const ReplicationMatrix x_new = greedy_placement(m, after, {}, rng);
+  const Pipeline algo = make_pipeline("GOLCF+H1+H2+OP1");
+  const Schedule h = algo.run(m, x_old, x_new, rng);
+  const auto v = Validator::validate(m, x_old, x_new, h);
+  EXPECT_TRUE(v.valid) << v.to_string();
+}
+
+}  // namespace
+}  // namespace rtsp

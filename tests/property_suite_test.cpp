@@ -1,0 +1,138 @@
+// Cross-module property suite: every builder/improver combination must
+// uphold the paper's invariants on randomized instances spanning tight,
+// slack, equal-size and mixed-size regimes.
+#include <gtest/gtest.h>
+
+#include "core/cost_model.hpp"
+#include "core/feasibility.hpp"
+#include "core/validator.hpp"
+#include "heuristics/registry.hpp"
+#include "workload/paper_setup.hpp"
+#include "workload/scenario.hpp"
+
+namespace rtsp {
+namespace {
+
+struct Regime {
+  const char* name;
+  RandomInstanceSpec spec;
+};
+
+Regime regimes(int which) {
+  RandomInstanceSpec tight;
+  tight.servers = 10;
+  tight.objects = 30;
+  tight.max_replicas = 2;
+  tight.capacity_slack = 0.0;
+
+  RandomInstanceSpec slack = tight;
+  slack.capacity_slack = 1.5;
+
+  RandomInstanceSpec mixed = tight;
+  mixed.min_object_size = 1;
+  mixed.max_object_size = 7;
+
+  RandomInstanceSpec single = tight;
+  single.min_replicas = 1;
+  single.max_replicas = 1;
+
+  switch (which) {
+    case 0: return {"tight", tight};
+    case 1: return {"slack", slack};
+    case 2: return {"mixed_sizes", mixed};
+    default: return {"single_replica", single};
+  }
+}
+
+class PropertySuite
+    : public testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(PropertySuite, AllPipelinesValidAndImproversMonotone) {
+  const auto& [regime_idx, seed] = GetParam();
+  const Regime regime = regimes(regime_idx);
+  Rng rng(mix64(seed, static_cast<std::uint64_t>(regime_idx)));
+  const Instance inst = random_instance(regime.spec, rng);
+  const Cost lb = cost_lower_bound(inst.model, inst.x_old, inst.x_new);
+  const Cost wc = worst_case_cost(inst.model, inst.x_old, inst.x_new);
+
+  for (const std::string builder : {"AR", "GOLCF", "RDF", "GSDF"}) {
+    Rng brng(mix64(seed, 17));
+    const Schedule base =
+        make_pipeline(builder).run(inst.model, inst.x_old, inst.x_new, brng);
+    {
+      const auto v = Validator::validate(inst.model, inst.x_old, inst.x_new, base);
+      ASSERT_TRUE(v.valid) << regime.name << "/" << builder << ": " << v.to_string();
+    }
+    const Cost base_cost = schedule_cost(inst.model, base);
+    EXPECT_GE(base_cost, lb) << regime.name << "/" << builder;
+    EXPECT_LE(base_cost, wc) << regime.name << "/" << builder;
+
+    // H1, H2 and their composition: valid, dummies never increase.
+    for (const std::string imps : {"H1", "H2", "H1+H2", "H2+H1"}) {
+      Rng prng(mix64(seed, 17));  // same builder stream
+      const Schedule improved = make_pipeline(builder + "+" + imps)
+                                    .run(inst.model, inst.x_old, inst.x_new, prng);
+      const auto v =
+          Validator::validate(inst.model, inst.x_old, inst.x_new, improved);
+      ASSERT_TRUE(v.valid) << regime.name << "/" << builder << "+" << imps << ": "
+                           << v.to_string();
+      EXPECT_LE(improved.dummy_transfer_count(), base.dummy_transfer_count())
+          << regime.name << "/" << builder << "+" << imps;
+    }
+
+    // OP1: valid, cost never increases.
+    {
+      Rng prng(mix64(seed, 17));
+      const Schedule improved = make_pipeline(builder + "+OP1")
+                                    .run(inst.model, inst.x_old, inst.x_new, prng);
+      const auto v =
+          Validator::validate(inst.model, inst.x_old, inst.x_new, improved);
+      ASSERT_TRUE(v.valid) << regime.name << "/" << builder << "+OP1: "
+                           << v.to_string();
+      EXPECT_LE(schedule_cost(inst.model, improved), base_cost)
+          << regime.name << "/" << builder << "+OP1";
+      EXPECT_GE(schedule_cost(inst.model, improved), lb);
+    }
+  }
+
+  // The paper's winner chain end-to-end.
+  Rng prng(mix64(seed, 18));
+  const Schedule full = make_pipeline("GOLCF+H1+H2+OP1")
+                            .run(inst.model, inst.x_old, inst.x_new, prng);
+  const auto v = Validator::validate(inst.model, inst.x_old, inst.x_new, full);
+  ASSERT_TRUE(v.valid) << regime.name << "/full: " << v.to_string();
+  EXPECT_GE(schedule_cost(inst.model, full), lb);
+  EXPECT_LE(schedule_cost(inst.model, full), wc);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RegimesBySeeds, PropertySuite,
+    testing::Combine(testing::Values(0, 1, 2, 3),
+                     testing::Values(1, 2, 3, 4, 5, 6)),
+    [](const auto& info) {
+      return std::string(regimes(std::get<0>(info.param)).name) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(PropertySuite, PaperScaleEndToEndOnce) {
+  // One full-size Sec. 5.1 instance (r = 2) through the winner chain — a
+  // smoke test that the real experiment configuration works under test.
+  Rng rng(7);
+  PaperSetup setup;
+  setup.objects = 300;  // keep CI time modest; shape identical
+  const Instance inst = make_equal_size_instance(setup, 2, rng);
+  Rng r1(42);
+  const Schedule base =
+      make_pipeline("GOLCF").run(inst.model, inst.x_old, inst.x_new, r1);
+  Rng r2(42);  // identical builder stream
+  const Schedule full = make_pipeline("GOLCF+H1+H2+OP1")
+                            .run(inst.model, inst.x_old, inst.x_new, r2);
+  ASSERT_TRUE(Validator::is_valid(inst.model, inst.x_old, inst.x_new, full));
+  // The headline claim of the paper, in miniature: at r = 2 the improver
+  // chain eliminates most of GOLCF's dummy transfers and cuts its cost.
+  EXPECT_LE(full.dummy_transfer_count(), base.dummy_transfer_count() / 2);
+  EXPECT_LE(schedule_cost(inst.model, full), schedule_cost(inst.model, base));
+}
+
+}  // namespace
+}  // namespace rtsp

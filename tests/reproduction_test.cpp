@@ -1,0 +1,141 @@
+// Qualitative reproduction of the paper's evaluation (Sec. 5.2) on
+// scaled-down figures: the orderings and trends the paper reports must hold
+// on our instances too. Runs every figure sweep end to end through the
+// experiment harness (12 servers / 120 objects instead of 50 / 1000 so the
+// whole suite stays fast; the full-scale sweeps live in bench/).
+#include <gtest/gtest.h>
+
+#include "experiment/figures.hpp"
+
+namespace rtsp {
+namespace {
+
+PaperSetup scaled_setup() {
+  PaperSetup s;
+  s.servers = 12;
+  s.objects = 120;
+  return s;
+}
+
+SweepResult run_figure_scaled(int number, std::size_t trials = 4) {
+  const FigureSpec fig = paper_figure(number, scaled_setup());
+  SweepConfig cfg;
+  cfg.algorithms = fig.algorithms;
+  cfg.trials = trials;
+  cfg.base_seed = 0xfeedULL + static_cast<std::uint64_t>(number);
+  return run_sweep(fig.points, cfg);
+}
+
+double cell_mean(const SweepResult& r, std::size_t point, const std::string& algo,
+                 Metric metric) {
+  for (std::size_t a = 0; a < r.algorithms.size(); ++a) {
+    if (r.algorithms[a] == algo) {
+      return metric_samples(r.cells[point][a], metric).mean();
+    }
+  }
+  ADD_FAILURE() << "algorithm " << algo << " not in sweep";
+  return 0.0;
+}
+
+TEST(Reproduction, Fig4DummiesFallWithReplicasAndH1H2Dominates) {
+  const SweepResult r = run_figure_scaled(4);
+  // (a) Dummy transfers drop as replicas increase, for every algorithm.
+  for (const std::string algo : {"AR", "GOLCF", "AR+H1+H2", "GOLCF+H1+H2"}) {
+    const double at1 = cell_mean(r, 0, algo, Metric::DummyTransfers);
+    const double at5 = cell_mean(r, 4, algo, Metric::DummyTransfers);
+    EXPECT_LT(at5, at1 * 0.5) << algo;
+  }
+  // (b) GOLCF beats AR where dummies are plentiful (r <= 3). At r = 4..5
+  // both are near zero and AR's lazy deletions can edge ahead — visible in
+  // the paper's Fig. 4 as the curves converging.
+  for (std::size_t p = 0; p < 3; ++p) {
+    EXPECT_LE(cell_mean(r, p, "GOLCF", Metric::DummyTransfers),
+              cell_mean(r, p, "AR", Metric::DummyTransfers))
+        << "r=" << r.point_labels[p];
+  }
+  // (c) H1+H2 improves both bases throughout, drastically at r = 1..2.
+  for (std::size_t p = 0; p < r.point_labels.size(); ++p) {
+    EXPECT_LE(cell_mean(r, p, "GOLCF+H1+H2", Metric::DummyTransfers),
+              cell_mean(r, p, "GOLCF", Metric::DummyTransfers));
+    EXPECT_LE(cell_mean(r, p, "AR+H1+H2", Metric::DummyTransfers),
+              cell_mean(r, p, "AR", Metric::DummyTransfers));
+  }
+  EXPECT_LT(cell_mean(r, 1, "GOLCF+H1+H2", Metric::DummyTransfers),
+            cell_mean(r, 1, "GOLCF", Metric::DummyTransfers) * 0.6)
+      << "H1+H2 should nearly nullify dummies at r = 2";
+}
+
+TEST(Reproduction, Fig5WinnerChainGivesCheapestSchedules) {
+  const SweepResult r = run_figure_scaled(5);
+  for (std::size_t p = 0; p < r.point_labels.size(); ++p) {
+    const double ar = cell_mean(r, p, "AR", Metric::ImplementationCost);
+    const double golcf = cell_mean(r, p, "GOLCF", Metric::ImplementationCost);
+    const double winner =
+        cell_mean(r, p, "GOLCF+H1+H2+OP1", Metric::ImplementationCost);
+    EXPECT_LE(golcf, ar) << "r=" << r.point_labels[p];
+    EXPECT_LE(winner, golcf * 1.02) << "r=" << r.point_labels[p];
+  }
+  // Where dummies are plentiful (r = 1), eliminating them must cut cost
+  // noticeably versus OP1 alone.
+  EXPECT_LT(cell_mean(r, 0, "GOLCF+H1+H2+OP1", Metric::ImplementationCost),
+            cell_mean(r, 0, "GOLCF+OP1", Metric::ImplementationCost));
+}
+
+TEST(Reproduction, Fig6And7UniformSizesShowTheSameTrends) {
+  const SweepResult r6 = run_figure_scaled(6);
+  for (std::size_t p = 0; p < r6.point_labels.size(); ++p) {
+    EXPECT_LE(cell_mean(r6, p, "GOLCF+H1+H2", Metric::DummyTransfers),
+              cell_mean(r6, p, "GOLCF", Metric::DummyTransfers))
+        << "r=" << r6.point_labels[p];
+  }
+  EXPECT_LT(cell_mean(r6, 4, "GOLCF", Metric::DummyTransfers),
+            cell_mean(r6, 0, "GOLCF", Metric::DummyTransfers));
+
+  const SweepResult r7 = run_figure_scaled(7);
+  for (std::size_t p = 0; p < r7.point_labels.size(); ++p) {
+    EXPECT_LE(
+        cell_mean(r7, p, "GOLCF+H1+H2+OP1", Metric::ImplementationCost),
+        cell_mean(r7, p, "GOLCF", Metric::ImplementationCost) * 1.02)
+        << "r=" << r7.point_labels[p];
+  }
+  EXPECT_LT(cell_mean(r7, 0, "GOLCF+H1+H2+OP1", Metric::ImplementationCost),
+            cell_mean(r7, 0, "GOLCF", Metric::ImplementationCost));
+}
+
+TEST(Reproduction, Fig8And9ExtraCapacityHelpsH1H2Most) {
+  const SweepResult r8 = run_figure_scaled(8, 6);
+  const std::size_t last = r8.point_labels.size() - 1;
+  // H1+H2 exploits slack: its dummy count falls clearly from no-slack to
+  // full-slack, and stays below plain GOLCF everywhere.
+  EXPECT_LT(cell_mean(r8, last, "GOLCF+H1+H2", Metric::DummyTransfers),
+            cell_mean(r8, 0, "GOLCF+H1+H2", Metric::DummyTransfers));
+  for (std::size_t p = 0; p < r8.point_labels.size(); ++p) {
+    EXPECT_LE(cell_mean(r8, p, "GOLCF+H1+H2", Metric::DummyTransfers),
+              cell_mean(r8, p, "GOLCF", Metric::DummyTransfers))
+        << "extra=" << r8.point_labels[p];
+  }
+
+  const SweepResult r9 = run_figure_scaled(9, 6);
+  double sum_winner = 0.0;
+  double sum_op1 = 0.0;
+  for (std::size_t p = 0; p < r9.point_labels.size(); ++p) {
+    sum_winner += cell_mean(r9, p, "GOLCF+H1+H2+OP1", Metric::ImplementationCost);
+    sum_op1 += cell_mean(r9, p, "GOLCF+OP1", Metric::ImplementationCost);
+  }
+  EXPECT_LE(sum_winner, sum_op1) << "averaged over the sweep";
+}
+
+TEST(Reproduction, FigureSpecsAreWellFormed) {
+  const auto figs = all_paper_figures(scaled_setup());
+  ASSERT_EQ(figs.size(), 6u);
+  for (const auto& f : figs) {
+    EXPECT_FALSE(f.points.empty()) << f.id;
+    EXPECT_FALSE(f.algorithms.empty()) << f.id;
+    EXPECT_FALSE(f.x_label.empty()) << f.id;
+  }
+  EXPECT_THROW(paper_figure(3, scaled_setup()), PreconditionError);
+  EXPECT_THROW(paper_figure(10, scaled_setup()), PreconditionError);
+}
+
+}  // namespace
+}  // namespace rtsp

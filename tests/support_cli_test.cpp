@@ -1,0 +1,71 @@
+#include "support/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace rtsp {
+namespace {
+
+CliOptions parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return CliOptions(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(CliOptions, EqualsSyntax) {
+  const auto cli = parse({"--trials=12", "--name=abc"});
+  EXPECT_EQ(cli.get_int("trials", "", 5), 12);
+  EXPECT_EQ(cli.get_string("name", "", "?"), "abc");
+}
+
+TEST(CliOptions, SpaceSyntax) {
+  const auto cli = parse({"--trials", "7"});
+  EXPECT_EQ(cli.get_int("trials", "", 5), 7);
+}
+
+TEST(CliOptions, BareFlagIsTrue) {
+  const auto cli = parse({"--verbose"});
+  EXPECT_TRUE(cli.has("verbose"));
+  EXPECT_TRUE(cli.get_bool("verbose", "", false));
+}
+
+TEST(CliOptions, FallbackWhenAbsent) {
+  const auto cli = parse({});
+  EXPECT_EQ(cli.get_int("trials", "", 5), 5);
+  EXPECT_EQ(cli.get_string("name", "", "dflt"), "dflt");
+  EXPECT_FALSE(cli.has("trials"));
+}
+
+TEST(CliOptions, EnvironmentFallback) {
+  ::setenv("RTSP_TEST_OPTION_XYZ", "33", 1);
+  const auto cli = parse({});
+  EXPECT_EQ(cli.get_int("opt", "RTSP_TEST_OPTION_XYZ", 5), 33);
+  // Explicit flag wins over env.
+  const auto cli2 = parse({"--opt=44"});
+  EXPECT_EQ(cli2.get_int("opt", "RTSP_TEST_OPTION_XYZ", 5), 44);
+  ::unsetenv("RTSP_TEST_OPTION_XYZ");
+}
+
+TEST(CliOptions, BoolSpellings) {
+  EXPECT_TRUE(parse({"--x=yes"}).get_bool("x", "", false));
+  EXPECT_TRUE(parse({"--x=ON"}).get_bool("x", "", false));
+  EXPECT_FALSE(parse({"--x=0"}).get_bool("x", "", true));
+  EXPECT_FALSE(parse({"--x=False"}).get_bool("x", "", true));
+  EXPECT_THROW(parse({"--x=maybe"}).get_bool("x", "", true), std::invalid_argument);
+}
+
+TEST(CliOptions, PositionalArguments) {
+  const auto cli = parse({"alpha", "--k=v", "beta"});
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "alpha");
+  EXPECT_EQ(cli.positional()[1], "beta");
+}
+
+TEST(CliOptions, DoubleParsing) {
+  EXPECT_DOUBLE_EQ(parse({"--f=2.5"}).get_double("f", "", 1.0), 2.5);
+  EXPECT_DOUBLE_EQ(parse({}).get_double("f", "", 1.0), 1.0);
+}
+
+}  // namespace
+}  // namespace rtsp

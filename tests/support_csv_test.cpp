@@ -1,0 +1,67 @@
+#include "support/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+namespace rtsp {
+namespace {
+
+TEST(CsvEscape, PlainStringsPassThrough) {
+  EXPECT_EQ(CsvWriter::escape("hello"), "hello");
+  EXPECT_EQ(CsvWriter::escape(""), "");
+}
+
+TEST(CsvEscape, QuotesFieldsWithSpecials) {
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvWriter, RowsAndFields) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row({"a", "b,c", "d"});
+  csv.field("x").field(std::int64_t{-7}).field(1.5);
+  csv.end_row();
+  EXPECT_EQ(out.str(), "a,\"b,c\",d\nx,-7,1.5\n");
+}
+
+TEST(CsvWriter, UnsignedAndSizeFields) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.field(std::uint64_t{18446744073709551615ull}).field(std::size_t{3});
+  csv.end_row();
+  EXPECT_EQ(out.str(), "18446744073709551615,3\n");
+}
+
+TEST(CsvWriter, DoubleKeepsPrecision) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.field(0.1);
+  csv.end_row();
+  const double parsed = std::stod(out.str());
+  EXPECT_DOUBLE_EQ(parsed, 0.1);
+}
+
+TEST(CsvFile, ThrowsOnUnopenablePath) {
+  EXPECT_THROW(CsvFile("/nonexistent-dir-xyz/file.csv"), std::runtime_error);
+}
+
+TEST(CsvFile, WritesToDisk) {
+  const std::string path = testing::TempDir() + "/rtsp_csv_test.csv";
+  {
+    CsvFile f(path);
+    f.writer().row({"h1", "h2"});
+    f.writer().field(1).field(2);
+    f.writer().end_row();
+  }
+  std::ifstream in(path);
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), "h1,h2\n1,2\n");
+}
+
+}  // namespace
+}  // namespace rtsp

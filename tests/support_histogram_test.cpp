@@ -1,0 +1,69 @@
+#include "support/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/assert.hpp"
+
+namespace rtsp {
+namespace {
+
+TEST(Histogram, BucketsValuesCorrectly) {
+  Histogram h(0.0, 10.0, 5);  // buckets [0,2) [2,4) [4,6) [6,8) [8,10]
+  for (double v : {0.0, 1.9, 2.0, 5.0, 9.9}) h.add(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.bucket(3), 0u);
+  EXPECT_EQ(h.bucket(4), 1u);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdgeBuckets) {
+  Histogram h(0.0, 10.0, 2);
+  h.add(-100.0);
+  h.add(100.0);
+  h.add(10.0);  // exactly hi lands in the last bucket
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 2u);
+}
+
+TEST(Histogram, BucketBoundsArePredictable) {
+  Histogram h(10.0, 20.0, 4);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(0), 12.5);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(3), 17.5);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(3), 20.0);
+}
+
+TEST(Histogram, OfDerivesBoundsFromData) {
+  const std::vector<double> values = {3.0, 7.0, 5.0, 3.0};
+  const Histogram h = Histogram::of(values, 4);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(0), 3.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(3), 7.0);
+}
+
+TEST(Histogram, DegenerateDataGetsOneWideBucket) {
+  const Histogram h = Histogram::of({5.0, 5.0, 5.0}, 3);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.bucket(0), 3u);
+}
+
+TEST(Histogram, AsciiRenderingShowsBarsAndCounts) {
+  Histogram h(0.0, 4.0, 2);
+  h.add(1.0);
+  h.add(1.0);
+  h.add(3.0);
+  const std::string s = h.to_string(10);
+  EXPECT_NE(s.find("##########  2"), std::string::npos);  // full bar
+  EXPECT_NE(s.find("#####       1"), std::string::npos);  // half bar
+}
+
+TEST(Histogram, InvalidConstructionThrows) {
+  EXPECT_THROW(Histogram(5.0, 5.0, 3), PreconditionError);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), PreconditionError);
+  EXPECT_THROW(Histogram::of({}, 3), PreconditionError);
+}
+
+}  // namespace
+}  // namespace rtsp

@@ -1,0 +1,175 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+
+namespace rtsp {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDifferentStreams) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (a() == b()) ? 1 : 0;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ForTrialStreamsAreIndependent) {
+  Rng a = Rng::for_trial(99, 0);
+  Rng b = Rng::for_trial(99, 1);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (a() == b()) ? 1 : 0;
+  EXPECT_LT(equal, 5);
+  // Reconstructing the same trial gives the same stream.
+  Rng a2 = Rng::for_trial(99, 0);
+  Rng a3 = Rng::for_trial(99, 0);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a2(), a3());
+}
+
+TEST(Rng, BelowStaysBelow) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowZeroThrows) {
+  Rng rng(7);
+  EXPECT_THROW(rng.below(0), PreconditionError);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(123);
+  constexpr std::uint64_t kBound = 10;
+  constexpr int kDraws = 100000;
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.below(kBound)];
+  for (std::uint64_t v = 0; v < kBound; ++v) {
+    EXPECT_NEAR(counts[v], kDraws / kBound, kDraws / kBound * 0.15) << "value " << v;
+  }
+}
+
+TEST(Rng, UniformIntCoversClosedRange) {
+  Rng rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformIntSinglePoint) {
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(rng.uniform_int(9, 9), 9);
+}
+
+TEST(Rng, UniformIntInvalidRangeThrows) {
+  Rng rng(5);
+  EXPECT_THROW(rng.uniform_int(3, 2), PreconditionError);
+}
+
+TEST(Rng, Uniform01InHalfOpenUnitInterval) {
+  Rng rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform01();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(17);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> orig = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, orig);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, ShuffleHandlesSmallVectors) {
+  Rng rng(17);
+  std::vector<int> empty;
+  rng.shuffle(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one = {42};
+  rng.shuffle(one);
+  EXPECT_EQ(one, std::vector<int>{42});
+}
+
+TEST(Rng, PickReturnsContainedElement) {
+  Rng rng(19);
+  const std::vector<int> v = {3, 1, 4, 1, 5};
+  for (int i = 0; i < 100; ++i) {
+    const int x = rng.pick(v);
+    EXPECT_NE(std::find(v.begin(), v.end(), x), v.end());
+  }
+  const std::vector<int> empty;
+  EXPECT_THROW(rng.pick(empty), PreconditionError);
+}
+
+TEST(Rng, Mix64SensitiveToBothArguments) {
+  EXPECT_NE(mix64(1, 2), mix64(2, 1));
+  EXPECT_NE(mix64(0, 0), mix64(0, 1));
+  EXPECT_NE(mix64(0, 0), mix64(1, 0));
+}
+
+TEST(SampleWithoutReplacement, ProducesDistinctValidIndices) {
+  Rng rng(23);
+  for (std::size_t n : {1ul, 5ul, 100ul, 1000ul}) {
+    for (std::size_t count : {std::size_t{0}, std::size_t{1}, n / 2, n}) {
+      auto s = sample_without_replacement(rng, n, count);
+      EXPECT_EQ(s.size(), count);
+      std::set<std::size_t> distinct(s.begin(), s.end());
+      EXPECT_EQ(distinct.size(), count);
+      for (std::size_t x : s) EXPECT_LT(x, n);
+    }
+  }
+}
+
+TEST(SampleWithoutReplacement, CountAboveNThrows) {
+  Rng rng(23);
+  EXPECT_THROW(sample_without_replacement(rng, 3, 4), PreconditionError);
+}
+
+TEST(SampleWithoutReplacement, SparsePathIsUniformish) {
+  Rng rng(29);
+  std::vector<int> hits(50, 0);
+  for (int rep = 0; rep < 5000; ++rep) {
+    for (std::size_t idx : sample_without_replacement(rng, 50, 2)) ++hits[idx];
+  }
+  for (int h : hits) EXPECT_NEAR(h, 200, 60);
+}
+
+}  // namespace
+}  // namespace rtsp

@@ -1,0 +1,92 @@
+#include "support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/assert.hpp"
+
+namespace rtsp {
+namespace {
+
+TEST(StatAccumulator, EmptyIsAllZero) {
+  StatAccumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+  EXPECT_EQ(acc.stddev(), 0.0);
+  EXPECT_EQ(acc.stderr_mean(), 0.0);
+  EXPECT_EQ(acc.sum(), 0.0);
+}
+
+TEST(StatAccumulator, SingleValue) {
+  StatAccumulator acc;
+  acc.add(5.0);
+  EXPECT_EQ(acc.count(), 1u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 5.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+}
+
+TEST(StatAccumulator, MatchesDirectComputation) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  StatAccumulator acc;
+  for (double x : xs) acc.add(x);
+  EXPECT_EQ(acc.count(), xs.size());
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  // Sample variance with n-1: sum of squared deviations is 32, 32/7.
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(acc.stderr_mean(), acc.stddev() / std::sqrt(8.0), 1e-12);
+}
+
+TEST(StatAccumulator, HandlesNegativeValues) {
+  StatAccumulator acc;
+  acc.add(-3.0);
+  acc.add(3.0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.min(), -3.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 3.0);
+}
+
+TEST(SampleSet, PercentilesInterpolate) {
+  SampleSet s;
+  for (double x : {10.0, 20.0, 30.0, 40.0, 50.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 50.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 30.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.25), 20.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.125), 15.0);  // halfway between 10 and 20
+}
+
+TEST(SampleSet, PercentileAfterMoreAdds) {
+  SampleSet s;
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 1.0);
+  s.add(3.0);  // re-sorting must kick in
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 3.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 2.0);
+}
+
+TEST(SampleSet, EmptyPercentileThrows) {
+  SampleSet s;
+  EXPECT_THROW(s.percentile(0.5), PreconditionError);
+}
+
+TEST(SampleSet, OutOfRangeQuantileThrows) {
+  SampleSet s;
+  s.add(1.0);
+  EXPECT_THROW(s.percentile(-0.1), PreconditionError);
+  EXPECT_THROW(s.percentile(1.1), PreconditionError);
+}
+
+TEST(HumanCount, FormatsMagnitudes) {
+  EXPECT_EQ(human_count(950), "950");
+  EXPECT_EQ(human_count(12300), "12.3k");
+  EXPECT_EQ(human_count(4.56e6), "4.56M");
+  EXPECT_EQ(human_count(7.8e9), "7.80G");
+}
+
+}  // namespace
+}  // namespace rtsp

@@ -1,0 +1,43 @@
+#include "support/string_util.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtsp {
+namespace {
+
+TEST(Split, BasicAndEmptyFields) {
+  EXPECT_EQ(split("a+b+c", '+'), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a++c", '+'), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split("", '+'), (std::vector<std::string>{""}));
+  EXPECT_EQ(split("abc", '+'), (std::vector<std::string>{"abc"}));
+  EXPECT_EQ(split("+", '+'), (std::vector<std::string>{"", ""}));
+}
+
+TEST(Trim, RemovesEdgesOnly) {
+  EXPECT_EQ(trim("  a b  "), "a b");
+  EXPECT_EQ(trim("\t\nx\r "), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("ok"), "ok");
+}
+
+TEST(ToLower, Basics) {
+  EXPECT_EQ(to_lower("GOLCF+H1"), "golcf+h1");
+  EXPECT_EQ(to_lower("already"), "already");
+  EXPECT_EQ(to_lower(""), "");
+}
+
+TEST(Join, Basics) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({"solo"}, "+"), "solo");
+  EXPECT_EQ(join({}, "+"), "");
+}
+
+TEST(StartsWith, Basics) {
+  EXPECT_TRUE(starts_with("rtsp-instance v1", "rtsp-instance"));
+  EXPECT_FALSE(starts_with("rtsp", "rtsp-instance"));
+  EXPECT_TRUE(starts_with("anything", ""));
+}
+
+}  // namespace
+}  // namespace rtsp

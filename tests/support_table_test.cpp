@@ -1,0 +1,57 @@
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtsp {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t;
+  t.header({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "12345"});
+  const std::string s = t.to_string();
+  // Header first, then a separator line of dashes.
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+  // First column is left-aligned by default, second right-aligned.
+  EXPECT_NE(s.find("a        "), std::string::npos);
+  EXPECT_NE(s.find("    1"), std::string::npos);
+}
+
+TEST(TextTable, NoHeaderNoSeparator) {
+  TextTable t;
+  t.add_row({"x", "y"});
+  const std::string s = t.to_string();
+  EXPECT_EQ(s.find("---"), std::string::npos);
+  EXPECT_NE(s.find("x"), std::string::npos);
+}
+
+TEST(TextTable, RaggedRowsPad) {
+  TextTable t;
+  t.add_row({"a", "b", "c"});
+  t.add_row({"only"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("only"), std::string::npos);
+}
+
+TEST(TextTable, ExplicitAlignment) {
+  TextTable t;
+  t.align(1, TextTable::Align::Left);
+  t.add_row({"k", "v"});
+  t.add_row({"key", "value"});
+  const std::string s = t.to_string();
+  // Column 1 left-aligned: "v" followed by padding, not preceded.
+  EXPECT_NE(s.find("k    v"), std::string::npos);
+}
+
+TEST(FormatMeanErr, WithAndWithoutError) {
+  EXPECT_EQ(format_mean_err(12.0, 0.0), "12");
+  const std::string s = format_mean_err(12.3456, 0.789);
+  EXPECT_NE(s.find("12.35"), std::string::npos);
+  EXPECT_NE(s.find("±"), std::string::npos);
+  EXPECT_NE(s.find("0.79"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rtsp

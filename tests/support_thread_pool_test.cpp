@@ -1,0 +1,79 @@
+#include "support/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+
+namespace rtsp {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  auto f = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, PropagatesExceptionsThroughFutures) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ManyTasksAllComplete) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 200; ++i) {
+    futs.push_back(pool.submit([&counter] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(500);
+  parallel_for(pool, hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ZeroIterationsIsANoop) {
+  ThreadPool pool(2);
+  parallel_for(pool, 0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ParallelFor, SingleThreadStillWorks) {
+  std::vector<int> out(50, 0);
+  parallel_for(std::size_t{1}, out.size(),
+               [&](std::size_t i) { out[i] = static_cast<int>(i); });
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], static_cast<int>(i));
+}
+
+TEST(ParallelFor, RethrowsBodyException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(parallel_for(pool, 100,
+                            [&](std::size_t i) {
+                              if (i == 37) throw std::logic_error("bad index");
+                            }),
+               std::logic_error);
+}
+
+TEST(ParallelFor, MoreTasksThanThreadsBalances) {
+  ThreadPool pool(2);
+  std::atomic<long> sum{0};
+  parallel_for(pool, 1000, [&](std::size_t i) { sum.fetch_add(static_cast<long>(i)); });
+  EXPECT_EQ(sum.load(), 999L * 1000 / 2);
+}
+
+TEST(ThreadPoolZeroMeansHardwareConcurrency, Constructs) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+  auto f = pool.submit([] { return 1; });
+  EXPECT_EQ(f.get(), 1);
+}
+
+}  // namespace
+}  // namespace rtsp

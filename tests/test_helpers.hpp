@@ -1,0 +1,60 @@
+// Shared fixtures for the test suite.
+#pragma once
+
+#include "core/system.hpp"
+#include "workload/scenario.hpp"
+
+namespace rtsp::testutil {
+
+/// Model over a complete graph with one uniform link cost.
+inline SystemModel uniform_model(std::vector<Size> capacities, std::vector<Size> sizes,
+                                 LinkCost link = 1, double dummy_factor = 1.0) {
+  const std::size_t m = capacities.size();
+  return SystemModel(ServerCatalog(std::move(capacities)),
+                     ObjectCatalog(std::move(sizes)), CostMatrix(m, link),
+                     dummy_factor);
+}
+
+/// Model with an explicit symmetric cost matrix.
+inline SystemModel matrix_model(std::vector<Size> capacities, std::vector<Size> sizes,
+                                std::vector<std::vector<LinkCost>> rows,
+                                double dummy_factor = 1.0) {
+  return SystemModel(ServerCatalog(std::move(capacities)),
+                     ObjectCatalog(std::move(sizes)),
+                     CostMatrix::from_rows(std::move(rows)), dummy_factor);
+}
+
+/// The paper's Fig. 1 instance: 4 servers with capacity for one unit object
+/// each, 4 objects A..D (ids 0..3), X_old = identity ring, X_new = rotate,
+/// producing the circular transfer-graph deadlock. Link costs are uniform 1.
+inline Instance fig1_instance() {
+  SystemModel model = uniform_model({1, 1, 1, 1}, {1, 1, 1, 1});
+  ReplicationMatrix x_old(4, 4);
+  ReplicationMatrix x_new(4, 4);
+  // S_i holds O_i; afterwards S_i must hold O_{i-1 mod 4}:
+  // S1 gets D(3), S2 gets A(0), S3 gets B(1), S4 gets C(2).
+  for (ServerId i = 0; i < 4; ++i) x_old.set(i, i);
+  for (ServerId i = 0; i < 4; ++i) x_new.set(i, (i + 3) % 4);
+  return Instance{std::move(model), std::move(x_old), std::move(x_new)};
+}
+
+/// The paper's Fig. 3 instance: 4 servers with room for two unit objects,
+/// objects A,B,C,D = 0,1,2,3.
+///   X_old: S1{A,B} S2{C,D} S3{B,C} S4{A,B}
+///   X_new: S1{B,D} S2{A,B} S3{C,D} S4{C,D}
+/// Link costs are chosen consistently with the paper's traces
+/// (l_34 = 1 < l_14 = 2; S1 is the nearest source picked by S2).
+inline Instance fig3_instance() {
+  SystemModel model = matrix_model({2, 2, 2, 2}, {1, 1, 1, 1},
+                                   {{0, 1, 1, 2},
+                                    {1, 0, 2, 3},
+                                    {1, 2, 0, 1},
+                                    {2, 3, 1, 0}});
+  ReplicationMatrix x_old = ReplicationMatrix::from_pairs(
+      4, 4, {{0, 0}, {0, 1}, {1, 2}, {1, 3}, {2, 1}, {2, 2}, {3, 0}, {3, 1}});
+  ReplicationMatrix x_new = ReplicationMatrix::from_pairs(
+      4, 4, {{0, 1}, {0, 3}, {1, 0}, {1, 1}, {2, 2}, {2, 3}, {3, 2}, {3, 3}});
+  return Instance{std::move(model), std::move(x_old), std::move(x_new)};
+}
+
+}  // namespace rtsp::testutil

@@ -1,0 +1,80 @@
+#include "topology/cost_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/generators.hpp"
+
+namespace rtsp {
+namespace {
+
+TEST(CostMatrix, UniformFillAndZeroDiagonal) {
+  const CostMatrix m(4, 7);
+  EXPECT_EQ(m.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(m.at(i, i), 0);
+    for (std::size_t j = 0; j < 4; ++j) {
+      if (i != j) {
+        EXPECT_EQ(m.at(i, j), 7);
+      }
+    }
+  }
+}
+
+TEST(CostMatrix, FromGraphShortestPaths) {
+  const Graph g = line_graph(3, 2);
+  const CostMatrix m = CostMatrix::from_graph_shortest_paths(g);
+  EXPECT_EQ(m.at(0, 1), 2);
+  EXPECT_EQ(m.at(0, 2), 4);
+  EXPECT_EQ(m.at(2, 0), 4);
+  EXPECT_EQ(m.max_cost(), 4);
+}
+
+TEST(CostMatrix, FromGraphRequiresConnectivity) {
+  Graph g(3);
+  g.add_edge(0, 1, 1);
+  EXPECT_THROW(CostMatrix::from_graph_shortest_paths(g), PreconditionError);
+}
+
+TEST(CostMatrix, FromRowsValidation) {
+  EXPECT_NO_THROW(CostMatrix::from_rows({{0, 2}, {2, 0}}));
+  EXPECT_THROW(CostMatrix::from_rows({{0, 2}, {3, 0}}), PreconditionError);  // asym
+  EXPECT_THROW(CostMatrix::from_rows({{1, 2}, {2, 0}}), PreconditionError);  // diag
+  EXPECT_THROW(CostMatrix::from_rows({{0, 2, 3}, {2, 0, 1}}), PreconditionError);
+}
+
+TEST(CostMatrix, SetKeepsSymmetry) {
+  CostMatrix m(3, 1);
+  m.set(0, 2, 9);
+  EXPECT_EQ(m.at(0, 2), 9);
+  EXPECT_EQ(m.at(2, 0), 9);
+  EXPECT_THROW(m.set(1, 1, 4), PreconditionError);
+}
+
+TEST(CostMatrix, DummyCostIsScaledMaxPlusOne) {
+  CostMatrix m(3, 1);
+  m.set(0, 2, 9);
+  EXPECT_EQ(m.dummy_cost(), 10);        // a = 1
+  EXPECT_EQ(m.dummy_cost(2.0), 20);     // a = 2
+  EXPECT_EQ(m.dummy_cost(0.5), 5);      // a < 1 allowed by the formulation
+  EXPECT_THROW(m.dummy_cost(0.0), PreconditionError);
+}
+
+TEST(CostMatrix, SortedNeighborsOrderAndTies) {
+  // Costs from node 0: node1=5, node2=2, node3=5 -> order {2, 1, 3}.
+  CostMatrix m(4, 1);
+  m.set(0, 1, 5);
+  m.set(0, 2, 2);
+  m.set(0, 3, 5);
+  const auto order = m.sorted_neighbors(0);
+  EXPECT_EQ(order, (std::vector<std::size_t>{2, 1, 3}));
+}
+
+TEST(CostMatrix, SingleNode) {
+  const CostMatrix m(1, 0);
+  EXPECT_TRUE(m.sorted_neighbors(0).empty());
+  EXPECT_EQ(m.max_cost(), 0);
+  EXPECT_EQ(m.dummy_cost(), 1);
+}
+
+}  // namespace
+}  // namespace rtsp

@@ -1,0 +1,151 @@
+#include "topology/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace rtsp {
+namespace {
+
+class TreeGeneratorSeeds : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TreeGeneratorSeeds, BarabasiAlbertProducesTreeWithCostsInRange) {
+  Rng rng(GetParam());
+  const Graph g = barabasi_albert_tree(50, {1, 10}, rng);
+  EXPECT_EQ(g.num_nodes(), 50u);
+  EXPECT_EQ(g.num_edges(), 49u);
+  EXPECT_TRUE(g.is_tree());
+  for (const auto& e : g.edges()) {
+    EXPECT_GE(e.cost, 1);
+    EXPECT_LE(e.cost, 10);
+  }
+}
+
+TEST_P(TreeGeneratorSeeds, UniformTreeIsATree) {
+  Rng rng(GetParam());
+  const Graph g = uniform_random_tree(30, {2, 5}, rng);
+  EXPECT_TRUE(g.is_tree());
+  for (const auto& e : g.edges()) {
+    EXPECT_GE(e.cost, 2);
+    EXPECT_LE(e.cost, 5);
+  }
+}
+
+TEST_P(TreeGeneratorSeeds, ErdosRenyiIsAlwaysConnectedAfterRepair) {
+  Rng rng(GetParam());
+  for (double p : {0.0, 0.01, 0.1, 0.5}) {
+    const Graph g = erdos_renyi_connected(25, p, {1, 10}, rng);
+    EXPECT_EQ(g.num_nodes(), 25u);
+    EXPECT_TRUE(g.is_connected()) << "p=" << p;
+  }
+}
+
+TEST_P(TreeGeneratorSeeds, WaxmanIsConnectedWithCostsInRange) {
+  Rng rng(GetParam());
+  const Graph g = waxman_connected(40, {}, {1, 10}, rng);
+  EXPECT_EQ(g.num_nodes(), 40u);
+  EXPECT_TRUE(g.is_connected());
+  for (const auto& e : g.edges()) {
+    EXPECT_GE(e.cost, 1);
+    EXPECT_LE(e.cost, 10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeGeneratorSeeds,
+                         testing::Values(1, 2, 3, 7, 42, 1234, 99999));
+
+TEST(Waxman, DensityGrowsWithAlpha) {
+  Rng a(5);
+  Rng b(5);
+  WaxmanParams sparse{0.05, 0.3};
+  WaxmanParams dense{0.9, 0.9};
+  std::size_t sparse_edges = 0;
+  std::size_t dense_edges = 0;
+  for (int rep = 0; rep < 10; ++rep) {
+    sparse_edges += waxman_connected(40, sparse, {1, 10}, a).num_edges();
+    dense_edges += waxman_connected(40, dense, {1, 10}, b).num_edges();
+  }
+  EXPECT_LT(sparse_edges, dense_edges);
+}
+
+TEST(Waxman, RejectsBadParams) {
+  Rng rng(1);
+  EXPECT_THROW(waxman_connected(10, {0.0, 0.3}, {1, 10}, rng), PreconditionError);
+  EXPECT_THROW(waxman_connected(10, {0.4, 1.5}, {1, 10}, rng), PreconditionError);
+}
+
+TEST(BarabasiAlbert, PreferentialAttachmentSkewsDegrees) {
+  // Hubs should emerge: across many trees, the max degree of a BA tree
+  // should typically exceed that of a uniform attachment tree.
+  Rng rng(7);
+  double ba_sum = 0;
+  double uni_sum = 0;
+  for (int rep = 0; rep < 40; ++rep) {
+    const Graph ba = barabasi_albert_tree(200, {1, 10}, rng);
+    const Graph uni = uniform_random_tree(200, {1, 10}, rng);
+    std::size_t ba_max = 0;
+    std::size_t uni_max = 0;
+    for (std::size_t v = 0; v < 200; ++v) {
+      ba_max = std::max(ba_max, ba.degree(v));
+      uni_max = std::max(uni_max, uni.degree(v));
+    }
+    ba_sum += static_cast<double>(ba_max);
+    uni_sum += static_cast<double>(uni_max);
+  }
+  EXPECT_GT(ba_sum, uni_sum);
+}
+
+TEST(BarabasiAlbert, TinySizes) {
+  Rng rng(1);
+  EXPECT_EQ(barabasi_albert_tree(1, {1, 10}, rng).num_nodes(), 1u);
+  const Graph two = barabasi_albert_tree(2, {1, 10}, rng);
+  EXPECT_EQ(two.num_edges(), 1u);
+  EXPECT_THROW(barabasi_albert_tree(0, {1, 10}, rng), PreconditionError);
+}
+
+TEST(Generators, InvalidCostRangeThrows) {
+  Rng rng(1);
+  EXPECT_THROW(barabasi_albert_tree(5, {0, 10}, rng), PreconditionError);
+  EXPECT_THROW(barabasi_albert_tree(5, {5, 2}, rng), PreconditionError);
+}
+
+TEST(DeterministicShapes, RingStarLineGridComplete) {
+  const Graph ring = ring_graph(5, 2);
+  EXPECT_EQ(ring.num_edges(), 5u);
+  for (std::size_t v = 0; v < 5; ++v) EXPECT_EQ(ring.degree(v), 2u);
+
+  const Graph star = star_graph(6, 3);
+  EXPECT_EQ(star.num_edges(), 5u);
+  EXPECT_EQ(star.degree(0), 5u);
+  EXPECT_EQ(star.degree(1), 1u);
+
+  const Graph line = line_graph(4, 1);
+  EXPECT_TRUE(line.is_tree());
+  EXPECT_EQ(line.degree(0), 1u);
+  EXPECT_EQ(line.degree(1), 2u);
+
+  const Graph grid = grid_graph(3, 4, 1);
+  EXPECT_EQ(grid.num_nodes(), 12u);
+  EXPECT_EQ(grid.num_edges(), 3u * 3 + 2u * 4);  // rows*(cols-1) + (rows-1)*cols
+  EXPECT_TRUE(grid.is_connected());
+
+  const Graph complete = complete_graph(5, 1);
+  EXPECT_EQ(complete.num_edges(), 10u);
+  for (std::size_t v = 0; v < 5; ++v) EXPECT_EQ(complete.degree(v), 4u);
+}
+
+TEST(DeterministicShapes, GeneratorDeterminismPerSeed) {
+  Rng a(123);
+  Rng b(123);
+  const Graph g1 = barabasi_albert_tree(40, {1, 10}, a);
+  const Graph g2 = barabasi_albert_tree(40, {1, 10}, b);
+  ASSERT_EQ(g1.num_edges(), g2.num_edges());
+  for (std::size_t e = 0; e < g1.num_edges(); ++e) {
+    EXPECT_EQ(g1.edges()[e].u, g2.edges()[e].u);
+    EXPECT_EQ(g1.edges()[e].v, g2.edges()[e].v);
+    EXPECT_EQ(g1.edges()[e].cost, g2.edges()[e].cost);
+  }
+}
+
+}  // namespace
+}  // namespace rtsp

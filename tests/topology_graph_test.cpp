@@ -1,0 +1,71 @@
+#include "topology/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/assert.hpp"
+
+namespace rtsp {
+namespace {
+
+TEST(Graph, StartsEmpty) {
+  Graph g;
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(Graph, AddNodesAndEdges) {
+  Graph g(3);
+  EXPECT_EQ(g.add_node(), 3u);
+  g.add_edge(0, 1, 5);
+  g.add_edge(1, 2, 7);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.neighbors(0).size(), 1u);
+  EXPECT_EQ(g.neighbors(0)[0].node, 1u);
+  EXPECT_EQ(g.neighbors(0)[0].cost, 5);
+}
+
+TEST(Graph, EdgeValidation) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(0, 0, 1), PreconditionError);   // self loop
+  EXPECT_THROW(g.add_edge(0, 2, 1), PreconditionError);   // out of range
+  EXPECT_THROW(g.add_edge(0, 1, 0), PreconditionError);   // non-positive cost
+  EXPECT_THROW(g.add_edge(0, 1, -3), PreconditionError);
+}
+
+TEST(Graph, ConnectivityDetection) {
+  Graph g(4);
+  g.add_edge(0, 1, 1);
+  g.add_edge(2, 3, 1);
+  EXPECT_FALSE(g.is_connected());
+  g.add_edge(1, 2, 1);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(Graph, SingleNodeIsConnected) {
+  Graph g(1);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_TRUE(g.is_tree());
+}
+
+TEST(Graph, TreeDetection) {
+  Graph path(3);
+  path.add_edge(0, 1, 1);
+  path.add_edge(1, 2, 1);
+  EXPECT_TRUE(path.is_tree());
+
+  Graph cycle(3);
+  cycle.add_edge(0, 1, 1);
+  cycle.add_edge(1, 2, 1);
+  cycle.add_edge(2, 0, 1);
+  EXPECT_FALSE(cycle.is_tree());  // n edges
+
+  Graph forest(4);
+  forest.add_edge(0, 1, 1);
+  forest.add_edge(2, 3, 1);
+  EXPECT_FALSE(forest.is_tree());  // disconnected
+}
+
+}  // namespace
+}  // namespace rtsp

@@ -1,0 +1,107 @@
+#include "topology/shortest_paths.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/generators.hpp"
+
+namespace rtsp {
+namespace {
+
+/// Brute-force Floyd-Warshall used as an oracle.
+std::vector<std::vector<LinkCost>> floyd_warshall(const Graph& g) {
+  const std::size_t n = g.num_nodes();
+  std::vector<std::vector<LinkCost>> d(n, std::vector<LinkCost>(n, kUnreachable));
+  for (std::size_t i = 0; i < n; ++i) d[i][i] = 0;
+  for (const auto& e : g.edges()) {
+    d[e.u][e.v] = std::min(d[e.u][e.v], e.cost);
+    d[e.v][e.u] = std::min(d[e.v][e.u], e.cost);
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (d[i][k] == kUnreachable) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (d[k][j] == kUnreachable) continue;
+        d[i][j] = std::min(d[i][j], d[i][k] + d[k][j]);
+      }
+    }
+  }
+  return d;
+}
+
+TEST(Dijkstra, LineGraphDistances) {
+  const Graph g = line_graph(4, 3);
+  const auto d = dijkstra(g, 0);
+  EXPECT_EQ(d, (std::vector<LinkCost>{0, 3, 6, 9}));
+}
+
+TEST(Dijkstra, UnreachableNodesReported) {
+  Graph g(3);
+  g.add_edge(0, 1, 2);
+  const auto d = dijkstra(g, 0);
+  EXPECT_EQ(d[0], 0);
+  EXPECT_EQ(d[1], 2);
+  EXPECT_EQ(d[2], kUnreachable);
+}
+
+TEST(Dijkstra, PicksCheaperOfParallelEdges) {
+  Graph g(2);
+  g.add_edge(0, 1, 9);
+  g.add_edge(0, 1, 4);
+  EXPECT_EQ(dijkstra(g, 0)[1], 4);
+}
+
+TEST(Dijkstra, SourceOutOfRangeThrows) {
+  Graph g(2);
+  EXPECT_THROW(dijkstra(g, 2), PreconditionError);
+}
+
+class ApspSeeds : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ApspSeeds, MatchesFloydWarshallOnRandomGraphs) {
+  Rng rng(GetParam());
+  const Graph g = erdos_renyi_connected(20, 0.15, {1, 9}, rng);
+  const auto fast = all_pairs_shortest_paths(g);
+  const auto oracle = floyd_warshall(g);
+  for (std::size_t i = 0; i < 20; ++i) {
+    for (std::size_t j = 0; j < 20; ++j) {
+      EXPECT_EQ(fast[i][j], oracle[i][j]) << i << "->" << j;
+    }
+  }
+}
+
+TEST_P(ApspSeeds, TreeDistancesAreSymmetricAndTriangular) {
+  Rng rng(GetParam());
+  const Graph g = barabasi_albert_tree(30, {1, 10}, rng);
+  const auto d = all_pairs_shortest_paths(g);
+  for (std::size_t i = 0; i < 30; ++i) {
+    EXPECT_EQ(d[i][i], 0);
+    for (std::size_t j = 0; j < 30; ++j) {
+      EXPECT_EQ(d[i][j], d[j][i]);
+      for (std::size_t k = 0; k < 30; ++k) {
+        EXPECT_LE(d[i][j], d[i][k] + d[k][j]);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ApspSeeds, testing::Values(3, 17, 2024));
+
+TEST(PathExtraction, ReconstructsShortestRoute) {
+  // 0 -1- 1 -1- 2, plus a direct expensive 0-2 edge.
+  Graph g(3);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 1);
+  g.add_edge(0, 2, 10);
+  const auto tree = dijkstra_tree(g, 0);
+  EXPECT_EQ(extract_path(tree, 0, 2), (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(extract_path(tree, 0, 0), (std::vector<std::size_t>{0}));
+}
+
+TEST(PathExtraction, EmptyForUnreachable) {
+  Graph g(2);
+  const auto tree = dijkstra_tree(g, 0);
+  EXPECT_TRUE(extract_path(tree, 0, 1).empty());
+}
+
+}  // namespace
+}  // namespace rtsp

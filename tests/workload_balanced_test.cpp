@@ -1,0 +1,191 @@
+#include "workload/balanced_placement.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtsp {
+namespace {
+
+class BalancedSeeds : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BalancedSeeds, ExactReplicaCountsAndBalancedLoad) {
+  Rng rng(GetParam());
+  BalancedPlacementSpec spec;
+  spec.servers = 10;
+  spec.objects = 40;
+  spec.replicas_per_object = 3;  // 120 replicas -> 12 per server exactly
+  const ReplicationMatrix x = balanced_random_placement(spec, rng);
+  for (ObjectId k = 0; k < spec.objects; ++k) {
+    EXPECT_EQ(x.replica_count(k), 3u) << "object " << k;
+  }
+  for (ServerId i = 0; i < spec.servers; ++i) {
+    EXPECT_EQ(x.count_on(i), 12u) << "server " << i;
+  }
+}
+
+TEST_P(BalancedSeeds, RemainderSpreadsWithinOne) {
+  Rng rng(GetParam());
+  BalancedPlacementSpec spec;
+  spec.servers = 7;
+  spec.objects = 25;
+  spec.replicas_per_object = 2;  // 50 replicas -> 7 or 8 per server
+  const ReplicationMatrix x = balanced_random_placement(spec, rng);
+  for (ServerId i = 0; i < spec.servers; ++i) {
+    EXPECT_GE(x.count_on(i), 7u);
+    EXPECT_LE(x.count_on(i), 8u);
+  }
+  EXPECT_EQ(x.total_replicas(), 50u);
+}
+
+TEST_P(BalancedSeeds, ForbiddenMaskGivesZeroOverlap) {
+  Rng rng(GetParam());
+  BalancedPlacementSpec spec;
+  spec.servers = 10;
+  spec.objects = 50;
+  spec.replicas_per_object = 4;
+  const ReplicationMatrix x_old = balanced_random_placement(spec, rng);
+  BalancedPlacementSpec spec2 = spec;
+  spec2.forbidden = &x_old;
+  const ReplicationMatrix x_new = balanced_random_placement(spec2, rng);
+  EXPECT_EQ(x_old.overlap(x_new), 0u);
+  for (ObjectId k = 0; k < spec.objects; ++k) {
+    EXPECT_EQ(x_new.replica_count(k), 4u);
+  }
+  for (ServerId i = 0; i < spec.servers; ++i) {
+    EXPECT_EQ(x_new.count_on(i), 20u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BalancedSeeds,
+                         testing::Values(1, 7, 13, 42, 777, 31337));
+
+TEST(BalancedPlacement, DeterministicPerSeed) {
+  BalancedPlacementSpec spec;
+  spec.servers = 6;
+  spec.objects = 18;
+  spec.replicas_per_object = 2;
+  Rng a(9);
+  Rng b(9);
+  EXPECT_EQ(balanced_random_placement(spec, a), balanced_random_placement(spec, b));
+}
+
+TEST(BalancedPlacement, DifferentSeedsDiffer) {
+  BalancedPlacementSpec spec;
+  spec.servers = 10;
+  spec.objects = 50;
+  spec.replicas_per_object = 2;
+  Rng a(1);
+  Rng b(2);
+  EXPECT_FALSE(balanced_random_placement(spec, a) ==
+               balanced_random_placement(spec, b));
+}
+
+TEST(BalancedPlacement, FullReplicationEverywhere) {
+  BalancedPlacementSpec spec;
+  spec.servers = 5;
+  spec.objects = 8;
+  spec.replicas_per_object = 5;
+  Rng rng(3);
+  const ReplicationMatrix x = balanced_random_placement(spec, rng);
+  EXPECT_EQ(x.total_replicas(), 40u);
+}
+
+TEST(BalancedPlacement, InvalidSpecsThrow) {
+  Rng rng(3);
+  BalancedPlacementSpec spec;
+  spec.servers = 4;
+  spec.objects = 4;
+  spec.replicas_per_object = 5;  // > servers
+  EXPECT_THROW(balanced_random_placement(spec, rng), PreconditionError);
+  spec.replicas_per_object = 0;
+  EXPECT_THROW(balanced_random_placement(spec, rng), PreconditionError);
+  spec.replicas_per_object = 1;
+  spec.servers = 0;
+  EXPECT_THROW(balanced_random_placement(spec, rng), PreconditionError);
+}
+
+TEST(BalancedPlacement, InfeasibleWithForbiddenThrows) {
+  // With full replication forbidden everywhere, nothing can be placed.
+  Rng rng(3);
+  BalancedPlacementSpec spec;
+  spec.servers = 3;
+  spec.objects = 5;
+  spec.replicas_per_object = 3;
+  const ReplicationMatrix x_old = balanced_random_placement(spec, rng);
+  BalancedPlacementSpec spec2 = spec;
+  spec2.forbidden = &x_old;  // every slot is taken
+  EXPECT_THROW(balanced_random_placement(spec2, rng), PreconditionError);
+}
+
+class OverlapSeeds : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OverlapSeeds, PinnedReplicasForceTheRequestedOverlap) {
+  Rng rng(GetParam());
+  BalancedPlacementSpec spec;
+  spec.servers = 10;
+  spec.objects = 40;
+  spec.replicas_per_object = 4;  // 160 replicas, 16 per server
+  const ReplicationMatrix x_old = balanced_random_placement(spec, rng);
+  for (const double f : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const ReplicationMatrix x_new =
+        overlapping_balanced_placement(x_old, 4, f, rng);
+    const std::size_t keep =
+        static_cast<std::size_t>(f * 4 + 0.5) * spec.objects;
+    EXPECT_EQ(x_old.overlap(x_new), keep) << "f=" << f;
+    for (ObjectId k = 0; k < spec.objects; ++k) {
+      EXPECT_EQ(x_new.replica_count(k), 4u);
+    }
+    for (ServerId i = 0; i < spec.servers; ++i) {
+      EXPECT_EQ(x_new.count_on(i), 16u) << "f=" << f << " server " << i;
+    }
+  }
+}
+
+TEST_P(OverlapSeeds, FullOverlapReproducesXOld) {
+  Rng rng(GetParam());
+  BalancedPlacementSpec spec;
+  spec.servers = 8;
+  spec.objects = 16;
+  spec.replicas_per_object = 2;
+  const ReplicationMatrix x_old = balanced_random_placement(spec, rng);
+  EXPECT_EQ(overlapping_balanced_placement(x_old, 2, 1.0, rng), x_old);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OverlapSeeds, testing::Values(3, 9, 27));
+
+TEST(OverlapPlacement, RejectsBadInputs) {
+  Rng rng(1);
+  BalancedPlacementSpec spec;
+  spec.servers = 6;
+  spec.objects = 12;
+  spec.replicas_per_object = 2;
+  const ReplicationMatrix x_old = balanced_random_placement(spec, rng);
+  EXPECT_THROW(overlapping_balanced_placement(x_old, 2, -0.1, rng),
+               PreconditionError);
+  EXPECT_THROW(overlapping_balanced_placement(x_old, 2, 1.5, rng),
+               PreconditionError);
+  // Wrong per-object count: x_old built with r=2 but asked for r=3.
+  EXPECT_THROW(overlapping_balanced_placement(x_old, 3, 0.5, rng),
+               PreconditionError);
+}
+
+TEST(BalancedPlacement, PaperScaleSmokeTest) {
+  // The actual experiment shape: 50 servers, 1000 objects, r = 5, with a
+  // zero-overlap second placement.
+  Rng rng(99);
+  BalancedPlacementSpec spec;
+  spec.servers = 50;
+  spec.objects = 1000;
+  spec.replicas_per_object = 5;
+  const ReplicationMatrix x_old = balanced_random_placement(spec, rng);
+  BalancedPlacementSpec spec2 = spec;
+  spec2.forbidden = &x_old;
+  const ReplicationMatrix x_new = balanced_random_placement(spec2, rng);
+  EXPECT_EQ(x_old.overlap(x_new), 0u);
+  for (ServerId i = 0; i < 50; ++i) {
+    EXPECT_EQ(x_old.count_on(i), 100u);
+    EXPECT_EQ(x_new.count_on(i), 100u);
+  }
+}
+
+}  // namespace
+}  // namespace rtsp

@@ -1,0 +1,122 @@
+#include "workload/drift.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/feasibility.hpp"
+#include "core/validator.hpp"
+#include "heuristics/registry.hpp"
+
+namespace rtsp {
+namespace {
+
+class DriftSeeds : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DriftSeeds, TraceShapesAreConsistent) {
+  Rng rng(GetParam());
+  DriftTraceSpec spec;
+  spec.servers = 8;
+  spec.objects = 40;
+  spec.days = 4;
+  const DriftTrace trace = generate_drift_trace(spec, rng);
+  EXPECT_EQ(trace.daily_rates.size(), 4u);
+  EXPECT_EQ(trace.placements.size(), 4u);
+  EXPECT_EQ(trace.transitions.size(), 3u);
+  for (const auto& rates : trace.daily_rates) {
+    EXPECT_EQ(rates.size(), 40u);
+    for (double r : rates) EXPECT_GE(r, 0.0);
+  }
+  for (const auto& placement : trace.placements) {
+    EXPECT_TRUE(storage_feasible(trace.model, placement));
+    for (ObjectId k = 0; k < 40; ++k) {
+      EXPECT_GE(placement.replica_count(k), 1u) << "object " << k;
+    }
+  }
+}
+
+TEST_P(DriftSeeds, ArrivalsHaveNoOldReplicas) {
+  Rng rng(GetParam());
+  DriftTraceSpec spec;
+  spec.servers = 8;
+  spec.objects = 40;
+  spec.days = 4;
+  spec.arrival_rate = 0.2;  // make arrivals certain
+  const DriftTrace trace = generate_drift_trace(spec, rng);
+  std::size_t total_arrivals = 0;
+  for (std::size_t t = 0; t < trace.transitions.size(); ++t) {
+    const DriftTransition& tr = trace.transitions[t];
+    total_arrivals += tr.new_objects;
+    // x_old equals the previous placement except for cleared columns.
+    std::size_t cleared_columns = 0;
+    for (ObjectId k = 0; k < 40; ++k) {
+      const std::size_t before = trace.placements[t].replica_count(k);
+      const std::size_t in_old = tr.x_old.replica_count(k);
+      EXPECT_TRUE(in_old == before || in_old == 0);
+      if (in_old == 0 && before > 0) ++cleared_columns;
+    }
+    EXPECT_EQ(cleared_columns, tr.new_objects);
+    EXPECT_EQ(tr.x_new, trace.placements[t + 1]);
+  }
+  EXPECT_GT(total_arrivals, 0u);
+}
+
+TEST_P(DriftSeeds, TransitionsAreSolvable) {
+  Rng rng(GetParam());
+  DriftTraceSpec spec;
+  spec.servers = 8;
+  spec.objects = 30;
+  spec.days = 3;
+  const DriftTrace trace = generate_drift_trace(spec, rng);
+  for (const DriftTransition& tr : trace.transitions) {
+    Rng arng(7);
+    const Schedule h = make_pipeline("GOLCF+H1+H2")
+                           .run(trace.model, tr.x_old, tr.x_new, arng);
+    const auto v = Validator::validate(trace.model, tr.x_old, tr.x_new, h);
+    EXPECT_TRUE(v.valid) << v.to_string();
+    // Every replica of a brand-new object must be a dummy fetch or sourced
+    // from a replica created earlier in the schedule — at least one dummy
+    // per new object.
+    std::size_t new_with_dummy = 0;
+    for (ObjectId k = 0; k < 30; ++k) {
+      if (tr.x_old.replica_count(k) != 0 || tr.x_new.replica_count(k) == 0) {
+        continue;
+      }
+      bool has_dummy = false;
+      for (const Action& a : h) {
+        if (a.is_dummy_transfer() && a.object == k) has_dummy = true;
+      }
+      EXPECT_TRUE(has_dummy) << "new object " << k << " fetched without archive";
+      ++new_with_dummy;
+    }
+    if (tr.new_objects > 0) {
+      EXPECT_GT(new_with_dummy, 0u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DriftSeeds, testing::Values(1, 2, 5));
+
+TEST(Drift, ChurnZeroKeepsRatesUntilArrivals) {
+  Rng rng(9);
+  DriftTraceSpec spec;
+  spec.servers = 6;
+  spec.objects = 20;
+  spec.days = 2;
+  spec.churn = 0.0;
+  spec.arrival_rate = 0.0;
+  const DriftTrace trace = generate_drift_trace(spec, rng);
+  EXPECT_EQ(trace.daily_rates[0], trace.daily_rates[1]);
+  EXPECT_EQ(trace.transitions[0].new_objects, 0u);
+}
+
+TEST(Drift, InvalidSpecThrows) {
+  Rng rng(1);
+  DriftTraceSpec spec;
+  spec.capacity_factor = 0.9;
+  EXPECT_THROW(generate_drift_trace(spec, rng), PreconditionError);
+  DriftTraceSpec spec2;
+  spec2.churn = 1.5;
+  EXPECT_THROW(generate_drift_trace(spec2, rng), PreconditionError);
+}
+
+}  // namespace
+}  // namespace rtsp

@@ -1,0 +1,121 @@
+#include "workload/paper_setup.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtsp {
+namespace {
+
+PaperSetup small_setup() {
+  // A scaled-down paper setup keeps these tests quick; one full-scale smoke
+  // test below uses the real dimensions.
+  PaperSetup s;
+  s.servers = 12;
+  s.objects = 60;
+  return s;
+}
+
+class PaperSetupSeeds : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PaperSetupSeeds, EqualSizeInstanceMatchesSection51) {
+  Rng rng(GetParam());
+  const PaperSetup setup = small_setup();
+  const Instance inst = make_equal_size_instance(setup, 2, rng);
+  EXPECT_EQ(inst.model.num_servers(), 12u);
+  EXPECT_EQ(inst.model.num_objects(), 60u);
+  // Equal sizes.
+  for (ObjectId k = 0; k < 60; ++k) EXPECT_EQ(inst.model.object_size(k), 5000);
+  // Balanced, zero overlap, r replicas.
+  EXPECT_EQ(inst.x_old.overlap(inst.x_new), 0u);
+  for (ObjectId k = 0; k < 60; ++k) {
+    EXPECT_EQ(inst.x_old.replica_count(k), 2u);
+    EXPECT_EQ(inst.x_new.replica_count(k), 2u);
+  }
+  // Tight equal capacities: exactly the storage each server needs, with
+  // zero free space in X_old (the paper's "no additional free space").
+  for (ServerId i = 0; i < 12; ++i) {
+    EXPECT_EQ(inst.model.capacity(i),
+              inst.x_old.used_storage(i, inst.model.objects()));
+    EXPECT_EQ(inst.model.capacity(i),
+              inst.x_new.used_storage(i, inst.model.objects()));
+  }
+  // a = 1: dummy link is the max server-to-server cost + 1.
+  EXPECT_EQ(inst.model.dummy_link_cost(), inst.model.costs().max_cost() + 1);
+}
+
+TEST_P(PaperSetupSeeds, UniformSizeInstanceDrawsSizesInRange) {
+  Rng rng(GetParam());
+  const Instance inst = make_uniform_size_instance(small_setup(), 3, rng);
+  bool any_not_max = false;
+  for (ObjectId k = 0; k < 60; ++k) {
+    EXPECT_GE(inst.model.object_size(k), 1000);
+    EXPECT_LE(inst.model.object_size(k), 5000);
+    any_not_max |= inst.model.object_size(k) != 5000;
+  }
+  EXPECT_TRUE(any_not_max);
+  EXPECT_EQ(inst.x_old.overlap(inst.x_new), 0u);
+  // Capacities are per-server minima.
+  for (ServerId i = 0; i < 12; ++i) {
+    EXPECT_EQ(inst.model.capacity(i),
+              std::max(inst.x_old.used_storage(i, inst.model.objects()),
+                       inst.x_new.used_storage(i, inst.model.objects())));
+  }
+}
+
+TEST_P(PaperSetupSeeds, ExtraCapacityLandsOnExactlyTheRequestedServers) {
+  Rng rng(GetParam());
+  const PaperSetup setup = small_setup();
+  const Instance inst = make_extra_capacity_instance(setup, 2, 5, rng);
+  std::size_t with_extra = 0;
+  for (ServerId i = 0; i < 12; ++i) {
+    const Size base = std::max(inst.x_old.used_storage(i, inst.model.objects()),
+                               inst.x_new.used_storage(i, inst.model.objects()));
+    const Size extra = inst.model.capacity(i) - base;
+    EXPECT_TRUE(extra == 0 || extra == setup.object_size) << "server " << i;
+    with_extra += (extra == setup.object_size) ? 1 : 0;
+  }
+  EXPECT_EQ(with_extra, 5u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PaperSetupSeeds, testing::Values(1, 2, 3));
+
+TEST(PaperSetup, FullScaleSmokeTest) {
+  // The real Sec. 5.1 dimensions: 50 servers, 1000 objects, r = 5.
+  Rng rng(2024);
+  const Instance inst = make_equal_size_instance(PaperSetup{}, 5, rng);
+  EXPECT_EQ(inst.model.num_servers(), 50u);
+  EXPECT_EQ(inst.model.num_objects(), 1000u);
+  EXPECT_EQ(inst.x_old.overlap(inst.x_new), 0u);
+  EXPECT_EQ(inst.x_old.total_replicas(), 5000u);
+  for (ServerId i = 0; i < 50; ++i) {
+    EXPECT_EQ(inst.x_old.count_on(i), 100u);
+  }
+  // Link costs 1..10 on a 50-node tree: the max path cost is bounded by
+  // 49 * 10 and at least 1.
+  EXPECT_GE(inst.model.costs().max_cost(), 1);
+  EXPECT_LE(inst.model.costs().max_cost(), 490);
+}
+
+TEST_P(PaperSetupSeeds, OverlapInstanceHitsTheTarget) {
+  Rng rng(GetParam());
+  const PaperSetup setup = small_setup();
+  const Instance inst = make_overlap_instance(setup, 2, 0.5, rng);
+  // round(0.5 * 2) = 1 replica kept per object.
+  EXPECT_EQ(inst.x_old.overlap(inst.x_new), 60u);
+  for (ObjectId k = 0; k < 60; ++k) {
+    EXPECT_EQ(inst.x_new.replica_count(k), 2u);
+  }
+  EXPECT_TRUE(storage_feasible(inst.model, inst.x_new));
+  // Overlap 0 matches the main regime's shape.
+  const Instance zero = make_overlap_instance(setup, 2, 0.0, rng);
+  EXPECT_EQ(zero.x_old.overlap(zero.x_new), 0u);
+}
+
+TEST(PaperSetup, RejectsTooManyReplicas) {
+  Rng rng(1);
+  PaperSetup s = small_setup();
+  EXPECT_THROW(make_equal_size_instance(s, 7, rng), PreconditionError);  // 2r > M
+  EXPECT_THROW(make_extra_capacity_instance(s, 2, 13, rng), PreconditionError);
+}
+
+}  // namespace
+}  // namespace rtsp

@@ -1,0 +1,87 @@
+#include "workload/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/delta.hpp"
+
+namespace rtsp {
+namespace {
+
+TEST(MinimumCapacities, TakesTheRowMaximum) {
+  ObjectCatalog objects({2, 3, 5});
+  ReplicationMatrix x_old(2, 3);
+  x_old.set(0, 0);  // server 0 uses 2
+  x_old.set(1, 2);  // server 1 uses 5
+  ReplicationMatrix x_new(2, 3);
+  x_new.set(0, 1);  // server 0 will use 3
+  x_new.set(0, 2);  // ... plus 5 = 8
+  const auto caps = minimum_capacities(objects, x_old, x_new);
+  EXPECT_EQ(caps, (std::vector<Size>{8, 5}));
+}
+
+class RandomInstanceSeeds : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomInstanceSeeds, SatisfiesItsOwnInvariants) {
+  Rng rng(GetParam());
+  RandomInstanceSpec spec;
+  spec.servers = 9;
+  spec.objects = 30;
+  spec.min_replicas = 1;
+  spec.max_replicas = 3;
+  const Instance inst = random_instance(spec, rng);
+  EXPECT_EQ(inst.model.num_servers(), 9u);
+  EXPECT_EQ(inst.model.num_objects(), 30u);
+  EXPECT_TRUE(storage_feasible(inst.model, inst.x_old));
+  EXPECT_TRUE(storage_feasible(inst.model, inst.x_new));
+  EXPECT_EQ(inst.x_old.overlap(inst.x_new), 0u);  // zero_overlap default
+  for (ObjectId k = 0; k < 30; ++k) {
+    const std::size_t r_old = inst.x_old.replica_count(k);
+    EXPECT_GE(r_old, 1u);
+    EXPECT_LE(r_old, 3u);
+    EXPECT_EQ(inst.x_new.replica_count(k), r_old);
+  }
+}
+
+TEST_P(RandomInstanceSeeds, OverlapAllowedWhenRequested) {
+  Rng rng(GetParam());
+  RandomInstanceSpec spec;
+  spec.zero_overlap = false;
+  spec.servers = 4;       // dense: overlap statistically certain
+  spec.objects = 40;
+  spec.min_replicas = 2;
+  spec.max_replicas = 2;
+  const Instance inst = random_instance(spec, rng);
+  EXPECT_GT(inst.x_old.overlap(inst.x_new), 0u);
+}
+
+TEST_P(RandomInstanceSeeds, SlackAddsFreeSpace) {
+  Rng rng(GetParam());
+  RandomInstanceSpec tight;
+  tight.capacity_slack = 0.0;
+  RandomInstanceSpec slack = tight;
+  slack.capacity_slack = 2.0;
+  Rng rng2 = rng;  // same stream: identical structure, different capacities
+  const Instance a = random_instance(tight, rng);
+  const Instance b = random_instance(slack, rng2);
+  for (ServerId i = 0; i < a.model.num_servers(); ++i) {
+    EXPECT_EQ(b.model.capacity(i),
+              a.model.capacity(i) + 2 * tight.max_object_size);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomInstanceSeeds, testing::Values(3, 5, 8, 21));
+
+TEST(RandomInstance, InvalidSpecsThrow) {
+  Rng rng(1);
+  RandomInstanceSpec spec;
+  spec.servers = 4;
+  spec.max_replicas = 3;  // needs 6 servers with zero overlap
+  EXPECT_THROW(random_instance(spec, rng), PreconditionError);
+  RandomInstanceSpec spec2;
+  spec2.min_replicas = 3;
+  spec2.max_replicas = 2;
+  EXPECT_THROW(random_instance(spec2, rng), PreconditionError);
+}
+
+}  // namespace
+}  // namespace rtsp

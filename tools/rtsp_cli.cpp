@@ -1,0 +1,8 @@
+// The `rtsp` command-line tool; all logic lives in src/cli/commands.cpp.
+#include <iostream>
+
+#include "cli/commands.hpp"
+
+int main(int argc, char** argv) {
+  return rtsp::cli::run_cli(argc, argv, std::cout, std::cerr);
+}

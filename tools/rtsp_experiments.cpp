@@ -1,0 +1,76 @@
+// One-shot experiment driver: runs every paper figure (Sec. 5) and writes a
+// markdown report plus per-figure CSV/JSON into an output directory — the
+// tool that regenerates the data behind EXPERIMENTS.md.
+//
+//   ./tools/rtsp_experiments [--out DIR] [--trials N] [--servers M]
+//                            [--objects N] [--seed S] [--threads T]
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "experiment/figures.hpp"
+#include "experiment/report.hpp"
+#include "io/json_export.hpp"
+#include "support/cli.hpp"
+#include "support/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rtsp;
+  const CliOptions cli(argc, argv);
+  const std::string out_dir =
+      cli.get_string("out", "RTSP_OUT", "experiment_results");
+  PaperSetup setup;
+  setup.servers = static_cast<std::size_t>(cli.get_int("servers", "RTSP_SERVERS", 50));
+  setup.objects = static_cast<std::size_t>(cli.get_int("objects", "RTSP_OBJECTS", 1000));
+  SweepConfig cfg;
+  cfg.trials = static_cast<std::size_t>(cli.get_int("trials", "RTSP_TRIALS", 5));
+  cfg.base_seed = static_cast<std::uint64_t>(cli.get_int("seed", "RTSP_SEED", 20070326));
+  cfg.threads = static_cast<std::size_t>(cli.get_int("threads", "RTSP_THREADS", 0));
+
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  if (ec) {
+    std::cerr << "cannot create output directory '" << out_dir
+              << "': " << ec.message() << '\n';
+    return 1;
+  }
+
+  std::ofstream report(out_dir + "/report.md");
+  report << "# RTSP paper-figure reproduction run\n\n"
+         << "Setup: " << setup.servers << " servers (BA tree, links 1-10), "
+         << setup.objects << " objects, a=1, " << cfg.trials
+         << " trials, base seed " << cfg.base_seed << ".\n\n";
+
+  Timer total;
+  for (const FigureSpec& fig : all_paper_figures(setup)) {
+    std::cout << "running " << fig.id << " (" << fig.title << ") ..."
+              << std::flush;
+    Timer timer;
+    cfg.algorithms = fig.algorithms;
+    const SweepResult result = run_sweep(fig.points, cfg);
+    std::cout << " " << static_cast<int>(timer.seconds()) << "s\n";
+
+    report << "## " << fig.id << " — " << fig.title << "\n\n```\n";
+    print_series(report, result, fig.headline, fig.x_label);
+    report << "```\n\n";
+
+    std::string slug = fig.id;  // "Fig 4" -> "fig4"
+    for (char& c : slug) c = (c == ' ') ? '\0' : static_cast<char>(::tolower(c));
+    slug.erase(std::remove(slug.begin(), slug.end(), '\0'), slug.end());
+
+    {
+      std::ofstream csv(out_dir + "/" + slug + ".csv");
+      csv << "metric," << fig.x_label
+          << ",algorithm,n,mean,stddev,stderr,min,max\n";
+      // write both headline + companion through the long-format writer
+      write_series_csv(csv, result, fig.headline, fig.x_label);
+    }
+    {
+      std::ofstream json(out_dir + "/" + slug + ".json");
+      sweep_to_json(json, result, fig.x_label);
+    }
+  }
+  report << "Total wall time: " << static_cast<int>(total.seconds()) << "s\n";
+  std::cout << "report written to " << out_dir << "/report.md\n";
+  return 0;
+}
