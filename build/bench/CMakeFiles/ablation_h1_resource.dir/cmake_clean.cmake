@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_h1_resource.dir/ablation_h1_resource.cpp.o"
+  "CMakeFiles/ablation_h1_resource.dir/ablation_h1_resource.cpp.o.d"
+  "ablation_h1_resource"
+  "ablation_h1_resource.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_h1_resource.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_op1_restart.dir/ablation_op1_restart.cpp.o"
+  "CMakeFiles/ablation_op1_restart.dir/ablation_op1_restart.cpp.o.d"
+  "ablation_op1_restart"
+  "ablation_op1_restart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_op1_restart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_sa.dir/baseline_sa.cpp.o"
+  "CMakeFiles/baseline_sa.dir/baseline_sa.cpp.o.d"
+  "baseline_sa"
+  "baseline_sa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_sa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

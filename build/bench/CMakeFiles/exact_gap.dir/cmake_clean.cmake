@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exact_gap.dir/exact_gap.cpp.o"
+  "CMakeFiles/exact_gap.dir/exact_gap.cpp.o.d"
+  "exact_gap"
+  "exact_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exact_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_deadline.dir/ext_deadline.cpp.o"
+  "CMakeFiles/ext_deadline.dir/ext_deadline.cpp.o.d"
+  "ext_deadline"
+  "ext_deadline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_deadline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

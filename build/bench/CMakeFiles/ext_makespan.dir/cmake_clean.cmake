@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_makespan.dir/ext_makespan.cpp.o"
+  "CMakeFiles/ext_makespan.dir/ext_makespan.cpp.o.d"
+  "ext_makespan"
+  "ext_makespan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_makespan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_dummy_vs_replicas.dir/fig4_dummy_vs_replicas.cpp.o"
+  "CMakeFiles/fig4_dummy_vs_replicas.dir/fig4_dummy_vs_replicas.cpp.o.d"
+  "fig4_dummy_vs_replicas"
+  "fig4_dummy_vs_replicas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_dummy_vs_replicas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_cost_vs_replicas.dir/fig5_cost_vs_replicas.cpp.o"
+  "CMakeFiles/fig5_cost_vs_replicas.dir/fig5_cost_vs_replicas.cpp.o.d"
+  "fig5_cost_vs_replicas"
+  "fig5_cost_vs_replicas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_cost_vs_replicas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_dummy_vs_replicas_unisize.dir/fig6_dummy_vs_replicas_unisize.cpp.o"
+  "CMakeFiles/fig6_dummy_vs_replicas_unisize.dir/fig6_dummy_vs_replicas_unisize.cpp.o.d"
+  "fig6_dummy_vs_replicas_unisize"
+  "fig6_dummy_vs_replicas_unisize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_dummy_vs_replicas_unisize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_cost_vs_replicas_unisize.dir/fig7_cost_vs_replicas_unisize.cpp.o"
+  "CMakeFiles/fig7_cost_vs_replicas_unisize.dir/fig7_cost_vs_replicas_unisize.cpp.o.d"
+  "fig7_cost_vs_replicas_unisize"
+  "fig7_cost_vs_replicas_unisize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_cost_vs_replicas_unisize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

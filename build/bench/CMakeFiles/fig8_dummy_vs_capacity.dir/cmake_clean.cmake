@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_dummy_vs_capacity.dir/fig8_dummy_vs_capacity.cpp.o"
+  "CMakeFiles/fig8_dummy_vs_capacity.dir/fig8_dummy_vs_capacity.cpp.o.d"
+  "fig8_dummy_vs_capacity"
+  "fig8_dummy_vs_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_dummy_vs_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig9_cost_vs_capacity.
+# This may be replaced when dependencies are built.

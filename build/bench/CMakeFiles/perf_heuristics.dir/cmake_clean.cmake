@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_heuristics.dir/perf_heuristics.cpp.o"
+  "CMakeFiles/perf_heuristics.dir/perf_heuristics.cpp.o.d"
+  "perf_heuristics"
+  "perf_heuristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_heuristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

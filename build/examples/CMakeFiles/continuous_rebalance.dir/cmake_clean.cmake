@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/continuous_rebalance.dir/continuous_rebalance.cpp.o"
+  "CMakeFiles/continuous_rebalance.dir/continuous_rebalance.cpp.o.d"
+  "continuous_rebalance"
+  "continuous_rebalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/continuous_rebalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_rebalance.dir/video_rebalance.cpp.o"
+  "CMakeFiles/video_rebalance.dir/video_rebalance.cpp.o.d"
+  "video_rebalance"
+  "video_rebalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_rebalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtsp_cli.dir/cli/commands.cpp.o"
+  "CMakeFiles/rtsp_cli.dir/cli/commands.cpp.o.d"
+  "librtsp_cli.a"
+  "librtsp_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtsp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/action.cpp" "src/CMakeFiles/rtsp_core.dir/core/action.cpp.o" "gcc" "src/CMakeFiles/rtsp_core.dir/core/action.cpp.o.d"
+  "/root/repo/src/core/catalog.cpp" "src/CMakeFiles/rtsp_core.dir/core/catalog.cpp.o" "gcc" "src/CMakeFiles/rtsp_core.dir/core/catalog.cpp.o.d"
+  "/root/repo/src/core/cost_model.cpp" "src/CMakeFiles/rtsp_core.dir/core/cost_model.cpp.o" "gcc" "src/CMakeFiles/rtsp_core.dir/core/cost_model.cpp.o.d"
+  "/root/repo/src/core/delta.cpp" "src/CMakeFiles/rtsp_core.dir/core/delta.cpp.o" "gcc" "src/CMakeFiles/rtsp_core.dir/core/delta.cpp.o.d"
+  "/root/repo/src/core/feasibility.cpp" "src/CMakeFiles/rtsp_core.dir/core/feasibility.cpp.o" "gcc" "src/CMakeFiles/rtsp_core.dir/core/feasibility.cpp.o.d"
+  "/root/repo/src/core/replication.cpp" "src/CMakeFiles/rtsp_core.dir/core/replication.cpp.o" "gcc" "src/CMakeFiles/rtsp_core.dir/core/replication.cpp.o.d"
+  "/root/repo/src/core/schedule.cpp" "src/CMakeFiles/rtsp_core.dir/core/schedule.cpp.o" "gcc" "src/CMakeFiles/rtsp_core.dir/core/schedule.cpp.o.d"
+  "/root/repo/src/core/schedule_stats.cpp" "src/CMakeFiles/rtsp_core.dir/core/schedule_stats.cpp.o" "gcc" "src/CMakeFiles/rtsp_core.dir/core/schedule_stats.cpp.o.d"
+  "/root/repo/src/core/state.cpp" "src/CMakeFiles/rtsp_core.dir/core/state.cpp.o" "gcc" "src/CMakeFiles/rtsp_core.dir/core/state.cpp.o.d"
+  "/root/repo/src/core/system.cpp" "src/CMakeFiles/rtsp_core.dir/core/system.cpp.o" "gcc" "src/CMakeFiles/rtsp_core.dir/core/system.cpp.o.d"
+  "/root/repo/src/core/transfer_graph.cpp" "src/CMakeFiles/rtsp_core.dir/core/transfer_graph.cpp.o" "gcc" "src/CMakeFiles/rtsp_core.dir/core/transfer_graph.cpp.o.d"
+  "/root/repo/src/core/validator.cpp" "src/CMakeFiles/rtsp_core.dir/core/validator.cpp.o" "gcc" "src/CMakeFiles/rtsp_core.dir/core/validator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rtsp_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtsp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtsp_core.dir/core/action.cpp.o"
+  "CMakeFiles/rtsp_core.dir/core/action.cpp.o.d"
+  "CMakeFiles/rtsp_core.dir/core/catalog.cpp.o"
+  "CMakeFiles/rtsp_core.dir/core/catalog.cpp.o.d"
+  "CMakeFiles/rtsp_core.dir/core/cost_model.cpp.o"
+  "CMakeFiles/rtsp_core.dir/core/cost_model.cpp.o.d"
+  "CMakeFiles/rtsp_core.dir/core/delta.cpp.o"
+  "CMakeFiles/rtsp_core.dir/core/delta.cpp.o.d"
+  "CMakeFiles/rtsp_core.dir/core/feasibility.cpp.o"
+  "CMakeFiles/rtsp_core.dir/core/feasibility.cpp.o.d"
+  "CMakeFiles/rtsp_core.dir/core/replication.cpp.o"
+  "CMakeFiles/rtsp_core.dir/core/replication.cpp.o.d"
+  "CMakeFiles/rtsp_core.dir/core/schedule.cpp.o"
+  "CMakeFiles/rtsp_core.dir/core/schedule.cpp.o.d"
+  "CMakeFiles/rtsp_core.dir/core/schedule_stats.cpp.o"
+  "CMakeFiles/rtsp_core.dir/core/schedule_stats.cpp.o.d"
+  "CMakeFiles/rtsp_core.dir/core/state.cpp.o"
+  "CMakeFiles/rtsp_core.dir/core/state.cpp.o.d"
+  "CMakeFiles/rtsp_core.dir/core/system.cpp.o"
+  "CMakeFiles/rtsp_core.dir/core/system.cpp.o.d"
+  "CMakeFiles/rtsp_core.dir/core/transfer_graph.cpp.o"
+  "CMakeFiles/rtsp_core.dir/core/transfer_graph.cpp.o.d"
+  "CMakeFiles/rtsp_core.dir/core/validator.cpp.o"
+  "CMakeFiles/rtsp_core.dir/core/validator.cpp.o.d"
+  "librtsp_core.a"
+  "librtsp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtsp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exact/branch_and_bound.cpp" "src/CMakeFiles/rtsp_exact.dir/exact/branch_and_bound.cpp.o" "gcc" "src/CMakeFiles/rtsp_exact.dir/exact/branch_and_bound.cpp.o.d"
+  "/root/repo/src/exact/knapsack.cpp" "src/CMakeFiles/rtsp_exact.dir/exact/knapsack.cpp.o" "gcc" "src/CMakeFiles/rtsp_exact.dir/exact/knapsack.cpp.o.d"
+  "/root/repo/src/exact/reduction.cpp" "src/CMakeFiles/rtsp_exact.dir/exact/reduction.cpp.o" "gcc" "src/CMakeFiles/rtsp_exact.dir/exact/reduction.cpp.o.d"
+  "/root/repo/src/exact/search_common.cpp" "src/CMakeFiles/rtsp_exact.dir/exact/search_common.cpp.o" "gcc" "src/CMakeFiles/rtsp_exact.dir/exact/search_common.cpp.o.d"
+  "/root/repo/src/exact/uniform_cost_search.cpp" "src/CMakeFiles/rtsp_exact.dir/exact/uniform_cost_search.cpp.o" "gcc" "src/CMakeFiles/rtsp_exact.dir/exact/uniform_cost_search.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rtsp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtsp_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtsp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtsp_exact.dir/exact/branch_and_bound.cpp.o"
+  "CMakeFiles/rtsp_exact.dir/exact/branch_and_bound.cpp.o.d"
+  "CMakeFiles/rtsp_exact.dir/exact/knapsack.cpp.o"
+  "CMakeFiles/rtsp_exact.dir/exact/knapsack.cpp.o.d"
+  "CMakeFiles/rtsp_exact.dir/exact/reduction.cpp.o"
+  "CMakeFiles/rtsp_exact.dir/exact/reduction.cpp.o.d"
+  "CMakeFiles/rtsp_exact.dir/exact/search_common.cpp.o"
+  "CMakeFiles/rtsp_exact.dir/exact/search_common.cpp.o.d"
+  "CMakeFiles/rtsp_exact.dir/exact/uniform_cost_search.cpp.o"
+  "CMakeFiles/rtsp_exact.dir/exact/uniform_cost_search.cpp.o.d"
+  "librtsp_exact.a"
+  "librtsp_exact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtsp_exact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

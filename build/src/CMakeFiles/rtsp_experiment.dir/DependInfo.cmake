@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/experiment/figures.cpp" "src/CMakeFiles/rtsp_experiment.dir/experiment/figures.cpp.o" "gcc" "src/CMakeFiles/rtsp_experiment.dir/experiment/figures.cpp.o.d"
+  "/root/repo/src/experiment/metrics.cpp" "src/CMakeFiles/rtsp_experiment.dir/experiment/metrics.cpp.o" "gcc" "src/CMakeFiles/rtsp_experiment.dir/experiment/metrics.cpp.o.d"
+  "/root/repo/src/experiment/report.cpp" "src/CMakeFiles/rtsp_experiment.dir/experiment/report.cpp.o" "gcc" "src/CMakeFiles/rtsp_experiment.dir/experiment/report.cpp.o.d"
+  "/root/repo/src/experiment/runner.cpp" "src/CMakeFiles/rtsp_experiment.dir/experiment/runner.cpp.o" "gcc" "src/CMakeFiles/rtsp_experiment.dir/experiment/runner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rtsp_heuristics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtsp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtsp_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtsp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtsp_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtsp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtsp_experiment.dir/experiment/figures.cpp.o"
+  "CMakeFiles/rtsp_experiment.dir/experiment/figures.cpp.o.d"
+  "CMakeFiles/rtsp_experiment.dir/experiment/metrics.cpp.o"
+  "CMakeFiles/rtsp_experiment.dir/experiment/metrics.cpp.o.d"
+  "CMakeFiles/rtsp_experiment.dir/experiment/report.cpp.o"
+  "CMakeFiles/rtsp_experiment.dir/experiment/report.cpp.o.d"
+  "CMakeFiles/rtsp_experiment.dir/experiment/runner.cpp.o"
+  "CMakeFiles/rtsp_experiment.dir/experiment/runner.cpp.o.d"
+  "librtsp_experiment.a"
+  "librtsp_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtsp_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/extension/deadline.cpp" "src/CMakeFiles/rtsp_extension.dir/extension/deadline.cpp.o" "gcc" "src/CMakeFiles/rtsp_extension.dir/extension/deadline.cpp.o.d"
+  "/root/repo/src/extension/dependency_graph.cpp" "src/CMakeFiles/rtsp_extension.dir/extension/dependency_graph.cpp.o" "gcc" "src/CMakeFiles/rtsp_extension.dir/extension/dependency_graph.cpp.o.d"
+  "/root/repo/src/extension/makespan.cpp" "src/CMakeFiles/rtsp_extension.dir/extension/makespan.cpp.o" "gcc" "src/CMakeFiles/rtsp_extension.dir/extension/makespan.cpp.o.d"
+  "/root/repo/src/extension/phases.cpp" "src/CMakeFiles/rtsp_extension.dir/extension/phases.cpp.o" "gcc" "src/CMakeFiles/rtsp_extension.dir/extension/phases.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rtsp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtsp_heuristics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtsp_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtsp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtsp_extension.dir/extension/deadline.cpp.o"
+  "CMakeFiles/rtsp_extension.dir/extension/deadline.cpp.o.d"
+  "CMakeFiles/rtsp_extension.dir/extension/dependency_graph.cpp.o"
+  "CMakeFiles/rtsp_extension.dir/extension/dependency_graph.cpp.o.d"
+  "CMakeFiles/rtsp_extension.dir/extension/makespan.cpp.o"
+  "CMakeFiles/rtsp_extension.dir/extension/makespan.cpp.o.d"
+  "CMakeFiles/rtsp_extension.dir/extension/phases.cpp.o"
+  "CMakeFiles/rtsp_extension.dir/extension/phases.cpp.o.d"
+  "librtsp_extension.a"
+  "librtsp_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtsp_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/heuristics/annealing.cpp" "src/CMakeFiles/rtsp_heuristics.dir/heuristics/annealing.cpp.o" "gcc" "src/CMakeFiles/rtsp_heuristics.dir/heuristics/annealing.cpp.o.d"
+  "/root/repo/src/heuristics/ar.cpp" "src/CMakeFiles/rtsp_heuristics.dir/heuristics/ar.cpp.o" "gcc" "src/CMakeFiles/rtsp_heuristics.dir/heuristics/ar.cpp.o.d"
+  "/root/repo/src/heuristics/builder_common.cpp" "src/CMakeFiles/rtsp_heuristics.dir/heuristics/builder_common.cpp.o" "gcc" "src/CMakeFiles/rtsp_heuristics.dir/heuristics/builder_common.cpp.o.d"
+  "/root/repo/src/heuristics/fixpoint.cpp" "src/CMakeFiles/rtsp_heuristics.dir/heuristics/fixpoint.cpp.o" "gcc" "src/CMakeFiles/rtsp_heuristics.dir/heuristics/fixpoint.cpp.o.d"
+  "/root/repo/src/heuristics/golcf.cpp" "src/CMakeFiles/rtsp_heuristics.dir/heuristics/golcf.cpp.o" "gcc" "src/CMakeFiles/rtsp_heuristics.dir/heuristics/golcf.cpp.o.d"
+  "/root/repo/src/heuristics/gsdf.cpp" "src/CMakeFiles/rtsp_heuristics.dir/heuristics/gsdf.cpp.o" "gcc" "src/CMakeFiles/rtsp_heuristics.dir/heuristics/gsdf.cpp.o.d"
+  "/root/repo/src/heuristics/h1.cpp" "src/CMakeFiles/rtsp_heuristics.dir/heuristics/h1.cpp.o" "gcc" "src/CMakeFiles/rtsp_heuristics.dir/heuristics/h1.cpp.o.d"
+  "/root/repo/src/heuristics/h2.cpp" "src/CMakeFiles/rtsp_heuristics.dir/heuristics/h2.cpp.o" "gcc" "src/CMakeFiles/rtsp_heuristics.dir/heuristics/h2.cpp.o.d"
+  "/root/repo/src/heuristics/op1.cpp" "src/CMakeFiles/rtsp_heuristics.dir/heuristics/op1.cpp.o" "gcc" "src/CMakeFiles/rtsp_heuristics.dir/heuristics/op1.cpp.o.d"
+  "/root/repo/src/heuristics/pipeline.cpp" "src/CMakeFiles/rtsp_heuristics.dir/heuristics/pipeline.cpp.o" "gcc" "src/CMakeFiles/rtsp_heuristics.dir/heuristics/pipeline.cpp.o.d"
+  "/root/repo/src/heuristics/rdf.cpp" "src/CMakeFiles/rtsp_heuristics.dir/heuristics/rdf.cpp.o" "gcc" "src/CMakeFiles/rtsp_heuristics.dir/heuristics/rdf.cpp.o.d"
+  "/root/repo/src/heuristics/registry.cpp" "src/CMakeFiles/rtsp_heuristics.dir/heuristics/registry.cpp.o" "gcc" "src/CMakeFiles/rtsp_heuristics.dir/heuristics/registry.cpp.o.d"
+  "/root/repo/src/heuristics/surgery.cpp" "src/CMakeFiles/rtsp_heuristics.dir/heuristics/surgery.cpp.o" "gcc" "src/CMakeFiles/rtsp_heuristics.dir/heuristics/surgery.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rtsp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtsp_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtsp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

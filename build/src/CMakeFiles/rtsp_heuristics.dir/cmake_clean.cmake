@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtsp_heuristics.dir/heuristics/annealing.cpp.o"
+  "CMakeFiles/rtsp_heuristics.dir/heuristics/annealing.cpp.o.d"
+  "CMakeFiles/rtsp_heuristics.dir/heuristics/ar.cpp.o"
+  "CMakeFiles/rtsp_heuristics.dir/heuristics/ar.cpp.o.d"
+  "CMakeFiles/rtsp_heuristics.dir/heuristics/builder_common.cpp.o"
+  "CMakeFiles/rtsp_heuristics.dir/heuristics/builder_common.cpp.o.d"
+  "CMakeFiles/rtsp_heuristics.dir/heuristics/fixpoint.cpp.o"
+  "CMakeFiles/rtsp_heuristics.dir/heuristics/fixpoint.cpp.o.d"
+  "CMakeFiles/rtsp_heuristics.dir/heuristics/golcf.cpp.o"
+  "CMakeFiles/rtsp_heuristics.dir/heuristics/golcf.cpp.o.d"
+  "CMakeFiles/rtsp_heuristics.dir/heuristics/gsdf.cpp.o"
+  "CMakeFiles/rtsp_heuristics.dir/heuristics/gsdf.cpp.o.d"
+  "CMakeFiles/rtsp_heuristics.dir/heuristics/h1.cpp.o"
+  "CMakeFiles/rtsp_heuristics.dir/heuristics/h1.cpp.o.d"
+  "CMakeFiles/rtsp_heuristics.dir/heuristics/h2.cpp.o"
+  "CMakeFiles/rtsp_heuristics.dir/heuristics/h2.cpp.o.d"
+  "CMakeFiles/rtsp_heuristics.dir/heuristics/op1.cpp.o"
+  "CMakeFiles/rtsp_heuristics.dir/heuristics/op1.cpp.o.d"
+  "CMakeFiles/rtsp_heuristics.dir/heuristics/pipeline.cpp.o"
+  "CMakeFiles/rtsp_heuristics.dir/heuristics/pipeline.cpp.o.d"
+  "CMakeFiles/rtsp_heuristics.dir/heuristics/rdf.cpp.o"
+  "CMakeFiles/rtsp_heuristics.dir/heuristics/rdf.cpp.o.d"
+  "CMakeFiles/rtsp_heuristics.dir/heuristics/registry.cpp.o"
+  "CMakeFiles/rtsp_heuristics.dir/heuristics/registry.cpp.o.d"
+  "CMakeFiles/rtsp_heuristics.dir/heuristics/surgery.cpp.o"
+  "CMakeFiles/rtsp_heuristics.dir/heuristics/surgery.cpp.o.d"
+  "librtsp_heuristics.a"
+  "librtsp_heuristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtsp_heuristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

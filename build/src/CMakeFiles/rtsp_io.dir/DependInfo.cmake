@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/dot_export.cpp" "src/CMakeFiles/rtsp_io.dir/io/dot_export.cpp.o" "gcc" "src/CMakeFiles/rtsp_io.dir/io/dot_export.cpp.o.d"
+  "/root/repo/src/io/instance_io.cpp" "src/CMakeFiles/rtsp_io.dir/io/instance_io.cpp.o" "gcc" "src/CMakeFiles/rtsp_io.dir/io/instance_io.cpp.o.d"
+  "/root/repo/src/io/json_export.cpp" "src/CMakeFiles/rtsp_io.dir/io/json_export.cpp.o" "gcc" "src/CMakeFiles/rtsp_io.dir/io/json_export.cpp.o.d"
+  "/root/repo/src/io/schedule_io.cpp" "src/CMakeFiles/rtsp_io.dir/io/schedule_io.cpp.o" "gcc" "src/CMakeFiles/rtsp_io.dir/io/schedule_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rtsp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtsp_experiment.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtsp_heuristics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtsp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtsp_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtsp_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtsp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

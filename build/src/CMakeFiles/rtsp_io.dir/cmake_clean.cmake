@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtsp_io.dir/io/dot_export.cpp.o"
+  "CMakeFiles/rtsp_io.dir/io/dot_export.cpp.o.d"
+  "CMakeFiles/rtsp_io.dir/io/instance_io.cpp.o"
+  "CMakeFiles/rtsp_io.dir/io/instance_io.cpp.o.d"
+  "CMakeFiles/rtsp_io.dir/io/json_export.cpp.o"
+  "CMakeFiles/rtsp_io.dir/io/json_export.cpp.o.d"
+  "CMakeFiles/rtsp_io.dir/io/schedule_io.cpp.o"
+  "CMakeFiles/rtsp_io.dir/io/schedule_io.cpp.o.d"
+  "librtsp_io.a"
+  "librtsp_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtsp_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librtsp_io.a"
+)

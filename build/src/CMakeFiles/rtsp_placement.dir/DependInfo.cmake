@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/placement/access_cost.cpp" "src/CMakeFiles/rtsp_placement.dir/placement/access_cost.cpp.o" "gcc" "src/CMakeFiles/rtsp_placement.dir/placement/access_cost.cpp.o.d"
+  "/root/repo/src/placement/greedy_place.cpp" "src/CMakeFiles/rtsp_placement.dir/placement/greedy_place.cpp.o" "gcc" "src/CMakeFiles/rtsp_placement.dir/placement/greedy_place.cpp.o.d"
+  "/root/repo/src/placement/zipf.cpp" "src/CMakeFiles/rtsp_placement.dir/placement/zipf.cpp.o" "gcc" "src/CMakeFiles/rtsp_placement.dir/placement/zipf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rtsp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtsp_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtsp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

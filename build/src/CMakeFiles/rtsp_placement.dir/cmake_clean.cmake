@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtsp_placement.dir/placement/access_cost.cpp.o"
+  "CMakeFiles/rtsp_placement.dir/placement/access_cost.cpp.o.d"
+  "CMakeFiles/rtsp_placement.dir/placement/greedy_place.cpp.o"
+  "CMakeFiles/rtsp_placement.dir/placement/greedy_place.cpp.o.d"
+  "CMakeFiles/rtsp_placement.dir/placement/zipf.cpp.o"
+  "CMakeFiles/rtsp_placement.dir/placement/zipf.cpp.o.d"
+  "librtsp_placement.a"
+  "librtsp_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtsp_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/cli.cpp" "src/CMakeFiles/rtsp_support.dir/support/cli.cpp.o" "gcc" "src/CMakeFiles/rtsp_support.dir/support/cli.cpp.o.d"
+  "/root/repo/src/support/csv.cpp" "src/CMakeFiles/rtsp_support.dir/support/csv.cpp.o" "gcc" "src/CMakeFiles/rtsp_support.dir/support/csv.cpp.o.d"
+  "/root/repo/src/support/histogram.cpp" "src/CMakeFiles/rtsp_support.dir/support/histogram.cpp.o" "gcc" "src/CMakeFiles/rtsp_support.dir/support/histogram.cpp.o.d"
+  "/root/repo/src/support/rng.cpp" "src/CMakeFiles/rtsp_support.dir/support/rng.cpp.o" "gcc" "src/CMakeFiles/rtsp_support.dir/support/rng.cpp.o.d"
+  "/root/repo/src/support/stats.cpp" "src/CMakeFiles/rtsp_support.dir/support/stats.cpp.o" "gcc" "src/CMakeFiles/rtsp_support.dir/support/stats.cpp.o.d"
+  "/root/repo/src/support/string_util.cpp" "src/CMakeFiles/rtsp_support.dir/support/string_util.cpp.o" "gcc" "src/CMakeFiles/rtsp_support.dir/support/string_util.cpp.o.d"
+  "/root/repo/src/support/table.cpp" "src/CMakeFiles/rtsp_support.dir/support/table.cpp.o" "gcc" "src/CMakeFiles/rtsp_support.dir/support/table.cpp.o.d"
+  "/root/repo/src/support/thread_pool.cpp" "src/CMakeFiles/rtsp_support.dir/support/thread_pool.cpp.o" "gcc" "src/CMakeFiles/rtsp_support.dir/support/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

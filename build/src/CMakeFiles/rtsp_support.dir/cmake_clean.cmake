@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtsp_support.dir/support/cli.cpp.o"
+  "CMakeFiles/rtsp_support.dir/support/cli.cpp.o.d"
+  "CMakeFiles/rtsp_support.dir/support/csv.cpp.o"
+  "CMakeFiles/rtsp_support.dir/support/csv.cpp.o.d"
+  "CMakeFiles/rtsp_support.dir/support/histogram.cpp.o"
+  "CMakeFiles/rtsp_support.dir/support/histogram.cpp.o.d"
+  "CMakeFiles/rtsp_support.dir/support/rng.cpp.o"
+  "CMakeFiles/rtsp_support.dir/support/rng.cpp.o.d"
+  "CMakeFiles/rtsp_support.dir/support/stats.cpp.o"
+  "CMakeFiles/rtsp_support.dir/support/stats.cpp.o.d"
+  "CMakeFiles/rtsp_support.dir/support/string_util.cpp.o"
+  "CMakeFiles/rtsp_support.dir/support/string_util.cpp.o.d"
+  "CMakeFiles/rtsp_support.dir/support/table.cpp.o"
+  "CMakeFiles/rtsp_support.dir/support/table.cpp.o.d"
+  "CMakeFiles/rtsp_support.dir/support/thread_pool.cpp.o"
+  "CMakeFiles/rtsp_support.dir/support/thread_pool.cpp.o.d"
+  "librtsp_support.a"
+  "librtsp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtsp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/cost_matrix.cpp" "src/CMakeFiles/rtsp_topology.dir/topology/cost_matrix.cpp.o" "gcc" "src/CMakeFiles/rtsp_topology.dir/topology/cost_matrix.cpp.o.d"
+  "/root/repo/src/topology/generators.cpp" "src/CMakeFiles/rtsp_topology.dir/topology/generators.cpp.o" "gcc" "src/CMakeFiles/rtsp_topology.dir/topology/generators.cpp.o.d"
+  "/root/repo/src/topology/graph.cpp" "src/CMakeFiles/rtsp_topology.dir/topology/graph.cpp.o" "gcc" "src/CMakeFiles/rtsp_topology.dir/topology/graph.cpp.o.d"
+  "/root/repo/src/topology/shortest_paths.cpp" "src/CMakeFiles/rtsp_topology.dir/topology/shortest_paths.cpp.o" "gcc" "src/CMakeFiles/rtsp_topology.dir/topology/shortest_paths.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rtsp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

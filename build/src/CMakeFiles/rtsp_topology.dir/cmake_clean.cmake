@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtsp_topology.dir/topology/cost_matrix.cpp.o"
+  "CMakeFiles/rtsp_topology.dir/topology/cost_matrix.cpp.o.d"
+  "CMakeFiles/rtsp_topology.dir/topology/generators.cpp.o"
+  "CMakeFiles/rtsp_topology.dir/topology/generators.cpp.o.d"
+  "CMakeFiles/rtsp_topology.dir/topology/graph.cpp.o"
+  "CMakeFiles/rtsp_topology.dir/topology/graph.cpp.o.d"
+  "CMakeFiles/rtsp_topology.dir/topology/shortest_paths.cpp.o"
+  "CMakeFiles/rtsp_topology.dir/topology/shortest_paths.cpp.o.d"
+  "librtsp_topology.a"
+  "librtsp_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtsp_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

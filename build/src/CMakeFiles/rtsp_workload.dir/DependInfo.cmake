@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/balanced_placement.cpp" "src/CMakeFiles/rtsp_workload.dir/workload/balanced_placement.cpp.o" "gcc" "src/CMakeFiles/rtsp_workload.dir/workload/balanced_placement.cpp.o.d"
+  "/root/repo/src/workload/drift.cpp" "src/CMakeFiles/rtsp_workload.dir/workload/drift.cpp.o" "gcc" "src/CMakeFiles/rtsp_workload.dir/workload/drift.cpp.o.d"
+  "/root/repo/src/workload/paper_setup.cpp" "src/CMakeFiles/rtsp_workload.dir/workload/paper_setup.cpp.o" "gcc" "src/CMakeFiles/rtsp_workload.dir/workload/paper_setup.cpp.o.d"
+  "/root/repo/src/workload/scenario.cpp" "src/CMakeFiles/rtsp_workload.dir/workload/scenario.cpp.o" "gcc" "src/CMakeFiles/rtsp_workload.dir/workload/scenario.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rtsp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtsp_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtsp_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtsp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtsp_workload.dir/workload/balanced_placement.cpp.o"
+  "CMakeFiles/rtsp_workload.dir/workload/balanced_placement.cpp.o.d"
+  "CMakeFiles/rtsp_workload.dir/workload/drift.cpp.o"
+  "CMakeFiles/rtsp_workload.dir/workload/drift.cpp.o.d"
+  "CMakeFiles/rtsp_workload.dir/workload/paper_setup.cpp.o"
+  "CMakeFiles/rtsp_workload.dir/workload/paper_setup.cpp.o.d"
+  "CMakeFiles/rtsp_workload.dir/workload/scenario.cpp.o"
+  "CMakeFiles/rtsp_workload.dir/workload/scenario.cpp.o.d"
+  "librtsp_workload.a"
+  "librtsp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtsp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtsp_cli_tests.dir/cli_commands_test.cpp.o"
+  "CMakeFiles/rtsp_cli_tests.dir/cli_commands_test.cpp.o.d"
+  "rtsp_cli_tests"
+  "rtsp_cli_tests.pdb"
+  "rtsp_cli_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtsp_cli_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_action_schedule_test.cpp" "tests/CMakeFiles/rtsp_core_tests.dir/core_action_schedule_test.cpp.o" "gcc" "tests/CMakeFiles/rtsp_core_tests.dir/core_action_schedule_test.cpp.o.d"
+  "/root/repo/tests/core_cost_delta_test.cpp" "tests/CMakeFiles/rtsp_core_tests.dir/core_cost_delta_test.cpp.o" "gcc" "tests/CMakeFiles/rtsp_core_tests.dir/core_cost_delta_test.cpp.o.d"
+  "/root/repo/tests/core_feasibility_test.cpp" "tests/CMakeFiles/rtsp_core_tests.dir/core_feasibility_test.cpp.o" "gcc" "tests/CMakeFiles/rtsp_core_tests.dir/core_feasibility_test.cpp.o.d"
+  "/root/repo/tests/core_replication_test.cpp" "tests/CMakeFiles/rtsp_core_tests.dir/core_replication_test.cpp.o" "gcc" "tests/CMakeFiles/rtsp_core_tests.dir/core_replication_test.cpp.o.d"
+  "/root/repo/tests/core_schedule_stats_test.cpp" "tests/CMakeFiles/rtsp_core_tests.dir/core_schedule_stats_test.cpp.o" "gcc" "tests/CMakeFiles/rtsp_core_tests.dir/core_schedule_stats_test.cpp.o.d"
+  "/root/repo/tests/core_state_test.cpp" "tests/CMakeFiles/rtsp_core_tests.dir/core_state_test.cpp.o" "gcc" "tests/CMakeFiles/rtsp_core_tests.dir/core_state_test.cpp.o.d"
+  "/root/repo/tests/core_system_test.cpp" "tests/CMakeFiles/rtsp_core_tests.dir/core_system_test.cpp.o" "gcc" "tests/CMakeFiles/rtsp_core_tests.dir/core_system_test.cpp.o.d"
+  "/root/repo/tests/core_transfer_graph_test.cpp" "tests/CMakeFiles/rtsp_core_tests.dir/core_transfer_graph_test.cpp.o" "gcc" "tests/CMakeFiles/rtsp_core_tests.dir/core_transfer_graph_test.cpp.o.d"
+  "/root/repo/tests/core_validator_test.cpp" "tests/CMakeFiles/rtsp_core_tests.dir/core_validator_test.cpp.o" "gcc" "tests/CMakeFiles/rtsp_core_tests.dir/core_validator_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rtsp_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtsp_exact.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtsp_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtsp_experiment.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtsp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtsp_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtsp_extension.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtsp_heuristics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtsp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtsp_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtsp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

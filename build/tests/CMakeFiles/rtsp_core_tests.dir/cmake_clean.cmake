@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtsp_core_tests.dir/core_action_schedule_test.cpp.o"
+  "CMakeFiles/rtsp_core_tests.dir/core_action_schedule_test.cpp.o.d"
+  "CMakeFiles/rtsp_core_tests.dir/core_cost_delta_test.cpp.o"
+  "CMakeFiles/rtsp_core_tests.dir/core_cost_delta_test.cpp.o.d"
+  "CMakeFiles/rtsp_core_tests.dir/core_feasibility_test.cpp.o"
+  "CMakeFiles/rtsp_core_tests.dir/core_feasibility_test.cpp.o.d"
+  "CMakeFiles/rtsp_core_tests.dir/core_replication_test.cpp.o"
+  "CMakeFiles/rtsp_core_tests.dir/core_replication_test.cpp.o.d"
+  "CMakeFiles/rtsp_core_tests.dir/core_schedule_stats_test.cpp.o"
+  "CMakeFiles/rtsp_core_tests.dir/core_schedule_stats_test.cpp.o.d"
+  "CMakeFiles/rtsp_core_tests.dir/core_state_test.cpp.o"
+  "CMakeFiles/rtsp_core_tests.dir/core_state_test.cpp.o.d"
+  "CMakeFiles/rtsp_core_tests.dir/core_system_test.cpp.o"
+  "CMakeFiles/rtsp_core_tests.dir/core_system_test.cpp.o.d"
+  "CMakeFiles/rtsp_core_tests.dir/core_transfer_graph_test.cpp.o"
+  "CMakeFiles/rtsp_core_tests.dir/core_transfer_graph_test.cpp.o.d"
+  "CMakeFiles/rtsp_core_tests.dir/core_validator_test.cpp.o"
+  "CMakeFiles/rtsp_core_tests.dir/core_validator_test.cpp.o.d"
+  "rtsp_core_tests"
+  "rtsp_core_tests.pdb"
+  "rtsp_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtsp_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

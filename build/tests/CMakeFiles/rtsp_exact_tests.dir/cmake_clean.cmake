@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtsp_exact_tests.dir/exact_bnb_test.cpp.o"
+  "CMakeFiles/rtsp_exact_tests.dir/exact_bnb_test.cpp.o.d"
+  "CMakeFiles/rtsp_exact_tests.dir/exact_knapsack_test.cpp.o"
+  "CMakeFiles/rtsp_exact_tests.dir/exact_knapsack_test.cpp.o.d"
+  "CMakeFiles/rtsp_exact_tests.dir/exact_reduction_test.cpp.o"
+  "CMakeFiles/rtsp_exact_tests.dir/exact_reduction_test.cpp.o.d"
+  "CMakeFiles/rtsp_exact_tests.dir/exact_ucs_test.cpp.o"
+  "CMakeFiles/rtsp_exact_tests.dir/exact_ucs_test.cpp.o.d"
+  "rtsp_exact_tests"
+  "rtsp_exact_tests.pdb"
+  "rtsp_exact_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtsp_exact_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/experiment_runner_test.cpp" "tests/CMakeFiles/rtsp_experiment_tests.dir/experiment_runner_test.cpp.o" "gcc" "tests/CMakeFiles/rtsp_experiment_tests.dir/experiment_runner_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rtsp_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtsp_exact.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtsp_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtsp_experiment.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtsp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtsp_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtsp_extension.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtsp_heuristics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtsp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtsp_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtsp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtsp_experiment_tests.dir/experiment_runner_test.cpp.o"
+  "CMakeFiles/rtsp_experiment_tests.dir/experiment_runner_test.cpp.o.d"
+  "rtsp_experiment_tests"
+  "rtsp_experiment_tests.pdb"
+  "rtsp_experiment_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtsp_experiment_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtsp_extension_tests.dir/extension_deadline_test.cpp.o"
+  "CMakeFiles/rtsp_extension_tests.dir/extension_deadline_test.cpp.o.d"
+  "CMakeFiles/rtsp_extension_tests.dir/extension_dependency_test.cpp.o"
+  "CMakeFiles/rtsp_extension_tests.dir/extension_dependency_test.cpp.o.d"
+  "CMakeFiles/rtsp_extension_tests.dir/extension_makespan_test.cpp.o"
+  "CMakeFiles/rtsp_extension_tests.dir/extension_makespan_test.cpp.o.d"
+  "CMakeFiles/rtsp_extension_tests.dir/extension_phases_test.cpp.o"
+  "CMakeFiles/rtsp_extension_tests.dir/extension_phases_test.cpp.o.d"
+  "rtsp_extension_tests"
+  "rtsp_extension_tests.pdb"
+  "rtsp_extension_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtsp_extension_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtsp_heuristics_tests.dir/heuristics_builders_test.cpp.o"
+  "CMakeFiles/rtsp_heuristics_tests.dir/heuristics_builders_test.cpp.o.d"
+  "CMakeFiles/rtsp_heuristics_tests.dir/heuristics_extensions_test.cpp.o"
+  "CMakeFiles/rtsp_heuristics_tests.dir/heuristics_extensions_test.cpp.o.d"
+  "CMakeFiles/rtsp_heuristics_tests.dir/heuristics_h1_test.cpp.o"
+  "CMakeFiles/rtsp_heuristics_tests.dir/heuristics_h1_test.cpp.o.d"
+  "CMakeFiles/rtsp_heuristics_tests.dir/heuristics_h2_test.cpp.o"
+  "CMakeFiles/rtsp_heuristics_tests.dir/heuristics_h2_test.cpp.o.d"
+  "CMakeFiles/rtsp_heuristics_tests.dir/heuristics_op1_test.cpp.o"
+  "CMakeFiles/rtsp_heuristics_tests.dir/heuristics_op1_test.cpp.o.d"
+  "CMakeFiles/rtsp_heuristics_tests.dir/heuristics_pipeline_test.cpp.o"
+  "CMakeFiles/rtsp_heuristics_tests.dir/heuristics_pipeline_test.cpp.o.d"
+  "CMakeFiles/rtsp_heuristics_tests.dir/heuristics_surgery_test.cpp.o"
+  "CMakeFiles/rtsp_heuristics_tests.dir/heuristics_surgery_test.cpp.o.d"
+  "rtsp_heuristics_tests"
+  "rtsp_heuristics_tests.pdb"
+  "rtsp_heuristics_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtsp_heuristics_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

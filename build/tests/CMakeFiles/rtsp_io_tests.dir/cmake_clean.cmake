@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtsp_io_tests.dir/io_dot_test.cpp.o"
+  "CMakeFiles/rtsp_io_tests.dir/io_dot_test.cpp.o.d"
+  "CMakeFiles/rtsp_io_tests.dir/io_instance_test.cpp.o"
+  "CMakeFiles/rtsp_io_tests.dir/io_instance_test.cpp.o.d"
+  "CMakeFiles/rtsp_io_tests.dir/io_json_test.cpp.o"
+  "CMakeFiles/rtsp_io_tests.dir/io_json_test.cpp.o.d"
+  "CMakeFiles/rtsp_io_tests.dir/io_schedule_test.cpp.o"
+  "CMakeFiles/rtsp_io_tests.dir/io_schedule_test.cpp.o.d"
+  "rtsp_io_tests"
+  "rtsp_io_tests.pdb"
+  "rtsp_io_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtsp_io_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtsp_paper_examples_tests.dir/paper_fig1_test.cpp.o"
+  "CMakeFiles/rtsp_paper_examples_tests.dir/paper_fig1_test.cpp.o.d"
+  "CMakeFiles/rtsp_paper_examples_tests.dir/paper_fig3_test.cpp.o"
+  "CMakeFiles/rtsp_paper_examples_tests.dir/paper_fig3_test.cpp.o.d"
+  "rtsp_paper_examples_tests"
+  "rtsp_paper_examples_tests.pdb"
+  "rtsp_paper_examples_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtsp_paper_examples_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

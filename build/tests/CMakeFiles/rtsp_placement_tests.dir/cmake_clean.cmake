@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtsp_placement_tests.dir/placement_test.cpp.o"
+  "CMakeFiles/rtsp_placement_tests.dir/placement_test.cpp.o.d"
+  "rtsp_placement_tests"
+  "rtsp_placement_tests.pdb"
+  "rtsp_placement_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtsp_placement_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtsp_property_tests.dir/differential_test.cpp.o"
+  "CMakeFiles/rtsp_property_tests.dir/differential_test.cpp.o.d"
+  "CMakeFiles/rtsp_property_tests.dir/property_suite_test.cpp.o"
+  "CMakeFiles/rtsp_property_tests.dir/property_suite_test.cpp.o.d"
+  "rtsp_property_tests"
+  "rtsp_property_tests.pdb"
+  "rtsp_property_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtsp_property_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtsp_reproduction_tests.dir/reproduction_test.cpp.o"
+  "CMakeFiles/rtsp_reproduction_tests.dir/reproduction_test.cpp.o.d"
+  "rtsp_reproduction_tests"
+  "rtsp_reproduction_tests.pdb"
+  "rtsp_reproduction_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtsp_reproduction_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtsp_support_tests.dir/support_cli_test.cpp.o"
+  "CMakeFiles/rtsp_support_tests.dir/support_cli_test.cpp.o.d"
+  "CMakeFiles/rtsp_support_tests.dir/support_csv_test.cpp.o"
+  "CMakeFiles/rtsp_support_tests.dir/support_csv_test.cpp.o.d"
+  "CMakeFiles/rtsp_support_tests.dir/support_histogram_test.cpp.o"
+  "CMakeFiles/rtsp_support_tests.dir/support_histogram_test.cpp.o.d"
+  "CMakeFiles/rtsp_support_tests.dir/support_rng_test.cpp.o"
+  "CMakeFiles/rtsp_support_tests.dir/support_rng_test.cpp.o.d"
+  "CMakeFiles/rtsp_support_tests.dir/support_stats_test.cpp.o"
+  "CMakeFiles/rtsp_support_tests.dir/support_stats_test.cpp.o.d"
+  "CMakeFiles/rtsp_support_tests.dir/support_string_test.cpp.o"
+  "CMakeFiles/rtsp_support_tests.dir/support_string_test.cpp.o.d"
+  "CMakeFiles/rtsp_support_tests.dir/support_table_test.cpp.o"
+  "CMakeFiles/rtsp_support_tests.dir/support_table_test.cpp.o.d"
+  "CMakeFiles/rtsp_support_tests.dir/support_thread_pool_test.cpp.o"
+  "CMakeFiles/rtsp_support_tests.dir/support_thread_pool_test.cpp.o.d"
+  "rtsp_support_tests"
+  "rtsp_support_tests.pdb"
+  "rtsp_support_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtsp_support_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtsp_topology_tests.dir/topology_cost_matrix_test.cpp.o"
+  "CMakeFiles/rtsp_topology_tests.dir/topology_cost_matrix_test.cpp.o.d"
+  "CMakeFiles/rtsp_topology_tests.dir/topology_generators_test.cpp.o"
+  "CMakeFiles/rtsp_topology_tests.dir/topology_generators_test.cpp.o.d"
+  "CMakeFiles/rtsp_topology_tests.dir/topology_graph_test.cpp.o"
+  "CMakeFiles/rtsp_topology_tests.dir/topology_graph_test.cpp.o.d"
+  "CMakeFiles/rtsp_topology_tests.dir/topology_shortest_paths_test.cpp.o"
+  "CMakeFiles/rtsp_topology_tests.dir/topology_shortest_paths_test.cpp.o.d"
+  "rtsp_topology_tests"
+  "rtsp_topology_tests.pdb"
+  "rtsp_topology_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtsp_topology_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtsp_workload_tests.dir/workload_balanced_test.cpp.o"
+  "CMakeFiles/rtsp_workload_tests.dir/workload_balanced_test.cpp.o.d"
+  "CMakeFiles/rtsp_workload_tests.dir/workload_drift_test.cpp.o"
+  "CMakeFiles/rtsp_workload_tests.dir/workload_drift_test.cpp.o.d"
+  "CMakeFiles/rtsp_workload_tests.dir/workload_paper_setup_test.cpp.o"
+  "CMakeFiles/rtsp_workload_tests.dir/workload_paper_setup_test.cpp.o.d"
+  "CMakeFiles/rtsp_workload_tests.dir/workload_scenario_test.cpp.o"
+  "CMakeFiles/rtsp_workload_tests.dir/workload_scenario_test.cpp.o.d"
+  "rtsp_workload_tests"
+  "rtsp_workload_tests.pdb"
+  "rtsp_workload_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtsp_workload_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/rtsp_support_tests[1]_include.cmake")
+include("/root/repo/build/tests/rtsp_topology_tests[1]_include.cmake")
+include("/root/repo/build/tests/rtsp_core_tests[1]_include.cmake")
+include("/root/repo/build/tests/rtsp_heuristics_tests[1]_include.cmake")
+include("/root/repo/build/tests/rtsp_paper_examples_tests[1]_include.cmake")
+include("/root/repo/build/tests/rtsp_exact_tests[1]_include.cmake")
+include("/root/repo/build/tests/rtsp_workload_tests[1]_include.cmake")
+include("/root/repo/build/tests/rtsp_placement_tests[1]_include.cmake")
+include("/root/repo/build/tests/rtsp_experiment_tests[1]_include.cmake")
+include("/root/repo/build/tests/rtsp_reproduction_tests[1]_include.cmake")
+include("/root/repo/build/tests/rtsp_io_tests[1]_include.cmake")
+include("/root/repo/build/tests/rtsp_extension_tests[1]_include.cmake")
+include("/root/repo/build/tests/rtsp_cli_tests[1]_include.cmake")
+include("/root/repo/build/tests/rtsp_property_tests[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtsp_experiments.dir/rtsp_experiments.cpp.o"
+  "CMakeFiles/rtsp_experiments.dir/rtsp_experiments.cpp.o.d"
+  "rtsp_experiments"
+  "rtsp_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtsp_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtsp_tool.dir/rtsp_cli.cpp.o"
+  "CMakeFiles/rtsp_tool.dir/rtsp_cli.cpp.o.d"
+  "rtsp"
+  "rtsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtsp_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
