@@ -1,7 +1,15 @@
 // Google-benchmark microbenchmarks: runtime scaling of the schedule
 // builders and improvers with instance size (servers fixed at the paper's
 // 50; objects and replicas swept).
+//
+// `--json PATH` writes the google-benchmark JSON report to PATH (shorthand
+// for --benchmark_out=PATH --benchmark_out_format=json); the `perf` CMake
+// target uses it to refresh BENCH_perf_heuristics.json at the repo root.
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "core/cost_model.hpp"
 #include "core/validator.hpp"
@@ -80,8 +88,31 @@ BENCHMARK(BM_Builder_GOLCF)
 BENCHMARK(BM_Builder_RDF)->Args({1000, 2})->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Builder_GSDF)->Args({1000, 2})->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Chain_H1H2)->Args({250, 1})->Args({250, 2})->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Chain_Full)->Args({250, 2})->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Chain_Full)
+    ->Args({250, 2})
+    ->Args({1000, 3})  // the paper's Fig. 5 workload; tracked in EXPERIMENTS.md
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Validator)->Arg(250)->Arg(1000)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_ScheduleCost)->Unit(benchmark::kMicrosecond);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Expand --json PATH before google-benchmark parses the command line.
+  std::vector<char*> args;
+  std::vector<std::string> storage;
+  storage.reserve(static_cast<std::size_t>(argc) + 2);
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      storage.push_back(std::string("--benchmark_out=") + argv[++i]);
+      storage.push_back("--benchmark_out_format=json");
+    } else {
+      storage.push_back(argv[i]);
+    }
+  }
+  for (std::string& s : storage) args.push_back(s.data());
+  int fake_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&fake_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(fake_argc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

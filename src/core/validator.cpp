@@ -1,5 +1,6 @@
 #include "core/validator.hpp"
 
+#include <bit>
 #include <sstream>
 
 namespace rtsp {
@@ -31,19 +32,27 @@ ValidationResult Validator::validate(const SystemModel& model,
     }
   }
   if (!(state.placement() == x_new)) {
-    // Point at the first differing replica to make diagnosis cheap.
-    for (ServerId i = 0; i < model.num_servers(); ++i) {
-      for (ObjectId k = 0; k < model.num_objects(); ++k) {
+    // Point at the differing replicas to make diagnosis cheap: XOR the
+    // packed rows and only decode words that actually differ, so the scan is
+    // word-parallel and stops at the first mismatch under stop_at_first.
+    const std::vector<std::uint64_t>& got_words = state.placement().words();
+    const std::vector<std::uint64_t>& want_words = x_new.words();
+    const std::size_t words_per_row = got_words.size() / model.num_servers();
+    for (std::size_t w = 0; w < got_words.size(); ++w) {
+      std::uint64_t diff = got_words[w] ^ want_words[w];
+      while (diff != 0) {
+        const ServerId i = static_cast<ServerId>(w / words_per_row);
+        const ObjectId k = static_cast<ObjectId>(
+            (w % words_per_row) * 64 +
+            static_cast<std::size_t>(std::countr_zero(diff)));
         const bool got = state.placement().test(i, k);
-        const bool want = x_new.test(i, k);
-        if (got != want) {
-          std::ostringstream os;
-          os << "final state mismatch at (S" << i << ", O" << k << "): have "
-             << (got ? "replica" : "no replica") << ", X_new wants "
-             << (want ? "replica" : "no replica");
-          result.issues.push_back({schedule.size(), ActionError::None, os.str()});
-          if (stop_at_first) return result;
-        }
+        std::ostringstream os;
+        os << "final state mismatch at (S" << i << ", O" << k << "): have "
+           << (got ? "replica" : "no replica") << ", X_new wants "
+           << (got ? "no replica" : "replica");
+        result.issues.push_back({schedule.size(), ActionError::None, os.str()});
+        if (stop_at_first) return result;
+        diff &= diff - 1;  // clear the lowest set bit
       }
     }
   }

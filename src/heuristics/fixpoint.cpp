@@ -21,16 +21,21 @@ Schedule FixpointImprover::improve(const SystemModel& model,
                                    const ReplicationMatrix& x_old,
                                    const ReplicationMatrix& x_new, Schedule schedule,
                                    Rng& rng) const {
+  IncrementalEvaluator eval(model, x_old, x_new, std::move(schedule));
+  improve_incremental(eval, rng);
+  return eval.take_schedule();
+}
+
+void FixpointImprover::improve_incremental(IncrementalEvaluator& eval, Rng& rng) const {
   last_rounds_ = 0;
   for (int round = 0; round < max_rounds_; ++round) {
     ++last_rounds_;
-    const Schedule before = schedule;
+    const Schedule before = eval.schedule();
     for (const auto& imp : chain_) {
-      schedule = imp->improve(model, x_old, x_new, std::move(schedule), rng);
+      imp->improve_incremental(eval, rng);
     }
-    if (schedule == before) break;
+    if (eval.schedule() == before) break;
   }
-  return schedule;
 }
 
 }  // namespace rtsp

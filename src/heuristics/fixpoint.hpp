@@ -23,6 +23,7 @@ class FixpointImprover final : public ScheduleImprover {
   Schedule improve(const SystemModel& model, const ReplicationMatrix& x_old,
                    const ReplicationMatrix& x_new, Schedule schedule,
                    Rng& rng) const override;
+  void improve_incremental(IncrementalEvaluator& eval, Rng& rng) const override;
 
   /// Rounds executed by the most recent improve() call (diagnostic; the
   /// improver itself is stateless across calls apart from this counter).

@@ -1,8 +1,5 @@
 #include "heuristics/h1.hpp"
 
-#include <optional>
-
-#include "core/validator.hpp"
 #include "heuristics/surgery.hpp"
 
 namespace rtsp {
@@ -11,45 +8,47 @@ namespace {
 
 class H1Run {
  public:
-  H1Run(const SystemModel& model, const ReplicationMatrix& x_old,
-        const ReplicationMatrix& x_new, const H1Options& options)
-      : model_(model), x_old_(x_old), x_new_(x_new), options_(options) {}
+  H1Run(IncrementalEvaluator& eval, const H1Options& options)
+      : eval_(eval),
+        model_(eval.model()),
+        x_old_(eval.x_old()),
+        options_(options),
+        prefix_state_(eval.model(), eval.x_old()) {}
 
-  Schedule run(Schedule h) const {
+  void run() {
     for (int pass = 0; pass < options_.max_passes; ++pass) {
       bool changed = false;
       std::size_t u = 0;
-      while (u < h.size()) {
-        if (h[u].is_dummy_transfer()) {
-          if (auto better = try_restore_at(h, u)) {
-            // All mutations live at indices <= u, so the tail is intact and
-            // the scan may simply continue.
-            h = std::move(*better);
-            changed = true;
-          }
+      while (u < eval_.schedule().size()) {
+        if (eval_.schedule()[u].is_dummy_transfer() && try_restore_at(u)) {
+          // All mutations live at indices <= u, so the tail is intact and
+          // the scan may simply continue.
+          changed = true;
         }
         ++u;
       }
       if (!changed) break;  // new dummies from case (iii) need another pass
     }
-    return h;
   }
 
  private:
-  /// Transactional attempt: returns the rewritten schedule only when it
-  /// validates and strictly reduces the dummy count.
-  std::optional<Schedule> try_restore_at(const Schedule& h, std::size_t u) const {
-    Schedule cand = h;
-    if (!restore_dummy(cand, u, 0)) return std::nullopt;
-    if (cand.dummy_transfer_count() >= h.dummy_transfer_count()) return std::nullopt;
-    if (!Validator::is_valid(model_, x_old_, x_new_, cand)) return std::nullopt;
-    return cand;
+  /// Transactional attempt: adopts the rewrite only when it validates and
+  /// strictly reduces the dummy count.
+  bool try_restore_at(std::size_t u) {
+    cand_ = eval_.schedule();
+    EditWindow touched;
+    if (!restore_dummy(cand_, u, 0, touched)) return false;
+    const auto m = eval_.metrics(cand_, touched.lo, cand_.size() - touched.hi);
+    if (m.dummy_transfers >= eval_.dummy_transfers()) return false;
+    if (!eval_.is_valid(cand_, m)) return false;
+    eval_.adopt(std::move(cand_), m);
+    return true;
   }
 
   /// Moves the dummy transfer at `u` before the nearest preceding deletion
   /// of its object and repairs capacity. Mutates `cand`; may leave it
   /// invalid (the caller validates). Returns false when no move exists.
-  bool restore_dummy(Schedule& cand, std::size_t u, int depth) const {
+  bool restore_dummy(Schedule& cand, std::size_t u, int depth, EditWindow& touched) {
     if (depth >= options_.max_recursion_depth) return false;
     const ServerId i = cand[u].server;
     const ObjectId k = cand[u].object;
@@ -59,19 +58,27 @@ class H1Run {
     const ServerId j = cand[d_pos].server;
     if (j == i) return false;  // cannot source from the destination itself
 
+    // While cand[0..d_pos) still matches the engine's base schedule (true
+    // until an earlier edit is noted), the state there comes from the prefix
+    // cache instead of an O(L) replay.
+    const bool clean_prefix = touched.empty() || d_pos <= touched.lo;
+    if (clean_prefix) eval_.state_before(d_pos, prefix_state_);
+
     ServerId src = j;
     if (options_.resource_nearest) {
-      const ExecutionState st = simulate_prefix_lenient(model_, x_old_, cand, d_pos);
-      const auto nearest = model_.nearest_replicator(i, k, st.placement());
+      if (!clean_prefix) prefix_state_ = simulate_prefix_lenient(model_, x_old_, cand, d_pos);
+      const auto nearest = model_.nearest_replicator(i, k, prefix_state_.placement());
       if (nearest) src = *nearest;
     }
 
     cand.erase(u);
     cand.insert(d_pos, Action::transfer(i, k, src));
+    touched.note_range(d_pos, u + 1);
     // The displaced region [d_pos+1, u] now holds D_jk followed by the old
     // in-between sub-schedule; all pulls stay inside it.
-    const auto repair = pull_deletions_for_space(model_, x_old_, cand, d_pos, u,
-                                                 OrphanPolicy::Dummy);
+    const auto repair = pull_deletions_for_space(
+        model_, x_old_, cand, d_pos, u, OrphanPolicy::Dummy, &touched,
+        clean_prefix || options_.resource_nearest ? &prefix_state_ : nullptr);
     if (!repair.ok) return false;
 
     // Case (iii): the repair may have orphaned readers into dummy
@@ -81,7 +88,7 @@ class H1Run {
       const std::size_t pos = find_dummy(cand, signature);
       if (pos == npos) continue;  // already rewritten by a nested restore
       Schedule backup = cand;
-      if (!restore_dummy(cand, pos, depth + 1)) cand = std::move(backup);
+      if (!restore_dummy(cand, pos, depth + 1, touched)) cand = std::move(backup);
     }
     return true;
   }
@@ -97,18 +104,26 @@ class H1Run {
     return npos;
   }
 
+  IncrementalEvaluator& eval_;
   const SystemModel& model_;
   const ReplicationMatrix& x_old_;
-  const ReplicationMatrix& x_new_;
   const H1Options& options_;
+  ExecutionState prefix_state_;
+  Schedule cand_;  ///< candidate buffer, reused across attempts
 };
 
 }  // namespace
 
 Schedule H1Improver::improve(const SystemModel& model, const ReplicationMatrix& x_old,
                              const ReplicationMatrix& x_new, Schedule schedule,
-                             Rng& /*rng*/) const {
-  return H1Run(model, x_old, x_new, options_).run(std::move(schedule));
+                             Rng& rng) const {
+  IncrementalEvaluator eval(model, x_old, x_new, std::move(schedule));
+  improve_incremental(eval, rng);
+  return eval.take_schedule();
+}
+
+void H1Improver::improve_incremental(IncrementalEvaluator& eval, Rng& /*rng*/) const {
+  H1Run(eval, options_).run();
 }
 
 }  // namespace rtsp

@@ -34,6 +34,7 @@ class H1Improver final : public ScheduleImprover {
   Schedule improve(const SystemModel& model, const ReplicationMatrix& x_old,
                    const ReplicationMatrix& x_new, Schedule schedule,
                    Rng& rng) const override;
+  void improve_incremental(IncrementalEvaluator& eval, Rng& rng) const override;
 
  private:
   H1Options options_;

@@ -3,35 +3,31 @@
 #include <algorithm>
 #include <optional>
 
-#include "core/validator.hpp"
 #include "heuristics/surgery.hpp"
 
 namespace rtsp {
 
 namespace {
 
-struct Attempt {
-  Schedule schedule;
-  bool touched_tail = false;  ///< mutations beyond the dummy's position
-};
-
 class H2Run {
  public:
-  H2Run(const SystemModel& model, const ReplicationMatrix& x_old,
-        const ReplicationMatrix& x_new, const H2Options& options)
-      : model_(model), x_old_(x_old), x_new_(x_new), options_(options) {}
+  H2Run(IncrementalEvaluator& eval, const H2Options& options)
+      : eval_(eval),
+        model_(eval.model()),
+        x_old_(eval.x_old()),
+        options_(options),
+        prefix_state_(eval.model(), eval.x_old()) {}
 
-  Schedule run(Schedule h) const {
+  void run() {
     for (int pass = 0; pass < options_.max_passes; ++pass) {
       bool changed = false;
       bool restart = false;
       std::size_t u = 0;
-      while (u < h.size()) {
-        if (h[u].is_dummy_transfer()) {
-          if (auto attempt = try_restore_at(h, u)) {
-            h = std::move(attempt->schedule);
+      while (u < eval_.schedule().size()) {
+        if (eval_.schedule()[u].is_dummy_transfer()) {
+          if (auto touched_tail = try_restore_at(u)) {
             changed = true;
-            if (attempt->touched_tail) {
+            if (*touched_tail) {
               restart = true;  // positions after u changed; rescan
               break;
             }
@@ -45,11 +41,13 @@ class H2Run {
       }
       if (!changed && !restart) break;
     }
-    return h;
   }
 
  private:
-  std::optional<Attempt> try_restore_at(const Schedule& h, std::size_t u) const {
+  /// Attempts the rewrite; on success the candidate is adopted into the
+  /// engine and the return value says whether positions after `u` changed.
+  std::optional<bool> try_restore_at(std::size_t u) {
+    const Schedule& h = eval_.schedule();
     const ServerId dest = h[u].server;  // the paper's S_i'
     const ObjectId k = h[u].object;
     const std::size_t d_pos = find_preceding_deletion(h, u, k);
@@ -58,7 +56,8 @@ class H2Run {
 
     // Host candidates ranked by the added transfer cost
     // s(O_k) * (l_{host,deleter} + l_{dest,host}).
-    const ExecutionState st = simulate_prefix_lenient(model_, x_old_, h, d_pos);
+    eval_.state_before(d_pos, prefix_state_);
+    const ExecutionState& st = prefix_state_;
     struct Candidate {
       ServerId host;
       Cost added_cost;
@@ -80,62 +79,83 @@ class H2Run {
     // Direct path: hosts that already have room at d_pos.
     for (const Candidate& c : candidates) {
       if (!c.has_space) continue;
-      Schedule cand = h;
-      cand.insert(d_pos, Action::transfer(c.host, k, deleter));
+      cand_ = h;
+      cand_.insert(d_pos, Action::transfer(c.host, k, deleter));
       // Everything from d_pos on shifted one right; the dummy sits at u+1.
-      cand[u + 1] = Action::transfer(dest, k, c.host);
-      cand.insert(u + 2, Action::remove(c.host, k));
-      if (accept(cand, h)) return Attempt{std::move(cand), false};
+      cand_[u + 1] = Action::transfer(dest, k, c.host);
+      cand_.insert(u + 2, Action::remove(c.host, k));
+      // Untouched: the prefix [0, d_pos) and everything past the inserted
+      // removal (the candidate is 2 actions longer than the base).
+      const auto m = eval_.metrics(cand_, d_pos, cand_.size() - (u + 3));
+      if (accept(m)) {
+        eval_.adopt(std::move(cand_), m);
+        return false;
+      }
     }
 
     // Fallback: create room on a host by pulling its later deletions of
-    // superfluous replicas forward (the validator plus the strict
+    // superfluous replicas forward (the validity check plus the strict
     // dummy-count gate enforce the paper's "one replica must survive per
     // object" condition).
     std::size_t tried = 0;
     for (const Candidate& c : candidates) {
       if (c.has_space) continue;
       if (tried++ >= options_.max_fallback_hosts) break;
-      Schedule cand = h;
-      cand.insert(d_pos, Action::transfer(c.host, k, deleter));
+      cand_ = h;
+      cand_.insert(d_pos, Action::transfer(c.host, k, deleter));
+      // prefix_state_ is still the lenient state before d_pos, which is
+      // exactly the state before the just-inserted transfer.
       const auto repair =
-          pull_deletions_for_space(model_, x_old_, cand, d_pos, cand.size() - 1,
-                                   OrphanPolicy::NearestElseDummy);
+          pull_deletions_for_space(model_, x_old_, cand_, d_pos, cand_.size() - 1,
+                                   OrphanPolicy::NearestElseDummy,
+                                   /*touched=*/nullptr, &prefix_state_);
       if (!repair.ok) continue;
       // Pulls may have shifted the dummy transfer; locate it again.
       std::size_t dummy_pos = npos;
-      for (std::size_t p = repair.t_pos + 1; p < cand.size(); ++p) {
-        const Action& a = cand[p];
+      for (std::size_t p = repair.t_pos + 1; p < cand_.size(); ++p) {
+        const Action& a = cand_[p];
         if (a.is_dummy_transfer() && a.server == dest && a.object == k) {
           dummy_pos = p;
           break;
         }
       }
       if (dummy_pos == npos) continue;
-      cand[dummy_pos] = Action::transfer(dest, k, c.host);
-      cand.insert(dummy_pos + 1, Action::remove(c.host, k));
-      if (accept(cand, h)) return Attempt{std::move(cand), true};
+      cand_[dummy_pos] = Action::transfer(dest, k, c.host);
+      cand_.insert(dummy_pos + 1, Action::remove(c.host, k));
+      const auto m = eval_.metrics(cand_, d_pos, 0);
+      if (accept(m)) {
+        eval_.adopt(std::move(cand_), m);
+        return true;
+      }
     }
     return std::nullopt;
   }
 
-  bool accept(const Schedule& cand, const Schedule& original) const {
-    if (cand.dummy_transfer_count() >= original.dummy_transfer_count()) return false;
-    return Validator::is_valid(model_, x_old_, x_new_, cand);
+  bool accept(const IncrementalEvaluator::Metrics& m) {
+    if (m.dummy_transfers >= eval_.dummy_transfers()) return false;
+    return eval_.is_valid(cand_, m);
   }
 
+  IncrementalEvaluator& eval_;
   const SystemModel& model_;
   const ReplicationMatrix& x_old_;
-  const ReplicationMatrix& x_new_;
   const H2Options& options_;
+  ExecutionState prefix_state_;
+  Schedule cand_;  ///< candidate buffer, reused across attempts
 };
 
 }  // namespace
 
 Schedule H2Improver::improve(const SystemModel& model, const ReplicationMatrix& x_old,
                              const ReplicationMatrix& x_new, Schedule schedule,
-                             Rng& /*rng*/) const {
-  return H2Run(model, x_old, x_new, options_).run(std::move(schedule));
+                             Rng& rng) const {
+  IncrementalEvaluator eval(model, x_old, x_new, std::move(schedule));
+  improve_incremental(eval, rng);
+  return eval.take_schedule();
+}
+
+void H2Improver::improve_incremental(IncrementalEvaluator& eval, Rng& /*rng*/) const {
+  H2Run(eval, options_).run();
 }
 
 }  // namespace rtsp

@@ -30,6 +30,7 @@ class H2Improver final : public ScheduleImprover {
   Schedule improve(const SystemModel& model, const ReplicationMatrix& x_old,
                    const ReplicationMatrix& x_new, Schedule schedule,
                    Rng& rng) const override;
+  void improve_incremental(IncrementalEvaluator& eval, Rng& rng) const override;
 
  private:
   H2Options options_;

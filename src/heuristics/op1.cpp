@@ -4,91 +4,184 @@
 #include <optional>
 
 #include "core/cost_model.hpp"
-#include "core/validator.hpp"
 #include "heuristics/surgery.hpp"
+#include "support/thread_pool.hpp"
 
 namespace rtsp {
 
 namespace {
 
-/// Transfer positions of each object that has at least two transfers.
-std::vector<std::pair<ObjectId, std::vector<std::size_t>>> multi_transfer_objects(
-    const Schedule& h, std::size_t num_objects) {
-  std::vector<std::vector<std::size_t>> by_object(num_objects);
-  for (std::size_t p = 0; p < h.size(); ++p) {
-    if (h[p].is_transfer()) by_object[h[p].object].push_back(p);
-  }
-  std::vector<std::pair<ObjectId, std::vector<std::size_t>>> out;
-  for (ObjectId k = 0; k < num_objects; ++k) {
-    if (by_object[k].size() >= 2) out.emplace_back(k, std::move(by_object[k]));
-  }
-  return out;
-}
-
 class Op1Run {
  public:
-  Op1Run(const SystemModel& model, const ReplicationMatrix& x_old,
-         const ReplicationMatrix& x_new, const Op1Options& options)
-      : model_(model), x_old_(x_old), x_new_(x_new), options_(options) {}
+  Op1Run(IncrementalEvaluator& eval, const Op1Options& options)
+      : eval_(eval),
+        model_(eval.model()),
+        x_old_(eval.x_old()),
+        options_(options) {}
 
-  Schedule run(Schedule h) const {
-    Cost current_cost = schedule_cost(model_, h);
+  void run() {
+    build_index(eval_.schedule());
+    for (ObjectId k = 0; k < model_.num_objects(); ++k) {
+      if (transfers_[k].size() >= 2) round_objects_.push_back(k);
+    }
+    if (round_objects_.empty()) return;
+
+    // OP1 edits only move actions and change transfer sources, so every
+    // object's transfer count — and therefore the round list — is invariant
+    // for the whole run.
+    std::optional<ThreadPool> pool;
+    if (options_.parallel_screen) pool.emplace(options_.threads);
+    const std::size_t wave = pool ? std::max<std::size_t>(2 * pool->size(), 1) : 1;
+    std::vector<Slot> slots;
+    slots.reserve(wave);
+    for (std::size_t w = 0; w < wave; ++w) slots.emplace_back(model_, x_old_);
+
     std::size_t changes = 0;
-    std::size_t object_cursor = 0;  // used by the Continue policy
+    ObjectId resume_object = round_objects_.front();
     while (true) {
-      const auto objects = multi_transfer_objects(h, model_.num_objects());
-      if (objects.empty()) break;
-      bool adopted = false;
-      const std::size_t start = options_.restart == Op1Options::Restart::Continue
-                                    ? object_cursor % objects.size()
-                                    : 0;
-      for (std::size_t step = 0; step < objects.size() && !adopted; ++step) {
-        const std::size_t idx = (start + step) % objects.size();
-        const auto& [k, positions] = objects[idx];
-        for (std::size_t a = 0; a + 1 < positions.size() && !adopted; ++a) {
-          for (std::size_t b = a + 1; b < positions.size() && !adopted; ++b) {
-            const std::size_t u = positions[a];
-            const std::size_t v = positions[b];
-            if (options_.prescreen && estimate_delta(h, k, positions, u, v) >= 0) {
-              continue;
-            }
-            auto cand = build_candidate(h, u, v);
-            if (!cand) continue;
-            const Cost cand_cost = schedule_cost(model_, *cand);
-            if (cand_cost < current_cost &&
-                Validator::is_valid(model_, x_old_, x_new_, *cand)) {
-              h = std::move(*cand);
-              current_cost = cand_cost;
-              adopted = true;
-              object_cursor = idx;  // Continue resumes at this object
-            }
-          }
+      std::size_t start = 0;
+      if (options_.restart == Op1Options::Restart::Continue) {
+        // Resume at the object adopted last round. Identified by ObjectId,
+        // not list index, so the cursor cannot go stale even if the round
+        // list were ever recomputed.
+        const auto it = std::lower_bound(round_objects_.begin(), round_objects_.end(),
+                                         resume_object);
+        if (it != round_objects_.end()) {
+          start = static_cast<std::size_t>(it - round_objects_.begin());
         }
+      }
+      bool adopted = false;
+      for (std::size_t step = 0; step < round_objects_.size() && !adopted;) {
+        const std::size_t n = std::min(wave, round_objects_.size() - step);
+        // Screening has no side effects on the engine, so the wave's
+        // candidates are all computed against the same base; adopting the
+        // earliest hit in scan order reproduces the sequential run exactly.
+        const auto screen_slot = [&](std::size_t w) {
+          const std::size_t idx = (start + step + w) % round_objects_.size();
+          slots[w].found = screen_object(round_objects_[idx], slots[w]);
+        };
+        if (pool && n > 1) {
+          parallel_for(*pool, n, screen_slot);
+        } else {
+          for (std::size_t w = 0; w < n; ++w) screen_slot(w);
+        }
+        for (std::size_t w = 0; w < n; ++w) {
+          if (!slots[w].found) continue;
+          const std::size_t idx = (start + step + w) % round_objects_.size();
+          eval_.adopt(slots[w].cand, slots[w].m);  // copy; the slot buffer stays warm
+          update_index(eval_.schedule(), slots[w].m.prefix, slots[w].m.cand_suffix_start);
+          resume_object = round_objects_[idx];
+          adopted = true;
+          break;
+        }
+        step += n;
       }
       if (!adopted) break;
       if (options_.max_changes != 0 && ++changes >= options_.max_changes) break;
     }
-    return h;
   }
 
  private:
+  /// Per-worker buffers: everything a screen needs so concurrent screens
+  /// share only the const engine.
+  struct Slot {
+    Slot(const SystemModel& model, const ReplicationMatrix& x_old)
+        : prefix_state(model, x_old),
+          eval_scratch(model, x_old),
+          holds(model.num_servers(), 0) {}
+    ExecutionState prefix_state;
+    IncrementalEvaluator::Scratch eval_scratch;
+    std::vector<char> holds;
+    Schedule cand;
+    IncrementalEvaluator::Metrics m;
+    bool found = false;
+  };
+
+  void build_index(const Schedule& h) {
+    events_.assign(model_.num_objects(), {});
+    transfers_.assign(model_.num_objects(), {});
+    win_events_.resize(model_.num_objects());
+    win_transfers_.resize(model_.num_objects());
+    for (std::size_t p = 0; p < h.size(); ++p) {
+      events_[h[p].object].push_back(p);
+      if (h[p].is_transfer()) transfers_[h[p].object].push_back(p);
+    }
+  }
+
+  /// Splices the base's new window [lo, hi) into the per-object position
+  /// index. Positions outside the window are unchanged (adopted candidates
+  /// are size-preserving), so only entries inside it are replaced.
+  void update_index(const Schedule& h, std::size_t lo, std::size_t hi) {
+    if (lo >= hi) return;
+    for (std::size_t p = lo; p < hi; ++p) {
+      const Action& a = h[p];
+      if (win_events_[a.object].empty()) win_objects_.push_back(a.object);
+      win_events_[a.object].push_back(p);
+      if (a.is_transfer()) win_transfers_[a.object].push_back(p);
+    }
+    for (ObjectId k = 0; k < model_.num_objects(); ++k) {
+      splice(events_[k], win_events_[k], lo, hi);
+      splice(transfers_[k], win_transfers_[k], lo, hi);
+    }
+    for (ObjectId k : win_objects_) {
+      win_events_[k].clear();
+      win_transfers_[k].clear();
+    }
+    win_objects_.clear();
+  }
+
+  static void splice(std::vector<std::size_t>& list, const std::vector<std::size_t>& add,
+                     std::size_t lo, std::size_t hi) {
+    const auto first = std::lower_bound(list.begin(), list.end(), lo);
+    const auto last = std::lower_bound(first, list.end(), hi);
+    if (first == last && add.empty()) return;
+    const auto at = static_cast<std::size_t>(first - list.begin());
+    list.erase(first, last);
+    list.insert(list.begin() + static_cast<std::ptrdiff_t>(at), add.begin(), add.end());
+  }
+
+  /// First improving pair for object `k`, in the same (a, b) scan order as
+  /// the original sequential implementation. On success the candidate and
+  /// its metrics are left in `s`. Const against the engine: safe to run for
+  /// several objects concurrently with distinct slots.
+  bool screen_object(ObjectId k, Slot& s) const {
+    const Schedule& h = eval_.schedule();
+    const std::vector<std::size_t>& positions = transfers_[k];
+    for (std::size_t a = 0; a + 1 < positions.size(); ++a) {
+      for (std::size_t b = a + 1; b < positions.size(); ++b) {
+        const std::size_t u = positions[a];
+        const std::size_t v = positions[b];
+        if (options_.prescreen && estimate_delta(h, k, u, v, s.holds) >= 0) {
+          continue;
+        }
+        EditWindow touched;
+        if (!build_candidate(h, u, v, s, touched)) continue;
+        const auto m = eval_.metrics(s.cand, touched.lo, s.cand.size() - touched.hi);
+        if (m.cost >= eval_.cost()) continue;
+        if (!eval_.is_valid(s.cand, m, s.eval_scratch)) continue;
+        s.m = m;
+        return true;
+      }
+    }
+    return false;
+  }
+
   /// Optimistic cost change of moving v's transfer before u (negative =
   /// potentially improving). Capacity penalties are ignored here; the exact
-  /// candidate cost decides adoption.
-  Cost estimate_delta(const Schedule& h, ObjectId k,
-                      const std::vector<std::size_t>& positions, std::size_t u,
-                      std::size_t v) const {
+  /// candidate cost decides adoption. O(|k's actions|) via the position
+  /// index instead of a full-schedule scan.
+  Cost estimate_delta(const Schedule& h, ObjectId k, std::size_t u, std::size_t v,
+                      std::vector<char>& holds) const {
     const ServerId i = h[v].server;
     if (h[u].server == i) return 0;
 
-    // Replicators of k just before position u.
-    std::vector<bool> holds(model_.num_servers(), false);
-    for (ServerId s : x_old_.replicators_of(k)) holds[s] = true;
-    for (std::size_t p = 0; p < u; ++p) {
+    // Replicators of k just before position u: replay only k's actions.
+    std::fill(holds.begin(), holds.end(), 0);
+    for (ServerId s : x_old_.replicators_of(k)) holds[s] = 1;
+    for (std::size_t p : events_[k]) {
+      if (p >= u) break;
       const Action& a = h[p];
-      if (a.object != k) continue;
-      if (a.is_transfer()) holds[a.server] = true;
-      else holds[a.server] = false;
+      holds[a.server] = a.is_transfer() ? 1 : 0;
     }
     LinkCost new_src = model_.dummy_link_cost();
     for (ServerId s : model_.neighbors_by_cost(i)) {
@@ -100,7 +193,7 @@ class Op1Run {
     const LinkCost old_src = model_.source_link_cost(i, h[v].source);
     const Size size = model_.object_size(k);
     Cost delta = size * (new_src - old_src);
-    for (std::size_t w : positions) {
+    for (std::size_t w : transfers_[k]) {
       if (w < u || w == v) continue;
       const ServerId d = h[w].server;
       if (d == i) continue;
@@ -111,15 +204,17 @@ class Op1Run {
     return delta;
   }
 
-  /// Mechanically constructs the paper's H': move v's transfer before u's
-  /// enabling deletion run, re-source it, repair capacity (cases iii/iv) and
-  /// re-source the object's later transfers that benefit. Returns nullopt
-  /// when the capacity repair fails; validity is checked by the caller.
-  std::optional<Schedule> build_candidate(const Schedule& h, std::size_t u,
-                                          std::size_t v) const {
+  /// Mechanically constructs the paper's H' in s.cand: move v's transfer
+  /// before u's enabling deletion run, re-source it, repair capacity (cases
+  /// iii/iv) and re-source the object's later transfers that benefit.
+  /// Returns false when the capacity repair fails; validity is checked by
+  /// the caller. All mutations lie in [insert_point, v]; positions past v
+  /// still match the base, so the tail scans walk the position index.
+  bool build_candidate(const Schedule& h, std::size_t u, std::size_t v, Slot& s,
+                       EditWindow& touched) const {
     const ServerId i = h[v].server;
     const ObjectId k = h[v].object;
-    if (h[u].server == i) return std::nullopt;
+    if (h[u].server == i) return false;
 
     // u's enabling deletions: the contiguous run of deletions on S_i'
     // immediately before u (the paper's D_i'k1..kn).
@@ -129,58 +224,98 @@ class Op1Run {
       --insert_point;
     }
 
-    Schedule cand = h;
-    move_action_earlier(cand, v, insert_point);
+    s.cand = h;
+    move_action_earlier(s.cand, v, insert_point, &touched);
     std::size_t t_pos = insert_point;
 
     // Re-source the moved transfer to the nearest replicator at its new
-    // position (the paper's T_ikN(i,k,X^u)).
+    // position (the paper's T_ikN(i,k,X^u)). The prefix [0, t_pos) equals
+    // the base's, so the state comes from the engine's checkpoint cache.
+    eval_.state_before(t_pos, s.prefix_state);
     {
-      const ExecutionState st = simulate_prefix_lenient(model_, x_old_, cand, t_pos);
-      const auto nearest = model_.nearest_replicator(i, k, st.placement());
-      cand[t_pos].source = nearest ? *nearest : kDummyServer;
+      const auto nearest = model_.nearest_replicator(i, k, s.prefix_state.placement());
+      s.cand[t_pos].source = nearest ? *nearest : kDummyServer;
     }
 
     // Cases (iii)/(iv): make room at S_i by pulling its deletions forward,
     // re-sourcing any orphaned readers to their nearest alternative.
     const auto repair =
-        pull_deletions_for_space(model_, x_old_, cand, t_pos, v,
-                                 OrphanPolicy::NearestElseDummy);
-    if (!repair.ok) return std::nullopt;
+        pull_deletions_for_space(model_, x_old_, s.cand, t_pos, v,
+                                 OrphanPolicy::NearestElseDummy, &touched,
+                                 &s.prefix_state);
+    if (!repair.ok) return false;
     t_pos = repair.t_pos;
 
     // Later transfers of k switch to the new early replica when cheaper —
     // but only while S_i still holds k (a later deletion of (i, k) bounds
-    // the window; H2's temporary replicas make this reachable).
-    std::size_t bound = cand.size();
-    for (std::size_t p = t_pos + 1; p < cand.size(); ++p) {
-      if (cand[p].is_delete() && cand[p].server == i && cand[p].object == k) {
+    // the window; H2's temporary replicas make this reachable). The mutated
+    // region ends at v; beyond it cand == base, so the index takes over.
+    std::size_t bound = s.cand.size();
+    for (std::size_t p = t_pos + 1; p <= v && p < s.cand.size(); ++p) {
+      const Action& a = s.cand[p];
+      if (a.is_delete() && a.server == i && a.object == k) {
         bound = p;
         break;
       }
     }
-    for (std::size_t p = t_pos + 1; p < bound; ++p) {
-      Action& a = cand[p];
-      if (!a.is_transfer() || a.object != k || a.server == i) continue;
+    if (bound == s.cand.size()) {
+      for (std::size_t p : events_[k]) {
+        if (p <= v) continue;
+        if (h[p].is_delete() && h[p].server == i) {
+          bound = p;
+          break;
+        }
+      }
+    }
+    const auto resource = [&](std::size_t p) {
+      Action& a = s.cand[p];
+      if (!a.is_transfer() || a.server == i) return;
       const LinkCost cur = model_.source_link_cost(a.server, a.source);
       const LinkCost via_i = model_.costs().at(a.server, i);
-      if (via_i < cur) a.source = i;
+      if (via_i < cur) {
+        a.source = i;
+        touched.note(p);
+      }
+    };
+    for (std::size_t p = t_pos + 1; p < bound && p <= v; ++p) {
+      if (s.cand[p].object == k) resource(p);
     }
-    return cand;
+    for (std::size_t p : events_[k]) {
+      if (p <= v) continue;
+      if (p >= bound) break;
+      resource(p);
+    }
+    return true;
   }
 
+  IncrementalEvaluator& eval_;
   const SystemModel& model_;
   const ReplicationMatrix& x_old_;
-  const ReplicationMatrix& x_new_;
   const Op1Options& options_;
+
+  /// Sorted positions of every action / every transfer of each object in
+  /// the engine's base schedule, maintained incrementally across adoptions.
+  std::vector<std::vector<std::size_t>> events_;
+  std::vector<std::vector<std::size_t>> transfers_;
+  std::vector<ObjectId> round_objects_;  ///< objects with >= 2 transfers
+  // update_index scratch (kept hot across adoptions).
+  std::vector<std::vector<std::size_t>> win_events_;
+  std::vector<std::vector<std::size_t>> win_transfers_;
+  std::vector<ObjectId> win_objects_;
 };
 
 }  // namespace
 
 Schedule Op1Improver::improve(const SystemModel& model, const ReplicationMatrix& x_old,
                               const ReplicationMatrix& x_new, Schedule schedule,
-                              Rng& /*rng*/) const {
-  return Op1Run(model, x_old, x_new, options_).run(std::move(schedule));
+                              Rng& rng) const {
+  IncrementalEvaluator eval(model, x_old, x_new, std::move(schedule));
+  improve_incremental(eval, rng);
+  return eval.take_schedule();
+}
+
+void Op1Improver::improve_incremental(IncrementalEvaluator& eval, Rng& /*rng*/) const {
+  Op1Run(eval, options_).run();
 }
 
 }  // namespace rtsp

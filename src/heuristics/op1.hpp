@@ -31,6 +31,13 @@ struct Op1Options {
   bool prescreen = true;
   /// Safety cap on adopted changes (0 = unlimited).
   std::size_t max_changes = 0;
+  /// Screen candidate pairs for several objects concurrently (prescreen +
+  /// candidate build + incremental validation per worker), adopting the
+  /// first improving candidate in deterministic scan order — output is
+  /// bitwise identical to the sequential run.
+  bool parallel_screen = false;
+  /// Worker count for parallel_screen (0 = hardware concurrency).
+  std::size_t threads = 0;
 };
 
 class Op1Improver final : public ScheduleImprover {
@@ -40,6 +47,7 @@ class Op1Improver final : public ScheduleImprover {
   Schedule improve(const SystemModel& model, const ReplicationMatrix& x_old,
                    const ReplicationMatrix& x_new, Schedule schedule,
                    Rng& rng) const override;
+  void improve_incremental(IncrementalEvaluator& eval, Rng& rng) const override;
 
  private:
   Op1Options options_;

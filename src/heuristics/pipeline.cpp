@@ -17,10 +17,15 @@ Pipeline::Pipeline(BuilderPtr builder, std::vector<ImproverPtr> improvers)
 Schedule Pipeline::run(const SystemModel& model, const ReplicationMatrix& x_old,
                        const ReplicationMatrix& x_new, Rng& rng) const {
   Schedule h = builder_->build(model, x_old, x_new, rng);
+  if (improvers_.empty()) return h;
+  // One evaluator serves the whole improver chain: each improver inherits
+  // the previous one's prefix checkpoints and cost/dummy summary instead of
+  // re-validating the schedule from scratch.
+  IncrementalEvaluator eval(model, x_old, x_new, std::move(h));
   for (const auto& imp : improvers_) {
-    h = imp->improve(model, x_old, x_new, std::move(h), rng);
+    imp->improve_incremental(eval, rng);
   }
-  return h;
+  return eval.take_schedule();
 }
 
 }  // namespace rtsp

@@ -31,6 +31,12 @@ ImproverPtr make_improver(const std::string& token) {
   if (t == "h1") return std::make_shared<H1Improver>();
   if (t == "h2") return std::make_shared<H2Improver>();
   if (t == "op1") return std::make_shared<Op1Improver>();
+  if (t == "op1p") {
+    // OP1 with parallel candidate screening; bitwise-identical schedules.
+    Op1Options options;
+    options.parallel_screen = true;
+    return std::make_shared<Op1Improver>(options);
+  }
   if (t == "sa") return std::make_shared<AnnealingImprover>();
   if (t == "h1h2fix") {
     // H1 and H2 alternated to a fixpoint (see heuristics/fixpoint.hpp).
@@ -67,7 +73,7 @@ Pipeline make_pipeline(const std::string& spec) {
 std::vector<std::string> known_builders() { return {"AR", "GOLCF", "RDF", "GSDF"}; }
 
 std::vector<std::string> known_improvers() {
-  return {"H1", "H2", "OP1", "SA", "H1H2FIX"};
+  return {"H1", "H2", "OP1", "OP1P", "SA", "H1H2FIX"};
 }
 
 }  // namespace rtsp

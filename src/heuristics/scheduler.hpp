@@ -5,6 +5,7 @@
 #include <memory>
 #include <string>
 
+#include "core/incremental.hpp"
 #include "core/replication.hpp"
 #include "core/schedule.hpp"
 #include "core/system.hpp"
@@ -32,6 +33,16 @@ class ScheduleImprover {
   virtual Schedule improve(const SystemModel& model, const ReplicationMatrix& x_old,
                            const ReplicationMatrix& x_new, Schedule schedule,
                            Rng& rng) const = 0;
+
+  /// Improves the schedule held by `eval` in place, reusing its prefix
+  /// checkpoints and cost/dummy summary. Chains (Pipeline, FixpointImprover)
+  /// call this so consecutive improvers share one engine instead of each
+  /// re-validating the schedule from scratch. The default delegates to
+  /// improve() and rebuilds the engine; H1/H2/OP1 override it natively.
+  virtual void improve_incremental(IncrementalEvaluator& eval, Rng& rng) const {
+    eval.reset(improve(eval.model(), eval.x_old(), eval.x_new(),
+                       eval.take_schedule(), rng));
+  }
 };
 
 using BuilderPtr = std::shared_ptr<const ScheduleBuilder>;

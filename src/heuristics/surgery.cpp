@@ -4,7 +4,8 @@
 
 namespace rtsp {
 
-void move_action_earlier(Schedule& h, std::size_t from, std::size_t to) {
+void move_action_earlier(Schedule& h, std::size_t from, std::size_t to,
+                         EditWindow* touched) {
   RTSP_REQUIRE(from < h.size());
   RTSP_REQUIRE(to <= from);
   if (to == from) return;
@@ -12,6 +13,7 @@ void move_action_earlier(Schedule& h, std::size_t from, std::size_t to) {
   auto& v = h.actions();
   v.erase(v.begin() + static_cast<std::ptrdiff_t>(from));
   v.insert(v.begin() + static_cast<std::ptrdiff_t>(to), a);
+  if (touched) touched->note_range(to, from + 1);
 }
 
 ExecutionState simulate_prefix_lenient(const SystemModel& model,
@@ -80,22 +82,52 @@ std::vector<std::size_t> dependent_transfers(const Schedule& h, std::size_t t_po
 SpaceRepairResult pull_deletions_for_space(const SystemModel& model,
                                            const ReplicationMatrix& x_old, Schedule& h,
                                            std::size_t t_pos, std::size_t limit,
-                                           OrphanPolicy policy) {
+                                           OrphanPolicy policy, EditWindow* touched,
+                                           const ExecutionState* state_at_t) {
   RTSP_REQUIRE(t_pos < h.size());
   RTSP_REQUIRE(limit < h.size() && limit >= t_pos);
   RTSP_REQUIRE(h[t_pos].is_transfer());
   const ServerId dest = h[t_pos].server;
   const ObjectId object = h[t_pos].object;
   const Size needed = model.object_size(object);
+  const std::size_t t_orig = t_pos;
 
   SpaceRepairResult result;
+
+  // Holdings and occupancy of `dest` just before t_pos under lenient
+  // semantics, computed once and maintained incrementally as deletions are
+  // pulled (every pull of a held object frees its size; pulls of objects the
+  // destination does not hold are lenient no-ops).
+  std::vector<bool> held(model.num_objects(), false);
+  Size used = 0;
+  if (state_at_t) {
+    for (ObjectId k = 0; k < model.num_objects(); ++k) {
+      held[k] = state_at_t->holds(dest, k);
+    }
+    used = state_at_t->used(dest);
+  } else {
+    for (ObjectId k : x_old.objects_on(dest)) {
+      held[k] = true;
+      used += model.object_size(k);
+    }
+    for (std::size_t u = 0; u < t_pos; ++u) {
+      const Action& a = h[u];
+      if (a.server != dest) continue;
+      if (a.is_transfer() && !held[a.object]) {
+        held[a.object] = true;
+        used += model.object_size(a.object);
+      } else if (a.is_delete() && held[a.object]) {
+        held[a.object] = false;
+        used -= model.object_size(a.object);
+      }
+    }
+  }
 
   // Phase 1 moves only standalone deletions (paper H1 case ii); phase 2 also
   // moves deletions whose replica is still read in between, re-sourcing the
   // readers (case iii).
   for (int phase = 0; phase < 2; ++phase) {
-    while (model.capacity(dest) - occupancy_before(model, x_old, h, t_pos, dest) <
-           needed) {
+    while (model.capacity(dest) - used < needed) {
       // Next eligible deletion on the destination within (t_pos, limit].
       std::size_t p = npos;
       std::vector<std::size_t> deps;
@@ -114,33 +146,39 @@ SpaceRepairResult pull_deletions_for_space(const SystemModel& model,
         Action& reader = h[q];
         ServerId new_src = kDummyServer;
         if (policy == OrphanPolicy::NearestElseDummy) {
-          const ExecutionState st = simulate_prefix_lenient(model, x_old, h, q);
+          ExecutionState st =
+              state_at_t ? *state_at_t
+                         : simulate_prefix_lenient(model, x_old, h, t_orig);
+          for (std::size_t u = t_orig; u < q; ++u) st.apply_lenient(h[u]);
           // The doomed replica is about to move before t_pos, so exclude it.
           ServerId best = kDummyServer;
-          LinkCost best_cost = model.dummy_link_cost();
           for (ServerId s : model.neighbors_by_cost(reader.server)) {
             if (s == dest) continue;
             if (st.holds(s, reader.object)) {
               best = s;
-              best_cost = model.costs().at(reader.server, s);
               break;
             }
           }
-          (void)best_cost;
           new_src = best;
         }
         reader.source = new_src;
+        if (touched) touched->note(q);
         if (is_dummy(new_src)) result.new_dummies.push_back(reader);
       }
-      move_action_earlier(h, p, t_pos);
+      const ObjectId pulled = h[p].object;
+      move_action_earlier(h, p, t_pos, touched);
       ++t_pos;  // the transfer shifted one slot right
+      if (held[pulled]) {
+        held[pulled] = false;
+        used -= model.object_size(pulled);
+      }
     }
-    if (model.capacity(dest) - occupancy_before(model, x_old, h, t_pos, dest) >=
-        needed) {
+    if (model.capacity(dest) - used >= needed) {
       result.ok = true;
       break;
     }
   }
+  if (touched && t_pos != t_orig) touched->note_range(t_orig, t_pos + 1);
   result.t_pos = t_pos;
   return result;
 }

@@ -4,7 +4,10 @@
 // make room for a relocated transfer.
 //
 // All functions mutate candidate schedules that may be transiently invalid;
-// callers gate acceptance on the full Validator.
+// callers gate acceptance on the full Validator (or, on hot paths, the
+// incremental engine in core/incremental.hpp). Helpers report the positions
+// they touch through an EditWindow so callers can hand the incremental
+// engine a tight diff window instead of letting it rescan the schedule.
 #pragma once
 
 #include <cstddef>
@@ -15,9 +18,29 @@
 
 namespace rtsp {
 
+inline constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+/// Accumulates the half-open range [lo, hi) of schedule positions touched by
+/// a sequence of surgery operations. Positions are in the schedule's current
+/// coordinates; all helpers here preserve the schedule's length, so noted
+/// positions stay meaningful across calls. Callers that insert or erase
+/// actions themselves must translate accordingly.
+struct EditWindow {
+  std::size_t lo = npos;
+  std::size_t hi = 0;
+
+  void note(std::size_t pos) { note_range(pos, pos + 1); }
+  void note_range(std::size_t first, std::size_t last) {
+    if (first < lo) lo = first;
+    if (last > hi) hi = last;
+  }
+  bool empty() const { return lo == npos; }
+};
+
 /// Moves the action at index `from` to index `to` (to <= from); actions in
-/// [to, from) shift one slot right.
-void move_action_earlier(Schedule& h, std::size_t from, std::size_t to);
+/// [to, from) shift one slot right. Notes [to, from+1) in `touched`.
+void move_action_earlier(Schedule& h, std::size_t from, std::size_t to,
+                         EditWindow* touched = nullptr);
 
 /// Lenient execution state just before position `pos`, starting from x_old.
 ExecutionState simulate_prefix_lenient(const SystemModel& model,
@@ -51,14 +74,21 @@ struct SpaceRepairResult {
 /// them are re-sourced per `policy` (H1 case iii / OP1 cases iii-iv).
 /// Deletions of the transfer's own object are never touched. All mutations
 /// stay within [t_pos, limit]; indices outside are unaffected.
+///
+/// `state_at_t`, when given, must be the lenient execution state of
+/// h[0..t_pos) — callers whose prefix still matches the improver's base
+/// schedule obtain it from the incremental engine's prefix cache in
+/// O(sqrt(L)) instead of this function's O(t_pos) rescan. Touched positions
+/// are noted in `touched` (the relocated transfer's final slot is
+/// result.t_pos; its drift is noted here too).
 SpaceRepairResult pull_deletions_for_space(const SystemModel& model,
                                            const ReplicationMatrix& x_old, Schedule& h,
                                            std::size_t t_pos, std::size_t limit,
-                                           OrphanPolicy policy);
+                                           OrphanPolicy policy,
+                                           EditWindow* touched = nullptr,
+                                           const ExecutionState* state_at_t = nullptr);
 
 /// Index of the last deletion of `object` strictly before `pos`, or npos.
 std::size_t find_preceding_deletion(const Schedule& h, std::size_t pos, ObjectId object);
-
-inline constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
 }  // namespace rtsp

@@ -43,7 +43,7 @@ TEST(Registry, KnownListsAreStable) {
   EXPECT_EQ(known_builders(),
             (std::vector<std::string>{"AR", "GOLCF", "RDF", "GSDF"}));
   EXPECT_EQ(known_improvers(),
-            (std::vector<std::string>{"H1", "H2", "OP1", "SA", "H1H2FIX"}));
+            (std::vector<std::string>{"H1", "H2", "OP1", "OP1P", "SA", "H1H2FIX"}));
 }
 
 class PipelineRun : public testing::TestWithParam<std::string> {};

@@ -1,0 +1,88 @@
+// Determinism / regression harness for the improver chain: runs a pipeline
+// on the paper's Fig-5 workload (equal sizes, N objects, M servers, r
+// replicas) over a set of trial seeds and prints, per seed, the schedule
+// cost, dummy-transfer count, length, an FNV-1a hash of the full action
+// sequence, and the builder/improver wall-clock split.
+//
+// The hash makes "bitwise-identical schedules" checkable across revisions:
+// run before and after an improver change and diff the output.
+//
+// Flags: --pipeline SPEC (default GOLCF+H1+H2+OP1), --objects N, --servers M,
+//        --replicas R, --trials T, --seed BASE.
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+
+#include "core/cost_model.hpp"
+#include "core/validator.hpp"
+#include "heuristics/registry.hpp"
+#include "support/cli.hpp"
+#include "support/timer.hpp"
+#include "workload/paper_setup.hpp"
+
+namespace {
+
+using namespace rtsp;
+
+std::uint64_t schedule_hash(const Schedule& h) {
+  std::uint64_t hash = 1469598103934665603ull;  // FNV-1a offset basis
+  auto mix = [&hash](std::uint64_t v) {
+    hash ^= v;
+    hash *= 1099511628211ull;
+  };
+  for (const Action& a : h) {
+    mix(static_cast<std::uint64_t>(a.kind));
+    mix(a.server);
+    mix(a.object);
+    mix(a.is_transfer() ? a.source : 0);
+  }
+  return hash;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions cli(argc, argv);
+  PaperSetup setup;
+  setup.servers = static_cast<std::size_t>(cli.get_int("servers", "RTSP_SERVERS", 50));
+  setup.objects =
+      static_cast<std::size_t>(cli.get_int("objects", "RTSP_OBJECTS", 1000));
+  const auto replicas =
+      static_cast<std::size_t>(cli.get_int("replicas", "RTSP_REPLICAS", 3));
+  const auto trials = static_cast<std::size_t>(cli.get_int("trials", "RTSP_TRIALS", 5));
+  const auto base_seed =
+      static_cast<std::uint64_t>(cli.get_int("seed", "RTSP_SEED", 20070326));
+  const std::string spec =
+      cli.get_string("pipeline", "RTSP_PIPELINE", "GOLCF+H1+H2+OP1");
+
+  const Pipeline pipeline = make_pipeline(spec);
+  std::printf("pipeline %s on %zu servers, %zu objects, r=%zu (base seed %" PRIu64
+              ")\n",
+              spec.c_str(), setup.servers, setup.objects, replicas, base_seed);
+  std::printf("%-6s %14s %8s %8s %18s %10s %10s\n", "trial", "cost", "dummies",
+              "length", "hash", "build_ms", "improve_ms");
+  double improve_total = 0.0;
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    Rng rng = Rng::for_trial(base_seed, trial);
+    const Instance inst = make_equal_size_instance(setup, replicas, rng);
+    Timer timer;
+    Schedule h = pipeline.builder().build(inst.model, inst.x_old, inst.x_new, rng);
+    const double build_ms = timer.millis();
+    timer.reset();
+    for (const auto& improver : pipeline.improvers()) {
+      h = improver->improve(inst.model, inst.x_old, inst.x_new, std::move(h), rng);
+    }
+    const double improve_ms = timer.millis();
+    improve_total += improve_ms;
+    if (!Validator::is_valid(inst.model, inst.x_old, inst.x_new, h)) {
+      std::printf("trial %zu: INVALID SCHEDULE\n", trial);
+      return 1;
+    }
+    std::printf("%-6zu %14lld %8zu %8zu 0x%016" PRIx64 " %10.1f %10.1f\n", trial,
+                static_cast<long long>(schedule_cost(inst.model, h)),
+                h.dummy_transfer_count(), h.size(), schedule_hash(h), build_ms,
+                improve_ms);
+  }
+  std::printf("total improver time: %.1f ms over %zu trials\n", improve_total, trials);
+  return 0;
+}
