@@ -5,15 +5,24 @@
 // `--json PATH` writes the google-benchmark JSON report to PATH (shorthand
 // for --benchmark_out=PATH --benchmark_out_format=json); the `perf` CMake
 // target uses it to refresh BENCH_perf_heuristics.json at the repo root.
+//
+// Obs flags (recording is off unless one is given, so the timed loops stay
+// uninstrumented by default):
+//   --trace-out PATH    Chrome trace JSON of the pipeline/heuristic spans
+//   --metrics-out PATH  metrics snapshot (.json or .csv)
+//   --obs               print the metrics + span summary after the run
 #include <benchmark/benchmark.h>
 
 #include <cstring>
+#include <iostream>
 #include <string>
 #include <vector>
 
 #include "core/cost_model.hpp"
 #include "core/validator.hpp"
 #include "heuristics/registry.hpp"
+#include "obs/export.hpp"
+#include "obs/obs.hpp"
 #include "workload/paper_setup.hpp"
 
 namespace {
@@ -33,13 +42,25 @@ void run_pipeline_bench(benchmark::State& state, const std::string& spec) {
   const Instance inst = make_instance(objects, replicas, 99);
   const Pipeline pipeline = make_pipeline(spec);
   std::uint64_t trial = 0;
+  double builder_ms = 0.0;
+  double improver_ms = 0.0;
   for (auto _ : state) {
     Rng rng = Rng::for_trial(123, trial++);
-    const Schedule h = pipeline.run(inst.model, inst.x_old, inst.x_new, rng);
+    PipelineTiming timing;
+    const Schedule h =
+        pipeline.run(inst.model, inst.x_old, inst.x_new, rng, &timing);
+    builder_ms += timing.builder_seconds * 1e3;
+    improver_ms += timing.improver_seconds * 1e3;
     benchmark::DoNotOptimize(h.size());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(objects * replicas));
+  // Per-iteration stage split, reported alongside the usual wall time (and
+  // in the --json output as extra counters).
+  state.counters["builder_ms"] =
+      benchmark::Counter(builder_ms, benchmark::Counter::kAvgIterations);
+  state.counters["improver_ms"] =
+      benchmark::Counter(improver_ms, benchmark::Counter::kAvgIterations);
 }
 
 void BM_Builder_AR(benchmark::State& state) { run_pipeline_bench(state, "AR"); }
@@ -96,7 +117,23 @@ BENCHMARK(BM_Validator)->Arg(250)->Arg(1000)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_ScheduleCost)->Unit(benchmark::kMicrosecond);
 
 int main(int argc, char** argv) {
-  // Expand --json PATH before google-benchmark parses the command line.
+  // Expand --json PATH and strip the obs flags before google-benchmark
+  // parses the command line (it rejects flags it does not know).
+  std::string trace_out;
+  std::string metrics_out;
+  bool obs_summary = false;
+  const auto take_value = [&](const char* flag, int& i, std::string& out) {
+    const std::size_t flen = std::strlen(flag);
+    if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
+      out = argv[++i];
+      return true;
+    }
+    if (std::strncmp(argv[i], flag, flen) == 0 && argv[i][flen] == '=') {
+      out = argv[i] + flen + 1;
+      return true;
+    }
+    return false;
+  };
   std::vector<char*> args;
   std::vector<std::string> storage;
   storage.reserve(static_cast<std::size_t>(argc) + 2);
@@ -104,9 +141,16 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       storage.push_back(std::string("--benchmark_out=") + argv[++i]);
       storage.push_back("--benchmark_out_format=json");
+    } else if (take_value("--trace-out", i, trace_out) ||
+               take_value("--metrics-out", i, metrics_out)) {
+    } else if (std::strcmp(argv[i], "--obs") == 0) {
+      obs_summary = true;
     } else {
       storage.push_back(argv[i]);
     }
+  }
+  if (obs_summary || !trace_out.empty() || !metrics_out.empty()) {
+    rtsp::obs::set_enabled(true);
   }
   for (std::string& s : storage) args.push_back(s.data());
   int fake_argc = static_cast<int>(args.size());
@@ -114,5 +158,22 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(fake_argc, args.data())) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (rtsp::obs::enabled()) {
+    const auto snap = rtsp::obs::MetricsRegistry::instance().snapshot();
+    if (!metrics_out.empty()) {
+      rtsp::obs::write_metrics_file(metrics_out, snap);
+      std::cout << "obs metrics written to " << metrics_out << '\n';
+    }
+    const auto events = rtsp::obs::collect_trace();
+    if (!trace_out.empty()) {
+      rtsp::obs::write_trace_file(trace_out, events);
+      std::cout << "obs trace written to " << trace_out << " (" << events.size()
+                << " events; open in ui.perfetto.dev)\n";
+    }
+    if (obs_summary) {
+      rtsp::obs::print_metrics_summary(std::cout, snap);
+      rtsp::obs::print_span_summary(std::cout, events);
+    }
+  }
   return 0;
 }

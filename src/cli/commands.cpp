@@ -18,6 +18,7 @@
 #include "io/instance_io.hpp"
 #include "io/json_export.hpp"
 #include "io/schedule_io.hpp"
+#include "obs/session.hpp"
 #include "support/cli.hpp"
 #include "support/histogram.hpp"
 #include "support/string_util.hpp"
@@ -318,7 +319,12 @@ void print_usage(std::ostream& out) {
          "  help\n"
          "\n"
          "algorithm SPECs combine one builder (AR, GOLCF, RDF, GSDF) with\n"
-         "improvers (H1, H2, OP1, SA, H1H2FIX), e.g. GOLCF+H1+H2+OP1.\n";
+         "improvers (H1, H2, OP1, SA, H1H2FIX), e.g. GOLCF+H1+H2+OP1.\n"
+         "\n"
+         "observability (any command):\n"
+         "  --obs               print metrics + span summary after the run\n"
+         "  --trace-out=FILE    write Chrome trace JSON (open in ui.perfetto.dev)\n"
+         "  --metrics-out=FILE  write metrics snapshot (.json or .csv)\n";
 }
 
 int run_cli(int argc, const char* const* argv, std::ostream& out, std::ostream& err) {
@@ -328,17 +334,22 @@ int run_cli(int argc, const char* const* argv, std::ostream& out, std::ostream& 
   }
   const std::string command = argv[1];
   const CliOptions opt(argc - 1, argv + 1);
+  const obs::Session obs_session(opt);
   try {
-    if (command == "generate") return cmd_generate(opt, out);
-    if (command == "solve") return cmd_solve(opt, out);
-    if (command == "exact") return cmd_exact(opt, out);
-    if (command == "validate") return cmd_validate(opt, out);
-    if (command == "stats") return cmd_stats(opt, out);
-    if (command == "info") return cmd_info(opt, out);
-    if (command == "makespan") return cmd_makespan(opt, out);
-    if (command == "deadline") return cmd_deadline(opt, out);
-    if (command == "phases") return cmd_phases(opt, out);
-    if (command == "dot") return cmd_dot(opt, out);
+    const auto finish = [&](int rc) {
+      obs_session.finish(out);
+      return rc;
+    };
+    if (command == "generate") return finish(cmd_generate(opt, out));
+    if (command == "solve") return finish(cmd_solve(opt, out));
+    if (command == "exact") return finish(cmd_exact(opt, out));
+    if (command == "validate") return finish(cmd_validate(opt, out));
+    if (command == "stats") return finish(cmd_stats(opt, out));
+    if (command == "info") return finish(cmd_info(opt, out));
+    if (command == "makespan") return finish(cmd_makespan(opt, out));
+    if (command == "deadline") return finish(cmd_deadline(opt, out));
+    if (command == "phases") return finish(cmd_phases(opt, out));
+    if (command == "dot") return finish(cmd_dot(opt, out));
     if (command == "help" || command == "--help" || command == "-h") {
       print_usage(out);
       return 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.hpp"
 #include "support/assert.hpp"
 
 namespace rtsp {
@@ -26,13 +27,16 @@ PrefixStateCache::PrefixStateCache(const SystemModel& model,
 
 void PrefixStateCache::state_before(const Schedule& base, std::size_t pos,
                                     ExecutionState& out) const {
-  for (std::size_t u = checkpoint_before(pos, out); u < pos; ++u) {
+  const std::size_t start = checkpoint_before(pos, out);
+  OBS_COUNT_N(kObsIncrReplayedActions, pos - start);
+  for (std::size_t u = start; u < pos; ++u) {
     out.apply_lenient(base[u]);
   }
 }
 
 std::size_t PrefixStateCache::checkpoint_before(std::size_t pos,
                                                ExecutionState& out) const {
+  OBS_COUNT(kObsIncrCheckpointCopies);
   const std::size_t j = std::min(pos / spacing_, checkpoints_.size() - 1);
   out = checkpoints_[j];
   return j * spacing_;
@@ -87,6 +91,7 @@ void IncrementalEvaluator::rebuild_summary() {
 
 IncrementalEvaluator::Metrics IncrementalEvaluator::metrics(
     const Schedule& cand, std::size_t prefix_hint, std::size_t suffix_hint) const {
+  OBS_COUNT(kObsIncrCandidates);
   const std::size_t bsize = base_.size();
   const std::size_t csize = cand.size();
   const std::size_t min_size = std::min(bsize, csize);
@@ -120,8 +125,11 @@ IncrementalEvaluator::Metrics IncrementalEvaluator::metrics(
 
 bool IncrementalEvaluator::is_valid(const Schedule& cand, const Metrics& m,
                                     Scratch& scratch) const {
+  OBS_COUNT(kObsIncrValidations);
   if (!base_valid_) {
     // Degenerate: without a valid base there is no suffix to converge with.
+    OBS_COUNT(kObsIncrFullReplays);
+    OBS_COUNT_N(kObsIncrReplayedActions, cand.size());
     ExecutionState state(model_, x_old_);
     for (const Action& a : cand) {
       if (state.try_apply(a) != ActionError::None) return false;
@@ -134,7 +142,11 @@ bool IncrementalEvaluator::is_valid(const Schedule& cand, const Metrics& m,
   ExecutionState& bs = scratch.base_state_;
   // Shared prefix: replay base actions (identical to the candidate's, and
   // valid because the base is) up from the nearest checkpoint.
-  for (std::size_t u = cache_.checkpoint_before(m.prefix, cs); u < m.prefix; ++u) {
+  const std::size_t cp = cache_.checkpoint_before(m.prefix, cs);
+  OBS_COUNT_N(kObsIncrReplayedActions,
+              (m.prefix - cp) + (m.cand_suffix_start - m.prefix) +
+                  (m.base_suffix_start - m.prefix));
+  for (std::size_t u = cp; u < m.prefix; ++u) {
     cs.apply_lenient(base_[u]);
   }
   bs = cs;
@@ -160,20 +172,29 @@ bool IncrementalEvaluator::is_valid(const Schedule& cand, const Metrics& m,
   std::size_t gap = 1;
   while (p < cand.size()) {
     if (step == next_check) {
-      if (cs.placement() == bs.placement()) return true;
+      if (cs.placement() == bs.placement()) {
+        OBS_COUNT(kObsIncrConvergedEarly);
+        OBS_COUNT_N(kObsIncrReplayedActions, 2 * step);
+        return true;
+      }
       next_check += gap;
       gap *= 2;
     }
-    if (cs.try_apply(cand[p]) != ActionError::None) return false;
+    if (cs.try_apply(cand[p]) != ActionError::None) {
+      OBS_COUNT_N(kObsIncrReplayedActions, 2 * step);
+      return false;
+    }
     bs.apply_lenient(base_[q]);
     ++p;
     ++q;
     ++step;
   }
+  OBS_COUNT_N(kObsIncrReplayedActions, 2 * step);
   return cs.placement() == x_new_;
 }
 
 void IncrementalEvaluator::adopt(Schedule cand, const Metrics& m) {
+  OBS_COUNT(kObsIncrAdopts);
   cost_ = m.cost;
   dummies_ = m.dummy_transfers;
   base_ = std::move(cand);

@@ -33,6 +33,17 @@
 
 namespace rtsp {
 
+/// Obs counter names recorded by the engine (obs/obs.hpp), exported so tools
+/// and tests can read them out of a MetricsSnapshot without re-spelling the
+/// strings. All are totals since the last MetricsRegistry::reset().
+inline constexpr char kObsIncrCandidates[] = "incr.candidates_screened";
+inline constexpr char kObsIncrValidations[] = "incr.validations";
+inline constexpr char kObsIncrCheckpointCopies[] = "incr.checkpoint_copies";
+inline constexpr char kObsIncrReplayedActions[] = "incr.replayed_actions";
+inline constexpr char kObsIncrConvergedEarly[] = "incr.converged_early";
+inline constexpr char kObsIncrFullReplays[] = "incr.full_replays";
+inline constexpr char kObsIncrAdopts[] = "incr.adopts";
+
 /// Sparse ExecutionState snapshots of a schedule's execution, spaced every
 /// `spacing` actions: checkpoint j is the state after the first j*spacing
 /// actions. Replay between checkpoints uses lenient semantics, which on a

@@ -3,6 +3,8 @@
 #include <bit>
 #include <sstream>
 
+#include "obs/obs.hpp"
+
 namespace rtsp {
 
 std::string ValidationResult::to_string() const {
@@ -19,6 +21,8 @@ ValidationResult Validator::validate(const SystemModel& model,
                                      const ReplicationMatrix& x_old,
                                      const ReplicationMatrix& x_new,
                                      const Schedule& schedule, bool stop_at_first) {
+  OBS_COUNT("validator.full_validations");
+  OBS_COUNT_N("validator.actions_replayed", schedule.size());
   ValidationResult result;
   ExecutionState state(model, x_old);
   for (std::size_t u = 0; u < schedule.size(); ++u) {

@@ -7,6 +7,8 @@ void CellMetrics::add(const TrialMetrics& t) {
   implementation_cost.add(static_cast<double>(t.implementation_cost));
   schedule_length.add(static_cast<double>(t.schedule_length));
   seconds.add(t.seconds);
+  builder_seconds.add(t.builder_seconds);
+  improver_seconds.add(t.improver_seconds);
 }
 
 const char* metric_name(Metric m) {
@@ -15,6 +17,8 @@ const char* metric_name(Metric m) {
     case Metric::ImplementationCost: return "implementation cost";
     case Metric::ScheduleLength: return "schedule length";
     case Metric::Seconds: return "algorithm seconds";
+    case Metric::BuilderSeconds: return "builder seconds";
+    case Metric::ImproverSeconds: return "improver seconds";
   }
   return "?";
 }
@@ -25,6 +29,8 @@ const SampleSet& metric_samples(const CellMetrics& cell, Metric m) {
     case Metric::ImplementationCost: return cell.implementation_cost;
     case Metric::ScheduleLength: return cell.schedule_length;
     case Metric::Seconds: return cell.seconds;
+    case Metric::BuilderSeconds: return cell.builder_seconds;
+    case Metric::ImproverSeconds: return cell.improver_seconds;
   }
   return cell.dummy_transfers;
 }

@@ -15,7 +15,9 @@ struct TrialMetrics {
   Cost implementation_cost = 0;     ///< Figs. 5, 7, 9 metric
   std::size_t schedule_length = 0;
   std::size_t transfers = 0;
-  double seconds = 0.0;  ///< algorithm wall time
+  double seconds = 0.0;           ///< algorithm wall time (build + improve)
+  double builder_seconds = 0.0;   ///< construction stage only
+  double improver_seconds = 0.0;  ///< improver chain (incl. evaluator setup)
 };
 
 /// Aggregates over trials of one (sweep point, algorithm) cell.
@@ -24,12 +26,27 @@ struct CellMetrics {
   SampleSet implementation_cost;
   SampleSet schedule_length;
   SampleSet seconds;
+  SampleSet builder_seconds;
+  SampleSet improver_seconds;
 
   void add(const TrialMetrics& t);
 };
 
 /// Which aggregate a report should tabulate.
-enum class Metric { DummyTransfers, ImplementationCost, ScheduleLength, Seconds };
+enum class Metric {
+  DummyTransfers,
+  ImplementationCost,
+  ScheduleLength,
+  Seconds,
+  BuilderSeconds,
+  ImproverSeconds,
+};
+
+/// Every metric in report order, for dumps that emit all of them.
+inline constexpr Metric kAllMetrics[] = {
+    Metric::DummyTransfers, Metric::ImplementationCost, Metric::ScheduleLength,
+    Metric::Seconds,        Metric::BuilderSeconds,     Metric::ImproverSeconds,
+};
 
 const char* metric_name(Metric m);
 const SampleSet& metric_samples(const CellMetrics& cell, Metric m);

@@ -62,18 +62,22 @@ void write_series_csv(std::ostream& out, const SweepResult& result, Metric metri
   write_series_rows(csv, result, metric, x_label);
 }
 
+void write_all_series_csv(std::ostream& out, const SweepResult& result,
+                          const std::string& x_label) {
+  CsvWriter csv(out);
+  csv.row({"metric", x_label, "algorithm", "n", "mean", "stddev", "stderr", "min",
+           "max"});
+  for (Metric m : kAllMetrics) {
+    write_series_rows(csv, result, m, x_label);
+  }
+}
+
 void maybe_dump_csv(const std::string& path, const SweepResult& result,
                     const std::string& x_label) {
   if (path.empty()) return;
   std::ofstream out(path);
   if (!out) throw std::runtime_error("cannot open CSV output file: " + path);
-  CsvWriter csv(out);
-  csv.row({"metric", x_label, "algorithm", "n", "mean", "stddev", "stderr", "min",
-           "max"});
-  for (Metric m : {Metric::DummyTransfers, Metric::ImplementationCost,
-                   Metric::ScheduleLength, Metric::Seconds}) {
-    write_series_rows(csv, result, m, x_label);
-  }
+  write_all_series_csv(out, result, x_label);
 }
 
 }  // namespace rtsp

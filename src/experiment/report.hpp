@@ -19,6 +19,10 @@ void print_series(std::ostream& out, const SweepResult& result, Metric metric,
 void write_series_csv(std::ostream& out, const SweepResult& result, Metric metric,
                       const std::string& x_label);
 
+/// Same long format, one header, a block per metric in kAllMetrics order.
+void write_all_series_csv(std::ostream& out, const SweepResult& result,
+                          const std::string& x_label);
+
 /// Writes every metric to `path` if non-empty (one header + blocks).
 void maybe_dump_csv(const std::string& path, const SweepResult& result,
                     const std::string& x_label);

@@ -5,6 +5,7 @@
 #include "core/cost_model.hpp"
 #include "core/validator.hpp"
 #include "heuristics/registry.hpp"
+#include "obs/obs.hpp"
 #include "support/thread_pool.hpp"
 #include "support/timer.hpp"
 
@@ -31,6 +32,8 @@ SweepResult run_sweep(const std::vector<SweepPoint>& points, const SweepConfig& 
   parallel_for(config.threads, num_tasks, [&](std::size_t task) {
     const std::size_t point_idx = task / config.trials;
     const std::size_t trial = task % config.trials;
+    OBS_SPAN("trial", "point=" + points[point_idx].label +
+                          " trial=" + std::to_string(trial));
     // Stream ids: instance stream and per-algorithm streams are all
     // derived from (base_seed, point, trial, lane) and independent.
     const std::uint64_t task_seed =
@@ -40,11 +43,17 @@ SweepResult run_sweep(const std::vector<SweepPoint>& points, const SweepConfig& 
 
     for (std::size_t a = 0; a < num_algos; ++a) {
       Rng algo_rng(mix64(task_seed, 1 + a));
+      OBS_SPAN("algo." + pipelines[a].name(),
+               "point=" + points[point_idx].label +
+                   " trial=" + std::to_string(trial));
       Timer timer;
-      const Schedule h =
-          pipelines[a].run(instance.model, instance.x_old, instance.x_new, algo_rng);
+      PipelineTiming timing;
+      const Schedule h = pipelines[a].run(instance.model, instance.x_old,
+                                          instance.x_new, algo_rng, &timing);
       TrialMetrics& m = raw[task][a];
       m.seconds = timer.seconds();
+      m.builder_seconds = timing.builder_seconds;
+      m.improver_seconds = timing.improver_seconds;
       m.dummy_transfers = h.dummy_transfer_count();
       m.implementation_cost = schedule_cost(instance.model, h);
       m.schedule_length = h.size();

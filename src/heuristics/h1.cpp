@@ -1,6 +1,7 @@
 #include "heuristics/h1.hpp"
 
 #include "heuristics/surgery.hpp"
+#include "obs/obs.hpp"
 
 namespace rtsp {
 
@@ -17,6 +18,7 @@ class H1Run {
 
   void run() {
     for (int pass = 0; pass < options_.max_passes; ++pass) {
+      OBS_SPAN("h1.pass", "pass=" + std::to_string(pass));
       bool changed = false;
       std::size_t u = 0;
       while (u < eval_.schedule().size()) {
@@ -35,6 +37,7 @@ class H1Run {
   /// Transactional attempt: adopts the rewrite only when it validates and
   /// strictly reduces the dummy count.
   bool try_restore_at(std::size_t u) {
+    OBS_COUNT("h1.candidates");
     cand_ = eval_.schedule();
     EditWindow touched;
     if (!restore_dummy(cand_, u, 0, touched)) return false;
@@ -42,6 +45,7 @@ class H1Run {
     if (m.dummy_transfers >= eval_.dummy_transfers()) return false;
     if (!eval_.is_valid(cand_, m)) return false;
     eval_.adopt(std::move(cand_), m);
+    OBS_COUNT("h1.adopted");
     return true;
   }
 

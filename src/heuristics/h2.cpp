@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "heuristics/surgery.hpp"
+#include "obs/obs.hpp"
 
 namespace rtsp {
 
@@ -20,6 +21,7 @@ class H2Run {
 
   void run() {
     for (int pass = 0; pass < options_.max_passes; ++pass) {
+      OBS_SPAN("h2.pass", "pass=" + std::to_string(pass));
       bool changed = false;
       bool restart = false;
       std::size_t u = 0;
@@ -132,8 +134,11 @@ class H2Run {
   }
 
   bool accept(const IncrementalEvaluator::Metrics& m) {
+    OBS_COUNT("h2.candidates");
     if (m.dummy_transfers >= eval_.dummy_transfers()) return false;
-    return eval_.is_valid(cand_, m);
+    if (!eval_.is_valid(cand_, m)) return false;
+    OBS_COUNT("h2.adopted");
+    return true;
   }
 
   IncrementalEvaluator& eval_;

@@ -5,6 +5,7 @@
 
 #include "core/cost_model.hpp"
 #include "heuristics/surgery.hpp"
+#include "obs/obs.hpp"
 #include "support/thread_pool.hpp"
 
 namespace rtsp {
@@ -37,8 +38,10 @@ class Op1Run {
     for (std::size_t w = 0; w < wave; ++w) slots.emplace_back(model_, x_old_);
 
     std::size_t changes = 0;
+    std::size_t round = 0;
     ObjectId resume_object = round_objects_.front();
     while (true) {
+      OBS_SPAN("op1.round", "round=" + std::to_string(round++));
       std::size_t start = 0;
       if (options_.restart == Op1Options::Restart::Continue) {
         // Resume at the object adopted last round. Identified by ObjectId,
@@ -68,6 +71,7 @@ class Op1Run {
         for (std::size_t w = 0; w < n; ++w) {
           if (!slots[w].found) continue;
           const std::size_t idx = (start + step + w) % round_objects_.size();
+          OBS_COUNT("op1.adopted");
           eval_.adopt(slots[w].cand, slots[w].m);  // copy; the slot buffer stays warm
           update_index(eval_.schedule(), slots[w].m.prefix, slots[w].m.cand_suffix_start);
           resume_object = round_objects_[idx];
@@ -151,7 +155,9 @@ class Op1Run {
       for (std::size_t b = a + 1; b < positions.size(); ++b) {
         const std::size_t u = positions[a];
         const std::size_t v = positions[b];
+        OBS_COUNT("op1.candidates");
         if (options_.prescreen && estimate_delta(h, k, u, v, s.holds) >= 0) {
+          OBS_COUNT("op1.prescreen_rejects");
           continue;
         }
         EditWindow touched;

@@ -1,8 +1,21 @@
 #include "heuristics/pipeline.hpp"
 
+#include <chrono>
+
+#include "core/incremental.hpp"
+#include "obs/obs.hpp"
 #include "support/assert.hpp"
 
 namespace rtsp {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
 
 Pipeline::Pipeline(BuilderPtr builder, std::vector<ImproverPtr> improvers)
     : builder_(std::move(builder)), improvers_(std::move(improvers)) {
@@ -15,16 +28,30 @@ Pipeline::Pipeline(BuilderPtr builder, std::vector<ImproverPtr> improvers)
 }
 
 Schedule Pipeline::run(const SystemModel& model, const ReplicationMatrix& x_old,
-                       const ReplicationMatrix& x_new, Rng& rng) const {
-  Schedule h = builder_->build(model, x_old, x_new, rng);
+                       const ReplicationMatrix& x_new, Rng& rng,
+                       PipelineTiming* timing) const {
+  auto stage_start = std::chrono::steady_clock::now();
+  Schedule h;
+  {
+    OBS_SPAN("build." + builder_->name());
+    h = builder_->build(model, x_old, x_new, rng);
+  }
+  if (timing) timing->builder_seconds = seconds_since(stage_start);
   if (improvers_.empty()) return h;
+
+  stage_start = std::chrono::steady_clock::now();
   // One evaluator serves the whole improver chain: each improver inherits
   // the previous one's prefix checkpoints and cost/dummy summary instead of
   // re-validating the schedule from scratch.
   IncrementalEvaluator eval(model, x_old, x_new, std::move(h));
   for (const auto& imp : improvers_) {
+    OBS_SPAN("improve." + imp->name());
     imp->improve_incremental(eval, rng);
+    OBS_TRACE_COUNTER(kObsIncrCandidates);
+    OBS_TRACE_COUNTER(kObsIncrAdopts);
+    OBS_TRACE_COUNTER(kObsIncrConvergedEarly);
   }
+  if (timing) timing->improver_seconds = seconds_since(stage_start);
   return eval.take_schedule();
 }
 

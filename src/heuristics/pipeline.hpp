@@ -9,6 +9,15 @@
 
 namespace rtsp {
 
+/// Wall-clock split of one Pipeline::run call, for callers that attribute
+/// time to the build vs improve stages (experiment CSVs report both).
+struct PipelineTiming {
+  double builder_seconds = 0.0;
+  /// Improver-chain time; includes constructing the shared incremental
+  /// evaluator (its initial replay is part of the improvement cost).
+  double improver_seconds = 0.0;
+};
+
 class Pipeline {
  public:
   Pipeline(BuilderPtr builder, std::vector<ImproverPtr> improvers);
@@ -20,8 +29,10 @@ class Pipeline {
   const std::vector<ImproverPtr>& improvers() const { return improvers_; }
 
   /// Builds the initial schedule and applies each improver in order.
+  /// When `timing` is non-null the stage split is written into it.
   Schedule run(const SystemModel& model, const ReplicationMatrix& x_old,
-               const ReplicationMatrix& x_new, Rng& rng) const;
+               const ReplicationMatrix& x_new, Rng& rng,
+               PipelineTiming* timing = nullptr) const;
 
  private:
   BuilderPtr builder_;

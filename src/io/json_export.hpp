@@ -1,6 +1,6 @@
-// Minimal JSON writer plus exporters for schedules, instances and sweep
-// results — for downstream tooling (dashboards, notebooks) that prefers
-// JSON over the text formats.
+// JSON exporters for schedules, instances and sweep results — for
+// downstream tooling (dashboards, notebooks) that prefers JSON over the
+// text formats. The JsonWriter itself lives in support/json.hpp.
 #pragma once
 
 #include <cstdint>
@@ -9,39 +9,10 @@
 
 #include "core/schedule.hpp"
 #include "experiment/runner.hpp"
+#include "support/json.hpp"
 #include "workload/scenario.hpp"
 
 namespace rtsp {
-
-/// Streaming JSON writer with correct string escaping and comma handling.
-/// Usage: obj/arr open scopes; key() inside objects; value() for leaves.
-class JsonWriter {
- public:
-  explicit JsonWriter(std::ostream& out) : out_(out) {}
-
-  JsonWriter& begin_object();
-  JsonWriter& end_object();
-  JsonWriter& begin_array();
-  JsonWriter& end_array();
-  JsonWriter& key(const std::string& name);
-  JsonWriter& value(const std::string& s);
-  JsonWriter& value(const char* s) { return value(std::string(s)); }
-  JsonWriter& value(std::int64_t v);
-  JsonWriter& value(std::uint64_t v);
-  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
-  JsonWriter& value(double v);
-  JsonWriter& value(bool v);
-
-  static std::string escape(const std::string& s);
-
- private:
-  void element_prefix();
-
-  std::ostream& out_;
-  // Scope stack: true = needs a comma before the next element.
-  std::string stack_;
-  bool pending_key_ = false;
-};
 
 /// {"actions":[{"type":"transfer","server":..,"object":..,"source":..|"dummy"},
 ///             {"type":"delete",...}]}
@@ -50,7 +21,7 @@ void schedule_to_json(std::ostream& out, const Schedule& schedule);
 /// Instance summary (sizes, capacities, delta counts; not the full matrix).
 void instance_summary_to_json(std::ostream& out, const Instance& instance);
 
-/// Full sweep result: per point, per algorithm, all four metrics with
+/// Full sweep result: per point, per algorithm, every Metric with
 /// mean/stddev/min/max/n.
 void sweep_to_json(std::ostream& out, const SweepResult& result,
                    const std::string& x_label);

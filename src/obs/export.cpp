@@ -1,0 +1,216 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+
+#include "support/csv.hpp"
+#include "support/histogram.hpp"
+#include "support/json.hpp"
+#include "support/table.hpp"
+
+namespace rtsp::obs {
+
+namespace {
+
+/// Fixed-precision, locale-independent rendering for the console tables.
+std::string fixed(double v, int precision) {
+  char buf[48];
+  const auto res =
+      std::to_chars(buf, buf + sizeof buf, v, std::chars_format::fixed, precision);
+  if (res.ec != std::errc()) return "?";
+  return std::string(buf, res.ptr);
+}
+
+constexpr double kNsPerUs = 1e3;
+constexpr double kNsPerMs = 1e6;
+
+}  // namespace
+
+void print_metrics_summary(std::ostream& out, const MetricsSnapshot& snap) {
+  if (!snap.counters.empty()) {
+    TextTable t;
+    t.header({"counter", "value"});
+    for (const auto& c : snap.counters) {
+      t.add_row({c.name, std::to_string(c.value)});
+    }
+    out << "-- obs counters --\n";
+    t.print(out);
+  }
+  if (!snap.gauges.empty()) {
+    TextTable t;
+    t.header({"gauge", "value", "max"});
+    for (const auto& g : snap.gauges) {
+      t.add_row({g.name, std::to_string(g.value), std::to_string(g.max)});
+    }
+    out << "-- obs gauges --\n";
+    t.print(out);
+  }
+  if (!snap.histograms.empty()) {
+    TextTable t;
+    t.header({"latency", "count", "mean_us", "p50_us", "p90_us", "p99_us",
+              "max_us"});
+    for (const auto& h : snap.histograms) {
+      t.add_row({h.name, std::to_string(h.count), fixed(h.mean_us, 2),
+                 fixed(h.p50_us, 2), fixed(h.p90_us, 2), fixed(h.p99_us, 2),
+                 fixed(h.max_us, 2)});
+    }
+    out << "-- obs latencies --\n";
+    t.print(out);
+  }
+}
+
+void print_span_summary(std::ostream& out, const std::vector<TraceEvent>& events) {
+  // Group Complete-span durations by name, preserving first-seen order.
+  std::vector<std::string> order;
+  std::map<std::string, std::vector<double>> durations_ms;
+  for (const TraceEvent& e : events) {
+    if (e.kind != TraceEvent::Kind::Complete) continue;
+    auto [it, inserted] = durations_ms.try_emplace(e.name);
+    if (inserted) order.push_back(e.name);
+    it->second.push_back(static_cast<double>(e.dur_ns) / kNsPerMs);
+  }
+  if (order.empty()) return;
+
+  TextTable t;
+  t.header({"span", "count", "total_ms", "mean_ms", "min_ms", "max_ms"});
+  const std::string* busiest = nullptr;
+  double busiest_total = -1.0;
+  for (const std::string& name : order) {
+    const std::vector<double>& d = durations_ms[name];
+    double total = 0.0, lo = d.front(), hi = d.front();
+    for (double v : d) {
+      total += v;
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    t.add_row({name, std::to_string(d.size()), fixed(total, 3),
+               fixed(total / static_cast<double>(d.size()), 3), fixed(lo, 3),
+               fixed(hi, 3)});
+    if (total > busiest_total) {
+      busiest_total = total;
+      busiest = &name;
+    }
+  }
+  out << "-- obs spans --\n";
+  t.print(out);
+
+  const std::vector<double>& d = durations_ms[*busiest];
+  if (d.size() >= 2) {
+    out << "duration histogram for '" << *busiest << "' (ms):\n"
+        << Histogram::of(d).to_string();
+  }
+}
+
+void write_metrics_csv(std::ostream& out, const MetricsSnapshot& snap) {
+  CsvWriter w(out);
+  w.row({"kind", "name", "value", "max", "count", "mean_us", "p50_us", "p90_us",
+         "p99_us", "max_us"});
+  for (const auto& c : snap.counters) {
+    w.field("counter").field(c.name).field(c.value);
+    w.field("").field("").field("").field("").field("").field("");
+    w.end_row();
+  }
+  for (const auto& g : snap.gauges) {
+    w.field("gauge").field(g.name).field(g.value).field(g.max);
+    w.field("").field("").field("").field("").field("");
+    w.end_row();
+  }
+  for (const auto& h : snap.histograms) {
+    w.field("histogram").field(h.name).field("").field("");
+    w.field(h.count).field(h.mean_us).field(h.p50_us).field(h.p90_us);
+    w.field(h.p99_us).field(h.max_us);
+    w.end_row();
+  }
+}
+
+void write_metrics_json(std::ostream& out, const MetricsSnapshot& snap) {
+  JsonWriter j(out);
+  j.begin_object();
+  j.key("counters").begin_object();
+  for (const auto& c : snap.counters) j.key(c.name).value(c.value);
+  j.end_object();
+  j.key("gauges").begin_object();
+  for (const auto& g : snap.gauges) {
+    j.key(g.name).begin_object();
+    j.key("value").value(g.value);
+    j.key("max").value(g.max);
+    j.end_object();
+  }
+  j.end_object();
+  j.key("histograms").begin_object();
+  for (const auto& h : snap.histograms) {
+    j.key(h.name).begin_object();
+    j.key("count").value(h.count);
+    j.key("mean_us").value(h.mean_us);
+    j.key("p50_us").value(h.p50_us);
+    j.key("p90_us").value(h.p90_us);
+    j.key("p99_us").value(h.p99_us);
+    j.key("max_us").value(h.max_us);
+    j.end_object();
+  }
+  j.end_object();
+  j.end_object();
+  out << '\n';
+}
+
+void write_chrome_trace(std::ostream& out, const std::vector<TraceEvent>& events) {
+  JsonWriter j(out);
+  j.begin_object();
+  j.key("traceEvents").begin_array();
+  for (const TraceEvent& e : events) {
+    j.begin_object();
+    j.key("name").value(e.name);
+    j.key("pid").value(1);
+    j.key("tid").value(static_cast<std::uint64_t>(e.tid));
+    // Trace-event timestamps are microseconds; keep sub-µs as fractions.
+    j.key("ts").value(static_cast<double>(e.ts_ns) / kNsPerUs);
+    if (e.kind == TraceEvent::Kind::Complete) {
+      j.key("ph").value("X");
+      j.key("dur").value(static_cast<double>(e.dur_ns) / kNsPerUs);
+      if (!e.detail.empty()) {
+        j.key("args").begin_object();
+        j.key("detail").value(e.detail);
+        j.end_object();
+      }
+    } else {
+      j.key("ph").value("C");
+      j.key("args").begin_object();
+      j.key("value").value(e.value);
+      j.end_object();
+    }
+    j.end_object();
+  }
+  j.end_array();
+  j.end_object();
+  out << '\n';
+}
+
+namespace {
+
+std::ofstream open_or_throw(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open obs output file: " + path);
+  return out;
+}
+
+}  // namespace
+
+void write_metrics_file(const std::string& path, const MetricsSnapshot& snap) {
+  std::ofstream out = open_or_throw(path);
+  if (path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0) {
+    write_metrics_json(out, snap);
+  } else {
+    write_metrics_csv(out, snap);
+  }
+}
+
+void write_trace_file(const std::string& path,
+                      const std::vector<TraceEvent>& events) {
+  std::ofstream out = open_or_throw(path);
+  write_chrome_trace(out, events);
+}
+
+}  // namespace rtsp::obs

@@ -1,0 +1,45 @@
+// Exporters for obs metrics snapshots and trace buffers: console summary
+// tables, CSV/JSON metric dumps, and Chrome trace-event JSON that loads in
+// Perfetto (ui.perfetto.dev) or chrome://tracing.
+//
+// Lives in the obs/ directory but is compiled into rtsp_support: it needs
+// the table/CSV/JSON/histogram primitives, which themselves sit above the
+// dependency-free rtsp_obs core.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace rtsp::obs {
+
+/// Console tables: counters (name/value), gauges (name/value/max), latency
+/// histograms (count, mean/p50/p90/p99/max in µs). Empty sections are
+/// omitted; prints nothing when the snapshot has no data at all.
+void print_metrics_summary(std::ostream& out, const MetricsSnapshot& snap);
+
+/// Per-span-name duration table (count, total/mean/min/max in ms) plus an
+/// ASCII duration histogram (support/histogram) for the busiest span name.
+void print_span_summary(std::ostream& out, const std::vector<TraceEvent>& events);
+
+/// CSV with one row per metric: kind,name,value,max,count,mean_us,p50_us,...
+void write_metrics_csv(std::ostream& out, const MetricsSnapshot& snap);
+
+/// {"counters":{...},"gauges":{...},"histograms":{...}}
+void write_metrics_json(std::ostream& out, const MetricsSnapshot& snap);
+
+/// Chrome trace-event JSON: {"traceEvents":[...]}; Complete spans as ph "X"
+/// (ts/dur in microseconds), counter samples as ph "C".
+void write_chrome_trace(std::ostream& out, const std::vector<TraceEvent>& events);
+
+/// Writes the snapshot to `path`, picking the format from the extension
+/// (".json" → JSON, anything else → CSV). Throws on open failure.
+void write_metrics_file(const std::string& path, const MetricsSnapshot& snap);
+
+/// Writes the events to `path` as Chrome trace JSON. Throws on open failure.
+void write_trace_file(const std::string& path, const std::vector<TraceEvent>& events);
+
+}  // namespace rtsp::obs

@@ -1,0 +1,328 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+namespace rtsp::obs {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}
+
+void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t now_ns() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point epoch = clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - epoch)
+          .count());
+}
+
+namespace {
+
+/// One thread's private slice of every metric. Only the owning thread
+/// writes; snapshot readers do relaxed loads (exact once writers joined).
+struct ThreadShard {
+  std::atomic<std::uint64_t> counters[kMaxCounters] = {};
+  struct Hist {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum_ns{0};
+    std::atomic<std::uint64_t> max_ns{0};
+    std::atomic<std::uint64_t> buckets[kHistogramBuckets] = {};
+  };
+  Hist hists[kMaxHistograms];
+};
+
+/// Retired (thread-exited) totals in plain integers, guarded by the mutex.
+struct RetiredTotals {
+  std::uint64_t counters[kMaxCounters] = {};
+  struct Hist {
+    std::uint64_t count = 0;
+    std::uint64_t sum_ns = 0;
+    std::uint64_t max_ns = 0;
+    std::uint64_t buckets[kHistogramBuckets] = {};
+  };
+  Hist hists[kMaxHistograms];
+};
+
+struct GaugeCell {
+  std::atomic<std::int64_t> value{0};
+  std::atomic<std::int64_t> max{0};
+};
+
+std::size_t bucket_of(std::uint64_t ns) {
+  return std::min<std::size_t>(std::bit_width(ns), kHistogramBuckets - 1);
+}
+
+/// Upper edge of bucket i in microseconds (samples in bucket i are < 2^i ns).
+double bucket_edge_us(std::size_t i) {
+  return static_cast<double>(std::uint64_t{1} << std::min<std::size_t>(i, 62)) / 1e3;
+}
+
+}  // namespace
+
+struct MetricsRegistry::Impl {
+  mutable std::mutex mutex;
+  std::vector<std::string> counter_names;
+  std::vector<std::string> gauge_names;
+  std::vector<std::string> hist_names;
+  std::map<std::string, std::uint32_t> counter_ids;
+  std::map<std::string, std::uint32_t> gauge_ids;
+  std::map<std::string, std::uint32_t> hist_ids;
+  std::vector<ThreadShard*> live_shards;
+  RetiredTotals retired;
+  GaugeCell gauges[kMaxGauges];
+
+  ThreadShard* register_shard() {
+    auto* shard = new ThreadShard();
+    std::lock_guard<std::mutex> lock(mutex);
+    live_shards.push_back(shard);
+    return shard;
+  }
+
+  void retire_shard(ThreadShard* shard) {
+    std::lock_guard<std::mutex> lock(mutex);
+    fold(shard);
+    live_shards.erase(std::find(live_shards.begin(), live_shards.end(), shard));
+    delete shard;
+  }
+
+  // Callers hold the mutex.
+  void fold(const ThreadShard* shard) {
+    for (std::size_t i = 0; i < kMaxCounters; ++i) {
+      retired.counters[i] += shard->counters[i].load(std::memory_order_relaxed);
+    }
+    for (std::size_t h = 0; h < kMaxHistograms; ++h) {
+      const auto& src = shard->hists[h];
+      auto& dst = retired.hists[h];
+      dst.count += src.count.load(std::memory_order_relaxed);
+      dst.sum_ns += src.sum_ns.load(std::memory_order_relaxed);
+      dst.max_ns = std::max(dst.max_ns, src.max_ns.load(std::memory_order_relaxed));
+      for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+        dst.buckets[b] += src.buckets[b].load(std::memory_order_relaxed);
+      }
+    }
+  }
+};
+
+MetricsRegistry::Impl& MetricsRegistry::impl() const {
+  static Impl impl;
+  return impl;
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+MetricsRegistry::Impl& registry_impl() { return MetricsRegistry::instance().impl(); }
+
+namespace {
+
+ThreadShard& tls_shard() {
+  // The handle's destructor folds this thread's contributions into the
+  // retired totals at thread exit, so totals survive transient pools.
+  struct Handle {
+    ThreadShard* shard;
+    MetricsRegistry::Impl* owner;
+    explicit Handle(MetricsRegistry::Impl& impl)
+        : shard(impl.register_shard()), owner(&impl) {}
+    ~Handle() { owner->retire_shard(shard); }
+  };
+  thread_local Handle handle(registry_impl());
+  return *handle.shard;
+}
+
+}  // namespace
+
+void Counter::add(std::uint64_t n) const {
+  if (!enabled()) return;
+  tls_shard().counters[id_].fetch_add(n, std::memory_order_relaxed);
+}
+
+void Gauge::set(std::int64_t v) const {
+  if (!enabled()) return;
+  auto& cell = registry_impl().gauges[id_];
+  cell.value.store(v, std::memory_order_relaxed);
+  std::int64_t prev = cell.max.load(std::memory_order_relaxed);
+  while (v > prev &&
+         !cell.max.compare_exchange_weak(prev, v, std::memory_order_relaxed)) {
+  }
+}
+
+void Gauge::add(std::int64_t delta) const {
+  if (!enabled()) return;
+  auto& cell = registry_impl().gauges[id_];
+  const std::int64_t v = cell.value.fetch_add(delta, std::memory_order_relaxed) + delta;
+  std::int64_t prev = cell.max.load(std::memory_order_relaxed);
+  while (v > prev &&
+         !cell.max.compare_exchange_weak(prev, v, std::memory_order_relaxed)) {
+  }
+}
+
+std::int64_t Gauge::value() const {
+  return registry_impl().gauges[id_].value.load(
+      std::memory_order_relaxed);
+}
+
+void LatencyHistogram::record_ns(std::uint64_t ns) const {
+  if (!enabled()) return;
+  auto& hist = tls_shard().hists[id_];
+  hist.count.fetch_add(1, std::memory_order_relaxed);
+  hist.sum_ns.fetch_add(ns, std::memory_order_relaxed);
+  hist.buckets[bucket_of(ns)].fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t prev = hist.max_ns.load(std::memory_order_relaxed);
+  while (ns > prev &&
+         !hist.max_ns.compare_exchange_weak(prev, ns, std::memory_order_relaxed)) {
+  }
+}
+
+namespace {
+
+std::uint32_t intern(std::vector<std::string>& names,
+                     std::map<std::string, std::uint32_t>& ids,
+                     const std::string& name, std::size_t capacity,
+                     const char* kind) {
+  const auto it = ids.find(name);
+  if (it != ids.end()) return it->second;
+  if (names.size() >= capacity) {
+    throw std::length_error(std::string("too many obs ") + kind + " names (max " +
+                            std::to_string(capacity) + "): " + name);
+  }
+  const auto id = static_cast<std::uint32_t>(names.size());
+  names.push_back(name);
+  ids.emplace(name, id);
+  return id;
+}
+
+}  // namespace
+
+Counter MetricsRegistry::counter(const std::string& name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  return Counter(intern(i.counter_names, i.counter_ids, name, kMaxCounters,
+                        "counter"));
+}
+
+Gauge MetricsRegistry::gauge(const std::string& name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  return Gauge(intern(i.gauge_names, i.gauge_ids, name, kMaxGauges, "gauge"));
+}
+
+LatencyHistogram MetricsRegistry::histogram(const std::string& name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  return LatencyHistogram(
+      intern(i.hist_names, i.hist_ids, name, kMaxHistograms, "histogram"));
+}
+
+std::uint64_t MetricsRegistry::counter_value(const std::string& name) const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  const auto it = i.counter_ids.find(name);
+  if (it == i.counter_ids.end()) return 0;
+  std::uint64_t total = i.retired.counters[it->second];
+  for (const ThreadShard* shard : i.live_shards) {
+    total += shard->counters[it->second].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  MetricsSnapshot snap;
+
+  snap.counters.reserve(i.counter_names.size());
+  for (std::size_t c = 0; c < i.counter_names.size(); ++c) {
+    std::uint64_t total = i.retired.counters[c];
+    for (const ThreadShard* shard : i.live_shards) {
+      total += shard->counters[c].load(std::memory_order_relaxed);
+    }
+    snap.counters.push_back({i.counter_names[c], total});
+  }
+
+  snap.gauges.reserve(i.gauge_names.size());
+  for (std::size_t g = 0; g < i.gauge_names.size(); ++g) {
+    snap.gauges.push_back({i.gauge_names[g],
+                           i.gauges[g].value.load(std::memory_order_relaxed),
+                           i.gauges[g].max.load(std::memory_order_relaxed)});
+  }
+
+  snap.histograms.reserve(i.hist_names.size());
+  for (std::size_t h = 0; h < i.hist_names.size(); ++h) {
+    RetiredTotals::Hist agg = i.retired.hists[h];
+    for (const ThreadShard* shard : i.live_shards) {
+      const auto& src = shard->hists[h];
+      agg.count += src.count.load(std::memory_order_relaxed);
+      agg.sum_ns += src.sum_ns.load(std::memory_order_relaxed);
+      agg.max_ns = std::max(agg.max_ns, src.max_ns.load(std::memory_order_relaxed));
+      for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+        agg.buckets[b] += src.buckets[b].load(std::memory_order_relaxed);
+      }
+    }
+    MetricsSnapshot::HistogramValue v;
+    v.name = i.hist_names[h];
+    v.count = agg.count;
+    if (agg.count > 0) {
+      v.mean_us = static_cast<double>(agg.sum_ns) / static_cast<double>(agg.count) / 1e3;
+      v.max_us = static_cast<double>(agg.max_ns) / 1e3;
+      // Percentiles as the upper edge of the bucket holding that rank
+      // (conservative: the true value is at most the reported one).
+      const auto rank_edge = [&](double q) {
+        // Nearest-rank percentile: the smallest sample with at least
+        // ceil(q * count) samples at or below it.
+        const auto rank = static_cast<std::uint64_t>(
+            std::ceil(q * static_cast<double>(agg.count)));
+        std::uint64_t seen = 0;
+        for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+          seen += agg.buckets[b];
+          if (seen >= rank) return bucket_edge_us(b);
+        }
+        return bucket_edge_us(kHistogramBuckets - 1);
+      };
+      v.p50_us = rank_edge(0.50);
+      v.p90_us = rank_edge(0.90);
+      v.p99_us = rank_edge(0.99);
+    }
+    snap.histograms.push_back(std::move(v));
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  i.retired = RetiredTotals{};
+  for (auto& g : i.gauges) {
+    g.value.store(0, std::memory_order_relaxed);
+    g.max.store(0, std::memory_order_relaxed);
+  }
+  for (ThreadShard* shard : i.live_shards) {
+    for (auto& c : shard->counters) c.store(0, std::memory_order_relaxed);
+    for (auto& h : shard->hists) {
+      h.count.store(0, std::memory_order_relaxed);
+      h.sum_ns.store(0, std::memory_order_relaxed);
+      h.max_ns.store(0, std::memory_order_relaxed);
+      for (auto& b : h.buckets) b.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::uint64_t MetricsSnapshot::counter(std::string_view name) const {
+  for (const auto& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+}  // namespace rtsp::obs

@@ -1,0 +1,149 @@
+// Process-wide metrics: named counters, gauges and latency histograms.
+//
+// Hot-path design: counter increments and latency records go to a per-thread
+// shard (relaxed atomics on thread-private cache lines), so instrumented
+// code pays one relaxed flag load + one TLS add and never contends. Shards
+// are folded into retired totals when their thread exits; snapshot() sums
+// retired totals plus the live shards, which is exact whenever the writer
+// threads have been joined (the only time exact totals are meaningful).
+//
+// Everything is gated on the runtime flag obs::enabled(): when off, every
+// record call returns after a single relaxed load. The OBS_* macros in
+// obs/obs.hpp additionally compile to nothing when RTSP_OBS_ENABLED is 0.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rtsp::obs {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}
+
+/// Runtime instrumentation gate; false at startup.
+inline bool enabled() { return detail::g_enabled.load(std::memory_order_relaxed); }
+void set_enabled(bool on);
+
+/// Monotonic nanoseconds since the first call in this process (one shared
+/// epoch so trace timestamps from different threads align).
+std::uint64_t now_ns();
+
+/// Capacity limits: ids are array indices into fixed-size thread shards, so
+/// registering more names than this throws.
+inline constexpr std::size_t kMaxCounters = 256;
+inline constexpr std::size_t kMaxGauges = 64;
+inline constexpr std::size_t kMaxHistograms = 64;
+/// Latency buckets are powers of two: bucket i counts samples with
+/// bit_width(ns) == i, i.e. [2^(i-1), 2^i); the last bucket absorbs the rest.
+inline constexpr std::size_t kHistogramBuckets = 40;
+
+/// Cheap copyable handle to a registered counter (an interned id).
+class Counter {
+ public:
+  Counter() = default;
+  void add(std::uint64_t n = 1) const;
+  void inc() const { add(1); }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(std::uint32_t id) : id_(id) {}
+  std::uint32_t id_ = 0;
+};
+
+/// Last-value gauge (e.g. queue depth); also tracks the max since reset.
+/// Not sharded: set/add are low-frequency and need a single current value.
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(std::int64_t v) const;
+  void add(std::int64_t delta) const;
+  std::int64_t value() const;
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(std::uint32_t id) : id_(id) {}
+  std::uint32_t id_ = 0;
+};
+
+/// Power-of-two-bucketed latency histogram over nanoseconds.
+class LatencyHistogram {
+ public:
+  LatencyHistogram() = default;
+  void record_ns(std::uint64_t ns) const;
+
+ private:
+  friend class MetricsRegistry;
+  explicit LatencyHistogram(std::uint32_t id) : id_(id) {}
+  std::uint32_t id_ = 0;
+};
+
+/// Point-in-time aggregate of every registered metric.
+struct MetricsSnapshot {
+  struct CounterValue {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct GaugeValue {
+    std::string name;
+    std::int64_t value = 0;
+    std::int64_t max = 0;
+  };
+  struct HistogramValue {
+    std::string name;
+    std::uint64_t count = 0;
+    double mean_us = 0.0;
+    double p50_us = 0.0;
+    double p90_us = 0.0;
+    double p99_us = 0.0;
+    double max_us = 0.0;
+  };
+
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+
+  /// Value of a counter by name; 0 when the name was never registered.
+  std::uint64_t counter(std::string_view name) const;
+};
+
+/// Process-wide singleton interning metric names to shard slots.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Interns `name`; the same name always yields a handle to the same slot.
+  /// Throws std::length_error past the kMax* capacity.
+  Counter counter(const std::string& name);
+  Gauge gauge(const std::string& name);
+  LatencyHistogram histogram(const std::string& name);
+
+  /// Aggregated value of one counter (retired totals + live shards).
+  std::uint64_t counter_value(const std::string& name) const;
+
+  MetricsSnapshot snapshot() const;
+
+  /// Zeroes every counter, gauge and histogram (names and ids survive).
+  /// Callers must quiesce writer threads first.
+  void reset();
+
+  /// Implementation detail (shard registry, metrics.cpp only).
+  struct Impl;
+
+ private:
+  friend Impl& registry_impl();
+  MetricsRegistry() = default;
+  Impl& impl() const;
+};
+
+/// File-local accessor used by the hot paths in metrics.cpp.
+MetricsRegistry::Impl& registry_impl();
+
+}  // namespace rtsp::obs

@@ -1,0 +1,78 @@
+// Observability umbrella: the OBS_* instrumentation macros plus the metrics
+// and trace APIs they sit on.
+//
+// Two gates, cheapest wins:
+//   * compile time — the RTSP_OBS CMake option (default ON) defines
+//     RTSP_OBS_ENABLED; when 0 every macro expands to ((void)0) and the
+//     instrumented code carries zero obs code;
+//   * run time — obs::set_enabled(true) arms recording; when disabled each
+//     macro costs one relaxed atomic load.
+//
+// Instrumentation must never change program behaviour: macros only observe,
+// and macro arguments are NOT evaluated when compiled out — never pass
+// expressions with side effects.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+#ifndef RTSP_OBS_ENABLED
+#define RTSP_OBS_ENABLED 1
+#endif
+
+#if RTSP_OBS_ENABLED
+
+#define RTSP_OBS_CONCAT_INNER(a, b) a##b
+#define RTSP_OBS_CONCAT(a, b) RTSP_OBS_CONCAT_INNER(a, b)
+
+/// Scoped span: OBS_SPAN("h1.pass") or OBS_SPAN("trial", "point=2 trial=0").
+#define OBS_SPAN(...) \
+  ::rtsp::obs::ScopedSpan RTSP_OBS_CONCAT(rtsp_obs_span_, __LINE__)(__VA_ARGS__)
+
+/// Adds `n` to the named counter (handle interned once per call site).
+#define OBS_COUNT_N(name, n)                                      \
+  do {                                                            \
+    static const ::rtsp::obs::Counter rtsp_obs_c =                \
+        ::rtsp::obs::MetricsRegistry::instance().counter(name);   \
+    rtsp_obs_c.add(static_cast<std::uint64_t>(n));                \
+  } while (0)
+#define OBS_COUNT(name) OBS_COUNT_N(name, 1)
+
+/// Sets the named gauge to `v` (also updates its max-since-reset).
+#define OBS_GAUGE_SET(name, v)                                    \
+  do {                                                            \
+    static const ::rtsp::obs::Gauge rtsp_obs_g =                  \
+        ::rtsp::obs::MetricsRegistry::instance().gauge(name);     \
+    rtsp_obs_g.set(static_cast<std::int64_t>(v));                 \
+  } while (0)
+
+/// Records one latency sample (nanoseconds) into the named histogram.
+#define OBS_LATENCY_NS(name, ns)                                  \
+  do {                                                            \
+    static const ::rtsp::obs::LatencyHistogram rtsp_obs_h =       \
+        ::rtsp::obs::MetricsRegistry::instance().histogram(name); \
+    rtsp_obs_h.record_ns(static_cast<std::uint64_t>(ns));         \
+  } while (0)
+
+/// Emits the named counter's current aggregate as a trace counter sample —
+/// a Perfetto counter track showing the metric evolving over the run.
+#define OBS_TRACE_COUNTER(name)                                              \
+  do {                                                                       \
+    if (::rtsp::obs::enabled()) {                                            \
+      ::rtsp::obs::trace_counter(                                            \
+          (name), static_cast<std::int64_t>(                                 \
+                      ::rtsp::obs::MetricsRegistry::instance().counter_value(\
+                          name)));                                           \
+    }                                                                        \
+  } while (0)
+
+#else  // RTSP_OBS_ENABLED == 0: no code, arguments unevaluated.
+
+#define OBS_SPAN(...) ((void)0)
+#define OBS_COUNT_N(name, n) ((void)0)
+#define OBS_COUNT(name) ((void)0)
+#define OBS_GAUGE_SET(name, v) ((void)0)
+#define OBS_LATENCY_NS(name, ns) ((void)0)
+#define OBS_TRACE_COUNTER(name) ((void)0)
+
+#endif  // RTSP_OBS_ENABLED

@@ -1,0 +1,46 @@
+#include "obs/session.hpp"
+
+#include <ostream>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "support/cli.hpp"
+
+namespace rtsp::obs {
+
+Session::Session(const CliOptions& opt)
+    : summary_(opt.get_bool("obs", "RTSP_OBS", false)),
+      trace_out_(opt.get_string("trace-out", "", "")),
+      metrics_out_(opt.get_string("metrics-out", "", "")) {
+  enabled_ = summary_ || !trace_out_.empty() || !metrics_out_.empty();
+  if (enabled_) set_enabled(true);
+}
+
+void Session::finish(std::ostream& out) const {
+  if (!enabled_) return;
+  const MetricsSnapshot snap = MetricsRegistry::instance().snapshot();
+  if (!metrics_out_.empty()) {
+    write_metrics_file(metrics_out_, snap);
+    out << "obs metrics written to " << metrics_out_ << '\n';
+  }
+  if (!trace_out_.empty() || summary_) {
+    const std::vector<TraceEvent> events = collect_trace();
+    if (!trace_out_.empty()) {
+      write_trace_file(trace_out_, events);
+      out << "obs trace written to " << trace_out_ << " (" << events.size()
+          << " events; open in ui.perfetto.dev)\n";
+    }
+    if (summary_) {
+      print_metrics_summary(out, snap);
+      print_span_summary(out, events);
+    }
+    if (const std::uint64_t dropped = trace_dropped(); dropped > 0) {
+      out << "obs: " << dropped
+          << " trace events dropped (raise the per-thread buffer via "
+             "obs::set_trace_capacity)\n";
+    }
+  }
+}
+
+}  // namespace rtsp::obs

@@ -1,0 +1,41 @@
+// End-to-end obs wiring shared by the command-line tools: parses the common
+// --obs / --trace-out=FILE / --metrics-out=FILE flags, arms recording when
+// any of them is present, and at finish() writes the requested files and
+// prints the end-of-run summary tables.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+namespace rtsp {
+class CliOptions;
+}
+
+namespace rtsp::obs {
+
+class Session {
+ public:
+  /// Inert session: recording stays off, finish() does nothing.
+  Session() = default;
+
+  /// Reads the shared flags from `opt`:
+  ///   --obs               print metrics + span summary tables at finish()
+  ///   --trace-out=FILE    write a Chrome trace-event JSON (Perfetto)
+  ///   --metrics-out=FILE  write a metrics snapshot (.json, else CSV)
+  /// Any of the three turns recording on for the whole process.
+  explicit Session(const CliOptions& opt);
+
+  bool enabled() const { return enabled_; }
+
+  /// Writes the requested files and (with --obs) prints the summary tables.
+  /// No-op when no obs flag was given.
+  void finish(std::ostream& out) const;
+
+ private:
+  bool enabled_ = false;
+  bool summary_ = false;
+  std::string trace_out_;
+  std::string metrics_out_;
+};
+
+}  // namespace rtsp::obs

@@ -1,0 +1,135 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+
+#include "obs/metrics.hpp"
+
+namespace rtsp::obs {
+
+namespace {
+
+struct ThreadBuffer {
+  std::vector<TraceEvent> events;
+  std::uint32_t tid = 0;
+};
+
+struct TraceRegistry {
+  std::mutex mutex;
+  std::vector<ThreadBuffer*> live;
+  std::vector<TraceEvent> retired;
+  std::uint32_t next_tid = 0;
+  std::atomic<std::size_t> capacity{std::size_t{1} << 16};
+  std::atomic<std::uint64_t> dropped{0};
+
+  static TraceRegistry& instance() {
+    static TraceRegistry registry;
+    return registry;
+  }
+
+  ThreadBuffer* register_buffer() {
+    auto* buffer = new ThreadBuffer();
+    std::lock_guard<std::mutex> lock(mutex);
+    buffer->tid = next_tid++;
+    live.push_back(buffer);
+    return buffer;
+  }
+
+  void retire_buffer(ThreadBuffer* buffer) {
+    std::lock_guard<std::mutex> lock(mutex);
+    retired.insert(retired.end(), std::make_move_iterator(buffer->events.begin()),
+                   std::make_move_iterator(buffer->events.end()));
+    live.erase(std::find(live.begin(), live.end(), buffer));
+    delete buffer;
+  }
+};
+
+ThreadBuffer& tls_buffer() {
+  struct Handle {
+    ThreadBuffer* buffer;
+    Handle() : buffer(TraceRegistry::instance().register_buffer()) {}
+    ~Handle() { TraceRegistry::instance().retire_buffer(buffer); }
+  };
+  thread_local Handle handle;
+  return *handle.buffer;
+}
+
+void push_event(TraceEvent event) {
+  TraceRegistry& r = TraceRegistry::instance();
+  ThreadBuffer& buffer = tls_buffer();
+  if (buffer.events.size() >= r.capacity.load(std::memory_order_relaxed)) {
+    r.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  event.tid = buffer.tid;
+  // collect_trace() copies live buffers under the registry mutex, so the
+  // append takes it too. Spans are per-pass/per-trial, not per-candidate,
+  // so the lock is effectively uncontended.
+  std::lock_guard<std::mutex> lock(r.mutex);
+  buffer.events.push_back(std::move(event));
+}
+
+}  // namespace
+
+ScopedSpan::ScopedSpan(std::string name, std::string detail) {
+  if (!enabled()) return;
+  armed_ = true;
+  name_ = std::move(name);
+  detail_ = std::move(detail);
+  start_ns_ = now_ns();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!armed_) return;
+  TraceEvent event;
+  event.kind = TraceEvent::Kind::Complete;
+  event.name = std::move(name_);
+  event.detail = std::move(detail_);
+  event.ts_ns = start_ns_;
+  event.dur_ns = now_ns() - start_ns_;
+  push_event(std::move(event));
+}
+
+void trace_counter(std::string name, std::int64_t value) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.kind = TraceEvent::Kind::Counter;
+  event.name = std::move(name);
+  event.ts_ns = now_ns();
+  event.value = value;
+  push_event(std::move(event));
+}
+
+void set_trace_capacity(std::size_t events_per_thread) {
+  TraceRegistry::instance().capacity.store(events_per_thread,
+                                           std::memory_order_relaxed);
+}
+
+std::vector<TraceEvent> collect_trace() {
+  TraceRegistry& r = TraceRegistry::instance();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  std::vector<TraceEvent> events = r.retired;
+  for (const ThreadBuffer* buffer : r.live) {
+    events.insert(events.end(), buffer->events.begin(), buffer->events.end());
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_ns < b.ts_ns;
+                   });
+  return events;
+}
+
+void clear_trace() {
+  TraceRegistry& r = TraceRegistry::instance();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.retired.clear();
+  for (ThreadBuffer* buffer : r.live) buffer->events.clear();
+  r.dropped.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t trace_dropped() {
+  return TraceRegistry::instance().dropped.load(std::memory_order_relaxed);
+}
+
+}  // namespace rtsp::obs

@@ -1,0 +1,64 @@
+// Tracing: RAII scoped spans recorded into per-thread buffers and exported
+// as Chrome trace-event JSON (viewable in Perfetto / chrome://tracing).
+//
+// Spans are "complete" events (ph "X"): one record per span, written at
+// scope exit with the start timestamp and duration. trace_counter() emits
+// counter samples (ph "C") that Perfetto renders as a counter track —
+// improver passes use it to chart the incremental engine's counters over
+// time. Buffers are bounded: past the per-thread capacity new events are
+// dropped and counted (never reallocated mid-run), so tracing cost stays
+// predictable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rtsp::obs {
+
+struct TraceEvent {
+  enum class Kind : std::uint8_t { Complete, Counter };
+  Kind kind = Kind::Complete;
+  std::string name;
+  std::string detail;         ///< optional args.detail (Complete only)
+  std::uint64_t ts_ns = 0;    ///< start time, now_ns() epoch
+  std::uint64_t dur_ns = 0;   ///< Complete only
+  std::int64_t value = 0;     ///< Counter only
+  std::uint32_t tid = 0;      ///< small sequential thread id
+};
+
+/// RAII span: records a Complete event covering its scope when obs is
+/// enabled; near-free otherwise (one relaxed load, strings untouched).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string name, std::string detail = {});
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  std::string name_;
+  std::string detail_;
+  std::uint64_t start_ns_ = 0;
+  bool armed_ = false;
+};
+
+/// Records a counter sample at the current timestamp (no-op when disabled).
+void trace_counter(std::string name, std::int64_t value);
+
+/// Per-thread event capacity (default 1 << 16); applies to buffers created
+/// after the call and caps further growth of existing ones.
+void set_trace_capacity(std::size_t events_per_thread);
+
+/// All recorded events (live + exited threads), sorted by timestamp.
+std::vector<TraceEvent> collect_trace();
+
+/// Discards every recorded event and zeroes the dropped count.
+void clear_trace();
+
+/// Events dropped because a thread's buffer was full.
+std::uint64_t trace_dropped();
+
+}  // namespace rtsp::obs

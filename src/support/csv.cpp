@@ -1,6 +1,6 @@
 #include "support/csv.hpp"
 
-#include <cstdio>
+#include <charconv>
 #include <stdexcept>
 
 namespace rtsp {
@@ -33,9 +33,11 @@ CsvWriter& CsvWriter::field(const std::string& s) {
 }
 
 CsvWriter& CsvWriter::field(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  return field(std::string(buf));
+  // std::to_chars is locale-independent; "%.17g" under e.g. de_DE writes a
+  // ',' decimal separator, which silently splits the field.
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  return field(std::string(buf, res.ptr));
 }
 
 CsvWriter& CsvWriter::field(std::int64_t v) { return field(std::to_string(v)); }

@@ -1,0 +1,119 @@
+#include "support/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "support/assert.hpp"
+
+namespace rtsp {
+
+std::string format_double_json(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  RTSP_REQUIRE(res.ec == std::errc());
+  return std::string(buf, res.ptr);
+}
+
+std::string JsonWriter::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::element_prefix() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // the key already emitted "name":
+  }
+  if (!stack_.empty()) {
+    if (stack_.back() == '1') out_ << ',';
+    else stack_.back() = '1';
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  element_prefix();
+  out_ << '{';
+  stack_.push_back('0');
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  RTSP_REQUIRE(!stack_.empty());
+  stack_.pop_back();
+  out_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  element_prefix();
+  out_ << '[';
+  stack_.push_back('0');
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  RTSP_REQUIRE(!stack_.empty());
+  stack_.pop_back();
+  out_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  RTSP_REQUIRE(!pending_key_);
+  element_prefix();
+  out_ << '"' << escape(name) << "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& s) {
+  element_prefix();
+  out_ << '"' << escape(s) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  element_prefix();
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  element_prefix();
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  element_prefix();
+  out_ << format_double_json(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  element_prefix();
+  out_ << (v ? "true" : "false");
+  return *this;
+}
+
+}  // namespace rtsp

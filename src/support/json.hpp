@@ -1,0 +1,46 @@
+// Minimal streaming JSON writer shared by the io exporters and the obs
+// metrics/trace export (which must not depend on the io layer).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace rtsp {
+
+/// Streaming JSON writer with correct string escaping and comma handling.
+/// Usage: obj/arr open scopes; key() inside objects; value() for leaves.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  JsonWriter& key(const std::string& name);
+  JsonWriter& value(const std::string& s);
+  JsonWriter& value(const char* s) { return value(std::string(s)); }
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(bool v);
+
+  static std::string escape(const std::string& s);
+
+ private:
+  void element_prefix();
+
+  std::ostream& out_;
+  // Scope stack: true = needs a comma before the next element.
+  std::string stack_;
+  bool pending_key_ = false;
+};
+
+/// Shortest round-trippable decimal form of `v`, locale-independent
+/// (std::to_chars; never a ',' decimal separator). Infinities and NaN —
+/// which JSON cannot represent — come back as "null".
+std::string format_double_json(double v);
+
+}  // namespace rtsp

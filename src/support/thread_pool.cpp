@@ -4,6 +4,8 @@
 #include <atomic>
 #include <exception>
 
+#include "obs/obs.hpp"
+
 namespace rtsp {
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -25,17 +27,43 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+void ThreadPool::enqueue(std::function<void()> fn) {
+  Task task{std::move(fn), 0};
+#if RTSP_OBS_ENABLED
+  if (obs::enabled()) task.enqueue_ns = obs::now_ns();
+#endif
+  std::size_t depth;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push(std::move(task));
+    depth = queue_.size();
+  }
+  OBS_COUNT("pool.tasks_submitted");
+  OBS_GAUGE_SET("pool.queue_depth", depth);
+  cv_.notify_one();
+}
+
 void ThreadPool::worker_loop() {
   while (true) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop();
+      OBS_GAUGE_SET("pool.queue_depth", queue_.size());
     }
-    task();
+#if RTSP_OBS_ENABLED
+    if (task.enqueue_ns != 0) {
+      const std::uint64_t start_ns = obs::now_ns();
+      OBS_LATENCY_NS("pool.task_wait", start_ns - task.enqueue_ns);
+      task.fn();
+      OBS_LATENCY_NS("pool.task_run", obs::now_ns() - start_ns);
+      continue;
+    }
+#endif
+    task.fn();
   }
 }
 

@@ -1,0 +1,142 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "support/thread_pool.hpp"
+
+namespace rtsp::obs {
+namespace {
+
+/// Every test runs with recording on and a clean slate; names registered by
+/// earlier tests survive (the registry interns process-wide) but their
+/// values are zeroed.
+class ObsMetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(true);
+    MetricsRegistry::instance().reset();
+  }
+  void TearDown() override { set_enabled(false); }
+};
+
+TEST_F(ObsMetricsTest, CounterCountsAndInternsByName) {
+  Counter a = MetricsRegistry::instance().counter("test.alpha");
+  Counter a2 = MetricsRegistry::instance().counter("test.alpha");
+  a.add(3);
+  a2.inc();  // same slot: both handles feed one total
+  EXPECT_EQ(MetricsRegistry::instance().counter_value("test.alpha"), 4u);
+  EXPECT_EQ(MetricsRegistry::instance().counter_value("test.never-registered"),
+            0u);
+}
+
+TEST_F(ObsMetricsTest, DisabledRecordingCountsNothing) {
+  Counter c = MetricsRegistry::instance().counter("test.disabled");
+  set_enabled(false);
+  c.add(100);
+  set_enabled(true);
+  c.add(1);
+  EXPECT_EQ(MetricsRegistry::instance().counter_value("test.disabled"), 1u);
+}
+
+TEST_F(ObsMetricsTest, ExactTotalsAcrossTransientPoolThreads) {
+  // Worker threads of a transient pool exit (and fold their shards) when
+  // parallel_for's pool is destroyed, so the total must be exact.
+  constexpr std::size_t kTasks = 64;
+  constexpr std::uint64_t kPerTask = 1000;
+  Counter c = MetricsRegistry::instance().counter("test.parallel");
+  parallel_for(4, kTasks, [&](std::size_t) {
+    for (std::uint64_t i = 0; i < kPerTask; ++i) c.inc();
+  });
+  EXPECT_EQ(MetricsRegistry::instance().counter_value("test.parallel"),
+            kTasks * kPerTask);
+}
+
+TEST_F(ObsMetricsTest, ExactTotalsWithLiveWorkerThreads) {
+  // With a persistent pool the worker shards are still live at snapshot
+  // time; parallel_for's join (future.get) orders their writes before our
+  // reads, so the sum over live shards is exact too.
+  constexpr std::size_t kTasks = 32;
+  constexpr std::uint64_t kPerTask = 500;
+  Counter c = MetricsRegistry::instance().counter("test.live");
+  ThreadPool pool(3);
+  parallel_for(pool, kTasks, [&](std::size_t) {
+    for (std::uint64_t i = 0; i < kPerTask; ++i) c.inc();
+  });
+  EXPECT_EQ(MetricsRegistry::instance().counter_value("test.live"),
+            kTasks * kPerTask);
+
+#if RTSP_OBS_ENABLED
+  // Macro-based increments (call-site interned handles) land in the same
+  // totals, including from pool threads.
+  parallel_for(pool, kTasks, [&](std::size_t) { OBS_COUNT("test.live"); });
+  EXPECT_EQ(MetricsRegistry::instance().counter_value("test.live"),
+            kTasks * kPerTask + kTasks);
+#endif
+}
+
+TEST_F(ObsMetricsTest, GaugeTracksValueAndMax) {
+  Gauge g = MetricsRegistry::instance().gauge("test.depth");
+  g.set(5);
+  g.set(9);
+  g.set(2);
+  g.add(-2);
+  EXPECT_EQ(g.value(), 0);
+  const MetricsSnapshot snap = MetricsRegistry::instance().snapshot();
+  bool found = false;
+  for (const auto& gv : snap.gauges) {
+    if (gv.name != "test.depth") continue;
+    found = true;
+    EXPECT_EQ(gv.value, 0);
+    EXPECT_EQ(gv.max, 9);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ObsMetricsTest, HistogramAggregatesSamples) {
+  LatencyHistogram h = MetricsRegistry::instance().histogram("test.lat");
+  h.record_ns(1'000);      // 1 us
+  h.record_ns(1'000'000);  // 1 ms
+  h.record_ns(3'000'000);  // 3 ms
+  const MetricsSnapshot snap = MetricsRegistry::instance().snapshot();
+  bool found = false;
+  for (const auto& hv : snap.histograms) {
+    if (hv.name != "test.lat") continue;
+    found = true;
+    EXPECT_EQ(hv.count, 3u);
+    EXPECT_NEAR(hv.mean_us, (1.0 + 1000.0 + 3000.0) / 3.0, 1e-9);
+    EXPECT_NEAR(hv.max_us, 3000.0, 1e-9);
+    // Bucketed percentiles report the bucket's upper edge: a conservative
+    // bound that is never below the true sample.
+    EXPECT_GE(hv.p50_us, 1000.0);
+    EXPECT_GE(hv.p99_us, 3000.0);
+    EXPECT_GE(hv.p99_us, hv.p50_us);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ObsMetricsTest, ResetZeroesValuesButKeepsNames) {
+  Counter c = MetricsRegistry::instance().counter("test.reset");
+  Gauge g = MetricsRegistry::instance().gauge("test.reset-gauge");
+  c.add(7);
+  g.set(7);
+  MetricsRegistry::instance().reset();
+  EXPECT_EQ(MetricsRegistry::instance().counter_value("test.reset"), 0u);
+  c.add(2);  // old handles stay valid after reset
+  EXPECT_EQ(MetricsRegistry::instance().counter_value("test.reset"), 2u);
+  const MetricsSnapshot snap = MetricsRegistry::instance().snapshot();
+  EXPECT_EQ(snap.counter("test.reset"), 2u);
+}
+
+TEST_F(ObsMetricsTest, SnapshotCounterLookupFindsRegisteredNames) {
+  Counter c = MetricsRegistry::instance().counter("test.lookup");
+  c.add(11);
+  const MetricsSnapshot snap = MetricsRegistry::instance().snapshot();
+  EXPECT_EQ(snap.counter("test.lookup"), 11u);
+  EXPECT_EQ(snap.counter("test.not-there"), 0u);
+}
+
+}  // namespace
+}  // namespace rtsp::obs

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <clocale>
 #include <fstream>
 #include <sstream>
 
@@ -43,6 +44,24 @@ TEST(CsvWriter, DoubleKeepsPrecision) {
   csv.end_row();
   const double parsed = std::stod(out.str());
   EXPECT_DOUBLE_EQ(parsed, 0.1);
+}
+
+TEST(CsvWriter, DoubleIgnoresGlobalLocale) {
+  // printf-family formatting follows the C locale and would emit "1,5" under
+  // a comma-decimal locale, silently corrupting the CSV column structure.
+  // field(double) must stay locale-independent (std::to_chars).
+  const char* old = std::setlocale(LC_NUMERIC, nullptr);
+  const std::string saved = old ? old : "C";
+  if (std::setlocale(LC_NUMERIC, "de_DE.UTF-8") == nullptr &&
+      std::setlocale(LC_NUMERIC, "de_DE") == nullptr) {
+    GTEST_SKIP() << "no comma-decimal locale installed";
+  }
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.field(1.5).field(-0.25);
+  csv.end_row();
+  std::setlocale(LC_NUMERIC, saved.c_str());
+  EXPECT_EQ(out.str(), "1.5,-0.25\n");
 }
 
 TEST(CsvFile, ThrowsOnUnopenablePath) {

@@ -7,15 +7,25 @@
 // The hash makes "bitwise-identical schedules" checkable across revisions:
 // run before and after an improver change and diff the output.
 //
+// Each row also reports the incremental-evaluation engine's obs counters for
+// that trial (candidates screened, adoptions, convergence early-exits, full
+// replays), so an engine regression shows up as a counter shift even when
+// the schedules stay bit-identical.
+//
 // Flags: --pipeline SPEC (default GOLCF+H1+H2+OP1), --objects N, --servers M,
-//        --replicas R, --trials T, --seed BASE.
+//        --replicas R, --trials T, --seed BASE, plus the shared obs flags
+//        (--trace-out / --metrics-out / --obs).
 #include <cinttypes>
 #include <cstdio>
+#include <iostream>
 #include <string>
 
 #include "core/cost_model.hpp"
+#include "core/incremental.hpp"
 #include "core/validator.hpp"
 #include "heuristics/registry.hpp"
+#include "obs/obs.hpp"
+#include "obs/session.hpp"
 #include "support/cli.hpp"
 #include "support/timer.hpp"
 #include "workload/paper_setup.hpp"
@@ -39,10 +49,36 @@ std::uint64_t schedule_hash(const Schedule& h) {
   return hash;
 }
 
+/// Snapshot of the incremental-engine counters this tool reports per trial.
+struct IncrCounters {
+  std::uint64_t candidates = 0;
+  std::uint64_t adopts = 0;
+  std::uint64_t early_exits = 0;
+  std::uint64_t full_replays = 0;
+
+  static IncrCounters read() {
+    const auto& reg = obs::MetricsRegistry::instance();
+    return {reg.counter_value(kObsIncrCandidates),
+            reg.counter_value(kObsIncrAdopts),
+            reg.counter_value(kObsIncrConvergedEarly),
+            reg.counter_value(kObsIncrFullReplays)};
+  }
+
+  IncrCounters delta_from(const IncrCounters& before) const {
+    return {candidates - before.candidates, adopts - before.adopts,
+            early_exits - before.early_exits,
+            full_replays - before.full_replays};
+  }
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const CliOptions cli(argc, argv);
+  const obs::Session obs_session(cli);
+  // The counter columns are part of this tool's regression output, so
+  // recording is on regardless of the obs flags.
+  obs::set_enabled(true);
   PaperSetup setup;
   setup.servers = static_cast<std::size_t>(cli.get_int("servers", "RTSP_SERVERS", 50));
   setup.objects =
@@ -59,12 +95,14 @@ int main(int argc, char** argv) {
   std::printf("pipeline %s on %zu servers, %zu objects, r=%zu (base seed %" PRIu64
               ")\n",
               spec.c_str(), setup.servers, setup.objects, replicas, base_seed);
-  std::printf("%-6s %14s %8s %8s %18s %10s %10s\n", "trial", "cost", "dummies",
-              "length", "hash", "build_ms", "improve_ms");
+  std::printf("%-6s %14s %8s %8s %18s %10s %10s %10s %8s %8s %8s\n", "trial",
+              "cost", "dummies", "length", "hash", "build_ms", "improve_ms",
+              "cands", "adopts", "early", "fullrpl");
   double improve_total = 0.0;
   for (std::size_t trial = 0; trial < trials; ++trial) {
     Rng rng = Rng::for_trial(base_seed, trial);
     const Instance inst = make_equal_size_instance(setup, replicas, rng);
+    const IncrCounters before = IncrCounters::read();
     Timer timer;
     Schedule h = pipeline.builder().build(inst.model, inst.x_old, inst.x_new, rng);
     const double build_ms = timer.millis();
@@ -74,15 +112,20 @@ int main(int argc, char** argv) {
     }
     const double improve_ms = timer.millis();
     improve_total += improve_ms;
+    const IncrCounters d = IncrCounters::read().delta_from(before);
     if (!Validator::is_valid(inst.model, inst.x_old, inst.x_new, h)) {
       std::printf("trial %zu: INVALID SCHEDULE\n", trial);
       return 1;
     }
-    std::printf("%-6zu %14lld %8zu %8zu 0x%016" PRIx64 " %10.1f %10.1f\n", trial,
-                static_cast<long long>(schedule_cost(inst.model, h)),
+    std::printf("%-6zu %14lld %8zu %8zu 0x%016" PRIx64
+                " %10.1f %10.1f %10" PRIu64 " %8" PRIu64 " %8" PRIu64
+                " %8" PRIu64 "\n",
+                trial, static_cast<long long>(schedule_cost(inst.model, h)),
                 h.dummy_transfer_count(), h.size(), schedule_hash(h), build_ms,
-                improve_ms);
+                improve_ms, d.candidates, d.adopts, d.early_exits,
+                d.full_replays);
   }
   std::printf("total improver time: %.1f ms over %zu trials\n", improve_total, trials);
+  obs_session.finish(std::cout);
   return 0;
 }

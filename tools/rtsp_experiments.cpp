@@ -4,6 +4,7 @@
 //
 //   ./tools/rtsp_experiments [--out DIR] [--trials N] [--servers M]
 //                            [--objects N] [--seed S] [--threads T]
+//                            [--obs] [--trace-out FILE] [--metrics-out FILE]
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -11,12 +12,15 @@
 #include "experiment/figures.hpp"
 #include "experiment/report.hpp"
 #include "io/json_export.hpp"
+#include "obs/obs.hpp"
+#include "obs/session.hpp"
 #include "support/cli.hpp"
 #include "support/timer.hpp"
 
 int main(int argc, char** argv) {
   using namespace rtsp;
   const CliOptions cli(argc, argv);
+  const obs::Session obs_session(cli);
   const std::string out_dir =
       cli.get_string("out", "RTSP_OUT", "experiment_results");
   PaperSetup setup;
@@ -47,7 +51,10 @@ int main(int argc, char** argv) {
               << std::flush;
     Timer timer;
     cfg.algorithms = fig.algorithms;
-    const SweepResult result = run_sweep(fig.points, cfg);
+    const SweepResult result = [&] {
+      OBS_SPAN("figure." + fig.id);
+      return run_sweep(fig.points, cfg);
+    }();
     std::cout << " " << static_cast<int>(timer.seconds()) << "s\n";
 
     report << "## " << fig.id << " — " << fig.title << "\n\n```\n";
@@ -59,11 +66,10 @@ int main(int argc, char** argv) {
     slug.erase(std::remove(slug.begin(), slug.end(), '\0'), slug.end());
 
     {
+      // Long-format dump of every metric (headline, companions, and the
+      // builder/improver time split), one header row.
       std::ofstream csv(out_dir + "/" + slug + ".csv");
-      csv << "metric," << fig.x_label
-          << ",algorithm,n,mean,stddev,stderr,min,max\n";
-      // write both headline + companion through the long-format writer
-      write_series_csv(csv, result, fig.headline, fig.x_label);
+      write_all_series_csv(csv, result, fig.x_label);
     }
     {
       std::ofstream json(out_dir + "/" + slug + ".json");
@@ -72,5 +78,6 @@ int main(int argc, char** argv) {
   }
   report << "Total wall time: " << static_cast<int>(total.seconds()) << "s\n";
   std::cout << "report written to " << out_dir << "/report.md\n";
+  obs_session.finish(std::cout);
   return 0;
 }
