@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Tier-1 verification: configure, build, run the test suite, then prove the
+# tree still builds and passes with the obs instrumentation (metrics, trace,
+# provenance) compiled out via the obs_off_smoke target.
+#
+# Usage: scripts/check.sh [BUILD_DIR]   (default: build)
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+# RTSP_OBS=OFF must still build (provenance hooks fold away) and pass tests.
+cmake --build "$BUILD_DIR" -t obs_off_smoke
+
+echo "check.sh: all green"

@@ -1,6 +1,7 @@
 #include "cli/commands.hpp"
 
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -17,9 +18,13 @@
 #include "io/dot_export.hpp"
 #include "io/instance_io.hpp"
 #include "io/json_export.hpp"
+#include "io/provenance_io.hpp"
 #include "io/schedule_io.hpp"
+#include "obs/provenance.hpp"
 #include "obs/session.hpp"
 #include "support/cli.hpp"
+#include "support/csv.hpp"
+#include "support/json.hpp"
 #include "support/histogram.hpp"
 #include "support/string_util.hpp"
 #include "support/table.hpp"
@@ -57,6 +62,32 @@ Schedule load_schedule(const CliOptions& opt) {
   } catch (const std::exception& e) {
     throw CliError{std::string("failed to parse schedule: ") + e.what()};
   }
+}
+
+Schedule load_schedule_at(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw CliError{"cannot open schedule file '" + path + "'"};
+  try {
+    return read_schedule(in);
+  } catch (const std::exception& e) {
+    throw CliError{std::string("failed to parse schedule: ") + e.what()};
+  }
+}
+
+prov::Provenance load_provenance_at(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw CliError{"cannot open provenance file '" + path + "'"};
+  try {
+    return read_provenance(in);
+  } catch (const std::exception& e) {
+    throw CliError{std::string("failed to parse provenance: ") + e.what()};
+  }
+}
+
+prov::Provenance load_provenance(const CliOptions& opt) {
+  const std::string path = opt.get_string("provenance", "", "");
+  if (path.empty()) throw CliError{"missing --provenance <file>"};
+  return load_provenance_at(path);
 }
 
 void write_text_file(const std::string& path, const std::string& content,
@@ -119,7 +150,20 @@ int cmd_solve(const CliOptions& opt, std::ostream& out) {
       throw CliError{e.what()};
     }
   }();
+  const std::string prov_out = opt.get_string("provenance-out", "", "");
+  std::optional<prov::Scope> prov_scope;
+  if (!prov_out.empty()) {
+    if (!prov::kRecorderCompiled) {
+      throw CliError{"--provenance-out requires a build with RTSP_OBS=ON"};
+    }
+    prov_scope.emplace(inst.model, inst.x_old);
+  }
   const Schedule h = pipeline.run(inst.model, inst.x_old, inst.x_new, rng);
+  if (prov_scope) {
+    std::ostringstream buffer;
+    write_provenance(buffer, prov_scope->finalize(h));
+    write_text_file(prov_out, buffer.str(), out, "provenance");
+  }
   if (opt.get_bool("json", "", false)) {
     schedule_to_json(out, h);
     const std::string json_out = opt.get_string("out", "", "");
@@ -289,9 +333,356 @@ int cmd_phases(const CliOptions& opt, std::ostream& out) {
 
 int cmd_dot(const CliOptions& opt, std::ostream& out) {
   const Instance inst = load_instance(opt);
-  const TransferGraph tg(inst.model, inst.x_old, inst.x_new);
-  write_text_file(opt.get_string("out", "", ""), transfer_graph_to_dot(tg), out,
-                  "DOT");
+  std::string content;
+  if (opt.has("schedule")) {
+    const Schedule h = load_schedule(opt);
+    prov::Provenance p;
+    const prov::Provenance* pp = nullptr;
+    if (opt.has("provenance")) {
+      p = load_provenance(opt);
+      if (p.entries.size() != h.size()) {
+        throw CliError{"provenance does not match schedule (" +
+                       std::to_string(p.entries.size()) + " entries vs " +
+                       std::to_string(h.size()) + " actions)"};
+      }
+      pp = &p;
+    }
+    content = schedule_to_dot(inst.model, h, pp);
+  } else {
+    const TransferGraph tg(inst.model, inst.x_old, inst.x_new);
+    content = transfer_graph_to_dot(tg);
+  }
+  write_text_file(opt.get_string("out", "", ""), content, out, "DOT");
+  return 0;
+}
+
+std::string stage_label(const prov::Provenance& p, std::uint32_t idx) {
+  if (idx >= p.stages.size()) return "?";
+  return p.stages[idx].name;
+}
+
+std::string describe_root_cause(const prov::RootCause& rc) {
+  std::ostringstream os;
+  switch (rc.kind) {
+    case prov::RootCause::Kind::CapacityDeadlock:
+      os << "capacity deadlock";
+      break;
+    case prov::RootCause::Kind::NoInitialReplica:
+      os << "no initial replica";
+      break;
+    case prov::RootCause::Kind::SourceAvailable:
+      os << "source available (builder still chose dummy)";
+      break;
+  }
+  os << ": O" << rc.object << " (size " << rc.object_size << ") -> S" << rc.dest
+     << " (free " << rc.dest_free_space << ")";
+  if (!rc.holders.empty()) {
+    os << "\n      live holders:";
+    for (ServerId s : rc.holders) os << " S" << s;
+  }
+  for (const auto& b : rc.blockers) {
+    os << "\n      S" << b.server << " deleted its replica";
+    if (b.deleted_at != prov::kNone) os << " at position " << b.deleted_at;
+    os << "; free " << b.free_space;
+    if (!b.occupying.empty()) {
+      os << ", occupied by";
+      for (ObjectId o : b.occupying) os << " O" << o;
+    }
+  }
+  return os.str();
+}
+
+/// One schedule's worth of explain inputs, cross-checked for consistency.
+struct ExplainView {
+  Schedule h;
+  prov::Provenance p;
+  prov::AttributionSummary att;
+  ScheduleStats stats;
+};
+
+ExplainView make_view(const SystemModel& model, Schedule h, prov::Provenance p) {
+  if (p.entries.size() != h.size()) {
+    throw CliError{"provenance does not match schedule (" +
+                   std::to_string(p.entries.size()) + " entries vs " +
+                   std::to_string(h.size()) + " actions)"};
+  }
+  ExplainView v{std::move(h), std::move(p), {}, {}};
+  v.att = prov::attribute_schedule(model, v.h, v.p);
+  v.stats = analyze_schedule(model, v.h);
+  return v;
+}
+
+/// The tentpole invariant: per-stage sums must equal the whole-schedule
+/// totals bit for bit. A mismatch means the sidecar belongs to a different
+/// schedule (or the recorder has a bug) — refuse to explain from it.
+void check_exact(const ExplainView& v) {
+  const auto& a = v.att;
+  const auto& s = v.stats;
+  if (a.total_actions != s.actions || a.transfers != s.transfers ||
+      a.deletions != s.deletions || a.dummy_transfers != s.dummy_transfers ||
+      a.total_cost != s.total_cost || a.dummy_cost != s.dummy_cost) {
+    std::ostringstream os;
+    os << "attribution does not reconcile with schedule stats: attribution "
+       << "cost " << a.total_cost << " / dummies " << a.dummy_transfers
+       << " vs schedule cost " << s.total_cost << " / dummies "
+       << s.dummy_transfers;
+    throw CliError{os.str()};
+  }
+}
+
+void print_attribution(const ExplainView& v, std::ostream& out) {
+  TextTable t;
+  t.header({"stage", "kind", "actions", "transfers", "deletes", "dummies",
+            "cost", "dummy cost", "rewrites", "d-cost", "d-dummies"});
+  for (const auto& sa : v.att.stages) {
+    t.add_row({stage_label(v.p, sa.stage),
+               prov::to_string(v.p.stages[sa.stage].kind),
+               std::to_string(sa.actions), std::to_string(sa.transfers),
+               std::to_string(sa.deletions), std::to_string(sa.dummy_transfers),
+               std::to_string(sa.cost), std::to_string(sa.dummy_cost),
+               std::to_string(sa.rewrites), std::to_string(sa.rewrite_cost_delta),
+               std::to_string(sa.rewrite_dummy_delta)});
+  }
+  t.add_row({"total", "", std::to_string(v.att.total_actions),
+             std::to_string(v.att.transfers), std::to_string(v.att.deletions),
+             std::to_string(v.att.dummy_transfers), std::to_string(v.att.total_cost),
+             std::to_string(v.att.dummy_cost), "", "", ""});
+  t.print(out);
+}
+
+void print_actions(const SystemModel& model, const ExplainView& v,
+                   std::ostream& out) {
+  TextTable t;
+  t.header({"pos", "action", "stage", "pass", "round", "rewrite", "cost", "span"});
+  for (std::size_t u = 0; u < v.h.size(); ++u) {
+    const prov::Entry& e = v.p.entries[u];
+    std::string rewrite = "-";
+    if (e.rewrite != prov::kNone) {
+      const auto& rw = v.p.rewrites[e.rewrite];
+      rewrite = "#" + std::to_string(e.rewrite) + " rank " + std::to_string(rw.rank);
+    }
+    t.add_row({std::to_string(u), v.h[u].to_string(), stage_label(v.p, e.stage),
+               e.pass < 0 ? "-" : std::to_string(e.pass),
+               e.round < 0 ? "-" : std::to_string(e.round), rewrite,
+               std::to_string(action_cost(model, v.h[u])),
+               e.span_id == 0 ? "-" : std::to_string(e.span_id)});
+  }
+  t.print(out);
+}
+
+void print_root_causes(const ExplainView& v, std::ostream& out) {
+  bool any = false;
+  for (std::size_t u = 0; u < v.h.size(); ++u) {
+    if (!v.h[u].is_dummy_transfer()) continue;
+    any = true;
+    out << "  [pos " << u << "] ";
+    const prov::Entry& e = v.p.entries[u];
+    if (e.root_cause == prov::kNone) {
+      out << "(no recorded root cause)\n";
+      continue;
+    }
+    out << describe_root_cause(v.p.root_causes[e.root_cause]) << '\n';
+  }
+  if (!any) out << "  (none)\n";
+}
+
+void explain_to_json(const SystemModel& model, const ExplainView& v,
+                     std::ostream& out) {
+  JsonWriter j(out);
+  j.begin_object();
+  j.key("actions").value(static_cast<std::uint64_t>(v.att.total_actions));
+  j.key("cost").value(static_cast<std::int64_t>(v.att.total_cost));
+  j.key("dummy_cost").value(static_cast<std::int64_t>(v.att.dummy_cost));
+  j.key("dummy_transfers").value(static_cast<std::uint64_t>(v.att.dummy_transfers));
+  j.key("stages").begin_array();
+  for (const auto& sa : v.att.stages) {
+    j.begin_object();
+    j.key("name").value(stage_label(v.p, sa.stage));
+    j.key("kind").value(prov::to_string(v.p.stages[sa.stage].kind));
+    j.key("actions").value(static_cast<std::uint64_t>(sa.actions));
+    j.key("transfers").value(static_cast<std::uint64_t>(sa.transfers));
+    j.key("deletions").value(static_cast<std::uint64_t>(sa.deletions));
+    j.key("dummy_transfers").value(static_cast<std::uint64_t>(sa.dummy_transfers));
+    j.key("cost").value(static_cast<std::int64_t>(sa.cost));
+    j.key("dummy_cost").value(static_cast<std::int64_t>(sa.dummy_cost));
+    j.key("rewrites").value(static_cast<std::uint64_t>(sa.rewrites));
+    j.key("rewrite_cost_delta").value(static_cast<std::int64_t>(sa.rewrite_cost_delta));
+    j.key("rewrite_dummy_delta").value(sa.rewrite_dummy_delta);
+    j.end_object();
+  }
+  j.end_array();
+  j.key("actions_table").begin_array();
+  for (std::size_t u = 0; u < v.h.size(); ++u) {
+    const prov::Entry& e = v.p.entries[u];
+    j.begin_object();
+    j.key("pos").value(static_cast<std::uint64_t>(u));
+    j.key("action").value(v.h[u].to_string());
+    j.key("stage").value(stage_label(v.p, e.stage));
+    if (e.pass >= 0) j.key("pass").value(e.pass);
+    if (e.round >= 0) j.key("round").value(e.round);
+    if (e.rewrite != prov::kNone) {
+      j.key("rewrite").value(static_cast<std::uint64_t>(e.rewrite));
+      j.key("rank").value(static_cast<std::uint64_t>(v.p.rewrites[e.rewrite].rank));
+    }
+    j.key("cost").value(static_cast<std::int64_t>(action_cost(model, v.h[u])));
+    if (e.span_id != 0) j.key("span_id").value(e.span_id);
+    j.end_object();
+  }
+  j.end_array();
+  j.key("root_causes").begin_array();
+  for (std::size_t u = 0; u < v.h.size(); ++u) {
+    if (!v.h[u].is_dummy_transfer()) continue;
+    const prov::Entry& e = v.p.entries[u];
+    if (e.root_cause == prov::kNone) continue;
+    const prov::RootCause& rc = v.p.root_causes[e.root_cause];
+    j.begin_object();
+    j.key("pos").value(static_cast<std::uint64_t>(u));
+    const char* kind = "capacity_deadlock";
+    if (rc.kind == prov::RootCause::Kind::NoInitialReplica) kind = "no_initial_replica";
+    if (rc.kind == prov::RootCause::Kind::SourceAvailable) kind = "source_available";
+    j.key("kind").value(kind);
+    j.key("object").value(static_cast<std::uint64_t>(rc.object));
+    j.key("dest").value(static_cast<std::uint64_t>(rc.dest));
+    j.key("object_size").value(static_cast<std::int64_t>(rc.object_size));
+    j.key("dest_free_space").value(static_cast<std::int64_t>(rc.dest_free_space));
+    j.key("blockers").begin_array();
+    for (const auto& b : rc.blockers) {
+      j.begin_object();
+      j.key("server").value(static_cast<std::uint64_t>(b.server));
+      if (b.deleted_at != prov::kNone) {
+        j.key("deleted_at").value(static_cast<std::uint64_t>(b.deleted_at));
+      }
+      j.key("free_space").value(static_cast<std::int64_t>(b.free_space));
+      j.end_object();
+    }
+    j.end_array();
+    j.end_object();
+  }
+  j.end_array();
+  j.end_object();
+  out << '\n';
+}
+
+void explain_to_csv(const SystemModel& model, const ExplainView& v,
+                    std::ostream& out) {
+  CsvWriter csv(out);
+  csv.row({"pos", "action", "stage", "kind", "pass", "round", "rewrite", "rank",
+           "cost", "dummy", "span_id"});
+  for (std::size_t u = 0; u < v.h.size(); ++u) {
+    const prov::Entry& e = v.p.entries[u];
+    const auto* rw = e.rewrite != prov::kNone ? &v.p.rewrites[e.rewrite] : nullptr;
+    csv.field(static_cast<std::uint64_t>(u));
+    csv.field(v.h[u].to_string());
+    csv.field(stage_label(v.p, e.stage));
+    csv.field(prov::to_string(v.p.stages[e.stage].kind));
+    csv.field(e.pass);
+    csv.field(e.round);
+    csv.field(rw ? static_cast<std::int64_t>(e.rewrite) : -1);
+    csv.field(rw ? static_cast<std::int64_t>(rw->rank) : -1);
+    csv.field(static_cast<std::int64_t>(action_cost(model, v.h[u])));
+    csv.field(static_cast<std::int64_t>(v.h[u].is_dummy_transfer() ? 1 : 0));
+    csv.field(e.span_id);
+    csv.end_row();
+  }
+}
+
+void print_diff(const ExplainView& a, const ExplainView& b, std::ostream& out) {
+  // Union of stage (kind, name) keys, in first-seen order across both views.
+  std::vector<prov::Stage> keys;
+  const auto key_index = [&](const prov::Stage& s) {
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      if (keys[i] == s) return i;
+    }
+    keys.push_back(s);
+    return keys.size() - 1;
+  };
+  struct Side {
+    std::size_t actions = 0;
+    std::size_t dummies = 0;
+    Cost cost = 0;
+    bool present = false;
+  };
+  std::vector<Side> left, right;
+  const auto fill = [&](const ExplainView& v, std::vector<Side>& side) {
+    for (const auto& sa : v.att.stages) {
+      const std::size_t i = key_index(v.p.stages[sa.stage]);
+      if (side.size() <= i) side.resize(keys.size());
+      side[i] = {sa.actions, sa.dummy_transfers, sa.cost, true};
+    }
+  };
+  fill(a, left);
+  fill(b, right);
+  left.resize(keys.size());
+  right.resize(keys.size());
+
+  TextTable t;
+  t.header({"stage", "actions A", "actions B", "cost A", "cost B", "d-cost",
+            "dummies A", "dummies B"});
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const Side& l = left[i];
+    const Side& r = right[i];
+    t.add_row({keys[i].name, l.present ? std::to_string(l.actions) : "-",
+               r.present ? std::to_string(r.actions) : "-",
+               l.present ? std::to_string(l.cost) : "-",
+               r.present ? std::to_string(r.cost) : "-",
+               std::to_string(r.cost - l.cost),
+               l.present ? std::to_string(l.dummies) : "-",
+               r.present ? std::to_string(r.dummies) : "-"});
+  }
+  t.add_row({"total", std::to_string(a.att.total_actions),
+             std::to_string(b.att.total_actions), std::to_string(a.att.total_cost),
+             std::to_string(b.att.total_cost),
+             std::to_string(b.att.total_cost - a.att.total_cost),
+             std::to_string(a.att.dummy_transfers),
+             std::to_string(b.att.dummy_transfers)});
+  t.print(out);
+}
+
+int cmd_explain(const CliOptions& opt, std::ostream& out) {
+  const Instance inst = load_instance(opt);
+  ExplainView view =
+      make_view(inst.model, load_schedule(opt), load_provenance(opt));
+  check_exact(view);
+
+  const std::string diff_schedule = opt.get_string("diff-schedule", "", "");
+  if (!diff_schedule.empty()) {
+    const std::string diff_prov = opt.get_string("diff-provenance", "", "");
+    if (diff_prov.empty()) {
+      throw CliError{"--diff-schedule requires --diff-provenance <file>"};
+    }
+    ExplainView other = make_view(inst.model, load_schedule_at(diff_schedule),
+                                  load_provenance_at(diff_prov));
+    check_exact(other);
+    out << "per-stage diff (A = --schedule, B = --diff-schedule):\n";
+    print_diff(view, other, out);
+    return 0;
+  }
+
+  const std::string out_path = opt.get_string("out", "", "");
+  if (opt.get_bool("json", "", false)) {
+    std::ostringstream buffer;
+    explain_to_json(inst.model, view, buffer);
+    write_text_file(out_path, buffer.str(), out, "explain JSON");
+    return 0;
+  }
+  if (opt.get_bool("csv", "", false)) {
+    std::ostringstream buffer;
+    explain_to_csv(inst.model, view, buffer);
+    write_text_file(out_path, buffer.str(), out, "explain CSV");
+    return 0;
+  }
+
+  out << "schedule: " << view.att.total_actions << " actions, cost "
+      << view.att.total_cost << " (dummy " << view.att.dummy_cost << "), "
+      << view.att.dummy_transfers << " dummy transfer(s)\n\n";
+  out << "per-stage attribution (sums reconcile with schedule stats):\n";
+  print_attribution(view, out);
+  if (opt.get_bool("actions", "", false)) {
+    out << "\nper-action provenance:\n";
+    print_actions(inst.model, view, out);
+  }
+  out << "\ndummy-transfer root causes:\n";
+  print_root_causes(view, out);
   return 0;
 }
 
@@ -307,6 +698,7 @@ void print_usage(std::ostream& out) {
          "            [--servers N] [--objects N] [--replicas R] [--extra E]\n"
          "            [--slack F] [--seed S] [--out FILE]\n"
          "  solve     --instance FILE [--algo SPEC] [--seed S] [--out FILE] [--json]\n"
+         "            [--provenance-out FILE]\n"
          "  exact     --instance FILE [--max-nodes N] [--staging BOOL] [--out FILE]\n"
          "  validate  --instance FILE --schedule FILE [--all]\n"
          "  stats     --instance FILE --schedule FILE\n"
@@ -315,7 +707,11 @@ void print_usage(std::ostream& out) {
          "  deadline  --instance FILE --schedule FILE [--deadline T] [--ports P]\n"
          "            [--bandwidth B] [--out FILE]\n"
          "  phases    --instance FILE --schedule FILE [--ports P] [--print]\n"
-         "  dot       --instance FILE [--out FILE]\n"
+         "  dot       --instance FILE [--schedule FILE [--provenance FILE]]\n"
+         "            [--out FILE]\n"
+         "  explain   --instance FILE --schedule FILE --provenance FILE\n"
+         "            [--actions] [--json | --csv] [--out FILE]\n"
+         "            [--diff-schedule FILE --diff-provenance FILE]\n"
          "  help\n"
          "\n"
          "algorithm SPECs combine one builder (AR, GOLCF, RDF, GSDF) with\n"
@@ -350,6 +746,7 @@ int run_cli(int argc, const char* const* argv, std::ostream& out, std::ostream& 
     if (command == "deadline") return finish(cmd_deadline(opt, out));
     if (command == "phases") return finish(cmd_phases(opt, out));
     if (command == "dot") return finish(cmd_dot(opt, out));
+    if (command == "explain") return finish(cmd_explain(opt, out));
     if (command == "help" || command == "--help" || command == "-h") {
       print_usage(out);
       return 0;

@@ -10,7 +10,8 @@
 //   info       instance summary: delta, bounds, transfer-graph cycles
 //   makespan   parallel-execution simulation of a schedule
 //   phases     bulk-synchronous round partition of a schedule
-//   dot        Graphviz export of the transfer graph
+//   dot        Graphviz export of the transfer graph or a schedule
+//   explain    per-action provenance, per-stage attribution, dummy root causes
 //   help       usage
 #pragma once
 

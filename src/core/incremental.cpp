@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "obs/obs.hpp"
+#include "obs/provenance.hpp"
 #include "support/assert.hpp"
 
 namespace rtsp {
@@ -195,6 +196,12 @@ bool IncrementalEvaluator::is_valid(const Schedule& cand, const Metrics& m,
 
 void IncrementalEvaluator::adopt(Schedule cand, const Metrics& m) {
   OBS_COUNT(kObsIncrAdopts);
+  if (prov::Recorder* rec = prov::current()) {
+    rec->on_adopt(base_, cand, m.prefix, m.base_suffix_start, m.cand_suffix_start,
+                  m.cost - cost_,
+                  static_cast<std::int64_t>(m.dummy_transfers) -
+                      static_cast<std::int64_t>(dummies_));
+  }
   cost_ = m.cost;
   dummies_ = m.dummy_transfers;
   base_ = std::move(cand);
@@ -203,6 +210,7 @@ void IncrementalEvaluator::adopt(Schedule cand, const Metrics& m) {
 }
 
 void IncrementalEvaluator::reset(Schedule base) {
+  if (prov::Recorder* rec = prov::current()) rec->on_reset(base);
   base_ = std::move(base);
   rebuild_summary();
   cache_ = PrefixStateCache(model_, x_old_, base_);

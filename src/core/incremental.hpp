@@ -21,7 +21,7 @@
 //
 // All query methods are const and thread-safe against concurrent queries
 // when given distinct Scratch objects; adopt()/reset() require exclusive
-// access. See DESIGN.md §16 for the convergence argument.
+// access. See DESIGN.md §8 for the convergence argument.
 #pragma once
 
 #include <cstddef>

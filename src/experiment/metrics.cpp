@@ -9,6 +9,10 @@ void CellMetrics::add(const TrialMetrics& t) {
   seconds.add(t.seconds);
   builder_seconds.add(t.builder_seconds);
   improver_seconds.add(t.improver_seconds);
+  builder_cost.add(static_cast<double>(t.builder_cost));
+  improver_cost.add(static_cast<double>(t.improver_cost));
+  builder_dummies.add(static_cast<double>(t.builder_dummies));
+  improver_dummies.add(static_cast<double>(t.improver_dummies));
 }
 
 const char* metric_name(Metric m) {
@@ -19,6 +23,10 @@ const char* metric_name(Metric m) {
     case Metric::Seconds: return "algorithm seconds";
     case Metric::BuilderSeconds: return "builder seconds";
     case Metric::ImproverSeconds: return "improver seconds";
+    case Metric::BuilderCost: return "builder cost share";
+    case Metric::ImproverCost: return "improver cost share";
+    case Metric::BuilderDummies: return "builder dummy share";
+    case Metric::ImproverDummies: return "improver dummy share";
   }
   return "?";
 }
@@ -31,6 +39,10 @@ const SampleSet& metric_samples(const CellMetrics& cell, Metric m) {
     case Metric::Seconds: return cell.seconds;
     case Metric::BuilderSeconds: return cell.builder_seconds;
     case Metric::ImproverSeconds: return cell.improver_seconds;
+    case Metric::BuilderCost: return cell.builder_cost;
+    case Metric::ImproverCost: return cell.improver_cost;
+    case Metric::BuilderDummies: return cell.builder_dummies;
+    case Metric::ImproverDummies: return cell.improver_dummies;
   }
   return cell.dummy_transfers;
 }

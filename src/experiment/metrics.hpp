@@ -18,6 +18,13 @@ struct TrialMetrics {
   double seconds = 0.0;           ///< algorithm wall time (build + improve)
   double builder_seconds = 0.0;   ///< construction stage only
   double improver_seconds = 0.0;  ///< improver chain (incl. evaluator setup)
+  /// Provenance-based cost/dummy split between the construction stage and
+  /// the improver chain. Zero unless the sweep ran with obs enabled (the
+  /// runner only arms a provenance recorder when obs::enabled()).
+  Cost builder_cost = 0;
+  Cost improver_cost = 0;
+  std::size_t builder_dummies = 0;
+  std::size_t improver_dummies = 0;
 };
 
 /// Aggregates over trials of one (sweep point, algorithm) cell.
@@ -28,6 +35,10 @@ struct CellMetrics {
   SampleSet seconds;
   SampleSet builder_seconds;
   SampleSet improver_seconds;
+  SampleSet builder_cost;
+  SampleSet improver_cost;
+  SampleSet builder_dummies;
+  SampleSet improver_dummies;
 
   void add(const TrialMetrics& t);
 };
@@ -40,12 +51,18 @@ enum class Metric {
   Seconds,
   BuilderSeconds,
   ImproverSeconds,
+  BuilderCost,
+  ImproverCost,
+  BuilderDummies,
+  ImproverDummies,
 };
 
 /// Every metric in report order, for dumps that emit all of them.
 inline constexpr Metric kAllMetrics[] = {
     Metric::DummyTransfers, Metric::ImplementationCost, Metric::ScheduleLength,
     Metric::Seconds,        Metric::BuilderSeconds,     Metric::ImproverSeconds,
+    Metric::BuilderCost,    Metric::ImproverCost,       Metric::BuilderDummies,
+    Metric::ImproverDummies,
 };
 
 const char* metric_name(Metric m);

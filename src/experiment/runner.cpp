@@ -1,11 +1,13 @@
 #include "experiment/runner.hpp"
 
+#include <optional>
 #include <stdexcept>
 
 #include "core/cost_model.hpp"
 #include "core/validator.hpp"
 #include "heuristics/registry.hpp"
 #include "obs/obs.hpp"
+#include "obs/provenance.hpp"
 #include "support/thread_pool.hpp"
 #include "support/timer.hpp"
 
@@ -48,6 +50,12 @@ SweepResult run_sweep(const std::vector<SweepPoint>& points, const SweepConfig& 
                    " trial=" + std::to_string(trial));
       Timer timer;
       PipelineTiming timing;
+      // Attribution costs a schedule copy per adopted rewrite, so the
+      // recorder is armed only in obs runs; figure sweeps stay untouched.
+      std::optional<prov::Scope> prov_scope;
+      if (prov::kRecorderCompiled && obs::enabled()) {
+        prov_scope.emplace(instance.model, instance.x_old);
+      }
       const Schedule h = pipelines[a].run(instance.model, instance.x_old,
                                           instance.x_new, algo_rng, &timing);
       TrialMetrics& m = raw[task][a];
@@ -58,6 +66,15 @@ SweepResult run_sweep(const std::vector<SweepPoint>& points, const SweepConfig& 
       m.implementation_cost = schedule_cost(instance.model, h);
       m.schedule_length = h.size();
       m.transfers = h.transfer_count();
+      if (prov_scope) {
+        const prov::Provenance p = prov_scope->finalize(h);
+        const auto att = prov::attribute_schedule(instance.model, h, p);
+        for (const auto& sa : att.stages) {
+          const bool builder = p.stages[sa.stage].kind == prov::StageKind::Builder;
+          (builder ? m.builder_cost : m.improver_cost) += sa.cost;
+          (builder ? m.builder_dummies : m.improver_dummies) += sa.dummy_transfers;
+        }
+      }
       if (config.validate) {
         const auto v =
             Validator::validate(instance.model, instance.x_old, instance.x_new, h);

@@ -9,6 +9,7 @@ namespace rtsp {
 Schedule ArBuilder::build(const SystemModel& model, const ReplicationMatrix& x_old,
                           const ReplicationMatrix& x_new, Rng& rng) const {
   RTSP_REQUIRE_MSG(storage_feasible(model, x_new), "X_new exceeds server capacities");
+  const prov::StageScope stage(prov::StageKind::Builder, name());
   const PlacementDelta delta(x_old, x_new);
   ExecutionState state(model, x_old);
   SuperfluousTracker tracker(model.num_servers(), delta);
@@ -18,17 +19,13 @@ Schedule ArBuilder::build(const SystemModel& model, const ReplicationMatrix& x_o
   rng.shuffle(transfers);
   for (const Replica& r : transfers) {
     make_space_random(state, tracker, h, r.server, r.object, rng);
-    const Action t = nearest_transfer(state, r.server, r.object);
-    state.apply(t);
-    h.push_back(t);
+    apply_and_push(state, h, nearest_transfer(state, r.server, r.object));
   }
 
   std::vector<Replica> leftovers = tracker.remaining();
   rng.shuffle(leftovers);
   for (const Replica& r : leftovers) {
-    const Action d = Action::remove(r.server, r.object);
-    state.apply(d);
-    h.push_back(d);
+    apply_and_push(state, h, Action::remove(r.server, r.object));
   }
   return h;
 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/provenance.hpp"
+
 namespace rtsp {
 
 SuperfluousTracker::SuperfluousTracker(std::size_t num_servers,
@@ -38,6 +40,12 @@ Action nearest_transfer(const ExecutionState& state, ServerId i, ObjectId k) {
   return Action::transfer(i, k, src);
 }
 
+void apply_and_push(ExecutionState& state, Schedule& schedule, const Action& a) {
+  prov::note_emit(a);
+  state.apply(a);
+  schedule.push_back(a);
+}
+
 void make_space_random(ExecutionState& state, SuperfluousTracker& tracker,
                        Schedule& schedule, ServerId i, ObjectId k, Rng& rng) {
   const Size needed = state.model().object_size(k);
@@ -47,9 +55,7 @@ void make_space_random(ExecutionState& state, SuperfluousTracker& tracker,
                      "cannot free space on S" << i << " for O" << k
                                               << ": no superfluous replicas left");
     const ObjectId victim = candidates[rng.below(candidates.size())];
-    const Action d = Action::remove(i, victim);
-    state.apply(d);
-    schedule.push_back(d);
+    apply_and_push(state, schedule, Action::remove(i, victim));
     tracker.remove(i, victim);
   }
 }

@@ -7,6 +7,7 @@
 #include "core/delta.hpp"
 #include "core/schedule.hpp"
 #include "core/state.hpp"
+#include "obs/provenance.hpp"
 #include "support/rng.hpp"
 
 namespace rtsp {
@@ -36,6 +37,12 @@ class SuperfluousTracker {
 
 /// Transfer of k to i from its cheapest current replicator (dummy if none).
 Action nearest_transfer(const ExecutionState& state, ServerId i, ObjectId k);
+
+/// Applies `a` and appends it to `schedule` — the single append point for
+/// every builder, so provenance recording (stage attribution plus the
+/// deadlock witness for dummy transfers) sees each emitted action exactly
+/// once. Behaviour is identical with recording on or off.
+void apply_and_push(ExecutionState& state, Schedule& schedule, const Action& a);
 
 /// Deletes random superfluous replicas on `i` (updating state, tracker and
 /// schedule) until `i` can host object k. RTSP_REQUIREs success — guaranteed

@@ -30,12 +30,15 @@ void FixpointImprover::improve_incremental(IncrementalEvaluator& eval, Rng& rng)
   last_rounds_ = 0;
   for (int round = 0; round < max_rounds_; ++round) {
     ++last_rounds_;
+    // Inner improvers push their own stage frames; they inherit this round.
+    prov::note_round(round);
     const Schedule before = eval.schedule();
     for (const auto& imp : chain_) {
       imp->improve_incremental(eval, rng);
     }
     if (eval.schedule() == before) break;
   }
+  prov::note_round(-1);
 }
 
 }  // namespace rtsp

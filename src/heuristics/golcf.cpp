@@ -45,9 +45,7 @@ void make_space_by_benefit(ExecutionState& state, SuperfluousTracker& tracker,
         victim = cand;
       }
     }
-    const Action d = Action::remove(i, victim);
-    state.apply(d);
-    h.push_back(d);
+    apply_and_push(state, h, Action::remove(i, victim));
     tracker.remove(i, victim);
   }
 }
@@ -57,6 +55,7 @@ void make_space_by_benefit(ExecutionState& state, SuperfluousTracker& tracker,
 Schedule GolcfBuilder::build(const SystemModel& model, const ReplicationMatrix& x_old,
                              const ReplicationMatrix& x_new, Rng& rng) const {
   RTSP_REQUIRE_MSG(storage_feasible(model, x_new), "X_new exceeds server capacities");
+  const prov::StageScope stage(prov::StageKind::Builder, name());
   const PlacementDelta delta(x_old, x_new);
   ExecutionState state(model, x_old);
   SuperfluousTracker tracker(model.num_servers(), delta);
@@ -90,18 +89,14 @@ Schedule GolcfBuilder::build(const SystemModel& model, const ReplicationMatrix& 
       const ServerId i = dests[best_idx];
       dests.erase(dests.begin() + static_cast<std::ptrdiff_t>(best_idx));
       make_space_by_benefit(state, tracker, h, i, k, pending);
-      const Action t = nearest_transfer(state, i, k);
-      state.apply(t);
-      h.push_back(t);
+      apply_and_push(state, h, nearest_transfer(state, i, k));
     }
   }
 
   std::vector<Replica> leftovers = tracker.remaining();
   rng.shuffle(leftovers);
   for (const Replica& r : leftovers) {
-    const Action d = Action::remove(r.server, r.object);
-    state.apply(d);
-    h.push_back(d);
+    apply_and_push(state, h, Action::remove(r.server, r.object));
   }
   return h;
 }

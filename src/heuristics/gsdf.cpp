@@ -11,6 +11,7 @@ namespace rtsp {
 Schedule GsdfBuilder::build(const SystemModel& model, const ReplicationMatrix& x_old,
                             const ReplicationMatrix& x_new, Rng& rng) const {
   RTSP_REQUIRE_MSG(storage_feasible(model, x_new), "X_new exceeds server capacities");
+  const prov::StageScope stage(prov::StageKind::Builder, name());
   const PlacementDelta delta(x_old, x_new);
   ExecutionState state(model, x_old);
   Schedule h;
@@ -23,16 +24,12 @@ Schedule GsdfBuilder::build(const SystemModel& model, const ReplicationMatrix& x
     std::vector<Replica> deletions = delta.superfluous_on(i);
     rng.shuffle(deletions);
     for (const Replica& r : deletions) {
-      const Action d = Action::remove(r.server, r.object);
-      state.apply(d);
-      h.push_back(d);
+      apply_and_push(state, h, Action::remove(r.server, r.object));
     }
     std::vector<Replica> transfers = delta.outstanding_on(i);
     rng.shuffle(transfers);
     for (const Replica& r : transfers) {
-      const Action t = nearest_transfer(state, r.server, r.object);
-      state.apply(t);
-      h.push_back(t);
+      apply_and_push(state, h, nearest_transfer(state, r.server, r.object));
     }
   }
   return h;

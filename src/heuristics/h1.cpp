@@ -19,6 +19,7 @@ class H1Run {
   void run() {
     for (int pass = 0; pass < options_.max_passes; ++pass) {
       OBS_SPAN("h1.pass", "pass=" + std::to_string(pass));
+      prov::note_pass(pass);
       bool changed = false;
       std::size_t u = 0;
       while (u < eval_.schedule().size()) {
@@ -127,6 +128,7 @@ Schedule H1Improver::improve(const SystemModel& model, const ReplicationMatrix& 
 }
 
 void H1Improver::improve_incremental(IncrementalEvaluator& eval, Rng& /*rng*/) const {
+  const prov::StageScope stage(prov::StageKind::Improver, name());
   H1Run(eval, options_).run();
 }
 

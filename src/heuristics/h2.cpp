@@ -22,6 +22,7 @@ class H2Run {
   void run() {
     for (int pass = 0; pass < options_.max_passes; ++pass) {
       OBS_SPAN("h2.pass", "pass=" + std::to_string(pass));
+      prov::note_pass(pass);
       bool changed = false;
       bool restart = false;
       std::size_t u = 0;
@@ -160,6 +161,7 @@ Schedule H2Improver::improve(const SystemModel& model, const ReplicationMatrix& 
 }
 
 void H2Improver::improve_incremental(IncrementalEvaluator& eval, Rng& /*rng*/) const {
+  const prov::StageScope stage(prov::StageKind::Improver, name());
   H2Run(eval, options_).run();
 }
 

@@ -41,7 +41,9 @@ class Op1Run {
     std::size_t round = 0;
     ObjectId resume_object = round_objects_.front();
     while (true) {
-      OBS_SPAN("op1.round", "round=" + std::to_string(round++));
+      OBS_SPAN("op1.round", "round=" + std::to_string(round));
+      prov::note_round(static_cast<int>(round));
+      ++round;
       std::size_t start = 0;
       if (options_.restart == Op1Options::Restart::Continue) {
         // Resume at the object adopted last round. Identified by ObjectId,
@@ -321,6 +323,9 @@ Schedule Op1Improver::improve(const SystemModel& model, const ReplicationMatrix&
 }
 
 void Op1Improver::improve_incremental(IncrementalEvaluator& eval, Rng& /*rng*/) const {
+  // Both the sequential and parallel-screen variants adopt on this thread in
+  // scan order, so the recorded provenance is identical for OP1 and OP1P.
+  const prov::StageScope stage(prov::StageKind::Improver, name());
   Op1Run(eval, options_).run();
 }
 

@@ -9,6 +9,7 @@ namespace rtsp {
 Schedule RdfBuilder::build(const SystemModel& model, const ReplicationMatrix& x_old,
                            const ReplicationMatrix& x_new, Rng& rng) const {
   RTSP_REQUIRE_MSG(storage_feasible(model, x_new), "X_new exceeds server capacities");
+  const prov::StageScope stage(prov::StageKind::Builder, name());
   const PlacementDelta delta(x_old, x_new);
   ExecutionState state(model, x_old);
   Schedule h;
@@ -16,17 +17,13 @@ Schedule RdfBuilder::build(const SystemModel& model, const ReplicationMatrix& x_
   std::vector<Replica> deletions = delta.superfluous();
   rng.shuffle(deletions);
   for (const Replica& r : deletions) {
-    const Action d = Action::remove(r.server, r.object);
-    state.apply(d);
-    h.push_back(d);
+    apply_and_push(state, h, Action::remove(r.server, r.object));
   }
 
   std::vector<Replica> transfers = delta.outstanding();
   rng.shuffle(transfers);
   for (const Replica& r : transfers) {
-    const Action t = nearest_transfer(state, r.server, r.object);
-    state.apply(t);
-    h.push_back(t);
+    apply_and_push(state, h, nearest_transfer(state, r.server, r.object));
   }
   return h;
 }

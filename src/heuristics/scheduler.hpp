@@ -9,6 +9,7 @@
 #include "core/replication.hpp"
 #include "core/schedule.hpp"
 #include "core/system.hpp"
+#include "obs/provenance.hpp"
 #include "support/rng.hpp"
 
 namespace rtsp {
@@ -40,6 +41,9 @@ class ScheduleImprover {
   /// re-validating the schedule from scratch. The default delegates to
   /// improve() and rebuilds the engine; H1/H2/OP1 override it natively.
   virtual void improve_incremental(IncrementalEvaluator& eval, Rng& rng) const {
+    // The stage frame covers the reset too, so the provenance recorder
+    // attributes the full-schedule diff to this improver.
+    const prov::StageScope stage(prov::StageKind::Improver, name());
     eval.reset(improve(eval.model(), eval.x_old(), eval.x_new(),
                        eval.take_schedule(), rng));
   }

@@ -1,8 +1,20 @@
 #include "io/dot_export.hpp"
 
 #include <sstream>
+#include <vector>
 
 namespace rtsp {
+
+namespace {
+
+/// Graphviz colours cycled per provenance stage; chosen to stay readable
+/// when several improver stages share one drawing.
+const char* const kStagePalette[] = {"black",     "blue",      "darkgreen",
+                                     "darkorange", "purple",   "teal",
+                                     "saddlebrown", "magenta"};
+constexpr std::size_t kPaletteSize = sizeof kStagePalette / sizeof *kStagePalette;
+
+}  // namespace
 
 std::string topology_to_dot(const Graph& g) {
   std::ostringstream os;
@@ -35,6 +47,67 @@ std::string transfer_graph_to_dot(const TransferGraph& g) {
   for (const auto& arc : g.arcs()) {
     os << "  S" << arc.from << " -> S" << arc.to << " [label=\"O" << arc.object
        << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string schedule_to_dot(const SystemModel& model, const Schedule& h,
+                            const prov::Provenance* p) {
+  if (p && p->entries.size() != h.size()) p = nullptr;  // stale sidecar
+  std::ostringstream os;
+  os << "digraph schedule {\n  node [shape=circle];\n";
+  bool has_dummy = false;
+  for (const Action& a : h) {
+    if (a.is_dummy_transfer()) has_dummy = true;
+  }
+  for (ServerId s = 0; s < model.num_servers(); ++s) {
+    os << "  S" << s << ";\n";
+  }
+  if (has_dummy) {
+    os << "  dummy [shape=doublecircle, style=dashed, color=red, "
+          "fontcolor=red];\n";
+  }
+  for (std::size_t u = 0; u < h.size(); ++u) {
+    const Action& a = h[u];
+    if (!a.is_transfer()) continue;
+    const char* color = "black";
+    bool dashed = false;
+    std::string stage_name;
+    if (p) {
+      const prov::Entry& e = p->entries[u];
+      color = kStagePalette[e.stage % kPaletteSize];
+      stage_name = p->stages[e.stage].name;
+    }
+    if (a.is_dummy_transfer()) {
+      color = "red";
+      dashed = true;
+      os << "  dummy -> S" << a.server;
+    } else {
+      os << "  S" << a.source << " -> S" << a.server;
+    }
+    os << " [label=\"O" << a.object;
+    if (!stage_name.empty()) os << " [" << stage_name << "]";
+    os << "\", color=" << color << ", fontcolor=" << color;
+    if (dashed) os << ", style=dashed";
+    os << "];\n";
+  }
+  if (p) {
+    // Legend: one swatch per stage that actually emitted a drawn transfer.
+    std::vector<bool> used(p->stages.size(), false);
+    for (std::size_t u = 0; u < h.size(); ++u) {
+      if (h[u].is_transfer() && !h[u].is_dummy_transfer()) {
+        used[p->entries[u].stage] = true;
+      }
+    }
+    os << "  subgraph cluster_legend {\n    label=\"stages\";\n"
+          "    node [shape=plaintext];\n";
+    for (std::size_t i = 0; i < p->stages.size(); ++i) {
+      if (!used[i]) continue;
+      os << "    legend" << i << " [label=\"" << p->stages[i].name
+         << "\", fontcolor=" << kStagePalette[i % kPaletteSize] << "];\n";
+    }
+    os << "  }\n";
   }
   os << "}\n";
   return os.str();

@@ -4,7 +4,10 @@
 
 #include <string>
 
+#include "core/schedule.hpp"
+#include "core/system.hpp"
 #include "core/transfer_graph.hpp"
+#include "obs/provenance.hpp"
 #include "topology/graph.hpp"
 
 namespace rtsp {
@@ -15,5 +18,13 @@ std::string topology_to_dot(const Graph& g);
 /// The Sec.-3.3 transfer graph: directed arcs labelled with object ids;
 /// servers in multi-node strongly connected components are highlighted.
 std::string transfer_graph_to_dot(const TransferGraph& g);
+
+/// A schedule's realised transfer graph: one arc per transfer, labelled with
+/// the object id. With a provenance table (entries parallel to `h`) each arc
+/// is coloured by its originating stage (legend included); dummy-sourced
+/// transfers always come from a distinct dashed "dummy" node in red,
+/// provenance or not. Deletions are not drawn.
+std::string schedule_to_dot(const SystemModel& model, const Schedule& h,
+                            const prov::Provenance* p = nullptr);
 
 }  // namespace rtsp

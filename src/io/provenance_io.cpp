@@ -1,0 +1,273 @@
+#include "io/provenance_io.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "support/json.hpp"
+
+namespace rtsp {
+
+namespace {
+
+constexpr int kFormatVersion = 1;
+
+const char* kind_tag(prov::StageKind k) {
+  switch (k) {
+    case prov::StageKind::Builder: return "builder";
+    case prov::StageKind::Improver: return "improver";
+    case prov::StageKind::Unknown: return "unknown";
+  }
+  return "unknown";
+}
+
+prov::StageKind kind_from_tag(const std::string& tag) {
+  if (tag == "builder") return prov::StageKind::Builder;
+  if (tag == "improver") return prov::StageKind::Improver;
+  if (tag == "unknown") return prov::StageKind::Unknown;
+  throw std::runtime_error("provenance: unknown stage kind \"" + tag + "\"");
+}
+
+const char* cause_tag(prov::RootCause::Kind k) {
+  switch (k) {
+    case prov::RootCause::Kind::CapacityDeadlock: return "capacity_deadlock";
+    case prov::RootCause::Kind::NoInitialReplica: return "no_initial_replica";
+    case prov::RootCause::Kind::SourceAvailable: return "source_available";
+  }
+  return "capacity_deadlock";
+}
+
+prov::RootCause::Kind cause_from_tag(const std::string& tag) {
+  if (tag == "capacity_deadlock") return prov::RootCause::Kind::CapacityDeadlock;
+  if (tag == "no_initial_replica") return prov::RootCause::Kind::NoInitialReplica;
+  if (tag == "source_available") return prov::RootCause::Kind::SourceAvailable;
+  throw std::runtime_error("provenance: unknown root-cause kind \"" + tag + "\"");
+}
+
+void write_rewrite(JsonWriter& j, const prov::Rewrite& r) {
+  j.begin_object();
+  j.key("stage").value(static_cast<std::int64_t>(r.stage));
+  if (r.pass >= 0) j.key("pass").value(r.pass);
+  if (r.round >= 0) j.key("round").value(r.round);
+  j.key("rank").value(static_cast<std::uint64_t>(r.rank));
+  j.key("pos").value(static_cast<std::uint64_t>(r.pos));
+  j.key("removed").value(static_cast<std::uint64_t>(r.removed));
+  j.key("inserted").value(static_cast<std::uint64_t>(r.inserted));
+  j.key("cost_delta").value(static_cast<std::int64_t>(r.cost_delta));
+  j.key("dummy_delta").value(r.dummy_delta);
+  if (r.span_id != 0) j.key("span_id").value(r.span_id);
+  if (!r.replaced.empty()) {
+    j.key("replaced").begin_array();
+    for (std::uint64_t id : r.replaced) j.value(id);
+    j.end_array();
+  }
+  j.end_object();
+}
+
+void write_root_cause(JsonWriter& j, const prov::RootCause& rc) {
+  j.begin_object();
+  j.key("kind").value(cause_tag(rc.kind));
+  j.key("object").value(static_cast<std::uint64_t>(rc.object));
+  j.key("dest").value(static_cast<std::uint64_t>(rc.dest));
+  j.key("object_size").value(static_cast<std::int64_t>(rc.object_size));
+  j.key("dest_free_space").value(static_cast<std::int64_t>(rc.dest_free_space));
+  if (!rc.holders.empty()) {
+    j.key("holders").begin_array();
+    for (ServerId s : rc.holders) j.value(static_cast<std::uint64_t>(s));
+    j.end_array();
+  }
+  if (!rc.blockers.empty()) {
+    j.key("blockers").begin_array();
+    for (const auto& b : rc.blockers) {
+      j.begin_object();
+      j.key("server").value(static_cast<std::uint64_t>(b.server));
+      if (b.deleted_at != prov::kNone) {
+        j.key("deleted_at").value(static_cast<std::uint64_t>(b.deleted_at));
+      }
+      j.key("free_space").value(static_cast<std::int64_t>(b.free_space));
+      if (!b.occupying.empty()) {
+        j.key("occupying").begin_array();
+        for (ObjectId o : b.occupying) j.value(static_cast<std::uint64_t>(o));
+        j.end_array();
+      }
+      j.end_object();
+    }
+    j.end_array();
+  }
+  j.key("free_space").begin_array();
+  for (Size s : rc.free_space) j.value(static_cast<std::int64_t>(s));
+  j.end_array();
+  j.end_object();
+}
+
+void write_entry(JsonWriter& j, const prov::Entry& e) {
+  j.begin_object();
+  j.key("id").value(e.id);
+  j.key("stage").value(static_cast<std::int64_t>(e.stage));
+  if (e.pass >= 0) j.key("pass").value(e.pass);
+  if (e.round >= 0) j.key("round").value(e.round);
+  if (e.rewrite != prov::kNone) {
+    j.key("rewrite").value(static_cast<std::uint64_t>(e.rewrite));
+  }
+  if (e.root_cause != prov::kNone) {
+    j.key("root_cause").value(static_cast<std::uint64_t>(e.root_cause));
+  }
+  if (e.span_id != 0) j.key("span_id").value(e.span_id);
+  j.end_object();
+}
+
+std::uint64_t get_u64(const JsonValue& obj, const std::string& key,
+                      std::uint64_t fallback) {
+  const JsonValue* v = obj.find(key);
+  return v ? static_cast<std::uint64_t>(v->as_int()) : fallback;
+}
+
+std::int64_t get_i64(const JsonValue& obj, const std::string& key,
+                     std::int64_t fallback) {
+  const JsonValue* v = obj.find(key);
+  return v ? v->as_int() : fallback;
+}
+
+prov::Rewrite read_rewrite(const JsonValue& obj) {
+  prov::Rewrite r;
+  r.stage = static_cast<std::uint32_t>(get_u64(obj, "stage", 0));
+  r.pass = static_cast<int>(get_i64(obj, "pass", -1));
+  r.round = static_cast<int>(get_i64(obj, "round", -1));
+  r.rank = static_cast<std::size_t>(get_u64(obj, "rank", 0));
+  r.pos = static_cast<std::size_t>(get_u64(obj, "pos", 0));
+  r.removed = static_cast<std::size_t>(get_u64(obj, "removed", 0));
+  r.inserted = static_cast<std::size_t>(get_u64(obj, "inserted", 0));
+  r.cost_delta = get_i64(obj, "cost_delta", 0);
+  r.dummy_delta = get_i64(obj, "dummy_delta", 0);
+  r.span_id = get_u64(obj, "span_id", 0);
+  if (const JsonValue* rep = obj.find("replaced")) {
+    for (const JsonValue& id : rep->items()) {
+      r.replaced.push_back(static_cast<std::uint64_t>(id.as_int()));
+    }
+  }
+  return r;
+}
+
+prov::RootCause read_root_cause(const JsonValue& obj) {
+  prov::RootCause rc;
+  rc.kind = cause_from_tag(obj.at("kind").as_string());
+  rc.object = static_cast<ObjectId>(get_u64(obj, "object", 0));
+  rc.dest = static_cast<ServerId>(get_u64(obj, "dest", 0));
+  rc.object_size = get_i64(obj, "object_size", 0);
+  rc.dest_free_space = get_i64(obj, "dest_free_space", 0);
+  if (const JsonValue* hs = obj.find("holders")) {
+    for (const JsonValue& h : hs->items()) {
+      rc.holders.push_back(static_cast<ServerId>(h.as_int()));
+    }
+  }
+  if (const JsonValue* bs = obj.find("blockers")) {
+    for (const JsonValue& bj : bs->items()) {
+      prov::RootCause::Blocker b;
+      b.server = static_cast<ServerId>(get_u64(bj, "server", 0));
+      b.deleted_at = static_cast<std::size_t>(
+          get_u64(bj, "deleted_at", static_cast<std::uint64_t>(prov::kNone)));
+      b.free_space = get_i64(bj, "free_space", 0);
+      if (const JsonValue* occ = bj.find("occupying")) {
+        for (const JsonValue& o : occ->items()) {
+          b.occupying.push_back(static_cast<ObjectId>(o.as_int()));
+        }
+      }
+      rc.blockers.push_back(std::move(b));
+    }
+  }
+  if (const JsonValue* fs = obj.find("free_space")) {
+    for (const JsonValue& s : fs->items()) rc.free_space.push_back(s.as_int());
+  }
+  return rc;
+}
+
+prov::Entry read_entry(const JsonValue& obj) {
+  prov::Entry e;
+  e.id = get_u64(obj, "id", 0);
+  e.stage = static_cast<std::uint32_t>(get_u64(obj, "stage", 0));
+  e.pass = static_cast<int>(get_i64(obj, "pass", -1));
+  e.round = static_cast<int>(get_i64(obj, "round", -1));
+  e.rewrite = static_cast<std::size_t>(
+      get_u64(obj, "rewrite", static_cast<std::uint64_t>(prov::kNone)));
+  e.root_cause = static_cast<std::size_t>(
+      get_u64(obj, "root_cause", static_cast<std::uint64_t>(prov::kNone)));
+  e.span_id = get_u64(obj, "span_id", 0);
+  return e;
+}
+
+}  // namespace
+
+void write_provenance(std::ostream& out, const prov::Provenance& p) {
+  JsonWriter j(out);
+  j.begin_object();
+  j.key("version").value(kFormatVersion);
+  j.key("stages").begin_array();
+  for (const auto& s : p.stages) {
+    j.begin_object();
+    j.key("kind").value(kind_tag(s.kind));
+    j.key("name").value(s.name);
+    j.end_object();
+  }
+  j.end_array();
+  j.key("rewrites").begin_array();
+  for (const auto& r : p.rewrites) write_rewrite(j, r);
+  j.end_array();
+  j.key("root_causes").begin_array();
+  for (const auto& rc : p.root_causes) write_root_cause(j, rc);
+  j.end_array();
+  j.key("entries").begin_array();
+  for (const auto& e : p.entries) write_entry(j, e);
+  j.end_array();
+  j.end_object();
+  out << '\n';
+}
+
+std::string provenance_to_json(const prov::Provenance& p) {
+  std::ostringstream os;
+  write_provenance(os, p);
+  return os.str();
+}
+
+prov::Provenance read_provenance(std::istream& in) {
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return provenance_from_json(buf.str());
+}
+
+prov::Provenance provenance_from_json(const std::string& text) {
+  const JsonValue doc = parse_json(text);
+  const std::int64_t version = doc.at("version").as_int();
+  if (version != kFormatVersion) {
+    throw std::runtime_error("provenance: unsupported version " +
+                             std::to_string(version));
+  }
+  prov::Provenance p;
+  for (const JsonValue& sj : doc.at("stages").items()) {
+    prov::Stage s;
+    s.kind = kind_from_tag(sj.at("kind").as_string());
+    s.name = sj.at("name").as_string();
+    p.stages.push_back(std::move(s));
+  }
+  for (const JsonValue& rj : doc.at("rewrites").items()) {
+    p.rewrites.push_back(read_rewrite(rj));
+  }
+  for (const JsonValue& cj : doc.at("root_causes").items()) {
+    p.root_causes.push_back(read_root_cause(cj));
+  }
+  for (const JsonValue& ej : doc.at("entries").items()) {
+    p.entries.push_back(read_entry(ej));
+  }
+  for (const auto& e : p.entries) {
+    if (e.stage >= p.stages.size()) {
+      throw std::runtime_error("provenance: entry stage index out of range");
+    }
+    if (e.rewrite != prov::kNone && e.rewrite >= p.rewrites.size()) {
+      throw std::runtime_error("provenance: entry rewrite index out of range");
+    }
+    if (e.root_cause != prov::kNone && e.root_cause >= p.root_causes.size()) {
+      throw std::runtime_error("provenance: entry root-cause index out of range");
+    }
+  }
+  return p;
+}
+
+}  // namespace rtsp

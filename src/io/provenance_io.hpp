@@ -1,0 +1,25 @@
+// JSON serialisation of prov::Provenance sidecar files, consumed back by
+// `rtsp explain`. One self-describing document:
+//   {"version": 1, "stages": [...], "rewrites": [...],
+//    "root_causes": [...], "entries": [...]}
+// kNone-valued links and empty lists are omitted on write and default on
+// read, so files stay compact and forward-tolerant.
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "obs/provenance.hpp"
+
+namespace rtsp {
+
+void write_provenance(std::ostream& out, const prov::Provenance& p);
+std::string provenance_to_json(const prov::Provenance& p);
+
+/// Parses the format above; throws std::runtime_error on malformed input or
+/// an unsupported version.
+prov::Provenance read_provenance(std::istream& in);
+prov::Provenance provenance_from_json(const std::string& text);
+
+}  // namespace rtsp

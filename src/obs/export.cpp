@@ -170,9 +170,10 @@ void write_chrome_trace(std::ostream& out, const std::vector<TraceEvent>& events
     if (e.kind == TraceEvent::Kind::Complete) {
       j.key("ph").value("X");
       j.key("dur").value(static_cast<double>(e.dur_ns) / kNsPerUs);
-      if (!e.detail.empty()) {
+      if (!e.detail.empty() || e.span_id != 0) {
         j.key("args").begin_object();
-        j.key("detail").value(e.detail);
+        if (!e.detail.empty()) j.key("detail").value(e.detail);
+        if (e.span_id != 0) j.key("span_id").value(e.span_id);
         j.end_object();
       }
     } else {

@@ -1,0 +1,365 @@
+#include "obs/provenance.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/cost_model.hpp"
+#include "core/state.hpp"
+#include "obs/trace.hpp"
+#include "support/assert.hpp"
+
+namespace rtsp::prov {
+
+const char* to_string(StageKind k) {
+  switch (k) {
+    case StageKind::Builder: return "builder";
+    case StageKind::Improver: return "improver";
+    case StageKind::Unknown: return "unknown";
+  }
+  return "?";
+}
+
+RootCause make_root_cause(const SystemModel& model, const ReplicationMatrix& x_old,
+                          const Schedule& h, std::size_t pos) {
+  RTSP_REQUIRE(pos < h.size());
+  const Action& dummy = h[pos];
+  RTSP_REQUIRE_MSG(dummy.is_dummy_transfer(),
+                   "root cause requested for a non-dummy action");
+  const ObjectId k = dummy.object;
+  const auto num_servers = static_cast<ServerId>(model.num_servers());
+  const auto num_objects = static_cast<ObjectId>(model.num_objects());
+
+  // One replay of the prefix, tracking object k's per-server history: who
+  // ever held it and where each replica was last deleted.
+  std::vector<std::size_t> last_delete(num_servers, kNone);
+  std::vector<char> ever_held(num_servers, 0);
+  for (ServerId i = 0; i < num_servers; ++i) ever_held[i] = x_old.test(i, k);
+  ExecutionState st(model, x_old);
+  for (std::size_t u = 0; u < pos; ++u) {
+    const Action& a = h[u];
+    if (a.object == k) {
+      if (a.is_transfer()) ever_held[a.server] = 1;
+      else last_delete[a.server] = u;
+    }
+    st.apply_lenient(a);
+  }
+
+  RootCause rc;
+  rc.object = k;
+  rc.dest = dummy.server;
+  rc.object_size = model.object_size(k);
+  rc.dest_free_space = st.free_space(rc.dest);
+  rc.free_space.resize(num_servers);
+  for (ServerId i = 0; i < num_servers; ++i) rc.free_space[i] = st.free_space(i);
+  for (ServerId i = 0; i < num_servers; ++i) {
+    if (st.holds(i, k)) {
+      rc.holders.push_back(i);
+      continue;
+    }
+    if (!ever_held[i]) continue;
+    RootCause::Blocker b;
+    b.server = i;
+    b.deleted_at = last_delete[i];
+    b.free_space = st.free_space(i);
+    for (ObjectId o = 0; o < num_objects; ++o) {
+      if (o != k && st.holds(i, o) && !x_old.test(i, o)) b.occupying.push_back(o);
+    }
+    rc.blockers.push_back(std::move(b));
+  }
+  rc.kind = !rc.holders.empty()  ? RootCause::Kind::SourceAvailable
+            : rc.blockers.empty() ? RootCause::Kind::NoInitialReplica
+                                  : RootCause::Kind::CapacityDeadlock;
+  return rc;
+}
+
+AttributionSummary attribute_schedule(const SystemModel& model, const Schedule& h,
+                                      const Provenance& p) {
+  RTSP_REQUIRE_MSG(p.entries.size() == h.size(),
+                   "provenance has " << p.entries.size() << " entries for a "
+                                     << h.size() << "-action schedule");
+  AttributionSummary s;
+  s.stages.resize(p.stages.size());
+  for (std::uint32_t i = 0; i < s.stages.size(); ++i) s.stages[i].stage = i;
+
+  for (std::size_t u = 0; u < h.size(); ++u) {
+    const Entry& e = p.entries[u];
+    RTSP_REQUIRE(e.stage < s.stages.size());
+    StageAttribution& a = s.stages[e.stage];
+    const Action& act = h[u];
+    ++a.actions;
+    ++s.total_actions;
+    if (act.is_transfer()) {
+      ++a.transfers;
+      ++s.transfers;
+      const Cost c = action_cost(model, act);
+      a.cost += c;
+      s.total_cost += c;
+      if (act.is_dummy_transfer()) {
+        ++a.dummy_transfers;
+        ++s.dummy_transfers;
+        a.dummy_cost += c;
+        s.dummy_cost += c;
+      }
+    } else {
+      ++a.deletions;
+      ++s.deletions;
+    }
+  }
+  for (const Rewrite& rw : p.rewrites) {
+    RTSP_REQUIRE(rw.stage < s.stages.size());
+    StageAttribution& a = s.stages[rw.stage];
+    ++a.rewrites;
+    a.rewrite_cost_delta += rw.cost_delta;
+    a.rewrite_dummy_delta += rw.dummy_delta;
+  }
+  return s;
+}
+
+Recorder::Recorder(const SystemModel& model, const ReplicationMatrix& x_old)
+    : model_(model), x_old_(x_old) {}
+
+std::uint32_t Recorder::intern_stage(StageKind kind, const std::string& name) {
+  for (std::uint32_t i = 0; i < prov_.stages.size(); ++i) {
+    if (prov_.stages[i].kind == kind && prov_.stages[i].name == name) return i;
+  }
+  prov_.stages.push_back(Stage{kind, name});
+  adoptions_.push_back(0);
+  return static_cast<std::uint32_t>(prov_.stages.size() - 1);
+}
+
+std::uint32_t Recorder::current_stage() {
+  if (stage_stack_.empty()) return intern_stage(StageKind::Unknown, "?");
+  return stage_stack_.back().stage;
+}
+
+void Recorder::push_stage(StageKind kind, const std::string& name) {
+  Frame f;
+  f.stage = intern_stage(kind, name);
+  // Pass/round are inherited (fixpoint sets the round before entering the
+  // inner improver's frame) and restored on pop.
+  f.saved_pass = pass_;
+  f.saved_round = round_;
+  stage_stack_.push_back(std::move(f));
+}
+
+void Recorder::pop_stage() {
+  if (stage_stack_.empty()) return;
+  pass_ = stage_stack_.back().saved_pass;
+  round_ = stage_stack_.back().saved_round;
+  stage_stack_.pop_back();
+}
+
+Entry Recorder::fresh_entry(std::uint32_t stage, std::size_t rewrite) {
+  Entry e;
+  e.id = next_id_++;
+  e.stage = stage;
+  e.pass = pass_;
+  e.round = round_;
+  e.rewrite = rewrite;
+  e.span_id = obs::current_span_id();
+  return e;
+}
+
+void Recorder::on_emit(const Action& a) {
+  const std::size_t pos = actions_.size();
+  actions_.push_back(a);
+  Entry e = fresh_entry(current_stage(), kNone);
+  if (a.is_dummy_transfer()) {
+    e.root_cause = prov_.root_causes.size();
+    prov_.root_causes.push_back(make_root_cause(model_, x_old_, actions_, pos));
+  }
+  prov_.entries.push_back(std::move(e));
+}
+
+void Recorder::on_adopt(const Schedule& base, const Schedule& cand,
+                        std::size_t prefix, std::size_t base_suffix_start,
+                        std::size_t cand_suffix_start, Cost cost_delta,
+                        std::int64_t dummy_delta) {
+  // Defensive: if the observed stream ever diverged from the evaluator's
+  // base (it should not), fall back to unattributed entries over the base
+  // rather than corrupting positions.
+  if (actions_.size() != base.size()) resync(base);
+
+  const std::uint32_t stage = current_stage();
+  Rewrite rw;
+  rw.stage = stage;
+  rw.pass = pass_;
+  rw.round = round_;
+  rw.rank = ++adoptions_[stage];
+  rw.pos = prefix;
+  rw.removed = base_suffix_start - prefix;
+  rw.inserted = cand_suffix_start - prefix;
+  rw.cost_delta = cost_delta;
+  rw.dummy_delta = dummy_delta;
+  rw.span_id = obs::current_span_id();
+  rw.replaced.reserve(rw.removed);
+  for (std::size_t u = prefix; u < base_suffix_start; ++u) {
+    rw.replaced.push_back(prov_.entries[u].id);
+  }
+  const std::size_t rw_idx = prov_.rewrites.size();
+  prov_.rewrites.push_back(std::move(rw));
+
+  // Replace the entry window: inserted actions get fresh entries, and dummy
+  // transfers landing in the window get witnesses at their new positions.
+  std::vector<Entry> fresh;
+  fresh.reserve(cand_suffix_start - prefix);
+  for (std::size_t u = prefix; u < cand_suffix_start; ++u) {
+    Entry e = fresh_entry(stage, rw_idx);
+    if (cand[u].is_dummy_transfer()) {
+      e.root_cause = prov_.root_causes.size();
+      prov_.root_causes.push_back(make_root_cause(model_, x_old_, cand, u));
+    }
+    fresh.push_back(std::move(e));
+  }
+  auto& es = prov_.entries;
+  es.erase(es.begin() + static_cast<std::ptrdiff_t>(prefix),
+           es.begin() + static_cast<std::ptrdiff_t>(base_suffix_start));
+  es.insert(es.begin() + static_cast<std::ptrdiff_t>(prefix),
+            std::make_move_iterator(fresh.begin()),
+            std::make_move_iterator(fresh.end()));
+  actions_.actions().assign(cand.begin(), cand.end());
+}
+
+void Recorder::on_reset(const Schedule& new_base) {
+  const std::size_t bsize = actions_.size();
+  const std::size_t csize = new_base.size();
+  const std::size_t min_size = std::min(bsize, csize);
+  std::size_t prefix = 0;
+  while (prefix < min_size && actions_[prefix] == new_base[prefix]) ++prefix;
+  if (prefix == bsize && bsize == csize) return;  // unchanged
+  std::size_t suffix = 0;
+  while (prefix + suffix < min_size &&
+         actions_[bsize - 1 - suffix] == new_base[csize - 1 - suffix]) {
+    ++suffix;
+  }
+  Cost cost_delta = 0;
+  std::int64_t dummy_delta = 0;
+  for (std::size_t u = prefix; u < bsize - suffix; ++u) {
+    cost_delta -= action_cost(model_, actions_[u]);
+    if (actions_[u].is_dummy_transfer()) --dummy_delta;
+  }
+  for (std::size_t u = prefix; u < csize - suffix; ++u) {
+    cost_delta += action_cost(model_, new_base[u]);
+    if (new_base[u].is_dummy_transfer()) ++dummy_delta;
+  }
+  on_adopt(actions_, new_base, prefix, bsize - suffix, csize - suffix, cost_delta,
+           dummy_delta);
+}
+
+void Recorder::resync(const Schedule& base) {
+  const std::uint32_t unknown = intern_stage(StageKind::Unknown, "?");
+  prov_.entries.clear();
+  actions_.actions().assign(base.begin(), base.end());
+  for (std::size_t u = 0; u < base.size(); ++u) {
+    Entry e;
+    e.id = next_id_++;
+    e.stage = unknown;
+    if (base[u].is_dummy_transfer()) {
+      e.root_cause = prov_.root_causes.size();
+      prov_.root_causes.push_back(make_root_cause(model_, x_old_, actions_, u));
+    }
+    prov_.entries.push_back(std::move(e));
+  }
+}
+
+Provenance Recorder::finalize(const Schedule& final_schedule) {
+  if (!(actions_ == final_schedule)) resync(final_schedule);
+
+  // Witnesses were captured at emission time; later rewrites can shift the
+  // positions they reference. Re-derive any witness that no longer matches
+  // the delivered schedule so every dummy transfer carries a verifiable one.
+  for (std::size_t u = 0; u < final_schedule.size(); ++u) {
+    const Action& a = final_schedule[u];
+    Entry& e = prov_.entries[u];
+    if (!a.is_dummy_transfer()) {
+      e.root_cause = kNone;
+      continue;
+    }
+    bool ok = e.root_cause != kNone;
+    if (ok) {
+      const RootCause& rc = prov_.root_causes[e.root_cause];
+      ok = rc.object == a.object && rc.dest == a.server;
+      for (const RootCause::Blocker& b : rc.blockers) {
+        if (!ok) break;
+        ok = b.deleted_at != kNone && b.deleted_at < u &&
+             final_schedule[b.deleted_at] == Action::remove(b.server, a.object);
+      }
+    }
+    if (!ok) {
+      e.root_cause = prov_.root_causes.size();
+      prov_.root_causes.push_back(
+          make_root_cause(model_, x_old_, final_schedule, u));
+    }
+  }
+
+  // Drop witnesses orphaned by replaced windows and renumber the survivors.
+  std::vector<RootCause> kept;
+  for (Entry& e : prov_.entries) {
+    if (e.root_cause == kNone) continue;
+    kept.push_back(std::move(prov_.root_causes[e.root_cause]));
+    e.root_cause = kept.size() - 1;
+  }
+  prov_.root_causes = std::move(kept);
+  return std::move(prov_);
+}
+
+#if RTSP_OBS_ENABLED
+
+namespace {
+thread_local Recorder* t_current = nullptr;
+}  // namespace
+
+Recorder* current() noexcept { return t_current; }
+
+namespace detail {
+void set_current(Recorder* r) noexcept { t_current = r; }
+}  // namespace detail
+
+#endif  // RTSP_OBS_ENABLED
+
+Scope::Scope(const SystemModel& model, const ReplicationMatrix& x_old) {
+#if RTSP_OBS_ENABLED
+  recorder_ = std::make_unique<Recorder>(model, x_old);
+  previous_ = current();
+  detail::set_current(recorder_.get());
+#else
+  (void)model;
+  (void)x_old;
+#endif
+}
+
+Scope::~Scope() {
+#if RTSP_OBS_ENABLED
+  if (recorder_) detail::set_current(previous_);
+#endif
+}
+
+Provenance Scope::finalize(const Schedule& final_schedule) {
+#if RTSP_OBS_ENABLED
+  if (!recorder_) return {};
+  detail::set_current(previous_);
+  Provenance p = recorder_->finalize(final_schedule);
+  recorder_.reset();
+  return p;
+#else
+  (void)final_schedule;
+  return {};
+#endif
+}
+
+StageScope::StageScope(StageKind kind, const std::string& name) {
+  if (Recorder* r = current()) {
+    recorder_ = r;
+    r->push_stage(kind, name);
+  }
+#if !RTSP_OBS_ENABLED
+  (void)kind;
+  (void)name;
+#endif
+}
+
+StageScope::~StageScope() {
+  if (recorder_) recorder_->pop_stage();
+}
+
+}  // namespace rtsp::prov

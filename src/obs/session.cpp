@@ -7,7 +7,29 @@
 #include "obs/trace.hpp"
 #include "support/cli.hpp"
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 namespace rtsp::obs {
+
+namespace {
+
+/// Records the process peak RSS as a gauge so every metrics snapshot /
+/// export carries the memory high-water mark of the run.
+void record_peak_rss() {
+#if defined(__unix__) || defined(__APPLE__)
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return;
+  std::int64_t kb = usage.ru_maxrss;
+#if defined(__APPLE__)
+  kb /= 1024;  // macOS reports bytes, Linux kilobytes
+#endif
+  MetricsRegistry::instance().gauge("process.peak_rss_kb").set(kb);
+#endif
+}
+
+}  // namespace
 
 Session::Session(const CliOptions& opt)
     : summary_(opt.get_bool("obs", "RTSP_OBS", false)),
@@ -19,6 +41,7 @@ Session::Session(const CliOptions& opt)
 
 void Session::finish(std::ostream& out) const {
   if (!enabled_) return;
+  record_peak_rss();
   const MetricsSnapshot snap = MetricsRegistry::instance().snapshot();
   if (!metrics_out_.empty()) {
     write_metrics_file(metrics_out_, snap);

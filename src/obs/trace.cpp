@@ -45,6 +45,11 @@ struct TraceRegistry {
   }
 };
 
+std::atomic<std::uint64_t> g_next_span_id{1};
+
+/// Innermost-first stack of armed span ids on this thread.
+thread_local std::vector<std::uint64_t> t_span_stack;
+
 ThreadBuffer& tls_buffer() {
   struct Handle {
     ThreadBuffer* buffer;
@@ -77,18 +82,26 @@ ScopedSpan::ScopedSpan(std::string name, std::string detail) {
   armed_ = true;
   name_ = std::move(name);
   detail_ = std::move(detail);
+  span_id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  t_span_stack.push_back(span_id_);
   start_ns_ = now_ns();
 }
 
 ScopedSpan::~ScopedSpan() {
   if (!armed_) return;
+  t_span_stack.pop_back();
   TraceEvent event;
   event.kind = TraceEvent::Kind::Complete;
   event.name = std::move(name_);
   event.detail = std::move(detail_);
   event.ts_ns = start_ns_;
   event.dur_ns = now_ns() - start_ns_;
+  event.span_id = span_id_;
   push_event(std::move(event));
+}
+
+std::uint64_t current_span_id() {
+  return t_span_stack.empty() ? 0 : t_span_stack.back();
 }
 
 void trace_counter(std::string name, std::int64_t value) {

@@ -26,10 +26,14 @@ struct TraceEvent {
   std::uint64_t dur_ns = 0;   ///< Complete only
   std::int64_t value = 0;     ///< Counter only
   std::uint32_t tid = 0;      ///< small sequential thread id
+  std::uint64_t span_id = 0;  ///< process-unique id (Complete only; 0 = none)
 };
 
 /// RAII span: records a Complete event covering its scope when obs is
 /// enabled; near-free otherwise (one relaxed load, strings untouched).
+/// Armed spans get a process-unique id and appear on a per-thread stack so
+/// other recorders (e.g. the provenance layer) can cross-reference the
+/// enclosing span via current_span_id().
 class ScopedSpan {
  public:
   explicit ScopedSpan(std::string name, std::string detail = {});
@@ -42,8 +46,13 @@ class ScopedSpan {
   std::string name_;
   std::string detail_;
   std::uint64_t start_ns_ = 0;
+  std::uint64_t span_id_ = 0;
   bool armed_ = false;
 };
+
+/// Id of the innermost armed span on this thread; 0 when none is active
+/// (tracing disabled or outside any OBS_SPAN scope).
+std::uint64_t current_span_id();
 
 /// Records a counter sample at the current timestamp (no-op when disabled).
 void trace_counter(std::string name, std::int64_t value);

@@ -1,10 +1,15 @@
 // Minimal streaming JSON writer shared by the io exporters and the obs
-// metrics/trace export (which must not depend on the io layer).
+// metrics/trace export (which must not depend on the io layer), plus a small
+// DOM parser (JsonValue / parse_json) for the readers that consume those
+// files back: provenance sidecars and google-benchmark result JSON.
 #pragma once
 
 #include <cstdint>
 #include <ostream>
 #include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 namespace rtsp {
 
@@ -42,5 +47,52 @@ class JsonWriter {
 /// (std::to_chars; never a ',' decimal separator). Infinities and NaN —
 /// which JSON cannot represent — come back as "null".
 std::string format_double_json(double v);
+
+/// Parsed JSON document node. Objects keep member order; numbers remember
+/// whether the literal was integral so 64-bit ids round-trip exactly.
+class JsonValue {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+  using Members = std::vector<std::pair<std::string, JsonValue>>;
+
+  JsonValue() = default;
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::Null; }
+  bool is_bool() const { return type_ == Type::Bool; }
+  bool is_number() const { return type_ == Type::Number; }
+  bool is_string() const { return type_ == Type::String; }
+  bool is_array() const { return type_ == Type::Array; }
+  bool is_object() const { return type_ == Type::Object; }
+
+  /// Typed accessors; throw std::runtime_error on a type mismatch.
+  bool as_bool() const;
+  double as_double() const;
+  /// The integral value; throws when the literal was not integral.
+  std::int64_t as_int() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& items() const;  ///< array elements
+  const Members& members() const;               ///< object members, in order
+
+  /// Object member by key; nullptr when absent (or not an object).
+  const JsonValue* find(const std::string& key) const;
+  /// Object member by key; throws std::runtime_error when absent.
+  const JsonValue& at(const std::string& key) const;
+
+ private:
+  friend class JsonParser;
+  Type type_ = Type::Null;
+  bool bool_ = false;
+  bool integral_ = false;
+  double number_ = 0.0;
+  std::int64_t int_ = 0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  Members members_;
+};
+
+/// Parses one JSON document (trailing whitespace allowed, nothing else).
+/// Throws std::runtime_error with a byte offset on malformed input.
+JsonValue parse_json(std::string_view text);
 
 }  // namespace rtsp

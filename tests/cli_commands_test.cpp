@@ -7,6 +7,7 @@
 
 #include "io/instance_io.hpp"
 #include "io/schedule_io.hpp"
+#include "obs/provenance.hpp"
 #include "test_helpers.hpp"
 
 namespace rtsp {
@@ -178,6 +179,119 @@ TEST(Cli, GenerateRandomKindProducesParsableInstance) {
   ASSERT_EQ(r.code, 0) << r.err;
   std::ifstream f(path);
   EXPECT_NO_THROW(read_instance(f));
+}
+
+/// Generates a paper-style instance and solves it with provenance recording,
+/// returning the three file paths explain consumes.
+struct ProvFiles {
+  std::string instance;
+  std::string schedule;
+  std::string provenance;
+};
+
+ProvFiles solve_with_provenance(const std::string& tag, const std::string& algo,
+                                const std::string& seed) {
+  ProvFiles files{temp_path("cli_" + tag + ".rtsp"),
+                  temp_path("cli_" + tag + ".sched"),
+                  temp_path("cli_" + tag + ".prov.json")};
+  const CliResult gen = run({"generate", "--kind", "paper-equal", "--servers",
+                             "10", "--objects", "40", "--replicas", "2",
+                             "--seed", seed, "--out", files.instance});
+  EXPECT_EQ(gen.code, 0) << gen.err;
+  const CliResult solve =
+      run({"solve", "--instance", files.instance, "--algo", algo, "--seed",
+           seed, "--out", files.schedule, "--provenance-out", files.provenance});
+  EXPECT_EQ(solve.code, 0) << solve.err;
+  return files;
+}
+
+TEST(Cli, ExplainReportsAttributionAndRootCauses) {
+  if (!prov::kRecorderCompiled) GTEST_SKIP() << "built with RTSP_OBS=OFF";
+  const ProvFiles f = solve_with_provenance("explain", "GOLCF+H1+H2+OP1", "7");
+  const CliResult r = run({"explain", "--instance", f.instance, "--schedule",
+                           f.schedule, "--provenance", f.provenance});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("per-stage attribution"), std::string::npos);
+  EXPECT_NE(r.out.find("GOLCF"), std::string::npos);
+  EXPECT_NE(r.out.find("total"), std::string::npos);
+  EXPECT_NE(r.out.find("dummy-transfer root causes"), std::string::npos);
+
+  const CliResult actions =
+      run({"explain", "--instance", f.instance, "--schedule", f.schedule,
+           "--provenance", f.provenance, "--actions"});
+  ASSERT_EQ(actions.code, 0) << actions.err;
+  EXPECT_NE(actions.out.find("per-action provenance"), std::string::npos);
+}
+
+TEST(Cli, ExplainJsonAndCsvModes) {
+  if (!prov::kRecorderCompiled) GTEST_SKIP() << "built with RTSP_OBS=OFF";
+  const ProvFiles f = solve_with_provenance("explainfmt", "GOLCF+H1", "9");
+  const CliResult json = run({"explain", "--instance", f.instance, "--schedule",
+                              f.schedule, "--provenance", f.provenance,
+                              "--json"});
+  ASSERT_EQ(json.code, 0) << json.err;
+  EXPECT_NE(json.out.find("\"stages\":["), std::string::npos);
+  EXPECT_NE(json.out.find("\"actions_table\":["), std::string::npos);
+
+  const CliResult csv = run({"explain", "--instance", f.instance, "--schedule",
+                             f.schedule, "--provenance", f.provenance, "--csv"});
+  ASSERT_EQ(csv.code, 0) << csv.err;
+  EXPECT_NE(csv.out.find("pos,action,stage"), std::string::npos);
+}
+
+TEST(Cli, ExplainDiffComparesTwoSchedules) {
+  if (!prov::kRecorderCompiled) GTEST_SKIP() << "built with RTSP_OBS=OFF";
+  const ProvFiles a = solve_with_provenance("diff_a", "GOLCF+H1+H2+OP1", "11");
+  const ProvFiles b = solve_with_provenance("diff_b", "GOLCF+H1", "11");
+  const CliResult r = run({"explain", "--instance", a.instance, "--schedule",
+                           a.schedule, "--provenance", a.provenance,
+                           "--diff-schedule", b.schedule, "--diff-provenance",
+                           b.provenance});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("per-stage diff"), std::string::npos);
+  EXPECT_NE(r.out.find("d-cost"), std::string::npos);
+  EXPECT_NE(r.out.find("total"), std::string::npos);
+}
+
+TEST(Cli, ExplainRejectsMismatchedProvenance) {
+  if (!prov::kRecorderCompiled) GTEST_SKIP() << "built with RTSP_OBS=OFF";
+  const ProvFiles f = solve_with_provenance("mismatch", "GOLCF+H1", "13");
+  const std::string other = temp_path("cli_mismatch_other.sched");
+  {
+    std::ofstream sched(other);
+    sched << "D 0 0\n";
+  }
+  const CliResult r = run({"explain", "--instance", f.instance, "--schedule",
+                           other, "--provenance", f.provenance});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("does not match"), std::string::npos);
+}
+
+TEST(Cli, DotScheduleModeColorsByProvenance) {
+  if (!prov::kRecorderCompiled) GTEST_SKIP() << "built with RTSP_OBS=OFF";
+  const ProvFiles f = solve_with_provenance("dot", "GOLCF+H1", "15");
+  const CliResult plain =
+      run({"dot", "--instance", f.instance, "--schedule", f.schedule});
+  ASSERT_EQ(plain.code, 0) << plain.err;
+  EXPECT_NE(plain.out.find("digraph schedule"), std::string::npos);
+
+  const CliResult colored = run({"dot", "--instance", f.instance, "--schedule",
+                                 f.schedule, "--provenance", f.provenance});
+  ASSERT_EQ(colored.code, 0) << colored.err;
+  EXPECT_NE(colored.out.find("cluster_legend"), std::string::npos);
+  EXPECT_NE(colored.out.find("GOLCF"), std::string::npos);
+}
+
+TEST(Cli, SolveProvenanceOutRequiresObsBuild) {
+  const std::string inst_path = write_fig3_instance();
+  const CliResult r = run({"solve", "--instance", inst_path, "--algo", "GOLCF",
+                           "--provenance-out", temp_path("cli_prov_gate.json")});
+  if (prov::kRecorderCompiled) {
+    EXPECT_EQ(r.code, 0) << r.err;
+  } else {
+    EXPECT_EQ(r.code, 1);
+    EXPECT_NE(r.err.find("RTSP_OBS"), std::string::npos);
+  }
 }
 
 }  // namespace

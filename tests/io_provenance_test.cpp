@@ -1,0 +1,132 @@
+#include "io/provenance_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "heuristics/registry.hpp"
+#include "test_helpers.hpp"
+#include "workload/paper_setup.hpp"
+
+namespace rtsp {
+namespace {
+
+prov::Provenance sample_provenance() {
+  prov::Provenance p;
+  p.stages.push_back({prov::StageKind::Builder, "GOLCF"});
+  p.stages.push_back({prov::StageKind::Improver, "H1"});
+
+  prov::Rewrite rw;
+  rw.stage = 1;
+  rw.pass = 2;
+  rw.rank = 1;
+  rw.pos = 3;
+  rw.removed = 1;
+  rw.inserted = 2;
+  rw.cost_delta = -70;
+  rw.dummy_delta = -1;
+  rw.span_id = 42;
+  rw.replaced = {7, 8};
+  p.rewrites.push_back(rw);
+
+  prov::RootCause rc;
+  rc.kind = prov::RootCause::Kind::CapacityDeadlock;
+  rc.object = 5;
+  rc.dest = 2;
+  rc.object_size = 1000;
+  rc.dest_free_space = 200;
+  rc.blockers.push_back({3, 11, 0, {1, 4}});
+  rc.blockers.push_back({0, prov::kNone, 7, {}});
+  rc.free_space = {10, 0, 200, 0};
+  p.root_causes.push_back(rc);
+
+  prov::RootCause rc2;
+  rc2.kind = prov::RootCause::Kind::SourceAvailable;
+  rc2.object = 1;
+  rc2.dest = 0;
+  rc2.holders = {2, 3};
+  rc2.free_space = {1, 2, 3, 4};
+  p.root_causes.push_back(rc2);
+
+  prov::Entry builder_entry;
+  builder_entry.id = 7;
+  builder_entry.stage = 0;
+  p.entries.push_back(builder_entry);
+
+  prov::Entry dummy_entry;
+  dummy_entry.id = 9;
+  dummy_entry.stage = 1;
+  dummy_entry.pass = 2;
+  dummy_entry.round = 1;
+  dummy_entry.rewrite = 0;
+  dummy_entry.root_cause = 0;
+  dummy_entry.span_id = 42;
+  p.entries.push_back(dummy_entry);
+
+  return p;
+}
+
+TEST(ProvenanceIo, RoundTripPreservesEverything) {
+  const prov::Provenance p = sample_provenance();
+  const std::string json = provenance_to_json(p);
+  const prov::Provenance q = provenance_from_json(json);
+  EXPECT_TRUE(p == q);
+}
+
+TEST(ProvenanceIo, RoundTripOfRecordedRun) {
+  if (!prov::kRecorderCompiled) GTEST_SKIP() << "built with RTSP_OBS=OFF";
+  PaperSetup setup;
+  setup.servers = 10;
+  setup.objects = 40;
+  Rng rng(5);
+  const Instance inst = make_equal_size_instance(setup, 2, rng);
+  const Pipeline pipeline = make_pipeline("GOLCF+H1+H2+OP1");
+  prov::Scope scope(inst.model, inst.x_old);
+  Rng run_rng(6);
+  const Schedule h = pipeline.run(inst.model, inst.x_old, inst.x_new, run_rng);
+  const prov::Provenance p = scope.finalize(h);
+  ASSERT_EQ(p.entries.size(), h.size());
+  const prov::Provenance q = provenance_from_json(provenance_to_json(p));
+  EXPECT_TRUE(p == q);
+}
+
+TEST(ProvenanceIo, StreamInterface) {
+  const prov::Provenance p = sample_provenance();
+  std::stringstream s;
+  write_provenance(s, p);
+  EXPECT_TRUE(read_provenance(s) == p);
+}
+
+TEST(ProvenanceIo, RejectsBadInput) {
+  EXPECT_THROW(provenance_from_json("{}"), std::runtime_error);
+  EXPECT_THROW(provenance_from_json("not json"), std::runtime_error);
+  EXPECT_THROW(provenance_from_json(
+                   R"({"version":99,"stages":[],"rewrites":[],)"
+                   R"("root_causes":[],"entries":[]})"),
+               std::runtime_error);
+  // Entry referencing a stage that does not exist.
+  EXPECT_THROW(provenance_from_json(
+                   R"({"version":1,"stages":[],"rewrites":[],)"
+                   R"("root_causes":[],"entries":[{"id":1,"stage":3}]})"),
+               std::runtime_error);
+  // Unknown stage kind.
+  EXPECT_THROW(provenance_from_json(
+                   R"({"version":1,"stages":[{"kind":"x","name":"y"}],)"
+                   R"("rewrites":[],"root_causes":[],"entries":[]})"),
+               std::runtime_error);
+}
+
+TEST(ProvenanceIo, OmittedOptionalFieldsDefault) {
+  const prov::Provenance p = provenance_from_json(
+      R"({"version":1,"stages":[{"kind":"builder","name":"RDF"}],)"
+      R"("rewrites":[],"root_causes":[],"entries":[{"id":1,"stage":0}]})");
+  ASSERT_EQ(p.entries.size(), 1u);
+  EXPECT_EQ(p.entries[0].pass, -1);
+  EXPECT_EQ(p.entries[0].round, -1);
+  EXPECT_EQ(p.entries[0].rewrite, prov::kNone);
+  EXPECT_EQ(p.entries[0].root_cause, prov::kNone);
+  EXPECT_EQ(p.entries[0].span_id, 0u);
+}
+
+}  // namespace
+}  // namespace rtsp

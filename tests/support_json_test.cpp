@@ -1,0 +1,116 @@
+#include "support/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace rtsp {
+namespace {
+
+TEST(JsonWriter, NestedStructure) {
+  std::ostringstream os;
+  JsonWriter j(os);
+  j.begin_object();
+  j.key("a").value(1);
+  j.key("b").begin_array().value("x").value(true).end_array();
+  j.key("c").begin_object().key("d").value(2.5).end_object();
+  j.end_object();
+  EXPECT_EQ(os.str(), R"({"a":1,"b":["x",true],"c":{"d":2.5}})");
+}
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_TRUE(parse_json("true").as_bool());
+  EXPECT_FALSE(parse_json("false").as_bool());
+  EXPECT_EQ(parse_json("42").as_int(), 42);
+  EXPECT_EQ(parse_json("-7").as_int(), -7);
+  EXPECT_DOUBLE_EQ(parse_json("2.5").as_double(), 2.5);
+  EXPECT_DOUBLE_EQ(parse_json("1e3").as_double(), 1000.0);
+  EXPECT_EQ(parse_json("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParse, IntegralityIsTracked) {
+  const JsonValue i = parse_json("5");
+  EXPECT_TRUE(i.is_number());
+  EXPECT_EQ(i.as_int(), 5);
+  EXPECT_DOUBLE_EQ(i.as_double(), 5.0);
+  const JsonValue d = parse_json("5.0");
+  EXPECT_TRUE(d.is_number());
+  EXPECT_THROW(d.as_int(), std::runtime_error);  // literal was not integral
+}
+
+TEST(JsonParse, LargeIdsRoundTripExactly) {
+  // Doubles lose precision past 2^53; ids must not.
+  const std::int64_t big = (std::int64_t{1} << 60) + 7;
+  const JsonValue v = parse_json(std::to_string(big));
+  EXPECT_EQ(v.as_int(), big);
+}
+
+TEST(JsonParse, ObjectKeepsMemberOrder) {
+  const JsonValue v = parse_json(R"({"z":1,"a":2,"m":3})");
+  ASSERT_TRUE(v.is_object());
+  ASSERT_EQ(v.members().size(), 3u);
+  EXPECT_EQ(v.members()[0].first, "z");
+  EXPECT_EQ(v.members()[1].first, "a");
+  EXPECT_EQ(v.members()[2].first, "m");
+  EXPECT_EQ(v.at("a").as_int(), 2);
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_THROW(v.at("missing"), std::runtime_error);
+}
+
+TEST(JsonParse, ArraysAndNesting) {
+  const JsonValue v = parse_json(R"([1, [2, 3], {"k": [4]}])");
+  ASSERT_TRUE(v.is_array());
+  ASSERT_EQ(v.items().size(), 3u);
+  EXPECT_EQ(v.items()[1].items()[1].as_int(), 3);
+  EXPECT_EQ(v.items()[2].at("k").items()[0].as_int(), 4);
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(parse_json(R"("a\"b\\c\/d\n\t")").as_string(), "a\"b\\c/d\n\t");
+  EXPECT_EQ(parse_json(R"("A")").as_string(), "A");
+  EXPECT_EQ(parse_json(R"("é")").as_string(), "\xc3\xa9");  // é in UTF-8
+  EXPECT_EQ(parse_json(R"("✓")").as_string(), "\xe2\x9c\x93");  // ✓
+}
+
+TEST(JsonParse, WriterEscapesRoundTrip) {
+  const std::string nasty = "line\nquote\"back\\slash\ttab\x01";
+  std::ostringstream os;
+  JsonWriter(os).value(nasty);
+  EXPECT_EQ(parse_json(os.str()).as_string(), nasty);
+}
+
+TEST(JsonParse, MalformedInputThrowsWithOffset) {
+  EXPECT_THROW(parse_json(""), std::runtime_error);
+  EXPECT_THROW(parse_json("{"), std::runtime_error);
+  EXPECT_THROW(parse_json("[1,]"), std::runtime_error);
+  EXPECT_THROW(parse_json("{\"a\":1} extra"), std::runtime_error);
+  EXPECT_THROW(parse_json("tru"), std::runtime_error);
+  EXPECT_THROW(parse_json("\"unterminated"), std::runtime_error);
+  EXPECT_THROW(parse_json("\"bad \\q escape\""), std::runtime_error);
+  EXPECT_THROW(parse_json("-"), std::runtime_error);
+  try {
+    parse_json("[1, oops]");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("byte 4"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(JsonParse, TypeMismatchThrows) {
+  const JsonValue v = parse_json("[1]");
+  EXPECT_THROW(v.as_bool(), std::runtime_error);
+  EXPECT_THROW(v.as_string(), std::runtime_error);
+  EXPECT_THROW(v.members(), std::runtime_error);
+  EXPECT_THROW(parse_json("3").items(), std::runtime_error);
+}
+
+TEST(JsonParse, DeepNestingIsRejectedNotCrashing) {
+  std::string deep(400, '[');
+  deep += std::string(400, ']');
+  EXPECT_THROW(parse_json(deep), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rtsp

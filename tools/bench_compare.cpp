@@ -1,0 +1,127 @@
+// Compares two google-benchmark JSON reports (e.g. BENCH_perf_heuristics.json
+// against a fresh run) and prints the per-benchmark time delta.
+//
+// Usage:
+//   bench_compare BASELINE.json CANDIDATE.json [--metric cpu_time|real_time]
+//                 [--threshold PCT] [--fail]
+//
+// Benchmarks are matched by name; aggregate rows (mean/median/stddev repeats)
+// are skipped so a repeated run compares raw iterations only. A delta above
+// +PCT is flagged as a regression; with --fail the exit code is 2 when any
+// regression is found (default: report only, benches are noisy in CI).
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/cli.hpp"
+#include "support/json.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+struct BenchRow {
+  std::string name;
+  double time = 0.0;
+  std::string unit;
+};
+
+std::vector<BenchRow> load_report(const std::string& path,
+                                  const std::string& metric) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const rtsp::JsonValue doc = rtsp::parse_json(buf.str());
+  std::vector<BenchRow> rows;
+  for (const rtsp::JsonValue& b : doc.at("benchmarks").items()) {
+    if (const rtsp::JsonValue* rt = b.find("run_type")) {
+      if (rt->as_string() == "aggregate") continue;
+    }
+    BenchRow row;
+    row.name = b.at("name").as_string();
+    row.time = b.at(metric).as_double();
+    if (const rtsp::JsonValue* u = b.find("time_unit")) row.unit = u->as_string();
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+const BenchRow* find_row(const std::vector<BenchRow>& rows,
+                         const std::string& name) {
+  for (const BenchRow& r : rows) {
+    if (r.name == name) return &r;
+  }
+  return nullptr;
+}
+
+std::string format_time(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f", v);
+  return buf;
+}
+
+std::string format_pct(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%+.1f%%", v);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const rtsp::CliOptions opt(argc, argv);
+  if (opt.positional().size() != 2) {
+    std::cerr << "usage: bench_compare BASELINE.json CANDIDATE.json\n"
+                 "       [--metric cpu_time|real_time] [--threshold PCT] "
+                 "[--fail]\n";
+    return 1;
+  }
+  const std::string metric = opt.get_string("metric", "", "cpu_time");
+  if (metric != "cpu_time" && metric != "real_time") {
+    std::cerr << "error: --metric must be cpu_time or real_time\n";
+    return 1;
+  }
+  const double threshold = opt.get_double("threshold", "", 5.0);
+
+  std::vector<BenchRow> base, cand;
+  try {
+    base = load_report(opt.positional()[0], metric);
+    cand = load_report(opt.positional()[1], metric);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+
+  rtsp::TextTable t;
+  t.header({"benchmark", "base", "cand", "delta", ""});
+  std::size_t regressions = 0;
+  std::size_t matched = 0;
+  for (const BenchRow& b : base) {
+    const BenchRow* c = find_row(cand, b.name);
+    if (!c) {
+      t.add_row({b.name, format_time(b.time), "-", "-", "removed"});
+      continue;
+    }
+    ++matched;
+    const double delta =
+        b.time > 0.0 ? (c->time - b.time) / b.time * 100.0 : 0.0;
+    const bool regressed = delta > threshold;
+    if (regressed) ++regressions;
+    t.add_row({b.name + (b.unit.empty() ? "" : " (" + b.unit + ")"),
+               format_time(b.time), format_time(c->time), format_pct(delta),
+               regressed ? "REGRESSION" : (delta < -threshold ? "improved" : "")});
+  }
+  for (const BenchRow& c : cand) {
+    if (!find_row(base, c.name)) {
+      t.add_row({c.name, "-", format_time(c.time), "-", "new"});
+    }
+  }
+  t.print(std::cout);
+  std::cout << matched << " benchmark(s) compared, " << regressions
+            << " regression(s) beyond +" << threshold << "% (" << metric
+            << ")\n";
+  if (regressions > 0 && opt.get_bool("fail", "", false)) return 2;
+  return 0;
+}
