@@ -3,12 +3,31 @@
 # tree still builds and passes with the obs instrumentation (metrics, trace,
 # provenance) compiled out via the obs_off_smoke target.
 #
-# Usage: scripts/check.sh [BUILD_DIR]   (default: build)
+# Usage: scripts/check.sh [--sanitize] [BUILD_DIR]   (default: build)
+#
+# --sanitize runs the same configure/build/test cycle in a separate build
+# directory (<BUILD_DIR>_asan) with RTSP_SANITIZE=ON (ASan + UBSan,
+# no-recover), instead of the regular cycle.
 set -eu
 
 cd "$(dirname "$0")/.."
+
+SANITIZE=0
+if [ "${1:-}" = "--sanitize" ]; then
+  SANITIZE=1
+  shift
+fi
 BUILD_DIR="${1:-build}"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+if [ "$SANITIZE" = "1" ]; then
+  SAN_DIR="${BUILD_DIR}_asan"
+  cmake -B "$SAN_DIR" -S . -DRTSP_SANITIZE=ON
+  cmake --build "$SAN_DIR" -j "$JOBS"
+  ctest --test-dir "$SAN_DIR" --output-on-failure -j "$JOBS"
+  echo "check.sh: sanitizer build green"
+  exit 0
+fi
 
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$JOBS"

@@ -11,11 +11,13 @@
 #include "core/transfer_graph.hpp"
 #include "core/validator.hpp"
 #include "exact/branch_and_bound.hpp"
+#include "exec/executor.hpp"
 #include "extension/deadline.hpp"
 #include "extension/makespan.hpp"
 #include "extension/phases.hpp"
 #include "heuristics/registry.hpp"
 #include "io/dot_export.hpp"
+#include "io/fault_spec_io.hpp"
 #include "io/instance_io.hpp"
 #include "io/json_export.hpp"
 #include "io/provenance_io.hpp"
@@ -686,6 +688,158 @@ int cmd_explain(const CliOptions& opt, std::ostream& out) {
   return 0;
 }
 
+exec::FaultSpec load_fault_spec(const CliOptions& opt) {
+  const std::string path = opt.get_string("faults", "", "");
+  if (path.empty()) return exec::FaultSpec{};  // fault-free execution
+  std::ifstream in(path);
+  if (!in) throw CliError{"cannot open fault spec file '" + path + "'"};
+  try {
+    return read_fault_spec(in);
+  } catch (const std::exception& e) {
+    throw CliError{std::string("failed to parse fault spec: ") + e.what()};
+  }
+}
+
+void execution_report_to_json(JsonWriter& j, const exec::ExecutionReport& r,
+                              bool valid, bool with_attempts) {
+  j.begin_object();
+  j.key("planned_cost").value(static_cast<std::int64_t>(r.planned_cost));
+  j.key("effective_cost").value(static_cast<std::int64_t>(r.effective_cost));
+  j.key("actual_cost").value(static_cast<std::int64_t>(r.actual_cost));
+  j.key("cost_inflation").value(r.cost_inflation());
+  j.key("attempts").value(static_cast<std::uint64_t>(r.attempts.size()));
+  j.key("retries").value(static_cast<std::uint64_t>(r.retries));
+  j.key("transient_failures")
+      .value(static_cast<std::uint64_t>(r.transient_failures));
+  j.key("degraded_transfers")
+      .value(static_cast<std::uint64_t>(r.degraded_transfers));
+  j.key("loss_deletions").value(static_cast<std::uint64_t>(r.loss_deletions));
+  j.key("planned_dummy_transfers")
+      .value(static_cast<std::uint64_t>(r.planned_dummy_transfers));
+  j.key("effective_dummy_transfers")
+      .value(static_cast<std::uint64_t>(r.effective_dummy_transfers));
+  j.key("effective_actions").value(static_cast<std::uint64_t>(r.effective.size()));
+  j.key("finished_at").value(static_cast<std::int64_t>(r.finished_at));
+  j.key("total_stall").value(static_cast<std::int64_t>(r.total_stall));
+  j.key("total_backoff").value(static_cast<std::int64_t>(r.total_backoff));
+  j.key("reached_goal").value(r.reached_goal);
+  j.key("valid").value(valid);
+  j.key("replans").begin_array();
+  for (const exec::ReplanEvent& e : r.replans) {
+    j.begin_object();
+    j.key("at").value(static_cast<std::int64_t>(e.at));
+    j.key("reason").value(to_string(e.reason));
+    j.key("dropped").value(static_cast<std::uint64_t>(e.dropped));
+    j.key("added").value(static_cast<std::uint64_t>(e.added));
+    j.key("residual_lower_bound")
+        .value(static_cast<std::int64_t>(e.residual_lower_bound));
+    j.key("seconds").value(e.seconds);
+    j.end_object();
+  }
+  j.end_array();
+  if (with_attempts) {
+    j.key("attempt_log").begin_array();
+    for (const exec::Attempt& a : r.attempts) {
+      j.begin_object();
+      j.key("action").value(a.action.to_string());
+      j.key("attempt").value(a.attempt);
+      j.key("at").value(static_cast<std::int64_t>(a.at));
+      j.key("outcome").value(to_string(a.outcome));
+      j.key("cost_paid").value(static_cast<std::int64_t>(a.cost_paid));
+      j.key("stall").value(static_cast<std::int64_t>(a.stall));
+      j.key("backoff").value(static_cast<std::int64_t>(a.backoff));
+      j.end_object();
+    }
+    j.end_array();
+  }
+  j.end_object();
+}
+
+int cmd_execute(const CliOptions& opt, std::ostream& out) {
+  const Instance inst = load_instance(opt);
+  const Schedule plan = load_schedule(opt);
+  const exec::FaultSpec faults = load_fault_spec(opt);
+
+  exec::ExecutorOptions options;
+  options.replan_algo = opt.get_string("algo", "", options.replan_algo);
+  options.seed = static_cast<std::uint64_t>(opt.get_int("seed", "RTSP_SEED", 1));
+  options.retry.max_retries =
+      static_cast<std::size_t>(opt.get_int("retries", "", 3));
+  options.retry.base_backoff = opt.get_int("backoff", "", 16);
+  options.retry.multiplier = opt.get_double("backoff-mult", "", 2.0);
+  options.retry.max_backoff = opt.get_int("backoff-max", "", 1024);
+  options.retry.jitter = opt.get_double("jitter", "", 0.5);
+  options.max_replans =
+      static_cast<std::size_t>(opt.get_int("max-replans", "", 16));
+  options.degrade_after =
+      static_cast<std::size_t>(opt.get_int("degrade-after", "", 2));
+  const std::string prov_out = opt.get_string("provenance-out", "", "");
+  options.record_provenance = !prov_out.empty();
+
+  const exec::ExecutionReport report = [&] {
+    try {
+      return exec::execute_schedule(inst.model, inst.x_old, inst.x_new, plan,
+                                    faults, options);
+    } catch (const std::invalid_argument& e) {
+      throw CliError{e.what()};
+    }
+  }();
+  const bool valid = Validator::is_valid(inst.model, inst.x_old, inst.x_new,
+                                         report.effective);
+
+  if (!prov_out.empty()) {
+    std::ostringstream buffer;
+    write_provenance(buffer, report.provenance);
+    write_text_file(prov_out, buffer.str(), out, "provenance");
+  }
+  const std::string out_path = opt.get_string("out", "", "");
+  if (!out_path.empty()) {
+    write_text_file(out_path, schedule_to_text(report.effective), out,
+                    "effective schedule");
+  }
+
+  if (opt.get_bool("json", "", false)) {
+    JsonWriter j(out);
+    execution_report_to_json(j, report, valid,
+                             opt.get_bool("attempts", "", false));
+    out << '\n';
+    return (report.reached_goal && valid) ? 0 : 2;
+  }
+
+  out << "planned cost:        " << report.planned_cost << '\n';
+  out << "actual cost paid:    " << report.actual_cost << " (inflation "
+      << report.cost_inflation() << ")\n";
+  out << "effective cost:      " << report.effective_cost << '\n';
+  out << "attempts:            " << report.attempts.size() << " ("
+      << report.retries << " retries, " << report.transient_failures
+      << " transient failures)\n";
+  out << "replans:             " << report.replans.size() << '\n';
+  out << "degraded transfers:  " << report.degraded_transfers << '\n';
+  out << "loss deletions:      " << report.loss_deletions << '\n';
+  out << "dummy transfers:     " << report.effective_dummy_transfers
+      << " effective vs " << report.planned_dummy_transfers << " planned\n";
+  out << "finished at:         tick " << report.finished_at << " (stall "
+      << report.total_stall << ", backoff " << report.total_backoff << ")\n";
+  out << "reached X_new:       " << (report.reached_goal ? "yes" : "NO") << '\n';
+  out << "effective validates: " << (valid ? "yes" : "NO") << '\n';
+  for (const exec::ReplanEvent& e : report.replans) {
+    out << "  replan @" << e.at << " [" << to_string(e.reason) << "] dropped "
+        << e.dropped << ", added " << e.added << " (residual lb "
+        << e.residual_lower_bound << ")\n";
+  }
+  if (opt.get_bool("attempts", "", false)) {
+    out << "attempt log:\n";
+    for (const exec::Attempt& a : report.attempts) {
+      out << "  @" << a.at << " #" << a.attempt << ' ' << a.action.to_string()
+          << ": " << to_string(a.outcome) << " (cost " << a.cost_paid;
+      if (a.stall > 0) out << ", stall " << a.stall;
+      if (a.backoff > 0) out << ", backoff " << a.backoff;
+      out << ")\n";
+    }
+  }
+  return (report.reached_goal && valid) ? 0 : 2;
+}
+
 }  // namespace
 
 void print_usage(std::ostream& out) {
@@ -712,6 +866,11 @@ void print_usage(std::ostream& out) {
          "  explain   --instance FILE --schedule FILE --provenance FILE\n"
          "            [--actions] [--json | --csv] [--out FILE]\n"
          "            [--diff-schedule FILE --diff-provenance FILE]\n"
+         "  execute   --instance FILE --schedule FILE [--faults FILE] [--seed S]\n"
+         "            [--algo SPEC] [--retries N] [--backoff T] [--backoff-mult F]\n"
+         "            [--backoff-max T] [--jitter F] [--max-replans N]\n"
+         "            [--degrade-after N] [--attempts] [--json] [--out FILE]\n"
+         "            [--provenance-out FILE]\n"
          "  help\n"
          "\n"
          "algorithm SPECs combine one builder (AR, GOLCF, RDF, GSDF) with\n"
@@ -747,6 +906,7 @@ int run_cli(int argc, const char* const* argv, std::ostream& out, std::ostream& 
     if (command == "phases") return finish(cmd_phases(opt, out));
     if (command == "dot") return finish(cmd_dot(opt, out));
     if (command == "explain") return finish(cmd_explain(opt, out));
+    if (command == "execute") return finish(cmd_execute(opt, out));
     if (command == "help" || command == "--help" || command == "-h") {
       print_usage(out);
       return 0;

@@ -1,0 +1,24 @@
+#include "core/residual.hpp"
+
+#include "core/feasibility.hpp"
+
+namespace rtsp {
+
+ResidualProblem make_residual(const SystemModel& model,
+                              const ReplicationMatrix& x_mid,
+                              const ReplicationMatrix& x_new) {
+  RTSP_REQUIRE(x_mid.num_servers() == model.num_servers());
+  RTSP_REQUIRE(x_mid.num_objects() == model.num_objects());
+  RTSP_REQUIRE(x_new.num_servers() == model.num_servers());
+  RTSP_REQUIRE(x_new.num_objects() == model.num_objects());
+  ResidualProblem r{x_mid, PlacementDelta(x_mid, x_new), {}, 0};
+  r.free_space.reserve(model.num_servers());
+  for (ServerId i = 0; i < model.num_servers(); ++i) {
+    r.free_space.push_back(model.capacity(i) -
+                           x_mid.used_storage(i, model.objects()));
+  }
+  r.lower_bound = cost_lower_bound(model, x_mid, x_new);
+  return r;
+}
+
+}  // namespace rtsp

@@ -1,0 +1,38 @@
+// Residual RTSP construction: when execution of a schedule is interrupted
+// mid-flight (failed transfer, lost replica, emerging deadlock), the system
+// sits at some partial placement X_mid. The remaining work is itself an RTSP
+// instance over the same model — (X_mid, X_new) — and any builder/improver
+// pipeline can replan it. This header is the core entry point the execution
+// layer uses to snapshot that residual problem.
+#pragma once
+
+#include <vector>
+
+#include "core/delta.hpp"
+#include "core/replication.hpp"
+#include "core/system.hpp"
+
+namespace rtsp {
+
+/// The tail problem left after a partial execution: the mid-flight placement,
+/// the remaining deltas against the goal, and the free space the replanner
+/// has to work with.
+struct ResidualProblem {
+  ReplicationMatrix x_mid;        ///< placement at the interruption point
+  PlacementDelta delta;           ///< outstanding / superfluous vs X_new
+  std::vector<Size> free_space;   ///< per-server free space under x_mid
+  Cost lower_bound = 0;           ///< admissible cost bound for the tail
+
+  /// Nothing left to do: x_mid already equals the goal.
+  bool complete() const { return delta.empty(); }
+};
+
+/// Snapshots the residual problem (X_mid, X_new). Requires matching matrix
+/// shapes; X_new need not be storage-feasible here (the caller decides
+/// whether a dummy-degraded plan is acceptable), but the common executor
+/// path checks feasibility up front.
+ResidualProblem make_residual(const SystemModel& model,
+                              const ReplicationMatrix& x_mid,
+                              const ReplicationMatrix& x_new);
+
+}  // namespace rtsp

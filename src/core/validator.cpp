@@ -4,8 +4,35 @@
 #include <sstream>
 
 #include "obs/obs.hpp"
+#include "support/assert.hpp"
 
 namespace rtsp {
+
+const char* to_string(ValidationCode c) {
+  switch (c) {
+    case ValidationCode::ActionSourceNotReplicator: return "action_source_not_replicator";
+    case ValidationCode::ActionDestAlreadyReplicator: return "action_dest_already_replicator";
+    case ValidationCode::ActionInsufficientSpace: return "action_insufficient_space";
+    case ValidationCode::ActionSelfTransfer: return "action_self_transfer";
+    case ValidationCode::ActionNotReplicator: return "action_not_replicator";
+    case ValidationCode::FinalStateMissingReplica: return "final_state_missing_replica";
+    case ValidationCode::FinalStateExtraReplica: return "final_state_extra_replica";
+  }
+  return "unknown";
+}
+
+ValidationCode code_for(ActionError error) {
+  switch (error) {
+    case ActionError::SourceNotReplicator: return ValidationCode::ActionSourceNotReplicator;
+    case ActionError::DestAlreadyReplicator: return ValidationCode::ActionDestAlreadyReplicator;
+    case ActionError::InsufficientSpace: return ValidationCode::ActionInsufficientSpace;
+    case ActionError::SelfTransfer: return ValidationCode::ActionSelfTransfer;
+    case ActionError::NotReplicator: return ValidationCode::ActionNotReplicator;
+    case ActionError::None: break;
+  }
+  RTSP_REQUIRE_MSG(false, "code_for: ActionError::None has no validation code");
+  return ValidationCode::ActionNotReplicator;  // unreachable
+}
 
 std::string ValidationResult::to_string() const {
   if (valid) return "valid";
@@ -29,9 +56,10 @@ ValidationResult Validator::validate(const SystemModel& model,
     const Action& a = schedule[u];
     const ActionError e = state.try_apply(a);
     if (e != ActionError::None) {
+      const ValidationCode code = code_for(e);
       std::ostringstream os;
-      os << a.to_string() << ": " << to_string(e);
-      result.issues.push_back({u, e, os.str()});
+      os << a.to_string() << ": " << to_string(e) << " [" << to_string(code) << "]";
+      result.issues.push_back({u, e, code, os.str()});
       if (stop_at_first) return result;
     }
   }
@@ -50,11 +78,13 @@ ValidationResult Validator::validate(const SystemModel& model,
             (w % words_per_row) * 64 +
             static_cast<std::size_t>(std::countr_zero(diff)));
         const bool got = state.placement().test(i, k);
+        const ValidationCode code = got ? ValidationCode::FinalStateExtraReplica
+                                        : ValidationCode::FinalStateMissingReplica;
         std::ostringstream os;
         os << "final state mismatch at (S" << i << ", O" << k << "): have "
            << (got ? "replica" : "no replica") << ", X_new wants "
-           << (got ? "no replica" : "replica");
-        result.issues.push_back({schedule.size(), ActionError::None, os.str()});
+           << (got ? "no replica" : "replica") << " [" << to_string(code) << "]";
+        result.issues.push_back({schedule.size(), ActionError::None, code, os.str()});
         if (stop_at_first) return result;
         diff &= diff - 1;  // clear the lowest set bit
       }

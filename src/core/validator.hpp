@@ -5,6 +5,7 @@
 // (Sec. 3.2). All improvement heuristics gate their rewrites on this check.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -13,9 +14,30 @@
 
 namespace rtsp {
 
+/// Machine-readable classification of a validation failure, so callers (the
+/// execution engine, tests) can branch without string matching. Action codes
+/// mirror ActionError; the final-state codes distinguish the two directions
+/// of an end-state mismatch.
+enum class ValidationCode : std::uint8_t {
+  ActionSourceNotReplicator,
+  ActionDestAlreadyReplicator,
+  ActionInsufficientSpace,
+  ActionSelfTransfer,
+  ActionNotReplicator,
+  FinalStateMissingReplica,  ///< X_new wants a replica the run did not produce
+  FinalStateExtraReplica,    ///< the run left a replica X_new does not want
+};
+
+/// Stable lowercase token for a code, e.g. "final_state_missing_replica".
+const char* to_string(ValidationCode c);
+
+/// The action-level code for an ActionError (error must not be None).
+ValidationCode code_for(ActionError error);
+
 struct ValidationIssue {
   std::size_t index;    ///< offending action position, or schedule size for end-state issues
   ActionError error;    ///< ActionError::None for end-state mismatches
+  ValidationCode code;  ///< machine-readable classification
   std::string message;
 };
 

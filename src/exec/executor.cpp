@@ -1,0 +1,388 @@
+#include "exec/executor.hpp"
+
+#include <cmath>
+#include <limits>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "core/cost_model.hpp"
+#include "core/feasibility.hpp"
+#include "core/residual.hpp"
+#include "heuristics/registry.hpp"
+#include "obs/obs.hpp"
+#include "support/timer.hpp"
+
+namespace rtsp::exec {
+
+const char* to_string(AttemptOutcome o) {
+  switch (o) {
+    case AttemptOutcome::Success: return "success";
+    case AttemptOutcome::TransientFailure: return "transient failure";
+  }
+  return "unknown";
+}
+
+const char* to_string(ReplanReason r) {
+  switch (r) {
+    case ReplanReason::RetriesExhausted: return "retries exhausted";
+    case ReplanReason::InvalidAction: return "invalid action";
+    case ReplanReason::EndStateMismatch: return "end-state mismatch";
+  }
+  return "unknown";
+}
+
+double ExecutionReport::cost_inflation() const {
+  if (planned_cost == 0) {
+    return actual_cost == 0 ? 1.0 : std::numeric_limits<double>::infinity();
+  }
+  return static_cast<double>(actual_cost) / static_cast<double>(planned_cost);
+}
+
+namespace {
+
+void check_plan_ids(const SystemModel& model, const Schedule& plan) {
+  for (const Action& a : plan) {
+    const bool ok = a.server < model.num_servers() &&
+                    a.object < model.num_objects() &&
+                    (!a.is_transfer() || is_dummy(a.source) ||
+                     a.source < model.num_servers());
+    if (!ok) {
+      throw std::invalid_argument("plan action out of range for model: " +
+                                  a.to_string());
+    }
+  }
+}
+
+/// One execution run; the class keeps the mutable machinery (clock, live
+/// state, pending tail, report under construction) in one place.
+class Run {
+ public:
+  Run(const SystemModel& model, const ReplicationMatrix& x_old,
+      const ReplicationMatrix& x_new, const Schedule& plan,
+      const FaultSpec& faults, const ExecutorOptions& options)
+      : model_(model),
+        x_new_(x_new),
+        options_(options),
+        oracle_(faults),
+        state_(model, x_old),
+        base_seed_(mix64(faults.seed, options.seed)),
+        rng_(base_seed_),
+        replan_pipeline_(make_pipeline(options.replan_algo)) {
+    pending_ = plan.actions();
+    report_.planned_cost = schedule_cost(model, plan);
+    report_.planned_dummy_transfers = plan.dummy_transfer_count();
+    if (options_.record_provenance) {
+      current_stage_ = intern_stage(prov::StageKind::Builder, "PLAN");
+    }
+  }
+
+  ExecutionReport run() {
+    OBS_SPAN("execute");
+    while (!done_) {
+      apply_due_losses();
+      if (cursor_ >= pending_.size()) {
+        if (state_.placement() == x_new_) break;
+        replan(ReplanReason::EndStateMismatch, Action{});
+        continue;
+      }
+      execute_next();
+    }
+    finish();
+    return std::move(report_);
+  }
+
+ private:
+  std::uint32_t intern_stage(prov::StageKind kind, const std::string& name) {
+    for (std::uint32_t i = 0; i < report_.provenance.stages.size(); ++i) {
+      if (report_.provenance.stages[i].kind == kind &&
+          report_.provenance.stages[i].name == name) {
+        return i;
+      }
+    }
+    report_.provenance.stages.push_back({kind, name});
+    return static_cast<std::uint32_t>(report_.provenance.stages.size() - 1);
+  }
+
+  /// Applies `a` (must be valid) and appends it to the effective sequence,
+  /// attributing it to `stage` when provenance is on.
+  void commit(const Action& a, std::uint32_t stage) {
+    state_.apply(a);
+    report_.effective.push_back(a);
+    if (options_.record_provenance) {
+      prov::Entry e;
+      e.id = static_cast<std::uint64_t>(report_.effective.size() - 1);
+      e.stage = stage;
+      report_.provenance.entries.push_back(e);
+    }
+  }
+
+  /// Destroys replicas whose loss time has been reached. Each applied loss
+  /// becomes a forced deletion in the effective sequence so the validator
+  /// can replay the run.
+  void apply_due_losses() {
+    while (const ReplicaLoss* l = oracle_.next_loss_due(clock_)) {
+      if (state_.holds(l->server, l->object)) {
+        commit(Action::remove(l->server, l->object), stage_loss());
+        ++report_.loss_deletions;
+        OBS_COUNT("exec.loss_deletions");
+      }
+      oracle_.pop_loss();
+    }
+  }
+
+  /// Earliest time >= clock_ at which every endpoint of `a` is online.
+  Tick stall_until(const Action& a) const {
+    Tick t = clock_;
+    while (true) {
+      Tick t2 = oracle_.online_at(a.server, t);
+      if (a.is_transfer()) t2 = oracle_.online_at(a.source, t2);
+      if (t2 == t) return t;
+      t = t2;
+    }
+  }
+
+  /// Cost of attempting `a` right now, including degradation factors.
+  Cost attempt_cost(const Action& a) const {
+    if (!a.is_transfer()) return 0;
+    const Cost nominal = model_.transfer_cost(a.server, a.object, a.source);
+    const double factor = oracle_.link_factor(a.server, a.source, clock_);
+    if (factor == 1.0) return nominal;
+    return static_cast<Cost>(
+        std::llround(static_cast<double>(nominal) * factor));
+  }
+
+  /// Stalls past offline windows, applies newly due losses, and classifies
+  /// `a` against the live state. Returns the stall charged.
+  Tick prepare_attempt(const Action& a, ActionError& err) {
+    const Tick until = stall_until(a);
+    const Tick stall = until - clock_;
+    clock_ = until;
+    report_.total_stall += stall;
+    apply_due_losses();
+    err = state_.classify(a);
+    return stall;
+  }
+
+  void record_attempt(const Action& a, int attempt, Tick at,
+                      AttemptOutcome outcome, Cost cost, Tick stall) {
+    report_.attempts.push_back({a, attempt, at, outcome, cost, stall, 0});
+    report_.actual_cost += cost;
+    OBS_COUNT("exec.attempts");
+  }
+
+  /// Runs the front pending action through the retry machinery.
+  void execute_next() {
+    const Action a = pending_[cursor_];
+    const bool can_fail =
+        a.is_transfer() && !is_dummy(a.source) &&
+        oracle_.transient_failure_rate() > 0.0;
+    int failures = 0;
+    while (true) {
+      ActionError err = ActionError::None;
+      const Tick stall = prepare_attempt(a, err);
+      if (err != ActionError::None) {
+        replan(ReplanReason::InvalidAction, a);
+        return;
+      }
+      const Cost cost = attempt_cost(a);
+      const Tick at = clock_;
+      if (can_fail && rng_.chance(oracle_.transient_failure_rate())) {
+        ++failures;
+        ++report_.transient_failures;
+        OBS_COUNT("exec.transient_failures");
+        record_attempt(a, failures, at, AttemptOutcome::TransientFailure, cost,
+                       stall);
+        clock_ += cost;  // the wasted transmission still took its time
+        if (failures > options_.retry.max_retries) {
+          permanent_failure(a);
+          return;
+        }
+        const Tick wait = backoff_wait(options_.retry, failures, rng_);
+        report_.attempts.back().backoff = wait;
+        report_.total_backoff += wait;
+        clock_ += wait;
+        ++report_.retries;
+        OBS_COUNT("exec.retries");
+        continue;
+      }
+      record_attempt(a, failures + 1, at, AttemptOutcome::Success, cost, stall);
+      commit(a, current_stage_);
+      clock_ += cost;
+      ++cursor_;
+      return;
+    }
+  }
+
+  /// An action exhausted its retries: degrade it to a dummy transfer once it
+  /// has failed permanently often enough, otherwise replan the tail.
+  void permanent_failure(const Action& a) {
+    const std::size_t count = ++permanent_failures_[{a.server, a.object}];
+    if (a.is_transfer() && count >= options_.degrade_after) {
+      const Action dummy = Action::transfer(a.server, a.object, kDummyServer);
+      ActionError err = ActionError::None;
+      const Tick stall = prepare_attempt(dummy, err);
+      if (err != ActionError::None) {
+        replan(ReplanReason::InvalidAction, dummy);
+        return;
+      }
+      const Cost cost = attempt_cost(dummy);
+      record_attempt(dummy, 1, clock_, AttemptOutcome::Success, cost, stall);
+      commit(dummy, stage_degraded());
+      clock_ += cost;
+      ++cursor_;
+      ++report_.degraded_transfers;
+      OBS_COUNT("exec.degraded_transfers");
+      return;
+    }
+    replan(ReplanReason::RetriesExhausted, a);
+  }
+
+  void replan(ReplanReason reason, const Action& trigger) {
+    if (report_.replans.size() >= options_.max_replans) {
+      drain_degraded();
+      return;
+    }
+    OBS_SPAN("execute.replan");
+    OBS_COUNT("exec.replans");
+    const ResidualProblem residual =
+        make_residual(model_, state_.placement(), x_new_);
+    ReplanEvent event;
+    event.at = clock_;
+    event.reason = reason;
+    event.trigger = trigger;
+    event.dropped = pending_.size() - cursor_;
+    event.residual_lower_bound = residual.lower_bound;
+    pending_.clear();
+    cursor_ = 0;
+    if (!residual.complete()) {
+      Timer timer;
+      Rng replan_rng(mix64(base_seed_, report_.replans.size() + 1));
+      const Schedule tail = replan_pipeline_.run(model_, residual.x_mid, x_new_,
+                                                 replan_rng);
+      event.seconds = timer.seconds();
+      OBS_LATENCY_NS("exec.replan", static_cast<std::uint64_t>(
+                                        event.seconds * 1e9));
+      event.added = tail.size();
+      pending_ = tail.actions();
+      if (options_.record_provenance) {
+        current_stage_ = intern_stage(
+            prov::StageKind::Builder,
+            "REPLAN" + std::to_string(report_.replans.size() + 1) + ":" +
+                options_.replan_algo);
+      }
+    }
+    report_.replans.push_back(std::move(event));
+  }
+
+  /// Last-resort fallback when the replan budget is spent: jump past the
+  /// fault horizon (offline windows over, all losses materialized), then
+  /// drain the residual worst-case plan — delete every superfluous replica,
+  /// fetch every outstanding one from the (fault-immune) dummy server. Valid
+  /// whenever X_new is storage-feasible, so the run still reaches X_new.
+  void drain_degraded() {
+    clock_ = std::max(clock_, oracle_.horizon());
+    apply_due_losses();
+    pending_.clear();
+    cursor_ = 0;
+    for (ServerId i = 0; i < model_.num_servers(); ++i) {
+      for (ObjectId k : state_.placement().objects_on(i)) {
+        if (!x_new_.test(i, k)) {
+          record_attempt(Action::remove(i, k), 1, clock_,
+                         AttemptOutcome::Success, 0, 0);
+          commit(Action::remove(i, k), stage_degraded());
+        }
+      }
+    }
+    for (ServerId i = 0; i < model_.num_servers(); ++i) {
+      for (ObjectId k : x_new_.objects_on(i)) {
+        if (state_.holds(i, k)) continue;
+        const Action dummy = Action::transfer(i, k, kDummyServer);
+        RTSP_REQUIRE(state_.can_apply(dummy));
+        const Cost cost = attempt_cost(dummy);
+        record_attempt(dummy, 1, clock_, AttemptOutcome::Success, cost, 0);
+        commit(dummy, stage_degraded());
+        clock_ += cost;
+        ++report_.degraded_transfers;
+        OBS_COUNT("exec.degraded_transfers");
+      }
+    }
+    done_ = true;
+  }
+
+  void finish() {
+    report_.final_placement = state_.placement();
+    report_.reached_goal = report_.final_placement == x_new_;
+    report_.effective_cost = schedule_cost(model_, report_.effective);
+    report_.effective_dummy_transfers = report_.effective.dummy_transfer_count();
+    report_.finished_at = clock_;
+    OBS_GAUGE_SET("exec.stall_ticks", report_.total_stall);
+    OBS_GAUGE_SET("exec.backoff_ticks", report_.total_backoff);
+    OBS_GAUGE_SET("exec.finished_at", report_.finished_at);
+    if (options_.record_provenance) attach_root_causes();
+  }
+
+  /// Dummy transfers in the effective sequence get the same deadlock
+  /// witnesses `rtsp explain` shows for planned schedules.
+  void attach_root_causes() {
+    const ReplicationMatrix& x_old = start_placement_;
+    for (std::size_t u = 0; u < report_.effective.size(); ++u) {
+      if (!report_.effective[u].is_dummy_transfer()) continue;
+      report_.provenance.root_causes.push_back(
+          prov::make_root_cause(model_, x_old, report_.effective, u));
+      report_.provenance.entries[u].root_cause =
+          report_.provenance.root_causes.size() - 1;
+    }
+  }
+
+  std::uint32_t stage_degraded() {
+    if (!options_.record_provenance) return 0;
+    return intern_stage(prov::StageKind::Unknown, "DEGRADED");
+  }
+  std::uint32_t stage_loss() {
+    if (!options_.record_provenance) return 0;
+    return intern_stage(prov::StageKind::Unknown, "FAULT-LOSS");
+  }
+
+  const SystemModel& model_;
+  const ReplicationMatrix& x_new_;
+  const ExecutorOptions& options_;
+  FaultOracle oracle_;
+  ExecutionState state_;
+  ReplicationMatrix start_placement_{state_.placement()};
+  std::uint64_t base_seed_;
+  Rng rng_;
+  Pipeline replan_pipeline_;
+
+  std::vector<Action> pending_;
+  std::size_t cursor_ = 0;
+  Tick clock_ = 0;
+  bool done_ = false;
+  std::map<std::pair<ServerId, ObjectId>, std::size_t> permanent_failures_;
+  std::uint32_t current_stage_ = 0;
+  ExecutionReport report_;
+};
+
+}  // namespace
+
+ExecutionReport execute_schedule(const SystemModel& model,
+                                 const ReplicationMatrix& x_old,
+                                 const ReplicationMatrix& x_new,
+                                 const Schedule& plan, const FaultSpec& faults,
+                                 const ExecutorOptions& options) {
+  validate_policy(options.retry);
+  validate_spec(model, faults);
+  check_plan_ids(model, plan);
+  if (options.degrade_after == 0) {
+    throw std::invalid_argument("executor: degrade_after must be >= 1");
+  }
+  if (!storage_feasible(model, x_new)) {
+    throw std::invalid_argument(
+        "executor: X_new is not storage-feasible; no terminating execution "
+        "exists");
+  }
+  Run run(model, x_old, x_new, plan, faults, options);
+  return run.run();
+}
+
+}  // namespace rtsp::exec

@@ -1,0 +1,152 @@
+// Fault-tolerant schedule execution (the "live system" the paper's plans are
+// meant for): replays a delivered Schedule against the SystemModel as a
+// sequence of timed transfer attempts under a deterministic fault injector,
+// with bounded retries, residual replanning through the builder/improver
+// registry, and graceful degradation to dummy-server transfers.
+//
+// Semantics and termination:
+//   * The executor is serial and event-driven over a virtual clock in cost
+//     ticks (a transfer paying C occupies C ticks; backoff and offline
+//     stalls also advance the clock).
+//   * Before each attempt, due replica losses are applied (recorded as
+//     forced deletions) and the action is re-validated. An invalid action —
+//     its source lost, its space stolen, an emerging Fig.-1 deadlock —
+//     aborts the tail: the executor snapshots the residual problem
+//     (core/residual) and replans (X_mid, X_new) with the configured
+//     pipeline.
+//   * A transfer attempt from a real source fails transiently with the
+//     spec's probability; the attempt's cost is still paid. Failures retry
+//     under the RetryPolicy; when retries are exhausted the action fails
+//     permanently, which also triggers a replan. A destination/source inside
+//     an offline window stalls the clock to the window's end first — dark
+//     servers delay, they do not burn retries.
+//   * The same (dest, object) transfer failing permanently `degrade_after`
+//     times is thereafter forced through the dummy server, which is outside
+//     the fault model (always online, never fails): that guarantees forward
+//     progress. If the replan budget runs out, the executor fast-forwards
+//     past the fault horizon and drains the remainder as the residual
+//     worst-case plan (delete superfluous, fetch outstanding from dummy) —
+//     always valid when X_new is storage-feasible.
+// Hence every run terminates with placement == X_new, and the recorded
+// effective action sequence (successful applications plus forced loss
+// deletions) replays cleanly through Validator::validate. Under a fault-free
+// spec the effective sequence is the input schedule and the cost paid equals
+// its planned cost exactly.
+//
+// Determinism: all randomness flows from one Rng seeded with
+// mix64(spec.seed, options.seed); replans use per-replan derived streams.
+// Same (instance, schedule, spec, options) => bit-identical attempt log,
+// effective schedule, final state and cost totals, with or without obs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "core/state.hpp"
+#include "core/system.hpp"
+#include "exec/fault_model.hpp"
+#include "exec/retry_policy.hpp"
+#include "obs/provenance.hpp"
+
+namespace rtsp::exec {
+
+enum class AttemptOutcome : std::uint8_t {
+  Success,           ///< action applied (possibly after a stall)
+  TransientFailure,  ///< in-flight failure; cost paid, retry or give up
+};
+
+const char* to_string(AttemptOutcome o);
+
+/// One timed attempt of one action. `action` is the action as attempted —
+/// a degraded attempt already carries the dummy source.
+struct Attempt {
+  Action action;
+  int attempt = 1;        ///< 1-based attempt number for this action
+  Tick at = 0;            ///< clock when the attempt started (after stalls)
+  AttemptOutcome outcome = AttemptOutcome::Success;
+  Cost cost_paid = 0;     ///< includes degradation factors; 0 for deletions
+  Tick stall = 0;         ///< offline wait immediately before this attempt
+  Tick backoff = 0;       ///< backoff wait charged after a failure
+
+  bool operator==(const Attempt&) const = default;
+};
+
+/// Why a replan was triggered.
+enum class ReplanReason : std::uint8_t {
+  RetriesExhausted,  ///< an action failed permanently
+  InvalidAction,     ///< the tail no longer validates against the live state
+  EndStateMismatch,  ///< tail drained but placement != X_new (late losses)
+};
+
+const char* to_string(ReplanReason r);
+
+struct ReplanEvent {
+  Tick at = 0;
+  ReplanReason reason = ReplanReason::RetriesExhausted;
+  Action trigger;            ///< offending action (unused for EndStateMismatch)
+  std::size_t dropped = 0;   ///< planned tail actions discarded
+  std::size_t added = 0;     ///< actions in the replanned tail
+  Cost residual_lower_bound = 0;
+  double seconds = 0.0;      ///< replan wall time (excluded from determinism)
+};
+
+struct ExecutorOptions {
+  RetryPolicy retry;
+  /// Pipeline spec for residual replans, resolved via heuristics/registry.
+  std::string replan_algo = "GOLCF+H1+H2+OP1";
+  std::size_t max_replans = 16;
+  /// Permanent failures of the same (dest, object) transfer before the
+  /// executor forces it through the dummy server.
+  std::size_t degrade_after = 2;
+  std::uint64_t seed = 1;
+  /// Record per-action provenance (stages PLAN / REPLAN#n / DEGRADED /
+  /// FAULT-LOSS plus dummy-transfer root causes) for `rtsp explain`.
+  bool record_provenance = false;
+};
+
+/// Everything the run produced. `effective` is the applied action sequence
+/// (transfers with the source actually used, plus forced loss deletions);
+/// it is valid w.r.t. (X_old, X_new) by construction.
+struct ExecutionReport {
+  std::vector<Attempt> attempts;
+  std::vector<ReplanEvent> replans;
+  Schedule effective;
+  ReplicationMatrix final_placement;
+
+  Cost planned_cost = 0;    ///< schedule_cost of the input plan
+  Cost effective_cost = 0;  ///< nominal cost of the effective schedule
+  Cost actual_cost = 0;     ///< ticks actually paid, incl. failed attempts
+
+  std::size_t retries = 0;
+  std::size_t transient_failures = 0;
+  std::size_t degraded_transfers = 0;  ///< transfers forced onto the dummy
+  std::size_t loss_deletions = 0;      ///< replica losses applied
+  std::size_t planned_dummy_transfers = 0;
+  std::size_t effective_dummy_transfers = 0;
+
+  Tick finished_at = 0;
+  Tick total_stall = 0;
+  Tick total_backoff = 0;
+  bool reached_goal = false;  ///< final_placement == X_new (always true today)
+
+  /// Per-action provenance for `effective` when options.record_provenance;
+  /// empty otherwise. Entries are parallel to `effective`.
+  prov::Provenance provenance;
+
+  /// actual_cost / planned_cost (1.0 for an empty plan executed cleanly).
+  double cost_inflation() const;
+};
+
+/// Executes `plan` for (x_old -> x_new) under `faults`. Throws
+/// std::invalid_argument on a malformed spec/policy, on plan actions with
+/// out-of-range ids, and when X_new is not storage-feasible (no terminating
+/// degradation exists without the feasibility guarantee).
+ExecutionReport execute_schedule(const SystemModel& model,
+                                 const ReplicationMatrix& x_old,
+                                 const ReplicationMatrix& x_new,
+                                 const Schedule& plan, const FaultSpec& faults,
+                                 const ExecutorOptions& options);
+
+}  // namespace rtsp::exec

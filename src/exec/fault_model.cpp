@@ -1,0 +1,133 @@
+#include "exec/fault_model.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace rtsp::exec {
+
+namespace {
+
+[[noreturn]] void spec_fail(const std::string& why) {
+  throw std::invalid_argument("fault spec: " + why);
+}
+
+void check_window(Tick begin, Tick end, const char* what, std::size_t index) {
+  if (begin < 0 || end < begin) {
+    std::ostringstream os;
+    os << what << " #" << index << " has invalid window [" << begin << ", " << end
+       << ")";
+    spec_fail(os.str());
+  }
+}
+
+}  // namespace
+
+void validate_spec(const FaultSpec& spec) {
+  if (spec.transient_failure_rate < 0.0 || spec.transient_failure_rate > 1.0) {
+    spec_fail("transient_failure_rate must be in [0, 1]");
+  }
+  for (std::size_t i = 0; i < spec.offline.size(); ++i) {
+    check_window(spec.offline[i].begin, spec.offline[i].end, "offline window", i);
+  }
+  for (std::size_t i = 0; i < spec.degraded_links.size(); ++i) {
+    const LinkDegradation& d = spec.degraded_links[i];
+    check_window(d.begin, d.end, "link degradation", i);
+    if (!(d.factor > 0.0)) {
+      std::ostringstream os;
+      os << "link degradation #" << i << " has non-positive factor " << d.factor;
+      spec_fail(os.str());
+    }
+    if (d.dest == d.source) {
+      std::ostringstream os;
+      os << "link degradation #" << i << " degrades a self-link (S" << d.dest << ")";
+      spec_fail(os.str());
+    }
+  }
+  for (std::size_t i = 0; i < spec.losses.size(); ++i) {
+    if (spec.losses[i].at < 0) {
+      std::ostringstream os;
+      os << "replica loss #" << i << " has negative time " << spec.losses[i].at;
+      spec_fail(os.str());
+    }
+  }
+}
+
+void validate_spec(const SystemModel& model, const FaultSpec& spec) {
+  validate_spec(spec);
+  const auto check_server = [&](ServerId s, const char* what, std::size_t index) {
+    if (s >= model.num_servers()) {
+      std::ostringstream os;
+      os << what << " #" << index << " names server S" << s << " but the model has "
+         << model.num_servers() << " servers (faults cannot target the dummy)";
+      spec_fail(os.str());
+    }
+  };
+  for (std::size_t i = 0; i < spec.offline.size(); ++i) {
+    check_server(spec.offline[i].server, "offline window", i);
+  }
+  for (std::size_t i = 0; i < spec.degraded_links.size(); ++i) {
+    check_server(spec.degraded_links[i].dest, "link degradation (dest)", i);
+    check_server(spec.degraded_links[i].source, "link degradation (source)", i);
+  }
+  for (std::size_t i = 0; i < spec.losses.size(); ++i) {
+    check_server(spec.losses[i].server, "replica loss", i);
+    if (spec.losses[i].object >= model.num_objects()) {
+      std::ostringstream os;
+      os << "replica loss #" << i << " names object O" << spec.losses[i].object
+         << " but the model has " << model.num_objects() << " objects";
+      spec_fail(os.str());
+    }
+  }
+}
+
+FaultOracle::FaultOracle(const FaultSpec& spec) : spec_(&spec), losses_(spec.losses) {
+  std::sort(losses_.begin(), losses_.end(),
+            [](const ReplicaLoss& a, const ReplicaLoss& b) {
+              if (a.at != b.at) return a.at < b.at;
+              if (a.server != b.server) return a.server < b.server;
+              return a.object < b.object;
+            });
+  for (const OfflineWindow& w : spec.offline) horizon_ = std::max(horizon_, w.end);
+  for (const ReplicaLoss& l : losses_) horizon_ = std::max(horizon_, l.at);
+}
+
+Tick FaultOracle::online_at(ServerId server, Tick now) const {
+  if (is_dummy(server)) return now;
+  // Chained windows can force repeated hops; iterate to a fixpoint.
+  bool moved = true;
+  while (moved) {
+    moved = false;
+    for (const OfflineWindow& w : spec_->offline) {
+      if (w.server == server && w.begin <= now && now < w.end) {
+        now = w.end;
+        moved = true;
+      }
+    }
+  }
+  return now;
+}
+
+double FaultOracle::link_factor(ServerId dest, ServerId source, Tick now) const {
+  if (is_dummy(source)) return 1.0;
+  double factor = 1.0;
+  for (const LinkDegradation& d : spec_->degraded_links) {
+    if (d.dest == dest && d.source == source && d.begin <= now && now < d.end) {
+      factor *= d.factor;
+    }
+  }
+  return factor;
+}
+
+const ReplicaLoss* FaultOracle::next_loss_due(Tick now) const {
+  if (next_loss_ >= losses_.size()) return nullptr;
+  const ReplicaLoss& l = losses_[next_loss_];
+  return l.at <= now ? &l : nullptr;
+}
+
+void FaultOracle::pop_loss() {
+  RTSP_REQUIRE(next_loss_ < losses_.size());
+  ++next_loss_;
+}
+
+}  // namespace rtsp::exec

@@ -1,0 +1,123 @@
+// Deterministic fault model for schedule execution: a declarative FaultSpec
+// (what can go wrong, when) plus the FaultOracle the executor queries while
+// replaying a schedule against a virtual clock.
+//
+// Time is measured in abstract ticks on the same scale as implementation
+// cost: a transfer that costs C occupies C ticks of the serial executor (a
+// unit-bandwidth link), deletions are instantaneous. All randomness (the
+// transient-failure draws) comes from the executor's seeded Rng, so a given
+// (instance, schedule, spec, seed) replays bit-identically.
+//
+// The dummy server is deliberately outside the fault model: it stands for
+// the always-available origin/archive tier, so dummy-sourced transfers never
+// fail transiently and the dummy is never offline. That asymmetry is what
+// makes graceful degradation (falling back to dummy transfers) terminate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/system.hpp"
+#include "core/types.hpp"
+
+namespace rtsp::exec {
+
+/// Virtual time in cost units (see header comment).
+using Tick = std::int64_t;
+
+/// Server `server` is unreachable (as source or destination) in [begin, end).
+struct OfflineWindow {
+  ServerId server = 0;
+  Tick begin = 0;
+  Tick end = 0;
+
+  bool operator==(const OfflineWindow&) const = default;
+};
+
+/// Directed link dest <- source costs `factor` times its nominal per-unit
+/// cost while the clock is in [begin, end).
+struct LinkDegradation {
+  ServerId dest = 0;
+  ServerId source = 0;
+  double factor = 1.0;
+  Tick begin = 0;
+  Tick end = 0;
+
+  bool operator==(const LinkDegradation&) const = default;
+};
+
+/// The replica (server, object) is permanently destroyed at time `at` —
+/// disk loss. If the server still holds the object when the clock reaches
+/// `at`, the executor records a forced deletion; planned transfers sourced
+/// there become invalid and trigger a replan.
+struct ReplicaLoss {
+  ServerId server = 0;
+  ObjectId object = 0;
+  Tick at = 0;
+
+  bool operator==(const ReplicaLoss&) const = default;
+};
+
+/// Everything that will go wrong during one execution, declaratively.
+struct FaultSpec {
+  std::uint64_t seed = 1;  ///< stream for the transient-failure draws
+  /// Probability that one attempt of a real-source transfer fails in flight
+  /// (the attempt's cost is still paid — a wasted transmission). In [0, 1].
+  double transient_failure_rate = 0.0;
+  std::vector<OfflineWindow> offline;
+  std::vector<LinkDegradation> degraded_links;
+  std::vector<ReplicaLoss> losses;
+
+  /// True when executing under this spec cannot deviate from the plan.
+  bool fault_free() const {
+    return transient_failure_rate == 0.0 && offline.empty() &&
+           degraded_links.empty() && losses.empty();
+  }
+
+  bool operator==(const FaultSpec&) const = default;
+};
+
+/// Structural validation independent of any instance: rate in [0, 1],
+/// windows ordered, factors positive, times non-negative. Throws
+/// std::invalid_argument naming the offending entry.
+void validate_spec(const FaultSpec& spec);
+
+/// Validation against a concrete model: every server/object id must exist
+/// (the dummy server is not addressable by faults). Also runs validate_spec.
+void validate_spec(const SystemModel& model, const FaultSpec& spec);
+
+/// The executor's query interface over a FaultSpec. Losses are consumed in
+/// time order via next_loss()/pop_loss(); window queries are linear scans —
+/// fault specs are small compared to schedules.
+class FaultOracle {
+ public:
+  explicit FaultOracle(const FaultSpec& spec);
+
+  /// Earliest time >= now at which `server` is online. kDummyServer is
+  /// always online.
+  Tick online_at(ServerId server, Tick now) const;
+
+  /// Cost multiplier of the link dest <- source at time `now` (product of
+  /// all covering degradation windows; 1.0 outside them and for the dummy).
+  double link_factor(ServerId dest, ServerId source, Tick now) const;
+
+  /// The next unconsumed loss event with at <= now, or nullptr.
+  const ReplicaLoss* next_loss_due(Tick now) const;
+  void pop_loss();
+
+  /// End of the latest offline window / largest loss time: fast-forwarding
+  /// past this point makes the remaining timeline fault-free (except the
+  /// transient rate, which never expires).
+  Tick horizon() const { return horizon_; }
+
+  double transient_failure_rate() const { return spec_->transient_failure_rate; }
+
+ private:
+  const FaultSpec* spec_;
+  std::vector<ReplicaLoss> losses_;  ///< sorted by (at, server, object)
+  std::size_t next_loss_ = 0;
+  Tick horizon_ = 0;
+};
+
+}  // namespace rtsp::exec

@@ -1,0 +1,37 @@
+#include "exec/retry_policy.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rtsp::exec {
+
+void validate_policy(const RetryPolicy& policy) {
+  if (policy.max_retries < 0) {
+    throw std::invalid_argument("retry policy: max_retries must be >= 0");
+  }
+  if (policy.base_backoff < 0 || policy.max_backoff < 0) {
+    throw std::invalid_argument("retry policy: backoff ticks must be >= 0");
+  }
+  if (policy.multiplier < 1.0) {
+    throw std::invalid_argument("retry policy: multiplier must be >= 1");
+  }
+  if (policy.jitter < 0.0 || policy.jitter > 1.0) {
+    throw std::invalid_argument("retry policy: jitter must be in [0, 1]");
+  }
+}
+
+Tick backoff_wait(const RetryPolicy& policy, int failed_attempts, Rng& rng) {
+  RTSP_REQUIRE(failed_attempts >= 1);
+  double w = static_cast<double>(policy.base_backoff);
+  for (int n = 1; n < failed_attempts; ++n) {
+    w *= policy.multiplier;
+    if (w >= static_cast<double>(policy.max_backoff)) break;
+  }
+  w = std::min(w, static_cast<double>(policy.max_backoff));
+  if (policy.jitter > 0.0) {
+    w -= std::floor(policy.jitter * w * rng.uniform01());
+  }
+  return static_cast<Tick>(w);
+}
+
+}  // namespace rtsp::exec

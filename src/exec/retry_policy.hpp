@@ -1,0 +1,35 @@
+// Bounded-retry policy with exponential backoff and deterministic jitter.
+//
+// One action gets 1 + max_retries attempts. After the n-th failed attempt
+// (1-based) the executor waits
+//     w = min(max_backoff, base_backoff * multiplier^(n-1))
+// ticks, shrunk by up to `jitter * w` using a draw from the executor's Rng
+// (subtractive "equal jitter": the wait lands in ((1-jitter)*w, w]). Jitter
+// exists so replanned tails don't re-synchronize with periodic offline
+// windows; determinism is preserved because the draw comes from the seeded
+// execution stream.
+#pragma once
+
+#include "exec/fault_model.hpp"
+#include "support/rng.hpp"
+
+namespace rtsp::exec {
+
+struct RetryPolicy {
+  int max_retries = 3;       ///< failed attempts before the action fails for good
+  Tick base_backoff = 16;    ///< wait after the first failure, in ticks
+  double multiplier = 2.0;   ///< geometric growth per further failure
+  Tick max_backoff = 1024;   ///< backoff ceiling
+  double jitter = 0.5;       ///< fraction of the wait that randomizes, in [0, 1]
+
+  bool operator==(const RetryPolicy&) const = default;
+};
+
+/// Throws std::invalid_argument on out-of-range fields.
+void validate_policy(const RetryPolicy& policy);
+
+/// Wait after the `failed_attempts`-th consecutive failure (1-based).
+/// Consumes exactly one draw from `rng` when jitter > 0.
+Tick backoff_wait(const RetryPolicy& policy, int failed_attempts, Rng& rng);
+
+}  // namespace rtsp::exec

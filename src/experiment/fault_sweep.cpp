@@ -1,0 +1,104 @@
+#include "experiment/fault_sweep.hpp"
+
+#include <stdexcept>
+
+#include "core/validator.hpp"
+#include "heuristics/registry.hpp"
+#include "obs/obs.hpp"
+#include "support/csv.hpp"
+
+namespace rtsp {
+
+namespace {
+
+/// Losses drawn over the plan's first half: replicas that exist in X_old are
+/// the interesting targets (they can serve as sources).
+exec::FaultSpec make_trial_spec(const Instance& inst, const Schedule& plan,
+                                double rate, std::size_t loss_count, Rng& rng) {
+  exec::FaultSpec spec;
+  spec.seed = rng();
+  spec.transient_failure_rate = rate;
+  if (loss_count > 0) {
+    const exec::Tick span =
+        std::max<exec::Tick>(1, schedule_cost(inst.model, plan) / 2);
+    std::vector<std::pair<ServerId, ObjectId>> replicas;
+    for (ServerId i = 0; i < inst.model.num_servers(); ++i) {
+      for (ObjectId k : inst.x_old.objects_on(i)) replicas.push_back({i, k});
+    }
+    for (std::size_t n = 0; n < loss_count && !replicas.empty(); ++n) {
+      const auto [server, object] = rng.pick(replicas);
+      spec.losses.push_back(
+          {server, object, static_cast<exec::Tick>(rng.below(
+                               static_cast<std::uint64_t>(span)))});
+    }
+  }
+  return spec;
+}
+
+}  // namespace
+
+std::vector<FaultSweepCell> run_fault_sweep(const FaultSweepConfig& config) {
+  const Pipeline pipeline = make_pipeline(config.plan_algo);
+  std::vector<FaultSweepCell> cells;
+  cells.reserve(config.rates.size());
+  for (std::size_t p = 0; p < config.rates.size(); ++p) {
+    OBS_SPAN("fault_sweep.point");
+    FaultSweepCell cell;
+    cell.rate = config.rates[p];
+    for (std::size_t t = 0; t < config.trials; ++t) {
+      Rng rng = Rng::for_trial(config.base_seed, p * config.trials + t);
+      const Instance inst = random_instance(config.instance, rng);
+      Rng solve_rng = Rng::for_trial(config.base_seed, t);
+      const Schedule plan =
+          pipeline.run(inst.model, inst.x_old, inst.x_new, solve_rng);
+      const exec::FaultSpec spec =
+          make_trial_spec(inst, plan, cell.rate, config.loss_count, rng);
+      exec::ExecutorOptions opt = config.executor;
+      opt.seed = mix64(config.base_seed, p * config.trials + t);
+      const exec::ExecutionReport report = exec::execute_schedule(
+          inst.model, inst.x_old, inst.x_new, plan, spec, opt);
+      if (!report.reached_goal ||
+          !Validator::is_valid(inst.model, inst.x_old, inst.x_new,
+                               report.effective)) {
+        throw std::logic_error(
+            "fault sweep: execution did not reach a validator-clean X_new");
+      }
+      cell.cost_inflation.add(report.cost_inflation());
+      cell.dummy_inflation.add(
+          static_cast<double>(report.effective_dummy_transfers) -
+          static_cast<double>(report.planned_dummy_transfers));
+      cell.retries.add(static_cast<double>(report.retries));
+      cell.replans.add(static_cast<double>(report.replans.size()));
+      cell.degraded_transfers.add(static_cast<double>(report.degraded_transfers));
+      cell.loss_deletions.add(static_cast<double>(report.loss_deletions));
+      cell.attempts.add(static_cast<double>(report.attempts.size()));
+    }
+    cells.push_back(std::move(cell));
+  }
+  return cells;
+}
+
+void write_fault_sweep_csv(std::ostream& out,
+                           const std::vector<FaultSweepCell>& cells) {
+  CsvWriter csv(out);
+  csv.row({"rate", "trials", "cost_inflation_mean", "cost_inflation_stderr",
+           "dummy_inflation_mean", "dummy_inflation_stderr", "retries_mean",
+           "replans_mean", "degraded_mean", "loss_deletions_mean",
+           "attempts_mean"});
+  for (const FaultSweepCell& c : cells) {
+    csv.field(c.rate);
+    csv.field(static_cast<std::uint64_t>(c.cost_inflation.count()));
+    csv.field(c.cost_inflation.mean());
+    csv.field(c.cost_inflation.stderr_mean());
+    csv.field(c.dummy_inflation.mean());
+    csv.field(c.dummy_inflation.stderr_mean());
+    csv.field(c.retries.mean());
+    csv.field(c.replans.mean());
+    csv.field(c.degraded_transfers.mean());
+    csv.field(c.loss_deletions.mean());
+    csv.field(c.attempts.mean());
+    csv.end_row();
+  }
+}
+
+}  // namespace rtsp

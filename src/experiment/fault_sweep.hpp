@@ -1,0 +1,54 @@
+// Fault-rate sweep for the execution engine: how much does implementation
+// cost inflate — and how much dummy traffic appears — as the transient
+// transfer-failure rate grows? Companion to the Fig-5/6 sweeps, but over the
+// *execution* of schedules instead of their construction.
+//
+// Per (rate, trial): one random instance is generated, solved once with the
+// planning pipeline, then executed under a FaultSpec with that transient
+// rate plus `loss_count` randomly drawn replica losses. Deterministic in the
+// base seed.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "exec/executor.hpp"
+#include "support/stats.hpp"
+#include "workload/scenario.hpp"
+
+namespace rtsp {
+
+struct FaultSweepConfig {
+  std::vector<double> rates = {0.0, 0.05, 0.1, 0.2, 0.4};
+  std::size_t trials = 5;
+  std::uint64_t base_seed = 0xfa17ULL;
+  std::string plan_algo = "GOLCF+H1+H2+OP1";
+  exec::ExecutorOptions executor;
+  RandomInstanceSpec instance;
+  /// Replica losses injected per trial, at times drawn uniformly from the
+  /// first half of the plan's serial duration.
+  std::size_t loss_count = 0;
+};
+
+/// Aggregates for one sweep point (one transient rate).
+struct FaultSweepCell {
+  double rate = 0.0;
+  SampleSet cost_inflation;      ///< actual paid / planned
+  SampleSet dummy_inflation;     ///< effective dummies - planned dummies
+  SampleSet retries;
+  SampleSet replans;
+  SampleSet degraded_transfers;
+  SampleSet loss_deletions;
+  SampleSet attempts;
+};
+
+/// Runs the sweep; every execution is checked to reach X_new with a
+/// validator-clean effective sequence (throws on violation).
+std::vector<FaultSweepCell> run_fault_sweep(const FaultSweepConfig& config);
+
+/// Long-format CSV: rate,trials,<metric>_mean,<metric>_stderr per column.
+void write_fault_sweep_csv(std::ostream& out,
+                           const std::vector<FaultSweepCell>& cells);
+
+}  // namespace rtsp

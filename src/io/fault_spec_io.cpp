@@ -1,0 +1,124 @@
+#include "io/fault_spec_io.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "support/json.hpp"
+
+namespace rtsp {
+
+namespace {
+
+constexpr int kFormatVersion = 1;
+
+std::int64_t get_i64(const JsonValue& obj, const std::string& key,
+                     std::int64_t fallback) {
+  const JsonValue* v = obj.find(key);
+  return v ? v->as_int() : fallback;
+}
+
+}  // namespace
+
+void write_fault_spec(std::ostream& out, const exec::FaultSpec& spec) {
+  JsonWriter j(out);
+  j.begin_object();
+  j.key("version").value(kFormatVersion);
+  j.key("seed").value(spec.seed);
+  j.key("transient_failure_rate").value(spec.transient_failure_rate);
+  if (!spec.offline.empty()) {
+    j.key("offline").begin_array();
+    for (const auto& w : spec.offline) {
+      j.begin_object();
+      j.key("server").value(static_cast<std::uint64_t>(w.server));
+      j.key("begin").value(static_cast<std::int64_t>(w.begin));
+      j.key("end").value(static_cast<std::int64_t>(w.end));
+      j.end_object();
+    }
+    j.end_array();
+  }
+  if (!spec.degraded_links.empty()) {
+    j.key("degraded_links").begin_array();
+    for (const auto& d : spec.degraded_links) {
+      j.begin_object();
+      j.key("dest").value(static_cast<std::uint64_t>(d.dest));
+      j.key("source").value(static_cast<std::uint64_t>(d.source));
+      j.key("factor").value(d.factor);
+      j.key("begin").value(static_cast<std::int64_t>(d.begin));
+      j.key("end").value(static_cast<std::int64_t>(d.end));
+      j.end_object();
+    }
+    j.end_array();
+  }
+  if (!spec.losses.empty()) {
+    j.key("losses").begin_array();
+    for (const auto& l : spec.losses) {
+      j.begin_object();
+      j.key("server").value(static_cast<std::uint64_t>(l.server));
+      j.key("object").value(static_cast<std::uint64_t>(l.object));
+      j.key("at").value(static_cast<std::int64_t>(l.at));
+      j.end_object();
+    }
+    j.end_array();
+  }
+  j.end_object();
+  out << '\n';
+}
+
+std::string fault_spec_to_json(const exec::FaultSpec& spec) {
+  std::ostringstream os;
+  write_fault_spec(os, spec);
+  return os.str();
+}
+
+exec::FaultSpec read_fault_spec(std::istream& in) {
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return fault_spec_from_json(buf.str());
+}
+
+exec::FaultSpec fault_spec_from_json(const std::string& text) {
+  const JsonValue doc = parse_json(text);
+  const std::int64_t version = doc.at("version").as_int();
+  if (version != kFormatVersion) {
+    throw std::runtime_error("fault spec: unsupported version " +
+                             std::to_string(version));
+  }
+  exec::FaultSpec spec;
+  spec.seed = static_cast<std::uint64_t>(get_i64(doc, "seed", 1));
+  if (const JsonValue* r = doc.find("transient_failure_rate")) {
+    spec.transient_failure_rate = r->as_double();
+  }
+  if (const JsonValue* ws = doc.find("offline")) {
+    for (const JsonValue& wj : ws->items()) {
+      exec::OfflineWindow w;
+      w.server = static_cast<ServerId>(wj.at("server").as_int());
+      w.begin = wj.at("begin").as_int();
+      w.end = wj.at("end").as_int();
+      spec.offline.push_back(w);
+    }
+  }
+  if (const JsonValue* ds = doc.find("degraded_links")) {
+    for (const JsonValue& dj : ds->items()) {
+      exec::LinkDegradation d;
+      d.dest = static_cast<ServerId>(dj.at("dest").as_int());
+      d.source = static_cast<ServerId>(dj.at("source").as_int());
+      d.factor = dj.at("factor").as_double();
+      d.begin = dj.at("begin").as_int();
+      d.end = dj.at("end").as_int();
+      spec.degraded_links.push_back(d);
+    }
+  }
+  if (const JsonValue* ls = doc.find("losses")) {
+    for (const JsonValue& lj : ls->items()) {
+      exec::ReplicaLoss l;
+      l.server = static_cast<ServerId>(lj.at("server").as_int());
+      l.object = static_cast<ObjectId>(lj.at("object").as_int());
+      l.at = lj.at("at").as_int();
+      spec.losses.push_back(l);
+    }
+  }
+  exec::validate_spec(spec);
+  return spec;
+}
+
+}  // namespace rtsp

@@ -1,0 +1,28 @@
+// JSON serialisation of exec::FaultSpec, the input of `rtsp execute`.
+// One self-describing document:
+//   {"version": 1, "seed": 42, "transient_failure_rate": 0.05,
+//    "offline": [{"server": 3, "begin": 0, "end": 500}],
+//    "degraded_links": [{"dest": 1, "source": 2, "factor": 2.5,
+//                        "begin": 0, "end": 1000}],
+//    "losses": [{"server": 0, "object": 5, "at": 250}]}
+// Empty lists are omitted on write and default on read.
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "exec/fault_model.hpp"
+
+namespace rtsp {
+
+void write_fault_spec(std::ostream& out, const exec::FaultSpec& spec);
+std::string fault_spec_to_json(const exec::FaultSpec& spec);
+
+/// Parses the format above and runs exec::validate_spec on the result;
+/// throws std::runtime_error on malformed input or an unsupported version,
+/// std::invalid_argument on a structurally invalid spec.
+exec::FaultSpec read_fault_spec(std::istream& in);
+exec::FaultSpec fault_spec_from_json(const std::string& text);
+
+}  // namespace rtsp

@@ -1,5 +1,6 @@
 #include "io/instance_io.hpp"
 
+#include <cmath>
 #include <sstream>
 #include <stdexcept>
 
@@ -56,6 +57,68 @@ std::string next_line(std::istream& in) {
   }
   fail("unexpected end of input");
 }
+
+/// Dimension caps: reject absurd header values before allocating anything —
+/// a corrupt header must produce a clean parse error, not a bad_alloc.
+constexpr std::size_t kMaxDimension = 1'000'000;
+
+std::size_t parse_count(const std::string& text, const char* what) {
+  std::size_t pos = 0;
+  unsigned long long v = 0;
+  try {
+    v = std::stoull(trim(text), &pos);
+  } catch (const std::exception&) {
+    fail(std::string("bad ") + what + " count '" + trim(text) + "'");
+  }
+  if (pos != trim(text).size()) {
+    fail(std::string("trailing garbage after ") + what + " count in '" +
+         trim(text) + "'");
+  }
+  if (v == 0 || v > kMaxDimension) {
+    fail(std::string(what) + " count " + std::to_string(v) +
+         " out of range [1, " + std::to_string(kMaxDimension) + "]");
+  }
+  return static_cast<std::size_t>(v);
+}
+
+double parse_dummy_factor(const std::string& text) {
+  std::size_t pos = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(trim(text), &pos);
+  } catch (const std::exception&) {
+    fail("bad dummy_factor '" + trim(text) + "'");
+  }
+  if (pos != trim(text).size()) {
+    fail("trailing garbage after dummy_factor in '" + trim(text) + "'");
+  }
+  if (!(v >= 0.0) || !std::isfinite(v)) {
+    fail("dummy_factor must be finite and non-negative, got '" + trim(text) +
+         "'");
+  }
+  return v;
+}
+
+/// Reads exactly `values.size()` non-negative numbers and nothing else.
+template <typename T>
+void parse_row(const std::string& text, std::vector<T>& values,
+               const char* what) {
+  std::istringstream in(text);
+  for (std::size_t n = 0; n < values.size(); ++n) {
+    if (!(in >> values[n])) {
+      fail(std::string("too few ") + what + " (expected " +
+           std::to_string(values.size()) + ", got " + std::to_string(n) + ")");
+    }
+    if (values[n] < 0) {
+      fail(std::string("negative ") + what + " value " +
+           std::to_string(values[n]));
+    }
+  }
+  std::string extra;
+  if (in >> extra) {
+    fail(std::string("trailing garbage '") + extra + "' after " + what);
+  }
+}
 }  // namespace
 
 Instance read_instance(std::istream& in) {
@@ -66,42 +129,38 @@ Instance read_instance(std::istream& in) {
       fail("expected '" + kw + "', got '" + line + "'");
     }
   };
+  // Payload after the keyword; "" for a keyword-only line, so the value
+  // parsers report "bad/too few ..." instead of substr throwing.
+  auto rest = [](const std::string& line, std::size_t keyword_len) {
+    return line.size() > keyword_len ? line.substr(keyword_len) : std::string();
+  };
 
   std::string line = next_line(in);
   expect_keyword(line, "servers");
-  const std::size_t servers = std::stoul(line.substr(8));
+  const std::size_t servers = parse_count(rest(line, 8), "server");
 
   line = next_line(in);
   expect_keyword(line, "objects");
-  const std::size_t objects = std::stoul(line.substr(8));
+  const std::size_t objects = parse_count(rest(line, 8), "object");
 
   line = next_line(in);
   expect_keyword(line, "dummy_factor");
-  const double dummy_factor = std::stod(line.substr(13));
+  const double dummy_factor = parse_dummy_factor(rest(line, 13));
 
   line = next_line(in);
   expect_keyword(line, "capacities");
-  std::istringstream caps_in(line.substr(10));
   std::vector<Size> caps(servers);
-  for (auto& c : caps) {
-    if (!(caps_in >> c)) fail("too few capacities");
-  }
+  parse_row(rest(line, 10), caps, "capacities");
 
   line = next_line(in);
   expect_keyword(line, "sizes");
-  std::istringstream sizes_in(line.substr(5));
   std::vector<Size> sizes(objects);
-  for (auto& s : sizes) {
-    if (!(sizes_in >> s)) fail("too few sizes");
-  }
+  parse_row(rest(line, 5), sizes, "sizes");
 
   if (next_line(in) != "costs") fail("expected 'costs'");
   std::vector<std::vector<LinkCost>> rows(servers, std::vector<LinkCost>(servers));
   for (std::size_t i = 0; i < servers; ++i) {
-    std::istringstream row_in(next_line(in));
-    for (std::size_t j = 0; j < servers; ++j) {
-      if (!(row_in >> rows[i][j])) fail("short cost row " + std::to_string(i));
-    }
+    parse_row(next_line(in), rows[i], "cost row");
   }
 
   ReplicationMatrix x_old(servers, objects);

@@ -1,5 +1,6 @@
 #include "io/schedule_io.hpp"
 
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -32,6 +33,11 @@ namespace {
   throw std::runtime_error("schedule parse error at line " + std::to_string(line_no) +
                            " ('" + line + "'): " + why);
 }
+
+/// Ids are uint32 with kDummyServer reserved; anything larger would silently
+/// truncate on the narrowing cast, so bound-check before converting.
+constexpr long long kMaxId =
+    static_cast<long long>(std::numeric_limits<std::uint32_t>::max()) - 1;
 }  // namespace
 
 Schedule read_schedule(std::istream& in) {
@@ -53,13 +59,23 @@ Schedule read_schedule(std::istream& in) {
         parse_fail(line_no, line, "expected 'T <server> <object> <source>'");
       }
       if (server < 0 || object < 0) parse_fail(line_no, line, "negative id");
+      if (server > kMaxId || object > kMaxId) {
+        parse_fail(line_no, line, "id out of range");
+      }
       ServerId src = kDummyServer;
       if (source != "dummy") {
+        std::size_t pos = 0;
+        unsigned long long parsed = 0;
         try {
-          src = static_cast<ServerId>(std::stoul(source));
+          parsed = std::stoull(source, &pos);
         } catch (const std::exception&) {
           parse_fail(line_no, line, "bad source '" + source + "'");
         }
+        if (pos != source.size() ||
+            parsed > static_cast<unsigned long long>(kMaxId)) {
+          parse_fail(line_no, line, "bad source '" + source + "'");
+        }
+        src = static_cast<ServerId>(parsed);
       }
       h.push_back(Action::transfer(static_cast<ServerId>(server),
                                    static_cast<ObjectId>(object), src));
@@ -70,10 +86,17 @@ Schedule read_schedule(std::istream& in) {
         parse_fail(line_no, line, "expected 'D <server> <object>'");
       }
       if (server < 0 || object < 0) parse_fail(line_no, line, "negative id");
+      if (server > kMaxId || object > kMaxId) {
+        parse_fail(line_no, line, "id out of range");
+      }
       h.push_back(Action::remove(static_cast<ServerId>(server),
                                  static_cast<ObjectId>(object)));
     } else {
       parse_fail(line_no, line, "unknown action kind '" + kind + "'");
+    }
+    std::string extra;
+    if (fields >> extra) {
+      parse_fail(line_no, line, "trailing garbage '" + extra + "'");
     }
   }
   return h;

@@ -294,5 +294,86 @@ TEST(Cli, SolveProvenanceOutRequiresObsBuild) {
   }
 }
 
+TEST(Cli, ExecuteZeroFaultReproducesPlan) {
+  const std::string inst_path = write_fig3_instance();
+  const std::string sched_path = temp_path("cli_exec.sched");
+  ASSERT_EQ(run({"solve", "--instance", inst_path, "--out", sched_path}).code, 0);
+
+  const CliResult r =
+      run({"execute", "--instance", inst_path, "--schedule", sched_path});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("reached X_new:       yes"), std::string::npos);
+  EXPECT_NE(r.out.find("effective validates: yes"), std::string::npos);
+  EXPECT_NE(r.out.find("inflation 1)"), std::string::npos);
+
+  const CliResult j = run({"execute", "--instance", inst_path, "--schedule",
+                           sched_path, "--json"});
+  ASSERT_EQ(j.code, 0) << j.err;
+  EXPECT_NE(j.out.find("\"reached_goal\":true"), std::string::npos);
+  EXPECT_NE(j.out.find("\"valid\":true"), std::string::npos);
+  EXPECT_NE(j.out.find("\"cost_inflation\":1"), std::string::npos);
+}
+
+TEST(Cli, ExecuteUnderFaultsProducesValidEffectiveSchedule) {
+  const std::string inst_path = write_fig3_instance();
+  const std::string sched_path = temp_path("cli_exec_f.sched");
+  const std::string faults_path = temp_path("cli_exec_f.faults.json");
+  const std::string eff_path = temp_path("cli_exec_f.effective.sched");
+  const std::string prov_path = temp_path("cli_exec_f.prov.json");
+  ASSERT_EQ(run({"solve", "--instance", inst_path, "--out", sched_path}).code, 0);
+  {
+    std::ofstream f(faults_path);
+    f << R"({"version": 1, "seed": 9, "transient_failure_rate": 0.5,
+             "losses": [{"server": 0, "object": 0, "at": 0}]})";
+  }
+  const CliResult r = run({"execute", "--instance", inst_path, "--schedule",
+                           sched_path, "--faults", faults_path, "--out", eff_path,
+                           "--provenance-out", prov_path, "--attempts"});
+  ASSERT_EQ(r.code, 0) << r.err << r.out;
+  EXPECT_NE(r.out.find("loss deletions:      1"), std::string::npos);
+  EXPECT_NE(r.out.find("attempt log:"), std::string::npos);
+
+  // The effective schedule must validate standalone...
+  const CliResult v =
+      run({"validate", "--instance", inst_path, "--schedule", eff_path});
+  EXPECT_EQ(v.code, 0) << v.out;
+  // ...and the executor-written provenance drives `rtsp explain`, which
+  // attributes the forced deletion to the FAULT-LOSS stage.
+  const CliResult e = run({"explain", "--instance", inst_path, "--schedule",
+                           eff_path, "--provenance", prov_path});
+  ASSERT_EQ(e.code, 0) << e.err;
+  EXPECT_NE(e.out.find("FAULT-LOSS"), std::string::npos);
+  EXPECT_NE(e.out.find("PLAN"), std::string::npos);
+}
+
+TEST(Cli, ExecuteRejectsBadInputs) {
+  const std::string inst_path = write_fig3_instance();
+  const std::string sched_path = temp_path("cli_exec_bad.sched");
+  ASSERT_EQ(run({"solve", "--instance", inst_path, "--out", sched_path}).code, 0);
+
+  const CliResult missing =
+      run({"execute", "--instance", inst_path, "--schedule", sched_path,
+           "--faults", temp_path("nonexistent.json")});
+  EXPECT_EQ(missing.code, 1);
+  EXPECT_NE(missing.err.find("cannot open fault spec"), std::string::npos);
+
+  const std::string bad_faults = temp_path("cli_exec_bad.faults.json");
+  {
+    std::ofstream f(bad_faults);
+    f << R"({"version": 1, "transient_failure_rate": 7.0})";
+  }
+  const CliResult invalid =
+      run({"execute", "--instance", inst_path, "--schedule", sched_path,
+           "--faults", bad_faults});
+  EXPECT_EQ(invalid.code, 1);
+  EXPECT_NE(invalid.err.find("fault spec"), std::string::npos);
+
+  const CliResult bad_retry =
+      run({"execute", "--instance", inst_path, "--schedule", sched_path,
+           "--jitter", "3"});
+  EXPECT_EQ(bad_retry.code, 1);
+  EXPECT_NE(bad_retry.err.find("jitter"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace rtsp

@@ -1,0 +1,51 @@
+#include "core/residual.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/feasibility.hpp"
+#include "core/state.hpp"
+#include "test_helpers.hpp"
+
+namespace rtsp {
+namespace {
+
+using testutil::fig3_instance;
+
+TEST(Residual, CompleteWhenMidEqualsGoal) {
+  const Instance inst = fig3_instance();
+  const ResidualProblem r = make_residual(inst.model, inst.x_new, inst.x_new);
+  EXPECT_TRUE(r.complete());
+  EXPECT_TRUE(r.delta.outstanding().empty());
+  EXPECT_TRUE(r.delta.superfluous().empty());
+  EXPECT_EQ(r.lower_bound, 0);
+}
+
+TEST(Residual, SnapshotsPartialExecution) {
+  const Instance inst = fig3_instance();
+  // Apply a prefix by hand: S2 drops C, fetches A from S1; S1 drops A.
+  ExecutionState state(inst.model, inst.x_old);
+  state.apply(Action::remove(1, 2));
+  state.apply(Action::transfer(1, 0, 0));
+  state.apply(Action::remove(0, 0));
+  const ResidualProblem r =
+      make_residual(inst.model, state.placement(), inst.x_new);
+  EXPECT_FALSE(r.complete());
+  EXPECT_TRUE(r.x_mid == state.placement());
+  // (S2, A) is already in place, so it is no longer outstanding.
+  for (const Replica& rep : r.delta.outstanding()) {
+    EXPECT_FALSE(rep == (Replica{1, 0}));
+  }
+  // Free space reflects the mid-flight placement, not X_old.
+  ASSERT_EQ(r.free_space.size(), inst.model.num_servers());
+  for (ServerId i = 0; i < inst.model.num_servers(); ++i) {
+    EXPECT_EQ(r.free_space[i],
+              inst.model.capacity(i) -
+                  r.x_mid.used_storage(i, inst.model.objects()));
+  }
+  // The residual bound is admissible for the tail problem.
+  EXPECT_EQ(r.lower_bound,
+            cost_lower_bound(inst.model, r.x_mid, inst.x_new));
+}
+
+}  // namespace
+}  // namespace rtsp

@@ -85,5 +85,47 @@ TEST_F(ValidatorTest, DummyTransfersAreValidActions) {
   EXPECT_TRUE(Validator::is_valid(model_, x_old_, x_new_, h));
 }
 
+// Machine-readable failure codes: callers branch on issue.code instead of
+// string-matching the message; the message still carries the code token.
+TEST_F(ValidatorTest, IssuesCarryMachineReadableCodes) {
+  // Action-level failure: deleting a non-replica.
+  const Schedule bad_action({Action::remove(1, 0)});
+  const auto va = Validator::validate(model_, x_old_, x_new_, bad_action);
+  ASSERT_FALSE(va.valid);
+  EXPECT_EQ(va.issues[0].code, ValidationCode::ActionNotReplicator);
+  EXPECT_NE(va.issues[0].message.find("action_not_replicator"),
+            std::string::npos);
+
+  // Missing deletions: the run leaves replicas X_new does not want.
+  const Schedule extra({Action::transfer(1, 0, 0), Action::transfer(1, 1, 0)});
+  const auto ve = Validator::validate(model_, x_old_, x_new_, extra);
+  ASSERT_FALSE(ve.valid);
+  EXPECT_EQ(ve.issues[0].code, ValidationCode::FinalStateExtraReplica);
+
+  // Missing transfers: X_new wants replicas the run never produced.
+  const Schedule missing({Action::remove(0, 0), Action::remove(0, 1),
+                          Action::transfer(1, 0, kDummyServer)});
+  const auto vm = Validator::validate(model_, x_old_, x_new_, missing);
+  ASSERT_FALSE(vm.valid);
+  EXPECT_EQ(vm.issues[0].code, ValidationCode::FinalStateMissingReplica);
+  EXPECT_NE(vm.issues[0].message.find("final_state_missing_replica"),
+            std::string::npos);
+}
+
+TEST(ValidationCode, MapsEveryActionError) {
+  EXPECT_EQ(code_for(ActionError::SourceNotReplicator),
+            ValidationCode::ActionSourceNotReplicator);
+  EXPECT_EQ(code_for(ActionError::DestAlreadyReplicator),
+            ValidationCode::ActionDestAlreadyReplicator);
+  EXPECT_EQ(code_for(ActionError::InsufficientSpace),
+            ValidationCode::ActionInsufficientSpace);
+  EXPECT_EQ(code_for(ActionError::SelfTransfer),
+            ValidationCode::ActionSelfTransfer);
+  EXPECT_EQ(code_for(ActionError::NotReplicator),
+            ValidationCode::ActionNotReplicator);
+  EXPECT_STREQ(to_string(ValidationCode::ActionInsufficientSpace),
+               "action_insufficient_space");
+}
+
 }  // namespace
 }  // namespace rtsp

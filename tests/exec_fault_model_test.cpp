@@ -1,0 +1,149 @@
+#include "exec/fault_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "exec/retry_policy.hpp"
+#include "test_helpers.hpp"
+
+namespace rtsp {
+namespace {
+
+using exec::FaultOracle;
+using exec::FaultSpec;
+using exec::RetryPolicy;
+using exec::Tick;
+
+TEST(FaultSpec, DefaultIsFaultFree) {
+  const FaultSpec spec;
+  EXPECT_TRUE(spec.fault_free());
+  EXPECT_NO_THROW(exec::validate_spec(spec));
+}
+
+TEST(FaultSpec, ValidateRejectsBadRate) {
+  FaultSpec spec;
+  spec.transient_failure_rate = 1.5;
+  EXPECT_THROW(exec::validate_spec(spec), std::invalid_argument);
+  spec.transient_failure_rate = -0.1;
+  EXPECT_THROW(exec::validate_spec(spec), std::invalid_argument);
+}
+
+TEST(FaultSpec, ValidateRejectsBadWindowsAndFactors) {
+  FaultSpec spec;
+  spec.offline.push_back({0, 10, 5});  // end < begin
+  EXPECT_THROW(exec::validate_spec(spec), std::invalid_argument);
+  spec.offline.clear();
+  spec.degraded_links.push_back({0, 1, -2.0, 0, 10});  // negative factor
+  EXPECT_THROW(exec::validate_spec(spec), std::invalid_argument);
+  spec.degraded_links.clear();
+  spec.losses.push_back({0, 0, -5});  // negative time
+  EXPECT_THROW(exec::validate_spec(spec), std::invalid_argument);
+}
+
+TEST(FaultSpec, ModelValidationRejectsUnknownIds) {
+  const Instance inst = testutil::fig3_instance();  // 4 servers, 4 objects
+  FaultSpec spec;
+  spec.offline.push_back({9, 0, 10});
+  EXPECT_THROW(exec::validate_spec(inst.model, spec), std::invalid_argument);
+  spec.offline.clear();
+  spec.losses.push_back({0, 17, 0});
+  EXPECT_THROW(exec::validate_spec(inst.model, spec), std::invalid_argument);
+  spec.losses.clear();
+  // The dummy server is outside the fault model and not addressable.
+  spec.degraded_links.push_back({0, kDummyServer, 2.0, 0, 10});
+  EXPECT_THROW(exec::validate_spec(inst.model, spec), std::invalid_argument);
+}
+
+TEST(FaultOracle, OnlineAtSkipsChainedWindows) {
+  FaultSpec spec;
+  spec.offline.push_back({2, 10, 20});
+  spec.offline.push_back({2, 20, 30});  // touching window: must chain
+  spec.offline.push_back({2, 100, 110});
+  const FaultOracle oracle(spec);
+  EXPECT_EQ(oracle.online_at(2, 0), 0);
+  EXPECT_EQ(oracle.online_at(2, 10), 30);
+  EXPECT_EQ(oracle.online_at(2, 25), 30);
+  EXPECT_EQ(oracle.online_at(2, 30), 30);
+  EXPECT_EQ(oracle.online_at(2, 105), 110);
+  EXPECT_EQ(oracle.online_at(1, 15), 15);  // other servers unaffected
+  EXPECT_EQ(oracle.online_at(kDummyServer, 15), 15);  // dummy always online
+  EXPECT_EQ(oracle.horizon(), 110);
+}
+
+TEST(FaultOracle, LinkFactorMultipliesCoveringWindows) {
+  FaultSpec spec;
+  spec.degraded_links.push_back({1, 2, 2.0, 0, 100});
+  spec.degraded_links.push_back({1, 2, 3.0, 50, 100});
+  const FaultOracle oracle(spec);
+  EXPECT_DOUBLE_EQ(oracle.link_factor(1, 2, 10), 2.0);
+  EXPECT_DOUBLE_EQ(oracle.link_factor(1, 2, 60), 6.0);
+  EXPECT_DOUBLE_EQ(oracle.link_factor(1, 2, 100), 1.0);  // end exclusive
+  EXPECT_DOUBLE_EQ(oracle.link_factor(2, 1, 10), 1.0);   // directed
+  EXPECT_DOUBLE_EQ(oracle.link_factor(1, kDummyServer, 10), 1.0);
+}
+
+TEST(FaultOracle, LossesConsumedInTimeOrder) {
+  FaultSpec spec;
+  spec.losses.push_back({1, 1, 50});
+  spec.losses.push_back({0, 0, 10});
+  FaultOracle oracle(spec);
+  EXPECT_EQ(oracle.next_loss_due(5), nullptr);
+  const exec::ReplicaLoss* first = oracle.next_loss_due(60);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->server, 0u);  // earliest first despite spec order
+  oracle.pop_loss();
+  const exec::ReplicaLoss* second = oracle.next_loss_due(60);
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(second->server, 1u);
+  oracle.pop_loss();
+  EXPECT_EQ(oracle.next_loss_due(1000), nullptr);
+  EXPECT_EQ(oracle.horizon(), 50);
+}
+
+TEST(RetryPolicy, ValidateRejectsBadFields) {
+  RetryPolicy p;
+  p.max_retries = -1;
+  EXPECT_THROW(exec::validate_policy(p), std::invalid_argument);
+  p = RetryPolicy{};
+  p.base_backoff = -1;
+  EXPECT_THROW(exec::validate_policy(p), std::invalid_argument);
+  p = RetryPolicy{};
+  p.multiplier = 0.5;
+  EXPECT_THROW(exec::validate_policy(p), std::invalid_argument);
+  p = RetryPolicy{};
+  p.jitter = 1.5;
+  EXPECT_THROW(exec::validate_policy(p), std::invalid_argument);
+}
+
+TEST(RetryPolicy, BackoffGrowsGeometricallyAndClamps) {
+  RetryPolicy p;
+  p.base_backoff = 10;
+  p.multiplier = 2.0;
+  p.max_backoff = 35;
+  p.jitter = 0.0;  // deterministic waits
+  Rng rng(7);
+  EXPECT_EQ(backoff_wait(p, 1, rng), 10);
+  EXPECT_EQ(backoff_wait(p, 2, rng), 20);
+  EXPECT_EQ(backoff_wait(p, 3, rng), 35);  // clamped from 40
+  EXPECT_EQ(backoff_wait(p, 10, rng), 35);
+}
+
+TEST(RetryPolicy, JitterShrinksWaitWithinBoundsDeterministically) {
+  RetryPolicy p;
+  p.base_backoff = 100;
+  p.multiplier = 1.0;
+  p.max_backoff = 100;
+  p.jitter = 0.5;
+  Rng a(42);
+  Rng b(42);
+  for (int n = 1; n <= 20; ++n) {
+    const Tick w = backoff_wait(p, n, a);
+    EXPECT_GE(w, 50);
+    EXPECT_LE(w, 100);
+    EXPECT_EQ(w, backoff_wait(p, n, b));  // same seed, same waits
+  }
+}
+
+}  // namespace
+}  // namespace rtsp

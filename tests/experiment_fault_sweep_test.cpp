@@ -1,0 +1,65 @@
+#include "experiment/fault_sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+namespace rtsp {
+namespace {
+
+FaultSweepConfig small_config() {
+  FaultSweepConfig cfg;
+  cfg.rates = {0.0, 0.3};
+  cfg.trials = 2;
+  cfg.instance.servers = 6;
+  cfg.instance.objects = 12;
+  cfg.instance.max_replicas = 2;
+  return cfg;
+}
+
+TEST(FaultSweep, ProducesOneCellPerRate) {
+  const auto cells = run_fault_sweep(small_config());
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_DOUBLE_EQ(cells[0].rate, 0.0);
+  EXPECT_DOUBLE_EQ(cells[1].rate, 0.3);
+  for (const FaultSweepCell& c : cells) {
+    EXPECT_EQ(c.cost_inflation.count(), 2u);
+  }
+}
+
+TEST(FaultSweep, ZeroRateExecutesPlansExactly) {
+  const auto cells = run_fault_sweep(small_config());
+  // rate 0, no losses: every execution reproduces its plan, inflation 1.0.
+  EXPECT_DOUBLE_EQ(cells[0].cost_inflation.mean(), 1.0);
+  EXPECT_DOUBLE_EQ(cells[0].retries.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(cells[0].replans.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(cells[0].dummy_inflation.mean(), 0.0);
+}
+
+TEST(FaultSweep, DeterministicInBaseSeed) {
+  const auto a = run_fault_sweep(small_config());
+  const auto b = run_fault_sweep(small_config());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].cost_inflation.mean(), b[i].cost_inflation.mean());
+    EXPECT_DOUBLE_EQ(a[i].attempts.mean(), b[i].attempts.mean());
+  }
+}
+
+TEST(FaultSweep, LossesSurfaceInCsv) {
+  FaultSweepConfig cfg = small_config();
+  cfg.rates = {0.1};
+  cfg.loss_count = 2;
+  const auto cells = run_fault_sweep(cfg);
+  std::ostringstream csv;
+  write_fault_sweep_csv(csv, cells);
+  const std::string text = csv.str();
+  EXPECT_NE(text.find("rate,trials,cost_inflation_mean"), std::string::npos);
+  EXPECT_NE(text.find("loss_deletions_mean"), std::string::npos);
+  // header + one data row
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
+}
+
+}  // namespace
+}  // namespace rtsp

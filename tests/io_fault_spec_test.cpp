@@ -1,0 +1,74 @@
+#include "io/fault_spec_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace rtsp {
+namespace {
+
+using exec::FaultSpec;
+
+FaultSpec sample_spec() {
+  FaultSpec spec;
+  spec.seed = 42;
+  spec.transient_failure_rate = 0.25;
+  spec.offline.push_back({3, 0, 500});
+  spec.offline.push_back({1, 100, 200});
+  spec.degraded_links.push_back({1, 2, 2.5, 0, 1000});
+  spec.losses.push_back({0, 5, 250});
+  return spec;
+}
+
+TEST(FaultSpecIo, RoundTripsThroughJson) {
+  const FaultSpec spec = sample_spec();
+  const FaultSpec back = fault_spec_from_json(fault_spec_to_json(spec));
+  EXPECT_EQ(back, spec);
+}
+
+TEST(FaultSpecIo, RoundTripsDefaultSpec) {
+  const FaultSpec back = fault_spec_from_json(fault_spec_to_json(FaultSpec{}));
+  EXPECT_EQ(back, FaultSpec{});
+  EXPECT_TRUE(back.fault_free());
+}
+
+TEST(FaultSpecIo, StreamRoundTrip) {
+  std::stringstream buf;
+  write_fault_spec(buf, sample_spec());
+  EXPECT_EQ(read_fault_spec(buf), sample_spec());
+}
+
+TEST(FaultSpecIo, OmittedListsDefaultEmpty) {
+  const FaultSpec spec = fault_spec_from_json(R"({"version": 1, "seed": 7})");
+  EXPECT_EQ(spec.seed, 7u);
+  EXPECT_TRUE(spec.fault_free());
+}
+
+TEST(FaultSpecIo, RejectsUnsupportedVersion) {
+  EXPECT_THROW(fault_spec_from_json(R"({"version": 99})"), std::runtime_error);
+}
+
+TEST(FaultSpecIo, RejectsMalformedDocuments) {
+  EXPECT_THROW(fault_spec_from_json(""), std::runtime_error);
+  EXPECT_THROW(fault_spec_from_json("{"), std::runtime_error);
+  EXPECT_THROW(fault_spec_from_json(R"({"seed": 1})"), std::runtime_error);
+  EXPECT_THROW(fault_spec_from_json(
+                   R"({"version": 1, "offline": [{"server": 0}]})"),
+               std::runtime_error);
+}
+
+TEST(FaultSpecIo, RejectsStructurallyInvalidSpecs) {
+  // Parses fine but fails exec::validate_spec (rate out of range).
+  EXPECT_THROW(
+      fault_spec_from_json(R"({"version": 1, "transient_failure_rate": 2.0})"),
+      std::invalid_argument);
+  // Offline window with end < begin.
+  EXPECT_THROW(fault_spec_from_json(
+                   R"({"version": 1,
+                       "offline": [{"server": 0, "begin": 10, "end": 5}]})"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rtsp

@@ -61,5 +61,70 @@ TEST(InstanceIo, RejectsOutOfRangeIds) {
   EXPECT_THROW(instance_from_text(text), std::runtime_error);
 }
 
+TEST(InstanceIo, RejectsEmptyInput) {
+  EXPECT_THROW(instance_from_text(""), std::runtime_error);
+  EXPECT_THROW(instance_from_text("\n  \n"), std::runtime_error);
+}
+
+// Corrupt header fields must produce clean parse errors, never a bad_alloc
+// or an uncaught std::invalid_argument from the numeric conversion.
+TEST(InstanceIo, RejectsCorruptHeaderCounts) {
+  auto with_servers_line = [](const std::string& line) {
+    std::string text = instance_to_text(testutil::fig1_instance());
+    const auto pos = text.find("servers 4");
+    return text.replace(pos, 9, line);
+  };
+  EXPECT_THROW(instance_from_text(with_servers_line("servers abc")),
+               std::runtime_error);
+  EXPECT_THROW(instance_from_text(with_servers_line("servers")),
+               std::runtime_error);
+  EXPECT_THROW(instance_from_text(with_servers_line("servers 0")),
+               std::runtime_error);
+  EXPECT_THROW(instance_from_text(with_servers_line("servers 4x")),
+               std::runtime_error);
+  EXPECT_THROW(
+      instance_from_text(with_servers_line("servers 99999999999999")),
+      std::runtime_error);
+}
+
+TEST(InstanceIo, RejectsBadDummyFactor) {
+  auto with_factor = [](const std::string& value) {
+    std::string text = instance_to_text(testutil::fig1_instance());
+    const auto pos = text.find("dummy_factor 1");
+    return text.replace(pos, 14, "dummy_factor " + value);
+  };
+  EXPECT_THROW(instance_from_text(with_factor("banana")), std::runtime_error);
+  EXPECT_THROW(instance_from_text(with_factor("-2")), std::runtime_error);
+  EXPECT_THROW(instance_from_text(with_factor("nan")), std::runtime_error);
+  EXPECT_THROW(instance_from_text(with_factor("2.0junk")), std::runtime_error);
+}
+
+TEST(InstanceIo, RejectsBadValueRows) {
+  auto with_caps = [](const std::string& line) {
+    std::string text = instance_to_text(testutil::fig1_instance());
+    const auto pos = text.find("capacities 1 1 1 1");
+    return text.replace(pos, 18, line);
+  };
+  EXPECT_THROW(instance_from_text(with_caps("capacities 1 1 1")),
+               std::runtime_error);  // too few
+  EXPECT_THROW(instance_from_text(with_caps("capacities 1 1 1 -1")),
+               std::runtime_error);  // negative
+  EXPECT_THROW(instance_from_text(with_caps("capacities 1 1 1 1 9")),
+               std::runtime_error);  // trailing garbage
+  EXPECT_THROW(instance_from_text(with_caps("capacities 1 1 x 1")),
+               std::runtime_error);  // non-numeric
+}
+
+TEST(InstanceIo, ErrorsNameTheProblem) {
+  try {
+    instance_from_text("rtsp-instance v1\nservers zebra\n");
+    FAIL() << "expected a parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("instance parse error"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("zebra"), std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace rtsp

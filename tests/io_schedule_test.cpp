@@ -48,5 +48,31 @@ TEST(ScheduleIo, MalformedInputThrowsWithLineNumber) {
   EXPECT_THROW(schedule_from_text("T -1 2 0\n"), std::runtime_error);
 }
 
+// Hardening regressions: ids that would silently truncate on the uint32
+// narrowing cast, partially-numeric sources, and trailing garbage must all
+// fail loudly instead of producing a wrong schedule.
+TEST(ScheduleIo, RejectsIdsThatWouldTruncate) {
+  EXPECT_THROW(schedule_from_text("T 4294967296 0 1\n"), std::runtime_error);
+  EXPECT_THROW(schedule_from_text("T 0 4294967296 1\n"), std::runtime_error);
+  EXPECT_THROW(schedule_from_text("T 0 1 4294967296\n"), std::runtime_error);
+  EXPECT_THROW(schedule_from_text("D 99999999999 0\n"), std::runtime_error);
+  // kDummyServer itself is reserved; spell it "dummy".
+  EXPECT_THROW(schedule_from_text("T 0 1 4294967295\n"), std::runtime_error);
+  EXPECT_EQ(schedule_from_text("T 0 1 dummy\n")[0],
+            Action::transfer(0, 1, kDummyServer));
+}
+
+TEST(ScheduleIo, RejectsPartiallyNumericSource) {
+  EXPECT_THROW(schedule_from_text("T 0 1 2x\n"), std::runtime_error);
+  EXPECT_THROW(schedule_from_text("T 0 1 -2\n"), std::runtime_error);
+}
+
+TEST(ScheduleIo, RejectsTrailingGarbage) {
+  EXPECT_THROW(schedule_from_text("T 0 1 2 extra\n"), std::runtime_error);
+  EXPECT_THROW(schedule_from_text("D 0 1 2\n"), std::runtime_error);
+  // Comments after the fields are still fine.
+  EXPECT_EQ(schedule_from_text("D 0 1 # drop it\n").size(), 1u);
+}
+
 }  // namespace
 }  // namespace rtsp

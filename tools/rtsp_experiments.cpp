@@ -8,7 +8,9 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 
+#include "experiment/fault_sweep.hpp"
 #include "experiment/figures.hpp"
 #include "experiment/report.hpp"
 #include "io/json_export.hpp"
@@ -76,6 +78,32 @@ int main(int argc, char** argv) {
       sweep_to_json(json, result, fig.x_label);
     }
   }
+  // Execution-layer companion sweep: cost/dummy inflation vs transient fault
+  // rate, with and without replica losses (see DESIGN.md §11).
+  for (const std::size_t losses : {std::size_t{0}, std::size_t{2}}) {
+    std::cout << "running fault sweep (losses=" << losses << ") ..."
+              << std::flush;
+    Timer timer;
+    FaultSweepConfig fault_cfg;
+    fault_cfg.trials = cfg.trials;
+    fault_cfg.base_seed = cfg.base_seed;
+    fault_cfg.loss_count = losses;
+    const std::vector<FaultSweepCell> cells = [&] {
+      OBS_SPAN("figure.faultsweep");
+      return run_fault_sweep(fault_cfg);
+    }();
+    std::cout << " " << static_cast<int>(timer.seconds()) << "s\n";
+
+    std::ostringstream csv_text;
+    write_fault_sweep_csv(csv_text, cells);
+    report << "## Fault sweep — execution cost inflation vs transient rate ("
+           << losses << " replica losses)\n\n```\n"
+           << csv_text.str() << "```\n\n";
+    std::ofstream csv(out_dir + "/faultsweep_losses" + std::to_string(losses) +
+                      ".csv");
+    csv << csv_text.str();
+  }
+
   report << "Total wall time: " << static_cast<int>(total.seconds()) << "s\n";
   std::cout << "report written to " << out_dir << "/report.md\n";
   obs_session.finish(std::cout);
