@@ -3,6 +3,7 @@
 // makespan simulator.
 #include <benchmark/benchmark.h>
 
+#include "core/replication.hpp"
 #include "extension/makespan.hpp"
 #include "heuristics/registry.hpp"
 #include "topology/cost_matrix.hpp"
@@ -70,6 +71,49 @@ void BM_NearestReplicator(benchmark::State& state) {
   }
 }
 
+// Sparse vs dense replication stores: mutation and iteration throughput on
+// the same random replica pattern (range(0) = 0 dense, 1 sparse).
+void BM_ReplicationStoreMutation(benchmark::State& state) {
+  const auto store = state.range(0) == 0 ? ReplicationMatrix::Store::kDense
+                                         : ReplicationMatrix::Store::kSparse;
+  constexpr std::size_t kServers = 200;
+  constexpr std::size_t kObjects = 10'000;
+  Rng rng(5);
+  ReplicationMatrix x(kServers, kObjects, store);
+  for (auto _ : state) {
+    const ServerId i = static_cast<ServerId>(rng.below(kServers));
+    const ObjectId k = static_cast<ObjectId>(rng.below(kObjects));
+    if (rng.below(3) != 0) {
+      x.set(i, k);
+    } else {
+      x.clear(i, k);
+    }
+    benchmark::DoNotOptimize(x.total_replicas());
+  }
+}
+
+void BM_ReplicationStoreIteration(benchmark::State& state) {
+  const auto store = state.range(0) == 0 ? ReplicationMatrix::Store::kDense
+                                         : ReplicationMatrix::Store::kSparse;
+  constexpr std::size_t kServers = 200;
+  constexpr std::size_t kObjects = 10'000;
+  Rng rng(5);
+  ReplicationMatrix x(kServers, kObjects, store);
+  for (ObjectId k = 0; k < kObjects; ++k) {
+    for (int r = 0; r < 3; ++r) {
+      x.set(static_cast<ServerId>(rng.below(kServers)), k);
+    }
+  }
+  x.prepare_shared_reads();
+  ObjectId k = 0;
+  for (auto _ : state) {
+    std::size_t sum = 0;
+    x.for_each_replicator(k, [&](ServerId i) { sum += i; });
+    benchmark::DoNotOptimize(sum);
+    k = (k + 1) % kObjects;
+  }
+}
+
 void BM_MakespanSimulation(benchmark::State& state) {
   PaperSetup setup;
   setup.objects = static_cast<std::size_t>(state.range(0));
@@ -93,6 +137,8 @@ BENCHMARK(BM_BalancedPlacement)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ZeroOverlapPair)->Arg(2)->Arg(5)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_NearestReplicator);
+BENCHMARK(BM_ReplicationStoreMutation)->Arg(0)->Arg(1);
+BENCHMARK(BM_ReplicationStoreIteration)->Arg(0)->Arg(1);
 BENCHMARK(BM_MakespanSimulation)->Arg(250)->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

@@ -15,15 +15,19 @@
 
 #include <cstring>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/cost_model.hpp"
 #include "core/validator.hpp"
 #include "heuristics/registry.hpp"
+#include "io/instance_binary_io.hpp"
+#include "io/instance_io.hpp"
 #include "obs/export.hpp"
 #include "obs/obs.hpp"
 #include "workload/paper_setup.hpp"
+#include "workload/scale_instance.hpp"
 
 namespace {
 
@@ -67,6 +71,8 @@ void BM_Builder_AR(benchmark::State& state) { run_pipeline_bench(state, "AR"); }
 void BM_Builder_GOLCF(benchmark::State& state) { run_pipeline_bench(state, "GOLCF"); }
 void BM_Builder_RDF(benchmark::State& state) { run_pipeline_bench(state, "RDF"); }
 void BM_Builder_GSDF(benchmark::State& state) { run_pipeline_bench(state, "GSDF"); }
+void BM_Builder_RDFP(benchmark::State& state) { run_pipeline_bench(state, "RDFP"); }
+void BM_Builder_GSDFP(benchmark::State& state) { run_pipeline_bench(state, "GSDFP"); }
 void BM_Chain_H1H2(benchmark::State& state) {
   run_pipeline_bench(state, "GOLCF+H1+H2");
 }
@@ -98,6 +104,63 @@ void BM_ScheduleCost(benchmark::State& state) {
   }
 }
 
+// --- Scale tier: large instances through the sharded builders and the
+// binary codec (the cases the ISSUE's acceptance criteria track).
+
+Instance make_scale(std::size_t servers, std::size_t objects) {
+  ScaleInstanceSpec spec;
+  spec.servers = servers;
+  spec.objects = objects;
+  spec.replicas_per_object = 2;
+  Rng rng(5);
+  return make_scale_instance(spec, rng);
+}
+
+void run_scale_builder_bench(benchmark::State& state, const std::string& spec) {
+  const std::size_t objects = static_cast<std::size_t>(state.range(0));
+  const Instance inst = make_scale(200, objects);
+  const Pipeline pipeline = make_pipeline(spec);
+  std::uint64_t trial = 0;
+  for (auto _ : state) {
+    Rng rng = Rng::for_trial(9, trial++);
+    const Schedule h = pipeline.run(inst.model, inst.x_old, inst.x_new, rng);
+    benchmark::DoNotOptimize(h.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(objects));
+}
+
+void BM_Scale_RDF(benchmark::State& state) { run_scale_builder_bench(state, "RDF"); }
+void BM_Scale_RDFP(benchmark::State& state) { run_scale_builder_bench(state, "RDFP"); }
+void BM_Scale_GSDFP(benchmark::State& state) {
+  run_scale_builder_bench(state, "GSDFP");
+}
+
+void BM_Scale_LoadBinary(benchmark::State& state) {
+  const Instance inst = make_scale(200, 50'000);
+  std::ostringstream os(std::ios::binary);
+  write_instance_binary(os, inst);
+  const std::string img = os.str();
+  for (auto _ : state) {
+    const Instance back = instance_from_binary(
+        reinterpret_cast<const unsigned char*>(img.data()), img.size());
+    benchmark::DoNotOptimize(back.model.num_objects());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(img.size()));
+}
+
+void BM_Scale_LoadText(benchmark::State& state) {
+  const Instance inst = make_scale(200, 50'000);
+  const std::string text = instance_to_text(inst);
+  for (auto _ : state) {
+    const Instance back = instance_from_text(text);
+    benchmark::DoNotOptimize(back.model.num_objects());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text.size()));
+}
+
 }  // namespace
 
 BENCHMARK(BM_Builder_AR)->Args({250, 2})->Args({1000, 2})->Unit(benchmark::kMillisecond);
@@ -108,6 +171,8 @@ BENCHMARK(BM_Builder_GOLCF)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Builder_RDF)->Args({1000, 2})->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Builder_GSDF)->Args({1000, 2})->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Builder_RDFP)->Args({1000, 2})->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Builder_GSDFP)->Args({1000, 2})->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Chain_H1H2)->Args({250, 1})->Args({250, 2})->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Chain_Full)
     ->Args({250, 2})
@@ -115,6 +180,11 @@ BENCHMARK(BM_Chain_Full)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Validator)->Arg(250)->Arg(1000)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_ScheduleCost)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Scale_RDF)->Arg(50000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Scale_RDFP)->Arg(50000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Scale_GSDFP)->Arg(50000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Scale_LoadBinary)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Scale_LoadText)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   // Expand --json PATH and strip the obs flags before google-benchmark

@@ -1,31 +1,54 @@
 #!/usr/bin/env sh
 # Tier-1 verification: configure, build, run the test suite, then prove the
 # tree still builds and passes with the obs instrumentation (metrics, trace,
-# provenance) compiled out via the obs_off_smoke target.
+# provenance) compiled out via the obs_off_smoke target. Finishes with the
+# scale_smoke guard (M=500, N=100k generate -> binary round-trip -> serial
+# vs sharded solve -> validate under a time budget).
 #
-# Usage: scripts/check.sh [--sanitize] [BUILD_DIR]   (default: build)
+# Usage: scripts/check.sh [--sanitize | --bench] [BUILD_DIR]   (default: build)
 #
 # --sanitize runs the same configure/build/test cycle in a separate build
 # directory (<BUILD_DIR>_asan) with RTSP_SANITIZE=ON (ASan + UBSan,
-# no-recover), instead of the regular cycle.
+# no-recover), instead of the regular cycle; scale_smoke runs there too with
+# a roomier budget.
+#
+# --bench rebuilds perf_heuristics + bench_compare, reruns the benchmarks and
+# compares against the committed BENCH_perf_heuristics.json baseline, failing
+# (exit 2) on regressions past the bench_compare threshold.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-SANITIZE=0
+MODE=check
 if [ "${1:-}" = "--sanitize" ]; then
-  SANITIZE=1
+  MODE=sanitize
+  shift
+elif [ "${1:-}" = "--bench" ]; then
+  MODE=bench
   shift
 fi
 BUILD_DIR="${1:-build}"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
-if [ "$SANITIZE" = "1" ]; then
+if [ "$MODE" = "sanitize" ]; then
   SAN_DIR="${BUILD_DIR}_asan"
   cmake -B "$SAN_DIR" -S . -DRTSP_SANITIZE=ON
   cmake --build "$SAN_DIR" -j "$JOBS"
   ctest --test-dir "$SAN_DIR" --output-on-failure -j "$JOBS"
+  "$SAN_DIR"/tools/scale_smoke 600
   echo "check.sh: sanitizer build green"
+  exit 0
+fi
+
+if [ "$MODE" = "bench" ]; then
+  cmake -B "$BUILD_DIR" -S .
+  cmake --build "$BUILD_DIR" -j "$JOBS" -t perf_heuristics bench_compare
+  FRESH="$BUILD_DIR/bench_fresh.json"
+  "$BUILD_DIR"/bench/perf_heuristics --json "$FRESH"
+  # 10% threshold: the sub-millisecond builder benches jitter ~5-8% run to
+  # run on shared hardware; real regressions from code changes clear 10%.
+  "$BUILD_DIR"/tools/bench_compare BENCH_perf_heuristics.json "$FRESH" --fail --threshold 10
+  echo "check.sh: bench comparison green"
   exit 0
 fi
 
@@ -35,5 +58,8 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
 # RTSP_OBS=OFF must still build (provenance hooks fold away) and pass tests.
 cmake --build "$BUILD_DIR" -t obs_off_smoke
+
+# The scale tier must stay solvable within budget.
+"$BUILD_DIR"/tools/scale_smoke 120
 
 echo "check.sh: all green"

@@ -18,6 +18,7 @@
 #include "heuristics/registry.hpp"
 #include "io/dot_export.hpp"
 #include "io/fault_spec_io.hpp"
+#include "io/instance_binary_io.hpp"
 #include "io/instance_io.hpp"
 #include "io/json_export.hpp"
 #include "io/provenance_io.hpp"
@@ -31,6 +32,7 @@
 #include "support/string_util.hpp"
 #include "support/table.hpp"
 #include "workload/paper_setup.hpp"
+#include "workload/scale_instance.hpp"
 #include "workload/scenario.hpp"
 
 namespace rtsp::cli {
@@ -45,10 +47,14 @@ struct CliError {
 Instance load_instance(const CliOptions& opt) {
   const std::string path = opt.get_string("instance", "", "");
   if (path.empty()) throw CliError{"missing --instance <file>"};
-  std::ifstream in(path);
-  if (!in) throw CliError{"cannot open instance file '" + path + "'"};
+  {
+    std::ifstream in(path);
+    if (!in) throw CliError{"cannot open instance file '" + path + "'"};
+  }
   try {
-    return read_instance(in);
+    // Sniffs the binary magic and dispatches; text instances keep working
+    // unchanged, binary ones are memory-mapped.
+    return read_instance_any(path);
   } catch (const std::exception& e) {
     throw CliError{std::string("failed to parse instance: ") + e.what()};
   }
@@ -132,17 +138,55 @@ int cmd_generate(const CliOptions& opt, std::ostream& out) {
       spec.capacity_slack = opt.get_double("slack", "", 0.0);
       return random_instance(spec, rng);
     }
+    if (kind == "scale") {
+      ScaleInstanceSpec spec;
+      spec.servers = setup.servers;
+      spec.objects = setup.objects;
+      spec.replicas_per_object = replicas;
+      spec.capacity_slack = opt.get_double("slack", "", 1.0);
+      return make_scale_instance(spec, rng);
+    }
     throw CliError{"unknown --kind '" + kind +
-                   "' (paper-equal | paper-uniform | paper-extra | random)"};
+                   "' (paper-equal | paper-uniform | paper-extra | random | scale)"};
   }();
 
+  if (opt.get_bool("binary", "", false)) {
+    const std::string out_path = opt.get_string("out", "", "");
+    if (out_path.empty()) throw CliError{"--binary requires --out FILE"};
+    try {
+      write_instance_binary_file(out_path, inst);
+    } catch (const std::exception& e) {
+      throw CliError{e.what()};
+    }
+    out << "binary instance written to " << out_path << '\n';
+    return 0;
+  }
   write_text_file(opt.get_string("out", "", ""), instance_to_text(inst), out,
                   "instance");
   return 0;
 }
 
 int cmd_solve(const CliOptions& opt, std::ostream& out) {
-  const Instance inst = load_instance(opt);
+  Instance inst = load_instance(opt);
+  // --store forces the replication backend (the readers pick automatically by
+  // density); used to measure dense vs sparse memory at the same scale.
+  if (const std::string store_name = opt.get_string("store", "", "auto");
+      store_name != "auto") {
+    if (store_name != "dense" && store_name != "sparse") {
+      throw CliError{"unknown --store '" + store_name + "' (auto | dense | sparse)"};
+    }
+    const auto store = store_name == "dense" ? ReplicationMatrix::Store::kDense
+                                             : ReplicationMatrix::Store::kSparse;
+    const auto rebuild = [&](const ReplicationMatrix& x) {
+      ReplicationMatrix forced(x.num_servers(), x.num_objects(), store);
+      for (ObjectId k = 0; k < x.num_objects(); ++k) {
+        x.for_each_replicator(k, [&](ServerId i) { forced.set(i, k); });
+      }
+      return forced;
+    };
+    inst.x_old = rebuild(inst.x_old);
+    inst.x_new = rebuild(inst.x_new);
+  }
   const std::string algo = opt.get_string("algo", "", "GOLCF+H1+H2+OP1");
   Rng rng(static_cast<std::uint64_t>(opt.get_int("seed", "RTSP_SEED", 1)));
   Pipeline pipeline = [&] {
@@ -182,6 +226,9 @@ int cmd_solve(const CliOptions& opt, std::ostream& out) {
   out << "dummy transfers: " << h.dummy_transfer_count() << '\n';
   out << "lower bound:     "
       << cost_lower_bound(inst.model, inst.x_old, inst.x_new) << '\n';
+  if (const std::int64_t rss_kb = obs::record_peak_rss(); rss_kb > 0) {
+    out << "peak rss:        " << rss_kb << " KiB\n";
+  }
   const std::string out_path = opt.get_string("out", "", "");
   if (!out_path.empty()) {
     write_text_file(out_path, schedule_to_text(h), out, "schedule");
@@ -848,11 +895,11 @@ void print_usage(std::ostream& out) {
          "usage: rtsp <command> [options]\n"
          "\n"
          "commands:\n"
-         "  generate  --kind paper-equal|paper-uniform|paper-extra|random\n"
+         "  generate  --kind paper-equal|paper-uniform|paper-extra|random|scale\n"
          "            [--servers N] [--objects N] [--replicas R] [--extra E]\n"
-         "            [--slack F] [--seed S] [--out FILE]\n"
+         "            [--slack F] [--seed S] [--out FILE] [--binary]\n"
          "  solve     --instance FILE [--algo SPEC] [--seed S] [--out FILE] [--json]\n"
-         "            [--provenance-out FILE]\n"
+         "            [--provenance-out FILE] [--store auto|dense|sparse]\n"
          "  exact     --instance FILE [--max-nodes N] [--staging BOOL] [--out FILE]\n"
          "  validate  --instance FILE --schedule FILE [--all]\n"
          "  stats     --instance FILE --schedule FILE\n"
@@ -873,8 +920,12 @@ void print_usage(std::ostream& out) {
          "            [--provenance-out FILE]\n"
          "  help\n"
          "\n"
-         "algorithm SPECs combine one builder (AR, GOLCF, RDF, GSDF) with\n"
-         "improvers (H1, H2, OP1, SA, H1H2FIX), e.g. GOLCF+H1+H2+OP1.\n"
+         "algorithm SPECs combine one builder (AR, GOLCF, RDF, GSDF, RDFP, GSDFP)\n"
+         "with improvers (H1, H2, OP1, SA, H1H2FIX), e.g. GOLCF+H1+H2+OP1.\n"
+         "RDFP/GSDFP are sharded-parallel builder passes (bit-identical to\n"
+         "their serial forms). Instances may be text (rtsp-instance v1) or\n"
+         "binary (RTSPBIN1, mmap-loaded); `generate --binary` writes the\n"
+         "latter, `--kind scale` generates million-object instances fast.\n"
          "\n"
          "observability (any command):\n"
          "  --obs               print metrics + span summary after the run\n"

@@ -1,5 +1,7 @@
 #include "core/delta.hpp"
 
+#include <algorithm>
+
 #include "support/assert.hpp"
 
 namespace rtsp {
@@ -9,29 +11,34 @@ PlacementDelta::PlacementDelta(const ReplicationMatrix& x_old,
   RTSP_REQUIRE(x_old.num_servers() == x_new.num_servers());
   RTSP_REQUIRE(x_old.num_objects() == x_new.num_objects());
   for (ServerId i = 0; i < x_old.num_servers(); ++i) {
-    for (ObjectId k : x_new.objects_on(i)) {
+    x_new.for_each_object(i, [&](ObjectId k) {
       if (!x_old.test(i, k)) outstanding_.push_back({i, k});
-    }
-    for (ObjectId k : x_old.objects_on(i)) {
+    });
+    x_old.for_each_object(i, [&](ObjectId k) {
       if (!x_new.test(i, k)) superfluous_.push_back({i, k});
-    }
+    });
   }
 }
 
+namespace {
+// Both lists are (server, object)-sorted, so a server's replicas form a
+// contiguous run findable by binary search instead of a full scan.
+std::vector<Replica> server_slice(const std::vector<Replica>& replicas, ServerId i) {
+  const auto lo = std::lower_bound(
+      replicas.begin(), replicas.end(), i,
+      [](const Replica& r, ServerId s) { return r.server < s; });
+  auto hi = lo;
+  while (hi != replicas.end() && hi->server == i) ++hi;
+  return std::vector<Replica>(lo, hi);
+}
+}  // namespace
+
 std::vector<Replica> PlacementDelta::outstanding_on(ServerId i) const {
-  std::vector<Replica> out;
-  for (const Replica& r : outstanding_) {
-    if (r.server == i) out.push_back(r);
-  }
-  return out;
+  return server_slice(outstanding_, i);
 }
 
 std::vector<Replica> PlacementDelta::superfluous_on(ServerId i) const {
-  std::vector<Replica> out;
-  for (const Replica& r : superfluous_) {
-    if (r.server == i) out.push_back(r);
-  }
-  return out;
+  return server_slice(superfluous_, i);
 }
 
 namespace {

@@ -20,14 +20,16 @@ Cost cost_lower_bound(const SystemModel& model, const ReplicationMatrix& x_old,
   Cost total = 0;
   for (const Replica& r : delta.outstanding()) {
     // Any schedule fetches (i, k) from a server that holds k at that moment:
-    // an X_old replicator, an earlier-filled X_new destination, or the dummy.
+    // an X_old replicator, an earlier-filled X_new destination, or the
+    // dummy. Scanning the two replica sets instead of every server keeps
+    // this O(r) per outstanding replica on either backing store.
     LinkCost best = model.dummy_link_cost();
-    for (ServerId j = 0; j < model.num_servers(); ++j) {
-      if (j == r.server) continue;
-      if (x_old.test(j, r.object) || x_new.test(j, r.object)) {
-        best = std::min(best, model.costs().at(r.server, j));
-      }
-    }
+    const auto consider = [&](ServerId j) {
+      if (j == r.server) return;
+      best = std::min(best, model.costs().at(r.server, j));
+    };
+    x_old.for_each_replicator(r.object, consider);
+    x_new.for_each_replicator(r.object, consider);
     total += model.object_size(r.object) * best;
   }
   return total;

@@ -1,0 +1,42 @@
+// ReplicaView: a non-owning, read-only view of a replication scheme.
+//
+// Algorithms that only *read* a placement (validator diffs, transfer-graph
+// construction, statistics) take a ReplicaView so they are written once and
+// run unchanged against either backing store of ReplicationMatrix — the
+// view forwards to the store-agnostic iteration API and never touches the
+// packed words directly. Copyable, trivially cheap (one pointer).
+#pragma once
+
+#include "core/replication.hpp"
+
+namespace rtsp {
+
+class ReplicaView {
+ public:
+  ReplicaView(const ReplicationMatrix& x) : x_(&x) {}  // NOLINT(implicit)
+
+  std::size_t num_servers() const { return x_->num_servers(); }
+  std::size_t num_objects() const { return x_->num_objects(); }
+
+  bool test(ServerId i, ObjectId k) const { return x_->test(i, k); }
+  std::size_t replica_count(ObjectId k) const { return x_->replica_count(k); }
+  std::size_t count_on(ServerId i) const { return x_->count_on(i); }
+  std::size_t total_replicas() const { return x_->total_replicas(); }
+
+  template <typename Fn>
+  void for_each_object(ServerId i, Fn&& fn) const {
+    x_->for_each_object(i, std::forward<Fn>(fn));
+  }
+
+  template <typename Fn>
+  void for_each_replicator(ObjectId k, Fn&& fn) const {
+    x_->for_each_replicator(k, std::forward<Fn>(fn));
+  }
+
+  const ReplicationMatrix& matrix() const { return *x_; }
+
+ private:
+  const ReplicationMatrix* x_;
+};
+
+}  // namespace rtsp

@@ -4,11 +4,20 @@
 
 namespace rtsp {
 
-ReplicationMatrix::ReplicationMatrix(std::size_t servers, std::size_t objects)
-    : servers_(servers),
-      objects_(objects),
-      words_per_row_((objects + 63) / 64),
-      words_(servers * words_per_row_, 0) {}
+ReplicationMatrix::ReplicationMatrix(std::size_t servers, std::size_t objects,
+                                     Store store)
+    : servers_(servers), objects_(objects) {
+  bool sparse = store == Store::kSparse;
+  if (store == Store::kAuto && servers > 0) {
+    sparse = objects > kDenseBitLimit / servers;
+  }
+  if (sparse) {
+    sparse_.emplace(servers, objects);
+  } else {
+    words_per_row_ = (objects + 63) / 64;
+    words_.assign(servers * words_per_row_, 0);
+  }
+}
 
 ReplicationMatrix ReplicationMatrix::from_pairs(
     std::size_t servers, std::size_t objects,
@@ -19,29 +28,21 @@ ReplicationMatrix ReplicationMatrix::from_pairs(
 }
 
 std::vector<ObjectId> ReplicationMatrix::objects_on(ServerId i) const {
-  RTSP_REQUIRE(i < servers_);
   std::vector<ObjectId> out;
-  for (std::size_t w = 0; w < words_per_row_; ++w) {
-    std::uint64_t bits = words_[i * words_per_row_ + w];
-    while (bits) {
-      const int b = std::countr_zero(bits);
-      out.push_back(static_cast<ObjectId>(w * 64 + static_cast<std::size_t>(b)));
-      bits &= bits - 1;
-    }
-  }
+  if (sparse_) out.reserve(sparse_->count_on(i));
+  for_each_object(i, [&](ObjectId k) { out.push_back(k); });
   return out;
 }
 
 std::vector<ServerId> ReplicationMatrix::replicators_of(ObjectId k) const {
-  RTSP_REQUIRE(k < objects_);
   std::vector<ServerId> out;
-  for (ServerId i = 0; i < servers_; ++i) {
-    if (test(i, k)) out.push_back(i);
-  }
+  if (sparse_) out.reserve(sparse_->replica_count(k));
+  for_each_replicator(k, [&](ServerId i) { out.push_back(i); });
   return out;
 }
 
 std::size_t ReplicationMatrix::replica_count(ObjectId k) const {
+  if (sparse_) return sparse_->replica_count(k);
   RTSP_REQUIRE(k < objects_);
   std::size_t n = 0;
   for (ServerId i = 0; i < servers_; ++i) n += test(i, k) ? 1 : 0;
@@ -49,6 +50,7 @@ std::size_t ReplicationMatrix::replica_count(ObjectId k) const {
 }
 
 std::size_t ReplicationMatrix::count_on(ServerId i) const {
+  if (sparse_) return sparse_->count_on(i);
   RTSP_REQUIRE(i < servers_);
   std::size_t n = 0;
   for (std::size_t w = 0; w < words_per_row_; ++w) {
@@ -58,6 +60,7 @@ std::size_t ReplicationMatrix::count_on(ServerId i) const {
 }
 
 std::size_t ReplicationMatrix::total_replicas() const {
+  if (sparse_) return sparse_->total_replicas();
   std::size_t n = 0;
   for (std::uint64_t w : words_) n += static_cast<std::size_t>(std::popcount(w));
   return n;
@@ -66,17 +69,38 @@ std::size_t ReplicationMatrix::total_replicas() const {
 Size ReplicationMatrix::used_storage(ServerId i, const ObjectCatalog& objects) const {
   RTSP_REQUIRE(objects.count() == objects_);
   Size used = 0;
-  for (ObjectId k : objects_on(i)) used += objects.size_of(k);
+  for_each_object(i, [&](ObjectId k) { used += objects.size_of(k); });
   return used;
 }
 
 std::size_t ReplicationMatrix::overlap(const ReplicationMatrix& other) const {
   RTSP_REQUIRE(servers_ == other.servers_ && objects_ == other.objects_);
+  if (is_dense() && other.is_dense()) {
+    std::size_t n = 0;
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      n += static_cast<std::size_t>(std::popcount(words_[w] & other.words_[w]));
+    }
+    return n;
+  }
+  if (is_sparse() && other.is_sparse()) return sparse_->overlap(*other.sparse_);
+  // Mixed: walk the sparse side's replica sets, probe the dense side.
+  const ReplicationMatrix& sparse = is_sparse() ? *this : other;
+  const ReplicationMatrix& dense = is_sparse() ? other : *this;
   std::size_t n = 0;
-  for (std::size_t w = 0; w < words_.size(); ++w) {
-    n += static_cast<std::size_t>(std::popcount(words_[w] & other.words_[w]));
+  for (ObjectId k = 0; k < objects_; ++k) {
+    sparse.for_each_replicator(k, [&](ServerId i) {
+      if (dense.test(i, k)) ++n;
+    });
   }
   return n;
+}
+
+bool ReplicationMatrix::operator==(const ReplicationMatrix& other) const {
+  if (servers_ != other.servers_ || objects_ != other.objects_) return false;
+  if (is_dense() && other.is_dense()) return words_ == other.words_;
+  if (is_sparse() && other.is_sparse()) return *sparse_ == *other.sparse_;
+  if (total_replicas() != other.total_replicas()) return false;
+  return overlap(other) == total_replicas();
 }
 
 }  // namespace rtsp

@@ -1,27 +1,51 @@
 // The M x N replication matrix X of the paper: X_ik = 1 iff server S_i holds
 // a replica of object O_k.
 //
-// Stored as packed 64-bit words, row-major, so row scans (what does server i
-// hold) and whole-matrix comparisons are word-parallel. The dummy server is
-// never part of the matrix.
+// Two backing stores share this interface:
+//   - dense: packed 64-bit words, row-major, word-parallel row scans and
+//     whole-matrix comparisons. Right for the paper-scale instances where
+//     M*N bits fit comfortably in cache-adjacent memory.
+//   - sparse: a SparseReplicaIndex (per-object sorted replica sets +
+//     per-server object lists), O(total replicas) memory. Right for the
+//     scale tier (M in the thousands, N in the millions) where the dense
+//     bitset alone would dwarf the replica data.
+//
+// Store::kAuto picks dense below kDenseBitLimit so every paper-scale
+// caller keeps the exact dense representation (and bit-identical
+// behaviour); million-object instances switch to sparse transparently.
+// The dummy server is never part of the matrix.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <initializer_list>
+#include <optional>
 #include <utility>
 #include <vector>
 
 #include "core/catalog.hpp"
+#include "core/sparse_index.hpp"
 #include "core/types.hpp"
 
 namespace rtsp {
 
 class ReplicationMatrix {
  public:
+  enum class Store {
+    kAuto,    ///< dense when servers*objects <= kDenseBitLimit, else sparse
+    kDense,   ///< force the packed-bitset store
+    kSparse,  ///< force the sparse replica index
+  };
+
+  /// Auto threshold: 1 << 26 bits = 8 MB per matrix. All paper-scale
+  /// instances (hundreds of servers, thousands of objects) stay dense.
+  static constexpr std::size_t kDenseBitLimit = std::size_t{1} << 26;
+
   ReplicationMatrix() = default;
 
   /// All-zero matrix for `servers` x `objects`.
-  ReplicationMatrix(std::size_t servers, std::size_t objects);
+  ReplicationMatrix(std::size_t servers, std::size_t objects,
+                    Store store = Store::kAuto);
 
   /// Convenience constructor from explicit (server, object) replica pairs.
   static ReplicationMatrix from_pairs(std::size_t servers, std::size_t objects,
@@ -30,30 +54,65 @@ class ReplicationMatrix {
   std::size_t num_servers() const { return servers_; }
   std::size_t num_objects() const { return objects_; }
 
+  bool is_sparse() const { return sparse_.has_value(); }
+  bool is_dense() const { return !sparse_.has_value(); }
+
   bool test(ServerId i, ObjectId k) const {
+    if (sparse_) return sparse_->test(i, k);
     check(i, k);
     return (words_[word_index(i, k)] >> (k & 63)) & 1u;
   }
   void set(ServerId i, ObjectId k) {
+    if (sparse_) return sparse_->set(i, k);
     check(i, k);
     words_[word_index(i, k)] |= (std::uint64_t{1} << (k & 63));
   }
   void clear(ServerId i, ObjectId k) {
+    if (sparse_) return sparse_->clear(i, k);
     check(i, k);
     words_[word_index(i, k)] &= ~(std::uint64_t{1} << (k & 63));
   }
   void assign(ServerId i, ObjectId k, bool value) { value ? set(i, k) : clear(i, k); }
 
-  /// Objects held by server i, ascending.
+  /// Calls fn(ObjectId) for every object on server i, ascending, without
+  /// allocating. The workhorse of the scale tier's hot paths.
+  template <typename Fn>
+  void for_each_object(ServerId i, Fn&& fn) const {
+    if (sparse_) return sparse_->for_each_object(i, std::forward<Fn>(fn));
+    RTSP_REQUIRE(i < servers_);
+    for (std::size_t w = 0; w < words_per_row_; ++w) {
+      std::uint64_t bits = words_[i * words_per_row_ + w];
+      while (bits) {
+        const int b = std::countr_zero(bits);
+        fn(static_cast<ObjectId>(w * 64 + static_cast<std::size_t>(b)));
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  /// Calls fn(ServerId) for every replicator of object k, ascending,
+  /// without allocating. O(r) sparse, O(M) dense.
+  template <typename Fn>
+  void for_each_replicator(ObjectId k, Fn&& fn) const {
+    if (sparse_) return sparse_->for_each_replicator(k, std::forward<Fn>(fn));
+    RTSP_REQUIRE(k < objects_);
+    for (ServerId i = 0; i < servers_; ++i) {
+      if ((words_[word_index(i, k)] >> (k & 63)) & 1u) fn(i);
+    }
+  }
+
+  /// Objects held by server i, ascending. Allocates; prefer for_each_object
+  /// in hot paths.
   std::vector<ObjectId> objects_on(ServerId i) const;
 
-  /// Servers holding object k, ascending. O(M).
+  /// Servers holding object k, ascending. Allocates; prefer
+  /// for_each_replicator in hot paths.
   std::vector<ServerId> replicators_of(ObjectId k) const;
 
-  /// Number of replicas of object k. O(M).
+  /// Number of replicas of object k. O(1) sparse, O(M) dense.
   std::size_t replica_count(ObjectId k) const;
 
-  /// Number of replicas stored on server i. O(N/64).
+  /// Number of replicas stored on server i. O(1) sparse, O(N/64) dense.
   std::size_t count_on(ServerId i) const;
 
   /// Total number of replicas in the scheme.
@@ -63,13 +122,31 @@ class ReplicationMatrix {
   Size used_storage(ServerId i, const ObjectCatalog& objects) const;
 
   /// Number of (server, object) replicas present in both schemes — the
-  /// paper's "overlap".
+  /// paper's "overlap". Store-agnostic.
   std::size_t overlap(const ReplicationMatrix& other) const;
 
-  bool operator==(const ReplicationMatrix& other) const = default;
+  /// Semantic equality: same dimensions and same replica set, regardless of
+  /// backing store.
+  bool operator==(const ReplicationMatrix& other) const;
 
-  /// Packed bit words (row-major); exposed for hashing/memoization.
-  const std::vector<std::uint64_t>& words() const { return words_; }
+  /// Packed bit words (row-major); exposed for hashing/memoization in the
+  /// exact solvers and the validator's word-parallel diff. Dense-only.
+  const std::vector<std::uint64_t>& words() const {
+    RTSP_REQUIRE_MSG(is_dense(), "words() requires the dense store");
+    return words_;
+  }
+
+  /// The sparse index; sparse-only.
+  const SparseReplicaIndex& sparse_index() const {
+    RTSP_REQUIRE_MSG(is_sparse(), "sparse_index() requires the sparse store");
+    return *sparse_;
+  }
+
+  /// Compacts lazy sparse state so concurrent read-only access is safe.
+  /// No-op for the dense store.
+  void prepare_shared_reads() const {
+    if (sparse_) sparse_->compact_all();
+  }
 
  private:
   void check(ServerId i, ObjectId k) const {
@@ -85,6 +162,7 @@ class ReplicationMatrix {
   std::size_t objects_ = 0;
   std::size_t words_per_row_ = 0;
   std::vector<std::uint64_t> words_;
+  std::optional<SparseReplicaIndex> sparse_;
 };
 
 }  // namespace rtsp

@@ -24,6 +24,7 @@ class Schedule {
   const std::vector<Action>& actions() const { return actions_; }
   std::vector<Action>& actions() { return actions_; }
 
+  void reserve(std::size_t n) { actions_.reserve(n); }
   void push_back(const Action& a) { actions_.push_back(a); }
   void insert(std::size_t pos, const Action& a) {
     actions_.insert(actions_.begin() + static_cast<std::ptrdiff_t>(pos), a);

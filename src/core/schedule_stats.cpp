@@ -77,22 +77,21 @@ std::vector<Size> peak_storage(const SystemModel& model, const ReplicationMatrix
   RTSP_REQUIRE(x_old.num_servers() == model.num_servers());
   std::vector<Size> used(model.num_servers());
   std::vector<Size> peak(model.num_servers());
-  std::vector<std::vector<bool>> held(model.num_servers(),
-                                      std::vector<bool>(model.num_objects(), false));
+  // The held-set is just a placement snapshot: a ReplicationMatrix copy of
+  // x_old inherits its backing store, so at the scale tier this stays
+  // O(replicas) instead of materializing an M x N vector<vector<bool>>.
+  ReplicationMatrix held = x_old;
   for (ServerId i = 0; i < model.num_servers(); ++i) {
-    for (ObjectId k : x_old.objects_on(i)) {
-      held[i][k] = true;
-      used[i] += model.object_size(k);
-    }
+    held.for_each_object(i, [&](ObjectId k) { used[i] += model.object_size(k); });
     peak[i] = used[i];
   }
   for (const Action& a : schedule) {
-    if (a.is_transfer() && !held[a.server][a.object]) {
-      held[a.server][a.object] = true;
+    if (a.is_transfer() && !held.test(a.server, a.object)) {
+      held.set(a.server, a.object);
       used[a.server] += model.object_size(a.object);
       peak[a.server] = std::max(peak[a.server], used[a.server]);
-    } else if (a.is_delete() && held[a.server][a.object]) {
-      held[a.server][a.object] = false;
+    } else if (a.is_delete() && held.test(a.server, a.object)) {
+      held.clear(a.server, a.object);
       used[a.server] -= model.object_size(a.object);
     }
   }

@@ -1,0 +1,40 @@
+#include "core/sparse_index.hpp"
+
+namespace rtsp {
+
+void SparseReplicaIndex::compact(ServerId i) const {
+  std::vector<ObjectId>& list = by_server_[i];
+  // Drop entries whose replica was cleared since they were appended; the
+  // per-object sets are authoritative. sort+unique also collapses the
+  // duplicates a set/clear/set cycle leaves behind.
+  std::erase_if(list, [&](ObjectId k) { return !test(i, k); });
+  std::sort(list.begin(), list.end());
+  list.erase(std::unique(list.begin(), list.end()), list.end());
+  list.shrink_to_fit();
+  server_dirty_[i] = 0;
+}
+
+std::size_t SparseReplicaIndex::overlap(const SparseReplicaIndex& other) const {
+  RTSP_REQUIRE(servers_ == other.servers_ && objects_ == other.objects_);
+  std::size_t n = 0;
+  for (ObjectId k = 0; k < objects_; ++k) {
+    const ReplicaSet& a = by_object_[k];
+    const ReplicaSet& b = other.by_object_[k];
+    std::size_t ia = 0;
+    std::size_t ib = 0;
+    while (ia < a.size() && ib < b.size()) {
+      if (a[ia] < b[ib]) {
+        ++ia;
+      } else if (b[ib] < a[ia]) {
+        ++ib;
+      } else {
+        ++n;
+        ++ia;
+        ++ib;
+      }
+    }
+  }
+  return n;
+}
+
+}  // namespace rtsp

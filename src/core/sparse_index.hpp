@@ -1,0 +1,262 @@
+// SparseReplicaIndex: the sparse backing store for ReplicationMatrix.
+//
+// Per-object sorted replica sets are authoritative; per-server object lists
+// are append-only logs compacted lazily on first read after a mutation.
+// Memory is O(total replicas), so an M=2000 x N=1,000,000 placement with
+// r ~ 3 replicas per object costs tens of MB where the dense bitset would
+// need M*N/8 = 250 MB per matrix.
+//
+// Complexities (r = replicas of the touched object, L = objects on the
+// touched server):
+//   test          O(log r)
+//   set / clear   O(r) (sorted insert / erase)
+//   replica_count O(1)     count_on O(1)     total O(1)
+//   for_each_replicator  O(r), ascending, allocation-free
+//   for_each_object      O(L log L) on first read after a mutation of that
+//                        server, O(L) after; ascending, allocation-free
+//   overlap       O(sum_k r1(k) + r2(k)) sorted-merge
+//
+// Thread-safety: concurrent reads are safe only when no server list is
+// dirty (compaction mutates shared state). Call compact_all() before
+// sharing across threads; mutations are never thread-safe.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace rtsp {
+
+/// Sorted set of server ids with a two-entry inline buffer.
+///
+/// Placements carry r ~ 2-3 replicas per object, so a plain
+/// std::vector<ServerId> per object pays a 24-byte header plus a heap block
+/// for 8 bytes of payload — at N = 1,000,000 that overhead dominates the
+/// index. ReplicaSet is 16 bytes flat and only spills to the heap past two
+/// entries; copies are exact-fit (no growth slack).
+class ReplicaSet {
+ public:
+  ReplicaSet() = default;
+  ReplicaSet(const ReplicaSet& other) { assign(other); }
+  ReplicaSet(ReplicaSet&& other) noexcept : size_(other.size_), cap_(other.cap_) {
+    if (cap_ > kInline) {
+      heap_ = other.heap_;
+      other.cap_ = kInline;
+    } else {
+      std::memcpy(inline_, other.inline_, sizeof(inline_));
+    }
+    other.size_ = 0;
+  }
+  ReplicaSet& operator=(const ReplicaSet& other) {
+    if (this != &other) {
+      destroy();
+      assign(other);
+    }
+    return *this;
+  }
+  ReplicaSet& operator=(ReplicaSet&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      size_ = other.size_;
+      cap_ = other.cap_;
+      if (cap_ > kInline) {
+        heap_ = other.heap_;
+        other.cap_ = kInline;
+      } else {
+        std::memcpy(inline_, other.inline_, sizeof(inline_));
+      }
+      other.size_ = 0;
+    }
+    return *this;
+  }
+  ~ReplicaSet() { destroy(); }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const ServerId* begin() const { return data(); }
+  const ServerId* end() const { return data() + size_; }
+  ServerId operator[](std::size_t t) const { return data()[t]; }
+
+  bool contains(ServerId v) const {
+    return std::binary_search(begin(), end(), v);
+  }
+
+  /// Sorted insert; false if already present.
+  bool insert(ServerId v) {
+    ServerId* d = data();
+    ServerId* pos = std::lower_bound(d, d + size_, v);
+    if (pos != d + size_ && *pos == v) return false;
+    const std::size_t at = static_cast<std::size_t>(pos - d);
+    if (size_ == cap_) {
+      grow();
+      d = data();
+    }
+    std::memmove(d + at + 1, d + at, (size_ - at) * sizeof(ServerId));
+    d[at] = v;
+    ++size_;
+    return true;
+  }
+
+  /// Erase; false if absent. Never shrinks back to the inline buffer.
+  bool erase(ServerId v) {
+    ServerId* d = data();
+    ServerId* pos = std::lower_bound(d, d + size_, v);
+    if (pos == d + size_ || *pos != v) return false;
+    std::memmove(pos, pos + 1,
+                 (size_ - static_cast<std::size_t>(pos - d) - 1) * sizeof(ServerId));
+    --size_;
+    return true;
+  }
+
+  bool operator==(const ReplicaSet& other) const {
+    return size_ == other.size_ && std::equal(begin(), end(), other.begin());
+  }
+
+ private:
+  static constexpr std::uint32_t kInline = 2;
+
+  ServerId* data() { return cap_ <= kInline ? inline_ : heap_; }
+  const ServerId* data() const { return cap_ <= kInline ? inline_ : heap_; }
+
+  void assign(const ReplicaSet& other) {
+    size_ = other.size_;
+    if (other.size_ <= kInline) {
+      cap_ = kInline;
+      std::memcpy(inline_, other.data(), other.size_ * sizeof(ServerId));
+    } else {
+      cap_ = other.size_;
+      heap_ = new ServerId[cap_];
+      std::memcpy(heap_, other.data(), other.size_ * sizeof(ServerId));
+    }
+  }
+
+  void grow() {
+    const std::uint32_t new_cap = cap_ * 2;
+    ServerId* nd = new ServerId[new_cap];
+    std::memcpy(nd, data(), size_ * sizeof(ServerId));
+    destroy();
+    heap_ = nd;
+    cap_ = new_cap;
+  }
+
+  void destroy() {
+    if (cap_ > kInline) delete[] heap_;
+  }
+
+  std::uint32_t size_ = 0;
+  std::uint32_t cap_ = kInline;
+  union {
+    ServerId inline_[kInline];
+    ServerId* heap_;
+  };
+};
+
+class SparseReplicaIndex {
+ public:
+  SparseReplicaIndex() = default;
+  SparseReplicaIndex(std::size_t servers, std::size_t objects)
+      : servers_(servers),
+        objects_(objects),
+        by_object_(objects),
+        by_server_(servers),
+        server_dirty_(servers, 0),
+        count_on_(servers, 0) {}
+
+  std::size_t num_servers() const { return servers_; }
+  std::size_t num_objects() const { return objects_; }
+
+  bool test(ServerId i, ObjectId k) const {
+    check(i, k);
+    return by_object_[k].contains(i);
+  }
+
+  void set(ServerId i, ObjectId k) {
+    check(i, k);
+    if (!by_object_[k].insert(i)) return;
+    by_server_[i].push_back(k);
+    server_dirty_[i] = 1;
+    ++count_on_[i];
+    ++total_;
+  }
+
+  void clear(ServerId i, ObjectId k) {
+    check(i, k);
+    if (!by_object_[k].erase(i)) return;
+    // The stale entry stays in by_server_[i] until compaction filters it.
+    server_dirty_[i] = 1;
+    --count_on_[i];
+    --total_;
+  }
+
+  std::size_t replica_count(ObjectId k) const {
+    RTSP_REQUIRE(k < objects_);
+    return by_object_[k].size();
+  }
+  std::size_t count_on(ServerId i) const {
+    RTSP_REQUIRE(i < servers_);
+    return count_on_[i];
+  }
+  std::size_t total_replicas() const { return total_; }
+
+  /// Sorted replica set of object k (ascending server ids).
+  const ReplicaSet& replicators(ObjectId k) const {
+    RTSP_REQUIRE(k < objects_);
+    return by_object_[k];
+  }
+
+  /// Sorted object list of server i (ascending); compacts lazily.
+  const std::vector<ObjectId>& objects(ServerId i) const {
+    RTSP_REQUIRE(i < servers_);
+    if (server_dirty_[i]) compact(i);
+    return by_server_[i];
+  }
+
+  template <typename Fn>
+  void for_each_replicator(ObjectId k, Fn&& fn) const {
+    for (ServerId i : replicators(k)) fn(i);
+  }
+
+  template <typename Fn>
+  void for_each_object(ServerId i, Fn&& fn) const {
+    for (ObjectId k : objects(i)) fn(k);
+  }
+
+  /// Replicas present in both indexes (sorted-merge per object).
+  std::size_t overlap(const SparseReplicaIndex& other) const;
+
+  /// Compacts every dirty server list; required before sharing the index
+  /// across threads for read-only access.
+  void compact_all() const {
+    for (ServerId i = 0; i < servers_; ++i) {
+      if (server_dirty_[i]) compact(i);
+    }
+  }
+
+  bool operator==(const SparseReplicaIndex& other) const {
+    return servers_ == other.servers_ && objects_ == other.objects_ &&
+           by_object_ == other.by_object_;
+  }
+
+ private:
+  void check(ServerId i, ObjectId k) const {
+    RTSP_REQUIRE_MSG(i < servers_ && k < objects_,
+                     "replica (" << i << "," << k << ") out of " << servers_ << "x"
+                                 << objects_);
+  }
+
+  void compact(ServerId i) const;
+
+  std::size_t servers_ = 0;
+  std::size_t objects_ = 0;
+  std::size_t total_ = 0;
+  std::vector<ReplicaSet> by_object_;
+  // Lazily maintained: may hold stale or duplicate entries until compacted.
+  mutable std::vector<std::vector<ObjectId>> by_server_;
+  mutable std::vector<std::uint8_t> server_dirty_;
+  std::vector<std::size_t> count_on_;
+};
+
+}  // namespace rtsp

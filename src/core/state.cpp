@@ -18,13 +18,15 @@ ExecutionState::ExecutionState(const SystemModel& model, ReplicationMatrix x)
     : model_(&model), x_(std::move(x)) {
   RTSP_REQUIRE(x_.num_servers() == model.num_servers());
   RTSP_REQUIRE(x_.num_objects() == model.num_objects());
-  used_.resize(model.num_servers());
+  // One pass over the replicas present (O(total) for either store) instead
+  // of per-object column scans, which were O(M*N) on the dense store.
+  used_.assign(model.num_servers(), 0);
+  replica_count_.assign(model.num_objects(), 0);
   for (ServerId i = 0; i < model.num_servers(); ++i) {
-    used_[i] = x_.used_storage(i, model.objects());
-  }
-  replica_count_.resize(model.num_objects());
-  for (ObjectId k = 0; k < model.num_objects(); ++k) {
-    replica_count_[k] = x_.replica_count(k);
+    x_.for_each_object(i, [&](ObjectId k) {
+      used_[i] += model.object_size(k);
+      ++replica_count_[k];
+    });
   }
 }
 

@@ -1,5 +1,7 @@
 #include "core/system.hpp"
 
+#include <algorithm>
+
 namespace rtsp {
 
 SystemModel::SystemModel(ServerCatalog servers, ObjectCatalog objects, CostMatrix costs,
@@ -13,33 +15,162 @@ SystemModel::SystemModel(ServerCatalog servers, ObjectCatalog objects, CostMatri
                                        << servers_.count());
   RTSP_REQUIRE(dummy_factor_ > 0.0);
   dummy_link_cost_ = costs_.dummy_cost(dummy_factor_);
-  sorted_neighbors_.reserve(servers_.count());
-  for (std::size_t i = 0; i < servers_.count(); ++i) {
-    const auto order = costs_.sorted_neighbors(i);
-    sorted_neighbors_.emplace_back(order.begin(), order.end());
+  init_caches();
+}
+
+SystemModel::SystemModel(const SystemModel& other)
+    : servers_(other.servers_),
+      objects_(other.objects_),
+      costs_(other.costs_),
+      dummy_factor_(other.dummy_factor_),
+      dummy_link_cost_(other.dummy_link_cost_) {
+  init_caches();
+}
+
+SystemModel& SystemModel::operator=(const SystemModel& other) {
+  if (this == &other) return *this;
+  servers_ = other.servers_;
+  objects_ = other.objects_;
+  costs_ = other.costs_;
+  dummy_factor_ = other.dummy_factor_;
+  dummy_link_cost_ = other.dummy_link_cost_;
+  init_caches();
+  return *this;
+}
+
+SystemModel::SystemModel(SystemModel&& other) noexcept
+    : servers_(std::move(other.servers_)),
+      objects_(std::move(other.objects_)),
+      costs_(std::move(other.costs_)),
+      dummy_factor_(other.dummy_factor_),
+      dummy_link_cost_(other.dummy_link_cost_) {
+  init_caches();
+}
+
+SystemModel& SystemModel::operator=(SystemModel&& other) noexcept {
+  if (this == &other) return *this;
+  servers_ = std::move(other.servers_);
+  objects_ = std::move(other.objects_);
+  costs_ = std::move(other.costs_);
+  dummy_factor_ = other.dummy_factor_;
+  dummy_link_cost_ = other.dummy_link_cost_;
+  init_caches();
+  return *this;
+}
+
+void SystemModel::init_caches() {
+  const std::size_t m = servers_.count();
+  top_k_ = m == 0 ? 0 : std::min<std::size_t>(kTopK, m - 1);
+  topk_.assign(m * top_k_, 0);
+  topk_ready_ = std::make_unique<std::atomic<std::uint8_t>[]>(m);
+  full_neighbors_.assign(m, {});
+  full_ready_ = std::make_unique<std::atomic<std::uint8_t>[]>(m);
+}
+
+const std::vector<ServerId>& SystemModel::neighbors_by_cost(ServerId i) const {
+  RTSP_REQUIRE(i < num_servers());
+  if (!full_ready_[i].load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    if (!full_ready_[i].load(std::memory_order_relaxed)) {
+      const auto order = costs_.sorted_neighbors(i);
+      full_neighbors_[i].assign(order.begin(), order.end());
+      full_ready_[i].store(1, std::memory_order_release);
+    }
   }
+  return full_neighbors_[i];
+}
+
+const ServerId* SystemModel::topk_row(ServerId i) const {
+  if (!topk_ready_[i].load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    if (!topk_ready_[i].load(std::memory_order_relaxed)) {
+      const std::size_t m = num_servers();
+      std::vector<ServerId> order;
+      order.reserve(m - 1);
+      for (ServerId j = 0; j < m; ++j) {
+        if (j != i) order.push_back(j);
+      }
+      std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(top_k_),
+                        order.end(), [&](ServerId a, ServerId b) {
+                          const LinkCost ca = costs_.at(i, a);
+                          const LinkCost cb = costs_.at(i, b);
+                          return ca != cb ? ca < cb : a < b;
+                        });
+      std::copy(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(top_k_),
+                topk_.begin() + static_cast<std::ptrdiff_t>(i * top_k_));
+      topk_ready_[i].store(1, std::memory_order_release);
+    }
+  }
+  return topk_.data() + i * top_k_;
+}
+
+std::optional<ServerId> SystemModel::min_scan_nearest(ServerId i, ObjectId k,
+                                                      const ReplicationMatrix& x) const {
+  // Ascending j with a strict < keeps the lowest index on cost ties — the
+  // same lexicographic (cost, index) order the sorted table walks.
+  std::optional<ServerId> best;
+  LinkCost best_cost = 0;
+  x.for_each_replicator(k, [&](ServerId j) {
+    if (j == i) return;
+    const LinkCost c = costs_.at(i, j);
+    if (!best || c < best_cost) {
+      best = j;
+      best_cost = c;
+    }
+  });
+  return best;
+}
+
+std::optional<ServerId> SystemModel::min_scan_second(ServerId i, ObjectId k,
+                                                     const ReplicationMatrix& x) const {
+  std::optional<ServerId> first;
+  std::optional<ServerId> second;
+  LinkCost c1 = 0;
+  LinkCost c2 = 0;
+  x.for_each_replicator(k, [&](ServerId j) {
+    if (j == i) return;
+    const LinkCost c = costs_.at(i, j);
+    if (!first || c < c1) {
+      second = first;
+      c2 = c1;
+      first = j;
+      c1 = c;
+    } else if (!second || c < c2) {
+      second = j;
+      c2 = c;
+    }
+  });
+  return second;
 }
 
 std::optional<ServerId> SystemModel::nearest_replicator(ServerId i, ObjectId k,
                                                         const ReplicationMatrix& x) const {
   RTSP_REQUIRE(i < num_servers());
-  for (ServerId j : sorted_neighbors_[i]) {
-    if (x.test(j, k)) return j;
+  // Sparse placements carry their replica sets: an O(r) min-scan beats any
+  // neighbor-table walk.
+  if (x.is_sparse()) return min_scan_nearest(i, k, x);
+  const ServerId* row = topk_row(i);
+  for (std::size_t t = 0; t < top_k_; ++t) {
+    if (x.test(row[t], k)) return row[t];
   }
-  return std::nullopt;
+  if (top_k_ + 1 >= num_servers()) return std::nullopt;  // table was complete
+  return min_scan_nearest(i, k, x);
 }
 
 std::optional<ServerId> SystemModel::second_nearest_replicator(
     ServerId i, ObjectId k, const ReplicationMatrix& x) const {
   RTSP_REQUIRE(i < num_servers());
+  if (x.is_sparse()) return min_scan_second(i, k, x);
+  const ServerId* row = topk_row(i);
   bool found_first = false;
-  for (ServerId j : sorted_neighbors_[i]) {
-    if (x.test(j, k)) {
-      if (found_first) return j;
+  for (std::size_t t = 0; t < top_k_; ++t) {
+    if (x.test(row[t], k)) {
+      if (found_first) return row[t];
       found_first = true;
     }
   }
-  return std::nullopt;
+  if (top_k_ + 1 >= num_servers()) return std::nullopt;
+  return min_scan_second(i, k, x);
 }
 
 ServerId SystemModel::nearest_source_or_dummy(ServerId i, ObjectId k,

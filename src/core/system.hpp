@@ -1,8 +1,25 @@
 // SystemModel: the static part of an RTSP instance — servers, objects,
 // communication costs and the dummy-server configuration. Replication
 // matrices and schedules vary; the model does not.
+//
+// Nearest-replicator queries used to walk a fully materialized M x M
+// sorted-neighbor table. At the scale tier (M in the thousands) that table
+// costs O(M^2) memory and O(M^2 log M) construction even when only a few
+// servers are ever queried, so it is replaced by two lazy caches:
+//   - a truncated top-K table (K = kTopK cheapest neighbors per server,
+//     O(M*K) memory) that answers the common case in O(K), with an exact
+//     O(M) min-scan fallback when no replicator ranks in the top K;
+//   - fully sorted per-server lists, built only for servers where a caller
+//     actually needs the complete order (neighbors_by_cost).
+// Both caches are built on first use under a mutex with atomic publication,
+// so concurrent readers (OP1's parallel screening) are safe. Every query
+// path computes the same lexicographic argmin (link cost, server index) the
+// sorted table produced, so results are bit-identical to the eager version.
 #pragma once
 
+#include <atomic>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -15,10 +32,20 @@ namespace rtsp {
 
 class SystemModel {
  public:
+  /// Cheapest neighbors kept per server in the truncated table.
+  static constexpr std::size_t kTopK = 64;
+
   /// dummy_factor is the paper's constant a >= 0; the dummy link cost is
   /// a * (max l_ij + 1). The paper's experiments all use a = 1.
   SystemModel(ServerCatalog servers, ObjectCatalog objects, CostMatrix costs,
               double dummy_factor = 1.0);
+
+  // Copies and moves carry the model but start with cold neighbor caches
+  // (the caches hold a mutex and atomics, which cannot be copied).
+  SystemModel(const SystemModel& other);
+  SystemModel& operator=(const SystemModel& other);
+  SystemModel(SystemModel&& other) noexcept;
+  SystemModel& operator=(SystemModel&& other) noexcept;
 
   std::size_t num_servers() const { return servers_.count(); }
   std::size_t num_objects() const { return objects_.count(); }
@@ -48,11 +75,8 @@ class SystemModel {
   }
 
   /// Servers ordered by increasing link cost from i (ties by index),
-  /// excluding i; precomputed once.
-  const std::vector<ServerId>& neighbors_by_cost(ServerId i) const {
-    RTSP_REQUIRE(i < num_servers());
-    return sorted_neighbors_[i];
-  }
+  /// excluding i; built lazily per server on first call, thread-safe.
+  const std::vector<ServerId>& neighbors_by_cost(ServerId i) const;
 
   /// The paper's S_N(i,k,X): cheapest replicator of k for i under X,
   /// excluding i itself. nullopt when k has no (other) replicator.
@@ -77,12 +101,33 @@ class SystemModel {
                                       const ReplicationMatrix& x) const;
 
  private:
+  void init_caches();
+
+  /// Truncated top-K row for i (cheapest first); builds it on first use.
+  const ServerId* topk_row(ServerId i) const;
+
+  /// Exact argmin_{j != i, x(j,k)} (cost(i,j), j); nullopt when none.
+  std::optional<ServerId> min_scan_nearest(ServerId i, ObjectId k,
+                                           const ReplicationMatrix& x) const;
+  /// Exact second-smallest key; nullopt when fewer than two replicators.
+  std::optional<ServerId> min_scan_second(ServerId i, ObjectId k,
+                                          const ReplicationMatrix& x) const;
+
   ServerCatalog servers_;
   ObjectCatalog objects_;
   CostMatrix costs_;
   double dummy_factor_;
   LinkCost dummy_link_cost_;
-  std::vector<std::vector<ServerId>> sorted_neighbors_;
+
+  // Lazy neighbor caches. The outer vectors are sized once in the
+  // constructor and never resized, so a reader that observed the ready flag
+  // (acquire) can safely read the slot published before it (release).
+  std::size_t top_k_ = 0;  // min(kTopK, M-1)
+  mutable std::mutex cache_mu_;
+  mutable std::vector<ServerId> topk_;  // flat M x top_k_
+  mutable std::unique_ptr<std::atomic<std::uint8_t>[]> topk_ready_;
+  mutable std::vector<std::vector<ServerId>> full_neighbors_;
+  mutable std::unique_ptr<std::atomic<std::uint8_t>[]> full_ready_;
 };
 
 }  // namespace rtsp

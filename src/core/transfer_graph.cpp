@@ -9,11 +9,11 @@ TransferGraph::TransferGraph(const SystemModel& model, const ReplicationMatrix& 
     : num_servers_(model.num_servers()), model_(&model), out_(model.num_servers()) {
   const PlacementDelta delta(x_old, x_new);
   for (const Replica& r : delta.outstanding()) {
-    for (ServerId j : x_old.replicators_of(r.object)) {
-      if (j == r.server) continue;
+    x_old.for_each_replicator(r.object, [&](ServerId j) {
+      if (j == r.server) return;
       out_[j].push_back(arcs_.size());
       arcs_.push_back({j, r.server, r.object});
-    }
+    });
   }
 }
 

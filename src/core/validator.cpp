@@ -3,6 +3,7 @@
 #include <bit>
 #include <sstream>
 
+#include "core/replica_view.hpp"
 #include "obs/obs.hpp"
 #include "support/assert.hpp"
 
@@ -64,29 +65,59 @@ ValidationResult Validator::validate(const SystemModel& model,
     }
   }
   if (!(state.placement() == x_new)) {
-    // Point at the differing replicas to make diagnosis cheap: XOR the
-    // packed rows and only decode words that actually differ, so the scan is
-    // word-parallel and stops at the first mismatch under stop_at_first.
-    const std::vector<std::uint64_t>& got_words = state.placement().words();
-    const std::vector<std::uint64_t>& want_words = x_new.words();
-    const std::size_t words_per_row = got_words.size() / model.num_servers();
-    for (std::size_t w = 0; w < got_words.size(); ++w) {
-      std::uint64_t diff = got_words[w] ^ want_words[w];
-      while (diff != 0) {
-        const ServerId i = static_cast<ServerId>(w / words_per_row);
-        const ObjectId k = static_cast<ObjectId>(
-            (w % words_per_row) * 64 +
-            static_cast<std::size_t>(std::countr_zero(diff)));
-        const bool got = state.placement().test(i, k);
-        const ValidationCode code = got ? ValidationCode::FinalStateExtraReplica
-                                        : ValidationCode::FinalStateMissingReplica;
-        std::ostringstream os;
-        os << "final state mismatch at (S" << i << ", O" << k << "): have "
-           << (got ? "replica" : "no replica") << ", X_new wants "
-           << (got ? "no replica" : "replica") << " [" << to_string(code) << "]";
-        result.issues.push_back({schedule.size(), ActionError::None, code, os.str()});
-        if (stop_at_first) return result;
-        diff &= diff - 1;  // clear the lowest set bit
+    const auto report_mismatch = [&](ServerId i, ObjectId k, bool got) {
+      const ValidationCode code = got ? ValidationCode::FinalStateExtraReplica
+                                      : ValidationCode::FinalStateMissingReplica;
+      std::ostringstream os;
+      os << "final state mismatch at (S" << i << ", O" << k << "): have "
+         << (got ? "replica" : "no replica") << ", X_new wants "
+         << (got ? "no replica" : "replica") << " [" << to_string(code) << "]";
+      result.issues.push_back({schedule.size(), ActionError::None, code, os.str()});
+    };
+    if (state.placement().is_dense() && x_new.is_dense()) {
+      // Point at the differing replicas to make diagnosis cheap: XOR the
+      // packed rows and only decode words that actually differ, so the scan
+      // is word-parallel and stops at the first mismatch under
+      // stop_at_first.
+      const std::vector<std::uint64_t>& got_words = state.placement().words();
+      const std::vector<std::uint64_t>& want_words = x_new.words();
+      const std::size_t words_per_row = got_words.size() / model.num_servers();
+      for (std::size_t w = 0; w < got_words.size(); ++w) {
+        std::uint64_t diff = got_words[w] ^ want_words[w];
+        while (diff != 0) {
+          const ServerId i = static_cast<ServerId>(w / words_per_row);
+          const ObjectId k = static_cast<ObjectId>(
+              (w % words_per_row) * 64 +
+              static_cast<std::size_t>(std::countr_zero(diff)));
+          report_mismatch(i, k, state.placement().test(i, k));
+          if (stop_at_first) return result;
+          diff &= diff - 1;  // clear the lowest set bit
+        }
+      }
+    } else {
+      // Store-agnostic diff in the same (server, object) order: merge each
+      // server's sorted object lists from both placements.
+      const ReplicaView got(state.placement());
+      const ReplicaView want(x_new);
+      for (ServerId i = 0; i < model.num_servers(); ++i) {
+        const std::vector<ObjectId> have = got.matrix().objects_on(i);
+        const std::vector<ObjectId> need = want.matrix().objects_on(i);
+        std::size_t a = 0;
+        std::size_t b = 0;
+        while (a < have.size() || b < need.size()) {
+          if (b == need.size() || (a < have.size() && have[a] < need[b])) {
+            report_mismatch(i, have[a], true);
+            if (stop_at_first) return result;
+            ++a;
+          } else if (a == have.size() || need[b] < have[a]) {
+            report_mismatch(i, need[b], false);
+            if (stop_at_first) return result;
+            ++b;
+          } else {
+            ++a;
+            ++b;
+          }
+        }
       }
     }
   }

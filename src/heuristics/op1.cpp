@@ -185,7 +185,7 @@ class Op1Run {
 
     // Replicators of k just before position u: replay only k's actions.
     std::fill(holds.begin(), holds.end(), 0);
-    for (ServerId s : x_old_.replicators_of(k)) holds[s] = 1;
+    x_old_.for_each_replicator(k, [&](ServerId s) { holds[s] = 1; });
     for (std::size_t p : events_[k]) {
       if (p >= u) break;
       const Action& a = h[p];

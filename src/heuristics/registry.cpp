@@ -11,6 +11,7 @@
 #include "heuristics/h2.hpp"
 #include "heuristics/op1.hpp"
 #include "heuristics/rdf.hpp"
+#include "heuristics/sharded_build.hpp"
 #include "support/string_util.hpp"
 
 namespace rtsp {
@@ -23,6 +24,9 @@ BuilderPtr make_builder(const std::string& token) {
   if (t == "golcf") return std::make_shared<GolcfBuilder>();
   if (t == "rdf") return std::make_shared<RdfBuilder>();
   if (t == "gsdf") return std::make_shared<GsdfBuilder>();
+  // Sharded parallel passes; bit-identical schedules (heuristics/sharded_build.hpp).
+  if (t == "rdfp") return std::make_shared<ShardedRdfBuilder>();
+  if (t == "gsdfp") return std::make_shared<ShardedGsdfBuilder>();
   return nullptr;
 }
 
@@ -70,7 +74,9 @@ Pipeline make_pipeline(const std::string& spec) {
   return Pipeline(std::move(builder), std::move(improvers));
 }
 
-std::vector<std::string> known_builders() { return {"AR", "GOLCF", "RDF", "GSDF"}; }
+std::vector<std::string> known_builders() {
+  return {"AR", "GOLCF", "RDF", "GSDF", "RDFP", "GSDFP"};
+}
 
 std::vector<std::string> known_improvers() {
   return {"H1", "H2", "OP1", "OP1P", "SA", "H1H2FIX"};

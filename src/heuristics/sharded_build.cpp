@@ -1,0 +1,179 @@
+#include "heuristics/sharded_build.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "core/delta.hpp"
+#include "core/feasibility.hpp"
+#include "heuristics/builder_common.hpp"
+#include "support/thread_pool.hpp"
+
+namespace rtsp {
+
+namespace {
+
+constexpr std::uint32_t kNoTask = std::numeric_limits<std::uint32_t>::max();
+
+/// One object's slice of the skeleton: the positions (ascending) of every
+/// action touching it. Objects without a transfer need no replay at all —
+/// deletions carry no source to resolve.
+struct ObjectTask {
+  ObjectId object = 0;
+  bool has_transfer = false;
+  std::vector<std::uint32_t> positions;
+};
+
+/// Groups skeleton positions by object, in first-touch order.
+std::vector<ObjectTask> partition_by_object(const std::vector<Action>& skeleton,
+                                            std::size_t num_objects) {
+  RTSP_REQUIRE(skeleton.size() < kNoTask);
+  std::vector<std::uint32_t> task_of(num_objects, kNoTask);
+  std::vector<ObjectTask> tasks;
+  for (std::uint32_t pos = 0; pos < skeleton.size(); ++pos) {
+    const Action& a = skeleton[pos];
+    std::uint32_t& t = task_of[a.object];
+    if (t == kNoTask) {
+      t = static_cast<std::uint32_t>(tasks.size());
+      tasks.push_back(ObjectTask{a.object, false, {}});
+    }
+    tasks[t].has_transfer |= a.is_transfer();
+    tasks[t].positions.push_back(pos);
+  }
+  return tasks;
+}
+
+/// Replays one object's action subsequence against its private replicator
+/// set and writes the resolved source of each transfer into `sources`.
+///
+/// The argmin below is the lexicographic (link cost, server index) minimum —
+/// the exact value SystemModel::nearest_replicator returns whether it walks
+/// the sorted top-K table (first hit in (cost, index) order) or min-scans a
+/// sparse replica set; the argmin of a total order does not depend on the
+/// order candidates are visited in.
+void resolve_object(const SystemModel& model, const ReplicationMatrix& x_old,
+                    const std::vector<Action>& skeleton, const ObjectTask& task,
+                    std::vector<ServerId>& sources) {
+  if (!task.has_transfer) return;
+  const CostMatrix& costs = model.costs();
+  std::vector<ServerId> reps;
+  x_old.for_each_replicator(task.object, [&](ServerId j) { reps.push_back(j); });
+  for (const std::uint32_t pos : task.positions) {
+    const Action& a = skeleton[pos];
+    if (a.is_delete()) {
+      reps.erase(std::find(reps.begin(), reps.end(), a.server));
+      continue;
+    }
+    ServerId best = kDummyServer;
+    LinkCost best_cost = 0;
+    for (const ServerId j : reps) {
+      if (j == a.server) continue;
+      const LinkCost c = costs.at(a.server, j);
+      if (is_dummy(best) || c < best_cost || (c == best_cost && j < best)) {
+        best = j;
+        best_cost = c;
+      }
+    }
+    sources[pos] = best;
+    reps.push_back(a.server);
+  }
+}
+
+/// Phases 2+3: resolves transfer sources (in parallel when the instance is
+/// big enough to pay for the pool) and applies the skeleton in order through
+/// the same apply_and_push path the serial builders use, so capacity checks
+/// and provenance notes happen identically.
+Schedule resolve_and_assemble(const SystemModel& model,
+                              const ReplicationMatrix& x_old,
+                              const std::vector<Action>& skeleton,
+                              const ShardedBuildOptions& options) {
+  const std::vector<ObjectTask> tasks =
+      partition_by_object(skeleton, model.num_objects());
+  std::vector<ServerId> sources(skeleton.size(), kDummyServer);
+
+  std::size_t num_transfers = 0;
+  for (const Action& a : skeleton) num_transfers += a.is_transfer();
+  const bool parallel =
+      num_transfers >= options.min_transfers_parallel && options.threads != 1;
+  const auto body = [&](std::size_t t) {
+    resolve_object(model, x_old, skeleton, tasks[t], sources);
+  };
+  if (parallel) {
+    parallel_for(options.threads, tasks.size(), body);
+  } else {
+    for (std::size_t t = 0; t < tasks.size(); ++t) body(t);
+  }
+
+  ExecutionState state(model, x_old);
+  Schedule h;
+  h.reserve(skeleton.size());
+  for (std::size_t pos = 0; pos < skeleton.size(); ++pos) {
+    const Action& a = skeleton[pos];
+    apply_and_push(state, h,
+                   a.is_transfer()
+                       ? Action::transfer(a.server, a.object, sources[pos])
+                       : a);
+  }
+  return h;
+}
+
+}  // namespace
+
+Schedule ShardedRdfBuilder::build(const SystemModel& model,
+                                  const ReplicationMatrix& x_old,
+                                  const ReplicationMatrix& x_new, Rng& rng) const {
+  RTSP_REQUIRE_MSG(storage_feasible(model, x_new), "X_new exceeds server capacities");
+  const prov::StageScope stage(prov::StageKind::Builder, name());
+  const PlacementDelta delta(x_old, x_new);
+
+  // Phase 1 — skeleton: consumes the rng exactly like RdfBuilder::build
+  // (shuffle deletions, shuffle transfers), so the action order matches.
+  std::vector<Action> skeleton;
+  skeleton.reserve(delta.superfluous().size() + delta.outstanding().size());
+  std::vector<Replica> deletions = delta.superfluous();
+  rng.shuffle(deletions);
+  for (const Replica& r : deletions) {
+    skeleton.push_back(Action::remove(r.server, r.object));
+  }
+  std::vector<Replica> transfers = delta.outstanding();
+  rng.shuffle(transfers);
+  for (const Replica& r : transfers) {
+    skeleton.push_back(Action::transfer(r.server, r.object, kDummyServer));
+  }
+
+  return resolve_and_assemble(model, x_old, skeleton, options_);
+}
+
+Schedule ShardedGsdfBuilder::build(const SystemModel& model,
+                                   const ReplicationMatrix& x_old,
+                                   const ReplicationMatrix& x_new, Rng& rng) const {
+  RTSP_REQUIRE_MSG(storage_feasible(model, x_new), "X_new exceeds server capacities");
+  const prov::StageScope stage(prov::StageKind::Builder, name());
+  const PlacementDelta delta(x_old, x_new);
+
+  // Phase 1 — skeleton: consumes the rng exactly like GsdfBuilder::build
+  // (shuffle the server order, then per server shuffle its deletions and its
+  // transfers). None of these draws read the evolving placement.
+  std::vector<Action> skeleton;
+  std::vector<ServerId> order(model.num_servers());
+  std::iota(order.begin(), order.end(), 0u);
+  rng.shuffle(order);
+  for (const ServerId i : order) {
+    std::vector<Replica> deletions = delta.superfluous_on(i);
+    rng.shuffle(deletions);
+    for (const Replica& r : deletions) {
+      skeleton.push_back(Action::remove(r.server, r.object));
+    }
+    std::vector<Replica> transfers = delta.outstanding_on(i);
+    rng.shuffle(transfers);
+    for (const Replica& r : transfers) {
+      skeleton.push_back(Action::transfer(r.server, r.object, kDummyServer));
+    }
+  }
+
+  return resolve_and_assemble(model, x_old, skeleton, options_);
+}
+
+}  // namespace rtsp

@@ -1,0 +1,73 @@
+// Sharded parallel builder passes: RDFP and GSDFP (registry tokens).
+//
+// The serial builders interleave two very different kinds of work: cheap,
+// rng-driven ordering decisions (which replica to delete or create next) and
+// the expensive nearest-replicator query that picks each transfer's source.
+// The key structural fact that makes them parallelizable without changing a
+// single output bit is that in RDF and GSDF the *action order* is a pure
+// function of the rng — no ordering decision ever reads the evolving
+// placement — while a transfer's source depends only on the placement row of
+// its own object, which in turn is mutated only by that object's own earlier
+// actions.
+//
+// So the pass splits into three phases:
+//   1. skeleton (serial): replay the builder's exact rng consumption to fix
+//      the full action sequence, with transfer sources left unresolved;
+//   2. resolve (parallel): partition the skeleton's positions by object and
+//      replay each object's private action subsequence on a worker thread,
+//      computing every source as the lexicographic (link cost, index) argmin
+//      over that object's current replicators — the same argmin the serial
+//      nearest_replicator query computes;
+//   3. assemble (serial): apply the fully resolved actions in skeleton order
+//      through the shared apply_and_push, which re-validates capacity and
+//      emits provenance exactly like the serial builder.
+//
+// Results are therefore bit-identical to RDF/GSDF for every (instance, seed)
+// pair; the merge order is the skeleton order, fixed before any thread runs.
+// AR and GOLCF have no sharded variant: their ordering decisions read global
+// capacity / benefit state, so their action sequence is not rng-only.
+#pragma once
+
+#include <cstddef>
+
+#include "heuristics/scheduler.hpp"
+
+namespace rtsp {
+
+struct ShardedBuildOptions {
+  /// Worker threads for the resolve phase; 0 = hardware concurrency.
+  std::size_t threads = 0;
+  /// Below this many transfers the resolve phase runs inline — spinning up
+  /// a pool costs more than the work. Output is identical either way.
+  std::size_t min_transfers_parallel = 4096;
+};
+
+/// RDF with the transfer-source resolution sharded by object. Schedules are
+/// bit-identical to RdfBuilder for the same rng state.
+class ShardedRdfBuilder final : public ScheduleBuilder {
+ public:
+  explicit ShardedRdfBuilder(ShardedBuildOptions options = {})
+      : options_(options) {}
+  std::string name() const override { return "RDFP"; }
+  Schedule build(const SystemModel& model, const ReplicationMatrix& x_old,
+                 const ReplicationMatrix& x_new, Rng& rng) const override;
+
+ private:
+  ShardedBuildOptions options_;
+};
+
+/// GSDF with the transfer-source resolution sharded by object. Schedules are
+/// bit-identical to GsdfBuilder for the same rng state.
+class ShardedGsdfBuilder final : public ScheduleBuilder {
+ public:
+  explicit ShardedGsdfBuilder(ShardedBuildOptions options = {})
+      : options_(options) {}
+  std::string name() const override { return "GSDFP"; }
+  Schedule build(const SystemModel& model, const ReplicationMatrix& x_old,
+                 const ReplicationMatrix& x_new, Rng& rng) const override;
+
+ private:
+  ShardedBuildOptions options_;
+};
+
+}  // namespace rtsp

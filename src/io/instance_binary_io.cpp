@@ -1,0 +1,357 @@
+#include "io/instance_binary_io.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "io/instance_io.hpp"
+#include "obs/obs.hpp"
+#include "support/mmap.hpp"
+
+namespace rtsp {
+
+namespace {
+
+constexpr char kMagic[8] = {'R', 'T', 'S', 'P', 'B', 'I', 'N', '1'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kSectionCount = 5;
+constexpr std::size_t kSectionEntrySize = 24;
+constexpr std::size_t kHeaderSize = 40 + kSectionCount * kSectionEntrySize;
+
+enum SectionId : std::uint32_t {
+  kSecCaps = 1,
+  kSecSizes = 2,
+  kSecCosts = 3,
+  kSecXOld = 4,
+  kSecXNew = 5,
+};
+
+// Dimension caps mirror the text parser's policy: reject absurd headers
+// with a clean error before allocating. The object cap is deliberately
+// higher than the text format's — the binary format exists for the scale
+// tier.
+constexpr std::uint64_t kMaxServers = 1'000'000;
+constexpr std::uint64_t kMaxObjects = 1'000'000'000;
+
+[[noreturn]] void fail(const std::string& why) {
+  throw std::runtime_error("binary instance parse error: " + why);
+}
+
+void put_u32(std::ostream& out, std::uint32_t v) {
+  const char b[4] = {static_cast<char>(v & 0xff), static_cast<char>((v >> 8) & 0xff),
+                     static_cast<char>((v >> 16) & 0xff),
+                     static_cast<char>((v >> 24) & 0xff)};
+  out.write(b, 4);
+}
+
+void put_u64(std::ostream& out, std::uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out.write(b, 8);
+}
+
+void put_i64(std::ostream& out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+/// Bounds-checked little-endian loads over the raw image.
+class Cursor {
+ public:
+  Cursor(const unsigned char* data, std::size_t size) : data_(data), size_(size) {}
+
+  std::size_t size() const { return size_; }
+
+  std::uint32_t u32(std::size_t off) const {
+    need(off, 4);
+    if constexpr (std::endian::native == std::endian::little) {
+      std::uint32_t v;
+      std::memcpy(&v, data_ + off, 4);
+      return v;
+    }
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) v = (v << 8) | data_[off + static_cast<std::size_t>(i)];
+    return v;
+  }
+
+  std::uint64_t u64(std::size_t off) const {
+    need(off, 8);
+    if constexpr (std::endian::native == std::endian::little) {
+      std::uint64_t v;
+      std::memcpy(&v, data_ + off, 8);
+      return v;
+    }
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) v = (v << 8) | data_[off + static_cast<std::size_t>(i)];
+    return v;
+  }
+
+  std::int64_t i64(std::size_t off) const {
+    return static_cast<std::int64_t>(u64(off));
+  }
+
+  /// Bulk little-endian i64 copy; one bounds check per run, not per value.
+  void copy_i64(std::size_t off, std::int64_t* dst, std::size_t count) const {
+    need(off, count * 8);
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(dst, data_ + off, count * 8);
+      return;
+    }
+    for (std::size_t t = 0; t < count; ++t) dst[t] = i64(off + t * 8);
+  }
+
+ private:
+  void need(std::size_t off, std::size_t len) const {
+    if (off > size_ || size_ - off < len) fail("truncated file (read past end)");
+  }
+
+  const unsigned char* data_;
+  std::size_t size_;
+};
+
+struct Section {
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+  bool present = false;
+};
+
+std::uint64_t aligned8(std::uint64_t n) { return (n + 7) / 8 * 8; }
+
+void write_placement_csr(std::ostream& out, const ReplicationMatrix& x) {
+  const std::size_t objects = x.num_objects();
+  std::uint64_t running = 0;
+  for (ObjectId k = 0; k < objects; ++k) {
+    put_u64(out, running);
+    running += x.replica_count(k);
+  }
+  put_u64(out, running);
+  for (ObjectId k = 0; k < objects; ++k) {
+    x.for_each_replicator(k, [&](ServerId i) { put_u32(out, i); });
+  }
+  if (running % 2 != 0) put_u32(out, 0);  // pad the ids to 8 bytes
+}
+
+}  // namespace
+
+void write_instance_binary(std::ostream& out, const Instance& instance) {
+  const SystemModel& m = instance.model;
+  const std::uint64_t servers = m.num_servers();
+  const std::uint64_t objects = m.num_objects();
+  const std::uint64_t r_old = instance.x_old.total_replicas();
+  const std::uint64_t r_new = instance.x_new.total_replicas();
+
+  struct Entry {
+    std::uint32_t id;
+    std::uint64_t offset;
+    std::uint64_t length;
+  };
+  std::uint64_t cursor = kHeaderSize;
+  const auto place = [&](std::uint32_t id, std::uint64_t length) {
+    const Entry e{id, cursor, length};
+    cursor += aligned8(length);
+    return e;
+  };
+  const Entry entries[kSectionCount] = {
+      place(kSecCaps, servers * 8),
+      place(kSecSizes, objects * 8),
+      place(kSecCosts, servers * servers * 8),
+      place(kSecXOld, (objects + 1) * 8 + r_old * 4),
+      place(kSecXNew, (objects + 1) * 8 + r_new * 4),
+  };
+
+  out.write(kMagic, 8);
+  put_u32(out, kVersion);
+  put_u32(out, kSectionCount);
+  put_u64(out, servers);
+  put_u64(out, objects);
+  put_u64(out, std::bit_cast<std::uint64_t>(m.dummy_factor()));
+  for (const Entry& e : entries) {
+    put_u32(out, e.id);
+    put_u32(out, 0);
+    put_u64(out, e.offset);
+    put_u64(out, e.length);
+  }
+
+  for (ServerId i = 0; i < servers; ++i) put_i64(out, m.capacity(i));
+  for (ObjectId k = 0; k < objects; ++k) put_i64(out, m.object_size(k));
+  for (ServerId i = 0; i < servers; ++i) {
+    for (ServerId j = 0; j < servers; ++j) put_i64(out, m.costs().at(i, j));
+  }
+  write_placement_csr(out, instance.x_old);
+  write_placement_csr(out, instance.x_new);
+  if (!out) throw std::runtime_error("binary instance write failed");
+}
+
+void write_instance_binary_file(const std::string& path, const Instance& instance) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot open '" + path + "' for writing");
+  write_instance_binary(out, instance);
+  out.flush();
+  if (!out) throw std::runtime_error("cannot write '" + path + "'");
+}
+
+namespace {
+
+ReplicationMatrix read_placement_csr(const Cursor& c, const Section& s,
+                                     std::uint64_t servers, std::uint64_t objects,
+                                     const char* what) {
+  const std::uint64_t table_bytes = (objects + 1) * 8;
+  if (s.length < table_bytes) fail(std::string(what) + " section shorter than its offset table");
+  const std::uint64_t id_bytes = s.length - table_bytes;
+  if (id_bytes % 4 != 0) fail(std::string(what) + " ids not a multiple of 4 bytes");
+  const std::uint64_t ids = id_bytes / 4;
+
+  const std::uint64_t first = c.u64(s.offset);
+  if (first != 0) fail(std::string(what) + " offset table must start at 0");
+  const std::uint64_t last = c.u64(s.offset + objects * 8);
+  if (last != ids) {
+    fail(std::string(what) + " offset table length mismatch (table says " +
+         std::to_string(last) + " ids, section holds " + std::to_string(ids) + ")");
+  }
+
+  ReplicationMatrix x(servers, objects);
+  const std::uint64_t ids_base = s.offset + table_bytes;
+  std::uint64_t prev_end = 0;
+  for (std::uint64_t k = 0; k < objects; ++k) {
+    const std::uint64_t begin = c.u64(s.offset + k * 8);
+    const std::uint64_t end = c.u64(s.offset + (k + 1) * 8);
+    if (begin != prev_end || end < begin || end > ids) {
+      fail(std::string(what) + " offset table not monotonic at object " +
+           std::to_string(k));
+    }
+    prev_end = end;
+    std::uint32_t prev_id = 0;
+    for (std::uint64_t t = begin; t < end; ++t) {
+      const std::uint32_t i = c.u32(ids_base + t * 4);
+      if (i >= servers) {
+        fail(std::string(what) + " server id " + std::to_string(i) +
+             " out of range for object " + std::to_string(k));
+      }
+      if (t > begin && i <= prev_id) {
+        fail(std::string(what) + " server ids not strictly ascending for object " +
+             std::to_string(k));
+      }
+      prev_id = i;
+      x.set(static_cast<ServerId>(i), static_cast<ObjectId>(k));
+    }
+  }
+  return x;
+}
+
+}  // namespace
+
+Instance instance_from_binary(const unsigned char* data, std::size_t size) {
+  const Cursor c(data, size);
+  if (size < kHeaderSize) fail("truncated header");
+  for (std::size_t i = 0; i < 8; ++i) {
+    if (static_cast<char>(data[i]) != kMagic[i]) fail("bad magic");
+  }
+  const std::uint32_t version = c.u32(8);
+  if (version != kVersion) {
+    fail("unsupported version " + std::to_string(version));
+  }
+  const std::uint32_t sections = c.u32(12);
+  if (sections != kSectionCount) {
+    fail("expected " + std::to_string(kSectionCount) + " sections, got " +
+         std::to_string(sections));
+  }
+  const std::uint64_t servers = c.u64(16);
+  const std::uint64_t objects = c.u64(24);
+  if (servers == 0 || servers > kMaxServers) {
+    fail("server count " + std::to_string(servers) + " out of range [1, " +
+         std::to_string(kMaxServers) + "]");
+  }
+  if (objects == 0 || objects > kMaxObjects) {
+    fail("object count " + std::to_string(objects) + " out of range [1, " +
+         std::to_string(kMaxObjects) + "]");
+  }
+  const double dummy_factor = std::bit_cast<double>(c.u64(32));
+  if (!std::isfinite(dummy_factor) || dummy_factor < 0.0) {
+    fail("dummy_factor must be finite and non-negative");
+  }
+
+  Section table[kSectionCount + 1];  // 1-indexed by section id
+  for (std::uint32_t t = 0; t < kSectionCount; ++t) {
+    const std::size_t base = 40 + t * kSectionEntrySize;
+    const std::uint32_t id = c.u32(base);
+    if (id < 1 || id > kSectionCount) fail("unknown section id " + std::to_string(id));
+    if (table[id].present) fail("duplicate section id " + std::to_string(id));
+    Section& s = table[id];
+    s.offset = c.u64(base + 8);
+    s.length = c.u64(base + 16);
+    s.present = true;
+    if (s.offset < kHeaderSize || s.offset > size || s.length > size - s.offset) {
+      fail("section " + std::to_string(id) + " extends past end of file");
+    }
+  }
+
+  const auto expect_length = [&](SectionId id, std::uint64_t want, const char* what) {
+    if (table[id].length != want) {
+      fail(std::string(what) + " section length " + std::to_string(table[id].length) +
+           " != expected " + std::to_string(want));
+    }
+  };
+  expect_length(kSecCaps, servers * 8, "capacities");
+  expect_length(kSecSizes, objects * 8, "sizes");
+  expect_length(kSecCosts, servers * servers * 8, "costs");
+
+  std::vector<Size> caps(servers);
+  c.copy_i64(table[kSecCaps].offset, caps.data(), servers);
+  for (std::uint64_t i = 0; i < servers; ++i) {
+    if (caps[i] < 0) fail("negative capacity for server " + std::to_string(i));
+  }
+  std::vector<Size> sizes(objects);
+  c.copy_i64(table[kSecSizes].offset, sizes.data(), objects);
+  for (std::uint64_t k = 0; k < objects; ++k) {
+    if (sizes[k] < 0) fail("negative size for object " + std::to_string(k));
+  }
+  std::vector<LinkCost> flat_costs(servers * servers);
+  c.copy_i64(table[kSecCosts].offset, flat_costs.data(), servers * servers);
+  // from_flat validates non-negativity, zero diagonal and symmetry; wrap
+  // its precondition failures in the parse-error convention.
+  CostMatrix costs = [&] {
+    try {
+      return CostMatrix::from_flat(servers, std::move(flat_costs));
+    } catch (const std::exception& e) {
+      fail(std::string("bad cost matrix: ") + e.what());
+    }
+  }();
+
+  ReplicationMatrix x_old =
+      read_placement_csr(c, table[kSecXOld], servers, objects, "X_old");
+  ReplicationMatrix x_new =
+      read_placement_csr(c, table[kSecXNew], servers, objects, "X_new");
+
+  SystemModel model(ServerCatalog(std::move(caps)), ObjectCatalog(std::move(sizes)),
+                    std::move(costs), dummy_factor);
+  return Instance{std::move(model), std::move(x_old), std::move(x_new)};
+}
+
+Instance read_instance_binary_file(const std::string& path) {
+  const MappedFile file = MappedFile::open(path);
+  OBS_GAUGE_SET("io.bytes_mapped", file.mapped() ? file.size() : 0);
+  OBS_GAUGE_SET("io.instance_bytes", file.size());
+  return instance_from_binary(file.data(), file.size());
+}
+
+bool is_binary_instance_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  char head[8] = {};
+  if (!in.read(head, 8)) return false;
+  for (std::size_t i = 0; i < 8; ++i) {
+    if (head[i] != kMagic[i]) return false;
+  }
+  return true;
+}
+
+Instance read_instance_any(const std::string& path) {
+  if (is_binary_instance_file(path)) return read_instance_binary_file(path);
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open '" + path + "'");
+  return read_instance(in);
+}
+
+}  // namespace rtsp

@@ -1,0 +1,59 @@
+// Compact binary RTSP instance serialisation ("RTSPBIN1", version 1).
+//
+// The text format re-parses every number through iostreams, which at the
+// scale tier (millions of objects) costs tens of seconds and transient
+// string storage. The binary format is a flat little-endian image that can
+// be memory-mapped and decoded with bounds-checked integer loads:
+//
+//   offset  size  field
+//   0       8     magic "RTSPBIN1"
+//   8       4     u32 version (= 1)
+//   12      4     u32 section count (= 5)
+//   16      8     u64 servers (M)
+//   24      8     u64 objects (N)
+//   32      8     f64 dummy_factor (IEEE-754 bits)
+//   40      24*5  section table: {u32 id, u32 reserved, u64 offset, u64 len}
+//   160     ...   section payloads (offsets are absolute, 8-byte aligned)
+//
+//   section id  payload
+//   1 CAPS      M x i64 server capacities
+//   2 SIZES     N x i64 object sizes
+//   3 COSTS     M*M x i64 row-major link costs
+//   4 XOLD      CSR placement: (N+1) x u64 offsets, then u32 server ids
+//   5 XNEW      same layout as XOLD
+//
+// Placements are stored per object (CSR over objects) with strictly
+// ascending server ids, which is exactly the sparse index's authoritative
+// order — loading a million-object instance never materialises a dense
+// bitset. Every length, offset, id and count is validated before use;
+// malformed input throws std::runtime_error, never UB or bad_alloc.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+
+#include "workload/scenario.hpp"
+
+namespace rtsp {
+
+/// Writes the binary format described above.
+void write_instance_binary(std::ostream& out, const Instance& instance);
+void write_instance_binary_file(const std::string& path, const Instance& instance);
+
+/// Decodes a binary instance from memory; throws std::runtime_error on any
+/// malformed content.
+Instance instance_from_binary(const unsigned char* data, std::size_t size);
+
+/// Opens `path` via MappedFile (mmap with read fallback) and decodes it.
+/// Records the io.bytes_mapped gauge.
+Instance read_instance_binary_file(const std::string& path);
+
+/// True when the file starts with the binary magic.
+bool is_binary_instance_file(const std::string& path);
+
+/// Loads either format: sniffs the magic and dispatches to the binary or
+/// text reader. The scale-tier entry point used by the CLI.
+Instance read_instance_any(const std::string& path);
+
+}  // namespace rtsp

@@ -13,23 +13,20 @@
 
 namespace rtsp::obs {
 
-namespace {
-
-/// Records the process peak RSS as a gauge so every metrics snapshot /
-/// export carries the memory high-water mark of the run.
-void record_peak_rss() {
+std::int64_t record_peak_rss() {
 #if defined(__unix__) || defined(__APPLE__)
   rusage usage{};
-  if (getrusage(RUSAGE_SELF, &usage) != 0) return;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
   std::int64_t kb = usage.ru_maxrss;
 #if defined(__APPLE__)
   kb /= 1024;  // macOS reports bytes, Linux kilobytes
 #endif
   MetricsRegistry::instance().gauge("process.peak_rss_kb").set(kb);
+  return kb;
+#else
+  return 0;
 #endif
 }
-
-}  // namespace
 
 Session::Session(const CliOptions& opt)
     : summary_(opt.get_bool("obs", "RTSP_OBS", false)),

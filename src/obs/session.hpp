@@ -4,6 +4,7 @@
 // prints the end-of-run summary tables.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -12,6 +13,12 @@ class CliOptions;
 }
 
 namespace rtsp::obs {
+
+/// Samples the process peak RSS, records it as the process.peak_rss_kb
+/// gauge, and returns it in KiB (0 when the platform has no getrusage).
+/// Called at session finish and after each solve so memory-vs-N experiments
+/// can read the high-water mark without extra tooling.
+std::int64_t record_peak_rss();
 
 class Session {
  public:

@@ -1,0 +1,82 @@
+#include "support/mmap.hpp"
+
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define RTSP_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define RTSP_HAVE_MMAP 0
+#endif
+
+namespace rtsp {
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : map_(std::exchange(other.map_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      fallback_(std::move(other.fallback_)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this == &other) return *this;
+  reset();
+  map_ = std::exchange(other.map_, nullptr);
+  size_ = std::exchange(other.size_, 0);
+  fallback_ = std::move(other.fallback_);
+  return *this;
+}
+
+MappedFile::~MappedFile() { reset(); }
+
+void MappedFile::reset() {
+#if RTSP_HAVE_MMAP
+  if (map_ != nullptr) ::munmap(map_, size_);
+#endif
+  map_ = nullptr;
+  size_ = 0;
+  fallback_.clear();
+}
+
+MappedFile MappedFile::open(const std::string& path) {
+  MappedFile f;
+#if RTSP_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    struct stat st{};
+    if (::fstat(fd, &st) == 0 && S_ISREG(st.st_mode)) {
+      f.size_ = static_cast<std::size_t>(st.st_size);
+      if (f.size_ == 0) {
+        ::close(fd);
+        return f;
+      }
+      void* map = ::mmap(nullptr, f.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+      ::close(fd);
+      if (map != MAP_FAILED) {
+        f.map_ = map;
+        return f;
+      }
+      f.size_ = 0;  // fall through to the portable path
+    } else {
+      ::close(fd);
+    }
+  }
+#endif
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open '" + path + "'");
+  in.seekg(0, std::ios::end);
+  const std::streamoff len = in.tellg();
+  in.seekg(0, std::ios::beg);
+  f.fallback_.resize(static_cast<std::size_t>(len));
+  if (len > 0 &&
+      !in.read(reinterpret_cast<char*>(f.fallback_.data()), len)) {
+    throw std::runtime_error("cannot read '" + path + "'");
+  }
+  f.size_ = f.fallback_.size();
+  return f;
+}
+
+}  // namespace rtsp

@@ -1,0 +1,42 @@
+// MappedFile: read-only memory mapping of a whole file, with a portable
+// read-into-memory fallback when mmap is unavailable (non-POSIX platforms,
+// special files, or mapping failures). Either way the file contents are
+// reachable through data()/size(); mapped() tells callers which path was
+// taken so they can report bytes actually mapped.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rtsp {
+
+class MappedFile {
+ public:
+  MappedFile() = default;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  ~MappedFile();
+
+  /// Maps (or reads) `path`; throws std::runtime_error when the file cannot
+  /// be opened. Zero-length files yield data() == nullptr, size() == 0.
+  static MappedFile open(const std::string& path);
+
+  const unsigned char* data() const {
+    return map_ ? static_cast<const unsigned char*>(map_) : fallback_.data();
+  }
+  std::size_t size() const { return size_; }
+  /// True when the contents live in an actual mmap, not the heap fallback.
+  bool mapped() const { return map_ != nullptr; }
+
+ private:
+  void reset();
+
+  void* map_ = nullptr;
+  std::size_t size_ = 0;
+  std::vector<unsigned char> fallback_;
+};
+
+}  // namespace rtsp

@@ -37,6 +37,34 @@ CostMatrix CostMatrix::from_rows(std::vector<std::vector<LinkCost>> rows) {
   return m;
 }
 
+CostMatrix CostMatrix::from_flat(std::size_t n, std::vector<LinkCost> data) {
+  RTSP_REQUIRE_MSG(data.size() == n * n, "cost matrix must be square");
+  CostMatrix m;
+  m.n_ = n;
+  m.data_ = std::move(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    RTSP_REQUIRE_MSG(m.data_[i * n + i] == 0, "diagonal must be zero");
+  }
+  for (const LinkCost v : m.data_) RTSP_REQUIRE(v >= 0);
+  // Symmetry check in 64x64 tiles: comparing row-major data_[i][j] against
+  // data_[j][i] strides the whole matrix per row if done naively; tiling
+  // keeps both the block and its transpose resident in cache.
+  constexpr std::size_t kTile = 64;
+  for (std::size_t bi = 0; bi < n; bi += kTile) {
+    for (std::size_t bj = bi; bj < n; bj += kTile) {
+      const std::size_t ei = std::min(bi + kTile, n);
+      const std::size_t ej = std::min(bj + kTile, n);
+      for (std::size_t i = bi; i < ei; ++i) {
+        for (std::size_t j = std::max(bj, i + 1); j < ej; ++j) {
+          RTSP_REQUIRE_MSG(m.data_[i * n + j] == m.data_[j * n + i],
+                           "cost matrix must be symmetric");
+        }
+      }
+    }
+  }
+  return m;
+}
+
 void CostMatrix::set(std::size_t i, std::size_t j, LinkCost cost) {
   RTSP_REQUIRE(i < n_ && j < n_ && i != j);
   RTSP_REQUIRE(cost >= 0);

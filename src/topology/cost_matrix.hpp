@@ -26,6 +26,10 @@ class CostMatrix {
   /// zero diagonal, non-negative).
   static CostMatrix from_rows(std::vector<std::vector<LinkCost>> rows);
 
+  /// Same validation as from_rows, but adopts an n*n row-major buffer
+  /// without copying — the binary instance reader's bulk path.
+  static CostMatrix from_flat(std::size_t n, std::vector<LinkCost> data);
+
   std::size_t size() const { return n_; }
 
   LinkCost at(std::size_t i, std::size_t j) const {

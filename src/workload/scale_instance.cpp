@@ -1,0 +1,86 @@
+#include "workload/scale_instance.hpp"
+
+#include <algorithm>
+
+#include "topology/cost_matrix.hpp"
+
+namespace rtsp {
+
+namespace {
+
+/// Draws `count` distinct servers uniformly, excluding those for which
+/// `excluded` returns true. Rejection sampling: with count << M the
+/// expected number of redraws is a small constant.
+template <typename Excluded>
+void draw_distinct(std::size_t servers, std::size_t count, Rng& rng,
+                   const Excluded& excluded, std::vector<ServerId>& out) {
+  out.clear();
+  while (out.size() < count) {
+    const ServerId s = static_cast<ServerId>(rng.below(servers));
+    if (excluded(s)) continue;
+    if (std::find(out.begin(), out.end(), s) != out.end()) continue;
+    out.push_back(s);
+  }
+  std::sort(out.begin(), out.end());
+}
+
+}  // namespace
+
+Instance make_scale_instance(const ScaleInstanceSpec& spec, Rng& rng) {
+  RTSP_REQUIRE(spec.servers > 0 && spec.objects > 0);
+  RTSP_REQUIRE(spec.replicas_per_object >= 1);
+  RTSP_REQUIRE_MSG(
+      !spec.zero_overlap || 2 * spec.replicas_per_object <= spec.servers,
+      "zero overlap needs 2*replicas_per_object <= servers");
+  RTSP_REQUIRE(spec.min_object_size >= 1 &&
+               spec.min_object_size <= spec.max_object_size);
+  RTSP_REQUIRE(spec.capacity_slack >= 0.0);
+
+  const Graph g = barabasi_albert_tree(spec.servers, spec.link_costs, rng);
+  CostMatrix costs = CostMatrix::from_graph_shortest_paths(g);
+
+  std::vector<Size> sizes(spec.objects);
+  for (Size& s : sizes) {
+    s = rng.uniform_int(spec.min_object_size, spec.max_object_size);
+  }
+
+  ReplicationMatrix x_old(spec.servers, spec.objects);
+  ReplicationMatrix x_new(spec.servers, spec.objects);
+  std::vector<Size> used_old(spec.servers, 0);
+  std::vector<Size> used_new(spec.servers, 0);
+  std::vector<ServerId> old_sites;
+  std::vector<ServerId> new_sites;
+  old_sites.reserve(spec.replicas_per_object);
+  new_sites.reserve(spec.replicas_per_object);
+  for (ObjectId k = 0; k < spec.objects; ++k) {
+    draw_distinct(spec.servers, spec.replicas_per_object, rng,
+                  [](ServerId) { return false; }, old_sites);
+    for (ServerId i : old_sites) {
+      x_old.set(i, k);
+      used_old[i] += sizes[k];
+    }
+    draw_distinct(spec.servers, spec.replicas_per_object, rng,
+                  [&](ServerId s) {
+                    return spec.zero_overlap &&
+                           std::binary_search(old_sites.begin(), old_sites.end(), s);
+                  },
+                  new_sites);
+    for (ServerId i : new_sites) {
+      x_new.set(i, k);
+      used_new[i] += sizes[k];
+    }
+  }
+
+  const Size extra = static_cast<Size>(spec.capacity_slack *
+                                       static_cast<double>(spec.max_object_size));
+  std::vector<Size> caps(spec.servers);
+  for (ServerId i = 0; i < spec.servers; ++i) {
+    caps[i] = std::max(used_old[i], used_new[i]) + extra;
+  }
+
+  SystemModel model(ServerCatalog(std::move(caps)), ObjectCatalog(std::move(sizes)),
+                    std::move(costs), spec.dummy_factor);
+  return Instance{std::move(model), std::move(x_old), std::move(x_new)};
+}
+
+}  // namespace rtsp

@@ -1,0 +1,38 @@
+// Scale-tier instance generator: millions of objects, thousands of servers.
+//
+// The paper-setup generators build balanced placements by weighted sampling
+// over all M servers per replica (O(N*M)) — perfect for the paper's 50x1000
+// experiments, hopeless at N = 1e6. This generator trades exact balance for
+// O(N*r) rejection sampling: replica sets are drawn uniformly per object,
+// which concentrates per-server load around N*r/M with small deviation,
+// and capacities are accumulated during generation instead of re-scanning
+// placements. The result is always storage-feasible for the registry
+// builders (capacity >= max(used_old, used_new) + slack).
+#pragma once
+
+#include "support/rng.hpp"
+#include "topology/generators.hpp"
+#include "workload/scenario.hpp"
+
+namespace rtsp {
+
+struct ScaleInstanceSpec {
+  std::size_t servers = 2000;
+  std::size_t objects = 1'000'000;
+  std::size_t replicas_per_object = 2;
+  Size min_object_size = 1000;
+  Size max_object_size = 5000;
+  LinkCostRange link_costs{1, 10};
+  double dummy_factor = 1.0;
+  /// Extra free space per server, in units of max_object_size.
+  double capacity_slack = 1.0;
+  /// When true, X_new avoids every X_old replica (the paper's 0% overlap).
+  bool zero_overlap = true;
+};
+
+/// Draws a BA tree topology, uniform replica sets for X_old / X_new, and
+/// accumulated minimum-plus-slack capacities. O(M^2) for the cost matrix
+/// plus O(N*r) for the placements.
+Instance make_scale_instance(const ScaleInstanceSpec& spec, Rng& rng);
+
+}  // namespace rtsp

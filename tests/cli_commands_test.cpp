@@ -1,6 +1,7 @@
 #include "cli/commands.hpp"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <fstream>
 #include <sstream>
@@ -29,7 +30,9 @@ CliResult run(std::vector<std::string> args) {
 }
 
 std::string temp_path(const std::string& name) {
-  return testing::TempDir() + "/" + name;
+  // Per-process prefix: ctest runs each TEST as its own process, often in
+  // parallel, and shared names (notably cli_fig3.rtsp) raced on rewrite.
+  return testing::TempDir() + "/" + std::to_string(::getpid()) + "_" + name;
 }
 
 std::string write_fig3_instance() {

@@ -1,0 +1,198 @@
+// Differential suite: SparseReplicaIndex (via ReplicationMatrix's sparse
+// store) must agree with the dense bitset on every observable — membership,
+// counts, iteration order, overlap, equality — under randomized workloads.
+#include "core/sparse_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/replication.hpp"
+#include "support/rng.hpp"
+
+namespace rtsp {
+namespace {
+
+using Store = ReplicationMatrix::Store;
+
+std::vector<ServerId> replicator_order(const ReplicationMatrix& x, ObjectId k) {
+  std::vector<ServerId> out;
+  x.for_each_replicator(k, [&](ServerId i) { out.push_back(i); });
+  return out;
+}
+
+std::vector<ObjectId> object_order(const ReplicationMatrix& x, ServerId i) {
+  std::vector<ObjectId> out;
+  x.for_each_object(i, [&](ObjectId k) { out.push_back(k); });
+  return out;
+}
+
+void expect_agree(const ReplicationMatrix& dense, const ReplicationMatrix& sparse) {
+  ASSERT_EQ(dense.num_servers(), sparse.num_servers());
+  ASSERT_EQ(dense.num_objects(), sparse.num_objects());
+  EXPECT_EQ(dense.total_replicas(), sparse.total_replicas());
+  for (ServerId i = 0; i < dense.num_servers(); ++i) {
+    EXPECT_EQ(dense.count_on(i), sparse.count_on(i)) << "server " << i;
+    EXPECT_EQ(object_order(dense, i), object_order(sparse, i)) << "server " << i;
+    EXPECT_EQ(dense.objects_on(i), sparse.objects_on(i)) << "server " << i;
+  }
+  for (ObjectId k = 0; k < dense.num_objects(); ++k) {
+    EXPECT_EQ(dense.replica_count(k), sparse.replica_count(k)) << "object " << k;
+    EXPECT_EQ(replicator_order(dense, k), replicator_order(sparse, k))
+        << "object " << k;
+    for (ServerId i = 0; i < dense.num_servers(); ++i) {
+      EXPECT_EQ(dense.test(i, k), sparse.test(i, k)) << "(" << i << "," << k << ")";
+    }
+  }
+  // Cross-store semantic equality, both directions.
+  EXPECT_TRUE(dense == sparse);
+  EXPECT_TRUE(sparse == dense);
+}
+
+TEST(SparseIndex, DifferentialRandomizedOps) {
+  constexpr std::size_t kServers = 17;
+  constexpr std::size_t kObjects = 97;
+  Rng rng(20260808);
+  ReplicationMatrix dense(kServers, kObjects, Store::kDense);
+  ReplicationMatrix sparse(kServers, kObjects, Store::kSparse);
+  ASSERT_TRUE(dense.is_dense());
+  ASSERT_TRUE(sparse.is_sparse());
+
+  for (int round = 0; round < 20; ++round) {
+    for (int op = 0; op < 200; ++op) {
+      const ServerId i = static_cast<ServerId>(rng.below(kServers));
+      const ObjectId k = static_cast<ObjectId>(rng.below(kObjects));
+      // Biased towards set so the matrices actually fill; both stores must
+      // also agree on redundant set/clear (no-ops).
+      if (rng.below(3) != 0) {
+        dense.set(i, k);
+        sparse.set(i, k);
+      } else {
+        dense.clear(i, k);
+        sparse.clear(i, k);
+      }
+    }
+    expect_agree(dense, sparse);
+  }
+}
+
+TEST(SparseIndex, OverlapAgreesAcrossAllStoreCombinations) {
+  constexpr std::size_t kServers = 11;
+  constexpr std::size_t kObjects = 53;
+  Rng rng(99);
+  ReplicationMatrix ad(kServers, kObjects, Store::kDense);
+  ReplicationMatrix as(kServers, kObjects, Store::kSparse);
+  ReplicationMatrix bd(kServers, kObjects, Store::kDense);
+  ReplicationMatrix bs(kServers, kObjects, Store::kSparse);
+  for (int op = 0; op < 400; ++op) {
+    const ServerId i = static_cast<ServerId>(rng.below(kServers));
+    const ObjectId k = static_cast<ObjectId>(rng.below(kObjects));
+    if (rng.below(2) == 0) {
+      ad.set(i, k);
+      as.set(i, k);
+    } else {
+      bd.set(i, k);
+      bs.set(i, k);
+    }
+  }
+  const std::size_t expected = ad.overlap(bd);
+  EXPECT_EQ(as.overlap(bs), expected);  // sparse/sparse
+  EXPECT_EQ(ad.overlap(bs), expected);  // dense/sparse
+  EXPECT_EQ(as.overlap(bd), expected);  // sparse/dense
+  EXPECT_EQ(bd.overlap(ad), expected);  // symmetry
+  EXPECT_EQ(bs.overlap(as), expected);
+}
+
+TEST(SparseIndex, SetAndClearAreIdempotent) {
+  SparseReplicaIndex idx(4, 6);
+  idx.set(2, 3);
+  idx.set(2, 3);
+  EXPECT_EQ(idx.total_replicas(), 1u);
+  EXPECT_EQ(idx.replica_count(3), 1u);
+  EXPECT_EQ(idx.count_on(2), 1u);
+  idx.clear(2, 3);
+  idx.clear(2, 3);
+  EXPECT_EQ(idx.total_replicas(), 0u);
+  EXPECT_EQ(idx.count_on(2), 0u);
+  EXPECT_FALSE(idx.test(2, 3));
+}
+
+TEST(SparseIndex, LazyServerListsCompactToSortedUnique) {
+  SparseReplicaIndex idx(3, 10);
+  // Interleave sets and clears so the append-log accumulates stale and
+  // duplicate entries before the first read.
+  for (ObjectId k : {7u, 3u, 9u, 3u, 1u}) idx.set(0, k);
+  idx.clear(0, 9);
+  idx.set(0, 9);
+  idx.clear(0, 3);
+  EXPECT_EQ(idx.objects(0), (std::vector<ObjectId>{1, 7, 9}));
+  // Reading again without mutations must not re-sort or change anything.
+  EXPECT_EQ(idx.objects(0), (std::vector<ObjectId>{1, 7, 9}));
+  idx.compact_all();
+  EXPECT_EQ(idx.objects(0), (std::vector<ObjectId>{1, 7, 9}));
+}
+
+TEST(SparseIndex, AutoStoreSelectsByDensityThreshold) {
+  // With 65536 servers the dense bitset crosses kDenseBitLimit (= 2^26 bits)
+  // at 1024 objects; one object past the boundary must flip to sparse.
+  const std::size_t servers = 1 << 16;
+  const std::size_t boundary = ReplicationMatrix::kDenseBitLimit / servers;
+  EXPECT_TRUE(ReplicationMatrix(servers, boundary).is_dense());
+  EXPECT_TRUE(ReplicationMatrix(servers, boundary + 1).is_sparse());
+  // Explicit stores override the heuristic in both directions.
+  EXPECT_TRUE(ReplicationMatrix(servers, boundary + 1, Store::kDense).is_dense());
+  EXPECT_TRUE(ReplicationMatrix(4, 4, Store::kSparse).is_sparse());
+}
+
+TEST(SparseIndex, ReplicaSetSpillsPastInlineBufferAndBack) {
+  // The per-object ReplicaSet holds two ids inline; push well past the
+  // spill point with out-of-order inserts, then erase back below it (the
+  // set stays on the heap — contents are what matters).
+  SparseReplicaIndex idx(64, 1);
+  const std::vector<ServerId> order = {7, 3, 60, 1, 22, 9, 41, 5, 0, 63};
+  for (ServerId i : order) idx.set(i, 0);
+  for (ServerId i : order) idx.set(i, 0);  // idempotent re-inserts
+  std::vector<ServerId> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<ServerId> seen;
+  idx.for_each_replicator(0, [&](ServerId i) { seen.push_back(i); });
+  EXPECT_EQ(seen, sorted);
+  EXPECT_EQ(idx.replica_count(0), order.size());
+  for (ServerId i : {3u, 60u, 0u, 63u, 22u, 9u, 41u, 5u}) idx.clear(i, 0);
+  seen.clear();
+  idx.for_each_replicator(0, [&](ServerId i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<ServerId>{1, 7}));
+  EXPECT_TRUE(idx.test(7, 0));
+  EXPECT_FALSE(idx.test(60, 0));
+}
+
+TEST(SparseIndex, CopiedIndexIsDeepAndIndependent) {
+  SparseReplicaIndex a(16, 4);
+  for (ServerId i : {1u, 5u, 9u, 12u}) a.set(i, 2);  // heap-spilled set
+  a.set(3, 0);                                       // inline set
+  SparseReplicaIndex b = a;  // copy: exact-fit clones of every set
+  EXPECT_TRUE(b == a);
+  b.set(14, 2);
+  b.clear(3, 0);
+  EXPECT_FALSE(b == a);
+  EXPECT_TRUE(a.test(3, 0));
+  EXPECT_FALSE(a.test(14, 2));
+  EXPECT_EQ(a.replica_count(2), 4u);
+  EXPECT_EQ(b.replica_count(2), 5u);
+  // Move leaves the source reusable-but-empty and the target intact.
+  SparseReplicaIndex c = std::move(b);
+  EXPECT_TRUE(c.test(14, 2));
+  EXPECT_EQ(c.replica_count(2), 5u);
+}
+
+TEST(SparseIndex, GatedAccessorsRequireMatchingStore) {
+  const ReplicationMatrix dense(4, 4, Store::kDense);
+  const ReplicationMatrix sparse(4, 4, Store::kSparse);
+  EXPECT_NO_THROW(dense.words());
+  EXPECT_NO_THROW(sparse.sparse_index());
+  EXPECT_THROW((void)sparse.words(), PreconditionError);
+  EXPECT_THROW((void)dense.sparse_index(), PreconditionError);
+}
+
+}  // namespace
+}  // namespace rtsp

@@ -40,8 +40,8 @@ TEST(Registry, RejectsUnknownNames) {
 }
 
 TEST(Registry, KnownListsAreStable) {
-  EXPECT_EQ(known_builders(),
-            (std::vector<std::string>{"AR", "GOLCF", "RDF", "GSDF"}));
+  EXPECT_EQ(known_builders(), (std::vector<std::string>{"AR", "GOLCF", "RDF",
+                                                        "GSDF", "RDFP", "GSDFP"}));
   EXPECT_EQ(known_improvers(),
             (std::vector<std::string>{"H1", "H2", "OP1", "OP1P", "SA", "H1H2FIX"}));
 }
@@ -63,9 +63,10 @@ TEST_P(PipelineRun, EveryComboProducesValidSchedules) {
 
 INSTANTIATE_TEST_SUITE_P(
     Combos, PipelineRun,
-    testing::Values("AR", "GOLCF", "RDF", "GSDF", "AR+H1+H2", "GOLCF+H1+H2",
-                    "GOLCF+OP1", "GOLCF+H1+H2+OP1", "RDF+H1+H2+OP1",
-                    "GSDF+H2+H1+OP1"),
+    testing::Values("AR", "GOLCF", "RDF", "GSDF", "RDFP", "GSDFP", "AR+H1+H2",
+                    "GOLCF+H1+H2", "GOLCF+OP1", "GOLCF+H1+H2+OP1",
+                    "RDF+H1+H2+OP1", "GSDF+H2+H1+OP1", "RDFP+H1+H2+OP1",
+                    "GSDFP+H2+H1+OP1"),
     [](const auto& info) {
       std::string name = info.param;
       for (char& c : name) {

@@ -1,0 +1,124 @@
+// RDFP/GSDFP must be bit-identical to their serial counterparts: same
+// (instance, seed) pair, same action sequence, same transfer sources — the
+// acceptance bar for the sharded parallel passes.
+#include "heuristics/sharded_build.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/validator.hpp"
+#include "heuristics/gsdf.hpp"
+#include "heuristics/rdf.hpp"
+#include "heuristics/registry.hpp"
+#include "test_helpers.hpp"
+
+namespace rtsp {
+namespace {
+
+/// Forces the resolve phase onto the pool even for tiny instances, so the
+/// tests cover the threaded code path and not just the inline fallback.
+ShardedBuildOptions forced_parallel() {
+  ShardedBuildOptions options;
+  options.threads = 4;
+  options.min_transfers_parallel = 0;
+  return options;
+}
+
+template <typename Serial, typename Sharded>
+void expect_bit_identical(const Serial& serial, const Sharded& sharded,
+                          const Instance& inst, std::uint64_t seed) {
+  Rng r1(seed);
+  Rng r2(seed);
+  const Schedule a = serial.build(inst.model, inst.x_old, inst.x_new, r1);
+  const Schedule b = sharded.build(inst.model, inst.x_old, inst.x_new, r2);
+  ASSERT_EQ(a.size(), b.size()) << "seed " << seed;
+  for (std::size_t u = 0; u < a.size(); ++u) {
+    EXPECT_EQ(a[u], b[u]) << "seed " << seed << " position " << u << ": "
+                          << a[u].to_string() << " vs " << b[u].to_string();
+  }
+  const auto v = Validator::validate(inst.model, inst.x_old, inst.x_new, b);
+  EXPECT_TRUE(v.valid) << v.to_string();
+}
+
+TEST(ShardedBuild, RdfpMatchesRdfOnRandomInstances) {
+  Rng rng(515);
+  for (int rep = 0; rep < 4; ++rep) {
+    RandomInstanceSpec spec;
+    spec.servers = 9;
+    spec.objects = 40;
+    spec.max_replicas = 3;
+    const Instance inst = random_instance(spec, rng);
+    for (std::uint64_t seed : {1u, 7u, 1234u}) {
+      expect_bit_identical(RdfBuilder(), ShardedRdfBuilder(forced_parallel()),
+                           inst, seed);
+    }
+  }
+}
+
+TEST(ShardedBuild, GsdfpMatchesGsdfOnRandomInstances) {
+  Rng rng(616);
+  for (int rep = 0; rep < 4; ++rep) {
+    RandomInstanceSpec spec;
+    spec.servers = 9;
+    spec.objects = 40;
+    spec.max_replicas = 3;
+    const Instance inst = random_instance(spec, rng);
+    for (std::uint64_t seed : {1u, 7u, 1234u}) {
+      expect_bit_identical(GsdfBuilder(), ShardedGsdfBuilder(forced_parallel()),
+                           inst, seed);
+    }
+  }
+}
+
+TEST(ShardedBuild, MatchesOnDummyHeavyInstances) {
+  // Fig. 1's circular deadlock forces dummy-sourced transfers; the sharded
+  // resolver must pick the dummy in exactly the same places.
+  const Instance inst = testutil::fig1_instance();
+  for (std::uint64_t seed : {2u, 3u, 99u}) {
+    expect_bit_identical(RdfBuilder(), ShardedRdfBuilder(forced_parallel()),
+                         inst, seed);
+    expect_bit_identical(GsdfBuilder(), ShardedGsdfBuilder(forced_parallel()),
+                         inst, seed);
+  }
+}
+
+TEST(ShardedBuild, InlineAndPooledPathsAgree) {
+  Rng rng(717);
+  RandomInstanceSpec spec;
+  spec.servers = 8;
+  spec.objects = 30;
+  const Instance inst = random_instance(spec, rng);
+  ShardedBuildOptions inline_only;
+  inline_only.threads = 1;
+  expect_bit_identical(ShardedRdfBuilder(inline_only),
+                       ShardedRdfBuilder(forced_parallel()), inst, 42);
+  expect_bit_identical(ShardedGsdfBuilder(inline_only),
+                       ShardedGsdfBuilder(forced_parallel()), inst, 42);
+}
+
+TEST(ShardedBuild, FullPipelinesStayBitIdentical) {
+  // Improvers are deterministic given (schedule, rng), so a bit-identical
+  // builder keeps the whole registry pipeline bit-identical.
+  Rng rng(818);
+  RandomInstanceSpec spec;
+  spec.servers = 8;
+  spec.objects = 25;
+  const Instance inst = random_instance(spec, rng);
+  const std::pair<const char*, const char*> pairs[] = {
+      {"RDF", "RDFP"},
+      {"GSDF", "GSDFP"},
+      {"RDF+H1+H2+OP1", "RDFP+H1+H2+OP1"},
+      {"GSDF+H2+H1+OP1", "GSDFP+H2+H1+OP1"},
+  };
+  for (const auto& [serial_spec, sharded_spec] : pairs) {
+    Rng r1(2026);
+    Rng r2(2026);
+    const Schedule a =
+        make_pipeline(serial_spec).run(inst.model, inst.x_old, inst.x_new, r1);
+    const Schedule b =
+        make_pipeline(sharded_spec).run(inst.model, inst.x_old, inst.x_new, r2);
+    EXPECT_EQ(a, b) << serial_spec << " vs " << sharded_spec;
+  }
+}
+
+}  // namespace
+}  // namespace rtsp

@@ -1,0 +1,275 @@
+// Binary instance format ("RTSPBIN1"): round-trips against the in-memory
+// model and the text format, plus the strict-parser negative suite — every
+// corrupted image must fail with a clean parse error, never UB.
+#include "io/instance_binary_io.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "io/instance_io.hpp"
+#include "test_helpers.hpp"
+
+namespace rtsp {
+namespace {
+
+using Bytes = std::vector<unsigned char>;
+
+Bytes to_bytes(const Instance& inst) {
+  std::ostringstream os(std::ios::binary);
+  write_instance_binary(os, inst);
+  const std::string s = os.str();
+  return Bytes(s.begin(), s.end());
+}
+
+Instance decode(const Bytes& b) { return instance_from_binary(b.data(), b.size()); }
+
+std::uint32_t get_u32(const Bytes& b, std::size_t off) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | b[off + static_cast<std::size_t>(i)];
+  return v;
+}
+
+std::uint64_t get_u64(const Bytes& b, std::size_t off) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | b[off + static_cast<std::size_t>(i)];
+  return v;
+}
+
+void set_u32(Bytes& b, std::size_t off, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    b[off + static_cast<std::size_t>(i)] = static_cast<unsigned char>((v >> (8 * i)) & 0xff);
+  }
+}
+
+void set_u64(Bytes& b, std::size_t off, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    b[off + static_cast<std::size_t>(i)] = static_cast<unsigned char>((v >> (8 * i)) & 0xff);
+  }
+}
+
+struct SectionLoc {
+  std::size_t entry;   // byte offset of this section's table entry
+  std::size_t offset;  // payload offset
+  std::uint64_t length;
+};
+
+/// Locates a section's table entry and payload in the serialized image.
+SectionLoc find_section(const Bytes& b, std::uint32_t id) {
+  for (std::uint32_t t = 0; t < 5; ++t) {
+    const std::size_t base = 40 + t * 24;
+    if (get_u32(b, base) == id) {
+      return {base, static_cast<std::size_t>(get_u64(b, base + 8)), get_u64(b, base + 16)};
+    }
+  }
+  ADD_FAILURE() << "section " << id << " not found";
+  return {};
+}
+
+void expect_same_instance(const Instance& got, const Instance& want) {
+  ASSERT_EQ(got.model.num_servers(), want.model.num_servers());
+  ASSERT_EQ(got.model.num_objects(), want.model.num_objects());
+  EXPECT_EQ(got.model.dummy_link_cost(), want.model.dummy_link_cost());
+  for (ServerId i = 0; i < want.model.num_servers(); ++i) {
+    EXPECT_EQ(got.model.capacity(i), want.model.capacity(i));
+    for (ServerId j = 0; j < want.model.num_servers(); ++j) {
+      EXPECT_EQ(got.model.costs().at(i, j), want.model.costs().at(i, j));
+    }
+  }
+  for (ObjectId k = 0; k < want.model.num_objects(); ++k) {
+    EXPECT_EQ(got.model.object_size(k), want.model.object_size(k));
+  }
+  EXPECT_EQ(got.x_old, want.x_old);
+  EXPECT_EQ(got.x_new, want.x_new);
+}
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "/" + std::to_string(::getpid()) + "_" + name;
+}
+
+TEST(InstanceBinaryIo, RoundTripFig3) {
+  const Instance inst = testutil::fig3_instance();
+  expect_same_instance(decode(to_bytes(inst)), inst);
+}
+
+TEST(InstanceBinaryIo, RoundTripRandomInstances) {
+  Rng rng(31337);
+  for (int rep = 0; rep < 5; ++rep) {
+    RandomInstanceSpec spec;
+    spec.servers = 7;
+    spec.objects = 19;
+    const Instance inst = random_instance(spec, rng);
+    expect_same_instance(decode(to_bytes(inst)), inst);
+  }
+}
+
+TEST(InstanceBinaryIo, AgreesWithTextFormat) {
+  // Same instance through both codecs must decode to the same placements.
+  const Instance inst = testutil::fig3_instance();
+  const Instance via_text = instance_from_text(instance_to_text(inst));
+  const Instance via_binary = decode(to_bytes(inst));
+  EXPECT_EQ(via_binary.x_old, via_text.x_old);
+  EXPECT_EQ(via_binary.x_new, via_text.x_new);
+  EXPECT_EQ(via_binary.model.dummy_link_cost(), via_text.model.dummy_link_cost());
+}
+
+TEST(InstanceBinaryIo, WritesSparseBackedMatricesIdentically) {
+  // The writer walks for_each_replicator, so a sparse-backed placement must
+  // serialize byte-for-byte like its dense twin.
+  Instance dense = testutil::fig3_instance();
+  Instance sparse = testutil::fig3_instance();
+  ReplicationMatrix so(4, 4, ReplicationMatrix::Store::kSparse);
+  ReplicationMatrix sn(4, 4, ReplicationMatrix::Store::kSparse);
+  for (ObjectId k = 0; k < 4; ++k) {
+    dense.x_old.for_each_replicator(k, [&](ServerId i) { so.set(i, k); });
+    dense.x_new.for_each_replicator(k, [&](ServerId i) { sn.set(i, k); });
+  }
+  sparse.x_old = std::move(so);
+  sparse.x_new = std::move(sn);
+  EXPECT_EQ(to_bytes(dense), to_bytes(sparse));
+}
+
+TEST(InstanceBinaryIo, FileHelpersSniffAndDispatch) {
+  const Instance inst = testutil::fig3_instance();
+  const std::string bin_path = temp_path("inst.bin");
+  const std::string txt_path = temp_path("inst.rtsp");
+  write_instance_binary_file(bin_path, inst);
+  {
+    std::ofstream out(txt_path);
+    out << instance_to_text(inst);
+  }
+  EXPECT_TRUE(is_binary_instance_file(bin_path));
+  EXPECT_FALSE(is_binary_instance_file(txt_path));
+  EXPECT_FALSE(is_binary_instance_file(temp_path("missing.bin")));
+  expect_same_instance(read_instance_binary_file(bin_path), inst);
+  expect_same_instance(read_instance_any(bin_path), inst);
+  expect_same_instance(read_instance_any(txt_path), inst);
+}
+
+TEST(InstanceBinaryIo, RejectsTruncation) {
+  const Bytes full = to_bytes(testutil::fig3_instance());
+  for (const std::size_t len : {std::size_t{0}, std::size_t{7}, std::size_t{8},
+                                std::size_t{100}, std::size_t{159},
+                                full.size() / 2, full.size() - 1}) {
+    const Bytes cut(full.begin(), full.begin() + static_cast<std::ptrdiff_t>(len));
+    EXPECT_THROW(decode(cut), std::runtime_error) << "prefix length " << len;
+  }
+}
+
+TEST(InstanceBinaryIo, RejectsBadMagicAndVersion) {
+  Bytes b = to_bytes(testutil::fig3_instance());
+  Bytes bad_magic = b;
+  bad_magic[0] = 'X';
+  EXPECT_THROW(decode(bad_magic), std::runtime_error);
+
+  Bytes bad_version = b;
+  set_u32(bad_version, 8, 99);
+  EXPECT_THROW(decode(bad_version), std::runtime_error);
+
+  Bytes bad_sections = b;
+  set_u32(bad_sections, 12, 4);
+  EXPECT_THROW(decode(bad_sections), std::runtime_error);
+}
+
+TEST(InstanceBinaryIo, RejectsBadDimensions) {
+  Bytes zero_servers = to_bytes(testutil::fig3_instance());
+  set_u64(zero_servers, 16, 0);
+  EXPECT_THROW(decode(zero_servers), std::runtime_error);
+
+  Bytes huge_objects = to_bytes(testutil::fig3_instance());
+  set_u64(huge_objects, 24, std::uint64_t{2'000'000'000});
+  EXPECT_THROW(decode(huge_objects), std::runtime_error);
+}
+
+TEST(InstanceBinaryIo, RejectsNonFiniteDummyFactor) {
+  Bytes b = to_bytes(testutil::fig3_instance());
+  set_u64(b, 32, 0x7ff8000000000000ULL);  // quiet NaN
+  EXPECT_THROW(decode(b), std::runtime_error);
+}
+
+TEST(InstanceBinaryIo, RejectsBadSectionTable) {
+  const Bytes good = to_bytes(testutil::fig3_instance());
+  const SectionLoc caps = find_section(good, 1);
+
+  Bytes unknown_id = good;
+  set_u32(unknown_id, caps.entry, 9);
+  EXPECT_THROW(decode(unknown_id), std::runtime_error);
+
+  Bytes duplicate_id = good;
+  set_u32(duplicate_id, find_section(good, 2).entry, 1);
+  EXPECT_THROW(decode(duplicate_id), std::runtime_error);
+
+  // Section length overflow: extends past the end of the file.
+  Bytes overflow = good;
+  set_u64(overflow, caps.entry + 16, std::uint64_t{1} << 62);
+  EXPECT_THROW(decode(overflow), std::runtime_error);
+
+  // Wrong (but in-bounds) section length for a fixed-size section.
+  Bytes short_caps = good;
+  set_u64(short_caps, caps.entry + 16, caps.length - 8);
+  EXPECT_THROW(decode(short_caps), std::runtime_error);
+}
+
+TEST(InstanceBinaryIo, RejectsCorruptPlacementCsr) {
+  const Bytes good = to_bytes(testutil::fig3_instance());
+  const SectionLoc x_old = find_section(good, 4);
+  const std::size_t objects = 4;
+  const std::size_t ids_base = x_old.offset + (objects + 1) * 8;
+
+  // Offset table must start at zero.
+  Bytes nonzero_start = good;
+  set_u64(nonzero_start, x_old.offset, 1);
+  EXPECT_THROW(decode(nonzero_start), std::runtime_error);
+
+  // Non-monotonic offset table (fig3: every object has 2 replicas, so the
+  // table reads 0,2,4,6,8 — bump the second entry out of sequence).
+  Bytes skewed = good;
+  set_u64(skewed, x_old.offset + 8, 3);
+  EXPECT_THROW(decode(skewed), std::runtime_error);
+
+  // Server id out of range.
+  Bytes bad_id = good;
+  set_u32(bad_id, ids_base, 999);
+  EXPECT_THROW(decode(bad_id), std::runtime_error);
+
+  // Duplicate id within an object breaks strict ascension.
+  Bytes dup_id = good;
+  set_u32(dup_id, ids_base + 4, get_u32(good, ids_base));
+  EXPECT_THROW(decode(dup_id), std::runtime_error);
+}
+
+TEST(InstanceBinaryIo, RejectsNegativeValues) {
+  const Bytes good = to_bytes(testutil::fig3_instance());
+
+  Bytes neg_cap = good;
+  set_u64(neg_cap, find_section(good, 1).offset, static_cast<std::uint64_t>(-1));
+  EXPECT_THROW(decode(neg_cap), std::runtime_error);
+
+  Bytes neg_size = good;
+  set_u64(neg_size, find_section(good, 2).offset, static_cast<std::uint64_t>(-1));
+  EXPECT_THROW(decode(neg_size), std::runtime_error);
+
+  Bytes neg_cost = good;
+  set_u64(neg_cost, find_section(good, 3).offset + 8, static_cast<std::uint64_t>(-1));
+  EXPECT_THROW(decode(neg_cost), std::runtime_error);
+}
+
+TEST(InstanceBinaryIo, ErrorsNameTheProblem) {
+  Bytes b = to_bytes(testutil::fig3_instance());
+  b[0] = 'X';
+  try {
+    decode(b);
+    FAIL() << "expected a parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("binary instance parse error"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace rtsp
