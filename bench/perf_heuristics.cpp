@@ -161,6 +161,39 @@ void BM_Scale_LoadText(benchmark::State& state) {
                           static_cast<std::int64_t>(text.size()));
 }
 
+// --- Obs overhead: the same mid-size pipeline solve with recording off vs
+// fully armed (metrics + tracing). The pair quantifies the flight
+// recorder's cost on the hot path; bench_compare tracks both so a
+// regression in either the instrumented or the uninstrumented path fails
+// `scripts/check.sh --bench`.
+
+void run_obs_overhead_bench(benchmark::State& state, bool recording) {
+  const Instance inst = make_instance(1000, 2, 99);
+  const Pipeline pipeline = make_pipeline("GOLCF+H1+H2+OP1");
+  const bool was_enabled = obs::enabled();
+  obs::set_enabled(recording);
+  std::uint64_t trial = 0;
+  for (auto _ : state) {
+    Rng rng = Rng::for_trial(123, trial++);
+    const Schedule h = pipeline.run(inst.model, inst.x_old, inst.x_new, rng);
+    benchmark::DoNotOptimize(h.size());
+    if (recording) {
+      // Drain the per-thread span buffers so they never saturate and each
+      // iteration pays the same recording cost.
+      benchmark::DoNotOptimize(obs::collect_trace().size());
+    }
+  }
+  obs::set_enabled(was_enabled);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1000);
+}
+
+void BM_ObsRecordingOff(benchmark::State& state) {
+  run_obs_overhead_bench(state, false);
+}
+void BM_ObsRecordingOn(benchmark::State& state) {
+  run_obs_overhead_bench(state, true);
+}
+
 }  // namespace
 
 BENCHMARK(BM_Builder_AR)->Args({250, 2})->Args({1000, 2})->Unit(benchmark::kMillisecond);
@@ -185,6 +218,8 @@ BENCHMARK(BM_Scale_RDFP)->Arg(50000)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Scale_GSDFP)->Arg(50000)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Scale_LoadBinary)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Scale_LoadText)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ObsRecordingOff)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ObsRecordingOn)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   // Expand --json PATH and strip the obs flags before google-benchmark

@@ -3,7 +3,9 @@
 # tree still builds and passes with the obs instrumentation (metrics, trace,
 # provenance) compiled out via the obs_off_smoke target. Finishes with the
 # scale_smoke guard (M=500, N=100k generate -> binary round-trip -> serial
-# vs sharded solve -> validate under a time budget).
+# vs sharded solve -> validate under a time budget) and an obs smoke: a
+# small faulted `rtsp execute` with the flight recorder armed, `rtsp
+# report`, and obs_lint over the journal + series files.
 #
 # Usage: scripts/check.sh [--sanitize | --bench] [BUILD_DIR]   (default: build)
 #
@@ -30,12 +32,42 @@ fi
 BUILD_DIR="${1:-build}"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
+# Flight-recorder smoke: faulted execute with journal/series/timeline
+# recording on, report over the artifacts, then schema-lint them. $1 is the
+# build dir whose rtsp/obs_lint to use.
+obs_smoke() {
+  SMOKE_DIR="$1/obs_smoke"
+  RTSP="$1/tools/rtsp"
+  rm -rf "$SMOKE_DIR"
+  mkdir -p "$SMOKE_DIR"
+  "$RTSP" generate --kind random --servers 10 --objects 60 --seed 7 \
+    --out "$SMOKE_DIR/inst.txt" > /dev/null
+  "$RTSP" solve --instance "$SMOKE_DIR/inst.txt" --algo GOLCF+H1+H2+OP1 \
+    --seed 1 --out "$SMOKE_DIR/plan.txt" > /dev/null
+  cat > "$SMOKE_DIR/faults.json" <<'EOF'
+{"version": 1, "seed": 42, "transient_failure_rate": 0.15,
+ "offline": [{"server": 2, "begin": 0, "end": 900}],
+ "losses": [{"server": 0, "object": 1, "at": 50}, {"server": 3, "object": 7, "at": 200}]}
+EOF
+  "$RTSP" execute --instance "$SMOKE_DIR/inst.txt" \
+    --schedule "$SMOKE_DIR/plan.txt" --faults "$SMOKE_DIR/faults.json" \
+    --seed 9 --journal-out "$SMOKE_DIR/run.journal" \
+    --timeline-out "$SMOKE_DIR/run.trace.json" \
+    --series-out "$SMOKE_DIR/run.series.jsonl" --sample-ms 10 > /dev/null
+  "$RTSP" report --journal "$SMOKE_DIR/run.journal" \
+    --series "$SMOKE_DIR/run.series.jsonl" \
+    --html "$SMOKE_DIR/report.html" --out "$SMOKE_DIR/report.json" > /dev/null
+  "$1"/tools/obs_lint --journal "$SMOKE_DIR/run.journal" \
+    --series "$SMOKE_DIR/run.series.jsonl"
+}
+
 if [ "$MODE" = "sanitize" ]; then
   SAN_DIR="${BUILD_DIR}_asan"
   cmake -B "$SAN_DIR" -S . -DRTSP_SANITIZE=ON
   cmake --build "$SAN_DIR" -j "$JOBS"
   ctest --test-dir "$SAN_DIR" --output-on-failure -j "$JOBS"
   "$SAN_DIR"/tools/scale_smoke 600
+  obs_smoke "$SAN_DIR"
   echo "check.sh: sanitizer build green"
   exit 0
 fi
@@ -61,5 +93,8 @@ cmake --build "$BUILD_DIR" -t obs_off_smoke
 
 # The scale tier must stay solvable within budget.
 "$BUILD_DIR"/tools/scale_smoke 120
+
+# The flight recorder's artifacts must stay schema-valid end to end.
+obs_smoke "$BUILD_DIR"
 
 echo "check.sh: all green"

@@ -22,9 +22,16 @@
 #include "io/instance_io.hpp"
 #include "io/json_export.hpp"
 #include "io/provenance_io.hpp"
+#include "io/journal_io.hpp"
 #include "io/schedule_io.hpp"
+#include "io/timeline_export.hpp"
+#include "cli/report.hpp"
+#include "obs/journal.hpp"
+#include "obs/obs.hpp"
 #include "obs/provenance.hpp"
+#include "obs/sampler.hpp"
 #include "obs/session.hpp"
+#include "obs/trace.hpp"
 #include "support/cli.hpp"
 #include "support/csv.hpp"
 #include "support/json.hpp"
@@ -802,7 +809,8 @@ void execution_report_to_json(JsonWriter& j, const exec::ExecutionReport& r,
   j.end_object();
 }
 
-int cmd_execute(const CliOptions& opt, std::ostream& out) {
+int cmd_execute(const CliOptions& opt, std::ostream& out,
+                const obs::Session& session) {
   const Instance inst = load_instance(opt);
   const Schedule plan = load_schedule(opt);
   const exec::FaultSpec faults = load_fault_spec(opt);
@@ -823,6 +831,21 @@ int cmd_execute(const CliOptions& opt, std::ostream& out) {
   const std::string prov_out = opt.get_string("provenance-out", "", "");
   options.record_provenance = !prov_out.empty();
 
+  // Flight recorder: journal + timeline want the event stream, the sampler
+  // (owned by the obs session when --series-out is set) wants virtual-clock
+  // samples at attempt/retry/replan boundaries. Both hooks are runtime-gated
+  // and never observed by control flow, so schedules stay bit-identical.
+  const std::string journal_out = opt.get_string("journal-out", "", "");
+  const std::string timeline_out = opt.get_string("timeline-out", "", "");
+  std::optional<obs::Journal> journal;
+  if (!journal_out.empty() || !timeline_out.empty()) {
+    const auto cap = opt.get_int("journal-cap", "", 1 << 16);
+    if (cap <= 0) throw CliError{"--journal-cap must be positive"};
+    journal.emplace(static_cast<std::size_t>(cap));
+    options.journal = &*journal;
+  }
+  options.sampler = session.sampler();
+
   const exec::ExecutionReport report = [&] {
     try {
       return exec::execute_schedule(inst.model, inst.x_old, inst.x_new, plan,
@@ -838,6 +861,43 @@ int cmd_execute(const CliOptions& opt, std::ostream& out) {
     std::ostringstream buffer;
     write_provenance(buffer, report.provenance);
     write_text_file(prov_out, buffer.str(), out, "provenance");
+  }
+  if (journal) {
+    JournalRunSummary run;
+    run.planned_cost = static_cast<std::int64_t>(report.planned_cost);
+    run.effective_cost = static_cast<std::int64_t>(report.effective_cost);
+    run.actual_cost = static_cast<std::int64_t>(report.actual_cost);
+    run.finished_at = static_cast<std::int64_t>(report.finished_at);
+    run.total_stall = static_cast<std::int64_t>(report.total_stall);
+    run.total_backoff = static_cast<std::int64_t>(report.total_backoff);
+    run.attempts = report.attempts.size();
+    run.retries = report.retries;
+    run.transient_failures = report.transient_failures;
+    run.degraded_transfers = report.degraded_transfers;
+    run.loss_deletions = report.loss_deletions;
+    run.replans = report.replans.size();
+    run.reached_goal = report.reached_goal;
+    const std::vector<obs::JournalEvent> events = journal->events();
+    if (!journal_out.empty()) {
+      write_journal_file(journal_out, events, journal->dropped(), run);
+      out << "journal written to " << journal_out << " (" << events.size()
+          << " events";
+      if (journal->dropped() > 0) out << ", " << journal->dropped() << " dropped";
+      out << ")\n";
+    }
+    if (!timeline_out.empty()) {
+      JournalDoc doc;
+      doc.dropped = journal->dropped();
+      doc.run = run;
+      doc.events = events;
+      // Compose virtual-clock lanes with the wall-clock OBS_SPAN traces when
+      // recording is armed; under RTSP_OBS=OFF the trace side is just empty.
+      std::vector<obs::TraceEvent> wall;
+      if (obs::enabled()) wall = obs::collect_trace();
+      write_timeline_file(timeline_out, doc, wall);
+      out << "timeline written to " << timeline_out
+          << " (open in ui.perfetto.dev)\n";
+    }
   }
   const std::string out_path = opt.get_string("out", "", "");
   if (!out_path.empty()) {
@@ -917,7 +977,11 @@ void print_usage(std::ostream& out) {
          "            [--algo SPEC] [--retries N] [--backoff T] [--backoff-mult F]\n"
          "            [--backoff-max T] [--jitter F] [--max-replans N]\n"
          "            [--degrade-after N] [--attempts] [--json] [--out FILE]\n"
-         "            [--provenance-out FILE]\n"
+         "            [--provenance-out FILE] [--journal-out FILE]\n"
+         "            [--timeline-out FILE] [--journal-cap N]\n"
+         "  report    --journal FILE [--series FILE] [--metrics FILE]\n"
+         "            [--instance FILE --schedule FILE --provenance FILE]\n"
+         "            [--html FILE] [--out FILE]\n"
          "  help\n"
          "\n"
          "algorithm SPECs combine one builder (AR, GOLCF, RDF, GSDF, RDFP, GSDFP)\n"
@@ -930,7 +994,9 @@ void print_usage(std::ostream& out) {
          "observability (any command):\n"
          "  --obs               print metrics + span summary after the run\n"
          "  --trace-out=FILE    write Chrome trace JSON (open in ui.perfetto.dev)\n"
-         "  --metrics-out=FILE  write metrics snapshot (.json or .csv)\n";
+         "  --metrics-out=FILE  write metrics snapshot (.json or .csv)\n"
+         "  --series-out=FILE   sample metrics over time (.csv or JSONL)\n"
+         "  --sample-ms=N       wall-clock sampling period (default 100)\n";
 }
 
 int run_cli(int argc, const char* const* argv, std::ostream& out, std::ostream& err) {
@@ -957,7 +1023,8 @@ int run_cli(int argc, const char* const* argv, std::ostream& out, std::ostream& 
     if (command == "phases") return finish(cmd_phases(opt, out));
     if (command == "dot") return finish(cmd_dot(opt, out));
     if (command == "explain") return finish(cmd_explain(opt, out));
-    if (command == "execute") return finish(cmd_execute(opt, out));
+    if (command == "execute") return finish(cmd_execute(opt, out, obs_session));
+    if (command == "report") return finish(cmd_report(opt, out));
     if (command == "help" || command == "--help" || command == "-h") {
       print_usage(out);
       return 0;

@@ -1,0 +1,824 @@
+#include "cli/report.hpp"
+
+#include <algorithm>
+#include <array>
+#include <charconv>
+#include <cstdint>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/schedule_stats.hpp"
+#include "io/instance_binary_io.hpp"
+#include "io/journal_io.hpp"
+#include "io/provenance_io.hpp"
+#include "io/schedule_io.hpp"
+#include "obs/journal.hpp"
+#include "obs/provenance.hpp"
+#include "obs/series_io.hpp"
+#include "support/cli.hpp"
+#include "support/json.hpp"
+
+namespace rtsp::cli {
+
+namespace {
+
+using obs::JournalEvent;
+using obs::JournalEventType;
+
+std::string fixed(double v, int precision) {
+  char buf[48];
+  const auto res =
+      std::to_chars(buf, buf + sizeof buf, v, std::chars_format::fixed, precision);
+  if (res.ec != std::errc()) return "?";
+  return std::string(buf, res.ptr);
+}
+
+std::string esc_html(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Derived views of the journal
+
+struct LaneSpan {
+  std::int64_t start = 0;
+  std::int64_t dur = 0;
+  JournalEventType type = JournalEventType::AttemptSuccess;
+  std::int64_t object = -1;
+  std::int64_t source = -1;
+};
+
+struct Lane {
+  std::int64_t server = 0;
+  std::vector<LaneSpan> spans;
+  std::vector<std::int64_t> losses;  ///< loss ticks
+};
+
+struct JournalView {
+  std::array<std::uint64_t, obs::kJournalEventTypes> type_counts{};
+  /// Cumulative cost actually paid, sampled after every attempt:
+  /// (tick the attempt finished, total paid so far). Starts at (0, 0).
+  std::vector<std::pair<std::int64_t, std::int64_t>> paid;
+  std::vector<std::int64_t> fault_ticks;
+  std::vector<std::int64_t> retry_ticks;
+  std::vector<std::int64_t> replan_ticks;  ///< replan triggers + drain
+  std::vector<Lane> lanes;
+  std::size_t lanes_total = 0;  ///< before the render cap
+  std::int64_t max_tick = 0;
+};
+
+constexpr std::size_t kMaxLanes = 40;
+
+JournalView derive_view(const JournalDoc& doc) {
+  JournalView v;
+  v.paid.emplace_back(0, 0);
+  std::int64_t paid_total = 0;
+  for (const JournalEvent& e : doc.events) {
+    v.type_counts[static_cast<std::size_t>(e.type)]++;
+    v.max_tick = std::max(v.max_tick, e.tick + std::max<std::int64_t>(e.value, 0));
+    switch (e.type) {
+      case JournalEventType::AttemptSuccess:
+      case JournalEventType::TransientFault: {
+        paid_total += e.value;
+        v.paid.emplace_back(e.tick + e.value, paid_total);
+        if (e.type == JournalEventType::TransientFault) {
+          v.fault_ticks.push_back(e.tick);
+        }
+        break;
+      }
+      case JournalEventType::Retry:
+        v.retry_ticks.push_back(e.tick);
+        break;
+      case JournalEventType::ReplanTrigger:
+      case JournalEventType::Drain:
+        v.replan_ticks.push_back(e.tick);
+        break;
+      default:
+        break;
+    }
+  }
+  v.max_tick = std::max(v.max_tick, doc.run.finished_at);
+
+  // Per-server lanes (transfer/offline spans + loss markers), first kMaxLanes
+  // servers by id.
+  std::vector<std::int64_t> servers;
+  for (const JournalEvent& e : doc.events) {
+    if (e.server >= 0 &&
+        std::find(servers.begin(), servers.end(), e.server) == servers.end()) {
+      servers.push_back(e.server);
+    }
+  }
+  std::sort(servers.begin(), servers.end());
+  v.lanes_total = servers.size();
+  if (servers.size() > kMaxLanes) servers.resize(kMaxLanes);
+  for (std::int64_t s : servers) v.lanes.push_back({s, {}, {}});
+  const auto lane_of = [&](std::int64_t server) -> Lane* {
+    for (Lane& l : v.lanes) {
+      if (l.server == server) return &l;
+    }
+    return nullptr;
+  };
+  for (const JournalEvent& e : doc.events) {
+    Lane* lane = e.server >= 0 ? lane_of(e.server) : nullptr;
+    if (lane == nullptr) continue;
+    switch (e.type) {
+      case JournalEventType::AttemptSuccess:
+      case JournalEventType::TransientFault:
+      case JournalEventType::OfflineOpen:
+        lane->spans.push_back({e.tick, e.value, e.type, e.object, e.source});
+        break;
+      case JournalEventType::ReplicaLoss:
+        lane->losses.push_back(e.tick);
+        break;
+      default:
+        break;
+    }
+  }
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Optional joined inputs
+
+struct StageView {
+  prov::Provenance p;
+  prov::AttributionSummary att;
+  ScheduleStats stats;
+};
+
+StageView make_stage_view(const CliOptions& opt, const JournalDoc& doc) {
+  const std::string instance_path = opt.get_string("instance", "", "");
+  const std::string schedule_path = opt.get_string("schedule", "", "");
+  const std::string prov_path = opt.get_string("provenance", "", "");
+  const Instance inst = read_instance_any(instance_path);
+  Schedule h;
+  {
+    std::ifstream in(schedule_path);
+    if (!in) throw std::runtime_error("cannot open schedule file '" + schedule_path + "'");
+    h = read_schedule(in);
+  }
+  StageView v;
+  {
+    std::ifstream in(prov_path);
+    if (!in) throw std::runtime_error("cannot open provenance file '" + prov_path + "'");
+    v.p = read_provenance(in);
+  }
+  if (v.p.entries.size() != h.size()) {
+    throw std::runtime_error("provenance does not match schedule (" +
+                             std::to_string(v.p.entries.size()) + " entries vs " +
+                             std::to_string(h.size()) + " actions)");
+  }
+  v.att = prov::attribute_schedule(inst.model, h, v.p);
+  v.stats = analyze_schedule(inst.model, h);
+  // Same exactness bar as `rtsp explain`: per-stage sums must equal the
+  // whole-schedule totals, and the schedule must be the one the journal's
+  // run produced (its nominal cost is the header's effective_cost).
+  if (v.att.total_actions != v.stats.actions ||
+      v.att.total_cost != v.stats.total_cost ||
+      v.att.dummy_transfers != v.stats.dummy_transfers ||
+      v.att.dummy_cost != v.stats.dummy_cost) {
+    throw std::runtime_error(
+        "stage attribution does not reconcile with schedule stats");
+  }
+  if (static_cast<std::int64_t>(v.att.total_cost) != doc.run.effective_cost) {
+    throw std::runtime_error(
+        "schedule does not match journal: attribution cost " +
+        std::to_string(v.att.total_cost) + " vs journal effective_cost " +
+        std::to_string(doc.run.effective_cost));
+  }
+  return v;
+}
+
+std::string stage_label(const prov::Provenance& p, std::uint32_t idx) {
+  if (idx >= p.stages.size()) return "?";
+  return p.stages[idx].name;
+}
+
+/// One histogram row of a metrics snapshot JSON (--metrics FILE).
+struct HistRow {
+  std::string name;
+  std::uint64_t count = 0;
+  double mean_us = 0, p50_us = 0, p90_us = 0, p95_us = 0, p99_us = 0, max_us = 0;
+};
+
+std::vector<HistRow> load_metrics_histograms(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open metrics file '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const JsonValue doc = parse_json(buf.str());
+  std::vector<HistRow> rows;
+  const JsonValue* hists = doc.find("histograms");
+  if (hists == nullptr) return rows;
+  for (const auto& [name, h] : hists->members()) {
+    HistRow r;
+    r.name = name;
+    const auto num = [&](const char* key) {
+      const JsonValue* f = h.find(key);
+      return f == nullptr ? 0.0 : f->as_double();
+    };
+    r.count = static_cast<std::uint64_t>(num("count"));
+    r.mean_us = num("mean_us");
+    r.p50_us = num("p50_us");
+    r.p90_us = num("p90_us");
+    r.p95_us = num("p95_us");
+    r.p99_us = num("p99_us");
+    r.max_us = num("max_us");
+    rows.push_back(std::move(r));
+  }
+  return rows;
+}
+
+// ---------------------------------------------------------------------------
+// SVG charts. All coordinates go through fixed() so output is locale-safe.
+// Colors reference the CSS custom properties declared in the page <style>
+// (categorical slot 1 = blue, slot 2 = orange; chrome in muted inks), so the
+// charts follow the viewer's light/dark preference.
+
+struct Scale {
+  double lo = 0, hi = 1, px0 = 0, px1 = 1;
+  double operator()(double v) const {
+    if (hi == lo) return px0;
+    return px0 + (v - lo) / (hi - lo) * (px1 - px0);
+  }
+};
+
+std::string axis_number(double v) {
+  if (v >= 1e6) return fixed(v / 1e6, v >= 1e7 ? 0 : 1) + "M";
+  if (v >= 1e4) return fixed(v / 1e3, 0) + "k";
+  return fixed(v, 0);
+}
+
+void svg_open(std::ostringstream& os, int w, int h) {
+  os << "<svg viewBox=\"0 0 " << w << ' ' << h << "\" width=\"" << w
+     << "\" height=\"" << h << "\" role=\"img\">";
+}
+
+void svg_grid(std::ostringstream& os, const Scale& x, const Scale& y, int steps) {
+  for (int i = 1; i <= steps; ++i) {
+    const double v = y.lo + (y.hi - y.lo) * i / steps;
+    os << "<line x1=\"" << fixed(x.px0, 1) << "\" x2=\"" << fixed(x.px1, 1)
+       << "\" y1=\"" << fixed(y(v), 1) << "\" y2=\"" << fixed(y(v), 1)
+       << "\" stroke=\"var(--grid)\" stroke-width=\"1\"/>";
+    os << "<text x=\"" << fixed(x.px0 - 6, 1) << "\" y=\"" << fixed(y(v) + 3, 1)
+       << "\" text-anchor=\"end\" class=\"tick\">" << axis_number(v) << "</text>";
+  }
+  // Baseline + x extent labels.
+  os << "<line x1=\"" << fixed(x.px0, 1) << "\" x2=\"" << fixed(x.px1, 1)
+     << "\" y1=\"" << fixed(y(y.lo), 1) << "\" y2=\"" << fixed(y(y.lo), 1)
+     << "\" stroke=\"var(--axis)\" stroke-width=\"1\"/>";
+  os << "<text x=\"" << fixed(x.px0, 1) << "\" y=\"" << fixed(y(y.lo) + 14, 1)
+     << "\" class=\"tick\">" << axis_number(x.lo) << "</text>";
+  os << "<text x=\"" << fixed(x.px1, 1) << "\" y=\"" << fixed(y(y.lo) + 14, 1)
+     << "\" text-anchor=\"end\" class=\"tick\">" << axis_number(x.hi)
+     << " ticks</text>";
+}
+
+std::string polyline(const std::vector<std::pair<std::int64_t, std::int64_t>>& pts,
+                     const Scale& x, const Scale& y) {
+  std::ostringstream os;
+  for (const auto& [px, py] : pts) {
+    os << fixed(x(static_cast<double>(px)), 1) << ','
+       << fixed(y(static_cast<double>(py)), 1) << ' ';
+  }
+  return os.str();
+}
+
+/// Cost trajectory: planned (the fault-free diagonal — under serial cost-tick
+/// execution cumulative planned spend equals elapsed ticks) vs actually paid.
+std::string chart_trajectory(const JournalView& v, const JournalDoc& doc) {
+  const int W = 760, H = 280;
+  const double L = 56, R = 16, T = 18, B = 30;
+  const double max_x = static_cast<double>(std::max<std::int64_t>(
+      {v.max_tick, doc.run.planned_cost, 1}));
+  const double max_y = static_cast<double>(std::max<std::int64_t>(
+      {doc.run.planned_cost, doc.run.actual_cost, 1}));
+  const Scale x{0, max_x, L, W - R};
+  const Scale y{0, max_y, H - B, T};
+
+  std::ostringstream os;
+  svg_open(os, W, H);
+  svg_grid(os, x, y, 4);
+  for (std::int64_t t : v.replan_ticks) {
+    os << "<line x1=\"" << fixed(x(static_cast<double>(t)), 1) << "\" x2=\""
+       << fixed(x(static_cast<double>(t)), 1) << "\" y1=\"" << fixed(T, 1)
+       << "\" y2=\"" << fixed(y(0), 1)
+       << "\" stroke=\"var(--muted)\" stroke-width=\"1\" "
+          "stroke-dasharray=\"2 3\"><title>replan @"
+       << t << "</title></line>";
+  }
+  const std::vector<std::pair<std::int64_t, std::int64_t>> planned = {
+      {0, 0}, {doc.run.planned_cost, doc.run.planned_cost}};
+  os << "<polyline fill=\"none\" stroke=\"var(--s1)\" stroke-width=\"2\" "
+        "points=\""
+     << polyline(planned, x, y) << "\"><title>planned</title></polyline>";
+  os << "<polyline fill=\"none\" stroke=\"var(--s2)\" stroke-width=\"2\" "
+        "points=\""
+     << polyline(v.paid, x, y) << "\"><title>paid</title></polyline>";
+  os << "</svg>";
+  return os.str();
+}
+
+/// Retry/fault density: stacked counts per tick bucket (retries slot 1,
+/// faults slot 2), 2px surface gap between stacked segments.
+std::string chart_density(const JournalView& v) {
+  const int W = 760, H = 200;
+  const double L = 56, R = 16, T = 12, B = 30;
+  const std::size_t buckets = 48;
+  std::vector<std::uint64_t> faults(buckets, 0), retries(buckets, 0);
+  const double span = static_cast<double>(std::max<std::int64_t>(v.max_tick, 1));
+  const auto bucket_of = [&](std::int64_t t) {
+    auto b = static_cast<std::size_t>(static_cast<double>(t) / span *
+                                      static_cast<double>(buckets));
+    return std::min(b, buckets - 1);
+  };
+  for (std::int64_t t : v.fault_ticks) faults[bucket_of(t)]++;
+  for (std::int64_t t : v.retry_ticks) retries[bucket_of(t)]++;
+  std::uint64_t max_stack = 1;
+  for (std::size_t b = 0; b < buckets; ++b) {
+    max_stack = std::max(max_stack, faults[b] + retries[b]);
+  }
+  const Scale x{0, span, L, W - R};
+  const Scale y{0, static_cast<double>(max_stack), H - B, T};
+
+  std::ostringstream os;
+  svg_open(os, W, H);
+  svg_grid(os, x, y, 3);
+  const double bw = (W - L - R) / static_cast<double>(buckets);
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const double px = L + bw * static_cast<double>(b) + 1;
+    const double w = std::max(bw - 2, 1.0);
+    double base = y(0);
+    if (retries[b] > 0) {
+      const double h = y(0) - y(static_cast<double>(retries[b]));
+      os << "<rect x=\"" << fixed(px, 1) << "\" y=\"" << fixed(base - h, 1)
+         << "\" width=\"" << fixed(w, 1) << "\" height=\"" << fixed(h, 1)
+         << "\" rx=\"1.5\" fill=\"var(--s1)\"><title>" << retries[b]
+         << " retries</title></rect>";
+      base -= h + 2;  // 2px surface gap between stacked segments
+    }
+    if (faults[b] > 0) {
+      const double h = y(0) - y(static_cast<double>(faults[b]));
+      os << "<rect x=\"" << fixed(px, 1) << "\" y=\"" << fixed(base - h, 1)
+         << "\" width=\"" << fixed(w, 1) << "\" height=\"" << fixed(h, 1)
+         << "\" rx=\"1.5\" fill=\"var(--s2)\"><title>" << faults[b]
+         << " transient faults</title></rect>";
+    }
+  }
+  os << "</svg>";
+  return os.str();
+}
+
+/// Per-server utilization lanes over the virtual clock: successful transfer
+/// spans (slot 1), failed attempts (slot 2), offline stalls (axis gray),
+/// replica losses as status-critical cross markers (icon + legend label, so
+/// the status color never carries meaning alone).
+std::string chart_lanes(const JournalView& v) {
+  const double L = 64, R = 16, T = 8, B = 24;
+  const double lane_h = 14, lane_gap = 5;
+  const int W = 760;
+  const int H = static_cast<int>(T + B + (lane_h + lane_gap) *
+                                 static_cast<double>(v.lanes.size()));
+  const double span = static_cast<double>(std::max<std::int64_t>(v.max_tick, 1));
+  const Scale x{0, span, L, W - R};
+
+  std::ostringstream os;
+  svg_open(os, W, H);
+  for (std::size_t i = 0; i < v.lanes.size(); ++i) {
+    const Lane& lane = v.lanes[i];
+    const double top = T + (lane_h + lane_gap) * static_cast<double>(i);
+    os << "<text x=\"" << fixed(L - 6, 1) << "\" y=\""
+       << fixed(top + lane_h - 3, 1) << "\" text-anchor=\"end\" class=\"tick\">s"
+       << lane.server << "</text>";
+    os << "<line x1=\"" << fixed(L, 1) << "\" x2=\"" << fixed(double{W - R}, 1)
+       << "\" y1=\"" << fixed(top + lane_h, 1) << "\" y2=\""
+       << fixed(top + lane_h, 1)
+       << "\" stroke=\"var(--grid)\" stroke-width=\"1\"/>";
+    for (const LaneSpan& s : lane.spans) {
+      const double px = x(static_cast<double>(s.start));
+      const double pw =
+          std::max(x(static_cast<double>(s.start + s.dur)) - px, 1.5);
+      const char* color = "var(--s1)";
+      std::string label = "k" + std::to_string(s.object);
+      if (s.type == JournalEventType::TransientFault) {
+        color = "var(--s2)";
+        label = "fault k" + std::to_string(s.object);
+      } else if (s.type == JournalEventType::OfflineOpen) {
+        color = "var(--axis)";
+        label = "offline";
+      }
+      os << "<rect x=\"" << fixed(px, 1) << "\" y=\"" << fixed(top, 1)
+         << "\" width=\"" << fixed(pw, 1) << "\" height=\"" << fixed(lane_h, 1)
+         << "\" rx=\"2\" fill=\"" << color << "\"><title>" << label << " @"
+         << s.start << " +" << s.dur << "</title></rect>";
+    }
+    for (std::int64_t t : lane.losses) {
+      const double px = x(static_cast<double>(t));
+      os << "<text x=\"" << fixed(px, 1) << "\" y=\""
+         << fixed(top + lane_h - 2, 1)
+         << "\" text-anchor=\"middle\" class=\"loss\">&#10005;<title>loss @" << t
+         << "</title></text>";
+    }
+  }
+  os << "<text x=\"" << fixed(L, 1) << "\" y=\"" << fixed(double{H - 8}, 1)
+     << "\" class=\"tick\">0</text>";
+  os << "<text x=\"" << fixed(double{W - R}, 1) << "\" y=\""
+     << fixed(double{H - 8}, 1) << "\" text-anchor=\"end\" class=\"tick\">"
+     << axis_number(span) << " ticks</text>";
+  os << "</svg>";
+  return os.str();
+}
+
+/// Wall-clock sampler series: one line per chart (no legend needed), the
+/// cumulative sum of one counter's deltas over wall time.
+std::string chart_series(const obs::SeriesDoc& series, const std::string& counter) {
+  std::vector<std::pair<std::int64_t, std::int64_t>> pts;
+  std::int64_t total = 0;
+  std::uint64_t t0 = series.samples.empty() ? 0 : series.samples.front().wall_ns;
+  pts.emplace_back(0, 0);
+  for (const obs::SeriesSample& s : series.samples) {
+    for (const auto& [name, delta] : s.counter_deltas) {
+      if (name == counter) {
+        total += static_cast<std::int64_t>(delta);
+      }
+    }
+    pts.emplace_back(static_cast<std::int64_t>((s.wall_ns - t0) / 1000000), total);
+  }
+  if (total == 0) return {};
+  const int W = 760, H = 180;
+  const double L = 56, R = 16, T = 12, B = 30;
+  const Scale x{0, static_cast<double>(std::max<std::int64_t>(pts.back().first, 1)),
+                L, W - R};
+  const Scale y{0, static_cast<double>(total), H - B, T};
+  std::ostringstream os;
+  svg_open(os, W, H);
+  for (int i = 1; i <= 3; ++i) {
+    const double v = y.lo + (y.hi - y.lo) * i / 3;
+    os << "<line x1=\"" << fixed(x.px0, 1) << "\" x2=\"" << fixed(x.px1, 1)
+       << "\" y1=\"" << fixed(y(v), 1) << "\" y2=\"" << fixed(y(v), 1)
+       << "\" stroke=\"var(--grid)\" stroke-width=\"1\"/>";
+    os << "<text x=\"" << fixed(x.px0 - 6, 1) << "\" y=\"" << fixed(y(v) + 3, 1)
+       << "\" text-anchor=\"end\" class=\"tick\">" << axis_number(v) << "</text>";
+  }
+  os << "<line x1=\"" << fixed(x.px0, 1) << "\" x2=\"" << fixed(x.px1, 1)
+     << "\" y1=\"" << fixed(y(0), 1) << "\" y2=\"" << fixed(y(0), 1)
+     << "\" stroke=\"var(--axis)\" stroke-width=\"1\"/>";
+  os << "<text x=\"" << fixed(x.px1, 1) << "\" y=\"" << fixed(y(0) + 14, 1)
+     << "\" text-anchor=\"end\" class=\"tick\">"
+     << axis_number(x.hi) << " ms</text>";
+  os << "<polyline fill=\"none\" stroke=\"var(--s1)\" stroke-width=\"2\" "
+        "points=\""
+     << polyline(pts, x, y) << "\"/>";
+  os << "</svg>";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// HTML assembly
+
+const char* kCss = R"css(
+body { color-scheme: light;
+  --page:#f9f9f7; --surface-1:#fcfcfb; --text-primary:#0b0b0b;
+  --text-secondary:#52514e; --muted:#898781; --grid:#e1e0d9; --axis:#c3c2b7;
+  --s1:#2a78d6; --s2:#eb6834; --crit:#d03b3b;
+  --border:rgba(11,11,11,0.10);
+  margin:0; background:var(--page); color:var(--text-primary);
+  font-family:system-ui,-apple-system,"Segoe UI",sans-serif; font-size:14px; }
+@media (prefers-color-scheme: dark) {
+  :root:where(:not([data-theme="light"])) body { color-scheme: dark;
+    --page:#0d0d0d; --surface-1:#1a1a19; --text-primary:#ffffff;
+    --text-secondary:#c3c2b7; --muted:#898781; --grid:#2c2c2a; --axis:#383835;
+    --s1:#3987e5; --s2:#d95926; --crit:#e66767;
+    --border:rgba(255,255,255,0.10); } }
+:root[data-theme="dark"] body { color-scheme: dark;
+  --page:#0d0d0d; --surface-1:#1a1a19; --text-primary:#ffffff;
+  --text-secondary:#c3c2b7; --muted:#898781; --grid:#2c2c2a; --axis:#383835;
+  --s1:#3987e5; --s2:#d95926; --crit:#e66767;
+  --border:rgba(255,255,255,0.10); }
+main { max-width: 820px; margin: 0 auto; padding: 24px 16px 48px; }
+h1 { font-size: 20px; margin: 0 0 4px; }
+h2 { font-size: 15px; margin: 0 0 10px; }
+.sub { color: var(--text-secondary); margin: 0 0 20px; }
+section { background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px; padding: 16px; margin-bottom: 16px; }
+svg { display:block; max-width:100%; height:auto; }
+svg text { font-family:inherit; fill: var(--text-secondary); font-size: 11px; }
+svg text.tick { fill: var(--muted); font-variant-numeric: tabular-nums; }
+svg text.loss { fill: var(--crit); font-size: 10px; }
+.tiles { display:flex; flex-wrap:wrap; gap:12px; background:none; border:none;
+  padding:0; }
+.tile { background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px; padding: 10px 14px; min-width: 96px; }
+.tile b { display:block; font-size: 18px; font-weight: 600; }
+.tile span { color: var(--text-secondary); font-size: 12px; }
+.legend { display:flex; gap:16px; margin: 8px 0 0; color:var(--text-secondary);
+  font-size: 12px; align-items:center; }
+.legend i { display:inline-block; width:10px; height:10px; border-radius:2px;
+  margin-right:5px; vertical-align:-1px; }
+table { border-collapse: collapse; width: 100%;
+  font-variant-numeric: tabular-nums; }
+th, td { text-align: right; padding: 4px 10px; border-bottom: 1px solid
+  var(--grid); }
+th { color: var(--text-secondary); font-weight: 500; }
+th:first-child, td:first-child { text-align: left; }
+.note { color: var(--muted); font-size: 12px; margin: 8px 0 0; }
+)css";
+
+void legend(std::ostringstream& os,
+            const std::vector<std::pair<const char*, const char*>>& entries) {
+  os << "<div class=\"legend\">";
+  for (const auto& [color, name] : entries) {
+    os << "<span><i style=\"background:" << color << "\"></i>" << name
+       << "</span>";
+  }
+  os << "</div>";
+}
+
+void tile(std::ostringstream& os, const std::string& value, const char* label) {
+  os << "<div class=\"tile\"><b>" << value << "</b><span>" << label
+     << "</span></div>";
+}
+
+std::string build_html(const JournalDoc& doc, const JournalView& v,
+                       const std::optional<obs::SeriesDoc>& series,
+                       const std::vector<HistRow>& hists,
+                       const std::optional<StageView>& stages,
+                       const std::string& journal_path) {
+  std::ostringstream os;
+  os << "<!doctype html><html lang=\"en\"><head><meta charset=\"utf-8\">"
+     << "<meta name=\"viewport\" content=\"width=device-width,initial-scale=1\">"
+     << "<title>rtsp execution report</title><style>" << kCss
+     << "</style></head><body><main>";
+  os << "<h1>Execution report</h1><p class=\"sub\">" << esc_html(journal_path)
+     << " &middot; " << doc.events.size() << " journal events";
+  if (doc.dropped > 0) os << " (" << doc.dropped << " dropped)";
+  os << "</p>";
+
+  const auto& run = doc.run;
+  os << "<div class=\"tiles\">";
+  tile(os, std::to_string(run.planned_cost), "planned cost");
+  tile(os, std::to_string(run.actual_cost), "cost paid");
+  tile(os,
+       run.planned_cost > 0
+           ? fixed(static_cast<double>(run.actual_cost) /
+                       static_cast<double>(run.planned_cost),
+                   3)
+           : "1.000",
+       "inflation");
+  tile(os, std::to_string(run.attempts), "attempts");
+  tile(os, std::to_string(run.transient_failures), "faults");
+  tile(os, std::to_string(run.retries), "retries");
+  tile(os, std::to_string(run.replans), "replans");
+  tile(os, std::to_string(run.degraded_transfers), "degraded");
+  tile(os, std::to_string(run.loss_deletions), "losses");
+  tile(os, std::to_string(run.finished_at), "finished at (ticks)");
+  os << "</div>";
+
+  os << "<section><h2>Cost trajectory (virtual clock)</h2>"
+     << chart_trajectory(v, doc);
+  legend(os, {{"var(--s1)", "planned"}, {"var(--s2)", "paid"}});
+  os << "<p class=\"note\">Dashed rules mark replans/drain. The planned line "
+        "is the fault-free diagonal: under serial cost-tick execution, "
+        "cumulative planned spend equals elapsed ticks.</p></section>";
+
+  os << "<section><h2>Retry / fault density over ticks</h2>"
+     << chart_density(v);
+  legend(os, {{"var(--s1)", "retries"}, {"var(--s2)", "transient faults"}});
+  os << "</section>";
+
+  os << "<section><h2>Per-server lanes</h2>" << chart_lanes(v);
+  legend(os, {{"var(--s1)", "transfer"},
+              {"var(--s2)", "failed attempt"},
+              {"var(--axis)", "offline stall"},
+              {"var(--crit)", "&#10005; replica loss"}});
+  if (v.lanes_total > v.lanes.size()) {
+    os << "<p class=\"note\">showing " << v.lanes.size() << " of "
+       << v.lanes_total << " server lanes</p>";
+  }
+  os << "</section>";
+
+  if (series) {
+    const std::string svg = chart_series(*series, "exec.attempts");
+    os << "<section><h2>Attempts over wall time</h2>";
+    if (svg.empty()) {
+      os << "<p class=\"note\">no exec.attempts counter deltas in the series ("
+         << series->samples.size() << " samples)</p>";
+    } else {
+      os << svg << "<p class=\"note\">" << series->samples.size()
+         << " samples; cumulative exec.attempts</p>";
+    }
+    os << "</section>";
+  }
+
+  if (!hists.empty()) {
+    os << "<section><h2>Latency percentiles (&micro;s)</h2><table><tr>"
+          "<th>histogram</th><th>count</th><th>mean</th><th>p50</th>"
+          "<th>p90</th><th>p95</th><th>p99</th><th>max</th></tr>";
+    for (const HistRow& h : hists) {
+      os << "<tr><td>" << esc_html(h.name) << "</td><td>" << h.count
+         << "</td><td>" << fixed(h.mean_us, 2) << "</td><td>"
+         << fixed(h.p50_us, 2) << "</td><td>" << fixed(h.p90_us, 2)
+         << "</td><td>" << fixed(h.p95_us, 2) << "</td><td>"
+         << fixed(h.p99_us, 2) << "</td><td>" << fixed(h.max_us, 2)
+         << "</td></tr>";
+    }
+    os << "</table></section>";
+  }
+
+  if (stages) {
+    os << "<section><h2>Stage attribution</h2><table><tr><th>stage</th>"
+          "<th>actions</th><th>transfers</th><th>deletes</th><th>dummies</th>"
+          "<th>cost</th><th>dummy cost</th></tr>";
+    for (const auto& sa : stages->att.stages) {
+      os << "<tr><td>" << esc_html(stage_label(stages->p, sa.stage))
+         << "</td><td>" << sa.actions << "</td><td>" << sa.transfers
+         << "</td><td>" << sa.deletions << "</td><td>" << sa.dummy_transfers
+         << "</td><td>" << sa.cost << "</td><td>" << sa.dummy_cost
+         << "</td></tr>";
+    }
+    os << "<tr><td>total</td><td>" << stages->att.total_actions << "</td><td>"
+       << stages->att.transfers << "</td><td>" << stages->att.deletions
+       << "</td><td>" << stages->att.dummy_transfers << "</td><td>"
+       << stages->att.total_cost << "</td><td>" << stages->att.dummy_cost
+       << "</td></tr></table>"
+       << "<p class=\"note\">sums reconcile exactly with schedule stats and "
+          "the journal's effective cost</p></section>";
+  }
+
+  os << "<section><h2>Journal events</h2><table><tr><th>event</th>"
+        "<th>count</th></tr>";
+  for (std::size_t i = 0; i < obs::kJournalEventTypes; ++i) {
+    if (v.type_counts[i] == 0) continue;
+    os << "<tr><td>" << obs::to_string(static_cast<JournalEventType>(i))
+       << "</td><td>" << v.type_counts[i] << "</td></tr>";
+  }
+  if (doc.dropped > 0) {
+    os << "<tr><td>(dropped)</td><td>" << doc.dropped << "</td></tr>";
+  }
+  os << "</table></section>";
+
+  os << "</main></body></html>\n";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// JSON summary
+
+void write_summary_json(std::ostream& out, const JournalDoc& doc,
+                        const JournalView& v,
+                        const std::optional<obs::SeriesDoc>& series,
+                        const std::vector<HistRow>& hists,
+                        const std::optional<StageView>& stages,
+                        const std::string& html_path) {
+  JsonWriter j(out);
+  j.begin_object();
+  j.key("version").value(1);
+  j.key("run").begin_object();
+  j.key("planned_cost").value(doc.run.planned_cost);
+  j.key("effective_cost").value(doc.run.effective_cost);
+  j.key("actual_cost").value(doc.run.actual_cost);
+  j.key("finished_at").value(doc.run.finished_at);
+  j.key("total_stall").value(doc.run.total_stall);
+  j.key("total_backoff").value(doc.run.total_backoff);
+  j.key("attempts").value(doc.run.attempts);
+  j.key("retries").value(doc.run.retries);
+  j.key("transient_failures").value(doc.run.transient_failures);
+  j.key("degraded_transfers").value(doc.run.degraded_transfers);
+  j.key("loss_deletions").value(doc.run.loss_deletions);
+  j.key("replans").value(doc.run.replans);
+  j.key("reached_goal").value(doc.run.reached_goal);
+  j.end_object();
+  j.key("events").begin_object();
+  for (std::size_t i = 0; i < obs::kJournalEventTypes; ++i) {
+    j.key(obs::to_string(static_cast<JournalEventType>(i)))
+        .value(v.type_counts[i]);
+  }
+  j.key("dropped").value(doc.dropped);
+  j.end_object();
+  j.key("max_tick").value(v.max_tick);
+  if (series) {
+    j.key("series").begin_object();
+    j.key("samples").value(static_cast<std::uint64_t>(series->samples.size()));
+    j.key("dropped").value(series->dropped);
+    if (!series->samples.empty()) {
+      j.key("wall_span_ns")
+          .value(series->samples.back().wall_ns - series->samples.front().wall_ns);
+    }
+    j.end_object();
+  }
+  if (!hists.empty()) {
+    j.key("histograms").begin_array();
+    for (const HistRow& h : hists) {
+      j.begin_object();
+      j.key("name").value(h.name);
+      j.key("count").value(h.count);
+      j.key("mean_us").value(h.mean_us);
+      j.key("p50_us").value(h.p50_us);
+      j.key("p90_us").value(h.p90_us);
+      j.key("p95_us").value(h.p95_us);
+      j.key("p99_us").value(h.p99_us);
+      j.key("max_us").value(h.max_us);
+      j.end_object();
+    }
+    j.end_array();
+  }
+  if (stages) {
+    // Identical records to `rtsp explain --json`'s "stages" array, so the
+    // two reconcile field by field.
+    j.key("stages").begin_array();
+    for (const auto& sa : stages->att.stages) {
+      j.begin_object();
+      j.key("name").value(stage_label(stages->p, sa.stage));
+      j.key("kind").value(prov::to_string(stages->p.stages[sa.stage].kind));
+      j.key("actions").value(static_cast<std::uint64_t>(sa.actions));
+      j.key("transfers").value(static_cast<std::uint64_t>(sa.transfers));
+      j.key("deletions").value(static_cast<std::uint64_t>(sa.deletions));
+      j.key("dummy_transfers").value(static_cast<std::uint64_t>(sa.dummy_transfers));
+      j.key("cost").value(static_cast<std::int64_t>(sa.cost));
+      j.key("dummy_cost").value(static_cast<std::int64_t>(sa.dummy_cost));
+      j.key("rewrites").value(static_cast<std::uint64_t>(sa.rewrites));
+      j.key("rewrite_cost_delta").value(static_cast<std::int64_t>(sa.rewrite_cost_delta));
+      j.key("rewrite_dummy_delta").value(sa.rewrite_dummy_delta);
+      j.end_object();
+    }
+    j.end_array();
+    j.key("reconciled").value(true);
+  }
+  if (!html_path.empty()) j.key("html").value(html_path);
+  j.end_object();
+  out << '\n';
+}
+
+}  // namespace
+
+int cmd_report(const CliOptions& opt, std::ostream& out) {
+  const std::string journal_path = opt.get_string("journal", "", "");
+  if (journal_path.empty()) {
+    throw std::runtime_error("missing --journal <file> (from rtsp execute "
+                             "--journal-out)");
+  }
+  const JournalDoc doc = read_journal_file(journal_path);
+  const JournalView view = derive_view(doc);
+
+  std::optional<obs::SeriesDoc> series;
+  if (const std::string p = opt.get_string("series", "", ""); !p.empty()) {
+    series = obs::read_series_file(p);
+  }
+  std::vector<HistRow> hists;
+  if (const std::string p = opt.get_string("metrics", "", ""); !p.empty()) {
+    hists = load_metrics_histograms(p);
+  }
+  std::optional<StageView> stages;
+  const bool any_stage_flag = opt.has("instance") || opt.has("schedule") ||
+                              opt.has("provenance");
+  if (any_stage_flag) {
+    if (opt.get_string("instance", "", "").empty() ||
+        opt.get_string("schedule", "", "").empty() ||
+        opt.get_string("provenance", "", "").empty()) {
+      throw std::runtime_error(
+          "stage attribution needs all of --instance, --schedule (the "
+          "effective schedule) and --provenance");
+    }
+    stages = make_stage_view(opt, doc);
+  }
+
+  const std::string html_path = opt.get_string("html", "", "");
+  if (!html_path.empty()) {
+    std::ofstream file(html_path);
+    if (!file) {
+      throw std::runtime_error("cannot open output file '" + html_path + "'");
+    }
+    file << build_html(doc, view, series, hists, stages, journal_path);
+    out << "HTML report written to " << html_path << '\n';
+  }
+
+  const std::string out_path = opt.get_string("out", "", "");
+  if (out_path.empty()) {
+    write_summary_json(out, doc, view, series, hists, stages, html_path);
+  } else {
+    std::ofstream file(out_path);
+    if (!file) {
+      throw std::runtime_error("cannot open output file '" + out_path + "'");
+    }
+    write_summary_json(file, doc, view, series, hists, stages, html_path);
+    out << "report summary written to " << out_path << '\n';
+  }
+  return 0;
+}
+
+}  // namespace rtsp::cli

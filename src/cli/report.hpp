@@ -1,0 +1,25 @@
+// `rtsp report`: joins the execution journal, metrics time-series, metrics
+// snapshot, provenance sidecar and final schedule stats of one `rtsp
+// execute` run into a self-contained HTML report (cost trajectory
+// planned-vs-paid, retry/fault density over ticks, per-server utilization
+// lanes, percentile and stage-attribution tables) plus a machine-readable
+// JSON summary. Split out of commands.cpp because the HTML generator is a
+// subsystem of its own.
+#pragma once
+
+#include <iosfwd>
+
+namespace rtsp {
+class CliOptions;
+}
+
+namespace rtsp::cli {
+
+/// Flags: --journal FILE (required); --series FILE, --metrics FILE
+/// (snapshot .json), --instance/--schedule/--provenance (effective schedule
+/// + sidecar, for the same stage attribution `rtsp explain` prints),
+/// --html FILE, --out FILE (JSON summary; stdout when empty). Throws
+/// std::runtime_error on bad inputs (rendered as `error: ...` by run_cli).
+int cmd_report(const CliOptions& opt, std::ostream& out);
+
+}  // namespace rtsp::cli

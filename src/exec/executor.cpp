@@ -104,6 +104,35 @@ class Run {
     return static_cast<std::uint32_t>(report_.provenance.stages.size() - 1);
   }
 
+  /// Journals one typed event at `tick` (no-op without a journal). `a` fills
+  /// the id fields; a dummy source is recorded as -2 (the unsigned sentinel
+  /// does not fit the compact signed wire field).
+  void journal_event(obs::JournalEventType type, Tick tick, const Action* a,
+                     std::int64_t value = 0, std::int64_t extra = 0,
+                     std::string detail = {}) {
+    if (options_.journal == nullptr) return;
+    obs::JournalEvent e;
+    e.type = type;
+    e.tick = tick;
+    e.wall_ns = obs::now_ns();
+    if (a != nullptr) {
+      e.server = static_cast<std::int64_t>(a->server);
+      e.object = static_cast<std::int64_t>(a->object);
+      if (a->is_transfer()) {
+        e.source = is_dummy(a->source) ? -2 : static_cast<std::int64_t>(a->source);
+      }
+    }
+    e.value = value;
+    e.extra = extra;
+    e.detail = std::move(detail);
+    options_.journal->record(std::move(e));
+  }
+
+  /// Virtual-clock sample hook (no-op without a sampler).
+  void sample(const char* label) {
+    if (options_.sampler != nullptr) options_.sampler->sample_tick(clock_, label);
+  }
+
   /// Applies `a` (must be valid) and appends it to the effective sequence,
   /// attributing it to `stage` when provenance is on.
   void commit(const Action& a, std::uint32_t stage) {
@@ -123,9 +152,11 @@ class Run {
   void apply_due_losses() {
     while (const ReplicaLoss* l = oracle_.next_loss_due(clock_)) {
       if (state_.holds(l->server, l->object)) {
-        commit(Action::remove(l->server, l->object), stage_loss());
+        const Action del = Action::remove(l->server, l->object);
+        commit(del, stage_loss());
         ++report_.loss_deletions;
         OBS_COUNT("exec.loss_deletions");
+        journal_event(obs::JournalEventType::ReplicaLoss, clock_, &del);
       }
       oracle_.pop_loss();
     }
@@ -157,8 +188,14 @@ class Run {
   Tick prepare_attempt(const Action& a, ActionError& err) {
     const Tick until = stall_until(a);
     const Tick stall = until - clock_;
+    if (stall > 0) {
+      journal_event(obs::JournalEventType::OfflineOpen, clock_, &a, stall);
+    }
     clock_ = until;
     report_.total_stall += stall;
+    if (stall > 0) {
+      journal_event(obs::JournalEventType::OfflineClose, clock_, &a, stall);
+    }
     apply_due_losses();
     err = state_.classify(a);
     return stall;
@@ -169,6 +206,12 @@ class Run {
     report_.attempts.push_back({a, attempt, at, outcome, cost, stall, 0});
     report_.actual_cost += cost;
     OBS_COUNT("exec.attempts");
+    journal_event(obs::JournalEventType::AttemptStart, at, &a, cost, attempt);
+    journal_event(outcome == AttemptOutcome::Success
+                      ? obs::JournalEventType::AttemptSuccess
+                      : obs::JournalEventType::TransientFault,
+                  at, &a, cost, attempt);
+    sample("attempt");
   }
 
   /// Runs the front pending action through the retry machinery.
@@ -201,6 +244,8 @@ class Run {
         const Tick wait = backoff_wait(options_.retry, failures, rng_);
         report_.attempts.back().backoff = wait;
         report_.total_backoff += wait;
+        journal_event(obs::JournalEventType::Retry, clock_, &a, wait, failures);
+        sample("retry");
         clock_ += wait;
         ++report_.retries;
         OBS_COUNT("exec.retries");
@@ -227,6 +272,8 @@ class Run {
         return;
       }
       const Cost cost = attempt_cost(dummy);
+      journal_event(obs::JournalEventType::Degradation, clock_, &dummy, cost,
+                    static_cast<std::int64_t>(count));
       record_attempt(dummy, 1, clock_, AttemptOutcome::Success, cost, stall);
       commit(dummy, stage_degraded());
       clock_ += cost;
@@ -272,6 +319,11 @@ class Run {
                 options_.replan_algo);
       }
     }
+    journal_event(obs::JournalEventType::ReplanTrigger, event.at,
+                  reason == ReplanReason::EndStateMismatch ? nullptr : &trigger,
+                  static_cast<std::int64_t>(event.dropped),
+                  static_cast<std::int64_t>(event.added), to_string(reason));
+    sample("replan");
     report_.replans.push_back(std::move(event));
   }
 
@@ -282,6 +334,9 @@ class Run {
   /// whenever X_new is storage-feasible, so the run still reaches X_new.
   void drain_degraded() {
     clock_ = std::max(clock_, oracle_.horizon());
+    journal_event(obs::JournalEventType::Drain, clock_, nullptr,
+                  static_cast<std::int64_t>(pending_.size() - cursor_));
+    sample("drain");
     apply_due_losses();
     pending_.clear();
     cursor_ = 0;
@@ -319,6 +374,7 @@ class Run {
     OBS_GAUGE_SET("exec.stall_ticks", report_.total_stall);
     OBS_GAUGE_SET("exec.backoff_ticks", report_.total_backoff);
     OBS_GAUGE_SET("exec.finished_at", report_.finished_at);
+    sample("finish");
     if (options_.record_provenance) attach_root_causes();
   }
 

@@ -48,7 +48,9 @@
 #include "core/system.hpp"
 #include "exec/fault_model.hpp"
 #include "exec/retry_policy.hpp"
+#include "obs/journal.hpp"
 #include "obs/provenance.hpp"
+#include "obs/sampler.hpp"
 
 namespace rtsp::exec {
 
@@ -104,6 +106,15 @@ struct ExecutorOptions {
   /// Record per-action provenance (stages PLAN / REPLAN#n / DEGRADED /
   /// FAULT-LOSS plus dummy-transfer root causes) for `rtsp explain`.
   bool record_provenance = false;
+  /// Optional flight-recorder sinks. When non-null, the run journals typed
+  /// events (attempt start/finish, faults, retries, offline windows, losses,
+  /// replans, degradations, drain) stamped with the virtual clock, and
+  /// samples the metrics registry at attempt/retry/replan boundaries. Like
+  /// record_provenance these are runtime-gated (they work under
+  /// RTSP_OBS=OFF) and never observed by the control flow, so the run is
+  /// bit-identical with or without them.
+  obs::Journal* journal = nullptr;
+  obs::MetricsSampler* sampler = nullptr;
 };
 
 /// Everything the run produced. `effective` is the applied action sequence

@@ -1,0 +1,158 @@
+#include "io/journal_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "support/json.hpp"
+
+namespace rtsp {
+
+namespace {
+
+void write_run_summary(JsonWriter& j, const JournalRunSummary& run) {
+  j.begin_object();
+  j.key("planned_cost").value(run.planned_cost);
+  j.key("effective_cost").value(run.effective_cost);
+  j.key("actual_cost").value(run.actual_cost);
+  j.key("finished_at").value(run.finished_at);
+  j.key("total_stall").value(run.total_stall);
+  j.key("total_backoff").value(run.total_backoff);
+  j.key("attempts").value(run.attempts);
+  j.key("retries").value(run.retries);
+  j.key("transient_failures").value(run.transient_failures);
+  j.key("degraded_transfers").value(run.degraded_transfers);
+  j.key("loss_deletions").value(run.loss_deletions);
+  j.key("replans").value(run.replans);
+  j.key("reached_goal").value(run.reached_goal);
+  j.end_object();
+}
+
+JournalRunSummary read_run_summary(const JsonValue& v) {
+  JournalRunSummary run;
+  const auto i64 = [&](const char* key, std::int64_t fallback) {
+    const JsonValue* f = v.find(key);
+    return f == nullptr ? fallback : f->as_int();
+  };
+  run.planned_cost = i64("planned_cost", 0);
+  run.effective_cost = i64("effective_cost", 0);
+  run.actual_cost = i64("actual_cost", 0);
+  run.finished_at = i64("finished_at", 0);
+  run.total_stall = i64("total_stall", 0);
+  run.total_backoff = i64("total_backoff", 0);
+  run.attempts = static_cast<std::uint64_t>(i64("attempts", 0));
+  run.retries = static_cast<std::uint64_t>(i64("retries", 0));
+  run.transient_failures = static_cast<std::uint64_t>(i64("transient_failures", 0));
+  run.degraded_transfers = static_cast<std::uint64_t>(i64("degraded_transfers", 0));
+  run.loss_deletions = static_cast<std::uint64_t>(i64("loss_deletions", 0));
+  run.replans = static_cast<std::uint64_t>(i64("replans", 0));
+  if (const JsonValue* g = v.find("reached_goal")) run.reached_goal = g->as_bool();
+  return run;
+}
+
+}  // namespace
+
+void write_journal(std::ostream& out,
+                   const std::vector<obs::JournalEvent>& events,
+                   std::uint64_t dropped, const JournalRunSummary& run) {
+  {
+    JsonWriter j(out);
+    j.begin_object();
+    j.key("format").value(kJournalFormatName);
+    j.key("version").value(kJournalFormatVersion);
+    j.key("events").value(static_cast<std::uint64_t>(events.size()));
+    j.key("dropped").value(dropped);
+    j.key("run");
+    write_run_summary(j, run);
+    j.end_object();
+  }
+  out << '\n';
+  for (const obs::JournalEvent& e : events) {
+    JsonWriter j(out);
+    j.begin_object();
+    j.key("type").value(obs::to_string(e.type));
+    j.key("tick").value(e.tick);
+    j.key("wall_ns").value(e.wall_ns);
+    if (e.server != -1) j.key("server").value(e.server);
+    if (e.object != -1) j.key("object").value(e.object);
+    if (e.source != -1) j.key("source").value(e.source);
+    if (e.value != 0) j.key("value").value(e.value);
+    if (e.extra != 0) j.key("extra").value(e.extra);
+    if (!e.detail.empty()) j.key("detail").value(e.detail);
+    j.end_object();
+    out << '\n';
+  }
+}
+
+void write_journal_file(const std::string& path,
+                        const std::vector<obs::JournalEvent>& events,
+                        std::uint64_t dropped, const JournalRunSummary& run) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open journal output file: " + path);
+  write_journal(out, events, dropped, run);
+}
+
+JournalDoc read_journal(std::istream& in) {
+  JournalDoc doc;
+  std::string line;
+  bool saw_header = false;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    JsonValue v;
+    try {
+      v = parse_json(line);
+    } catch (const std::runtime_error& e) {
+      throw std::runtime_error("journal line " + std::to_string(lineno) + ": " +
+                               e.what());
+    }
+    if (!saw_header) {
+      const JsonValue* format = v.find("format");
+      if (format == nullptr || format->as_string() != kJournalFormatName) {
+        throw std::runtime_error("journal: missing rtsp-journal header line");
+      }
+      doc.version = static_cast<int>(v.at("version").as_int());
+      if (doc.version != kJournalFormatVersion) {
+        throw std::runtime_error("journal: unsupported version " +
+                                 std::to_string(doc.version));
+      }
+      if (const JsonValue* d = v.find("dropped")) {
+        doc.dropped = static_cast<std::uint64_t>(d->as_int());
+      }
+      if (const JsonValue* r = v.find("run")) doc.run = read_run_summary(*r);
+      saw_header = true;
+      continue;
+    }
+    obs::JournalEvent e;
+    const std::string& type = v.at("type").as_string();
+    if (!obs::journal_event_type_from_string(type, e.type)) {
+      throw std::runtime_error("journal line " + std::to_string(lineno) +
+                               ": unknown event type '" + type + "'");
+    }
+    e.tick = v.at("tick").as_int();
+    e.wall_ns = static_cast<std::uint64_t>(v.at("wall_ns").as_int());
+    const auto opt = [&](const char* key, std::int64_t fallback) {
+      const JsonValue* f = v.find(key);
+      return f == nullptr ? fallback : f->as_int();
+    };
+    e.server = opt("server", -1);
+    e.object = opt("object", -1);
+    e.source = opt("source", -1);
+    e.value = opt("value", 0);
+    e.extra = opt("extra", 0);
+    if (const JsonValue* d = v.find("detail")) e.detail = d->as_string();
+    doc.events.push_back(std::move(e));
+  }
+  if (!saw_header) throw std::runtime_error("journal: empty file");
+  return doc;
+}
+
+JournalDoc read_journal_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open journal file: " + path);
+  return read_journal(in);
+}
+
+}  // namespace rtsp

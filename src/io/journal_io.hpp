@@ -1,0 +1,69 @@
+// JSONL serialisation of the execution journal (obs/journal.hpp), the
+// flight-recorder output of `rtsp execute --journal-out`, consumed back by
+// `rtsp report` and tools/obs_lint. Versioned, self-describing: the first
+// line is a header
+//   {"format": "rtsp-journal", "version": 1, "events": N, "dropped": D,
+//    "run": {"planned_cost": ..., "actual_cost": ..., ...}}
+// and every following line is one event
+//   {"type": "attempt_start", "tick": T, "wall_ns": W, "server": S,
+//    "object": K, "source": SRC, "value": V, "extra": E, "detail": "..."}
+// with default-valued fields (ids -1, value/extra 0, empty detail) omitted
+// so files stay compact. Events appear in record order; ticks are
+// non-decreasing by construction of the serial executor.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/journal.hpp"
+
+namespace rtsp {
+
+inline constexpr int kJournalFormatVersion = 1;
+inline constexpr const char* kJournalFormatName = "rtsp-journal";
+
+/// Run-level totals carried in the journal header so a report can be built
+/// from the journal alone. Filled from the ExecutionReport by the caller.
+struct JournalRunSummary {
+  std::int64_t planned_cost = 0;
+  std::int64_t effective_cost = 0;
+  std::int64_t actual_cost = 0;
+  std::int64_t finished_at = 0;
+  std::int64_t total_stall = 0;
+  std::int64_t total_backoff = 0;
+  std::uint64_t attempts = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t transient_failures = 0;
+  std::uint64_t degraded_transfers = 0;
+  std::uint64_t loss_deletions = 0;
+  std::uint64_t replans = 0;
+  bool reached_goal = true;
+
+  bool operator==(const JournalRunSummary&) const = default;
+};
+
+/// A parsed journal file: header fields plus every event.
+struct JournalDoc {
+  int version = kJournalFormatVersion;
+  std::uint64_t dropped = 0;
+  JournalRunSummary run;
+  std::vector<obs::JournalEvent> events;
+};
+
+void write_journal(std::ostream& out, const std::vector<obs::JournalEvent>& events,
+                   std::uint64_t dropped, const JournalRunSummary& run);
+
+/// Writes to `path`; throws std::runtime_error on open failure.
+void write_journal_file(const std::string& path,
+                        const std::vector<obs::JournalEvent>& events,
+                        std::uint64_t dropped, const JournalRunSummary& run);
+
+/// Parses the format above; throws std::runtime_error on malformed input,
+/// an unknown event type, a missing header, or an unsupported version.
+JournalDoc read_journal(std::istream& in);
+JournalDoc read_journal_file(const std::string& path);
+
+}  // namespace rtsp

@@ -1,0 +1,155 @@
+#include "io/timeline_export.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+#include "obs/export.hpp"
+#include "support/json.hpp"
+
+namespace rtsp {
+
+namespace {
+
+constexpr int kVirtualPid = 2;  // wall-clock spans keep pid 1 (obs/export)
+
+std::string source_label(std::int64_t source) {
+  if (source == -2) return "dummy";
+  return "s" + std::to_string(source);
+}
+
+/// Span or instant name for one journal event; empty = not rendered.
+std::string event_name(const obs::JournalEvent& e) {
+  using T = obs::JournalEventType;
+  switch (e.type) {
+    case T::AttemptSuccess:
+      if (e.source == -1) return "delete k" + std::to_string(e.object);
+      return "xfer k" + std::to_string(e.object) + " <- " +
+             source_label(e.source);
+    case T::TransientFault:
+      return "FAULT k" + std::to_string(e.object) + " <- " +
+             source_label(e.source);
+    case T::OfflineOpen:
+      return "offline";
+    case T::Retry:
+      return "retry k" + std::to_string(e.object);
+    case T::ReplicaLoss:
+      return "loss k" + std::to_string(e.object);
+    case T::ReplanTrigger:
+      return "replan (" + e.detail + ")";
+    case T::Degradation:
+      return "degrade k" + std::to_string(e.object);
+    case T::Drain:
+      return "drain";
+    case T::AttemptStart:   // folded into the success/fault span
+    case T::OfflineClose:   // folded into the open span (value = length)
+      return {};
+  }
+  return {};
+}
+
+void common_fields(JsonWriter& j, const obs::JournalEvent& e,
+                   const std::string& name) {
+  j.key("name").value(name);
+  j.key("pid").value(kVirtualPid);
+  j.key("tid").value(e.server >= 0 ? e.server : std::int64_t{0});
+  j.key("ts").value(e.tick);  // 1 cost tick == 1 µs
+}
+
+void append_args(JsonWriter& j, const obs::JournalEvent& e) {
+  j.key("args").begin_object();
+  j.key("type").value(obs::to_string(e.type));
+  j.key("tick").value(e.tick);
+  if (e.object != -1) j.key("object").value(e.object);
+  if (e.source != -1) j.key("source").value(source_label(e.source));
+  if (e.value != 0) j.key("value").value(e.value);
+  if (e.extra != 0) j.key("extra").value(e.extra);
+  if (!e.detail.empty()) j.key("detail").value(e.detail);
+  j.end_object();
+}
+
+void append_thread_name(JsonWriter& j, int pid, std::int64_t tid,
+                        const std::string& name) {
+  j.begin_object();
+  j.key("name").value("thread_name");
+  j.key("ph").value("M");
+  j.key("pid").value(pid);
+  j.key("tid").value(tid);
+  j.key("args").begin_object();
+  j.key("name").value(name);
+  j.end_object();
+  j.end_object();
+}
+
+void append_process_name(JsonWriter& j, int pid, const std::string& name) {
+  j.begin_object();
+  j.key("name").value("process_name");
+  j.key("ph").value("M");
+  j.key("pid").value(pid);
+  j.key("tid").value(std::int64_t{0});
+  j.key("args").begin_object();
+  j.key("name").value(name);
+  j.end_object();
+  j.end_object();
+}
+
+}  // namespace
+
+void write_timeline(std::ostream& out, const JournalDoc& doc,
+                    const std::vector<obs::TraceEvent>& wall_events) {
+  JsonWriter j(out);
+  j.begin_object();
+  j.key("traceEvents").begin_array();
+
+  append_process_name(j, kVirtualPid, "virtual clock (cost ticks)");
+  if (!wall_events.empty()) append_process_name(j, 1, "wall clock");
+
+  // One lane per destination server that appears in the journal.
+  std::vector<std::int64_t> lanes;
+  for (const obs::JournalEvent& e : doc.events) {
+    if (e.server >= 0 &&
+        std::find(lanes.begin(), lanes.end(), e.server) == lanes.end()) {
+      lanes.push_back(e.server);
+    }
+  }
+  std::sort(lanes.begin(), lanes.end());
+  for (std::int64_t lane : lanes) {
+    append_thread_name(j, kVirtualPid, lane, "server " + std::to_string(lane));
+  }
+
+  using T = obs::JournalEventType;
+  for (const obs::JournalEvent& e : doc.events) {
+    const std::string name = event_name(e);
+    if (name.empty()) continue;
+    const bool is_span = e.type == T::AttemptSuccess ||
+                         e.type == T::TransientFault || e.type == T::OfflineOpen;
+    j.begin_object();
+    common_fields(j, e, name);
+    if (is_span) {
+      j.key("ph").value("X");
+      j.key("dur").value(e.value);  // cost (or stall length) in ticks
+    } else {
+      j.key("ph").value("i");
+      j.key("s").value(e.server >= 0 ? "t" : "p");
+    }
+    append_args(j, e);
+    j.end_object();
+  }
+
+  for (const obs::TraceEvent& e : wall_events) {
+    obs::append_chrome_trace_event(j, e, 1);
+  }
+
+  j.end_array();
+  j.end_object();
+  out << '\n';
+}
+
+void write_timeline_file(const std::string& path, const JournalDoc& doc,
+                         const std::vector<obs::TraceEvent>& wall_events) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open timeline output file: " + path);
+  write_timeline(out, doc, wall_events);
+}
+
+}  // namespace rtsp

@@ -1,0 +1,27 @@
+// Virtual-clock timeline: renders an execution journal as Chrome
+// trace-event JSON (Perfetto / chrome://tracing), with one lane (tid) per
+// destination server under pid 2 ("virtual clock"). Executed transfer
+// attempts become complete spans covering [tick, tick + cost] with 1 cost
+// tick mapped to 1 µs; offline stalls become spans on the stalled lane; and
+// faults, losses, replans, degradations and the drain become instant
+// events. Pass the run's wall-clock TraceEvents to compose both clocks in
+// one file: wall spans keep their usual pid 1 alongside the virtual lanes.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "io/journal_io.hpp"
+#include "obs/trace.hpp"
+
+namespace rtsp {
+
+void write_timeline(std::ostream& out, const JournalDoc& doc,
+                    const std::vector<obs::TraceEvent>& wall_events = {});
+
+/// Writes to `path`; throws std::runtime_error on open failure.
+void write_timeline_file(const std::string& path, const JournalDoc& doc,
+                         const std::vector<obs::TraceEvent>& wall_events = {});
+
+}  // namespace rtsp

@@ -50,12 +50,12 @@ void print_metrics_summary(std::ostream& out, const MetricsSnapshot& snap) {
   }
   if (!snap.histograms.empty()) {
     TextTable t;
-    t.header({"latency", "count", "mean_us", "p50_us", "p90_us", "p99_us",
-              "max_us"});
+    t.header({"latency", "count", "mean_us", "p50_us", "p90_us", "p95_us",
+              "p99_us", "max_us"});
     for (const auto& h : snap.histograms) {
       t.add_row({h.name, std::to_string(h.count), fixed(h.mean_us, 2),
-                 fixed(h.p50_us, 2), fixed(h.p90_us, 2), fixed(h.p99_us, 2),
-                 fixed(h.max_us, 2)});
+                 fixed(h.p50_us, 2), fixed(h.p90_us, 2), fixed(h.p95_us, 2),
+                 fixed(h.p99_us, 2), fixed(h.max_us, 2)});
     }
     out << "-- obs latencies --\n";
     t.print(out);
@@ -107,21 +107,21 @@ void print_span_summary(std::ostream& out, const std::vector<TraceEvent>& events
 void write_metrics_csv(std::ostream& out, const MetricsSnapshot& snap) {
   CsvWriter w(out);
   w.row({"kind", "name", "value", "max", "count", "mean_us", "p50_us", "p90_us",
-         "p99_us", "max_us"});
+         "p95_us", "p99_us", "max_us"});
   for (const auto& c : snap.counters) {
     w.field("counter").field(c.name).field(c.value);
-    w.field("").field("").field("").field("").field("").field("");
+    w.field("").field("").field("").field("").field("").field("").field("");
     w.end_row();
   }
   for (const auto& g : snap.gauges) {
     w.field("gauge").field(g.name).field(g.value).field(g.max);
-    w.field("").field("").field("").field("").field("");
+    w.field("").field("").field("").field("").field("").field("");
     w.end_row();
   }
   for (const auto& h : snap.histograms) {
     w.field("histogram").field(h.name).field("").field("");
     w.field(h.count).field(h.mean_us).field(h.p50_us).field(h.p90_us);
-    w.field(h.p99_us).field(h.max_us);
+    w.field(h.p95_us).field(h.p99_us).field(h.max_us);
     w.end_row();
   }
 }
@@ -147,6 +147,7 @@ void write_metrics_json(std::ostream& out, const MetricsSnapshot& snap) {
     j.key("mean_us").value(h.mean_us);
     j.key("p50_us").value(h.p50_us);
     j.key("p90_us").value(h.p90_us);
+    j.key("p95_us").value(h.p95_us);
     j.key("p99_us").value(h.p99_us);
     j.key("max_us").value(h.max_us);
     j.end_object();
@@ -156,34 +157,36 @@ void write_metrics_json(std::ostream& out, const MetricsSnapshot& snap) {
   out << '\n';
 }
 
+void append_chrome_trace_event(JsonWriter& j, const TraceEvent& e, int pid) {
+  j.begin_object();
+  j.key("name").value(e.name);
+  j.key("pid").value(pid);
+  j.key("tid").value(static_cast<std::uint64_t>(e.tid));
+  // Trace-event timestamps are microseconds; keep sub-µs as fractions.
+  j.key("ts").value(static_cast<double>(e.ts_ns) / kNsPerUs);
+  if (e.kind == TraceEvent::Kind::Complete) {
+    j.key("ph").value("X");
+    j.key("dur").value(static_cast<double>(e.dur_ns) / kNsPerUs);
+    if (!e.detail.empty() || e.span_id != 0) {
+      j.key("args").begin_object();
+      if (!e.detail.empty()) j.key("detail").value(e.detail);
+      if (e.span_id != 0) j.key("span_id").value(e.span_id);
+      j.end_object();
+    }
+  } else {
+    j.key("ph").value("C");
+    j.key("args").begin_object();
+    j.key("value").value(e.value);
+    j.end_object();
+  }
+  j.end_object();
+}
+
 void write_chrome_trace(std::ostream& out, const std::vector<TraceEvent>& events) {
   JsonWriter j(out);
   j.begin_object();
   j.key("traceEvents").begin_array();
-  for (const TraceEvent& e : events) {
-    j.begin_object();
-    j.key("name").value(e.name);
-    j.key("pid").value(1);
-    j.key("tid").value(static_cast<std::uint64_t>(e.tid));
-    // Trace-event timestamps are microseconds; keep sub-µs as fractions.
-    j.key("ts").value(static_cast<double>(e.ts_ns) / kNsPerUs);
-    if (e.kind == TraceEvent::Kind::Complete) {
-      j.key("ph").value("X");
-      j.key("dur").value(static_cast<double>(e.dur_ns) / kNsPerUs);
-      if (!e.detail.empty() || e.span_id != 0) {
-        j.key("args").begin_object();
-        if (!e.detail.empty()) j.key("detail").value(e.detail);
-        if (e.span_id != 0) j.key("span_id").value(e.span_id);
-        j.end_object();
-      }
-    } else {
-      j.key("ph").value("C");
-      j.key("args").begin_object();
-      j.key("value").value(e.value);
-      j.end_object();
-    }
-    j.end_object();
-  }
+  for (const TraceEvent& e : events) append_chrome_trace_event(j, e, 1);
   j.end_array();
   j.end_object();
   out << '\n';

@@ -13,6 +13,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "support/json.hpp"
 
 namespace rtsp::obs {
 
@@ -34,6 +35,11 @@ void write_metrics_json(std::ostream& out, const MetricsSnapshot& snap);
 /// Chrome trace-event JSON: {"traceEvents":[...]}; Complete spans as ph "X"
 /// (ts/dur in microseconds), counter samples as ph "C".
 void write_chrome_trace(std::ostream& out, const std::vector<TraceEvent>& events);
+
+/// Appends one trace event object to an already-open traceEvents array.
+/// Exposed so other exporters (io/timeline_export) can merge the wall-clock
+/// spans into a combined trace under their own process id.
+void append_chrome_trace_event(JsonWriter& j, const TraceEvent& e, int pid);
 
 /// Writes the snapshot to `path`, picking the format from the extension
 /// (".json" → JSON, anything else → CSV). Throws on open failure.

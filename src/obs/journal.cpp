@@ -1,0 +1,77 @@
+#include "obs/journal.hpp"
+
+#include <utility>
+
+namespace rtsp::obs {
+
+const char* to_string(JournalEventType t) {
+  switch (t) {
+    case JournalEventType::AttemptStart:
+      return "attempt_start";
+    case JournalEventType::AttemptSuccess:
+      return "attempt_success";
+    case JournalEventType::TransientFault:
+      return "transient_fault";
+    case JournalEventType::Retry:
+      return "retry";
+    case JournalEventType::OfflineOpen:
+      return "offline_open";
+    case JournalEventType::OfflineClose:
+      return "offline_close";
+    case JournalEventType::ReplicaLoss:
+      return "replica_loss";
+    case JournalEventType::ReplanTrigger:
+      return "replan_trigger";
+    case JournalEventType::Degradation:
+      return "degradation";
+    case JournalEventType::Drain:
+      return "drain";
+  }
+  return "?";
+}
+
+bool journal_event_type_from_string(const std::string& name,
+                                    JournalEventType& out) {
+  for (std::size_t i = 0; i < kJournalEventTypes; ++i) {
+    const auto t = static_cast<JournalEventType>(i);
+    if (name == to_string(t)) {
+      out = t;
+      return true;
+    }
+  }
+  return false;
+}
+
+Journal::Journal(std::size_t capacity) : slots_(capacity) {}
+
+void Journal::record(JournalEvent e) {
+  const std::size_t slot = cursor_.fetch_add(1, std::memory_order_relaxed);
+  if (slot >= slots_.size()) {
+    // Dropping the newest (instead of overwriting the oldest) keeps the
+    // retained prefix well-formed: open/close pairs stay matched and ticks
+    // stay monotone, which the lint relies on.
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  slots_[slot] = std::move(e);
+}
+
+std::vector<JournalEvent> Journal::events() const {
+  const std::size_t n = size();
+  return std::vector<JournalEvent>(slots_.begin(),
+                                   slots_.begin() + static_cast<std::ptrdiff_t>(n));
+}
+
+std::size_t Journal::size() const {
+  const std::size_t claimed = cursor_.load(std::memory_order_relaxed);
+  return claimed < slots_.size() ? claimed : slots_.size();
+}
+
+void Journal::clear() {
+  const std::size_t n = size();
+  for (std::size_t i = 0; i < n; ++i) slots_[i] = JournalEvent{};
+  cursor_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace rtsp::obs

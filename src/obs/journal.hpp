@@ -1,0 +1,95 @@
+// Structured execution journal: a bounded lock-free buffer of typed events
+// emitted by the fault-tolerant executor (attempt start/finish, transient
+// faults, retries with backoff, offline windows, replica losses, replan
+// triggers, degradations, drains), each stamped with both the executor's
+// virtual cost-tick clock and the wall clock.
+//
+// Design mirrors the trace buffer (obs/trace.hpp): slots are allocated once
+// up front, writers claim a slot with one relaxed fetch_add and never
+// contend, and events past the capacity are dropped and counted rather than
+// reallocating mid-run. Recording is pull-based — the executor writes only
+// into a Journal the caller passed in (ExecutorOptions::journal), so runs
+// without a journal pay nothing and the recorded schedule is bit-identical
+// with recording on or off.
+//
+// Serialization (JSONL, versioned) lives in io/journal_io.*; this header
+// stays dependency-free so the executor and the io layer share the types.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rtsp::obs {
+
+enum class JournalEventType : std::uint8_t {
+  AttemptStart,    ///< an attempt begins (after any stall); extra = attempt#
+  AttemptSuccess,  ///< the attempt applied; value = cost paid
+  TransientFault,  ///< in-flight failure, cost still paid; value = cost
+  Retry,           ///< a failed attempt will be retried; value = backoff ticks
+  OfflineOpen,     ///< an endpoint's offline window stalls the clock (start)
+  OfflineClose,    ///< the stall ended; matched with the preceding open
+  ReplicaLoss,     ///< a due permanent loss was applied as a forced deletion
+  ReplanTrigger,   ///< tail replan; value = dropped, extra = added, detail = reason
+  Degradation,     ///< a transfer was forced through the dummy server
+  Drain,           ///< replan budget spent; worst-case drain begins
+};
+
+/// Stable wire name ("attempt_start", ...); "?" for out-of-range values.
+const char* to_string(JournalEventType t);
+
+/// Inverse of to_string; returns false when `name` is not a known type.
+bool journal_event_type_from_string(const std::string& name,
+                                    JournalEventType& out);
+
+/// Number of distinct JournalEventType values (for per-type tallies).
+inline constexpr std::size_t kJournalEventTypes = 10;
+
+/// One journal record. `server`/`object`/`source` are -1 when not
+/// applicable; a dummy-server source is recorded as -2 (the ServerId
+/// sentinel does not fit a signed field meant for compact JSON).
+struct JournalEvent {
+  JournalEventType type = JournalEventType::AttemptStart;
+  std::int64_t tick = 0;      ///< virtual clock (cost ticks)
+  std::uint64_t wall_ns = 0;  ///< obs::now_ns() at record time
+  std::int64_t server = -1;   ///< destination server of the action
+  std::int64_t object = -1;
+  std::int64_t source = -1;   ///< transfer source; -2 = dummy server
+  std::int64_t value = 0;     ///< type-specific payload (cost/backoff/dropped)
+  std::int64_t extra = 0;     ///< second payload (attempt number/added)
+  std::string detail;         ///< replan reason etc.; usually empty
+
+  bool operator==(const JournalEvent&) const = default;
+};
+
+/// Bounded lock-free journal buffer. record() is wait-free for writers
+/// (one fetch_add plus a slot write); events/size/dropped are meant to be
+/// read after the producing run has finished, like the executor's report.
+class Journal {
+ public:
+  explicit Journal(std::size_t capacity = std::size_t{1} << 16);
+
+  /// Records `e`, or drops it (counted) when the buffer is full.
+  void record(JournalEvent e);
+
+  /// Events recorded so far, in record order (at most `capacity()`).
+  std::vector<JournalEvent> events() const;
+
+  std::size_t size() const;
+  std::size_t capacity() const { return slots_.size(); }
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Forgets every event and zeroes the dropped count.
+  void clear();
+
+ private:
+  std::vector<JournalEvent> slots_;
+  std::atomic<std::size_t> cursor_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace rtsp::obs

@@ -292,6 +292,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
       };
       v.p50_us = rank_edge(0.50);
       v.p90_us = rank_edge(0.90);
+      v.p95_us = rank_edge(0.95);
       v.p99_us = rank_edge(0.99);
     }
     snap.histograms.push_back(std::move(v));

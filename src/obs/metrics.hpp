@@ -99,6 +99,7 @@ struct MetricsSnapshot {
     double mean_us = 0.0;
     double p50_us = 0.0;
     double p90_us = 0.0;
+    double p95_us = 0.0;
     double p99_us = 0.0;
     double max_us = 0.0;
   };

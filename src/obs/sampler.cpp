@@ -1,0 +1,97 @@
+#include "obs/sampler.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+
+namespace rtsp::obs {
+
+MetricsSampler::MetricsSampler(std::size_t max_samples)
+    : max_samples_(max_samples) {
+  samples_.reserve(std::min<std::size_t>(max_samples_, 1024));
+}
+
+MetricsSampler::~MetricsSampler() { stop(); }
+
+void MetricsSampler::start(std::chrono::milliseconds period) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (thread_.joinable()) return;
+  stopping_ = false;
+  capture_locked(-1, "start", lock);
+  thread_ = std::thread(&MetricsSampler::run, this, period);
+}
+
+void MetricsSampler::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!thread_.joinable()) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  std::unique_lock<std::mutex> lock(mu_);
+  capture_locked(-1, "stop", lock);
+}
+
+void MetricsSampler::sample_wall(std::string label) {
+  std::unique_lock<std::mutex> lock(mu_);
+  capture_locked(-1, std::move(label), lock);
+}
+
+void MetricsSampler::sample_tick(std::int64_t tick, std::string label) {
+  std::unique_lock<std::mutex> lock(mu_);
+  capture_locked(tick, std::move(label), lock);
+}
+
+void MetricsSampler::capture_locked(std::int64_t tick, std::string label,
+                                    std::unique_lock<std::mutex>&) {
+  if (samples_.size() >= max_samples_) {
+    ++dropped_;
+    return;
+  }
+  const MetricsSnapshot snap = MetricsRegistry::instance().snapshot();
+
+  SeriesSample s;
+  s.wall_ns = now_ns();
+  s.tick = tick;
+  s.label = std::move(label);
+  std::vector<std::pair<std::string, std::uint64_t>> current;
+  current.reserve(snap.counters.size());
+  for (const auto& c : snap.counters) {
+    std::uint64_t prev = 0;
+    for (const auto& [name, v] : last_counters_) {
+      if (name == c.name) {
+        prev = v;
+        break;
+      }
+    }
+    // Counters are monotone per registry reset; a reset mid-series would
+    // make value < prev, so clamp the delta rather than wrapping.
+    const std::uint64_t delta = c.value >= prev ? c.value - prev : c.value;
+    if (delta != 0) s.counter_deltas.emplace_back(c.name, delta);
+    current.emplace_back(c.name, c.value);
+  }
+  for (const auto& g : snap.gauges) s.gauges.emplace_back(g.name, g.value);
+  last_counters_ = std::move(current);
+  samples_.push_back(std::move(s));
+}
+
+void MetricsSampler::run(std::chrono::milliseconds period) {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    if (cv_.wait_for(lock, period, [this] { return stopping_; })) break;
+    capture_locked(-1, "wall", lock);
+  }
+}
+
+std::vector<SeriesSample> MetricsSampler::samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_;
+}
+
+std::uint64_t MetricsSampler::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+}  // namespace rtsp::obs

@@ -1,0 +1,85 @@
+// MetricsSampler: periodic MetricsSnapshot deltas over time.
+//
+// A single end-of-run snapshot (obs/export.*) says how much work happened;
+// the sampler says *when*. Each captured sample stores the counter deltas
+// since the previous sample (non-zero entries only, so quiet periods cost a
+// few bytes) plus current gauge values, stamped with the wall clock and —
+// when the caller is the executor — the virtual cost-tick clock.
+//
+// Two capture paths share one bounded sample buffer:
+//   - sample_wall(): taken by a background thread started with start(period)
+//     (and usable directly); tick is recorded as -1 ("wall-clock sample").
+//   - sample_tick(tick, label): hooks at executor attempt/retry/replan
+//     boundaries, stamping the virtual clock.
+//
+// Serialization (JSONL + CSV) lives in obs/series_io.*. Like the journal,
+// the sampler is pull-based: nothing samples unless a sampler is created,
+// started, or passed into ExecutorOptions, so plain runs pay nothing.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace rtsp::obs {
+
+/// One captured point of the metrics time-series.
+struct SeriesSample {
+  std::uint64_t wall_ns = 0;  ///< obs::now_ns() at capture
+  std::int64_t tick = -1;     ///< virtual clock; -1 for wall-clock samples
+  std::string label;          ///< capture site ("wall", "attempt", ...)
+  /// Counter increments since the previous sample (non-zero only).
+  std::vector<std::pair<std::string, std::uint64_t>> counter_deltas;
+  /// Gauge values at capture time (all registered gauges).
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+};
+
+class MetricsSampler {
+ public:
+  explicit MetricsSampler(std::size_t max_samples = std::size_t{1} << 16);
+  ~MetricsSampler();
+
+  MetricsSampler(const MetricsSampler&) = delete;
+  MetricsSampler& operator=(const MetricsSampler&) = delete;
+
+  /// Launches the background wall-clock thread; no-op if already running.
+  void start(std::chrono::milliseconds period);
+
+  /// Stops and joins the background thread, taking one final wall sample
+  /// so the series always covers the full run. Safe to call when stopped.
+  void stop();
+
+  /// Captures a wall-clock sample now (also what the background thread does).
+  void sample_wall(std::string label = "wall");
+
+  /// Captures a virtual-clock sample at executor tick `tick`.
+  void sample_tick(std::int64_t tick, std::string label);
+
+  /// Samples captured so far, in capture order.
+  std::vector<SeriesSample> samples() const;
+
+  std::size_t max_samples() const { return max_samples_; }
+  std::uint64_t dropped() const;
+
+ private:
+  void capture_locked(std::int64_t tick, std::string label,
+                      std::unique_lock<std::mutex>& lock);
+  void run(std::chrono::milliseconds period);
+
+  const std::size_t max_samples_;
+  mutable std::mutex mu_;
+  std::vector<SeriesSample> samples_;
+  std::vector<std::pair<std::string, std::uint64_t>> last_counters_;
+  std::uint64_t dropped_ = 0;
+  std::condition_variable cv_;
+  std::thread thread_;
+  bool stopping_ = false;
+};
+
+}  // namespace rtsp::obs

@@ -1,0 +1,119 @@
+#include "obs/series_io.hpp"
+
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "support/csv.hpp"
+#include "support/json.hpp"
+
+namespace rtsp::obs {
+
+void write_series_jsonl(std::ostream& out,
+                        const std::vector<SeriesSample>& samples,
+                        std::uint64_t dropped) {
+  {
+    JsonWriter j(out);
+    j.begin_object();
+    j.key("format").value(kSeriesFormatName);
+    j.key("version").value(kSeriesFormatVersion);
+    j.key("samples").value(static_cast<std::uint64_t>(samples.size()));
+    j.key("dropped").value(dropped);
+    j.end_object();
+  }
+  out << '\n';
+  for (const SeriesSample& s : samples) {
+    JsonWriter j(out);
+    j.begin_object();
+    j.key("wall_ns").value(s.wall_ns);
+    j.key("tick").value(s.tick);
+    j.key("label").value(s.label);
+    j.key("counters").begin_object();
+    for (const auto& [name, delta] : s.counter_deltas) j.key(name).value(delta);
+    j.end_object();
+    j.key("gauges").begin_object();
+    for (const auto& [name, value] : s.gauges) j.key(name).value(value);
+    j.end_object();
+    j.end_object();
+    out << '\n';
+  }
+}
+
+void write_series_csv(std::ostream& out,
+                      const std::vector<SeriesSample>& samples) {
+  CsvWriter w(out);
+  w.row({"wall_ns", "tick", "label", "kind", "name", "value"});
+  for (const SeriesSample& s : samples) {
+    for (const auto& [name, delta] : s.counter_deltas) {
+      w.field(s.wall_ns).field(s.tick).field(s.label);
+      w.field("counter_delta").field(name).field(delta);
+      w.end_row();
+    }
+    for (const auto& [name, value] : s.gauges) {
+      w.field(s.wall_ns).field(s.tick).field(s.label);
+      w.field("gauge").field(name).field(value);
+      w.end_row();
+    }
+  }
+}
+
+void write_series_file(const std::string& path,
+                       const std::vector<SeriesSample>& samples,
+                       std::uint64_t dropped) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open series output file: " + path);
+  if (path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0) {
+    write_series_csv(out, samples);
+  } else {
+    write_series_jsonl(out, samples, dropped);
+  }
+}
+
+SeriesDoc read_series_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open series file: " + path);
+
+  SeriesDoc doc;
+  std::string line;
+  bool saw_header = false;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    const JsonValue v = parse_json(line);
+    if (!saw_header) {
+      const JsonValue* format = v.find("format");
+      if (format == nullptr || format->as_string() != kSeriesFormatName) {
+        throw std::runtime_error(path + ": missing rtsp-series header");
+      }
+      doc.version = static_cast<int>(v.at("version").as_int());
+      if (doc.version != kSeriesFormatVersion) {
+        throw std::runtime_error(path + ": unsupported series version " +
+                                 std::to_string(doc.version));
+      }
+      if (const JsonValue* d = v.find("dropped")) {
+        doc.dropped = static_cast<std::uint64_t>(d->as_int());
+      }
+      saw_header = true;
+      continue;
+    }
+    SeriesSample s;
+    s.wall_ns = static_cast<std::uint64_t>(v.at("wall_ns").as_int());
+    s.tick = v.at("tick").as_int();
+    s.label = v.at("label").as_string();
+    for (const auto& [name, val] : v.at("counters").members()) {
+      s.counter_deltas.emplace_back(name, static_cast<std::uint64_t>(val.as_int()));
+    }
+    for (const auto& [name, val] : v.at("gauges").members()) {
+      s.gauges.emplace_back(name, val.as_int());
+    }
+    doc.samples.push_back(std::move(s));
+  }
+  if (!saw_header) {
+    throw std::runtime_error(path + ": empty series file (line " +
+                             std::to_string(lineno) + ")");
+  }
+  return doc;
+}
+
+}  // namespace rtsp::obs

@@ -1,0 +1,51 @@
+// Metrics time-series persistence (the MetricsSampler's output).
+//
+// JSONL, versioned (kSeriesFormatVersion): the first line is a header
+//   {"format":"rtsp-series","version":1,"samples":N,"dropped":D}
+// and every following line is one sample
+//   {"wall_ns":U,"tick":T,"label":"...","counters":{name:delta,...},
+//    "gauges":{name:value,...}}
+// where "counters" holds the increments since the previous sample (non-zero
+// entries only) and "tick" is the executor's virtual clock, -1 for
+// wall-clock samples. A CSV form (one long-format row per metric per
+// sample) is picked by file extension, like obs::write_metrics_file.
+//
+// Lives in obs/ but is compiled into rtsp_support: it needs support/json
+// and support/csv, which sit above the dependency-free rtsp_obs core
+// (same layering as obs/export.*).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/sampler.hpp"
+
+namespace rtsp::obs {
+
+inline constexpr int kSeriesFormatVersion = 1;
+inline constexpr const char* kSeriesFormatName = "rtsp-series";
+
+/// A parsed series file: the header fields plus every sample.
+struct SeriesDoc {
+  int version = kSeriesFormatVersion;
+  std::uint64_t dropped = 0;
+  std::vector<SeriesSample> samples;
+};
+
+void write_series_jsonl(std::ostream& out, const std::vector<SeriesSample>& samples,
+                        std::uint64_t dropped);
+void write_series_csv(std::ostream& out, const std::vector<SeriesSample>& samples);
+
+/// Writes `samples` to `path`: ".csv" → CSV, anything else → JSONL.
+/// Throws std::runtime_error on open failure.
+void write_series_file(const std::string& path,
+                       const std::vector<SeriesSample>& samples,
+                       std::uint64_t dropped);
+
+/// Parses a JSONL series file. Throws std::runtime_error on malformed
+/// input, a bad header, or an unsupported version.
+SeriesDoc read_series_file(const std::string& path);
+
+}  // namespace rtsp::obs

@@ -1,9 +1,12 @@
 #include "obs/session.hpp"
 
+#include <chrono>
 #include <ostream>
 
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
+#include "obs/series_io.hpp"
 #include "obs/trace.hpp"
 #include "support/cli.hpp"
 
@@ -31,14 +34,30 @@ std::int64_t record_peak_rss() {
 Session::Session(const CliOptions& opt)
     : summary_(opt.get_bool("obs", "RTSP_OBS", false)),
       trace_out_(opt.get_string("trace-out", "", "")),
-      metrics_out_(opt.get_string("metrics-out", "", "")) {
-  enabled_ = summary_ || !trace_out_.empty() || !metrics_out_.empty();
+      metrics_out_(opt.get_string("metrics-out", "", "")),
+      series_out_(opt.get_string("series-out", "", "")) {
+  enabled_ = summary_ || !trace_out_.empty() || !metrics_out_.empty() ||
+             !series_out_.empty();
   if (enabled_) set_enabled(true);
+  if (!series_out_.empty()) {
+    const int period_ms =
+        static_cast<int>(opt.get_int("sample-ms", "RTSP_SAMPLE_MS", 100));
+    sampler_ = std::make_unique<MetricsSampler>();
+    sampler_->start(std::chrono::milliseconds(period_ms > 0 ? period_ms : 100));
+  }
 }
+
+Session::~Session() = default;
 
 void Session::finish(std::ostream& out) const {
   if (!enabled_) return;
   record_peak_rss();
+  if (sampler_ != nullptr) {
+    sampler_->stop();
+    write_series_file(series_out_, sampler_->samples(), sampler_->dropped());
+    out << "obs series written to " << series_out_ << " ("
+        << sampler_->samples().size() << " samples)\n";
+  }
   const MetricsSnapshot snap = MetricsRegistry::instance().snapshot();
   if (!metrics_out_.empty()) {
     write_metrics_file(metrics_out_, snap);

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
 
 namespace rtsp {
@@ -13,6 +14,8 @@ class CliOptions;
 }
 
 namespace rtsp::obs {
+
+class MetricsSampler;
 
 /// Samples the process peak RSS, records it as the process.peak_rss_kb
 /// gauge, and returns it in KiB (0 when the platform has no getrusage).
@@ -29,13 +32,23 @@ class Session {
   ///   --obs               print metrics + span summary tables at finish()
   ///   --trace-out=FILE    write a Chrome trace-event JSON (Perfetto)
   ///   --metrics-out=FILE  write a metrics snapshot (.json, else CSV)
-  /// Any of the three turns recording on for the whole process.
+  ///   --series-out=FILE   sample the metrics over time and write the
+  ///                       series (.csv, else JSONL; see obs/series_io)
+  ///   --sample-ms=N       wall-clock sampling period (default 100)
+  /// Any of them turns recording on for the whole process. --series-out
+  /// starts a background wall-clock sampler; commands that run the executor
+  /// additionally feed virtual-clock samples through sampler().
   explicit Session(const CliOptions& opt);
+  ~Session();
 
   bool enabled() const { return enabled_; }
 
-  /// Writes the requested files and (with --obs) prints the summary tables.
-  /// No-op when no obs flag was given.
+  /// The running sampler when --series-out was given, else nullptr. Pass it
+  /// into ExecutorOptions::sampler to get virtual-clock samples too.
+  MetricsSampler* sampler() const { return sampler_.get(); }
+
+  /// Stops the sampler, writes the requested files and (with --obs) prints
+  /// the summary tables. No-op when no obs flag was given.
   void finish(std::ostream& out) const;
 
  private:
@@ -43,6 +56,8 @@ class Session {
   bool summary_ = false;
   std::string trace_out_;
   std::string metrics_out_;
+  std::string series_out_;
+  std::unique_ptr<MetricsSampler> sampler_;
 };
 
 }  // namespace rtsp::obs

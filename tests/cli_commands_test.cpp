@@ -7,8 +7,12 @@
 #include <sstream>
 
 #include "io/instance_io.hpp"
+#include "io/journal_io.hpp"
 #include "io/schedule_io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 #include "obs/provenance.hpp"
+#include "support/json.hpp"
 #include "test_helpers.hpp"
 
 namespace rtsp {
@@ -376,6 +380,186 @@ TEST(Cli, ExecuteRejectsBadInputs) {
            "--jitter", "3"});
   EXPECT_EQ(bad_retry.code, 1);
   EXPECT_NE(bad_retry.err.find("jitter"), std::string::npos);
+}
+
+TEST(Cli, ExecuteFlightRecorderThenReport) {
+  const std::string inst_path = write_fig3_instance();
+  const std::string sched_path = temp_path("cli_rec.sched");
+  const std::string faults_path = temp_path("cli_rec.faults.json");
+  const std::string journal_path = temp_path("cli_rec.journal");
+  const std::string timeline_path = temp_path("cli_rec.trace.json");
+  const std::string html_path = temp_path("cli_rec.html");
+  const std::string summary_path = temp_path("cli_rec.report.json");
+  ASSERT_EQ(run({"solve", "--instance", inst_path, "--out", sched_path}).code, 0);
+  {
+    std::ofstream f(faults_path);
+    f << R"({"version": 1, "seed": 9, "transient_failure_rate": 0.5})";
+  }
+  const CliResult x = run({"execute", "--instance", inst_path, "--schedule",
+                           sched_path, "--faults", faults_path, "--journal-out",
+                           journal_path, "--timeline-out", timeline_path});
+  ASSERT_EQ(x.code, 0) << x.err << x.out;
+  EXPECT_NE(x.out.find("journal written to"), std::string::npos);
+  EXPECT_NE(x.out.find("timeline written to"), std::string::npos);
+
+  const JournalDoc doc = read_journal_file(journal_path);
+  EXPECT_GT(doc.events.size(), 0u);
+  EXPECT_TRUE(doc.run.reached_goal);
+  EXPECT_GT(doc.run.transient_failures, 0u);
+
+  const CliResult r = run({"report", "--journal", journal_path, "--html",
+                           html_path, "--out", summary_path});
+  ASSERT_EQ(r.code, 0) << r.err;
+  std::ifstream html(html_path);
+  std::stringstream html_buf;
+  html_buf << html.rdbuf();
+  EXPECT_NE(html_buf.str().find("<!doctype html>"), std::string::npos);
+  EXPECT_NE(html_buf.str().find("Cost trajectory"), std::string::npos);
+  EXPECT_NE(html_buf.str().find("Per-server lanes"), std::string::npos);
+  std::ifstream summary(summary_path);
+  std::stringstream summary_buf;
+  summary_buf << summary.rdbuf();
+  const JsonValue parsed = parse_json(summary_buf.str());
+  EXPECT_EQ(parsed.at("run").at("reached_goal").as_bool(), true);
+  EXPECT_GT(parsed.at("events").at("attempt_start").as_int(), 0);
+}
+
+TEST(Cli, ReportStagesMatchExplainOnZeroFaultRun) {
+#if !RTSP_OBS_ENABLED
+  GTEST_SKIP() << "provenance capture needs an obs-enabled build";
+#else
+  const std::string inst_path = write_fig3_instance();
+  const std::string sched_path = temp_path("cli_rep.sched");
+  const std::string prov_path = temp_path("cli_rep.prov.json");
+  const std::string journal_path = temp_path("cli_rep.journal");
+  ASSERT_EQ(run({"solve", "--instance", inst_path, "--out", sched_path,
+                 "--provenance-out", prov_path})
+                .code,
+            0);
+  // Zero faults: the effective schedule IS the plan, so the planner's own
+  // provenance attributes it and `rtsp report` must emit exactly the stage
+  // records `rtsp explain --json` prints.
+  ASSERT_EQ(run({"execute", "--instance", inst_path, "--schedule", sched_path,
+                 "--journal-out", journal_path})
+                .code,
+            0);
+  const CliResult rep = run({"report", "--journal", journal_path, "--instance",
+                             inst_path, "--schedule", sched_path,
+                             "--provenance", prov_path});
+  ASSERT_EQ(rep.code, 0) << rep.err;
+  const CliResult exp = run({"explain", "--instance", inst_path, "--schedule",
+                             sched_path, "--provenance", prov_path, "--json"});
+  ASSERT_EQ(exp.code, 0) << exp.err;
+  const JsonValue rep_doc = parse_json(rep.out);
+  const JsonValue exp_doc = parse_json(exp.out);
+  EXPECT_EQ(rep_doc.at("reconciled").as_bool(), true);
+  const auto& rep_stages = rep_doc.at("stages").items();
+  const auto& exp_stages = exp_doc.at("stages").items();
+  ASSERT_EQ(rep_stages.size(), exp_stages.size());
+  const char* keys[] = {"name",      "kind",        "actions",
+                        "transfers", "deletions",   "dummy_transfers",
+                        "cost",      "dummy_cost",  "rewrites",
+                        "rewrite_cost_delta",       "rewrite_dummy_delta"};
+  for (std::size_t i = 0; i < rep_stages.size(); ++i) {
+    for (const char* key : keys) {
+      const JsonValue& a = rep_stages[i].at(key);
+      const JsonValue& b = exp_stages[i].at(key);
+      if (key == std::string("name") || key == std::string("kind")) {
+        EXPECT_EQ(a.as_string(), b.as_string()) << "stage " << i << " " << key;
+      } else {
+        EXPECT_EQ(a.as_int(), b.as_int()) << "stage " << i << " " << key;
+      }
+    }
+  }
+#endif
+}
+
+TEST(Cli, ReportRejectsMismatchedSchedule) {
+#if !RTSP_OBS_ENABLED
+  GTEST_SKIP() << "provenance capture needs an obs-enabled build";
+#else
+  const std::string inst_path = write_fig3_instance();
+  const std::string sched_path = temp_path("cli_repm.sched");
+  const std::string prov_path = temp_path("cli_repm.prov.json");
+  const std::string journal_path = temp_path("cli_repm.journal");
+  ASSERT_EQ(run({"solve", "--instance", inst_path, "--out", sched_path,
+                 "--provenance-out", prov_path})
+                .code,
+            0);
+  ASSERT_EQ(run({"execute", "--instance", inst_path, "--schedule", sched_path,
+                 "--journal-out", journal_path})
+                .code,
+            0);
+  {
+    // Forge a journal from "another run": its effective cost no longer
+    // matches the schedule the stage trio attributes.
+    JournalDoc doc = read_journal_file(journal_path);
+    doc.run.effective_cost += 1;
+    write_journal_file(journal_path, doc.events, doc.dropped, doc.run);
+  }
+  const CliResult rep = run({"report", "--journal", journal_path, "--instance",
+                             inst_path, "--schedule", sched_path,
+                             "--provenance", prov_path});
+  EXPECT_EQ(rep.code, 1);
+  EXPECT_NE(rep.err.find("does not match journal"), std::string::npos);
+
+  const CliResult partial =
+      run({"report", "--journal", journal_path, "--instance", inst_path});
+  EXPECT_EQ(partial.code, 1);
+  EXPECT_NE(partial.err.find("needs all of"), std::string::npos);
+
+  const CliResult no_journal = run({"report"});
+  EXPECT_EQ(no_journal.code, 1);
+  EXPECT_NE(no_journal.err.find("--journal"), std::string::npos);
+#endif
+}
+
+TEST(Cli, ExecuteJournalOnOrOffIsBitIdentical) {
+  const std::string inst_path = write_fig3_instance();
+  const std::string sched_path = temp_path("cli_det.sched");
+  const std::string faults_path = temp_path("cli_det.faults.json");
+  const std::string eff_off = temp_path("cli_det.off.sched");
+  const std::string eff_on = temp_path("cli_det.on.sched");
+  const std::string journal_path = temp_path("cli_det.journal");
+  ASSERT_EQ(run({"solve", "--instance", inst_path, "--out", sched_path}).code, 0);
+  {
+    std::ofstream f(faults_path);
+    f << R"({"version": 1, "seed": 3, "transient_failure_rate": 0.4,
+             "offline": [{"server": 1, "begin": 0, "end": 50}]})";
+  }
+  const CliResult off = run({"execute", "--instance", inst_path, "--schedule",
+                             sched_path, "--faults", faults_path, "--seed", "4",
+                             "--out", eff_off});
+  ASSERT_EQ(off.code, 0) << off.err;
+  const CliResult on = run({"execute", "--instance", inst_path, "--schedule",
+                            sched_path, "--faults", faults_path, "--seed", "4",
+                            "--out", eff_on, "--journal-out", journal_path});
+  ASSERT_EQ(on.code, 0) << on.err;
+
+  const auto slurp = [](const std::string& path) {
+    std::ifstream f(path);
+    std::stringstream buf;
+    buf << f.rdbuf();
+    return buf.str();
+  };
+  EXPECT_EQ(slurp(eff_on), slurp(eff_off));
+
+  // The console report (costs, attempts, ticks) matches too, modulo the
+  // extra "journal written" line.
+  std::string on_out = on.out;
+  const std::size_t line = on_out.find("journal written to");
+  ASSERT_NE(line, std::string::npos);
+  on_out.erase(line, on_out.find('\n', line) - line + 1);
+  std::string off_out = off.out;
+  const auto strip_written = [](std::string& s) {
+    for (const char* prefix : {"effective schedule written to"}) {
+      const std::size_t at = s.find(prefix);
+      if (at != std::string::npos) s.erase(at, s.find('\n', at) - at + 1);
+    }
+  };
+  strip_written(on_out);
+  strip_written(off_out);
+  EXPECT_EQ(on_out, off_out);
 }
 
 }  // namespace

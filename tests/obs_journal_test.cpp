@@ -1,0 +1,446 @@
+// Flight-recorder tests: the journal ring buffer, the executor's typed event
+// stream (schema invariants + determinism with recording on vs off), the
+// metrics sampler, and the journal/series/timeline serialization round-trips.
+#include "obs/journal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "exec/executor.hpp"
+#include "heuristics/registry.hpp"
+#include "io/journal_io.hpp"
+#include "io/timeline_export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/sampler.hpp"
+#include "obs/series_io.hpp"
+#include "obs/trace.hpp"
+#include "support/json.hpp"
+#include "test_helpers.hpp"
+
+namespace rtsp {
+namespace {
+
+using exec::ExecutionReport;
+using exec::ExecutorOptions;
+using exec::FaultSpec;
+using obs::Journal;
+using obs::JournalEvent;
+using obs::JournalEventType;
+
+JournalEvent make_event(JournalEventType type, std::int64_t tick) {
+  JournalEvent e;
+  e.type = type;
+  e.tick = tick;
+  e.wall_ns = 1000 + static_cast<std::uint64_t>(tick);
+  e.server = 2;
+  e.object = 5;
+  return e;
+}
+
+TEST(Journal, RecordsUpToCapacityThenDropsNewest) {
+  Journal j(4);
+  for (std::int64_t t = 0; t < 7; ++t) {
+    j.record(make_event(JournalEventType::AttemptSuccess, t));
+  }
+  EXPECT_EQ(j.capacity(), 4u);
+  EXPECT_EQ(j.size(), 4u);
+  EXPECT_EQ(j.dropped(), 3u);
+  const std::vector<JournalEvent> events = j.events();
+  ASSERT_EQ(events.size(), 4u);
+  // Drop-newest: the retained prefix is the first `capacity` events in
+  // emission order, so its invariants (monotone ticks, matched pairs up to
+  // truncation) survive overflow.
+  for (std::int64_t t = 0; t < 4; ++t) {
+    EXPECT_EQ(events[static_cast<std::size_t>(t)].tick, t);
+  }
+  j.clear();
+  EXPECT_EQ(j.size(), 0u);
+  EXPECT_EQ(j.dropped(), 0u);
+}
+
+TEST(Journal, EventTypeStringsRoundTrip) {
+  for (std::size_t i = 0; i < obs::kJournalEventTypes; ++i) {
+    const auto type = static_cast<JournalEventType>(i);
+    JournalEventType back = JournalEventType::AttemptStart;
+    ASSERT_TRUE(obs::journal_event_type_from_string(obs::to_string(type), back))
+        << obs::to_string(type);
+    EXPECT_EQ(back, type);
+  }
+  JournalEventType back = JournalEventType::AttemptStart;
+  EXPECT_FALSE(obs::journal_event_type_from_string("bogus", back));
+}
+
+// ---------------------------------------------------------------------------
+// Executor event stream
+
+Instance medium_instance(std::uint64_t seed) {
+  RandomInstanceSpec spec;
+  spec.servers = 8;
+  spec.objects = 30;
+  Rng rng(seed);
+  return random_instance(spec, rng);
+}
+
+Schedule plan_for(const Instance& inst, std::uint64_t seed = 1) {
+  Rng rng(seed);
+  return make_pipeline("GOLCF+H1+H2+OP1")
+      .run(inst.model, inst.x_old, inst.x_new, rng);
+}
+
+FaultSpec stormy_spec() {
+  FaultSpec faults;
+  faults.seed = 42;
+  faults.transient_failure_rate = 0.2;
+  faults.offline.push_back({1, 0, 60});
+  faults.losses.push_back({2, 3, 30});
+  faults.losses.push_back({4, 7, 90});
+  return faults;
+}
+
+/// The schema invariants obs_lint enforces, asserted in-process.
+void expect_well_formed(const std::vector<JournalEvent>& events) {
+  std::int64_t last_tick = 0;
+  std::map<std::int64_t, std::int64_t> open_offline;
+  for (const JournalEvent& e : events) {
+    EXPECT_GE(e.tick, last_tick) << obs::to_string(e.type);
+    last_tick = e.tick;
+    EXPECT_GE(e.value, 0);
+    EXPECT_GE(e.server, -1);
+    EXPECT_GE(e.object, -1);
+    EXPECT_GE(e.source, -2);
+    switch (e.type) {
+      case JournalEventType::OfflineOpen:
+        EXPECT_EQ(open_offline.count(e.server), 0u);
+        open_offline[e.server] = e.value;
+        break;
+      case JournalEventType::OfflineClose: {
+        auto it = open_offline.find(e.server);
+        ASSERT_NE(it, open_offline.end());
+        EXPECT_EQ(it->second, e.value);
+        open_offline.erase(it);
+        break;
+      }
+      case JournalEventType::AttemptStart:
+      case JournalEventType::AttemptSuccess:
+      case JournalEventType::TransientFault:
+        EXPECT_GE(e.server, 0);
+        EXPECT_GE(e.object, 0);
+        EXPECT_GE(e.extra, 1);
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_TRUE(open_offline.empty());
+}
+
+TEST(ExecutorJournal, FaultedRunEmitsWellFormedStream) {
+  const Instance inst = medium_instance(3);
+  const Schedule plan = plan_for(inst, 3);
+  Journal journal;
+  ExecutorOptions options;
+  options.journal = &journal;
+  const ExecutionReport r = exec::execute_schedule(
+      inst.model, inst.x_old, inst.x_new, plan, stormy_spec(), options);
+  ASSERT_TRUE(r.reached_goal);
+  const std::vector<JournalEvent> events = journal.events();
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(journal.dropped(), 0u);
+  expect_well_formed(events);
+
+  // The stream reconciles with the report's aggregate counters.
+  std::map<JournalEventType, std::size_t> counts;
+  for (const JournalEvent& e : events) counts[e.type]++;
+  EXPECT_EQ(counts[JournalEventType::AttemptStart], r.attempts.size());
+  EXPECT_EQ(counts[JournalEventType::AttemptSuccess] +
+                counts[JournalEventType::TransientFault],
+            r.attempts.size());
+  EXPECT_EQ(counts[JournalEventType::TransientFault], r.transient_failures);
+  EXPECT_EQ(counts[JournalEventType::Retry], r.retries);
+  EXPECT_EQ(counts[JournalEventType::ReplicaLoss], r.loss_deletions);
+  EXPECT_EQ(counts[JournalEventType::ReplanTrigger], r.replans.size());
+
+  // Paying attempts sum to the actual cost.
+  std::int64_t paid = 0;
+  for (const JournalEvent& e : events) {
+    if (e.type == JournalEventType::AttemptSuccess ||
+        e.type == JournalEventType::TransientFault) {
+      paid += e.value;
+    }
+  }
+  EXPECT_EQ(paid, static_cast<std::int64_t>(r.actual_cost));
+}
+
+TEST(ExecutorJournal, RecordingOnOrOffIsBitIdentical) {
+  const Instance inst = medium_instance(5);
+  const Schedule plan = plan_for(inst, 5);
+  const FaultSpec faults = stormy_spec();
+
+  ExecutorOptions bare;
+  const ExecutionReport off = exec::execute_schedule(
+      inst.model, inst.x_old, inst.x_new, plan, faults, bare);
+
+  Journal journal;
+  obs::MetricsSampler sampler;
+  sampler.start(std::chrono::milliseconds(1));
+  ExecutorOptions wired;
+  wired.journal = &journal;
+  wired.sampler = &sampler;
+  const ExecutionReport on = exec::execute_schedule(
+      inst.model, inst.x_old, inst.x_new, plan, faults, wired);
+  sampler.stop();
+
+  EXPECT_EQ(on.effective.actions(), off.effective.actions());
+  EXPECT_EQ(on.actual_cost, off.actual_cost);
+  EXPECT_EQ(on.finished_at, off.finished_at);
+  EXPECT_EQ(on.retries, off.retries);
+  EXPECT_EQ(on.replans.size(), off.replans.size());
+  ASSERT_EQ(on.attempts.size(), off.attempts.size());
+  for (std::size_t i = 0; i < on.attempts.size(); ++i) {
+    EXPECT_EQ(on.attempts[i].action, off.attempts[i].action) << i;
+    EXPECT_EQ(on.attempts[i].at, off.attempts[i].at) << i;
+    EXPECT_EQ(on.attempts[i].outcome, off.attempts[i].outcome) << i;
+    EXPECT_EQ(on.attempts[i].cost_paid, off.attempts[i].cost_paid) << i;
+  }
+  EXPECT_GT(journal.size(), 0u);
+}
+
+TEST(ExecutorJournal, SolversBitIdenticalWithTracingAndSamplingOn) {
+  // RDFP/GSDFP (sharded-parallel builders) with the full recorder armed must
+  // produce the same schedule as a bare run: instrumentation never steers.
+  const Instance inst = medium_instance(7);
+  for (const char* algo : {"RDFP+H1", "GSDFP+H2"}) {
+    Rng rng_off(9);
+    const Schedule off =
+        make_pipeline(algo).run(inst.model, inst.x_old, inst.x_new, rng_off);
+
+    obs::set_enabled(true);
+    obs::clear_trace();
+    obs::MetricsSampler sampler;
+    sampler.start(std::chrono::milliseconds(1));
+    Rng rng_on(9);
+    const Schedule on =
+        make_pipeline(algo).run(inst.model, inst.x_old, inst.x_new, rng_on);
+    sampler.stop();
+    obs::set_enabled(false);
+
+    EXPECT_EQ(on.actions(), off.actions()) << algo;
+    EXPECT_GE(sampler.samples().size(), 2u);  // start + stop
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Serialization round-trips
+
+TEST(JournalIo, RoundTripsEventsAndRunSummary) {
+  const Instance inst = medium_instance(3);
+  const Schedule plan = plan_for(inst, 3);
+  Journal journal;
+  ExecutorOptions options;
+  options.journal = &journal;
+  const ExecutionReport r = exec::execute_schedule(
+      inst.model, inst.x_old, inst.x_new, plan, stormy_spec(), options);
+
+  JournalRunSummary run;
+  run.planned_cost = static_cast<std::int64_t>(r.planned_cost);
+  run.effective_cost = static_cast<std::int64_t>(r.effective_cost);
+  run.actual_cost = static_cast<std::int64_t>(r.actual_cost);
+  run.finished_at = r.finished_at;
+  run.total_stall = r.total_stall;
+  run.total_backoff = r.total_backoff;
+  run.attempts = r.attempts.size();
+  run.retries = r.retries;
+  run.transient_failures = r.transient_failures;
+  run.degraded_transfers = r.degraded_transfers;
+  run.loss_deletions = r.loss_deletions;
+  run.replans = r.replans.size();
+  run.reached_goal = r.reached_goal;
+
+  std::stringstream buffer;
+  write_journal(buffer, journal.events(), journal.dropped(), run);
+  const JournalDoc doc = read_journal(buffer);
+  EXPECT_EQ(doc.version, kJournalFormatVersion);
+  EXPECT_EQ(doc.dropped, journal.dropped());
+  EXPECT_EQ(doc.run, run);
+  ASSERT_EQ(doc.events.size(), journal.size());
+  const std::vector<JournalEvent> original = journal.events();
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(doc.events[i], original[i]) << "event " << i;
+  }
+}
+
+TEST(JournalIo, RejectsMalformedInput) {
+  std::stringstream missing_header("{\"type\":\"retry\",\"tick\":1}\n");
+  EXPECT_THROW(read_journal(missing_header), std::runtime_error);
+  std::stringstream bad_version(
+      "{\"format\":\"rtsp-journal\",\"version\":99,\"events\":0,"
+      "\"dropped\":0,\"run\":{}}\n");
+  EXPECT_THROW(read_journal(bad_version), std::runtime_error);
+  std::stringstream bad_type(
+      "{\"format\":\"rtsp-journal\",\"version\":1,\"events\":1,"
+      "\"dropped\":0,\"run\":{}}\n{\"type\":\"warp\",\"tick\":0}\n");
+  EXPECT_THROW(read_journal(bad_type), std::runtime_error);
+}
+
+TEST(SeriesIo, JsonlRoundTripsSamples) {
+  std::vector<obs::SeriesSample> samples;
+  obs::SeriesSample a;
+  a.wall_ns = 100;
+  a.tick = -1;
+  a.label = "wall";
+  a.counter_deltas.emplace_back("exec.attempts", 3);
+  a.gauges.emplace_back("process.peak_rss_kb", 4096);
+  samples.push_back(a);
+  obs::SeriesSample b;
+  b.wall_ns = 250;
+  b.tick = 77;
+  b.label = "retry";
+  samples.push_back(b);
+
+  std::stringstream buffer;
+  obs::write_series_jsonl(buffer, samples, 1);
+  std::stringstream in(buffer.str());
+  const obs::SeriesDoc doc = [&] {
+    // read_series_file wants a path; exercise the stream reader through a
+    // temp file instead.
+    const std::string path =
+        ::testing::TempDir() + "/obs_journal_test_series.jsonl";
+    std::ofstream file(path);
+    file << buffer.str();
+    file.close();
+    return obs::read_series_file(path);
+  }();
+  EXPECT_EQ(doc.version, obs::kSeriesFormatVersion);
+  EXPECT_EQ(doc.dropped, 1u);
+  ASSERT_EQ(doc.samples.size(), 2u);
+  EXPECT_EQ(doc.samples[0].wall_ns, 100u);
+  EXPECT_EQ(doc.samples[0].label, "wall");
+  ASSERT_EQ(doc.samples[0].counter_deltas.size(), 1u);
+  EXPECT_EQ(doc.samples[0].counter_deltas[0].first, "exec.attempts");
+  EXPECT_EQ(doc.samples[0].counter_deltas[0].second, 3u);
+  ASSERT_EQ(doc.samples[0].gauges.size(), 1u);
+  EXPECT_EQ(doc.samples[0].gauges[0].second, 4096);
+  EXPECT_EQ(doc.samples[1].tick, 77);
+  EXPECT_EQ(doc.samples[1].label, "retry");
+}
+
+TEST(Timeline, ExportIsParseableChromeTrace) {
+  const Instance inst = medium_instance(3);
+  const Schedule plan = plan_for(inst, 3);
+  Journal journal;
+  ExecutorOptions options;
+  options.journal = &journal;
+  const ExecutionReport r = exec::execute_schedule(
+      inst.model, inst.x_old, inst.x_new, plan, stormy_spec(), options);
+  JournalDoc doc;
+  doc.dropped = journal.dropped();
+  doc.events = journal.events();
+  doc.run.finished_at = r.finished_at;
+
+  std::ostringstream out;
+  write_timeline(out, doc);
+  const JsonValue parsed = parse_json(out.str());
+  const JsonValue& events = parsed.at("traceEvents");
+  ASSERT_GT(events.items().size(), doc.events.size() / 2);
+  bool saw_span = false, saw_instant = false, saw_meta = false;
+  for (const JsonValue& e : events.items()) {
+    const std::string ph = e.at("ph").as_string();
+    if (ph == "X") {
+      saw_span = true;
+      EXPECT_EQ(e.at("pid").as_int(), 2);  // virtual clock process
+      EXPECT_GE(e.at("dur").as_int(), 0);
+    } else if (ph == "i") {
+      saw_instant = true;
+    } else if (ph == "M") {
+      saw_meta = true;
+    }
+  }
+  EXPECT_TRUE(saw_span);
+  EXPECT_TRUE(saw_instant);  // stormy spec forces retries/losses
+  EXPECT_TRUE(saw_meta);
+}
+
+// ---------------------------------------------------------------------------
+// Sampler
+
+TEST(Sampler, TickSamplesCaptureCounterDeltas) {
+  obs::set_enabled(true);
+  obs::MetricsSampler sampler;
+  sampler.start(std::chrono::hours(1));  // wall sampling effectively off
+  OBS_COUNT("sampler_test.ticks");
+  OBS_COUNT("sampler_test.ticks");
+  sampler.sample_tick(10, "checkpoint");
+  OBS_COUNT("sampler_test.ticks");
+  sampler.sample_tick(20, "checkpoint");
+  sampler.stop();
+  obs::set_enabled(false);
+
+  const std::vector<obs::SeriesSample>& samples = sampler.samples();
+  ASSERT_GE(samples.size(), 4u);  // start + 2 ticks + stop
+  const auto delta_of = [](const obs::SeriesSample& s) -> std::uint64_t {
+    for (const auto& [name, delta] : s.counter_deltas) {
+      if (name == "sampler_test.ticks") return delta;
+    }
+    return 0;
+  };
+#if RTSP_OBS_ENABLED
+  bool saw_two = false, saw_one = false;
+  for (const obs::SeriesSample& s : samples) {
+    if (s.tick == 10 && delta_of(s) == 2) saw_two = true;
+    if (s.tick == 20 && delta_of(s) == 1) saw_one = true;
+  }
+  EXPECT_TRUE(saw_two);  // first checkpoint sees both increments as a delta
+  EXPECT_TRUE(saw_one);  // second sees only the one since
+#endif
+  EXPECT_EQ(samples.front().label, "start");
+  EXPECT_EQ(samples.back().label, "stop");
+}
+
+TEST(Sampler, BoundedAndCountsDrops) {
+  obs::MetricsSampler sampler(3);
+  sampler.start(std::chrono::hours(1));
+  for (int i = 0; i < 10; ++i) sampler.sample_tick(i, "tick");
+  sampler.stop();
+  EXPECT_EQ(sampler.samples().size(), 3u);
+  EXPECT_GT(sampler.dropped(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Percentiles (satellite: p95 joined the exporter columns)
+
+TEST(Percentiles, OrderedAcrossTheSummaryRow) {
+  obs::set_enabled(true);
+  const obs::LatencyHistogram h =
+      obs::MetricsRegistry::instance().histogram("journal_test.lat_ns");
+  for (int i = 1; i <= 1000; ++i) {
+    h.record_ns(static_cast<std::uint64_t>(i) * 1000);
+  }
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::instance().snapshot();
+  obs::set_enabled(false);
+  for (const auto& v : snap.histograms) {
+    if (v.name != "journal_test.lat_ns") continue;
+    EXPECT_LE(v.p50_us, v.p90_us);
+    EXPECT_LE(v.p90_us, v.p95_us);
+    EXPECT_LE(v.p95_us, v.p99_us);
+    // Percentiles are nearest-rank upper bucket edges (power-of-two
+    // buckets), so p99 may overshoot the exact max by at most one doubling.
+    EXPECT_LE(v.p99_us, 2.0 * v.max_us);
+    EXPECT_GT(v.p95_us, 0.0);
+    return;
+  }
+#if RTSP_OBS_ENABLED
+  FAIL() << "histogram journal_test.lat_ns not in snapshot";
+#endif
+}
+
+}  // namespace
+}  // namespace rtsp

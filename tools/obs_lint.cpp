@@ -1,0 +1,151 @@
+// Validates the flight-recorder artifacts of an `rtsp execute` run against
+// their versioned schemas:
+//
+//   obs_lint --journal FILE     execution journal JSONL (io/journal_io)
+//   obs_lint --series FILE      metrics time-series (.csv or JSONL)
+//
+// Either or both may be given. Checks beyond "it parses":
+//   journal: known event types; non-negative costs/ids in bounds; ticks
+//            non-decreasing in emission order (the executor journals in
+//            program order, and drop-newest overflow keeps the retained
+//            prefix well-formed); offline_open/offline_close strictly
+//            matched per server with equal stall values; event count
+//            matches the header.
+//   series:  wall_ns non-decreasing; tick >= -1 (-1 = wall sample);
+//            non-empty labels; counter deltas present only with non-zero
+//            values.
+//
+// Exit code 0 when everything passes, 2 on any violation (messages on
+// stderr), 1 on usage/IO errors. Wired into scripts/check.sh after a small
+// execute + report smoke run.
+#include <cstdint>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "io/journal_io.hpp"
+#include "obs/journal.hpp"
+#include "obs/series_io.hpp"
+#include "support/cli.hpp"
+
+namespace {
+
+int g_violations = 0;
+
+void fail(const std::string& what) {
+  std::cerr << "obs_lint: " << what << '\n';
+  ++g_violations;
+}
+
+void lint_journal(const std::string& path) {
+  const rtsp::JournalDoc doc = rtsp::read_journal_file(path);
+  // read_journal_file already enforced the format name, version and known
+  // event types; re-check the structural invariants the executor promises.
+  std::int64_t last_tick = 0;
+  // server -> open stall value; offline windows never nest per server.
+  std::map<std::int64_t, std::int64_t> open_offline;
+  std::size_t line = 0;
+  for (const rtsp::obs::JournalEvent& e : doc.events) {
+    ++line;
+    const std::string where =
+        path + ": event " + std::to_string(line) + " (" +
+        rtsp::obs::to_string(e.type) + ")";
+    if (e.tick < 0) fail(where + ": negative tick " + std::to_string(e.tick));
+    if (e.tick < last_tick) {
+      fail(where + ": tick " + std::to_string(e.tick) +
+           " decreases below " + std::to_string(last_tick));
+    }
+    last_tick = e.tick;
+    if (e.value < 0) fail(where + ": negative value " + std::to_string(e.value));
+    if (e.server < -1) fail(where + ": server id " + std::to_string(e.server));
+    if (e.object < -1) fail(where + ": object id " + std::to_string(e.object));
+    if (e.source < -2) fail(where + ": source id " + std::to_string(e.source));
+    switch (e.type) {
+      case rtsp::obs::JournalEventType::OfflineOpen:
+        if (open_offline.count(e.server) != 0) {
+          fail(where + ": offline_open while server " +
+               std::to_string(e.server) + " already open");
+        }
+        open_offline[e.server] = e.value;
+        break;
+      case rtsp::obs::JournalEventType::OfflineClose: {
+        auto it = open_offline.find(e.server);
+        if (it == open_offline.end()) {
+          fail(where + ": offline_close without matching open on server " +
+               std::to_string(e.server));
+        } else {
+          if (it->second != e.value) {
+            fail(where + ": offline_close stall " + std::to_string(e.value) +
+                 " != open stall " + std::to_string(it->second));
+          }
+          open_offline.erase(it);
+        }
+        break;
+      }
+      case rtsp::obs::JournalEventType::AttemptStart:
+      case rtsp::obs::JournalEventType::AttemptSuccess:
+      case rtsp::obs::JournalEventType::TransientFault:
+        if (e.server < 0 || e.object < 0) {
+          fail(where + ": attempt without server/object ids");
+        }
+        if (e.extra < 1) {
+          fail(where + ": attempt number " + std::to_string(e.extra) + " < 1");
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  if (!open_offline.empty()) {
+    fail(path + ": " + std::to_string(open_offline.size()) +
+         " offline_open without close at end of journal");
+  }
+  std::cout << "obs_lint: " << path << ": " << doc.events.size()
+            << " events, " << doc.dropped << " dropped: "
+            << (g_violations == 0 ? "OK" : "VIOLATIONS") << '\n';
+}
+
+void lint_series(const std::string& path) {
+  const rtsp::obs::SeriesDoc doc = rtsp::obs::read_series_file(path);
+  std::uint64_t last_wall = 0;
+  std::size_t line = 0;
+  const int before = g_violations;
+  for (const rtsp::obs::SeriesSample& s : doc.samples) {
+    ++line;
+    const std::string where = path + ": sample " + std::to_string(line);
+    if (s.wall_ns < last_wall) {
+      fail(where + ": wall_ns decreases");
+    }
+    last_wall = s.wall_ns;
+    if (s.tick < -1) fail(where + ": tick " + std::to_string(s.tick) + " < -1");
+    if (s.label.empty()) fail(where + ": empty label");
+    for (const auto& [name, delta] : s.counter_deltas) {
+      if (name.empty()) fail(where + ": unnamed counter delta");
+      if (delta == 0) fail(where + ": zero delta for counter '" + name + "'");
+    }
+  }
+  std::cout << "obs_lint: " << path << ": " << doc.samples.size()
+            << " samples, " << doc.dropped << " dropped: "
+            << (g_violations == before ? "OK" : "VIOLATIONS") << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const rtsp::CliOptions opt(argc, argv);
+  const std::string journal = opt.get_string("journal", "", "");
+  const std::string series = opt.get_string("series", "", "");
+  if (journal.empty() && series.empty()) {
+    std::cerr << "usage: obs_lint [--journal FILE] [--series FILE]\n";
+    return 1;
+  }
+  try {
+    if (!journal.empty()) lint_journal(journal);
+    if (!series.empty()) lint_series(series);
+  } catch (const std::exception& e) {
+    std::cerr << "obs_lint: " << e.what() << '\n';
+    return 1;
+  }
+  return g_violations == 0 ? 0 : 2;
+}

@@ -5,6 +5,11 @@
 //   ./tools/rtsp_experiments [--out DIR] [--trials N] [--servers M]
 //                            [--objects N] [--seed S] [--threads T]
 //                            [--obs] [--trace-out FILE] [--metrics-out FILE]
+//                            [--series-out FILE] [--sample-ms N]
+//
+// The obs flags come from obs::Session (docs/observability.md);
+// --series-out samples the metrics registry over the whole multi-figure
+// run, which is the cheap way to see which figure burns the time.
 #include <filesystem>
 #include <fstream>
 #include <iostream>
