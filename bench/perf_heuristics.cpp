@@ -20,8 +20,10 @@
 #include <vector>
 
 #include "core/cost_model.hpp"
+#include "core/incremental.hpp"
 #include "core/validator.hpp"
 #include "heuristics/registry.hpp"
+#include "portfolio/portfolio.hpp"
 #include "io/instance_binary_io.hpp"
 #include "io/instance_io.hpp"
 #include "obs/export.hpp"
@@ -194,6 +196,61 @@ void BM_ObsRecordingOn(benchmark::State& state) {
   run_obs_overhead_bench(state, true);
 }
 
+// --- Anytime portfolio: racing/incumbent overhead and LNS repair
+// throughput. The first pair runs the same pipeline at the same tick budget
+// bare vs wrapped in a portfolio-of-one (threads=1, LNS off), so their gap
+// is exactly the race/incumbent machinery.
+
+void BM_Portfolio_SingleBudgeted(benchmark::State& state) {
+  const Instance inst = make_instance(1000, 2, 99);
+  Budget budget;
+  budget.ticks = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    const BudgetedRun run = run_pipeline_budgeted(
+        inst.model, inst.x_old, inst.x_new, "GOLCF+H1+H2+OP1", 123, budget);
+    benchmark::DoNotOptimize(run.cost);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(budget.ticks));
+}
+
+void BM_Portfolio_OfOne(benchmark::State& state) {
+  const Instance inst = make_instance(1000, 2, 99);
+  PortfolioOptions opts;
+  opts.algorithms = {"GOLCF+H1+H2+OP1"};
+  opts.budget.ticks = static_cast<std::uint64_t>(state.range(0));
+  opts.threads = 1;
+  opts.lns_enabled = false;
+  for (auto _ : state) {
+    const PortfolioResult r =
+        solve_portfolio(inst.model, inst.x_old, inst.x_new, 123, opts);
+    benchmark::DoNotOptimize(r.cost);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(opts.budget.ticks));
+}
+
+void BM_Portfolio_LnsRepair(benchmark::State& state) {
+  const Instance inst = make_instance(1000, 2, 99);
+  Rng build_rng(1);
+  const Schedule incumbent = make_pipeline("GOLCF+H1+H2+OP1")
+                                 .run(inst.model, inst.x_old, inst.x_new,
+                                      build_rng);
+  LnsOptions opts;
+  opts.max_rounds = 64;
+  std::uint64_t trial = 0;
+  std::size_t rounds = 0;
+  for (auto _ : state) {
+    IncrementalEvaluator eval(inst.model, inst.x_old, inst.x_new, incumbent);
+    Rng rng = Rng::for_trial(7, trial++);
+    const LnsReport report = run_lns(eval, opts, rng, /*lower_bound=*/0);
+    rounds += report.rounds;
+    benchmark::DoNotOptimize(eval.cost());
+  }
+  // items/s = destroy/repair rounds per second.
+  state.SetItemsProcessed(static_cast<std::int64_t>(rounds));
+}
+
 }  // namespace
 
 BENCHMARK(BM_Builder_AR)->Args({250, 2})->Args({1000, 2})->Unit(benchmark::kMillisecond);
@@ -220,6 +277,9 @@ BENCHMARK(BM_Scale_LoadBinary)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Scale_LoadText)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ObsRecordingOff)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ObsRecordingOn)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Portfolio_SingleBudgeted)->Arg(100000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Portfolio_OfOne)->Arg(100000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Portfolio_LnsRepair)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   // Expand --json PATH and strip the obs flags before google-benchmark

@@ -7,7 +7,12 @@
 # small faulted `rtsp execute` with the flight recorder armed, `rtsp
 # report`, and obs_lint over the journal + series files.
 #
-# Usage: scripts/check.sh [--sanitize | --bench] [BUILD_DIR]   (default: build)
+# Usage: scripts/check.sh [--quick | --sanitize | --bench] [BUILD_DIR]
+#                                                          (default: build)
+#
+# --quick is the inner-loop mode: configure, build, and run only the tests
+# labelled `unit` (ctest -L unit) — fast and deterministic, skipping the
+# property/cli/slow tiers and the smoke guards.
 #
 # --sanitize runs the same configure/build/test cycle in a separate build
 # directory (<BUILD_DIR>_asan) with RTSP_SANITIZE=ON (ASan + UBSan,
@@ -27,6 +32,9 @@ if [ "${1:-}" = "--sanitize" ]; then
   shift
 elif [ "${1:-}" = "--bench" ]; then
   MODE=bench
+  shift
+elif [ "${1:-}" = "--quick" ]; then
+  MODE=quick
   shift
 fi
 BUILD_DIR="${1:-build}"
@@ -69,6 +77,14 @@ if [ "$MODE" = "sanitize" ]; then
   "$SAN_DIR"/tools/scale_smoke 600
   obs_smoke "$SAN_DIR"
   echo "check.sh: sanitizer build green"
+  exit 0
+fi
+
+if [ "$MODE" = "quick" ]; then
+  cmake -B "$BUILD_DIR" -S .
+  cmake --build "$BUILD_DIR" -j "$JOBS"
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" -L unit
+  echo "check.sh: quick (unit) green"
   exit 0
 fi
 

@@ -28,6 +28,7 @@
 #include "cli/report.hpp"
 #include "obs/journal.hpp"
 #include "obs/obs.hpp"
+#include "portfolio/portfolio.hpp"
 #include "obs/provenance.hpp"
 #include "obs/sampler.hpp"
 #include "obs/session.hpp"
@@ -195,14 +196,13 @@ int cmd_solve(const CliOptions& opt, std::ostream& out) {
     inst.x_new = rebuild(inst.x_new);
   }
   const std::string algo = opt.get_string("algo", "", "GOLCF+H1+H2+OP1");
-  Rng rng(static_cast<std::uint64_t>(opt.get_int("seed", "RTSP_SEED", 1)));
-  Pipeline pipeline = [&] {
-    try {
-      return make_pipeline(algo);
-    } catch (const std::invalid_argument& e) {
-      throw CliError{e.what()};
-    }
-  }();
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(opt.get_int("seed", "RTSP_SEED", 1));
+  const bool portfolio = opt.get_bool("portfolio", "", false);
+  Budget budget;
+  budget.ticks = static_cast<std::uint64_t>(opt.get_int("budget-ticks", "", 0));
+  budget.wall_ms = opt.get_double("budget-ms", "", 0.0);
+
   const std::string prov_out = opt.get_string("provenance-out", "", "");
   std::optional<prov::Scope> prov_scope;
   if (!prov_out.empty()) {
@@ -211,7 +211,77 @@ int cmd_solve(const CliOptions& opt, std::ostream& out) {
     }
     prov_scope.emplace(inst.model, inst.x_old);
   }
-  const Schedule h = pipeline.run(inst.model, inst.x_old, inst.x_new, rng);
+
+  Schedule h;
+  std::string algo_label;
+  std::ostringstream extra;  // budget/portfolio report lines
+  const Cost lb = cost_lower_bound(inst.model, inst.x_old, inst.x_new);
+  const auto budget_line = [&]() -> std::string {
+    std::ostringstream b;
+    if (budget.ticks > 0) b << "ticks=" << budget.ticks;
+    if (budget.wall_ms > 0.0) {
+      if (budget.ticks > 0) b << ", ";
+      b << "wall=" << budget.wall_ms << "ms";
+    }
+    b << (budget.deterministic() ? " (deterministic)" : "");
+    return b.str();
+  };
+  if (portfolio) {
+    PortfolioOptions popts;
+    popts.budget = budget;
+    if (const std::string list = opt.get_string("algos", "", ""); !list.empty()) {
+      popts.algorithms = split(list, ',');
+    }
+    popts.threads = static_cast<std::size_t>(opt.get_int("threads", "", 0));
+    popts.lns_enabled = opt.get_bool("lns", "", true);
+    popts.lns.max_rounds =
+        static_cast<std::size_t>(opt.get_int("lns-rounds", "", 0));
+    const PortfolioResult r = [&] {
+      try {
+        return solve_portfolio(inst.model, inst.x_old, inst.x_new, seed, popts);
+      } catch (const std::invalid_argument& e) {
+        throw CliError{e.what()};
+      }
+    }();
+    h = r.schedule;
+    algo_label = "PORTFOLIO(" + std::to_string(r.candidates.size()) + ")";
+    if (budget.limited()) extra << "budget:          " << budget_line() << '\n';
+    extra << "winner:          " << r.winner << '\n';
+    extra << "race cost:       " << r.race_cost << '\n';
+    extra << "gap:             " << r.gap() << '\n';
+    extra << "lns:             " << r.lns.rounds << " rounds, " << r.lns.accepts
+          << " accepted" << (r.lns.gap_closed ? ", gap closed" : "") << '\n';
+    for (const CandidateOutcome& c : r.candidates) {
+      extra << "  candidate:     " << c.algo << " cost=" << c.cost
+            << " dummies=" << c.dummy_transfers << " ticks=" << c.ticks_used
+            << (c.completed ? "" : " (truncated)") << '\n';
+    }
+  } else if (budget.limited()) {
+    const BudgetedRun r = [&] {
+      try {
+        return run_pipeline_budgeted(inst.model, inst.x_old, inst.x_new, algo,
+                                     seed, budget);
+      } catch (const std::invalid_argument& e) {
+        throw CliError{e.what()};
+      }
+    }();
+    h = r.schedule;
+    algo_label = algo;
+    extra << "budget:          " << budget_line() << '\n';
+    extra << "ticks used:      " << r.ticks_used
+          << (r.completed ? " (completed)" : " (truncated)") << '\n';
+  } else {
+    Rng rng(seed);
+    Pipeline pipeline = [&] {
+      try {
+        return make_pipeline(algo);
+      } catch (const std::invalid_argument& e) {
+        throw CliError{e.what()};
+      }
+    }();
+    h = pipeline.run(inst.model, inst.x_old, inst.x_new, rng);
+    algo_label = pipeline.name();
+  }
   if (prov_scope) {
     std::ostringstream buffer;
     write_provenance(buffer, prov_scope->finalize(h));
@@ -227,12 +297,12 @@ int cmd_solve(const CliOptions& opt, std::ostream& out) {
     }
     return 0;
   }
-  out << "algorithm:       " << pipeline.name() << '\n';
+  out << "algorithm:       " << algo_label << '\n';
   out << "actions:         " << h.size() << '\n';
   out << "cost:            " << schedule_cost(inst.model, h) << '\n';
   out << "dummy transfers: " << h.dummy_transfer_count() << '\n';
-  out << "lower bound:     "
-      << cost_lower_bound(inst.model, inst.x_old, inst.x_new) << '\n';
+  out << "lower bound:     " << lb << '\n';
+  out << extra.str();
   if (const std::int64_t rss_kb = obs::record_peak_rss(); rss_kb > 0) {
     out << "peak rss:        " << rss_kb << " KiB\n";
   }
@@ -960,6 +1030,9 @@ void print_usage(std::ostream& out) {
          "            [--slack F] [--seed S] [--out FILE] [--binary]\n"
          "  solve     --instance FILE [--algo SPEC] [--seed S] [--out FILE] [--json]\n"
          "            [--provenance-out FILE] [--store auto|dense|sparse]\n"
+         "            [--budget-ticks T] [--budget-ms MS] [--portfolio]\n"
+         "            [--algos SPEC,SPEC,...] [--threads N] [--lns BOOL]\n"
+         "            [--lns-rounds N]\n"
          "  exact     --instance FILE [--max-nodes N] [--staging BOOL] [--out FILE]\n"
          "  validate  --instance FILE --schedule FILE [--all]\n"
          "  stats     --instance FILE --schedule FILE\n"
@@ -987,7 +1060,10 @@ void print_usage(std::ostream& out) {
          "algorithm SPECs combine one builder (AR, GOLCF, RDF, GSDF, RDFP, GSDFP)\n"
          "with improvers (H1, H2, OP1, SA, H1H2FIX), e.g. GOLCF+H1+H2+OP1.\n"
          "RDFP/GSDFP are sharded-parallel builder passes (bit-identical to\n"
-         "their serial forms). Instances may be text (rtsp-instance v1) or\n"
+         "their serial forms). `solve --portfolio` races pipelines under a\n"
+         "budget and polishes the winner with LNS; --budget-ticks gives a\n"
+         "deterministic virtual-time budget (bit-reproducible), --budget-ms\n"
+         "a wall-clock one. Instances may be text (rtsp-instance v1) or\n"
          "binary (RTSPBIN1, mmap-loaded); `generate --binary` writes the\n"
          "latter, `--kind scale` generates million-object instances fast.\n"
          "\n"

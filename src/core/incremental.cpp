@@ -110,6 +110,10 @@ IncrementalEvaluator::Metrics IncrementalEvaluator::metrics(
   m.prefix = prefix;
   m.base_suffix_start = bsize - suffix;
   m.cand_suffix_start = csize - suffix;
+  if (meter_ != nullptr) {
+    meter_->charge(1 + (m.base_suffix_start - prefix) +
+                   (m.cand_suffix_start - prefix));
+  }
   m.cost = cost_;
   std::size_t dummies = dummies_;
   for (std::size_t u = prefix; u < m.base_suffix_start; ++u) {
@@ -131,6 +135,7 @@ bool IncrementalEvaluator::is_valid(const Schedule& cand, const Metrics& m,
     // Degenerate: without a valid base there is no suffix to converge with.
     OBS_COUNT(kObsIncrFullReplays);
     OBS_COUNT_N(kObsIncrReplayedActions, cand.size());
+    if (meter_ != nullptr) meter_->charge(cand.size());
     ExecutionState state(model_, x_old_);
     for (const Action& a : cand) {
       if (state.try_apply(a) != ActionError::None) return false;
@@ -147,6 +152,10 @@ bool IncrementalEvaluator::is_valid(const Schedule& cand, const Metrics& m,
   OBS_COUNT_N(kObsIncrReplayedActions,
               (m.prefix - cp) + (m.cand_suffix_start - m.prefix) +
                   (m.base_suffix_start - m.prefix));
+  if (meter_ != nullptr) {
+    meter_->charge((m.prefix - cp) + (m.cand_suffix_start - m.prefix) +
+                   (m.base_suffix_start - m.prefix));
+  }
   for (std::size_t u = cp; u < m.prefix; ++u) {
     cs.apply_lenient(base_[u]);
   }
@@ -176,6 +185,7 @@ bool IncrementalEvaluator::is_valid(const Schedule& cand, const Metrics& m,
       if (cs.placement() == bs.placement()) {
         OBS_COUNT(kObsIncrConvergedEarly);
         OBS_COUNT_N(kObsIncrReplayedActions, 2 * step);
+        if (meter_ != nullptr) meter_->charge(2 * step);
         return true;
       }
       next_check += gap;
@@ -183,6 +193,7 @@ bool IncrementalEvaluator::is_valid(const Schedule& cand, const Metrics& m,
     }
     if (cs.try_apply(cand[p]) != ActionError::None) {
       OBS_COUNT_N(kObsIncrReplayedActions, 2 * step);
+      if (meter_ != nullptr) meter_->charge(2 * step);
       return false;
     }
     bs.apply_lenient(base_[q]);
@@ -191,6 +202,7 @@ bool IncrementalEvaluator::is_valid(const Schedule& cand, const Metrics& m,
     ++step;
   }
   OBS_COUNT_N(kObsIncrReplayedActions, 2 * step);
+  if (meter_ != nullptr) meter_->charge(2 * step);
   return cs.placement() == x_new_;
 }
 

@@ -30,6 +30,7 @@
 #include "core/cost_model.hpp"
 #include "core/schedule.hpp"
 #include "core/state.hpp"
+#include "core/work_meter.hpp"
 
 namespace rtsp {
 
@@ -141,6 +142,15 @@ class IncrementalEvaluator {
     cache_.state_before(base_, pos, out);
   }
 
+  /// Attaches an anytime budget meter (may be null to detach). metrics() and
+  /// is_valid() then charge ticks proportional to the work they do, and the
+  /// budget-aware improvers poll out_of_budget() at their deterministic stop
+  /// points. A null meter is the default and leaves behavior bit-identical
+  /// to the unbudgeted engine. The meter must outlive the evaluator.
+  void set_meter(WorkMeter* meter) { meter_ = meter; }
+  WorkMeter* meter() const { return meter_; }
+  bool out_of_budget() const { return meter_ != nullptr && meter_->exhausted(); }
+
   /// Replaces the base with a candidate previously accepted via metrics() +
   /// is_valid(); refreshes checkpoints from m.prefix on. Exclusive access.
   void adopt(Schedule cand, const Metrics& m);
@@ -163,6 +173,7 @@ class IncrementalEvaluator {
   bool base_valid_ = false;
   PrefixStateCache cache_;
   Scratch scratch_;
+  WorkMeter* meter_ = nullptr;
 };
 
 }  // namespace rtsp

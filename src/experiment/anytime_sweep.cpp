@@ -1,0 +1,121 @@
+#include "experiment/anytime_sweep.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "core/feasibility.hpp"
+#include "core/validator.hpp"
+#include "support/csv.hpp"
+
+namespace rtsp {
+
+namespace {
+
+double gap_of(Cost cost, Cost lb) {
+  if (cost <= lb) return 0.0;
+  const double denom = lb > 0 ? static_cast<double>(lb) : 1.0;
+  return static_cast<double>(cost - lb) / denom;
+}
+
+Instance make_setup_instance(const AnytimeSweepConfig& config,
+                             std::size_t setup_idx, Rng& rng) {
+  switch (setup_idx) {
+    case 0:
+      return make_equal_size_instance(config.setup, config.replicas, rng);
+    case 1:
+      return make_uniform_size_instance(config.setup, config.replicas, rng);
+    default:
+      return make_extra_capacity_instance(config.setup, config.replicas,
+                                          config.extra_capacity, rng);
+  }
+}
+
+}  // namespace
+
+std::vector<AnytimeCell> run_anytime_sweep(const AnytimeSweepConfig& config) {
+  const std::vector<std::string> algos = config.algorithms.empty()
+                                             ? default_portfolio_algorithms()
+                                             : config.algorithms;
+  const char* setup_names[] = {"equal_size", "uniform_size", "extra_capacity"};
+
+  std::vector<AnytimeCell> cells;
+  for (std::size_t s = 0; s < 3; ++s) {
+    // One cell block per budget: the portfolio row first, then the singles.
+    const std::size_t block_start = cells.size();
+    for (const std::uint64_t budget : config.budgets) {
+      cells.push_back(AnytimeCell{setup_names[s], budget, "PORTFOLIO", {}, {}});
+      for (const std::string& algo : algos) {
+        cells.push_back(AnytimeCell{setup_names[s], budget, algo, {}, {}});
+      }
+    }
+
+    for (std::size_t trial = 0; trial < config.trials; ++trial) {
+      // The same instance serves every budget and algorithm (paired design).
+      Rng inst_rng(mix64(mix64(config.base_seed, s), trial));
+      const Instance inst = make_setup_instance(config, s, inst_rng);
+      const Cost lb = cost_lower_bound(inst.model, inst.x_old, inst.x_new);
+      const std::uint64_t solve_seed = mix64(config.base_seed, trial);
+
+      std::size_t cell = block_start;
+      for (const std::uint64_t budget : config.budgets) {
+        PortfolioOptions opts;
+        opts.algorithms = algos;
+        opts.budget.ticks = budget;
+        opts.threads = config.threads;
+        opts.lns = config.lns;
+        const PortfolioResult portfolio = solve_portfolio(
+            inst.model, inst.x_old, inst.x_new, solve_seed, opts);
+        if (!Validator::is_valid(inst.model, inst.x_old, inst.x_new,
+                                 portfolio.schedule)) {
+          throw std::logic_error("anytime sweep: portfolio schedule invalid");
+        }
+        cells[cell].cost.add(static_cast<double>(portfolio.cost));
+        cells[cell].gap.add(gap_of(portfolio.cost, lb));
+        ++cell;
+
+        for (const std::string& algo : algos) {
+          Budget b;
+          b.ticks = budget;
+          const BudgetedRun single = run_pipeline_budgeted(
+              inst.model, inst.x_old, inst.x_new, algo, solve_seed, b);
+          if (!Validator::is_valid(inst.model, inst.x_old, inst.x_new,
+                                   single.schedule)) {
+            throw std::logic_error("anytime sweep: single-pipeline schedule "
+                                   "invalid for " + algo);
+          }
+          // The portfolio's incumbent folds in this exact run's stage
+          // offers, so it can never be worse. Enforce the invariant.
+          if (portfolio.cost > single.cost) {
+            throw std::logic_error(
+                "anytime sweep: portfolio (" + std::to_string(portfolio.cost) +
+                ") worse than " + algo + " (" + std::to_string(single.cost) +
+                ") at budget " + std::to_string(budget));
+          }
+          cells[cell].cost.add(static_cast<double>(single.cost));
+          cells[cell].gap.add(gap_of(single.cost, lb));
+          ++cell;
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+void write_anytime_sweep_csv(std::ostream& out,
+                             const std::vector<AnytimeCell>& cells) {
+  CsvWriter csv(out);
+  csv.row({"setup", "budget_ticks", "algo", "trials", "cost_mean",
+           "cost_stderr", "gap_mean"});
+  for (const AnytimeCell& c : cells) {
+    csv.field(c.setup);
+    csv.field(c.budget);
+    csv.field(c.algo);
+    csv.field(static_cast<std::uint64_t>(c.cost.count()));
+    csv.field(c.cost.mean());
+    csv.field(c.cost.stderr_mean());
+    csv.field(c.gap.mean());
+    csv.end_row();
+  }
+}
+
+}  // namespace rtsp

@@ -1,0 +1,56 @@
+// Quality-vs-budget sweep for the anytime optimizer portfolio: on the three
+// Sec-5.1 setups (equal sizes, uniform sizes, extra capacity), solve each
+// trial instance at a ladder of deterministic tick budgets — once with the
+// portfolio and once with every single constituent pipeline alone — and
+// record the cost and lower-bound gap per (setup, budget, algorithm).
+//
+// Because the portfolio's incumbent folds in every stage result of every
+// candidate (and each candidate replays exactly its standalone run — rng
+// streams are keyed by spec), the portfolio curve dominates every single
+// pipeline at every budget by construction; the sweep verifies that
+// invariant on every cell and throws on violation. Deterministic in the
+// base seed: tick budgets only, no wall-clock anywhere.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "portfolio/portfolio.hpp"
+#include "support/stats.hpp"
+#include "workload/paper_setup.hpp"
+
+namespace rtsp {
+
+struct AnytimeSweepConfig {
+  std::vector<std::uint64_t> budgets = {2'000, 8'000, 32'000, 128'000, 512'000};
+  /// Single pipelines to race / compare; empty selects
+  /// default_portfolio_algorithms().
+  std::vector<std::string> algorithms;
+  std::size_t trials = 3;
+  std::uint64_t base_seed = 0xa4e7133ULL;
+  std::size_t threads = 0;  ///< portfolio race pool; 0 = hardware
+  PaperSetup setup;
+  std::size_t replicas = 2;
+  /// Servers granted one extra slot in the extra-capacity setup.
+  std::size_t extra_capacity = 10;
+  LnsOptions lns;
+};
+
+/// Aggregates for one (setup, budget, algorithm) cell; algo "PORTFOLIO" is
+/// the raced result, every other row a single pipeline at the same budget.
+struct AnytimeCell {
+  std::string setup;
+  std::uint64_t budget = 0;
+  std::string algo;
+  SampleSet cost;
+  SampleSet gap;
+};
+
+std::vector<AnytimeCell> run_anytime_sweep(const AnytimeSweepConfig& config);
+
+/// Long format: setup,budget,algo,trials,cost_mean,cost_stderr,gap_mean.
+void write_anytime_sweep_csv(std::ostream& out,
+                             const std::vector<AnytimeCell>& cells);
+
+}  // namespace rtsp

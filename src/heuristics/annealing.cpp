@@ -27,6 +27,22 @@ Schedule AnnealingImprover::improve(const SystemModel& model,
                                     const ReplicationMatrix& x_old,
                                     const ReplicationMatrix& x_new, Schedule schedule,
                                     Rng& rng) const {
+  return anneal(model, x_old, x_new, std::move(schedule), rng, nullptr);
+}
+
+void AnnealingImprover::improve_incremental(IncrementalEvaluator& eval,
+                                            Rng& rng) const {
+  // Mirrors the ScheduleImprover default (stage frame covering the reset),
+  // but threads the evaluator's meter through so the walk is budget-aware.
+  const prov::StageScope stage(prov::StageKind::Improver, name());
+  eval.reset(anneal(eval.model(), eval.x_old(), eval.x_new(), eval.take_schedule(),
+                    rng, eval.meter()));
+}
+
+Schedule AnnealingImprover::anneal(const SystemModel& model,
+                                   const ReplicationMatrix& x_old,
+                                   const ReplicationMatrix& x_new, Schedule schedule,
+                                   Rng& rng, WorkMeter* meter) const {
   if (schedule.empty()) return schedule;
   RTSP_REQUIRE_MSG(Validator::is_valid(model, x_old, x_new, schedule),
                    "annealing requires a valid starting schedule");
@@ -41,6 +57,12 @@ Schedule AnnealingImprover::improve(const SystemModel& model,
   const double t_end = t0 * options_.final_temperature_ratio;
 
   for (std::size_t it = 0; it < options_.iterations; ++it) {
+    // Anytime budget poll: one iteration costs roughly a full-schedule
+    // re-cost plus a full validation, so charge ~2L before doing the work.
+    if (meter != nullptr) {
+      meter->charge(2 * current.size() + 1);
+      if (meter->exhausted()) break;
+    }
     // Geometric cooling from t0 to t_end.
     const double progress = options_.iterations > 1
                                 ? static_cast<double>(it) /

@@ -36,7 +36,16 @@ class AnnealingImprover final : public ScheduleImprover {
                    const ReplicationMatrix& x_new, Schedule schedule,
                    Rng& rng) const override;
 
+  /// Budget-aware chain entry: same loop as improve(), but honors the
+  /// evaluator's WorkMeter (one iteration ~ schedule-length ticks) so
+  /// anytime runs truncate the annealing walk at a deterministic iteration.
+  void improve_incremental(IncrementalEvaluator& eval, Rng& rng) const override;
+
  private:
+  Schedule anneal(const SystemModel& model, const ReplicationMatrix& x_old,
+                  const ReplicationMatrix& x_new, Schedule schedule, Rng& rng,
+                  WorkMeter* meter) const;
+
   AnnealingOptions options_;
 };
 

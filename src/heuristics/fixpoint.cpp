@@ -34,9 +34,11 @@ void FixpointImprover::improve_incremental(IncrementalEvaluator& eval, Rng& rng)
     prov::note_round(round);
     const Schedule before = eval.schedule();
     for (const auto& imp : chain_) {
+      // Anytime budget poll between chain members.
+      if (eval.out_of_budget()) break;
       imp->improve_incremental(eval, rng);
     }
-    if (eval.schedule() == before) break;
+    if (eval.out_of_budget() || eval.schedule() == before) break;
   }
   prov::note_round(-1);
 }

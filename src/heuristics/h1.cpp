@@ -23,10 +23,14 @@ class H1Run {
       bool changed = false;
       std::size_t u = 0;
       while (u < eval_.schedule().size()) {
-        if (eval_.schedule()[u].is_dummy_transfer() && try_restore_at(u)) {
-          // All mutations live at indices <= u, so the tail is intact and
-          // the scan may simply continue.
-          changed = true;
+        if (eval_.schedule()[u].is_dummy_transfer()) {
+          // Anytime budget poll (deterministic stop point: per candidate).
+          if (eval_.out_of_budget()) return;
+          if (try_restore_at(u)) {
+            // All mutations live at indices <= u, so the tail is intact and
+            // the scan may simply continue.
+            changed = true;
+          }
         }
         ++u;
       }

@@ -28,6 +28,8 @@ class H2Run {
       std::size_t u = 0;
       while (u < eval_.schedule().size()) {
         if (eval_.schedule()[u].is_dummy_transfer()) {
+          // Anytime budget poll (deterministic stop point: per candidate).
+          if (eval_.out_of_budget()) return;
           if (auto touched_tail = try_restore_at(u)) {
             changed = true;
             if (*touched_tail) {

@@ -56,7 +56,15 @@ class Op1Run {
         }
       }
       bool adopted = false;
+      bool budget_hit = false;
       for (std::size_t step = 0; step < round_objects_.size() && !adopted;) {
+        // Anytime budget poll between waves: a wave always screens to
+        // completion, so in tick mode the stop point is deterministic for a
+        // fixed wave size (OP1 serial; OP1P's depends on the worker count).
+        if (eval_.out_of_budget()) {
+          budget_hit = true;
+          break;
+        }
         const std::size_t n = std::min(wave, round_objects_.size() - step);
         // Screening has no side effects on the engine, so the wave's
         // candidates are all computed against the same base; adopting the
@@ -82,7 +90,7 @@ class Op1Run {
         }
         step += n;
       }
-      if (!adopted) break;
+      if (!adopted || budget_hit) break;
       if (options_.max_changes != 0 && ++changes >= options_.max_changes) break;
     }
   }

@@ -362,4 +362,17 @@ StageScope::~StageScope() {
   if (recorder_) recorder_->pop_stage();
 }
 
+Suspend::Suspend() {
+#if RTSP_OBS_ENABLED
+  saved_ = current();
+  if (saved_) detail::set_current(nullptr);
+#endif
+}
+
+Suspend::~Suspend() {
+#if RTSP_OBS_ENABLED
+  if (saved_) detail::set_current(saved_);
+#endif
+}
+
 }  // namespace rtsp::prov

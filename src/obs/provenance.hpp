@@ -266,6 +266,23 @@ class StageScope {
   Recorder* recorder_ = nullptr;
 };
 
+/// RAII: temporarily disarms the thread's recorder. Used around helper
+/// builds whose emitted actions are not part of the observed schedule — the
+/// portfolio's LNS repair builders rebuild a destroyed window as a
+/// sub-instance, and recording those emits would desync the recorder's
+/// schedule copy. A no-op shell when provenance is compiled out.
+class Suspend {
+ public:
+  Suspend();
+  ~Suspend();
+
+  Suspend(const Suspend&) = delete;
+  Suspend& operator=(const Suspend&) = delete;
+
+ private:
+  Recorder* saved_ = nullptr;
+};
+
 /// Hook helpers: single thread-local load when recording is off; fold away
 /// entirely when compiled out.
 inline void note_emit(const Action& a) {

@@ -1,0 +1,34 @@
+// Anytime budget specification for the optimizer portfolio (DESIGN.md §13).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "core/work_meter.hpp"
+
+namespace rtsp {
+
+/// Dual-mode budget. `ticks > 0` arms the deterministic virtual work-tick
+/// limit (counted through the incremental evaluator — bit-reproducible
+/// across machines); `wall_ms > 0` arms a wall-clock deadline. Both may be
+/// armed together (whichever trips first stops the run); both zero means
+/// run every stage to completion.
+struct Budget {
+  std::uint64_t ticks = 0;
+  double wall_ms = 0.0;
+
+  bool limited() const { return ticks > 0 || wall_ms > 0.0; }
+  /// Tick-only (or unlimited) budgets yield bit-reproducible runs.
+  bool deterministic() const { return wall_ms <= 0.0; }
+
+  /// Arms `meter` with this budget, the deadline measured from `start`.
+  void arm(WorkMeter& meter, WorkMeter::Clock::time_point start) const {
+    if (ticks > 0) meter.set_tick_limit(ticks);
+    if (wall_ms > 0.0) {
+      meter.set_deadline(start + std::chrono::duration_cast<WorkMeter::Clock::duration>(
+                                     std::chrono::duration<double, std::milli>(wall_ms)));
+    }
+  }
+};
+
+}  // namespace rtsp

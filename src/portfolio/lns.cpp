@@ -1,0 +1,121 @@
+#include "portfolio/lns.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "core/state.hpp"
+#include "heuristics/registry.hpp"
+#include "obs/obs.hpp"
+#include "obs/provenance.hpp"
+#include "support/assert.hpp"
+
+namespace rtsp {
+
+LnsReport run_lns(IncrementalEvaluator& eval, const LnsOptions& options, Rng& rng,
+                  Cost lower_bound,
+                  const std::function<void(const LnsRound&)>& on_round) {
+  RTSP_REQUIRE(options.min_window >= 1);
+  RTSP_REQUIRE(options.max_window >= options.min_window);
+  RTSP_REQUIRE_MSG(eval.base_valid(), "LNS requires a valid incumbent");
+  OBS_SPAN("portfolio.lns");
+
+  const Pipeline repair = make_pipeline(options.repair);
+  WorkMeter* meter = eval.meter();
+  // Without any stopping rule the rejection loop would never terminate:
+  // fall back to the default stall cutoff.
+  std::size_t max_stall = options.max_stall;
+  const bool metered = meter != nullptr && meter->limited();
+  if (!metered && options.max_rounds == 0 && max_stall == 0) {
+    max_stall = kLnsDefaultStall;
+  }
+
+  LnsReport report;
+  ExecutionState state_lo(eval.model(), eval.x_old());
+  ExecutionState state_hi(eval.model(), eval.x_old());
+  std::size_t stall = 0;
+  while (true) {
+    if (eval.cost() <= lower_bound && eval.dummy_transfers() == 0) {
+      report.gap_closed = true;
+      break;
+    }
+    if (options.max_rounds != 0 && report.rounds >= options.max_rounds) break;
+    if (max_stall != 0 && stall >= max_stall) break;
+    if (eval.out_of_budget()) break;
+    const Schedule& base = eval.schedule();
+    const std::size_t length = base.size();
+    if (length == 0) break;
+
+    OBS_COUNT("portfolio.lns.rounds");
+    LnsRound round;
+    round.round = report.rounds;
+    round.cost_before = eval.cost();
+
+    // Destroy: a uniformly placed window of w actions.
+    const std::size_t span = options.max_window - options.min_window + 1;
+    const std::size_t w =
+        std::min(length, options.min_window + static_cast<std::size_t>(rng.below(span)));
+    const std::size_t lo = static_cast<std::size_t>(rng.below(length - w + 1));
+    const std::size_t hi = lo + w;
+    round.window_lo = lo;
+    round.window_hi = hi;
+
+    // Residual sub-instance: placement entering the window -> leaving it.
+    eval.state_before(lo, state_lo);
+    state_hi = state_lo;
+    for (std::size_t u = lo; u < hi; ++u) state_hi.apply_lenient(base[u]);
+    if (meter != nullptr) meter->charge(w);
+
+    // Repair: re-plan the window's placement delta with the registry
+    // pipeline. Its emits are not part of the observed schedule, so the
+    // provenance recorder is disarmed for the duration.
+    Schedule repaired;
+    {
+      const prov::Suspend no_record;
+      repaired = repair.run(eval.model(), state_lo.placement(), state_hi.placement(),
+                            rng);
+    }
+    if (meter != nullptr) meter->charge(repaired.size() + 1);
+    round.repair_actions = repaired.size();
+
+    // Splice prefix + repaired window + suffix.
+    std::vector<Action> spliced;
+    spliced.reserve(length - w + repaired.size());
+    spliced.insert(spliced.end(), base.actions().begin(),
+                   base.actions().begin() + static_cast<std::ptrdiff_t>(lo));
+    spliced.insert(spliced.end(), repaired.actions().begin(),
+                   repaired.actions().end());
+    spliced.insert(spliced.end(),
+                   base.actions().begin() + static_cast<std::ptrdiff_t>(hi),
+                   base.actions().end());
+    Schedule cand(std::move(spliced));
+
+    const auto m = eval.metrics(cand, lo, length - hi);
+    const bool better =
+        m.cost < eval.cost() ||
+        (m.cost == eval.cost() && m.dummy_transfers < eval.dummy_transfers());
+    if (better && eval.is_valid(cand, m)) {
+      // The stage frame attributes the adopted rewrite to this LNS round;
+      // frames are only created for accepted rounds to keep the stage table
+      // proportional to useful work.
+      const prov::StageScope stage(prov::StageKind::Improver,
+                                   "LNS:" + std::to_string(round.round));
+      prov::note_round(static_cast<int>(round.round));
+      eval.adopt(std::move(cand), m);
+      round.accepted = true;
+      round.cost_after = eval.cost();
+      report.cost_delta += round.cost_after - round.cost_before;
+      ++report.accepts;
+      OBS_COUNT("portfolio.lns.accepts");
+      stall = 0;
+    } else {
+      round.cost_after = round.cost_before;
+      ++stall;
+    }
+    ++report.rounds;
+    if (on_round) on_round(round);
+  }
+  return report;
+}
+
+}  // namespace rtsp

@@ -1,0 +1,65 @@
+// Large-neighborhood search over a schedule: destroy a window of actions,
+// rebuild it with a registry builder, accept on incremental-evaluator delta.
+//
+// One round picks a window [lo, hi) of the incumbent, derives the residual
+// sub-instance (placement before lo -> placement after hi) by lenient
+// prefix replay, asks the repair pipeline to re-plan exactly that placement
+// delta, and splices prefix + repair + suffix back together. The splice is
+// scored with metrics() hints (everything outside the window is shared) and
+// adopted only when (cost, dummies) strictly improves and the incremental
+// validator accepts — so the incumbent is valid after every round and its
+// cost never increases. See DESIGN.md §13.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "core/cost_model.hpp"
+#include "core/incremental.hpp"
+#include "support/rng.hpp"
+
+namespace rtsp {
+
+struct LnsOptions {
+  std::size_t min_window = 4;    ///< smallest destroy window (actions)
+  std::size_t max_window = 48;   ///< largest destroy window (actions)
+  std::string repair = "GOLCF";  ///< registry spec rebuilding the window
+  std::size_t max_rounds = 0;    ///< 0 = until budget / gap closed / stall
+  /// Consecutive rejected rounds before giving up; 0 = no stall cutoff
+  /// (an unlimited-budget run then falls back to kDefaultStall).
+  std::size_t max_stall = 0;
+};
+
+/// Stall cutoff used when neither a budget nor an explicit cutoff bounds
+/// the search.
+inline constexpr std::size_t kLnsDefaultStall = 64;
+
+/// One destroy/repair round, reported through the on_round callback (the
+/// differential tests recompute stats from scratch at each of these points).
+struct LnsRound {
+  std::size_t round = 0;
+  std::size_t window_lo = 0;        ///< destroyed base positions [lo, hi)
+  std::size_t window_hi = 0;
+  std::size_t repair_actions = 0;   ///< length of the rebuilt window
+  bool accepted = false;
+  Cost cost_before = 0;
+  Cost cost_after = 0;              ///< == cost_before when rejected
+};
+
+struct LnsReport {
+  std::size_t rounds = 0;
+  std::size_t accepts = 0;
+  Cost cost_delta = 0;      ///< total accepted change (<= 0)
+  bool gap_closed = false;  ///< stopped because cost reached `lower_bound`
+};
+
+/// Runs destroy/repair rounds over `eval`'s schedule until the attached
+/// WorkMeter is exhausted, the cost meets `lower_bound`, `max_rounds` is
+/// reached, or `max_stall` consecutive rounds were rejected. Requires a
+/// valid base schedule; leaves `eval` holding the improved incumbent.
+LnsReport run_lns(IncrementalEvaluator& eval, const LnsOptions& options, Rng& rng,
+                  Cost lower_bound,
+                  const std::function<void(const LnsRound&)>& on_round = {});
+
+}  // namespace rtsp

@@ -562,5 +562,84 @@ TEST(Cli, ExecuteJournalOnOrOffIsBitIdentical) {
   EXPECT_EQ(on_out, off_out);
 }
 
+std::string slurp_file(const std::string& path) {
+  std::ifstream f(path);
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return buf.str();
+}
+
+TEST(Cli, SolvePortfolioDeterministicUnderTickBudget) {
+  const std::string inst_path = temp_path("cli_pf.rtsp");
+  const CliResult gen = run({"generate", "--kind", "paper-equal", "--servers",
+                             "10", "--objects", "40", "--replicas", "2",
+                             "--seed", "3", "--out", inst_path});
+  ASSERT_EQ(gen.code, 0) << gen.err;
+
+  const auto solve_once = [&](const std::string& sched_path) {
+    return run({"solve", "--instance", inst_path, "--portfolio",
+                "--budget-ticks", "100000", "--seed", "5", "--out", sched_path});
+  };
+  const std::string sched_a = temp_path("cli_pf_a.sched");
+  const std::string sched_b = temp_path("cli_pf_b.sched");
+  const CliResult a = solve_once(sched_a);
+  const CliResult b = solve_once(sched_b);
+  ASSERT_EQ(a.code, 0) << a.err;
+  ASSERT_EQ(b.code, 0) << b.err;
+  EXPECT_NE(a.out.find("winner:"), std::string::npos);
+  EXPECT_NE(a.out.find("gap:"), std::string::npos);
+  EXPECT_NE(a.out.find("budget:"), std::string::npos);
+  EXPECT_NE(a.out.find("(deterministic)"), std::string::npos);
+  EXPECT_NE(a.out.find("lns:"), std::string::npos);
+  // Bit-identical schedule file across reruns; stdout differs only in the
+  // output path echoed on the "written" line.
+  EXPECT_EQ(slurp_file(sched_a), slurp_file(sched_b));
+
+  const CliResult validate =
+      run({"validate", "--instance", inst_path, "--schedule", sched_a});
+  EXPECT_EQ(validate.code, 0) << validate.err;
+}
+
+TEST(Cli, SolveSinglePipelineUnderTickBudget) {
+  const std::string inst_path = write_fig3_instance();
+  const CliResult r = run({"solve", "--instance", inst_path, "--algo",
+                           "GOLCF+H1+H2+OP1", "--budget-ticks", "5000",
+                           "--seed", "2"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("budget:          ticks=5000"), std::string::npos);
+  EXPECT_NE(r.out.find("ticks used:"), std::string::npos);
+}
+
+TEST(Cli, ExplainRendersPortfolioProvenance) {
+  if (!prov::kRecorderCompiled) GTEST_SKIP() << "built with RTSP_OBS=OFF";
+  const std::string inst_path = temp_path("cli_pf_prov.rtsp");
+  const std::string sched_path = temp_path("cli_pf_prov.sched");
+  const std::string prov_path = temp_path("cli_pf_prov.prov.json");
+  const CliResult gen = run({"generate", "--kind", "paper-equal", "--servers",
+                             "10", "--objects", "40", "--replicas", "2",
+                             "--seed", "4", "--out", inst_path});
+  ASSERT_EQ(gen.code, 0) << gen.err;
+  const CliResult solve = run({"solve", "--instance", inst_path, "--portfolio",
+                               "--budget-ticks", "200000", "--seed", "6",
+                               "--out", sched_path, "--provenance-out",
+                               prov_path});
+  ASSERT_EQ(solve.code, 0) << solve.err;
+  const CliResult explain = run({"explain", "--instance", inst_path,
+                                 "--schedule", sched_path, "--provenance",
+                                 prov_path});
+  ASSERT_EQ(explain.code, 0) << explain.err;
+  EXPECT_NE(explain.out.find("PORTFOLIO:"), std::string::npos);
+  EXPECT_NE(explain.out.find("per-stage attribution"), std::string::npos);
+}
+
+TEST(Cli, SolvePortfolioRejectsUnknownAlgos) {
+  const std::string inst_path = write_fig3_instance();
+  const CliResult r = run({"solve", "--instance", inst_path, "--portfolio",
+                           "--budget-ticks", "1000", "--algos",
+                           "GOLCF+H1,NOPE"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_FALSE(r.err.empty());
+}
+
 }  // namespace
 }  // namespace rtsp

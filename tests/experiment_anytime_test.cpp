@@ -1,0 +1,92 @@
+// Small-scale run of the anytime quality-vs-budget sweep. The sweep itself
+// throws if the portfolio cost ever exceeds a constituent single pipeline at
+// the same tick budget, so completing at all is the dominance check; on top
+// of that we verify the cell grid shape, gap sanity and the CSV format.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "experiment/anytime_sweep.hpp"
+
+namespace rtsp {
+namespace {
+
+AnytimeSweepConfig small_config() {
+  AnytimeSweepConfig cfg;
+  cfg.setup.servers = 12;
+  cfg.setup.objects = 80;
+  cfg.budgets = {2'000, 20'000};
+  cfg.algorithms = {"GOLCF+H1+H2+OP1", "AR+H1+H2", "GOLCF+SA"};
+  cfg.trials = 2;
+  cfg.extra_capacity = 4;
+  return cfg;
+}
+
+TEST(AnytimeSweep, GridShapeAndDominance) {
+  const AnytimeSweepConfig cfg = small_config();
+  // run_anytime_sweep throws std::logic_error if any portfolio cell is
+  // beaten by a single pipeline at the same budget.
+  const std::vector<AnytimeCell> cells = run_anytime_sweep(cfg);
+
+  // 3 setups x 2 budgets x (portfolio + 3 singles).
+  EXPECT_EQ(cells.size(), 3 * cfg.budgets.size() * (cfg.algorithms.size() + 1));
+  std::set<std::string> setups;
+  for (const AnytimeCell& cell : cells) {
+    setups.insert(cell.setup);
+    EXPECT_EQ(cell.cost.count(), cfg.trials);
+    EXPECT_EQ(cell.gap.count(), cfg.trials);
+    EXPECT_GE(cell.cost.mean(), 0.0);
+    EXPECT_GE(cell.gap.mean(), 0.0);
+  }
+  EXPECT_EQ(setups, (std::set<std::string>{"equal_size", "uniform_size",
+                                           "extra_capacity"}));
+
+  // The portfolio mean can never exceed a single's mean at the same cell
+  // (per-trial dominance is enforced inside the sweep; means inherit it).
+  for (const AnytimeCell& cell : cells) {
+    if (cell.algo != "PORTFOLIO") continue;
+    for (const AnytimeCell& other : cells) {
+      if (other.setup == cell.setup && other.budget == cell.budget &&
+          other.algo != "PORTFOLIO") {
+        EXPECT_LE(cell.cost.mean(), other.cost.mean())
+            << cell.setup << " @" << cell.budget << " vs " << other.algo;
+      }
+    }
+  }
+}
+
+TEST(AnytimeSweep, DeterministicInBaseSeed) {
+  const AnytimeSweepConfig cfg = small_config();
+  const std::vector<AnytimeCell> a = run_anytime_sweep(cfg);
+  const std::vector<AnytimeCell> b = run_anytime_sweep(cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].setup, b[i].setup);
+    EXPECT_EQ(a[i].budget, b[i].budget);
+    EXPECT_EQ(a[i].algo, b[i].algo);
+    EXPECT_EQ(a[i].cost.mean(), b[i].cost.mean());
+    EXPECT_EQ(a[i].gap.mean(), b[i].gap.mean());
+  }
+}
+
+TEST(AnytimeSweep, CsvFormat) {
+  AnytimeSweepConfig cfg = small_config();
+  cfg.budgets = {2'000};
+  cfg.trials = 1;
+  const std::vector<AnytimeCell> cells = run_anytime_sweep(cfg);
+  std::ostringstream out;
+  write_anytime_sweep_csv(out, cells);
+  std::istringstream in(out.str());
+  std::string header;
+  ASSERT_TRUE(std::getline(in, header));
+  EXPECT_EQ(header, "setup,budget_ticks,algo,trials,cost_mean,cost_stderr,gap_mean");
+  std::size_t rows = 0;
+  for (std::string line; std::getline(in, line);) {
+    if (!line.empty()) ++rows;
+  }
+  EXPECT_EQ(rows, cells.size());
+}
+
+}  // namespace
+}  // namespace rtsp

@@ -1,0 +1,178 @@
+// Differential properties of the LNS improver (DESIGN.md §13): after every
+// destroy/repair round the incumbent must validate, its incrementally
+// maintained (cost, dummies) must reconcile exactly with a from-scratch
+// schedule_stats recompute, and on acceptance the cost never exceeds the
+// pre-destroy incumbent. Rounds are observed through the on_round callback.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/feasibility.hpp"
+#include "core/incremental.hpp"
+#include "core/schedule_stats.hpp"
+#include "core/validator.hpp"
+#include "heuristics/registry.hpp"
+#include "portfolio/lns.hpp"
+#include "workload/scenario.hpp"
+
+namespace rtsp {
+namespace {
+
+struct LnsFixture {
+  Instance inst;
+  Schedule incumbent;
+};
+
+LnsFixture make_fixture(std::uint64_t seed, std::size_t servers = 10,
+                        std::size_t objects = 48) {
+  RandomInstanceSpec spec;
+  spec.servers = servers;
+  spec.objects = objects;
+  Rng rng(seed);
+  Instance inst = random_instance(spec, rng);
+  Rng build_rng(mix64(seed, 0xbeef));
+  Schedule incumbent = make_pipeline("GOLCF+H1+H2+OP1")
+                           .run(inst.model, inst.x_old, inst.x_new, build_rng);
+  return LnsFixture{std::move(inst), std::move(incumbent)};
+}
+
+TEST(PortfolioLns, EveryRoundValidatesAndReconciles) {
+  for (const std::uint64_t seed : {2ull, 17ull, 91ull}) {
+    const LnsFixture fx = make_fixture(seed);
+    IncrementalEvaluator eval(fx.inst.model, fx.inst.x_old, fx.inst.x_new,
+                              fx.incumbent);
+    ASSERT_TRUE(eval.base_valid());
+    WorkMeter meter;
+    meter.set_tick_limit(120'000);
+    eval.set_meter(&meter);
+
+    const Cost initial_cost = eval.cost();
+    const Cost lb = cost_lower_bound(fx.inst.model, fx.inst.x_old, fx.inst.x_new);
+    Cost incumbent_cost = initial_cost;
+    std::size_t rounds_seen = 0;
+    Rng lns_rng(mix64(seed, 1));
+    const LnsReport report = run_lns(
+        eval, LnsOptions{}, lns_rng, lb, [&](const LnsRound& round) {
+          ++rounds_seen;
+          // The incumbent is replaced only on acceptance and must stay
+          // validator-clean at every observation point.
+          ASSERT_TRUE(Validator::is_valid(fx.inst.model, fx.inst.x_old,
+                                          fx.inst.x_new, eval.schedule()))
+              << "round " << round.round;
+          // Exact reconcile of the delta-maintained totals against a
+          // from-scratch recompute.
+          const ScheduleStats stats =
+              analyze_schedule(fx.inst.model, eval.schedule());
+          ASSERT_EQ(stats.total_cost, eval.cost()) << "round " << round.round;
+          ASSERT_EQ(stats.dummy_transfers, eval.dummy_transfers())
+              << "round " << round.round;
+
+          EXPECT_EQ(round.cost_before, incumbent_cost);
+          if (round.accepted) {
+            EXPECT_LE(round.cost_after, round.cost_before);
+            EXPECT_EQ(round.cost_after, eval.cost());
+          } else {
+            EXPECT_EQ(round.cost_after, round.cost_before);
+          }
+          // Repaired cost never exceeds the pre-destroy incumbent.
+          EXPECT_LE(eval.cost(), incumbent_cost);
+          EXPECT_LE(eval.cost(), initial_cost);
+          incumbent_cost = eval.cost();
+
+          // Destroy windows stay inside the schedule and inside the
+          // configured size bounds.
+          EXPECT_LT(round.window_lo, round.window_hi);
+          EXPECT_LE(round.window_hi - round.window_lo, LnsOptions{}.max_window);
+        });
+    eval.set_meter(nullptr);
+    EXPECT_EQ(report.rounds, rounds_seen);
+    EXPECT_LE(report.accepts, report.rounds);
+    EXPECT_EQ(report.cost_delta, eval.cost() - initial_cost);
+    EXPECT_LE(report.cost_delta, 0);
+    EXPECT_GE(eval.cost(), lb);
+  }
+}
+
+TEST(PortfolioLns, DeterministicUnderTickBudget) {
+  const LnsFixture fx = make_fixture(5);
+  const auto run_once = [&](std::vector<LnsRound>& trace) {
+    IncrementalEvaluator eval(fx.inst.model, fx.inst.x_old, fx.inst.x_new,
+                              fx.incumbent);
+    WorkMeter meter;
+    meter.set_tick_limit(80'000);
+    eval.set_meter(&meter);
+    Rng rng(42);
+    const LnsReport report =
+        run_lns(eval, LnsOptions{}, rng,
+                cost_lower_bound(fx.inst.model, fx.inst.x_old, fx.inst.x_new),
+                [&](const LnsRound& r) { trace.push_back(r); });
+    eval.set_meter(nullptr);
+    return std::make_pair(report, eval.take_schedule());
+  };
+  std::vector<LnsRound> trace_a;
+  std::vector<LnsRound> trace_b;
+  const auto [report_a, schedule_a] = run_once(trace_a);
+  const auto [report_b, schedule_b] = run_once(trace_b);
+  EXPECT_EQ(schedule_a, schedule_b);
+  EXPECT_EQ(report_a.rounds, report_b.rounds);
+  EXPECT_EQ(report_a.accepts, report_b.accepts);
+  EXPECT_EQ(report_a.cost_delta, report_b.cost_delta);
+  ASSERT_EQ(trace_a.size(), trace_b.size());
+  for (std::size_t i = 0; i < trace_a.size(); ++i) {
+    EXPECT_EQ(trace_a[i].window_lo, trace_b[i].window_lo);
+    EXPECT_EQ(trace_a[i].window_hi, trace_b[i].window_hi);
+    EXPECT_EQ(trace_a[i].accepted, trace_b[i].accepted);
+    EXPECT_EQ(trace_a[i].cost_after, trace_b[i].cost_after);
+  }
+}
+
+TEST(PortfolioLns, GapClosedStopsWithoutRounds) {
+  // X_old == X_new: the pipeline emits an empty schedule whose cost already
+  // meets the (zero) lower bound, so LNS must stop before any round.
+  RandomInstanceSpec spec;
+  Rng rng(3);
+  Instance inst = random_instance(spec, rng);
+  inst.x_new = inst.x_old;
+  Rng build_rng(4);
+  Schedule incumbent =
+      make_pipeline("GOLCF").run(inst.model, inst.x_old, inst.x_new, build_rng);
+  IncrementalEvaluator eval(inst.model, inst.x_old, inst.x_new,
+                            std::move(incumbent));
+  Rng lns_rng(5);
+  const LnsReport report =
+      run_lns(eval, LnsOptions{}, lns_rng,
+              cost_lower_bound(inst.model, inst.x_old, inst.x_new));
+  EXPECT_TRUE(report.gap_closed);
+  EXPECT_EQ(report.rounds, 0u);
+}
+
+TEST(PortfolioLns, StallCutoffTerminatesUnmeteredRuns) {
+  const LnsFixture fx = make_fixture(8);
+  IncrementalEvaluator eval(fx.inst.model, fx.inst.x_old, fx.inst.x_new,
+                            fx.incumbent);
+  LnsOptions opts;
+  opts.max_stall = 6;
+  Rng rng(9);
+  const LnsReport report =
+      run_lns(eval, opts, rng,
+              cost_lower_bound(fx.inst.model, fx.inst.x_old, fx.inst.x_new));
+  // Rejections between accepts never exceed the stall cutoff, so the round
+  // count is bounded even without a meter.
+  EXPECT_LE(report.rounds, (report.accepts + 1) * opts.max_stall + report.accepts);
+}
+
+TEST(PortfolioLns, MaxRoundsIsRespected) {
+  const LnsFixture fx = make_fixture(21);
+  IncrementalEvaluator eval(fx.inst.model, fx.inst.x_old, fx.inst.x_new,
+                            fx.incumbent);
+  LnsOptions opts;
+  opts.max_rounds = 10;
+  Rng rng(22);
+  const LnsReport report =
+      run_lns(eval, opts, rng,
+              cost_lower_bound(fx.inst.model, fx.inst.x_old, fx.inst.x_new));
+  EXPECT_LE(report.rounds, 10u);
+}
+
+}  // namespace
+}  // namespace rtsp

@@ -3,10 +3,14 @@
 // slack, equal-size and mixed-size regimes.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
+
 #include "core/cost_model.hpp"
 #include "core/feasibility.hpp"
 #include "core/validator.hpp"
 #include "heuristics/registry.hpp"
+#include "portfolio/portfolio.hpp"
 #include "workload/paper_setup.hpp"
 #include "workload/scenario.hpp"
 
@@ -113,6 +117,44 @@ INSTANTIATE_TEST_SUITE_P(
       return std::string(regimes(std::get<0>(info.param)).name) + "_seed" +
              std::to_string(std::get<1>(info.param));
     });
+
+TEST_P(PropertySuite, PortfolioNeverWorseThanAnyConstituentAtSameBudget) {
+  // DESIGN.md §13: because the incumbent folds in every stage offer of every
+  // candidate, and each candidate's rng stream is keyed by its spec (so the
+  // standalone budgeted run replays the in-portfolio run exactly), the
+  // portfolio cost is <= min over its constituent singles at the same tick
+  // budget — at every budget, not just in the limit.
+  const auto& [regime_idx, seed] = GetParam();
+  const Regime regime = regimes(regime_idx);
+  Rng rng(mix64(seed, static_cast<std::uint64_t>(regime_idx) + 101));
+  const Instance inst = random_instance(regime.spec, rng);
+
+  const std::vector<std::string> algos = {"GOLCF+H1+H2", "RDF+OP1", "AR+H1"};
+  for (const std::uint64_t ticks :
+       {std::uint64_t{500}, std::uint64_t{5'000}, std::uint64_t{50'000}}) {
+    PortfolioOptions opts;
+    opts.algorithms = algos;
+    opts.budget.ticks = ticks;
+    const PortfolioResult portfolio =
+        solve_portfolio(inst.model, inst.x_old, inst.x_new, seed, opts);
+    ASSERT_TRUE(Validator::is_valid(inst.model, inst.x_old, inst.x_new,
+                                    portfolio.schedule))
+        << regime.name << " @" << ticks;
+
+    Cost best_single = std::numeric_limits<Cost>::max();
+    for (const std::string& algo : algos) {
+      Budget budget;
+      budget.ticks = ticks;
+      const BudgetedRun single = run_pipeline_budgeted(
+          inst.model, inst.x_old, inst.x_new, algo, seed, budget);
+      ASSERT_TRUE(Validator::is_valid(inst.model, inst.x_old, inst.x_new,
+                                      single.schedule))
+          << regime.name << "/" << algo << " @" << ticks;
+      best_single = std::min(best_single, single.cost);
+    }
+    EXPECT_LE(portfolio.cost, best_single) << regime.name << " @" << ticks;
+  }
+}
 
 TEST(PropertySuite, PaperScaleEndToEndOnce) {
   // One full-size Sec. 5.1 instance (r = 2) through the winner chain — a

@@ -15,6 +15,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "experiment/anytime_sweep.hpp"
 #include "experiment/fault_sweep.hpp"
 #include "experiment/figures.hpp"
 #include "experiment/report.hpp"
@@ -106,6 +107,32 @@ int main(int argc, char** argv) {
            << csv_text.str() << "```\n\n";
     std::ofstream csv(out_dir + "/faultsweep_losses" + std::to_string(losses) +
                       ".csv");
+    csv << csv_text.str();
+  }
+
+  // Anytime portfolio: quality vs deterministic tick budget on the three
+  // Sec-5.1 setups; the sweep itself enforces that the portfolio curve
+  // dominates every single pipeline at every budget (DESIGN.md §13).
+  {
+    std::cout << "running anytime sweep ..." << std::flush;
+    Timer timer;
+    AnytimeSweepConfig any_cfg;
+    any_cfg.trials = cfg.trials;
+    any_cfg.base_seed = cfg.base_seed;
+    any_cfg.threads = cfg.threads;
+    any_cfg.setup = setup;
+    const std::vector<AnytimeCell> cells = [&] {
+      OBS_SPAN("figure.anytime");
+      return run_anytime_sweep(any_cfg);
+    }();
+    std::cout << " " << static_cast<int>(timer.seconds()) << "s\n";
+
+    std::ostringstream csv_text;
+    write_anytime_sweep_csv(csv_text, cells);
+    report << "## Anytime sweep — portfolio vs single pipelines per tick "
+              "budget\n\n```\n"
+           << csv_text.str() << "```\n\n";
+    std::ofstream csv(out_dir + "/anytime.csv");
     csv << csv_text.str();
   }
 
