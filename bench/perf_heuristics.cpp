@@ -13,10 +13,13 @@
 //   --obs               print the metrics + span summary after the run
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/cost_model.hpp"
@@ -27,7 +30,10 @@
 #include "io/instance_binary_io.hpp"
 #include "io/instance_io.hpp"
 #include "obs/export.hpp"
+#include "obs/introspect.hpp"
+#include "obs/logging.hpp"
 #include "obs/obs.hpp"
+#include "support/net.hpp"
 #include "workload/paper_setup.hpp"
 #include "workload/scale_instance.hpp"
 
@@ -196,6 +202,90 @@ void BM_ObsRecordingOn(benchmark::State& state) {
   run_obs_overhead_bench(state, true);
 }
 
+// --- Structured-logging overhead: the same solve with the logger disarmed
+// (every OBS_LOG_* pays one relaxed level-gate load) vs armed at debug into
+// the in-memory ring (the per-pass builder/improver records actually
+// materialize). No file sink, so the pair isolates record construction +
+// ring insertion from disk speed.
+
+void run_logging_bench(benchmark::State& state, bool armed) {
+  const Instance inst = make_instance(1000, 2, 99);
+  const Pipeline pipeline = make_pipeline("GOLCF+H1+H2+OP1");
+  auto& logger = rtsp::obs::Logger::instance();
+  if (armed) {
+    logger.configure(rtsp::obs::LogLevel::Debug, "");
+    logger.clear();
+  }
+  std::uint64_t trial = 0;
+  for (auto _ : state) {
+    Rng rng = Rng::for_trial(123, trial++);
+    const Schedule h = pipeline.run(inst.model, inst.x_old, inst.x_new, rng);
+    benchmark::DoNotOptimize(h.size());
+  }
+  if (armed) {
+    benchmark::DoNotOptimize(logger.records_emitted());
+    logger.shutdown();
+    logger.clear();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1000);
+}
+
+void BM_LoggingOff(benchmark::State& state) { run_logging_bench(state, false); }
+void BM_LoggingOn(benchmark::State& state) { run_logging_bench(state, true); }
+
+// --- Scrape under load: the solve loop timed bare vs with the introspect
+// server up and a client thread scraping /metrics + /progress as fast as it
+// can. The acceptance bar is <2% solve-side overhead: snapshots and
+// exposition rendering happen on the handler pool, never the solver thread.
+
+void run_scrape_bench(benchmark::State& state, bool scraping) {
+  const Instance inst = make_instance(1000, 2, 99);
+  const Pipeline pipeline = make_pipeline("GOLCF+H1+H2+OP1");
+  const bool was_enabled = rtsp::obs::enabled();
+  rtsp::obs::set_enabled(true);
+  std::unique_ptr<rtsp::obs::IntrospectServer> server;
+  std::atomic<bool> done{false};
+  std::thread scraper;
+  std::uint64_t scrapes = 0;
+  if (scraping) {
+    rtsp::obs::IntrospectOptions opts;
+    opts.port = 0;
+    server = std::make_unique<rtsp::obs::IntrospectServer>(opts);
+    const std::uint16_t port = server->port();
+    scraper = std::thread([&done, port, &scrapes] {
+      while (!done.load(std::memory_order_relaxed)) {
+        try {
+          benchmark::DoNotOptimize(
+              rtsp::net::http_get("127.0.0.1", port, "/metrics").body.size());
+          benchmark::DoNotOptimize(
+              rtsp::net::http_get("127.0.0.1", port, "/progress").body.size());
+          ++scrapes;
+        } catch (const std::exception&) {
+          break;  // server went away mid-teardown
+        }
+      }
+    });
+  }
+  std::uint64_t trial = 0;
+  for (auto _ : state) {
+    Rng rng = Rng::for_trial(123, trial++);
+    const Schedule h = pipeline.run(inst.model, inst.x_old, inst.x_new, rng);
+    benchmark::DoNotOptimize(h.size());
+  }
+  if (scraping) {
+    done.store(true, std::memory_order_relaxed);
+    scraper.join();
+    server->stop();
+    state.counters["scrapes"] = benchmark::Counter(
+        static_cast<double>(scrapes), benchmark::Counter::kAvgIterations);
+  }
+  rtsp::obs::set_enabled(was_enabled);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1000);
+}
+
+void BM_ScrapeLoadOff(benchmark::State& state) { run_scrape_bench(state, false); }
+void BM_ScrapeLoadOn(benchmark::State& state) { run_scrape_bench(state, true); }
+
 // --- Anytime portfolio: racing/incumbent overhead and LNS repair
 // throughput. The first pair runs the same pipeline at the same tick budget
 // bare vs wrapped in a portfolio-of-one (threads=1, LNS off), so their gap
@@ -277,6 +367,10 @@ BENCHMARK(BM_Scale_LoadBinary)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Scale_LoadText)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ObsRecordingOff)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ObsRecordingOn)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LoggingOff)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LoggingOn)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ScrapeLoadOff)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ScrapeLoadOn)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Portfolio_SingleBudgeted)->Arg(100000)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Portfolio_OfOne)->Arg(100000)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Portfolio_LnsRepair)->Unit(benchmark::kMillisecond);

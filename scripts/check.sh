@@ -41,8 +41,9 @@ BUILD_DIR="${1:-build}"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
 # Flight-recorder smoke: faulted execute with journal/series/timeline
-# recording on, report over the artifacts, then schema-lint them. $1 is the
-# build dir whose rtsp/obs_lint to use.
+# recording on, report over the artifacts, then schema-lint them (plus the
+# structured log and an in-process HTTP scrape of the introspect endpoints —
+# no curl needed). $1 is the build dir whose rtsp/obs_lint to use.
 obs_smoke() {
   SMOKE_DIR="$1/obs_smoke"
   RTSP="$1/tools/rtsp"
@@ -51,7 +52,8 @@ obs_smoke() {
   "$RTSP" generate --kind random --servers 10 --objects 60 --seed 7 \
     --out "$SMOKE_DIR/inst.txt" > /dev/null
   "$RTSP" solve --instance "$SMOKE_DIR/inst.txt" --algo GOLCF+H1+H2+OP1 \
-    --seed 1 --out "$SMOKE_DIR/plan.txt" > /dev/null
+    --seed 1 --out "$SMOKE_DIR/plan.txt" \
+    --log-out "$SMOKE_DIR/run.log.jsonl" --log-level debug > /dev/null
   cat > "$SMOKE_DIR/faults.json" <<'EOF'
 {"version": 1, "seed": 42, "transient_failure_rate": 0.15,
  "offline": [{"server": 2, "begin": 0, "end": 900}],
@@ -66,7 +68,8 @@ EOF
     --series "$SMOKE_DIR/run.series.jsonl" \
     --html "$SMOKE_DIR/report.html" --out "$SMOKE_DIR/report.json" > /dev/null
   "$1"/tools/obs_lint --journal "$SMOKE_DIR/run.journal" \
-    --series "$SMOKE_DIR/run.series.jsonl"
+    --series "$SMOKE_DIR/run.series.jsonl" \
+    --log "$SMOKE_DIR/run.log.jsonl" --scrape-smoke
 }
 
 if [ "$MODE" = "sanitize" ]; then

@@ -914,6 +914,19 @@ int cmd_execute(const CliOptions& opt, std::ostream& out,
     journal.emplace(static_cast<std::size_t>(cap));
     options.journal = &*journal;
   }
+  // An interrupted run should still leave a readable journal: the obs
+  // session's SIGINT/SIGTERM flush path runs this hook (with a default run
+  // summary — the run never finished) before the process dies. The guard
+  // drops the hook once the journal is written normally below.
+  obs::add_interrupt_hook([&journal, journal_out] {
+    if (journal && !journal_out.empty()) {
+      write_journal_file(journal_out, journal->events(), journal->dropped(),
+                         JournalRunSummary{});
+    }
+  });
+  struct HookGuard {
+    ~HookGuard() { obs::clear_interrupt_hooks(); }
+  } hook_guard;
   options.sampler = session.sampler();
 
   const exec::ExecutionReport report = [&] {
@@ -1072,7 +1085,12 @@ void print_usage(std::ostream& out) {
          "  --trace-out=FILE    write Chrome trace JSON (open in ui.perfetto.dev)\n"
          "  --metrics-out=FILE  write metrics snapshot (.json or .csv)\n"
          "  --series-out=FILE   sample metrics over time (.csv or JSONL)\n"
-         "  --sample-ms=N       wall-clock sampling period (default 100)\n";
+         "  --sample-ms=N       wall-clock sampling period (default 100)\n"
+         "  --log-out=FILE      structured log (rtsp-log v1 JSONL)\n"
+         "  --log-level=L       arm logging at trace|debug|info|warn|error\n"
+         "  --introspect-port=P serve /metrics /healthz /progress /logz?n=K\n"
+         "                      on 127.0.0.1:P while the command runs\n"
+         "                      (0 picks a free port)\n";
 }
 
 int run_cli(int argc, const char* const* argv, std::ostream& out, std::ostream& err) {

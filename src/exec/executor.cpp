@@ -10,6 +10,7 @@
 #include "core/feasibility.hpp"
 #include "core/residual.hpp"
 #include "heuristics/registry.hpp"
+#include "obs/introspect.hpp"
 #include "obs/obs.hpp"
 #include "support/timer.hpp"
 
@@ -79,6 +80,7 @@ class Run {
 
   ExecutionReport run() {
     OBS_SPAN("execute");
+    OBS_PROGRESS(set_stage("exec.run"));
     while (!done_) {
       apply_due_losses();
       if (cursor_ >= pending_.size()) {
@@ -128,9 +130,13 @@ class Run {
     options_.journal->record(std::move(e));
   }
 
-  /// Virtual-clock sample hook (no-op without a sampler).
+  /// Virtual-clock sample hook (no-op without a sampler) — also publishes
+  /// the virtual clock for /progress and /metrics scrapers. Called at
+  /// attempt/retry/replan/drain boundaries; observers only, never read back.
   void sample(const char* label) {
     if (options_.sampler != nullptr) options_.sampler->sample_tick(clock_, label);
+    OBS_GAUGE_SET("exec.clock_ticks", clock_);
+    OBS_PROGRESS(set_exec_tick(static_cast<std::int64_t>(clock_)));
   }
 
   /// Applies `a` (must be valid) and appends it to the effective sequence,
@@ -292,6 +298,11 @@ class Run {
     }
     OBS_SPAN("execute.replan");
     OBS_COUNT("exec.replans");
+    OBS_PROGRESS(set_stage("exec.replan"));
+    OBS_LOG_WARN("executor replanning",
+                 obs::log_field("reason", to_string(reason)),
+                 obs::log_field("at", static_cast<std::int64_t>(clock_)),
+                 obs::log_field("replans", report_.replans.size() + 1));
     const ResidualProblem residual =
         make_residual(model_, state_.placement(), x_new_);
     ReplanEvent event;
@@ -334,6 +345,10 @@ class Run {
   /// whenever X_new is storage-feasible, so the run still reaches X_new.
   void drain_degraded() {
     clock_ = std::max(clock_, oracle_.horizon());
+    OBS_PROGRESS(set_stage("exec.drain"));
+    OBS_LOG_WARN("executor draining (replan budget spent)",
+                 obs::log_field("at", static_cast<std::int64_t>(clock_)),
+                 obs::log_field("dropped", pending_.size() - cursor_));
     journal_event(obs::JournalEventType::Drain, clock_, nullptr,
                   static_cast<std::int64_t>(pending_.size() - cursor_));
     sample("drain");
@@ -374,6 +389,14 @@ class Run {
     OBS_GAUGE_SET("exec.stall_ticks", report_.total_stall);
     OBS_GAUGE_SET("exec.backoff_ticks", report_.total_backoff);
     OBS_GAUGE_SET("exec.finished_at", report_.finished_at);
+    OBS_PROGRESS(set_stage("exec.finished"));
+    OBS_LOG_INFO("execution finished",
+                 obs::log_field("reached_goal", report_.reached_goal),
+                 obs::log_field("finished_at",
+                                static_cast<std::int64_t>(report_.finished_at)),
+                 obs::log_field("attempts", report_.attempts.size()),
+                 obs::log_field("retries", report_.retries),
+                 obs::log_field("replans", report_.replans.size()));
     sample("finish");
     if (options_.record_provenance) attach_root_causes();
   }

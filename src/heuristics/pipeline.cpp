@@ -36,6 +36,9 @@ Schedule Pipeline::run(const SystemModel& model, const ReplicationMatrix& x_old,
     OBS_SPAN("build." + builder_->name());
     h = builder_->build(model, x_old, x_new, rng);
   }
+  OBS_LOG_DEBUG("builder pass done", obs::log_field("builder", builder_->name()),
+                obs::log_field("actions", h.size()),
+                obs::log_field("dummies", h.dummy_transfer_count()));
   if (timing) timing->builder_seconds = seconds_since(stage_start);
   if (improvers_.empty()) return h;
 
@@ -50,6 +53,11 @@ Schedule Pipeline::run(const SystemModel& model, const ReplicationMatrix& x_old,
     OBS_TRACE_COUNTER(kObsIncrCandidates);
     OBS_TRACE_COUNTER(kObsIncrAdopts);
     OBS_TRACE_COUNTER(kObsIncrConvergedEarly);
+    // cost()/dummy_transfers() are cached summaries on the evaluator, so
+    // this per-pass record costs nothing beyond the level gate.
+    OBS_LOG_DEBUG("improver pass done", obs::log_field("improver", imp->name()),
+                  obs::log_field("cost", static_cast<std::int64_t>(eval.cost())),
+                  obs::log_field("dummies", eval.dummy_transfers()));
   }
   if (timing) timing->improver_seconds = seconds_since(stage_start);
   return eval.take_schedule();

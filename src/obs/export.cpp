@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <charconv>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <stdexcept>
+#include <string_view>
 
 #include "support/csv.hpp"
 #include "support/histogram.hpp"
@@ -155,6 +157,275 @@ void write_metrics_json(std::ostream& out, const MetricsSnapshot& snap) {
   j.end_object();
   j.end_object();
   out << '\n';
+}
+
+std::string prometheus_name(std::string_view name) {
+  std::string out = "rtsp_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) out += c == '.' ? '_' : c;
+  return out;
+}
+
+namespace {
+
+/// Shortest round-trip rendering; Prometheus accepts Go float syntax,
+/// including scientific notation.
+std::string prom_value(double v) {
+  char buf[48];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  if (res.ec != std::errc()) return "NaN";
+  return std::string(buf, res.ptr);
+}
+
+}  // namespace
+
+void write_metrics_prometheus(std::ostream& out, const MetricsSnapshot& snap) {
+  for (const auto& c : snap.counters) {
+    const std::string n = prometheus_name(c.name) + "_total";
+    out << "# HELP " << n << " rtsp counter " << c.name << "\n"
+        << "# TYPE " << n << " counter\n"
+        << n << ' ' << c.value << '\n';
+  }
+  for (const auto& g : snap.gauges) {
+    const std::string n = prometheus_name(g.name);
+    out << "# HELP " << n << " rtsp gauge " << g.name << "\n"
+        << "# TYPE " << n << " gauge\n"
+        << n << ' ' << g.value << '\n';
+    out << "# HELP " << n << "_max rtsp gauge " << g.name
+        << " (max since reset)\n"
+        << "# TYPE " << n << "_max gauge\n"
+        << n << "_max " << g.max << '\n';
+  }
+  constexpr double kNsPerSec = 1e9;
+  for (const auto& h : snap.histograms) {
+    const std::string n = prometheus_name(h.name) + "_seconds";
+    out << "# HELP " << n << " rtsp latency histogram " << h.name << "\n"
+        << "# TYPE " << n << " histogram\n";
+    std::uint64_t cumulative = 0;
+    const std::size_t buckets = h.buckets.size();
+    for (std::size_t b = 0; b < buckets; ++b) {
+      cumulative += h.buckets[b];
+      if (b + 1 == buckets) break;  // the last bucket is +Inf below
+      out << n << "_bucket{le=\""
+          << prom_value(static_cast<double>(histogram_bucket_upper_ns(b)) /
+                        kNsPerSec)
+          << "\"} " << cumulative << '\n';
+    }
+    out << n << "_bucket{le=\"+Inf\"} " << h.count << '\n'
+        << n << "_sum " << prom_value(static_cast<double>(h.sum_ns) / kNsPerSec)
+        << '\n'
+        << n << "_count " << h.count << '\n';
+  }
+}
+
+namespace {
+
+bool valid_prom_name(std::string_view name) {
+  if (name.empty()) return false;
+  const auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!head(name.front())) return false;
+  for (const char c : name.substr(1)) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+bool parse_prom_value(std::string_view s, double& out) {
+  if (s.empty()) return false;
+  std::string buf(s);
+  char* end = nullptr;
+  out = std::strtod(buf.c_str(), &end);
+  return end == buf.c_str() + buf.size();
+}
+
+/// Strips a histogram sample suffix; returns the family name unchanged when
+/// no suffix matches.
+std::string_view histogram_family(std::string_view name) {
+  for (const std::string_view suffix :
+       {std::string_view("_bucket"), std::string_view("_sum"),
+        std::string_view("_count")}) {
+    if (name.size() > suffix.size() &&
+        name.substr(name.size() - suffix.size()) == suffix) {
+      return name.substr(0, name.size() - suffix.size());
+    }
+  }
+  return name;
+}
+
+}  // namespace
+
+bool lint_prometheus_text(const std::string& text,
+                          std::vector<std::string>& violations) {
+  const std::size_t before = violations.size();
+  const auto fail = [&](std::size_t line_no, const std::string& msg) {
+    violations.push_back("prometheus line " + std::to_string(line_no) + ": " +
+                         msg);
+  };
+
+  std::map<std::string, std::string> declared_type;  // family -> type
+  struct HistState {
+    double last_le = -1.0;
+    std::uint64_t last_cumulative = 0;
+    bool saw_inf = false;
+    std::uint64_t inf_value = 0;
+    bool saw_count = false;
+    std::uint64_t count_value = 0;
+  };
+  std::map<std::string, HistState> hists;
+
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::string_view line(text.data() + pos,
+                                (eol == std::string::npos ? text.size() : eol) -
+                                    pos);
+    pos = eol == std::string::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+    if (line.empty()) continue;
+
+    if (line.front() == '#') {
+      // "# HELP name text" / "# TYPE name type" / free-form comment.
+      if (line.rfind("# TYPE ", 0) == 0) {
+        const std::string_view rest = line.substr(7);
+        const std::size_t sp = rest.find(' ');
+        if (sp == std::string_view::npos) {
+          fail(line_no, "malformed TYPE header");
+          continue;
+        }
+        const std::string name(rest.substr(0, sp));
+        const std::string type(rest.substr(sp + 1));
+        if (!valid_prom_name(name)) {
+          fail(line_no, "TYPE header names invalid metric '" + name + "'");
+        }
+        if (type != "counter" && type != "gauge" && type != "histogram" &&
+            type != "summary" && type != "untyped") {
+          fail(line_no, "unknown metric type '" + type + "'");
+        }
+        if (!declared_type.emplace(name, type).second) {
+          fail(line_no, "duplicate TYPE header for '" + name + "'");
+        }
+      } else if (line.rfind("# HELP ", 0) == 0) {
+        const std::string_view rest = line.substr(7);
+        const std::size_t sp = rest.find(' ');
+        const std::string name(rest.substr(0, sp));
+        if (!valid_prom_name(name)) {
+          fail(line_no, "HELP header names invalid metric '" + name + "'");
+        }
+      }
+      continue;
+    }
+
+    // Sample line: name[{labels}] value [timestamp]
+    std::size_t name_end = 0;
+    while (name_end < line.size() && line[name_end] != '{' &&
+           line[name_end] != ' ') {
+      ++name_end;
+    }
+    const std::string name(line.substr(0, name_end));
+    if (!valid_prom_name(name)) {
+      fail(line_no, "invalid sample name '" + name + "'");
+      continue;
+    }
+    std::string_view rest = line.substr(name_end);
+    std::string le;
+    if (!rest.empty() && rest.front() == '{') {
+      const std::size_t close = rest.find('}');
+      if (close == std::string_view::npos) {
+        fail(line_no, "unterminated label set");
+        continue;
+      }
+      const std::string_view labels = rest.substr(1, close - 1);
+      // This linter only understands the exporter's single le="..." label.
+      if (labels.rfind("le=\"", 0) == 0 && labels.back() == '"') {
+        le = std::string(labels.substr(4, labels.size() - 5));
+      } else if (!labels.empty()) {
+        fail(line_no, "unexpected label set '" + std::string(labels) + "'");
+        continue;
+      }
+      rest = rest.substr(close + 1);
+    }
+    if (rest.empty() || rest.front() != ' ') {
+      fail(line_no, "missing sample value");
+      continue;
+    }
+    const std::string_view value_text = rest.substr(1);
+    double value = 0.0;
+    if (!parse_prom_value(value_text, value)) {
+      fail(line_no, "unparsable sample value '" + std::string(value_text) +
+                        "'");
+      continue;
+    }
+
+    // Every sample must have a preceding TYPE header for its family.
+    const std::string family(histogram_family(name));
+    const auto typed = declared_type.find(name);
+    const auto family_typed = declared_type.find(family);
+    const bool is_hist_sample =
+        family != name && family_typed != declared_type.end() &&
+        family_typed->second == "histogram";
+    if (typed == declared_type.end() && !is_hist_sample) {
+      fail(line_no, "sample '" + name + "' has no preceding TYPE header");
+      continue;
+    }
+
+    if (is_hist_sample) {
+      HistState& hs = hists[family];
+      if (name == family + "_bucket") {
+        if (le.empty()) {
+          fail(line_no, "histogram bucket without le label");
+          continue;
+        }
+        double le_value = 0.0;
+        const bool is_inf = le == "+Inf";
+        if (!is_inf && !parse_prom_value(le, le_value)) {
+          fail(line_no, "unparsable le '" + le + "'");
+          continue;
+        }
+        if (hs.saw_inf) {
+          fail(line_no, "bucket after le=\"+Inf\" for '" + family + "'");
+        }
+        if (!is_inf && le_value <= hs.last_le) {
+          fail(line_no, "non-increasing le for '" + family + "'");
+        }
+        const auto cumulative = static_cast<std::uint64_t>(value);
+        if (cumulative < hs.last_cumulative) {
+          fail(line_no, "non-monotonic cumulative bucket for '" + family +
+                            "'");
+        }
+        hs.last_cumulative = cumulative;
+        if (is_inf) {
+          hs.saw_inf = true;
+          hs.inf_value = cumulative;
+        } else {
+          hs.last_le = le_value;
+        }
+      } else if (name == family + "_count") {
+        hs.saw_count = true;
+        hs.count_value = static_cast<std::uint64_t>(value);
+      }
+    } else if (!le.empty()) {
+      fail(line_no, "le label on non-histogram sample '" + name + "'");
+    }
+  }
+
+  for (const auto& [family, hs] : hists) {
+    if (!hs.saw_inf) {
+      violations.push_back("prometheus: histogram '" + family +
+                           "' has no le=\"+Inf\" bucket");
+    }
+    if (!hs.saw_count) {
+      violations.push_back("prometheus: histogram '" + family +
+                           "' has no _count sample");
+    } else if (hs.saw_inf && hs.inf_value != hs.count_value) {
+      violations.push_back("prometheus: histogram '" + family +
+                           "' +Inf bucket != _count");
+    }
+  }
+  return violations.size() == before;
 }
 
 void append_chrome_trace_event(JsonWriter& j, const TraceEvent& e, int pid) {

@@ -9,6 +9,7 @@
 
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "obs/metrics.hpp"
@@ -40,6 +41,28 @@ void write_chrome_trace(std::ostream& out, const std::vector<TraceEvent>& events
 /// Exposed so other exporters (io/timeline_export) can merge the wall-clock
 /// spans into a combined trace under their own process id.
 void append_chrome_trace_event(JsonWriter& j, const TraceEvent& e, int pid);
+
+/// Prometheus series name for a registry metric: dots become underscores
+/// and everything is prefixed "rtsp_" ("exec.retries" → "rtsp_exec_retries").
+/// Registry names are already charset-checked (obs/metrics), so the result
+/// always matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+std::string prometheus_name(std::string_view name);
+
+/// Prometheus text exposition format 0.0.4: counters as `<name>_total` with
+/// HELP/TYPE headers, gauges as plain gauges plus a `<name>_max` companion,
+/// latency histograms as cumulative `_bucket{le="..."}` series (edges in
+/// seconds, +Inf last) with `_sum` and `_count`. This is what the introspect
+/// server serves at GET /metrics.
+void write_metrics_prometheus(std::ostream& out, const MetricsSnapshot& snap);
+
+/// Validates one Prometheus text exposition payload: every line must be a
+/// comment/HELP/TYPE header or a `name{labels} value` sample, every sample
+/// must be preceded by a TYPE header for its family, histogram buckets must
+/// be cumulative with le="+Inf" last and equal to _count. Appends one
+/// message per violation; returns true when none were found. Used by
+/// tools/obs_lint and the introspection tests.
+bool lint_prometheus_text(const std::string& text,
+                          std::vector<std::string>& violations);
 
 /// Writes the snapshot to `path`, picking the format from the extension
 /// (".json" → JSON, anything else → CSV). Throws on open failure.

@@ -1,0 +1,146 @@
+// Live introspection: a Progress singleton that long-running phases update
+// (portfolio incumbents, executor clock, tick budgets) plus a minimal
+// embedded HTTP/1.1 server (support/net, loopback by default) serving
+//
+//   GET /metrics     Prometheus text exposition of the metrics registry
+//   GET /healthz     liveness + current stage, as JSON
+//   GET /progress    stage, incumbent cost/dummies, bound gap, tick budget
+//                    and executor virtual clock, as JSON
+//   GET /logz?n=K    most recent K log records as `rtsp-log` v1 JSONL
+//
+// The server only reads (registry snapshots, Progress atomics, the log
+// ring); it is never observed by solver or executor control flow, so
+// scraping a live run cannot change its schedule. Lives in the obs/
+// directory but compiles into rtsp_support (it needs net + json, which sit
+// above the dependency-free rtsp_obs core) — same arrangement as export.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "obs/obs.hpp"
+
+namespace rtsp::obs {
+
+/// Shared progress slots: writers are the portfolio driver and the
+/// executor, readers are /healthz and /progress. Strings go under a mutex
+/// (stage changes are rare); numeric slots are relaxed atomics. Never read
+/// by solver control flow.
+class Progress {
+ public:
+  static Progress& instance();
+
+  Progress(const Progress&) = delete;
+  Progress& operator=(const Progress&) = delete;
+
+  void set_stage(const std::string& stage);
+  std::string stage() const;
+
+  void set_incumbent(std::int64_t cost, std::int64_t dummies) {
+    incumbent_cost_.store(cost, std::memory_order_relaxed);
+    incumbent_dummies_.store(dummies, std::memory_order_relaxed);
+    has_incumbent_.store(true, std::memory_order_relaxed);
+  }
+  void set_lower_bound(std::int64_t bound) {
+    lower_bound_.store(bound, std::memory_order_relaxed);
+    has_bound_.store(true, std::memory_order_relaxed);
+  }
+  void set_ticks(std::uint64_t spent, std::uint64_t budget) {
+    ticks_spent_.store(spent, std::memory_order_relaxed);
+    ticks_budget_.store(budget, std::memory_order_relaxed);
+  }
+  void set_exec_tick(std::int64_t tick) {
+    exec_tick_.store(tick, std::memory_order_relaxed);
+  }
+
+  /// One coherent read of every slot (strings under the mutex, numbers
+  /// relaxed — each field is individually consistent, which is all the
+  /// endpoints promise).
+  struct View {
+    std::string stage;
+    bool has_incumbent = false;
+    std::int64_t incumbent_cost = 0;
+    std::int64_t incumbent_dummies = 0;
+    bool has_bound = false;
+    std::int64_t lower_bound = 0;
+    std::uint64_t ticks_spent = 0;
+    std::uint64_t ticks_budget = 0;
+    std::int64_t exec_tick = 0;
+  };
+  View view() const;
+
+  /// /progress JSON body for the current view (exposed for obs_lint and
+  /// the tests, so they validate exactly what the server serves).
+  std::string to_json() const;
+
+  /// Test hook: back to the freshly-started state.
+  void reset();
+
+ private:
+  Progress() = default;
+
+  mutable std::mutex mutex_;
+  std::string stage_;
+  std::atomic<bool> has_incumbent_{false};
+  std::atomic<std::int64_t> incumbent_cost_{0};
+  std::atomic<std::int64_t> incumbent_dummies_{0};
+  std::atomic<bool> has_bound_{false};
+  std::atomic<std::int64_t> lower_bound_{0};
+  std::atomic<std::uint64_t> ticks_spent_{0};
+  std::atomic<std::uint64_t> ticks_budget_{0};
+  std::atomic<std::int64_t> exec_tick_{0};
+};
+
+/// Progress updates from instrumented code go through this macro so
+/// RTSP_OBS=OFF builds compile them out entirely, like the other OBS_*
+/// macros (the argument is not evaluated):
+///   OBS_PROGRESS(set_stage("portfolio"));
+///   OBS_PROGRESS(set_incumbent(cost, dummies));
+#if RTSP_OBS_ENABLED
+#define OBS_PROGRESS(call) (::rtsp::obs::Progress::instance().call)
+#else
+#define OBS_PROGRESS(call) ((void)0)
+#endif
+
+struct IntrospectOptions {
+  std::string host = "127.0.0.1";  ///< loopback unless explicitly widened
+  std::uint16_t port = 0;          ///< 0 picks an ephemeral port
+  std::size_t handler_threads = 2;
+};
+
+/// The embedded HTTP server. The constructor binds and starts serving
+/// (throws std::runtime_error when the bind fails); the destructor stops
+/// the acceptor and joins the handler pool. Unknown paths get 404, methods
+/// other than GET get 405.
+class IntrospectServer {
+ public:
+  explicit IntrospectServer(const IntrospectOptions& options);
+  ~IntrospectServer();
+
+  IntrospectServer(const IntrospectServer&) = delete;
+  IntrospectServer& operator=(const IntrospectServer&) = delete;
+
+  /// The bound port (useful with port 0).
+  std::uint16_t port() const;
+
+  /// Requests served so far (tests and the session summary line).
+  std::uint64_t requests_served() const;
+
+  /// Stops accepting, joins all threads, closes the socket. Idempotent.
+  void stop();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Response body builders, one per endpoint, exposed so obs_lint's
+/// --scrape-smoke and the unit tests exercise exactly the served bytes.
+std::string introspect_metrics_body();
+std::string introspect_healthz_body();
+std::string introspect_logz_body(std::size_t n);
+
+}  // namespace rtsp::obs

@@ -1,0 +1,279 @@
+#include "obs/logging.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"  // now_ns()
+
+namespace rtsp::obs {
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "trace";
+    case LogLevel::Debug: return "debug";
+    case LogLevel::Info: return "info";
+    case LogLevel::Warn: return "warn";
+    case LogLevel::Error: return "error";
+    case LogLevel::Off: return "off";
+  }
+  return "?";
+}
+
+bool log_level_from_string(const std::string& name, LogLevel& out) {
+  for (const LogLevel l : {LogLevel::Trace, LogLevel::Debug, LogLevel::Info,
+                           LogLevel::Warn, LogLevel::Error, LogLevel::Off}) {
+    if (name == to_string(l)) {
+      out = l;
+      return true;
+    }
+  }
+  return false;
+}
+
+LogField log_field(std::string key, std::int64_t v) {
+  LogField f;
+  f.key = std::move(key);
+  f.kind = LogField::Kind::Int;
+  f.i = v;
+  return f;
+}
+
+LogField log_field(std::string key, std::uint64_t v) {
+  LogField f;
+  f.key = std::move(key);
+  f.kind = LogField::Kind::Uint;
+  f.u = v;
+  return f;
+}
+
+LogField log_field(std::string key, double v) {
+  LogField f;
+  f.key = std::move(key);
+  f.kind = LogField::Kind::Double;
+  f.d = v;
+  return f;
+}
+
+LogField log_field(std::string key, bool v) {
+  LogField f;
+  f.key = std::move(key);
+  f.kind = LogField::Kind::Bool;
+  f.b = v;
+  return f;
+}
+
+LogField log_field(std::string key, std::string v) {
+  LogField f;
+  f.key = std::move(key);
+  f.kind = LogField::Kind::Str;
+  f.s = std::move(v);
+  return f;
+}
+
+LogField log_field(std::string key, const char* v) {
+  return log_field(std::move(key), std::string(v));
+}
+
+namespace {
+
+/// Minimal JSON string escaper (rtsp_obs must not depend on support/json).
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char raw : s) {
+    const auto c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += raw;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_double(std::string& out, double v) {
+  char buf[48];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  if (res.ec != std::errc()) {
+    out += "null";
+    return;
+  }
+  out.append(buf, res.ptr);
+}
+
+std::uint32_t this_thread_id() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace
+
+std::string log_header_json() {
+  return std::string("{\"format\":\"") + kLogFormatName +
+         "\",\"version\":" + std::to_string(kLogFormatVersion) + "}";
+}
+
+std::string log_record_to_json(const LogRecord& record) {
+  std::string out;
+  out.reserve(96 + record.message.size());
+  out += "{\"seq\":";
+  out += std::to_string(record.seq);
+  out += ",\"ts_ns\":";
+  out += std::to_string(record.wall_ns);
+  out += ",\"thread\":";
+  out += std::to_string(record.tid);
+  out += ",\"level\":\"";
+  out += to_string(record.level);
+  out += "\",\"msg\":";
+  append_escaped(out, record.message);
+  if (!record.fields.empty()) {
+    out += ",\"fields\":{";
+    bool first = true;
+    for (const LogField& f : record.fields) {
+      if (!first) out += ',';
+      first = false;
+      append_escaped(out, f.key);
+      out += ':';
+      switch (f.kind) {
+        case LogField::Kind::Int: out += std::to_string(f.i); break;
+        case LogField::Kind::Uint: out += std::to_string(f.u); break;
+        case LogField::Kind::Double: append_double(out, f.d); break;
+        case LogField::Kind::Bool: out += f.b ? "true" : "false"; break;
+        case LogField::Kind::Str: append_escaped(out, f.s); break;
+      }
+    }
+    out += '}';
+  }
+  out += '}';
+  return out;
+}
+
+struct Logger::Impl {
+  mutable std::mutex mutex;
+  std::vector<LogRecord> ring;  ///< fixed-size once configured
+  std::size_t ring_capacity = 1024;
+  std::size_t next_slot = 0;  ///< ring write cursor
+  std::size_t filled = 0;     ///< records currently held (<= capacity)
+  std::uint64_t next_seq = 0;
+  std::ofstream sink;
+};
+
+Logger::Impl& Logger::impl() const {
+  static Impl impl;
+  return impl;
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::~Logger() = default;
+
+void Logger::configure(LogLevel level, const std::string& jsonl_path,
+                       std::size_t ring_capacity) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mutex);
+  if (im.sink.is_open()) {
+    im.sink.flush();
+    im.sink.close();
+  }
+  if (!jsonl_path.empty()) {
+    im.sink.open(jsonl_path);
+    if (!im.sink) {
+      throw std::runtime_error("cannot open log output file: " + jsonl_path);
+    }
+    im.sink << log_header_json() << '\n';
+  }
+  im.ring_capacity = ring_capacity > 0 ? ring_capacity : 1;
+  im.ring.clear();
+  im.ring.resize(im.ring_capacity);
+  im.next_slot = 0;
+  im.filled = 0;
+  level_.store(static_cast<std::uint8_t>(level), std::memory_order_relaxed);
+}
+
+void Logger::shutdown() {
+  level_.store(static_cast<std::uint8_t>(LogLevel::Off),
+               std::memory_order_relaxed);
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mutex);
+  if (im.sink.is_open()) {
+    im.sink.flush();
+    im.sink.close();
+  }
+}
+
+void Logger::flush() {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mutex);
+  if (im.sink.is_open()) im.sink.flush();
+}
+
+void Logger::log(LogLevel level, std::string message,
+                 std::vector<LogField> fields) {
+  LogRecord record;
+  record.wall_ns = now_ns();
+  record.tid = this_thread_id();
+  record.level = level;
+  record.message = std::move(message);
+  record.fields = std::move(fields);
+
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mutex);
+  record.seq = im.next_seq++;
+  if (im.sink.is_open()) im.sink << log_record_to_json(record) << '\n';
+  if (im.ring.empty()) im.ring.resize(im.ring_capacity);
+  if (im.filled == im.ring.size()) {
+    evicted_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    ++im.filled;
+  }
+  im.ring[im.next_slot] = std::move(record);
+  im.next_slot = (im.next_slot + 1) % im.ring.size();
+  emitted_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<LogRecord> Logger::tail(std::size_t n) const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mutex);
+  const std::size_t count = std::min(n, im.filled);
+  std::vector<LogRecord> out;
+  out.reserve(count);
+  // next_slot points at the oldest record once the ring has wrapped.
+  const std::size_t size = im.ring.size();
+  for (std::size_t k = count; k > 0; --k) {
+    const std::size_t idx = (im.next_slot + size - k) % size;
+    out.push_back(im.ring[idx]);
+  }
+  return out;
+}
+
+void Logger::clear() {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mutex);
+  im.ring.clear();
+  im.ring.resize(im.ring_capacity);
+  im.next_slot = 0;
+  im.filled = 0;
+  im.next_seq = 0;
+  emitted_.store(0, std::memory_order_relaxed);
+  evicted_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace rtsp::obs

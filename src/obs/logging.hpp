@@ -1,0 +1,168 @@
+// Leveled structured logging: typed key=value records into a bounded
+// in-memory ring of recent records (served live by /logz on the introspect
+// server) plus an optional JSONL file sink (`rtsp-log` v1, one header line
+// then one object per record; see docs/file-formats.md).
+//
+// Design rules, matching the rest of src/obs:
+//   * Zero-cost when RTSP_OBS=OFF — the OBS_LOG_* macros in obs/obs.hpp
+//     compile to ((void)0) and never evaluate their arguments.
+//   * One relaxed atomic load when compiled in but below the armed level
+//     (the default level is Off, so plain runs pay a single load per site).
+//   * Never observed by control flow: logging only records, so schedules
+//     and executor runs are bit-identical with logging armed or off.
+//   * Bounded: the ring keeps the most recent `ring_capacity` records
+//     (older ones are overwritten, counted in evicted()); the file sink
+//     writes every record that passed the level gate.
+//
+// Record construction (message + field formatting) happens outside the
+// ring lock; only the ring append and the sink write serialize. Logging
+// call rates in this codebase are per-pass / per-replan summaries, not
+// per-action, so a mutex-guarded ring is deliberate — the sharded
+// wait-free machinery in metrics.cpp is reserved for the true hot paths.
+//
+// This header is dependency-free (compiled into rtsp_obs, below
+// rtsp_support) so builders, improvers, the executor and the thread pool
+// can all log.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rtsp::obs {
+
+enum class LogLevel : std::uint8_t { Trace, Debug, Info, Warn, Error, Off };
+
+/// Stable wire name ("trace", "debug", "info", "warn", "error", "off").
+const char* to_string(LogLevel level);
+
+/// Inverse of to_string; false when `name` is not a known level.
+bool log_level_from_string(const std::string& name, LogLevel& out);
+
+/// One typed key=value field attached to a log record.
+struct LogField {
+  enum class Kind : std::uint8_t { Int, Uint, Double, Bool, Str };
+
+  std::string key;
+  Kind kind = Kind::Int;
+  std::int64_t i = 0;
+  std::uint64_t u = 0;
+  double d = 0.0;
+  bool b = false;
+  std::string s;
+};
+
+/// Field constructors: log_field("cost", 42), log_field("algo", "GOLCF").
+LogField log_field(std::string key, std::int64_t v);
+LogField log_field(std::string key, std::uint64_t v);
+LogField log_field(std::string key, double v);
+LogField log_field(std::string key, bool v);
+LogField log_field(std::string key, std::string v);
+LogField log_field(std::string key, const char* v);
+inline LogField log_field(std::string key, int v) {
+  return log_field(std::move(key), static_cast<std::int64_t>(v));
+}
+inline LogField log_field(std::string key, unsigned v) {
+  return log_field(std::move(key), static_cast<std::uint64_t>(v));
+}
+
+/// One log record as kept in the ring (and serialized to the sink).
+struct LogRecord {
+  std::uint64_t seq = 0;      ///< process-wide strictly increasing
+  std::uint64_t wall_ns = 0;  ///< obs::now_ns() at emission
+  std::uint32_t tid = 0;      ///< small sequential thread id
+  LogLevel level = LogLevel::Info;
+  std::string message;
+  std::vector<LogField> fields;
+};
+
+/// Serializes one record as an `rtsp-log` v1 JSONL line (no trailing
+/// newline). Exposed so /logz and the file sink emit identical bytes.
+std::string log_record_to_json(const LogRecord& record);
+
+/// The `rtsp-log` v1 header line (no trailing newline).
+std::string log_header_json();
+
+inline constexpr int kLogFormatVersion = 1;
+inline constexpr const char* kLogFormatName = "rtsp-log";
+
+/// Process-wide logger singleton. Disarmed (level Off, no sink) until
+/// configure(); obs::Session arms it from --log-out / --log-level.
+class Logger {
+ public:
+  static Logger& instance();
+
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+
+  /// Arms the logger: records at `level` and above are kept. A non-empty
+  /// `jsonl_path` opens the file sink (header line written immediately;
+  /// throws std::runtime_error when the file cannot be opened). Passing an
+  /// empty path keeps the ring only.
+  void configure(LogLevel level, const std::string& jsonl_path,
+                 std::size_t ring_capacity = 1024);
+
+  /// Flushes and closes the sink and disarms (level Off). The ring and
+  /// counters survive so post-mortems can still read the tail.
+  void shutdown();
+
+  /// Flushes the file sink without disarming (the interrupt flush path).
+  void flush();
+
+  LogLevel level() const {
+    return static_cast<LogLevel>(level_.load(std::memory_order_relaxed));
+  }
+
+  /// The per-site gate: one relaxed load. The OBS_LOG_* macros only
+  /// evaluate their message/field arguments when this returns true.
+  bool should_log(LogLevel l) const { return l >= level(); }
+
+  /// Records one entry (caller already passed should_log).
+  void log(LogLevel level, std::string message,
+           std::vector<LogField> fields = {});
+
+  /// Field-list convenience used by the OBS_LOG_* macros:
+  /// log(level, "msg", log_field("k", v), ...).
+  template <typename... Fields>
+  void log(LogLevel level, std::string message, LogField first,
+           Fields&&... rest) {
+    std::vector<LogField> fields;
+    fields.reserve(1 + sizeof...(rest));
+    fields.push_back(std::move(first));
+    (fields.push_back(std::forward<Fields>(rest)), ...);
+    log(level, std::move(message), std::move(fields));
+  }
+
+  /// Most recent `n` records, oldest first (at most the ring capacity).
+  std::vector<LogRecord> tail(std::size_t n) const;
+
+  std::uint64_t records_emitted() const {
+    return emitted_.load(std::memory_order_relaxed);
+  }
+  /// Records overwritten in the ring because it was full (the sink, when
+  /// open, still received them).
+  std::uint64_t evicted() const {
+    return evicted_.load(std::memory_order_relaxed);
+  }
+
+  /// Test hook: drops all ring contents and zeroes the counters.
+  void clear();
+
+  ~Logger();
+
+ private:
+  Logger() = default;
+
+  std::atomic<std::uint8_t> level_{
+      static_cast<std::uint8_t>(LogLevel::Off)};
+  std::atomic<std::uint64_t> emitted_{0};
+  std::atomic<std::uint64_t> evicted_{0};
+
+  struct Impl;
+  Impl& impl() const;
+};
+
+}  // namespace rtsp::obs

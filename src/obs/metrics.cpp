@@ -69,6 +69,23 @@ double bucket_edge_us(std::size_t i) {
 
 }  // namespace
 
+std::uint64_t histogram_bucket_upper_ns(std::size_t i) {
+  return std::uint64_t{1} << std::min<std::size_t>(i, 62);
+}
+
+bool valid_metric_name(std::string_view name) {
+  if (name.empty()) return false;
+  const auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!head(name.front())) return false;
+  for (const char c : name.substr(1)) {
+    if (!head(c) && !(c >= '0' && c <= '9') && c != '.') return false;
+  }
+  return true;
+}
+
 struct MetricsRegistry::Impl {
   mutable std::mutex mutex;
   std::vector<std::string> counter_names;
@@ -193,6 +210,11 @@ std::uint32_t intern(std::vector<std::string>& names,
                      const char* kind) {
   const auto it = ids.find(name);
   if (it != ids.end()) return it->second;
+  if (!valid_metric_name(name)) {
+    throw std::invalid_argument(
+        std::string("obs ") + kind + " name '" + name +
+        "' violates the metric charset [a-zA-Z_:][a-zA-Z0-9_:.]*");
+  }
   if (names.size() >= capacity) {
     throw std::length_error(std::string("too many obs ") + kind + " names (max " +
                             std::to_string(capacity) + "): " + name);
@@ -273,6 +295,8 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     MetricsSnapshot::HistogramValue v;
     v.name = i.hist_names[h];
     v.count = agg.count;
+    v.sum_ns = agg.sum_ns;
+    v.buckets.assign(agg.buckets, agg.buckets + kHistogramBuckets);
     if (agg.count > 0) {
       v.mean_us = static_cast<double>(agg.sum_ns) / static_cast<double>(agg.count) / 1e3;
       v.max_us = static_cast<double>(agg.max_ns) / 1e3;

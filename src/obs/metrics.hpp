@@ -42,6 +42,17 @@ inline constexpr std::size_t kMaxHistograms = 64;
 /// bit_width(ns) == i, i.e. [2^(i-1), 2^i); the last bucket absorbs the rest.
 inline constexpr std::size_t kHistogramBuckets = 40;
 
+/// Upper edge (exclusive, in nanoseconds) of latency bucket i; the last
+/// bucket is open-ended (exported as le="+Inf").
+std::uint64_t histogram_bucket_upper_ns(std::size_t i);
+
+/// Registry name charset, checked at registration time: names must start
+/// with [a-zA-Z_:] and continue with [a-zA-Z0-9_:.]. Dots are the local
+/// namespace separator ("exec.retries") and map to '_' in the Prometheus
+/// exposition (obs/export); everything else would produce an unscrapable
+/// series, so MetricsRegistry throws std::invalid_argument on violation.
+bool valid_metric_name(std::string_view name);
+
 /// Cheap copyable handle to a registered counter (an interned id).
 class Counter {
  public:
@@ -96,12 +107,17 @@ struct MetricsSnapshot {
   struct HistogramValue {
     std::string name;
     std::uint64_t count = 0;
+    std::uint64_t sum_ns = 0;
     double mean_us = 0.0;
     double p50_us = 0.0;
     double p90_us = 0.0;
     double p95_us = 0.0;
     double p99_us = 0.0;
     double max_us = 0.0;
+    /// Raw per-bucket counts (kHistogramBuckets entries; bucket i counts
+    /// samples with bit_width(ns) == i). Feeds the Prometheus exporter's
+    /// cumulative _bucket series.
+    std::vector<std::uint64_t> buckets;
   };
 
   std::vector<CounterValue> counters;

@@ -13,6 +13,7 @@
 // expressions with side effects.
 #pragma once
 
+#include "obs/logging.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -66,6 +67,24 @@
     }                                                                        \
   } while (0)
 
+/// Structured log record: OBS_LOG(level, "message", fields...) where each
+/// field is ::rtsp::obs::log_field("key", value). The level gate is one
+/// relaxed load; message and field expressions are only evaluated when the
+/// level is armed (never pass expressions with side effects).
+#define OBS_LOG(level, ...)                                        \
+  do {                                                             \
+    ::rtsp::obs::Logger& rtsp_obs_l = ::rtsp::obs::Logger::instance(); \
+    if (rtsp_obs_l.should_log(level)) {                            \
+      rtsp_obs_l.log(level, __VA_ARGS__);                          \
+    }                                                              \
+  } while (0)
+
+#define OBS_LOG_TRACE(...) OBS_LOG(::rtsp::obs::LogLevel::Trace, __VA_ARGS__)
+#define OBS_LOG_DEBUG(...) OBS_LOG(::rtsp::obs::LogLevel::Debug, __VA_ARGS__)
+#define OBS_LOG_INFO(...) OBS_LOG(::rtsp::obs::LogLevel::Info, __VA_ARGS__)
+#define OBS_LOG_WARN(...) OBS_LOG(::rtsp::obs::LogLevel::Warn, __VA_ARGS__)
+#define OBS_LOG_ERROR(...) OBS_LOG(::rtsp::obs::LogLevel::Error, __VA_ARGS__)
+
 #else  // RTSP_OBS_ENABLED == 0: no code, arguments unevaluated.
 
 #define OBS_SPAN(...) ((void)0)
@@ -74,5 +93,11 @@
 #define OBS_GAUGE_SET(name, v) ((void)0)
 #define OBS_LATENCY_NS(name, ns) ((void)0)
 #define OBS_TRACE_COUNTER(name) ((void)0)
+#define OBS_LOG(...) ((void)0)
+#define OBS_LOG_TRACE(...) ((void)0)
+#define OBS_LOG_DEBUG(...) ((void)0)
+#define OBS_LOG_INFO(...) ((void)0)
+#define OBS_LOG_WARN(...) ((void)0)
+#define OBS_LOG_ERROR(...) ((void)0)
 
 #endif  // RTSP_OBS_ENABLED

@@ -1,9 +1,16 @@
 #include "obs/session.hpp"
 
+#include <atomic>
 #include <chrono>
+#include <csignal>
+#include <mutex>
 #include <ostream>
+#include <stdexcept>
+#include <vector>
 
 #include "obs/export.hpp"
+#include "obs/introspect.hpp"
+#include "obs/logging.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sampler.hpp"
 #include "obs/series_io.hpp"
@@ -31,23 +38,95 @@ std::int64_t record_peak_rss() {
 #endif
 }
 
+namespace {
+
+std::atomic<const Session*> g_active_session{nullptr};
+
+std::mutex g_hooks_mutex;
+std::vector<std::function<void()>> g_hooks;
+
+// One best-effort flush, then die of the signal with default disposition so
+// the exit status still reports the interrupt. Not strictly async-signal-
+// safe (it takes locks and allocates) — for an interactive Ctrl-C on an
+// otherwise healthy process that trade is worth readable artifacts, and the
+// worst case is the same death the signal caused anyway.
+extern "C" void session_signal_handler(int sig) {
+  const Session* session = g_active_session.exchange(nullptr);
+  if (session != nullptr) session->emergency_flush();
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+}  // namespace
+
+void add_interrupt_hook(std::function<void()> hook) {
+  std::lock_guard<std::mutex> lock(g_hooks_mutex);
+  g_hooks.push_back(std::move(hook));
+}
+
+void clear_interrupt_hooks() {
+  std::lock_guard<std::mutex> lock(g_hooks_mutex);
+  g_hooks.clear();
+}
+
 Session::Session(const CliOptions& opt)
     : summary_(opt.get_bool("obs", "RTSP_OBS", false)),
       trace_out_(opt.get_string("trace-out", "", "")),
       metrics_out_(opt.get_string("metrics-out", "", "")),
-      series_out_(opt.get_string("series-out", "", "")) {
+      series_out_(opt.get_string("series-out", "", "")),
+      log_out_(opt.get_string("log-out", "RTSP_LOG_OUT", "")) {
+  const std::string log_level =
+      opt.get_string("log-level", "RTSP_LOG_LEVEL", "");
+  const auto introspect_port = static_cast<int>(
+      opt.get_int("introspect-port", "RTSP_INTROSPECT_PORT", -1));
+
+  log_armed_ = !log_out_.empty() || !log_level.empty();
   enabled_ = summary_ || !trace_out_.empty() || !metrics_out_.empty() ||
-             !series_out_.empty();
+             !series_out_.empty() || log_armed_ || introspect_port >= 0;
   if (enabled_) set_enabled(true);
+
+  if (log_armed_) {
+    LogLevel level = LogLevel::Info;
+    if (!log_level.empty() && !log_level_from_string(log_level, level)) {
+      throw std::runtime_error(
+          "unknown --log-level '" + log_level +
+          "' (expected trace, debug, info, warn, error or off)");
+    }
+    Logger::instance().configure(level, log_out_);
+  }
+
+  if (introspect_port >= 0) {
+    IntrospectOptions options;
+    options.port = static_cast<std::uint16_t>(introspect_port);
+    introspect_ = std::make_unique<IntrospectServer>(options);
+  }
+
   if (!series_out_.empty()) {
     const int period_ms =
         static_cast<int>(opt.get_int("sample-ms", "RTSP_SAMPLE_MS", 100));
     sampler_ = std::make_unique<MetricsSampler>();
     sampler_->start(std::chrono::milliseconds(period_ms > 0 ? period_ms : 100));
   }
+
+  if (enabled_) {
+    const Session* expected = nullptr;
+    if (g_active_session.compare_exchange_strong(expected, this)) {
+      std::signal(SIGINT, session_signal_handler);
+      std::signal(SIGTERM, session_signal_handler);
+      signals_installed_ = true;
+    }
+  }
 }
 
-Session::~Session() = default;
+Session::~Session() {
+  if (signals_installed_) {
+    const Session* expected = this;
+    g_active_session.compare_exchange_strong(expected, nullptr);
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+    clear_interrupt_hooks();
+  }
+}
 
 void Session::finish(std::ostream& out) const {
   if (!enabled_) return;
@@ -57,6 +136,21 @@ void Session::finish(std::ostream& out) const {
     write_series_file(series_out_, sampler_->samples(), sampler_->dropped());
     out << "obs series written to " << series_out_ << " ("
         << sampler_->samples().size() << " samples)\n";
+  }
+  if (introspect_ != nullptr) {
+    const std::uint16_t port = introspect_->port();
+    introspect_->stop();
+    out << "obs introspection on port " << port << " served "
+        << introspect_->requests_served() << " requests\n";
+  }
+  if (log_armed_) {
+    Logger& logger = Logger::instance();
+    const std::uint64_t records = logger.records_emitted();
+    logger.shutdown();
+    if (!log_out_.empty()) {
+      out << "obs log written to " << log_out_ << " (" << records
+          << " records)\n";
+    }
   }
   const MetricsSnapshot snap = MetricsRegistry::instance().snapshot();
   if (!metrics_out_.empty()) {
@@ -79,6 +173,50 @@ void Session::finish(std::ostream& out) const {
           << " trace events dropped (raise the per-thread buffer via "
              "obs::set_trace_capacity)\n";
     }
+  }
+}
+
+void Session::emergency_flush() const {
+  if (!enabled_) return;
+  std::vector<std::function<void()>> hooks;
+  {
+    std::lock_guard<std::mutex> lock(g_hooks_mutex);
+    hooks = g_hooks;
+  }
+  for (const auto& hook : hooks) {
+    try {
+      hook();
+    } catch (...) {
+    }
+  }
+  try {
+    if (sampler_ != nullptr) {
+      sampler_->stop();
+      if (!series_out_.empty()) {
+        write_series_file(series_out_, sampler_->samples(),
+                          sampler_->dropped());
+      }
+    }
+  } catch (...) {
+  }
+  try {
+    if (!metrics_out_.empty()) {
+      write_metrics_file(metrics_out_, MetricsRegistry::instance().snapshot());
+    }
+  } catch (...) {
+  }
+  try {
+    if (!trace_out_.empty()) write_trace_file(trace_out_, collect_trace());
+  } catch (...) {
+  }
+  try {
+    Logger::instance().flush();
+    if (log_armed_) Logger::instance().shutdown();
+  } catch (...) {
+  }
+  try {
+    if (introspect_ != nullptr) introspect_->stop();
+  } catch (...) {
   }
 }
 

@@ -1,10 +1,13 @@
 // End-to-end obs wiring shared by the command-line tools: parses the common
 // --obs / --trace-out=FILE / --metrics-out=FILE flags, arms recording when
 // any of them is present, and at finish() writes the requested files and
-// prints the end-of-run summary tables.
+// prints the end-of-run summary tables. Also owns the live-introspection
+// pieces: --log-out/--log-level arm the structured logger and
+// --introspect-port starts the embedded HTTP server (obs/introspect).
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <memory>
 #include <string>
@@ -16,6 +19,7 @@ class CliOptions;
 namespace rtsp::obs {
 
 class MetricsSampler;
+class IntrospectServer;
 
 /// Samples the process peak RSS, records it as the process.peak_rss_kb
 /// gauge, and returns it in KiB (0 when the platform has no getrusage).
@@ -23,21 +27,35 @@ class MetricsSampler;
 /// can read the high-water mark without extra tooling.
 std::int64_t record_peak_rss();
 
+/// Registers a callback the active Session runs (before its own flushing)
+/// when the process takes SIGINT/SIGTERM — e.g. cmd_execute registers a
+/// journal writer so an interrupted run still leaves a readable journal.
+/// Hooks are cleared when the session that was active ends.
+void add_interrupt_hook(std::function<void()> hook);
+void clear_interrupt_hooks();
+
 class Session {
  public:
   /// Inert session: recording stays off, finish() does nothing.
   Session() = default;
 
   /// Reads the shared flags from `opt`:
-  ///   --obs               print metrics + span summary tables at finish()
-  ///   --trace-out=FILE    write a Chrome trace-event JSON (Perfetto)
-  ///   --metrics-out=FILE  write a metrics snapshot (.json, else CSV)
-  ///   --series-out=FILE   sample the metrics over time and write the
-  ///                       series (.csv, else JSONL; see obs/series_io)
-  ///   --sample-ms=N       wall-clock sampling period (default 100)
+  ///   --obs                 print metrics + span summary tables at finish()
+  ///   --trace-out=FILE      write a Chrome trace-event JSON (Perfetto)
+  ///   --metrics-out=FILE    write a metrics snapshot (.json, else CSV)
+  ///   --series-out=FILE     sample the metrics over time and write the
+  ///                         series (.csv, else JSONL; see obs/series_io)
+  ///   --sample-ms=N         wall-clock sampling period (default 100)
+  ///   --log-out=FILE        structured log sink (`rtsp-log` v1 JSONL)
+  ///   --log-level=L         arm the logger at trace/debug/info/warn/error
+  ///                         (default info once --log-out is given)
+  ///   --introspect-port=P   serve /metrics /healthz /progress /logz on
+  ///                         127.0.0.1:P (0 picks an ephemeral port)
   /// Any of them turns recording on for the whole process. --series-out
   /// starts a background wall-clock sampler; commands that run the executor
-  /// additionally feed virtual-clock samples through sampler().
+  /// additionally feed virtual-clock samples through sampler(). While the
+  /// session is enabled a SIGINT/SIGTERM triggers a best-effort flush of
+  /// every armed sink before the process dies of the signal.
   explicit Session(const CliOptions& opt);
   ~Session();
 
@@ -47,17 +65,32 @@ class Session {
   /// into ExecutorOptions::sampler to get virtual-clock samples too.
   MetricsSampler* sampler() const { return sampler_.get(); }
 
+  /// The introspection server when --introspect-port was given, else
+  /// nullptr (port() on it reports the bound port).
+  IntrospectServer* introspect() const { return introspect_.get(); }
+
   /// Stops the sampler, writes the requested files and (with --obs) prints
   /// the summary tables. No-op when no obs flag was given.
   void finish(std::ostream& out) const;
 
+  /// The interrupt flush path: runs the registered hooks, then writes and
+  /// flushes every armed sink (series, metrics, trace, log) and stops the
+  /// introspect server. Best-effort — each step swallows its own errors.
+  /// Invoked from the signal handler; exposed so tests can drive it
+  /// without raising signals.
+  void emergency_flush() const;
+
  private:
   bool enabled_ = false;
   bool summary_ = false;
+  bool signals_installed_ = false;
   std::string trace_out_;
   std::string metrics_out_;
   std::string series_out_;
+  std::string log_out_;
+  bool log_armed_ = false;
   std::unique_ptr<MetricsSampler> sampler_;
+  std::unique_ptr<IntrospectServer> introspect_;
 };
 
 }  // namespace rtsp::obs

@@ -9,6 +9,7 @@
 #include "core/feasibility.hpp"
 #include "core/incremental.hpp"
 #include "heuristics/registry.hpp"
+#include "obs/introspect.hpp"
 #include "obs/obs.hpp"
 #include "obs/provenance.hpp"
 #include "support/assert.hpp"
@@ -61,9 +62,14 @@ struct Incumbent {
       has = true;
       key = k;
       best = schedule;
-      // Swap count depends on arrival interleaving: observability only,
-      // never part of the deterministic result.
+      // Swap count and published incumbent depend on arrival interleaving:
+      // observability only, never part of the deterministic result (the
+      // final incumbent is interleaving-independent by the total order).
       OBS_COUNT("portfolio.incumbent_swaps");
+      OBS_GAUGE_SET("portfolio.incumbent_cost", k.cost);
+      OBS_GAUGE_SET("portfolio.incumbent_dummies", k.dummies);
+      OBS_PROGRESS(set_incumbent(static_cast<std::int64_t>(k.cost),
+                                 static_cast<std::int64_t>(k.dummies)));
     }
   }
 };
@@ -161,6 +167,8 @@ PortfolioResult solve_portfolio(const SystemModel& model,
 
   Incumbent incumbent;
   std::vector<BudgetedRun> runs(algos.size());
+  OBS_PROGRESS(set_stage("portfolio.race"));
+  OBS_PROGRESS(set_ticks(0, options.budget.ticks));
   {
     OBS_SPAN("portfolio.race");
     ThreadPool pool(options.threads);
@@ -195,6 +203,15 @@ PortfolioResult solve_portfolio(const SystemModel& model,
   result.incumbent_offers = incumbent.offers;
   result.winner = algos[incumbent.key.candidate];
   result.race_cost = incumbent.key.cost;
+  OBS_GAUGE_SET("portfolio.lower_bound", result.lower_bound);
+  OBS_PROGRESS(set_lower_bound(static_cast<std::int64_t>(result.lower_bound)));
+  OBS_PROGRESS(set_ticks(result.race_ticks, options.budget.ticks));
+  OBS_LOG_INFO("portfolio race finished",
+               obs::log_field("winner", result.winner),
+               obs::log_field("race_cost",
+                              static_cast<std::int64_t>(result.race_cost)),
+               obs::log_field("offers", result.incumbent_offers),
+               obs::log_field("race_ticks", result.race_ticks));
   Schedule best = std::move(incumbent.best);
 
   // Attribute the delivered actions to the race result so `rtsp explain`
@@ -227,6 +244,7 @@ PortfolioResult solve_portfolio(const SystemModel& model,
     wall_only.arm(lns_meter, start);
   }
   if (lns_possible) {
+    OBS_PROGRESS(set_stage("portfolio.lns"));
     eval.set_meter(&lns_meter);
     Rng lns_rng(mix64(seed, stable_hash("LNS")));
     result.lns = run_lns(eval, options.lns, lns_rng, result.lower_bound);
@@ -235,6 +253,14 @@ PortfolioResult solve_portfolio(const SystemModel& model,
 
   result.cost = eval.cost();
   result.dummy_transfers = eval.dummy_transfers();
+  OBS_PROGRESS(set_stage("portfolio.done"));
+  OBS_PROGRESS(set_incumbent(static_cast<std::int64_t>(result.cost),
+                             static_cast<std::int64_t>(result.dummy_transfers)));
+  OBS_LOG_INFO("portfolio solve done",
+               obs::log_field("cost", static_cast<std::int64_t>(result.cost)),
+               obs::log_field("dummy_transfers", result.dummy_transfers),
+               obs::log_field("lower_bound",
+                              static_cast<std::int64_t>(result.lower_bound)));
   result.schedule = eval.take_schedule();
   return result;
 }

@@ -117,6 +117,12 @@ JsonWriter& JsonWriter::value(bool v) {
   return *this;
 }
 
+JsonWriter& JsonWriter::null() {
+  element_prefix();
+  out_ << "null";
+  return *this;
+}
+
 namespace {
 
 [[noreturn]] void type_error(const char* want, JsonValue::Type got) {

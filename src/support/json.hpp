@@ -31,6 +31,7 @@ class JsonWriter {
   JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
   JsonWriter& value(double v);
   JsonWriter& value(bool v);
+  JsonWriter& null();
 
   static std::string escape(const std::string& s);
 

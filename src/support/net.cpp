@@ -1,0 +1,212 @@
+#include "support/net.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#define RTSP_NET_POSIX 1
+#else
+#define RTSP_NET_POSIX 0
+#endif
+
+namespace rtsp::net {
+
+#if RTSP_NET_POSIX
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+/// poll() one fd for `events`; true when ready, false on timeout.
+bool wait_ready(int fd, short events, int timeout_ms) {
+  pollfd p{};
+  p.fd = fd;
+  p.events = events;
+  for (;;) {
+    const int rc = ::poll(&p, 1, timeout_ms);
+    if (rc > 0) return (p.revents & (events | POLLERR | POLLHUP)) != 0;
+    if (rc == 0) return false;
+    if (errno != EINTR) return false;
+  }
+}
+
+sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("invalid IPv4 address: " + host);
+  }
+  return addr;
+}
+
+}  // namespace
+
+Socket::~Socket() { close(); }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Socket::write_all(std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd_, data.data() + off, data.size() - off,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool Socket::read_until(std::string& buffer, std::string_view terminator,
+                        std::size_t max_bytes, int timeout_ms) {
+  char chunk[4096];
+  while (buffer.find(terminator) == std::string::npos) {
+    if (buffer.size() >= max_bytes) return false;
+    if (!wait_ready(fd_, POLLIN, timeout_ms)) return false;
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;  // peer closed or error before the terminator
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+void Socket::read_to_eof(std::string& buffer, std::size_t max_bytes,
+                         int timeout_ms) {
+  char chunk[4096];
+  while (buffer.size() < max_bytes) {
+    if (!wait_ready(fd_, POLLIN, timeout_ms)) return;
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+void TcpListener::listen(const std::string& host, std::uint16_t port,
+                         int backlog) {
+  close();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr = make_addr(host, port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    throw_errno("bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(fd, backlog) != 0) {
+    ::close(fd);
+    throw_errno("listen");
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    throw_errno("getsockname");
+  }
+  fd_ = fd;
+  port_ = ntohs(addr.sin_port);
+}
+
+Socket TcpListener::accept(int timeout_ms) {
+  if (fd_ < 0 || !wait_ready(fd_, POLLIN, timeout_ms)) return Socket{};
+  const int conn = ::accept(fd_, nullptr, nullptr);
+  return conn >= 0 ? Socket(conn) : Socket{};
+}
+
+void TcpListener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  port_ = 0;
+}
+
+HttpResponse http_get(const std::string& host, std::uint16_t port,
+                      const std::string& target, int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  Socket sock(fd);
+  const sockaddr_in addr = make_addr(host, port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    throw_errno("connect " + host + ":" + std::to_string(port));
+  }
+  const std::string request = "GET " + target +
+                              " HTTP/1.1\r\nHost: " + host +
+                              "\r\nConnection: close\r\n\r\n";
+  if (!sock.write_all(request)) throw std::runtime_error("http_get: send failed");
+
+  std::string raw;
+  sock.read_to_eof(raw, std::size_t{1} << 24, timeout_ms);
+  const std::size_t line_end = raw.find("\r\n");
+  const std::size_t head_end = raw.find("\r\n\r\n");
+  if (line_end == std::string::npos || head_end == std::string::npos ||
+      raw.compare(0, 5, "HTTP/") != 0) {
+    throw std::runtime_error("http_get: malformed response");
+  }
+  const std::size_t sp = raw.find(' ');
+  if (sp == std::string::npos || sp + 4 > line_end) {
+    throw std::runtime_error("http_get: malformed status line");
+  }
+  HttpResponse resp;
+  resp.status = std::stoi(raw.substr(sp + 1, 3));
+  resp.headers = raw.substr(line_end + 2, head_end - line_end - 2);
+  resp.body = raw.substr(head_end + 4);
+  return resp;
+}
+
+#else  // !RTSP_NET_POSIX: stubs so non-POSIX builds still link.
+
+Socket::~Socket() = default;
+Socket& Socket::operator=(Socket&&) noexcept { return *this; }
+void Socket::close() {}
+bool Socket::write_all(std::string_view) { return false; }
+bool Socket::read_until(std::string&, std::string_view, std::size_t, int) {
+  return false;
+}
+void Socket::read_to_eof(std::string&, std::size_t, int) {}
+
+void TcpListener::listen(const std::string&, std::uint16_t, int) {
+  throw std::runtime_error("TCP sockets unsupported on this platform");
+}
+Socket TcpListener::accept(int) { return Socket{}; }
+void TcpListener::close() {}
+
+HttpResponse http_get(const std::string&, std::uint16_t, const std::string&, int) {
+  throw std::runtime_error("TCP sockets unsupported on this platform");
+}
+
+#endif  // RTSP_NET_POSIX
+
+}  // namespace rtsp::net

@@ -1,0 +1,93 @@
+// Minimal POSIX TCP primitives for the embedded introspection server
+// (obs/introspect) and its tests: an RAII socket, a loopback listener with
+// poll-based (interruptible) accept, and a tiny blocking HTTP/1.1 GET
+// client so the scrape smoke in scripts/check.sh needs no curl.
+//
+// Deliberately not a general networking layer: IPv4 only, blocking I/O
+// with coarse timeouts, no TLS. Throws std::runtime_error on setup
+// failures (bind/listen/connect); per-connection read/write errors are
+// reported through return values so a dropped scraper never kills the
+// serving process.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace rtsp::net {
+
+/// RAII file-descriptor wrapper for one connected TCP socket.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void close();
+
+  /// Writes all of `data` (retrying short writes); false on any error.
+  bool write_all(std::string_view data);
+
+  /// Appends incoming bytes to `buffer` until `terminator` appears in it,
+  /// `max_bytes` is reached, the peer closes, or `timeout_ms` passes
+  /// without progress. True iff the terminator was seen.
+  bool read_until(std::string& buffer, std::string_view terminator,
+                  std::size_t max_bytes, int timeout_ms);
+
+  /// Reads until EOF or timeout, appending to `buffer` (at most max_bytes).
+  void read_to_eof(std::string& buffer, std::size_t max_bytes, int timeout_ms);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening IPv4 TCP socket. accept() polls with a short timeout so a
+/// server loop can observe its stop flag without platform-specific
+/// self-pipe tricks.
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener() { close(); }
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Binds and listens on host:port. Port 0 picks an ephemeral port;
+  /// port() reports the one actually bound. Throws std::runtime_error.
+  void listen(const std::string& host, std::uint16_t port, int backlog = 16);
+
+  bool listening() const { return fd_ >= 0; }
+  std::uint16_t port() const { return port_; }
+
+  /// Waits up to `timeout_ms` for a connection; an invalid Socket means
+  /// the poll timed out (or the listener was closed) — poll again.
+  Socket accept(int timeout_ms);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// One parsed HTTP response (status line + raw headers + body).
+struct HttpResponse {
+  int status = 0;
+  std::string headers;  ///< raw header block, without the status line
+  std::string body;
+};
+
+/// Blocking HTTP/1.1 GET of `target` (e.g. "/metrics") from host:port.
+/// Sends Connection: close and reads to EOF. Throws std::runtime_error on
+/// connect/send failure or an unparsable response.
+HttpResponse http_get(const std::string& host, std::uint16_t port,
+                      const std::string& target, int timeout_ms = 5000);
+
+}  // namespace rtsp::net

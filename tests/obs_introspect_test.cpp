@@ -1,0 +1,380 @@
+#include "obs/introspect.hpp"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+
+#include <atomic>
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/executor.hpp"
+#include "exec/fault_model.hpp"
+#include "io/schedule_io.hpp"
+#include "obs/export.hpp"
+#include "obs/logging.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "portfolio/portfolio.hpp"
+#include "support/json.hpp"
+#include "support/net.hpp"
+#include "support/rng.hpp"
+#include "workload/scenario.hpp"
+
+namespace rtsp::obs {
+namespace {
+
+Instance test_instance(std::uint64_t seed = 11) {
+  RandomInstanceSpec spec;
+  Rng rng(seed);
+  return random_instance(spec, rng);
+}
+
+PortfolioOptions tick_options(std::uint64_t ticks, std::size_t threads = 0) {
+  PortfolioOptions opts;
+  opts.budget.ticks = ticks;
+  opts.threads = threads;
+  return opts;
+}
+
+/// Arms the full obs surface (registry + Progress + log ring) and disarms
+/// on the way out, so other suites in this binary see the defaults.
+class ObsIntrospectTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(true);
+    MetricsRegistry::instance().reset();
+    Progress::instance().reset();
+    Logger::instance().configure(LogLevel::Debug, "");
+    Logger::instance().clear();
+  }
+  void TearDown() override {
+    Logger::instance().shutdown();
+    Logger::instance().clear();
+    Progress::instance().reset();
+    set_enabled(false);
+  }
+};
+
+std::string lint_messages(const std::vector<std::string>& violations) {
+  std::string all;
+  for (const auto& v : violations) all += v + "\n";
+  return all;
+}
+
+TEST_F(ObsIntrospectTest, MetricNameCharsetIsEnforcedAtRegistration) {
+  EXPECT_TRUE(valid_metric_name("exec.retries"));
+  EXPECT_TRUE(valid_metric_name("_private:series.v2"));
+  EXPECT_FALSE(valid_metric_name(""));
+  EXPECT_FALSE(valid_metric_name("9starts.with.digit"));
+  EXPECT_FALSE(valid_metric_name("has space"));
+  EXPECT_FALSE(valid_metric_name("bad-dash"));
+  EXPECT_FALSE(valid_metric_name("unicode\xc3\xa9"));
+
+  auto& reg = MetricsRegistry::instance();
+  EXPECT_THROW(reg.counter("bad name!"), std::invalid_argument);
+  EXPECT_THROW(reg.gauge("-leading.dash"), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("tab\tchar"), std::invalid_argument);
+  EXPECT_NO_THROW(reg.counter("introspect.test.ok"));
+}
+
+TEST_F(ObsIntrospectTest, PrometheusNameMapsDotsAndPrefixes) {
+  EXPECT_EQ(prometheus_name("exec.retries"), "rtsp_exec_retries");
+  EXPECT_EQ(prometheus_name("plain"), "rtsp_plain");
+  EXPECT_EQ(prometheus_name("a.b.c"), "rtsp_a_b_c");
+}
+
+TEST_F(ObsIntrospectTest, PrometheusExpositionHasCumulativeHistograms) {
+  auto& reg = MetricsRegistry::instance();
+  reg.counter("introspect.events").add(5);
+  reg.gauge("introspect.depth").set(7);
+  auto h = reg.histogram("introspect.latency");
+  h.record_ns(900);      // bit_width(900) == 10
+  h.record_ns(123456);   // bit_width(123456) == 17
+  h.record_ns(123456);
+
+  std::ostringstream out;
+  write_metrics_prometheus(out, reg.snapshot());
+  const std::string text = out.str();
+
+  EXPECT_NE(text.find("# TYPE rtsp_introspect_events_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("rtsp_introspect_events_total 5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE rtsp_introspect_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("rtsp_introspect_depth 7"), std::string::npos);
+  EXPECT_NE(text.find("rtsp_introspect_depth_max 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE rtsp_introspect_latency_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("rtsp_introspect_latency_seconds_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("rtsp_introspect_latency_seconds_count 3"),
+            std::string::npos);
+
+  std::vector<std::string> violations;
+  EXPECT_TRUE(lint_prometheus_text(text, violations))
+      << lint_messages(violations);
+}
+
+TEST_F(ObsIntrospectTest, PrometheusLintCatchesViolations) {
+  std::vector<std::string> violations;
+  // Sample without a TYPE header.
+  EXPECT_FALSE(lint_prometheus_text("orphan_total 1\n", violations));
+  violations.clear();
+  // +Inf bucket disagreeing with _count.
+  const std::string bad_hist =
+      "# TYPE h histogram\n"
+      "h_bucket{le=\"0.1\"} 2\n"
+      "h_bucket{le=\"+Inf\"} 2\n"
+      "h_sum 0.5\n"
+      "h_count 3\n";
+  EXPECT_FALSE(lint_prometheus_text(bad_hist, violations));
+  violations.clear();
+  // Non-cumulative buckets.
+  const std::string non_cumulative =
+      "# TYPE h histogram\n"
+      "h_bucket{le=\"0.1\"} 5\n"
+      "h_bucket{le=\"0.2\"} 3\n"
+      "h_bucket{le=\"+Inf\"} 5\n"
+      "h_sum 0.5\n"
+      "h_count 5\n";
+  EXPECT_FALSE(lint_prometheus_text(non_cumulative, violations));
+  violations.clear();
+  // Invalid metric name.
+  EXPECT_FALSE(lint_prometheus_text("# TYPE 9bad counter\n9bad 1\n", violations));
+}
+
+TEST_F(ObsIntrospectTest, EndpointsServeOverLoopback) {
+  MetricsRegistry::instance().counter("introspect.served").add(2);
+  Progress::instance().set_stage("unit-test");
+  Progress::instance().set_incumbent(42, 1);
+  Progress::instance().set_ticks(10, 100);
+  Logger::instance().log(LogLevel::Info, "one");
+  Logger::instance().log(LogLevel::Info, "two");
+  Logger::instance().log(LogLevel::Info, "three");
+
+  IntrospectOptions opts;
+  opts.port = 0;
+  IntrospectServer server(opts);
+  ASSERT_GT(server.port(), 0);
+
+  const auto metrics = net::http_get("127.0.0.1", server.port(), "/metrics");
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.headers.find("text/plain"), std::string::npos);
+  std::vector<std::string> violations;
+  EXPECT_TRUE(lint_prometheus_text(metrics.body, violations))
+      << lint_messages(violations);
+  EXPECT_NE(metrics.body.find("rtsp_introspect_served_total 2"),
+            std::string::npos);
+
+  const auto healthz = net::http_get("127.0.0.1", server.port(), "/healthz");
+  EXPECT_EQ(healthz.status, 200);
+  const JsonValue health = parse_json(healthz.body);
+  EXPECT_EQ(health.at("status").as_string(), "ok");
+  EXPECT_EQ(health.at("stage").as_string(), "unit-test");
+
+  const auto progress = net::http_get("127.0.0.1", server.port(), "/progress");
+  EXPECT_EQ(progress.status, 200);
+  EXPECT_NE(progress.headers.find("application/json"), std::string::npos);
+  const JsonValue view = parse_json(progress.body);
+  EXPECT_EQ(view.at("stage").as_string(), "unit-test");
+  EXPECT_EQ(view.at("incumbent").at("cost").as_int(), 42);
+  EXPECT_EQ(view.at("incumbent").at("dummy_transfers").as_int(), 1);
+  EXPECT_EQ(view.at("ticks").at("spent").as_int(), 10);
+  EXPECT_EQ(view.at("ticks").at("budget").as_int(), 100);
+
+  const auto logz = net::http_get("127.0.0.1", server.port(), "/logz?n=2");
+  EXPECT_EQ(logz.status, 200);
+  EXPECT_NE(logz.headers.find("application/x-ndjson"), std::string::npos);
+  std::istringstream lines(logz.body);
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(parse_json(line).at("format").as_string(), "rtsp-log");
+  std::vector<std::string> messages;
+  while (std::getline(lines, line)) {
+    messages.push_back(parse_json(line).at("msg").as_string());
+  }
+  ASSERT_EQ(messages.size(), 2u);  // n=2 means the 2 most recent
+  EXPECT_EQ(messages[0], "two");
+  EXPECT_EQ(messages[1], "three");
+
+  const auto missing = net::http_get("127.0.0.1", server.port(), "/nope");
+  EXPECT_EQ(missing.status, 404);
+
+  EXPECT_GE(server.requests_served(), 5u);
+  server.stop();
+  server.stop();  // idempotent
+}
+
+/// net::http_get only speaks GET, so non-GET and malformed requests go over
+/// a raw loopback connection.
+std::string raw_request(std::uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  net::Socket sock(fd);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  EXPECT_TRUE(sock.write_all(request));
+  std::string response;
+  sock.read_to_eof(response, 1 << 20, /*timeout_ms=*/5000);
+  return response;
+}
+
+TEST_F(ObsIntrospectTest, NonGetAndMalformedRequestsAreRejected) {
+  IntrospectOptions opts;
+  opts.port = 0;
+  IntrospectServer server(opts);
+
+  const std::string post = raw_request(
+      server.port(),
+      "POST /metrics HTTP/1.1\r\nHost: 127.0.0.1\r\nConnection: close\r\n\r\n");
+  EXPECT_NE(post.find("405"), std::string::npos) << post;
+  EXPECT_NE(post.find("Allow: GET"), std::string::npos) << post;
+
+  const std::string garbage =
+      raw_request(server.port(), "not-http-at-all\r\n\r\n");
+  EXPECT_NE(garbage.find("400"), std::string::npos) << garbage;
+
+  // A rejected request must not take the server down.
+  const auto still_up = net::http_get("127.0.0.1", server.port(), "/healthz");
+  EXPECT_EQ(still_up.status, 200);
+}
+
+TEST_F(ObsIntrospectTest, ProgressJsonOmitsIncumbentUntilPublished) {
+  Progress::instance().reset();
+  Progress::instance().set_stage("warming");
+  const JsonValue before = parse_json(Progress::instance().to_json());
+  EXPECT_TRUE(before.at("incumbent").is_null());
+  EXPECT_EQ(before.find("gap"), nullptr);
+
+  Progress::instance().set_incumbent(110, 2);
+  Progress::instance().set_lower_bound(100);
+  const JsonValue after = parse_json(Progress::instance().to_json());
+  EXPECT_EQ(after.at("incumbent").at("cost").as_int(), 110);
+  ASSERT_NE(after.find("gap"), nullptr);
+  EXPECT_NEAR(after.at("gap").as_double(), 0.1, 1e-9);
+}
+
+// Satellite 2 regression: run a full solve + execute in process, then check
+// that every name the instrumentation registered passes the charset gate
+// and that the resulting exposition lints clean end to end.
+TEST_F(ObsIntrospectTest, FullRunRegistersOnlyValidMetricNames) {
+  const Instance inst = test_instance();
+  const PortfolioResult solved =
+      solve_portfolio(inst.model, inst.x_old, inst.x_new, /*seed=*/3,
+                      tick_options(20000));
+  exec::ExecutorOptions eopts;
+  eopts.seed = 5;
+  const exec::ExecutionReport report =
+      exec::execute_schedule(inst.model, inst.x_old, inst.x_new,
+                             solved.schedule, exec::FaultSpec{}, eopts);
+  EXPECT_TRUE(report.reached_goal);
+
+  const MetricsSnapshot snap = MetricsRegistry::instance().snapshot();
+#if RTSP_OBS_ENABLED
+  // Under RTSP_OBS=OFF the instrumentation macros fold away and register
+  // nothing, so only the armed build can insist the run produced metrics.
+  EXPECT_FALSE(snap.counters.empty());
+#endif
+  for (const auto& c : snap.counters) {
+    EXPECT_TRUE(valid_metric_name(c.name)) << c.name;
+  }
+  for (const auto& g : snap.gauges) {
+    EXPECT_TRUE(valid_metric_name(g.name)) << g.name;
+  }
+  for (const auto& h : snap.histograms) {
+    EXPECT_TRUE(valid_metric_name(h.name)) << h.name;
+  }
+
+  std::ostringstream out;
+  write_metrics_prometheus(out, snap);
+  std::vector<std::string> violations;
+  EXPECT_TRUE(lint_prometheus_text(out.str(), violations))
+      << lint_messages(violations);
+
+  // The served body is byte-equivalent to the exporter's output modulo
+  // registry churn between the two snapshots; it must at least lint.
+  violations.clear();
+  EXPECT_TRUE(lint_prometheus_text(introspect_metrics_body(), violations))
+      << lint_messages(violations);
+}
+
+// Satellite 3: a solve hammered by concurrent scrapes must produce a
+// bit-identical schedule to an unscraped run, and every scraped payload
+// must be well-formed (no torn snapshots).
+TEST_F(ObsIntrospectTest, ConcurrentScrapesNeverPerturbTheSchedule) {
+  const Instance inst = test_instance(23);
+  const std::uint64_t kTicks = 60000;
+
+  // Baseline: obs fully disarmed, no server.
+  set_enabled(false);
+  Logger::instance().shutdown();
+  const PortfolioResult baseline = solve_portfolio(
+      inst.model, inst.x_old, inst.x_new, /*seed=*/7, tick_options(kTicks, 2));
+  const std::string baseline_text = schedule_to_text(baseline.schedule);
+
+  // Armed run: metrics + log ring + Progress live, scraper thread hammering
+  // /metrics and /progress for the whole solve.
+  set_enabled(true);
+  MetricsRegistry::instance().reset();
+  Progress::instance().reset();
+  Logger::instance().configure(LogLevel::Debug, "");
+  Logger::instance().clear();
+
+  IntrospectOptions opts;
+  opts.port = 0;
+  IntrospectServer server(opts);
+  const std::uint16_t port = server.port();
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> scrapes{0};
+  std::atomic<std::uint64_t> bad_payloads{0};
+  std::thread scraper([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      try {
+        const auto metrics = net::http_get("127.0.0.1", port, "/metrics");
+        std::vector<std::string> violations;
+        if (metrics.status != 200 ||
+            !lint_prometheus_text(metrics.body, violations)) {
+          bad_payloads.fetch_add(1, std::memory_order_relaxed);
+        }
+        const auto progress = net::http_get("127.0.0.1", port, "/progress");
+        if (progress.status != 200) {
+          bad_payloads.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          parse_json(progress.body);  // throws on a torn write
+        }
+        scrapes.fetch_add(1, std::memory_order_relaxed);
+      } catch (const std::exception&) {
+        bad_payloads.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  const PortfolioResult scraped = solve_portfolio(
+      inst.model, inst.x_old, inst.x_new, /*seed=*/7, tick_options(kTicks, 4));
+  done.store(true, std::memory_order_relaxed);
+  scraper.join();
+  server.stop();
+
+  EXPECT_GT(scrapes.load(), 0u) << "scraper never completed a round trip";
+  EXPECT_EQ(bad_payloads.load(), 0u);
+  EXPECT_EQ(schedule_to_text(scraped.schedule), baseline_text)
+      << "introspection or thread count changed the schedule";
+  EXPECT_EQ(scraped.cost, baseline.cost);
+  EXPECT_EQ(scraped.dummy_transfers, baseline.dummy_transfers);
+  EXPECT_EQ(scraped.winner, baseline.winner);
+}
+
+}  // namespace
+}  // namespace rtsp::obs

@@ -1,0 +1,206 @@
+#include "obs/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "support/json.hpp"
+
+namespace rtsp::obs {
+namespace {
+
+/// The Logger is a process-wide singleton; every test re-arms it ring-only
+/// at Trace and wipes the ring, and disarms on the way out so other suites
+/// in this binary see the default (Off) logger.
+class ObsLoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Logger::instance().configure(LogLevel::Trace, "");
+    Logger::instance().clear();
+  }
+  void TearDown() override {
+    Logger::instance().shutdown();
+    Logger::instance().clear();
+  }
+};
+
+TEST_F(ObsLoggingTest, LevelNamesRoundTrip) {
+  for (const LogLevel l : {LogLevel::Trace, LogLevel::Debug, LogLevel::Info,
+                           LogLevel::Warn, LogLevel::Error, LogLevel::Off}) {
+    LogLevel back = LogLevel::Info;
+    ASSERT_TRUE(log_level_from_string(to_string(l), back)) << to_string(l);
+    EXPECT_EQ(back, l);
+  }
+  LogLevel out;
+  EXPECT_FALSE(log_level_from_string("verbose", out));
+  EXPECT_FALSE(log_level_from_string("", out));
+}
+
+TEST_F(ObsLoggingTest, LevelGateFiltersBelowArmedLevel) {
+  Logger& logger = Logger::instance();
+  logger.configure(LogLevel::Warn, "");
+  logger.clear();
+  EXPECT_FALSE(logger.should_log(LogLevel::Trace));
+  EXPECT_FALSE(logger.should_log(LogLevel::Info));
+  EXPECT_TRUE(logger.should_log(LogLevel::Warn));
+  EXPECT_TRUE(logger.should_log(LogLevel::Error));
+  logger.log(LogLevel::Error, "kept");
+  EXPECT_EQ(logger.records_emitted(), 1u);
+}
+
+TEST_F(ObsLoggingTest, DefaultLoggerIsOff) {
+  Logger::instance().shutdown();
+  EXPECT_EQ(Logger::instance().level(), LogLevel::Off);
+  EXPECT_FALSE(Logger::instance().should_log(LogLevel::Error));
+}
+
+TEST_F(ObsLoggingTest, RecordsCarrySequenceAndFields) {
+  Logger& logger = Logger::instance();
+  logger.log(LogLevel::Info, "first", {log_field("k", std::int64_t{7})});
+  logger.log(LogLevel::Warn, "second",
+             {log_field("ratio", 0.5), log_field("on", true),
+              log_field("algo", "GOLCF")});
+  const std::vector<LogRecord> tail = logger.tail(10);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0].message, "first");
+  EXPECT_EQ(tail[1].message, "second");
+  EXPECT_LT(tail[0].seq, tail[1].seq);  // oldest first
+  EXPECT_EQ(tail[1].level, LogLevel::Warn);
+  ASSERT_EQ(tail[1].fields.size(), 3u);
+  EXPECT_EQ(tail[1].fields[0].key, "ratio");
+  EXPECT_EQ(tail[1].fields[2].s, "GOLCF");
+}
+
+TEST_F(ObsLoggingTest, RingKeepsMostRecentAndCountsEvictions) {
+  Logger& logger = Logger::instance();
+  logger.configure(LogLevel::Trace, "", /*ring_capacity=*/4);
+  logger.clear();
+  for (int i = 0; i < 10; ++i) {
+    logger.log(LogLevel::Info, "m" + std::to_string(i));
+  }
+  EXPECT_EQ(logger.records_emitted(), 10u);
+  EXPECT_EQ(logger.evicted(), 6u);
+  const std::vector<LogRecord> tail = logger.tail(100);
+  ASSERT_EQ(tail.size(), 4u);
+  EXPECT_EQ(tail.front().message, "m6");
+  EXPECT_EQ(tail.back().message, "m9");
+  // Asking for fewer than held returns the newest ones, oldest first.
+  const std::vector<LogRecord> two = logger.tail(2);
+  ASSERT_EQ(two.size(), 2u);
+  EXPECT_EQ(two[0].message, "m8");
+  EXPECT_EQ(two[1].message, "m9");
+}
+
+TEST_F(ObsLoggingTest, JsonLinesAreValidAndTyped) {
+  LogRecord record;
+  record.seq = 3;
+  record.wall_ns = 123;
+  record.tid = 1;
+  record.level = LogLevel::Debug;
+  record.message = "escape \"this\"\n";
+  record.fields = {log_field("i", std::int64_t{-5}),
+                   log_field("u", std::uint64_t{18446744073709551615ull}),
+                   log_field("d", 1.5), log_field("b", false),
+                   log_field("s", "x\ty")};
+  const std::string line = log_record_to_json(record);
+  const JsonValue doc = parse_json(line);
+  EXPECT_EQ(doc.at("seq").as_int(), 3);
+  EXPECT_EQ(doc.at("level").as_string(), "debug");
+  EXPECT_EQ(doc.at("msg").as_string(), "escape \"this\"\n");
+  const JsonValue& fields = doc.at("fields");
+  EXPECT_EQ(fields.at("i").as_int(), -5);
+  EXPECT_EQ(fields.at("d").as_double(), 1.5);
+  EXPECT_FALSE(fields.at("b").as_bool());
+  EXPECT_EQ(fields.at("s").as_string(), "x\ty");
+
+  const JsonValue header = parse_json(log_header_json());
+  EXPECT_EQ(header.at("format").as_string(), "rtsp-log");
+  EXPECT_EQ(header.at("version").as_int(), 1);
+}
+
+TEST_F(ObsLoggingTest, FileSinkWritesHeaderAndEveryRecord) {
+  const std::string path =
+      ::testing::TempDir() + "obs_logging_test_sink.jsonl";
+  Logger& logger = Logger::instance();
+  logger.configure(LogLevel::Debug, path, /*ring_capacity=*/2);
+  logger.clear();
+  for (int i = 0; i < 5; ++i) {
+    logger.log(LogLevel::Info, "r" + std::to_string(i),
+               {log_field("i", std::int64_t{i})});
+  }
+  logger.shutdown();  // flushes + closes
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(parse_json(line).at("format").as_string(), "rtsp-log");
+  int records = 0;
+  std::int64_t last_seq = -1;
+  while (std::getline(in, line)) {
+    const JsonValue doc = parse_json(line);
+    EXPECT_GT(doc.at("seq").as_int(), last_seq);
+    last_seq = doc.at("seq").as_int();
+    ++records;
+  }
+  // The ring held only 2, but the sink must have all 5.
+  EXPECT_EQ(records, 5);
+  std::remove(path.c_str());
+}
+
+TEST_F(ObsLoggingTest, ObsLogMacroRespectsLevelGate) {
+  Logger& logger = Logger::instance();
+  logger.configure(LogLevel::Warn, "");
+  logger.clear();
+  int evaluations = 0;
+  const auto field_with_side_effect = [&] {
+    ++evaluations;
+    return log_field("n", std::int64_t{1});
+  };
+#if RTSP_OBS_ENABLED
+  OBS_LOG_DEBUG("below the gate", field_with_side_effect());
+  EXPECT_EQ(evaluations, 0) << "gated-out fields must not be evaluated";
+  OBS_LOG_ERROR("above the gate", field_with_side_effect());
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_EQ(logger.records_emitted(), 1u);
+#else
+  OBS_LOG_ERROR("compiled out", field_with_side_effect());
+  (void)field_with_side_effect;
+  EXPECT_EQ(evaluations, 0);
+  EXPECT_EQ(logger.records_emitted(), 0u);
+#endif
+}
+
+TEST_F(ObsLoggingTest, ConcurrentWritersKeepSequencesUniqueAndComplete) {
+  Logger& logger = Logger::instance();
+  logger.configure(LogLevel::Trace, "", /*ring_capacity=*/4096);
+  logger.clear();
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        logger.log(LogLevel::Info, "w", {log_field("t", std::int64_t{t})});
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(logger.records_emitted(),
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+  const std::vector<LogRecord> tail = logger.tail(kThreads * kPerThread);
+  ASSERT_EQ(tail.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  for (std::size_t i = 1; i < tail.size(); ++i) {
+    EXPECT_EQ(tail[i].seq, tail[i - 1].seq + 1);  // gap- and dup-free
+  }
+}
+
+}  // namespace
+}  // namespace rtsp::obs

@@ -119,7 +119,7 @@ TEST_F(ObsMetricsTest, HistogramAggregatesSamples) {
 
 TEST_F(ObsMetricsTest, ResetZeroesValuesButKeepsNames) {
   Counter c = MetricsRegistry::instance().counter("test.reset");
-  Gauge g = MetricsRegistry::instance().gauge("test.reset-gauge");
+  Gauge g = MetricsRegistry::instance().gauge("test.reset_gauge");
   c.add(7);
   g.set(7);
   MetricsRegistry::instance().reset();

@@ -3,8 +3,14 @@
 //
 //   obs_lint --journal FILE     execution journal JSONL (io/journal_io)
 //   obs_lint --series FILE      metrics time-series (.csv or JSONL)
+//   obs_lint --log FILE         structured log JSONL (`rtsp-log` v1)
+//   obs_lint --prom FILE        Prometheus text exposition (obs/export)
+//   obs_lint --scrape-smoke     start an in-process introspect server,
+//                               scrape /metrics /healthz /progress /logz
+//                               over real HTTP and lint the payloads
+//                               (curl-free; used by scripts/check.sh)
 //
-// Either or both may be given. Checks beyond "it parses":
+// Any combination may be given. Checks beyond "it parses":
 //   journal: known event types; non-negative costs/ids in bounds; ticks
 //            non-decreasing in emission order (the executor journals in
 //            program order, and drop-newest overflow keeps the retained
@@ -14,20 +20,33 @@
 //   series:  wall_ns non-decreasing; tick >= -1 (-1 = wall sample);
 //            non-empty labels; counter deltas present only with non-zero
 //            values.
+//   log:     versioned header; seq strictly increasing; known levels;
+//            non-empty messages; fields (when present) an object of
+//            scalars.
+//   prom:    every line a header or sample; TYPE before samples; histogram
+//            buckets cumulative with le="+Inf" last and equal to _count.
 //
 // Exit code 0 when everything passes, 2 on any violation (messages on
 // stderr), 1 on usage/IO errors. Wired into scripts/check.sh after a small
 // execute + report smoke run.
 #include <cstdint>
+#include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "io/journal_io.hpp"
+#include "obs/export.hpp"
+#include "obs/introspect.hpp"
 #include "obs/journal.hpp"
+#include "obs/logging.hpp"
 #include "obs/series_io.hpp"
 #include "support/cli.hpp"
+#include "support/json.hpp"
+#include "support/net.hpp"
 
 namespace {
 
@@ -130,19 +149,188 @@ void lint_series(const std::string& path) {
             << (g_violations == before ? "OK" : "VIOLATIONS") << '\n';
 }
 
+/// Shared `rtsp-log` v1 line validator: used for --log files and for the
+/// /logz payload scraped in --scrape-smoke (identical bytes by design).
+void lint_log_lines(std::istream& in, const std::string& where) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    fail(where + ": empty (missing header line)");
+    return;
+  }
+  std::size_t records = 0;
+  try {
+    const rtsp::JsonValue header = rtsp::parse_json(line);
+    if (header.at("format").as_string() != rtsp::obs::kLogFormatName) {
+      fail(where + ": header format '" + header.at("format").as_string() +
+           "' != rtsp-log");
+    }
+    if (header.at("version").as_int() != rtsp::obs::kLogFormatVersion) {
+      fail(where + ": unsupported version " +
+           std::to_string(header.at("version").as_int()));
+    }
+  } catch (const std::exception& e) {
+    fail(where + ": header: " + e.what());
+  }
+  std::int64_t last_seq = -1;
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const std::string at = where + ": line " + std::to_string(line_no);
+    try {
+      const rtsp::JsonValue rec = rtsp::parse_json(line);
+      const std::int64_t seq = rec.at("seq").as_int();
+      if (seq <= last_seq) {
+        fail(at + ": seq " + std::to_string(seq) + " not increasing");
+      }
+      last_seq = seq;
+      if (rec.at("ts_ns").as_int() < 0) fail(at + ": negative ts_ns");
+      if (rec.at("thread").as_int() < 0) fail(at + ": negative thread id");
+      rtsp::obs::LogLevel level;
+      if (!rtsp::obs::log_level_from_string(rec.at("level").as_string(),
+                                            level)) {
+        fail(at + ": unknown level '" + rec.at("level").as_string() + "'");
+      }
+      if (rec.at("msg").as_string().empty()) fail(at + ": empty msg");
+      if (const rtsp::JsonValue* fields = rec.find("fields")) {
+        for (const auto& [key, value] : fields->members()) {
+          if (key.empty()) fail(at + ": unnamed field");
+          if (value.is_object() || value.is_array()) {
+            fail(at + ": field '" + key + "' is not a scalar");
+          }
+        }
+      }
+      ++records;
+    } catch (const std::exception& e) {
+      fail(at + ": " + e.what());
+    }
+  }
+  std::cout << "obs_lint: " << where << ": " << records << " log records: "
+            << (g_violations == 0 ? "OK" : "VIOLATIONS") << '\n';
+}
+
+void lint_log(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open log file: " + path);
+  lint_log_lines(in, path);
+}
+
+void lint_prom_text(const std::string& text, const std::string& where) {
+  std::vector<std::string> violations;
+  rtsp::obs::lint_prometheus_text(text, violations);
+  for (const std::string& v : violations) fail(where + ": " + v);
+  std::cout << "obs_lint: " << where << ": "
+            << (violations.empty() ? "OK" : "VIOLATIONS") << '\n';
+}
+
+void lint_prom(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open exposition file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  lint_prom_text(buffer.str(), path);
+}
+
+/// In-process scrape smoke: arm obs, populate one metric of each kind plus
+/// a couple of log records and progress slots, start the introspect server
+/// on an ephemeral loopback port, fetch every endpoint over real HTTP and
+/// lint the payloads. Exercises the exact path `rtsp solve
+/// --introspect-port` serves, without needing a long-running solve or curl.
+void scrape_smoke() {
+  using namespace rtsp;
+  obs::set_enabled(true);
+  obs::MetricsRegistry::instance().counter("lint.smoke_events").add(3);
+  obs::MetricsRegistry::instance().gauge("lint.smoke_depth").set(7);
+  obs::LatencyHistogram hist =
+      obs::MetricsRegistry::instance().histogram("lint.smoke_latency");
+  hist.record_ns(900);
+  hist.record_ns(123456);
+  obs::Logger::instance().configure(obs::LogLevel::Debug, "");
+  obs::Logger::instance().log(obs::LogLevel::Info, "scrape smoke",
+                              {obs::log_field("answer", 42)});
+  obs::Progress::instance().set_stage("scrape-smoke");
+  obs::Progress::instance().set_incumbent(42, 1);
+  obs::Progress::instance().set_ticks(10, 100);
+
+  obs::IntrospectOptions options;
+  obs::IntrospectServer server(options);
+  const std::uint16_t port = server.port();
+
+  const net::HttpResponse metrics = net::http_get("127.0.0.1", port, "/metrics");
+  if (metrics.status != 200) {
+    fail("scrape /metrics: status " + std::to_string(metrics.status));
+  }
+  lint_prom_text(metrics.body, "scrape /metrics");
+
+  const net::HttpResponse healthz = net::http_get("127.0.0.1", port, "/healthz");
+  if (healthz.status != 200) {
+    fail("scrape /healthz: status " + std::to_string(healthz.status));
+  }
+  try {
+    const JsonValue doc = parse_json(healthz.body);
+    if (doc.at("status").as_string() != "ok") {
+      fail("scrape /healthz: status field '" + doc.at("status").as_string() +
+           "'");
+    }
+  } catch (const std::exception& e) {
+    fail(std::string("scrape /healthz: ") + e.what());
+  }
+
+  const net::HttpResponse progress =
+      net::http_get("127.0.0.1", port, "/progress");
+  if (progress.status != 200) {
+    fail("scrape /progress: status " + std::to_string(progress.status));
+  }
+  try {
+    const JsonValue doc = parse_json(progress.body);
+    if (doc.at("stage").as_string() != "scrape-smoke") {
+      fail("scrape /progress: unexpected stage '" +
+           doc.at("stage").as_string() + "'");
+    }
+    if (doc.at("incumbent").at("cost").as_int() != 42) {
+      fail("scrape /progress: incumbent cost mismatch");
+    }
+  } catch (const std::exception& e) {
+    fail(std::string("scrape /progress: ") + e.what());
+  }
+
+  const net::HttpResponse logz =
+      net::http_get("127.0.0.1", port, "/logz?n=10");
+  if (logz.status != 200) {
+    fail("scrape /logz: status " + std::to_string(logz.status));
+  }
+  std::istringstream logz_in(logz.body);
+  lint_log_lines(logz_in, "scrape /logz");
+
+  const net::HttpResponse missing = net::http_get("127.0.0.1", port, "/nope");
+  if (missing.status != 404) {
+    fail("scrape /nope: expected 404, got " + std::to_string(missing.status));
+  }
+  server.stop();
+  obs::Logger::instance().shutdown();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const rtsp::CliOptions opt(argc, argv);
   const std::string journal = opt.get_string("journal", "", "");
   const std::string series = opt.get_string("series", "", "");
-  if (journal.empty() && series.empty()) {
-    std::cerr << "usage: obs_lint [--journal FILE] [--series FILE]\n";
+  const std::string log = opt.get_string("log", "", "");
+  const std::string prom = opt.get_string("prom", "", "");
+  const bool smoke = opt.get_bool("scrape-smoke", "", false);
+  if (journal.empty() && series.empty() && log.empty() && prom.empty() &&
+      !smoke) {
+    std::cerr << "usage: obs_lint [--journal FILE] [--series FILE] "
+                 "[--log FILE] [--prom FILE] [--scrape-smoke]\n";
     return 1;
   }
   try {
     if (!journal.empty()) lint_journal(journal);
     if (!series.empty()) lint_series(series);
+    if (!log.empty()) lint_log(log);
+    if (!prom.empty()) lint_prom(prom);
+    if (smoke) scrape_smoke();
   } catch (const std::exception& e) {
     std::cerr << "obs_lint: " << e.what() << '\n';
     return 1;
