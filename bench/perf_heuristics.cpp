@@ -14,6 +14,7 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <filesystem>
 #include <cstring>
 #include <iostream>
 #include <memory>
@@ -36,6 +37,10 @@
 #include "support/net.hpp"
 #include "workload/paper_setup.hpp"
 #include "workload/scale_instance.hpp"
+#include "daemon/daemon.hpp"
+#include "io/checkpoint_io.hpp"
+#include "io/epoch_io.hpp"
+#include "workload/epoch_stream.hpp"
 
 namespace {
 
@@ -341,6 +346,62 @@ void BM_Portfolio_LnsRepair(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(rounds));
 }
 
+// --- Daemon hot paths: epoch admission + convergence throughput, and
+// checkpoint write latency. The admission bench runs a fully in-memory
+// DaemonCore (no state dir) over a pre-generated epoch stream: each
+// iteration admits every epoch and drains the queue, so items/s is
+// end-to-end epochs folded per second (residual replan + solve + apply).
+
+void BM_EpochAdmission(benchmark::State& state) {
+  const Instance inst = make_instance(250, 2, 99);
+  Rng stream_rng(17);
+  EpochStreamSpec spec;
+  spec.count = 8;
+  spec.moves = 16;
+  const std::vector<ReplicationMatrix> epochs =
+      make_epoch_stream(inst.model, inst.x_old, spec, stream_rng);
+  daemon::DaemonOptions opts;
+  opts.seed = 5;
+  opts.queue_depth = epochs.size();
+  std::size_t processed = 0;
+  for (auto _ : state) {
+    daemon::DaemonCore core(inst.model, inst.x_old, opts);
+    for (const ReplicationMatrix& target : epochs) core.admit(target);
+    core.run_until_idle();
+    processed += epochs.size();
+    benchmark::DoNotOptimize(core.placement_crc());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(processed));
+}
+
+// Serialization + atomic-replace cost of one snapshot at the paper scale,
+// fsync off so tmpfs rename speed (not disk flush) is what's measured —
+// the same switch the daemon tests and chaos harness run under.
+void BM_CheckpointWrite(benchmark::State& state) {
+  const Instance inst = make_instance(250, 2, 99);
+  CheckpointDoc doc;
+  doc.generation = 3;
+  doc.seed = 5;
+  doc.last_seq = 12;
+  doc.clock = 4096;
+  doc.servers = inst.model.num_servers();
+  doc.objects = inst.model.num_objects();
+  doc.placement = placement_pairs(inst.x_old);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    CheckpointQueueEntry entry;
+    entry.seq = 9 + i;
+    entry.target = placement_pairs(inst.x_new);
+    doc.queue.push_back(std::move(entry));
+  }
+  const std::string path =
+      std::filesystem::temp_directory_path() / "rtsp_bench_checkpoint";
+  for (auto _ : state) {
+    write_checkpoint_file(path, doc, /*fsync=*/false);
+  }
+  std::filesystem::remove(path);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
 }  // namespace
 
 BENCHMARK(BM_Builder_AR)->Args({250, 2})->Args({1000, 2})->Unit(benchmark::kMillisecond);
@@ -374,6 +435,8 @@ BENCHMARK(BM_ScrapeLoadOn)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Portfolio_SingleBudgeted)->Arg(100000)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Portfolio_OfOne)->Arg(100000)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Portfolio_LnsRepair)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EpochAdmission)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CheckpointWrite)->Unit(benchmark::kMicrosecond);
 
 int main(int argc, char** argv) {
   // Expand --json PATH and strip the obs flags before google-benchmark

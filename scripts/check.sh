@@ -7,8 +7,8 @@
 # small faulted `rtsp execute` with the flight recorder armed, `rtsp
 # report`, and obs_lint over the journal + series files.
 #
-# Usage: scripts/check.sh [--quick | --sanitize | --bench] [BUILD_DIR]
-#                                                          (default: build)
+# Usage: scripts/check.sh [--quick | --sanitize | --bench | --daemon-smoke]
+#                          [BUILD_DIR]                     (default: build)
 #
 # --quick is the inner-loop mode: configure, build, and run only the tests
 # labelled `unit` (ctest -L unit) — fast and deterministic, skipping the
@@ -22,6 +22,13 @@
 # --bench rebuilds perf_heuristics + bench_compare, reruns the benchmarks and
 # compares against the committed BENCH_perf_heuristics.json baseline, failing
 # (exit 2) on regressions past the bench_compare threshold.
+#
+# --daemon-smoke rebuilds rtsp + obs_lint + daemon_chaos and runs only the
+# daemon crash/recover smoke (also part of the default and sanitize cycles):
+# serve in the background, feed epochs over HTTP, SIGKILL it, recover from
+# the checkpoint + WAL, drain gracefully (exit 3), lint the durable state,
+# compare the final placement against the expected stream tail, and finish
+# with a deterministic daemon_chaos sweep.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -35,6 +42,9 @@ elif [ "${1:-}" = "--bench" ]; then
   shift
 elif [ "${1:-}" = "--quick" ]; then
   MODE=quick
+  shift
+elif [ "${1:-}" = "--daemon-smoke" ]; then
+  MODE=daemon
   shift
 fi
 BUILD_DIR="${1:-build}"
@@ -72,6 +82,100 @@ EOF
     --log "$SMOKE_DIR/run.log.jsonl" --scrape-smoke
 }
 
+# Daemon crash/recover smoke: a real kill -9 against a live `rtsp serve`,
+# then recovery from the durable state it left behind. $1 is the build dir
+# whose rtsp/obs_lint/daemon_chaos to use. Exercises the full loop the unit
+# tests cover in-process: HTTP admission, SIGKILL, --recover, /drain with
+# the distinct exit code, state linting, and the expected final placement.
+daemon_smoke() {
+  DSMOKE="$1/daemon_smoke"
+  RTSP="$1/tools/rtsp"
+  rm -rf "$DSMOKE"
+  mkdir -p "$DSMOKE"
+  "$RTSP" generate --kind random --servers 8 --objects 40 --seed 11 \
+    --out "$DSMOKE/inst.txt" > /dev/null
+  "$RTSP" epochs --instance "$DSMOKE/inst.txt" --count 3 --moves 6 --seed 5 \
+    --out "$DSMOKE/epochs.jsonl" --final-out "$DSMOKE/expect.place" > /dev/null
+
+  # Phase 1: serve on a kernel-picked port, feed the stream over HTTP, then
+  # SIGKILL the daemon so only fsync-ordered checkpoint/WAL state survives.
+  "$RTSP" serve --instance "$DSMOKE/inst.txt" --state-dir "$DSMOKE/state" \
+    --listen 0 --port-file "$DSMOKE/port" --seed 5 --epoch-budget 40 \
+    --checkpoint-every 2 > "$DSMOKE/serve1.log" 2>&1 &
+  SERVE_PID=$!
+  i=0
+  while [ ! -s "$DSMOKE/port" ] && [ "$i" -lt 100 ]; do
+    i=$((i + 1)); sleep 0.05
+  done
+  if [ ! -s "$DSMOKE/port" ]; then
+    echo "daemon_smoke: serve never published its port" >&2
+    kill -9 "$SERVE_PID" 2> /dev/null || true
+    return 1
+  fi
+  "$RTSP" submit --port-file "$DSMOKE/port" --epochs "$DSMOKE/epochs.jsonl" \
+    > /dev/null
+  kill -9 "$SERVE_PID" 2> /dev/null || true
+  wait "$SERVE_PID" 2> /dev/null || true
+
+  # Phase 2: recover from the surviving state, let it converge, then drain.
+  "$RTSP" serve --instance "$DSMOKE/inst.txt" --state-dir "$DSMOKE/state" \
+    --recover --listen 0 --port-file "$DSMOKE/port2" --seed 5 \
+    --epoch-budget 40 --checkpoint-every 2 \
+    --final-out "$DSMOKE/final.place" > "$DSMOKE/serve2.log" 2>&1 &
+  SERVE_PID=$!
+  i=0
+  while [ ! -s "$DSMOKE/port2" ] && [ "$i" -lt 100 ]; do
+    i=$((i + 1)); sleep 0.05
+  done
+  if [ ! -s "$DSMOKE/port2" ]; then
+    echo "daemon_smoke: recovered serve never published its port" >&2
+    cat "$DSMOKE/serve2.log" >&2
+    kill -9 "$SERVE_PID" 2> /dev/null || true
+    return 1
+  fi
+  grep -q "recovered: generation" "$DSMOKE/serve2.log" || {
+    echo "daemon_smoke: no recovery banner in serve2.log" >&2
+    kill -9 "$SERVE_PID" 2> /dev/null || true
+    return 1
+  }
+  i=0
+  while [ "$i" -lt 200 ]; do
+    if "$RTSP" submit --port-file "$DSMOKE/port2" --status 2> /dev/null \
+        | grep -q '"idle":true'; then
+      break
+    fi
+    i=$((i + 1)); sleep 0.05
+  done
+  "$RTSP" submit --port-file "$DSMOKE/port2" --drain > /dev/null
+  set +e
+  wait "$SERVE_PID"
+  SERVE_CODE=$?
+  set -e
+  if [ "$SERVE_CODE" -ne 3 ]; then
+    echo "daemon_smoke: drained serve exited $SERVE_CODE, want 3" >&2
+    cat "$DSMOKE/serve2.log" >&2
+    return 1
+  fi
+
+  # The durable state must lint (generation-consistent checkpoint + WAL)
+  # and the daemon must have landed exactly on the stream's final target.
+  "$1"/tools/obs_lint --checkpoint "$DSMOKE/state/checkpoint" \
+    --wal "$DSMOKE/state/wal.log"
+  cmp "$DSMOKE/final.place" "$DSMOKE/expect.place"
+
+  # Deterministic kill/recover sweep: recovered runs must be bit-identical
+  # to uninterrupted ones across randomized crash points and torn tails.
+  "$1"/tools/daemon_chaos --seeds 4 --crashes 3
+}
+
+if [ "$MODE" = "daemon" ]; then
+  cmake -B "$BUILD_DIR" -S .
+  cmake --build "$BUILD_DIR" -j "$JOBS" -t rtsp_tool obs_lint daemon_chaos
+  daemon_smoke "$BUILD_DIR"
+  echo "check.sh: daemon smoke green"
+  exit 0
+fi
+
 if [ "$MODE" = "sanitize" ]; then
   SAN_DIR="${BUILD_DIR}_asan"
   cmake -B "$SAN_DIR" -S . -DRTSP_SANITIZE=ON
@@ -79,6 +183,7 @@ if [ "$MODE" = "sanitize" ]; then
   ctest --test-dir "$SAN_DIR" --output-on-failure -j "$JOBS"
   "$SAN_DIR"/tools/scale_smoke 600
   obs_smoke "$SAN_DIR"
+  daemon_smoke "$SAN_DIR"
   echo "check.sh: sanitizer build green"
   exit 0
 fi
@@ -115,5 +220,8 @@ cmake --build "$BUILD_DIR" -t obs_off_smoke
 
 # The flight recorder's artifacts must stay schema-valid end to end.
 obs_smoke "$BUILD_DIR"
+
+# The daemon must survive kill -9 and recover bit-identically.
+daemon_smoke "$BUILD_DIR"
 
 echo "check.sh: all green"

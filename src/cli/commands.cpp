@@ -1,15 +1,18 @@
 #include "cli/commands.hpp"
 
+#include <chrono>
 #include <fstream>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "core/cost_model.hpp"
 #include "core/feasibility.hpp"
 #include "core/schedule_stats.hpp"
 #include "core/transfer_graph.hpp"
 #include "core/validator.hpp"
+#include "daemon/serve.hpp"
 #include "exact/branch_and_bound.hpp"
 #include "exec/executor.hpp"
 #include "extension/deadline.hpp"
@@ -17,6 +20,7 @@
 #include "extension/phases.hpp"
 #include "heuristics/registry.hpp"
 #include "io/dot_export.hpp"
+#include "io/epoch_io.hpp"
 #include "io/fault_spec_io.hpp"
 #include "io/instance_binary_io.hpp"
 #include "io/instance_io.hpp"
@@ -35,10 +39,12 @@
 #include "obs/trace.hpp"
 #include "support/cli.hpp"
 #include "support/csv.hpp"
+#include "support/net.hpp"
 #include "support/json.hpp"
 #include "support/histogram.hpp"
 #include "support/string_util.hpp"
 #include "support/table.hpp"
+#include "workload/epoch_stream.hpp"
 #include "workload/paper_setup.hpp"
 #include "workload/scale_instance.hpp"
 #include "workload/scenario.hpp"
@@ -1030,6 +1036,158 @@ int cmd_execute(const CliOptions& opt, std::ostream& out,
   return (report.reached_goal && valid) ? 0 : 2;
 }
 
+daemon::DaemonOptions parse_daemon_options(const CliOptions& opt) {
+  daemon::DaemonOptions d;
+  d.state_dir = opt.get_string("state-dir", "", "");
+  d.seed = static_cast<std::uint64_t>(opt.get_int("seed", "RTSP_SEED", 1));
+  d.algo = opt.get_string("algo", "", d.algo);
+  d.portfolio = opt.get_bool("portfolio", "", false);
+  d.plan_budget_ticks = static_cast<std::uint64_t>(
+      opt.get_int("plan-budget-ticks", "", static_cast<std::int64_t>(d.plan_budget_ticks)));
+  d.epoch_budget_ticks = opt.get_int("epoch-budget", "", 0);
+  d.max_attempts =
+      static_cast<std::uint32_t>(opt.get_int("max-attempts", "", 4));
+  d.queue_depth = static_cast<std::size_t>(opt.get_int("queue-depth", "", 8));
+  const std::string policy = opt.get_string("policy", "", "coalesce");
+  if (policy == "reject") {
+    d.policy = daemon::QueuePolicy::kReject;
+  } else if (policy == "coalesce") {
+    d.policy = daemon::QueuePolicy::kCoalesce;
+  } else {
+    throw CliError{"--policy must be reject or coalesce"};
+  }
+  d.checkpoint_every =
+      static_cast<std::uint64_t>(opt.get_int("checkpoint-every", "", 4));
+  d.fsync = opt.get_bool("fsync", "", true);
+  d.faults = load_fault_spec(opt);
+  d.exec_retry.max_retries = static_cast<int>(opt.get_int("retries", "", 3));
+  d.exec_retry.base_backoff = opt.get_int("backoff", "", 16);
+  d.exec_retry.multiplier = opt.get_double("backoff-mult", "", 2.0);
+  d.exec_retry.max_backoff = opt.get_int("backoff-max", "", 1024);
+  d.exec_retry.jitter = opt.get_double("jitter", "", 0.5);
+  d.max_replans = static_cast<std::size_t>(opt.get_int("max-replans", "", 16));
+  d.degrade_after =
+      static_cast<std::size_t>(opt.get_int("degrade-after", "", 2));
+  return d;
+}
+
+int cmd_serve(const CliOptions& opt, std::ostream& out, std::ostream& err) {
+  daemon::ServeOptions so;
+  so.core = parse_daemon_options(opt);
+  so.instance_path = opt.get_string("instance", "", "");
+  if (so.instance_path.empty()) throw CliError{"missing --instance <file>"};
+  so.epochs_path = opt.get_string("epochs", "", "");
+  so.recover = opt.get_bool("recover", "", false);
+  so.listen_port =
+      opt.has("listen") ? static_cast<int>(opt.get_int("listen", "", 0)) : -1;
+  so.port_file = opt.get_string("port-file", "", "");
+  so.final_out = opt.get_string("final-out", "", "");
+  so.idle_exit_ms = opt.get_int("idle-exit-ms", "", -1);
+  if (so.core.state_dir.empty() && so.recover) {
+    throw CliError{"--recover requires --state-dir"};
+  }
+  try {
+    return daemon::run_serve(so, out, err);
+  } catch (const std::invalid_argument& e) {
+    throw CliError{e.what()};
+  }
+}
+
+int cmd_epochs(const CliOptions& opt, std::ostream& out) {
+  const Instance inst = load_instance(opt);
+  EpochStreamSpec spec;
+  spec.count = static_cast<std::size_t>(opt.get_int("count", "", 3));
+  spec.moves = static_cast<std::size_t>(opt.get_int("moves", "", 8));
+  spec.churn = opt.get_double("churn", "", 0.25);
+  const auto seed =
+      static_cast<std::uint64_t>(opt.get_int("seed", "RTSP_SEED", 1));
+  Rng rng(mix64(seed, 0xe90c5ull));  // independent of the solver streams
+  std::vector<ReplicationMatrix> epochs;
+  try {
+    epochs = make_epoch_stream(inst.model, inst.x_old, spec, rng);
+  } catch (const std::invalid_argument& e) {
+    throw CliError{e.what()};
+  }
+
+  EpochStreamDoc doc;
+  doc.servers = inst.model.num_servers();
+  doc.objects = inst.model.num_objects();
+  doc.epochs = epochs;
+  const std::string out_path = opt.get_string("out", "", "");
+  if (out_path.empty()) {
+    write_epoch_stream(out, doc);
+  } else {
+    write_epoch_stream_file(out_path, doc);
+    out << "epoch stream written to " << out_path << " (" << epochs.size()
+        << " epochs)\n";
+  }
+  const std::string final_out = opt.get_string("final-out", "", "");
+  if (!final_out.empty()) {
+    const ReplicationMatrix& final_x = epochs.empty() ? inst.x_old : epochs.back();
+    write_placement_file(final_out, final_x);
+    out << "expected final placement written to " << final_out << '\n';
+  }
+  return 0;
+}
+
+int cmd_submit(const CliOptions& opt, std::ostream& out) {
+  const std::string host = opt.get_string("host", "", "127.0.0.1");
+  std::uint16_t port = static_cast<std::uint16_t>(opt.get_int("port", "", 0));
+  const std::string port_file = opt.get_string("port-file", "", "");
+  if (port == 0 && !port_file.empty()) {
+    std::ifstream pf(port_file);
+    int p = 0;
+    if (!(pf >> p) || p <= 0 || p > 65535) {
+      throw CliError{"cannot read a port from '" + port_file + "'"};
+    }
+    port = static_cast<std::uint16_t>(p);
+  }
+  if (port == 0) throw CliError{"missing --port (or --port-file)"};
+  const int timeout_ms = static_cast<int>(opt.get_int("timeout-ms", "", 5000));
+
+  try {
+    if (opt.get_bool("status", "", false)) {
+      const net::HttpResponse r = net::http_get(host, port, "/daemon/status", timeout_ms);
+      out << r.body << '\n';
+      return r.status == 200 ? 0 : 2;
+    }
+    if (opt.get_bool("drain", "", false)) {
+      const net::HttpResponse r =
+          net::http_post(host, port, "/drain", "", "application/json", timeout_ms);
+      out << r.body << '\n';
+      return r.status == 200 ? 0 : 2;
+    }
+    const std::string epochs_path = opt.get_string("epochs", "", "");
+    if (epochs_path.empty()) {
+      throw CliError{"nothing to do: pass --epochs FILE, --status or --drain"};
+    }
+    const EpochStreamDoc doc = read_epoch_stream_file(epochs_path);
+    const int max_retries = static_cast<int>(opt.get_int("retries", "", 100));
+    const int retry_ms = static_cast<int>(opt.get_int("retry-ms", "", 50));
+    std::size_t index = 0;
+    for (const ReplicationMatrix& target : doc.epochs) {
+      ++index;
+      const std::string body = "{\"place\":" + placement_pairs_json(target) + "}";
+      int attempts = 0;
+      while (true) {
+        const net::HttpResponse r =
+            net::http_post(host, port, "/epochs", body, "application/json", timeout_ms);
+        if (r.status == 429 && attempts++ < max_retries) {
+          // Backpressure: wait for the daemon to make room, then retry.
+          std::this_thread::sleep_for(std::chrono::milliseconds(retry_ms));
+          continue;
+        }
+        out << "epoch " << index << ": " << r.status << ' ' << r.body << '\n';
+        if (r.status != 200) return 2;
+        break;
+      }
+    }
+    return 0;
+  } catch (const std::runtime_error& e) {
+    throw CliError{std::string("submit: ") + e.what()};
+  }
+}
+
 }  // namespace
 
 void print_usage(std::ostream& out) {
@@ -1068,6 +1226,18 @@ void print_usage(std::ostream& out) {
          "  report    --journal FILE [--series FILE] [--metrics FILE]\n"
          "            [--instance FILE --schedule FILE --provenance FILE]\n"
          "            [--html FILE] [--out FILE]\n"
+         "  serve     --instance FILE [--epochs FILE] [--state-dir DIR]\n"
+         "            [--recover] [--listen PORT] [--port-file FILE]\n"
+         "            [--final-out FILE] [--idle-exit-ms MS] [--seed S]\n"
+         "            [--algo SPEC | --portfolio [--plan-budget-ticks T]]\n"
+         "            [--epoch-budget T] [--max-attempts N] [--queue-depth N]\n"
+         "            [--policy reject|coalesce] [--checkpoint-every N]\n"
+         "            [--fsync BOOL] [--faults FILE] + execute's retry flags\n"
+         "  epochs    --instance FILE [--count N] [--moves N] [--churn F]\n"
+         "            [--seed S] [--out FILE] [--final-out FILE]\n"
+         "  submit    --port P | --port-file FILE [--host H]\n"
+         "            [--epochs FILE | --status | --drain] [--timeout-ms MS]\n"
+         "            [--retries N] [--retry-ms MS]\n"
          "  help\n"
          "\n"
          "algorithm SPECs combine one builder (AR, GOLCF, RDF, GSDF, RDFP, GSDFP)\n"
@@ -1119,6 +1289,9 @@ int run_cli(int argc, const char* const* argv, std::ostream& out, std::ostream& 
     if (command == "explain") return finish(cmd_explain(opt, out));
     if (command == "execute") return finish(cmd_execute(opt, out, obs_session));
     if (command == "report") return finish(cmd_report(opt, out));
+    if (command == "serve") return finish(cmd_serve(opt, out, err));
+    if (command == "epochs") return finish(cmd_epochs(opt, out));
+    if (command == "submit") return finish(cmd_submit(opt, out));
     if (command == "help" || command == "--help" || command == "-h") {
       print_usage(out);
       return 0;

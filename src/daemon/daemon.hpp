@@ -1,0 +1,248 @@
+// DaemonCore: the crash-safe continuous rebalancing engine behind
+// `rtsp serve`. It owns the live placement, a bounded admission queue of
+// target placements (epochs), and — when given a state directory — a
+// write-ahead log + periodic checkpoint pair that make every externally
+// visible effect recoverable.
+//
+// Determinism contract (the chaos-harness invariant): processing epoch
+// (seq, attempt) is a pure function of (placement-before, target, daemon
+// seed) — the planner/executor stream is keyed mix64(mix64(seed, seq),
+// attempt). Admission order is serialized through the WAL. Hence redoing
+// the WAL against the last checkpoint reproduces the uninterrupted run
+// bit-identically: same placements, same virtual clock, same counters.
+//
+// Durability protocol (docs/daemon.md has the full walkthrough):
+//   * kAdmit is fsync'd before the submitter is acknowledged and before
+//     the queue mutates; its coalesce decision (`replaces`) is recorded so
+//     replay re-applies rather than re-decides it.
+//   * kBegin is fsync'd before processing starts, so a crash mid-epoch
+//     replays as "re-process this epoch" (pure, so bit-identical).
+//   * kCommit carries the post-placement CRC (replay divergence check) and
+//     the re-admission decision for a partially-converged epoch — folding
+//     the requeue into the commit record makes commit+requeue atomic.
+//   * A checkpoint snapshots everything under generation g+1, then the WAL
+//     is recreated under g+1; a WAL one generation behind its checkpoint
+//     is stale (already folded in) and is discarded, never replayed twice.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+#include "core/schedule.hpp"
+#include "core/system.hpp"
+#include "daemon/epoch_queue.hpp"
+#include "exec/retry_policy.hpp"
+#include "io/checkpoint_io.hpp"
+
+namespace rtsp::daemon {
+
+struct DaemonOptions {
+  /// Directory for checkpoint + WAL; empty runs fully in memory (tests,
+  /// dry runs) with no durability.
+  std::string state_dir;
+  std::uint64_t seed = 1;
+
+  /// Planner: a registry pipeline spec, or the anytime portfolio when
+  /// `portfolio` is set (plan_budget_ticks then bounds the race).
+  std::string algo = "GOLCF+H1+H2+OP1";
+  bool portfolio = false;
+  std::uint64_t plan_budget_ticks = 200000;
+
+  /// Per-epoch executor budget in virtual ticks; 0 = run to convergence.
+  /// A budgeted epoch that stops early is checkpointed as-is and
+  /// re-admitted with backoff; after `max_attempts` rounds the next round
+  /// runs unbudgeted (graceful degradation, guarantees convergence).
+  Tick epoch_budget_ticks = 0;
+  std::uint32_t max_attempts = 4;
+
+  std::size_t queue_depth = 8;
+  QueuePolicy policy = QueuePolicy::kCoalesce;
+
+  /// Commits between checkpoints (a checkpoint also rotates the WAL).
+  std::uint64_t checkpoint_every = 4;
+  /// fsync WAL appends and checkpoints (off only for tests/benches).
+  bool fsync = true;
+
+  /// Executor knobs, shared across epochs.
+  exec::RetryPolicy exec_retry;
+  exec::FaultSpec faults;
+  std::size_t max_replans = 16;
+  std::size_t degrade_after = 2;
+
+  /// Virtual-tick backoff between re-admissions of a partial epoch,
+  /// keyed deterministically per (seq, attempt).
+  exec::RetryPolicy readmit_backoff{.max_retries = 0,
+                                    .base_backoff = 256,
+                                    .multiplier = 2.0,
+                                    .max_backoff = 8192,
+                                    .jitter = 0.5};
+
+  /// Chaos/test hook: accumulate every epoch's effective actions into one
+  /// cumulative schedule (effective_log()).
+  bool record_effective = false;
+};
+
+/// Unrecoverable daemon state: corrupt checkpoint, incompatible WAL,
+/// replay divergence. `rtsp serve` maps this to exit code 4.
+class DaemonError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct AdmitResult {
+  enum class Status {
+    kAdmitted,    ///< queued under `seq`
+    kCoalesced,   ///< queued under `seq`, replacing pending `replaced`
+    kRejected,    ///< backpressure; retry after `retry_after` ticks
+    kInfeasible,  ///< target is not storage-feasible — never admitted
+    kMismatched,  ///< wrong dimensions for this daemon's model
+  };
+  Status status = Status::kAdmitted;
+  std::uint64_t seq = 0;
+  std::uint64_t replaced = 0;
+  Tick retry_after = 0;
+  std::string error;
+
+  bool accepted() const {
+    return status == Status::kAdmitted || status == Status::kCoalesced;
+  }
+};
+
+const char* to_string(AdmitResult::Status s);
+
+/// What recovery found and did (logged by `rtsp serve --recover`).
+struct RecoverReport {
+  bool had_checkpoint = false;
+  bool wal_stale = false;          ///< WAL was one generation behind: discarded
+  std::uint64_t generation = 0;
+  std::uint64_t records_replayed = 0;
+  std::uint64_t reprocessed = 0;   ///< kBegin records redone (incl. torn epoch)
+  std::uint64_t completed_begin = 0;  ///< trailing BEGIN finished during recovery
+  std::uint64_t rolled_back_bytes = 0;  ///< torn WAL tail truncated on disk
+};
+
+class DaemonCore {
+ public:
+  /// Fresh daemon over (model, x_start). With a state_dir, writes the
+  /// initial WAL (generation 0); refuses a state_dir that already holds a
+  /// checkpoint or WAL (use the recovery constructor for that).
+  DaemonCore(const SystemModel& model, const ReplicationMatrix& x_start,
+             const DaemonOptions& options);
+
+  /// Recovery: restores the checkpoint (if any), replays the WAL, rolls a
+  /// torn tail back on disk, finishes an interrupted epoch. Throws
+  /// DaemonError on corruption, seed/model mismatch or replay divergence.
+  /// `x_start` seeds the state only when no checkpoint exists yet.
+  DaemonCore(const SystemModel& model, const ReplicationMatrix& x_start,
+             const DaemonOptions& options, RecoverReport& report);
+
+  ~DaemonCore();
+
+  DaemonCore(const DaemonCore&) = delete;
+  DaemonCore& operator=(const DaemonCore&) = delete;
+
+  /// Admits `target` (thread-safe; callable from HTTP handler threads
+  /// while the serve loop is inside step()). The kAdmit record is durable
+  /// before this returns.
+  AdmitResult admit(const ReplicationMatrix& target);
+
+  /// Processes one epoch: pops the lowest ready seq (jumping the virtual
+  /// clock forward when every pending epoch is backing off), plans,
+  /// executes under the per-epoch budget, commits. Returns false when the
+  /// queue is empty. Not re-entrant — one stepper thread only.
+  bool step();
+
+  /// step() until the queue drains.
+  void run_until_idle();
+
+  /// Writes a checkpoint now and rotates the WAL.
+  void checkpoint_now();
+
+  /// Final checkpoint (when durable) and WAL close. Called by the
+  /// destructor; explicit for the drain path.
+  void shutdown();
+
+  /// Simulated power loss: drops the WAL handle without checkpointing or
+  /// flushing, so the destructor leaves the on-disk state exactly as the
+  /// last durable record left it. Chaos-harness only — a real daemon dies
+  /// via _Exit/SIGKILL, which has the same effect.
+  void abandon();
+
+  bool idle() const;
+  Tick clock() const;
+  std::uint64_t last_seq() const;
+  DaemonCounters counters() const;
+
+  /// Current placement fingerprint (CRC of the canonical pair encoding).
+  std::uint64_t placement_crc() const;
+
+  /// The live placement. Only safe when no step() is in flight.
+  const ReplicationMatrix& placement() const { return x_cur_; }
+
+  const SystemModel& model() const { return model_; }
+
+  /// Cumulative effective actions (options.record_effective only).
+  const Schedule& effective_log() const { return effective_log_; }
+
+  /// One coherent status sample for /daemon/status.
+  struct Status {
+    Tick clock = 0;
+    std::size_t queue_depth = 0;
+    std::size_t queue_capacity = 0;
+    bool idle = false;
+    std::uint64_t last_seq = 0;
+    std::uint64_t generation = 0;
+    std::uint64_t placement_crc = 0;
+    DaemonCounters counters;
+  };
+  Status status() const;
+
+  /// Chaos hook, called at the named durability points ("admit", "begin",
+  /// "commit", "checkpoint") right after the corresponding bytes are
+  /// durable. Throwing from it simulates a crash at exactly that instant.
+  std::function<void(const char*)> crash_hook;
+
+  /// Fingerprint of (capacities, sizes) — ties a checkpoint to its model.
+  static std::uint64_t model_fingerprint(const SystemModel& model);
+
+ private:
+  struct Outcome;  // result of processing one epoch (pure)
+
+  void hook(const char* point);
+  std::uint64_t epoch_seed(std::uint64_t seq, std::uint32_t attempt) const;
+  Outcome process_epoch(const PendingEpoch& e) const;
+  void apply_commit_locked(const PendingEpoch& e, const Outcome& o,
+                           bool during_replay);
+  WalRecord commit_record_locked(const PendingEpoch& e, const Outcome& o) const;
+  void checkpoint_locked();
+  void maybe_checkpoint_locked();
+  CheckpointDoc snapshot_locked() const;
+  void recover(const ReplicationMatrix& x_start, RecoverReport& report);
+  std::string checkpoint_path() const;
+  std::string wal_path() const;
+
+  const SystemModel& model_;
+  DaemonOptions options_;
+  mutable std::mutex mutex_;
+
+  ReplicationMatrix x_cur_;
+  std::uint64_t x_crc_ = 0;
+  Tick clock_ = 0;
+  std::uint64_t last_seq_ = 0;
+  std::uint64_t generation_ = 0;
+  std::uint64_t commits_since_checkpoint_ = 0;
+  EpochQueue queue_;
+  DaemonCounters counters_;
+  WalWriter wal_;
+  bool durable_ = false;
+  Schedule effective_log_;
+};
+
+/// CRC-64-ish fingerprint of a canonical placement (two chained CRC32
+/// passes) — what kCommit records and /daemon/status expose.
+std::uint64_t placement_fingerprint(const ReplicationMatrix& x);
+
+}  // namespace rtsp::daemon

@@ -1,0 +1,70 @@
+#include "daemon/epoch_queue.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/assert.hpp"
+
+namespace rtsp::daemon {
+
+const char* to_string(QueuePolicy p) {
+  switch (p) {
+    case QueuePolicy::kReject: return "reject";
+    case QueuePolicy::kCoalesce: return "coalesce";
+  }
+  return "?";
+}
+
+EpochQueue::EpochQueue(std::size_t max_depth) : max_depth_(max_depth) {
+  RTSP_REQUIRE(max_depth_ > 0);
+}
+
+void EpochQueue::push(PendingEpoch e) {
+  const auto at = std::lower_bound(
+      entries_.begin(), entries_.end(), e.seq,
+      [](const PendingEpoch& p, std::uint64_t seq) { return p.seq < seq; });
+  RTSP_REQUIRE(at == entries_.end() || at->seq != e.seq);
+  entries_.insert(at, std::move(e));
+}
+
+std::uint64_t EpochQueue::newest_seq() const {
+  RTSP_REQUIRE(!entries_.empty());
+  return entries_.back().seq;
+}
+
+void EpochQueue::replace(std::uint64_t victim, PendingEpoch e) {
+  const auto at = std::find_if(
+      entries_.begin(), entries_.end(),
+      [victim](const PendingEpoch& p) { return p.seq == victim; });
+  RTSP_REQUIRE(at != entries_.end());
+  entries_.erase(at);
+  push(std::move(e));
+}
+
+const PendingEpoch* EpochQueue::next_ready(Tick now) const {
+  for (const PendingEpoch& e : entries_) {
+    if (e.not_before <= now) return &e;
+  }
+  return nullptr;
+}
+
+Tick EpochQueue::earliest_not_before() const {
+  RTSP_REQUIRE(!entries_.empty());
+  Tick earliest = std::numeric_limits<Tick>::max();
+  for (const PendingEpoch& e : entries_) {
+    earliest = std::min(earliest, e.not_before);
+  }
+  return earliest;
+}
+
+PendingEpoch EpochQueue::pop(std::uint64_t seq, std::uint32_t attempt) {
+  const auto at = std::find_if(entries_.begin(), entries_.end(),
+                               [seq](const PendingEpoch& p) { return p.seq == seq; });
+  RTSP_REQUIRE(at != entries_.end());
+  RTSP_REQUIRE(at->attempt == attempt);
+  PendingEpoch e = std::move(*at);
+  entries_.erase(at);
+  return e;
+}
+
+}  // namespace rtsp::daemon

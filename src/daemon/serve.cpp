@@ -1,0 +1,284 @@
+#include "daemon/serve.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <thread>
+
+#include "io/epoch_io.hpp"
+#include "io/instance_binary_io.hpp"
+#include "obs/introspect.hpp"
+#include "obs/obs.hpp"
+#include "support/json.hpp"
+
+namespace rtsp::daemon {
+
+namespace {
+
+// Async-signal-safe lifecycle flags: handlers only store into these; the
+// serve loop polls them. A second SIGINT must force-quit even when the
+// loop is wedged, so that path runs in the handler itself — _Exit is
+// async-signal-safe.
+volatile std::sig_atomic_t g_drain_signal = 0;
+volatile std::sig_atomic_t g_sigint_seen = 0;
+
+extern "C" void serve_handle_sigterm(int) { g_drain_signal = 1; }
+
+extern "C" void serve_handle_sigint(int) {
+  if (g_sigint_seen != 0) std::_Exit(130);
+  g_sigint_seen = 1;
+  g_drain_signal = 1;
+}
+
+/// Installs the serve handlers for the scope of one run_serve call and
+/// restores whatever was there before (the obs::Session handlers).
+class SignalScope {
+ public:
+  SignalScope() {
+    g_drain_signal = 0;
+    g_sigint_seen = 0;
+    old_term_ = std::signal(SIGTERM, serve_handle_sigterm);
+    old_int_ = std::signal(SIGINT, serve_handle_sigint);
+  }
+  ~SignalScope() {
+    std::signal(SIGTERM, old_term_);
+    std::signal(SIGINT, old_int_);
+  }
+
+ private:
+  void (*old_term_)(int);
+  void (*old_int_)(int);
+};
+
+std::string status_json(const DaemonCore::Status& s) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("clock").value(static_cast<std::int64_t>(s.clock));
+  w.key("queue_depth").value(static_cast<std::int64_t>(s.queue_depth));
+  w.key("queue_capacity").value(static_cast<std::int64_t>(s.queue_capacity));
+  w.key("idle").value(s.idle);
+  w.key("last_seq").value(static_cast<std::int64_t>(s.last_seq));
+  w.key("generation").value(static_cast<std::int64_t>(s.generation));
+  w.key("placement_crc").value(std::to_string(s.placement_crc));
+  w.key("admitted").value(static_cast<std::int64_t>(s.counters.admitted));
+  w.key("converged").value(static_cast<std::int64_t>(s.counters.converged));
+  w.key("partial_rounds").value(static_cast<std::int64_t>(s.counters.partial_rounds));
+  w.key("readmissions").value(static_cast<std::int64_t>(s.counters.readmissions));
+  w.key("coalesced").value(static_cast<std::int64_t>(s.counters.coalesced));
+  w.key("rejected").value(static_cast<std::int64_t>(s.counters.rejected));
+  w.key("infeasible").value(static_cast<std::int64_t>(s.counters.infeasible));
+  w.key("checkpoints").value(static_cast<std::int64_t>(s.counters.checkpoints));
+  w.key("recoveries").value(static_cast<std::int64_t>(s.counters.recoveries));
+  w.key("actions_applied").value(static_cast<std::int64_t>(s.counters.actions_applied));
+  w.key("cost_paid").value(static_cast<std::int64_t>(s.counters.cost_paid));
+  w.end_object();
+  return os.str();
+}
+
+std::string admit_json(const AdmitResult& r) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("status").value(to_string(r.status));
+  w.key("seq").value(static_cast<std::int64_t>(r.seq));
+  if (r.replaced != 0) w.key("replaced").value(static_cast<std::int64_t>(r.replaced));
+  if (r.retry_after != 0) {
+    w.key("retry_after_ticks").value(static_cast<std::int64_t>(r.retry_after));
+  }
+  if (!r.error.empty()) w.key("error").value(r.error);
+  w.end_object();
+  return os.str();
+}
+
+/// The daemon control plane, mounted as the introspect server's custom
+/// route. Runs on handler-pool threads: everything it touches is
+/// DaemonCore's thread-safe surface plus one atomic drain flag.
+obs::HttpRouteHandler make_route(DaemonCore& core, std::atomic<bool>& drain) {
+  return [&core, &drain](const obs::HttpRouteRequest& req,
+                         obs::HttpRouteReply& reply) {
+    if (req.target == "/daemon/status" && req.method == "GET") {
+      reply.body = status_json(core.status());
+      return true;
+    }
+    if (req.target == "/drain" && req.method == "POST") {
+      drain.store(true, std::memory_order_relaxed);
+      reply.body = "{\"status\":\"draining\"}";
+      return true;
+    }
+    if (req.target == "/epochs" && req.method == "POST") {
+      ReplicationMatrix target;
+      try {
+        const JsonValue doc = parse_json(req.body);
+        target = placement_from_pairs(doc.at("place"), core.model().num_servers(),
+                                      core.model().num_objects());
+      } catch (const std::exception& e) {
+        reply.status = 400;
+        reply.body =
+            "{\"error\":\"" + JsonWriter::escape(e.what()) + "\"}";
+        return true;
+      }
+      const AdmitResult r = core.admit(target);
+      switch (r.status) {
+        case AdmitResult::Status::kAdmitted:
+        case AdmitResult::Status::kCoalesced:
+          reply.status = 200;
+          break;
+        case AdmitResult::Status::kRejected:
+          reply.status = 429;
+          reply.retry_after = std::to_string(r.retry_after);
+          break;
+        case AdmitResult::Status::kInfeasible:
+          reply.status = 422;
+          break;
+        case AdmitResult::Status::kMismatched:
+          reply.status = 400;
+          break;
+      }
+      reply.body = admit_json(r);
+      return true;
+    }
+    return false;
+  };
+}
+
+}  // namespace
+
+int run_serve(const ServeOptions& options, std::ostream& out, std::ostream& err) {
+  const Instance instance = read_instance_any(options.instance_path);
+
+  std::unique_ptr<DaemonCore> core;
+  RecoverReport recovery;
+  try {
+    if (options.recover) {
+      core = std::make_unique<DaemonCore>(instance.model, instance.x_old,
+                                          options.core, recovery);
+    } else {
+      core = std::make_unique<DaemonCore>(instance.model, instance.x_old,
+                                          options.core);
+    }
+  } catch (const DaemonError& e) {
+    err << "serve: " << e.what() << '\n';
+    return kServeExitCorrupt;
+  }
+  if (options.recover) {
+    out << "recovered: generation " << recovery.generation << ", "
+        << recovery.records_replayed << " wal records ("
+        << recovery.reprocessed << " reprocessed, " << recovery.completed_begin
+        << " commits completed)";
+    if (recovery.wal_stale) out << ", stale wal discarded";
+    if (recovery.rolled_back_bytes > 0) {
+      out << ", torn tail rolled back (" << recovery.rolled_back_bytes
+          << " bytes)";
+    }
+    out << '\n';
+  }
+
+  SignalScope signals;
+  std::atomic<bool> drain_requested{false};
+  const auto draining = [&] {
+    return g_drain_signal != 0 || drain_requested.load(std::memory_order_relaxed);
+  };
+
+  std::unique_ptr<obs::IntrospectServer> server;
+  if (options.listen_port >= 0) {
+    obs::IntrospectOptions io;
+    io.port = static_cast<std::uint16_t>(options.listen_port);
+    io.route = make_route(*core, drain_requested);
+    server = std::make_unique<obs::IntrospectServer>(io);
+    out << "serving on 127.0.0.1:" << server->port() << '\n';
+    out.flush();
+    if (!options.port_file.empty()) {
+      std::ofstream pf(options.port_file);
+      pf << server->port() << '\n';
+    }
+  }
+
+  const auto finish = [&](int code) {
+    try {
+      core->shutdown();
+    } catch (const std::exception& e) {
+      err << "serve: shutdown: " << e.what() << '\n';
+      return kServeExitCorrupt;
+    }
+    if (server) server->stop();
+    if (!options.final_out.empty()) {
+      write_placement_file(options.final_out, core->placement());
+    }
+    const DaemonCore::Status s = core->status();
+    out << "daemon exit: clock " << s.clock << ", " << s.counters.admitted
+        << " admitted, " << s.counters.converged << " converged, "
+        << s.counters.readmissions << " readmissions, cost "
+        << s.counters.cost_paid << ", placement crc " << s.placement_crc
+        << '\n';
+    return code;
+  };
+
+  try {
+    // File feed: admit every epoch in order, stepping inline to relieve
+    // backpressure when the queue fills.
+    if (!options.epochs_path.empty()) {
+      const EpochStreamDoc doc = read_epoch_stream_file(options.epochs_path);
+      if (doc.servers != instance.model.num_servers() ||
+          doc.objects != instance.model.num_objects()) {
+        err << "serve: epoch stream is " << doc.servers << "x" << doc.objects
+            << " but the instance is " << instance.model.num_servers() << "x"
+            << instance.model.num_objects() << '\n';
+        return finish(1);
+      }
+      for (const ReplicationMatrix& target : doc.epochs) {
+        if (draining()) break;
+        while (!draining()) {
+          const AdmitResult r = core->admit(target);
+          if (r.status != AdmitResult::Status::kRejected) {
+            if (!r.accepted()) {
+              err << "serve: epoch refused: " << r.error << '\n';
+            }
+            break;
+          }
+          core->step();  // make room, then retry the admission
+        }
+      }
+    }
+
+    // Main loop: process until drained, or (listen mode) idle long enough.
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point idle_since = Clock::now();
+    bool was_idle = false;
+    while (!draining()) {
+      if (core->step()) {
+        was_idle = false;
+        continue;
+      }
+      if (!server) break;  // pure file mode: queue drained, we are done
+      if (!was_idle) {
+        was_idle = true;
+        idle_since = Clock::now();
+      }
+      if (options.idle_exit_ms >= 0 &&
+          Clock::now() - idle_since >=
+              std::chrono::milliseconds(options.idle_exit_ms)) {
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  } catch (const DaemonError& e) {
+    err << "serve: " << e.what() << '\n';
+    if (server) server->stop();
+    return kServeExitCorrupt;
+  }
+
+  if (draining()) {
+    const int code = finish(kServeExitDrained);
+    out << "drained (signal or /drain)\n";
+    return code;
+  }
+  return finish(kServeExitOk);
+}
+
+}  // namespace rtsp::daemon

@@ -1,0 +1,49 @@
+// The `rtsp serve` runtime around DaemonCore: epoch feeds (a file stream
+// and/or a loopback HTTP control plane), the graceful-lifecycle signal
+// protocol, and the distinct exit codes scripts key on.
+//
+//   exit 0  idle exit (all work converged) or clean end of the feed
+//   exit 1  user error (CLI handles it before run_serve)
+//   exit 3  SIGTERM / first SIGINT / POST /drain — drained and flushed
+//   exit 4  unrecoverable state (corrupt checkpoint, WAL divergence)
+//
+// SIGTERM and the first SIGINT request a drain: the in-flight epoch
+// finishes, a final checkpoint is written, then the process exits 3. A
+// second SIGINT force-quits with _Exit(130) — no flush, which is exactly
+// what the recovery path is for. Handlers only set a volatile
+// sig_atomic_t flag; all real work happens on the serve loop thread.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "daemon/daemon.hpp"
+
+namespace rtsp::daemon {
+
+inline constexpr int kServeExitOk = 0;
+inline constexpr int kServeExitDrained = 3;
+inline constexpr int kServeExitCorrupt = 4;
+
+struct ServeOptions {
+  DaemonOptions core;
+  std::string instance_path;  ///< required: defines the model and X_start
+  std::string epochs_path;    ///< optional rtsp-epochs file to feed
+  bool recover = false;       ///< resume from core.state_dir
+
+  /// HTTP control plane: < 0 disables; 0 picks an ephemeral port. Serves
+  /// POST /epochs, GET /daemon/status, POST /drain, POST /checkpoint on
+  /// top of the built-in introspection endpoints.
+  int listen_port = -1;
+  std::string port_file;   ///< write the bound port here (scripts)
+  std::string final_out;   ///< write the final placement here on exit
+  /// Listen mode: exit 0 after the queue has been idle this long
+  /// (< 0 = keep serving until a signal).
+  long idle_exit_ms = -1;
+};
+
+/// Runs the daemon to completion. Returns a process exit code; writes the
+/// summary to `out` and complaints to `err`.
+int run_serve(const ServeOptions& options, std::ostream& out, std::ostream& err);
+
+}  // namespace rtsp::daemon

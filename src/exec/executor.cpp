@@ -83,10 +83,20 @@ class Run {
     OBS_PROGRESS(set_stage("exec.run"));
     while (!done_) {
       apply_due_losses();
+      const bool exhausted =
+          options_.budget_ticks > 0 && clock_ >= options_.budget_ticks;
       if (cursor_ >= pending_.size()) {
         if (state_.placement() == x_new_) break;
+        if (exhausted) {
+          report_.budget_exhausted = true;
+          break;
+        }
         replan(ReplanReason::EndStateMismatch, Action{});
         continue;
+      }
+      if (exhausted) {
+        report_.budget_exhausted = true;
+        break;
       }
       execute_next();
     }

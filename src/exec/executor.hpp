@@ -27,11 +27,14 @@
 //     past the fault horizon and drains the remainder as the residual
 //     worst-case plan (delete superfluous, fetch outstanding from dummy) —
 //     always valid when X_new is storage-feasible.
-// Hence every run terminates with placement == X_new, and the recorded
-// effective action sequence (successful applications plus forced loss
-// deletions) replays cleanly through Validator::validate. Under a fault-free
-// spec the effective sequence is the input schedule and the cost paid equals
-// its planned cost exactly.
+// Hence every unbudgeted run terminates with placement == X_new, and the
+// recorded effective action sequence (successful applications plus forced
+// loss deletions) replays cleanly through Validator::validate. Under a
+// fault-free spec the effective sequence is the input schedule and the cost
+// paid equals its planned cost exactly. With budget_ticks > 0 the run may
+// instead stop early at an action boundary (budget_exhausted); the
+// effective prefix then validates against (X_old, final_placement) — the
+// contract `rtsp serve` uses for partial-convergence checkpoints.
 //
 // Determinism: all randomness flows from one Rng seeded with
 // mix64(spec.seed, options.seed); replans use per-replan derived streams.
@@ -103,6 +106,15 @@ struct ExecutorOptions {
   /// executor forces it through the dummy server.
   std::size_t degrade_after = 2;
   std::uint64_t seed = 1;
+  /// Soft virtual-clock budget in ticks; 0 = unlimited. Checked at action
+  /// boundaries only: the action in flight when the clock crosses the
+  /// budget still completes (and one attempt may overshoot by its own
+  /// cost), then the run stops with budget_exhausted set and the partial
+  /// state in final_placement. The effective prefix still validates
+  /// against (X_old, final_placement), which is what lets `rtsp serve`
+  /// checkpoint a partially-converged epoch and carry it forward. The
+  /// last-resort drain path ignores the budget (it must terminate).
+  Tick budget_ticks = 0;
   /// Record per-action provenance (stages PLAN / REPLAN#n / DEGRADED /
   /// FAULT-LOSS plus dummy-transfer root causes) for `rtsp explain`.
   bool record_provenance = false;
@@ -140,7 +152,9 @@ struct ExecutionReport {
   Tick finished_at = 0;
   Tick total_stall = 0;
   Tick total_backoff = 0;
-  bool reached_goal = false;  ///< final_placement == X_new (always true today)
+  bool reached_goal = false;  ///< final_placement == X_new (guaranteed
+                              ///< whenever budget_ticks was 0)
+  bool budget_exhausted = false;  ///< stopped at the tick budget, not at X_new
 
   /// Per-action provenance for `effective` when options.record_provenance;
   /// empty otherwise. Entries are parallel to `effective`.

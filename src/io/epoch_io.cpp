@@ -1,0 +1,224 @@
+#include "io/epoch_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "support/json.hpp"
+
+namespace rtsp {
+
+namespace {
+
+[[noreturn]] void fail(const char* what, const std::string& detail) {
+  throw std::runtime_error(std::string(what) + ": " + detail);
+}
+
+void append_pairs_json(std::string& out,
+                       const std::vector<std::pair<ServerId, ObjectId>>& pairs) {
+  out += '[';
+  bool first = true;
+  for (const auto& [s, k] : pairs) {
+    if (!first) out += ',';
+    first = false;
+    out += '[';
+    out += std::to_string(s);
+    out += ',';
+    out += std::to_string(k);
+    out += ']';
+  }
+  out += ']';
+}
+
+}  // namespace
+
+std::vector<std::pair<ServerId, ObjectId>> placement_pairs(
+    const ReplicationMatrix& x) {
+  std::vector<std::pair<ServerId, ObjectId>> pairs;
+  pairs.reserve(x.total_replicas());
+  for (ServerId i = 0; i < x.num_servers(); ++i) {
+    x.for_each_object(i, [&](ObjectId k) { pairs.emplace_back(i, k); });
+  }
+  return pairs;
+}
+
+ReplicationMatrix placement_from_pair_list(
+    std::size_t servers, std::size_t objects,
+    const std::vector<std::pair<ServerId, ObjectId>>& pairs) {
+  ReplicationMatrix x(servers, objects);
+  for (const auto& [s, k] : pairs) {
+    if (s >= servers || k >= objects) {
+      fail("placement parse error",
+           "pair (" + std::to_string(s) + "," + std::to_string(k) +
+               ") out of " + std::to_string(servers) + "x" +
+               std::to_string(objects));
+    }
+    x.set(s, k);
+  }
+  return x;
+}
+
+std::string placement_pairs_json(const ReplicationMatrix& x) {
+  std::string out;
+  append_pairs_json(out, placement_pairs(x));
+  return out;
+}
+
+ReplicationMatrix placement_from_pairs(const JsonValue& place,
+                                       std::size_t servers,
+                                       std::size_t objects) {
+  if (!place.is_array()) {
+    fail("placement parse error", "\"place\" is not an array");
+  }
+  ReplicationMatrix x(servers, objects);
+  std::int64_t prev_s = -1;
+  std::int64_t prev_k = -1;
+  for (const JsonValue& entry : place.items()) {
+    if (!entry.is_array() || entry.items().size() != 2) {
+      fail("placement parse error", "pair is not a two-element array");
+    }
+    const std::int64_t s = entry.items()[0].as_int();
+    const std::int64_t k = entry.items()[1].as_int();
+    if (s < 0 || k < 0 || static_cast<std::size_t>(s) >= servers ||
+        static_cast<std::size_t>(k) >= objects) {
+      fail("placement parse error",
+           "pair (" + std::to_string(s) + "," + std::to_string(k) +
+               ") out of " + std::to_string(servers) + "x" +
+               std::to_string(objects));
+    }
+    // Pairs must be canonical (server-major strictly ascending); anything
+    // else means a hand-edited or corrupted stream, and accepting it would
+    // let two byte-different files decode to the same placement.
+    if (s < prev_s || (s == prev_s && k <= prev_k)) {
+      fail("placement parse error",
+           "pair (" + std::to_string(s) + "," + std::to_string(k) +
+               ") out of canonical order");
+    }
+    prev_s = s;
+    prev_k = k;
+    x.set(static_cast<ServerId>(s), static_cast<ObjectId>(k));
+  }
+  return x;
+}
+
+void write_epoch_stream(std::ostream& out, const EpochStreamDoc& doc) {
+  out << "{\"format\":\"rtsp-epochs\",\"version\":1,\"servers\":"
+      << doc.servers << ",\"objects\":" << doc.objects
+      << ",\"epochs\":" << doc.epochs.size() << "}\n";
+  std::size_t index = 1;
+  for (const ReplicationMatrix& x : doc.epochs) {
+    std::string line = "{\"epoch\":" + std::to_string(index++) + ",\"place\":";
+    append_pairs_json(line, placement_pairs(x));
+    line += "}\n";
+    out << line;
+  }
+}
+
+void write_epoch_stream_file(const std::string& path,
+                             const EpochStreamDoc& doc) {
+  std::ofstream out(path);
+  if (!out) fail("epoch stream write error", "cannot open " + path);
+  write_epoch_stream(out, doc);
+  if (!out) fail("epoch stream write error", "write failed for " + path);
+}
+
+EpochStreamDoc read_epoch_stream(std::istream& in) {
+  constexpr const char* kWhat = "epoch stream parse error";
+  std::string line;
+  if (!std::getline(in, line)) fail(kWhat, "empty input");
+  JsonValue header;
+  try {
+    header = parse_json(line);
+  } catch (const std::runtime_error& e) {
+    fail(kWhat, std::string("header: ") + e.what());
+  }
+  const JsonValue* format = header.find("format");
+  if (format == nullptr || !format->is_string() ||
+      format->as_string() != "rtsp-epochs") {
+    fail(kWhat, "missing or wrong \"format\" (want rtsp-epochs)");
+  }
+  if (header.at("version").as_int() != 1) {
+    fail(kWhat, "unsupported version");
+  }
+  EpochStreamDoc doc;
+  const std::int64_t servers = header.at("servers").as_int();
+  const std::int64_t objects = header.at("objects").as_int();
+  if (servers <= 0 || objects <= 0) fail(kWhat, "non-positive dimensions");
+  doc.servers = static_cast<std::size_t>(servers);
+  doc.objects = static_cast<std::size_t>(objects);
+  const std::int64_t declared = header.at("epochs").as_int();
+  if (declared < 0) fail(kWhat, "negative \"epochs\" count");
+
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    JsonValue epoch;
+    try {
+      epoch = parse_json(line);
+    } catch (const std::runtime_error& e) {
+      fail(kWhat, "line " + std::to_string(line_no) + ": " + e.what());
+    }
+    try {
+      doc.epochs.push_back(placement_from_pairs(epoch.at("place"),
+                                                doc.servers, doc.objects));
+    } catch (const std::runtime_error& e) {
+      fail(kWhat, "line " + std::to_string(line_no) + ": " + e.what());
+    }
+  }
+  if (doc.epochs.size() != static_cast<std::size_t>(declared)) {
+    fail(kWhat, "header declares " + std::to_string(declared) +
+                    " epochs but stream holds " +
+                    std::to_string(doc.epochs.size()) +
+                    " (truncated or padded stream)");
+  }
+  return doc;
+}
+
+EpochStreamDoc read_epoch_stream_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail("epoch stream parse error", "cannot open " + path);
+  return read_epoch_stream(in);
+}
+
+void write_placement_file(const std::string& path,
+                          const ReplicationMatrix& x) {
+  std::ofstream out(path);
+  if (!out) fail("placement write error", "cannot open " + path);
+  std::string line = "{\"format\":\"rtsp-placement\",\"version\":1,\"servers\":" +
+                     std::to_string(x.num_servers()) +
+                     ",\"objects\":" + std::to_string(x.num_objects()) +
+                     ",\"place\":";
+  append_pairs_json(line, placement_pairs(x));
+  line += "}\n";
+  out << line;
+  if (!out) fail("placement write error", "write failed for " + path);
+}
+
+ReplicationMatrix read_placement_file(const std::string& path) {
+  constexpr const char* kWhat = "placement parse error";
+  std::ifstream in(path);
+  if (!in) fail(kWhat, "cannot open " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  JsonValue doc;
+  try {
+    doc = parse_json(buffer.str());
+  } catch (const std::runtime_error& e) {
+    fail(kWhat, e.what());
+  }
+  const JsonValue* format = doc.find("format");
+  if (format == nullptr || !format->is_string() ||
+      format->as_string() != "rtsp-placement") {
+    fail(kWhat, "missing or wrong \"format\" (want rtsp-placement)");
+  }
+  if (doc.at("version").as_int() != 1) fail(kWhat, "unsupported version");
+  const std::int64_t servers = doc.at("servers").as_int();
+  const std::int64_t objects = doc.at("objects").as_int();
+  if (servers <= 0 || objects <= 0) fail(kWhat, "non-positive dimensions");
+  return placement_from_pairs(doc.at("place"),
+                              static_cast<std::size_t>(servers),
+                              static_cast<std::size_t>(objects));
+}
+
+}  // namespace rtsp

@@ -1,0 +1,68 @@
+// The daemon's epoch stream format (`rtsp-epochs` v1) and the canonical
+// placement document (`rtsp-placement` v1) it converges to.
+//
+// An epoch stream is JSONL: one header line, then one line per epoch in
+// submission order. Each epoch is a complete target placement (the
+// daemon's unit of work is "converge the cluster to this X_new"), encoded
+// as canonical (server, object) pairs — server-major, both ascending — so
+// two equal placements always serialize to identical bytes. That byte
+// canonicality is what lets scripts/check.sh compare the daemon's final
+// placement against the generator's expected one with `cmp`.
+//
+//   {"format":"rtsp-epochs","version":1,"servers":8,"objects":40,"epochs":3}
+//   {"epoch":1,"place":[[0,2],[0,7],[1,2], ...]}
+//
+// `rtsp submit` posts single epoch bodies ({"place":[...]}) to a running
+// daemon; placement_from_pairs() parses both the streamed and the posted
+// shape. Parse failures throw std::runtime_error prefixed
+// "epoch stream parse error:" / "placement parse error:".
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/replication.hpp"
+
+namespace rtsp {
+
+class JsonValue;
+
+/// One parsed epoch stream.
+struct EpochStreamDoc {
+  std::size_t servers = 0;
+  std::size_t objects = 0;
+  std::vector<ReplicationMatrix> epochs;
+};
+
+/// Canonical (server-major ascending) replica pairs of `x`.
+std::vector<std::pair<ServerId, ObjectId>> placement_pairs(
+    const ReplicationMatrix& x);
+
+/// Rebuilds a matrix from canonical pairs; bounds-checked.
+ReplicationMatrix placement_from_pair_list(
+    std::size_t servers, std::size_t objects,
+    const std::vector<std::pair<ServerId, ObjectId>>& pairs);
+
+/// The canonical `"place":[[s,k],...]` fragment as a standalone JSON array.
+std::string placement_pairs_json(const ReplicationMatrix& x);
+
+/// Parses a JSON pair array (the value of a "place" member) into a matrix.
+/// Throws on non-pairs, out-of-range ids, or non-canonical order.
+ReplicationMatrix placement_from_pairs(const JsonValue& place,
+                                       std::size_t servers,
+                                       std::size_t objects);
+
+void write_epoch_stream(std::ostream& out, const EpochStreamDoc& doc);
+void write_epoch_stream_file(const std::string& path,
+                             const EpochStreamDoc& doc);
+EpochStreamDoc read_epoch_stream(std::istream& in);
+EpochStreamDoc read_epoch_stream_file(const std::string& path);
+
+/// One-placement document (`rtsp-placement` v1): the daemon's final state
+/// and the epoch generator's expected final state, byte-comparable.
+void write_placement_file(const std::string& path, const ReplicationMatrix& x);
+ReplicationMatrix read_placement_file(const std::string& path);
+
+}  // namespace rtsp

@@ -2,6 +2,7 @@
 
 #include <condition_variable>
 #include <deque>
+#include <exception>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -120,8 +121,22 @@ std::string introspect_logz_body(std::size_t n) {
 namespace {
 
 constexpr int kAcceptPollMs = 100;
-constexpr int kRequestTimeoutMs = 2000;
 constexpr std::size_t kMaxRequestBytes = 16 * 1024;
+
+const char* reason_for(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 413: return "Payload Too Large";
+    case 422: return "Unprocessable Entity";
+    case 429: return "Too Many Requests";
+    case 503: return "Service Unavailable";
+    default: return status >= 500 ? "Internal Server Error" : "Unknown";
+  }
+}
 
 std::string make_response(int status, const char* reason,
                           const std::string& content_type,
@@ -155,7 +170,8 @@ std::size_t parse_logz_count(std::string_view query) {
   return any ? n : kDefault;
 }
 
-std::string handle_request(const std::string& request) {
+std::string handle_request(const std::string& request, std::string body,
+                           const HttpRouteHandler& route) {
   const std::size_t line_end = request.find("\r\n");
   const std::string_view line(request.data(),
                               line_end == std::string::npos ? request.size()
@@ -168,16 +184,41 @@ std::string handle_request(const std::string& request) {
   }
   const std::string_view method = line.substr(0, sp1);
   std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
-  if (method != "GET") {
-    return make_response(405, "Method Not Allowed",
-                         "text/plain; charset=utf-8", "only GET is served\n",
-                         "Allow: GET");
-  }
   std::string_view query;
   if (const std::size_t qmark = target.find('?');
       qmark != std::string_view::npos) {
     query = target.substr(qmark + 1);
     target = target.substr(0, qmark);
+  }
+  if (route) {
+    HttpRouteRequest req;
+    req.method = std::string(method);
+    req.target = std::string(target);
+    req.query = std::string(query);
+    req.body = std::move(body);
+    HttpRouteReply reply;
+    bool handled = false;
+    try {
+      handled = route(req, reply);
+    } catch (const std::exception& e) {
+      return make_response(500, "Internal Server Error",
+                           "text/plain; charset=utf-8",
+                           std::string(e.what()) + "\n");
+    }
+    if (handled) {
+      std::string extra;
+      if (!reply.retry_after.empty()) {
+        extra = "Retry-After: " + reply.retry_after;
+      }
+      return make_response(reply.status, reason_for(reply.status),
+                           reply.content_type, reply.body,
+                           extra.empty() ? nullptr : extra.c_str());
+    }
+  }
+  if (method != "GET") {
+    return make_response(405, "Method Not Allowed",
+                         "text/plain; charset=utf-8", "only GET is served\n",
+                         "Allow: GET");
   }
   if (target == "/metrics") {
     return make_response(200, "OK",
@@ -205,6 +246,9 @@ std::string handle_request(const std::string& request) {
 
 struct IntrospectServer::Impl {
   net::TcpListener listener;
+  int request_timeout_ms = 2000;
+  std::size_t max_body_bytes = 8 * 1024 * 1024;
+  HttpRouteHandler route;
   std::atomic<bool> stopping{false};
   std::atomic<std::uint64_t> served{0};
   std::thread acceptor;
@@ -239,9 +283,37 @@ struct IntrospectServer::Impl {
       }
       std::string request;
       if (conn.read_until(request, "\r\n\r\n", kMaxRequestBytes,
-                          kRequestTimeoutMs)) {
-        conn.write_all(handle_request(request));
-        served.fetch_add(1, std::memory_order_relaxed);
+                          request_timeout_ms)) {
+        // Split off anything past the header block; that prefix plus a
+        // Content-Length-bounded read is the request body.
+        std::string body;
+        const std::size_t head_end = request.find("\r\n\r\n");
+        if (head_end != std::string::npos) {
+          body = request.substr(head_end + 4);
+          request.resize(head_end + 4);
+        }
+        const long long declared = net::find_content_length(request);
+        bool ok = true;
+        if (declared > static_cast<long long>(max_body_bytes)) {
+          conn.write_all(make_response(413, "Payload Too Large",
+                                       "text/plain; charset=utf-8",
+                                       "request body too large\n"));
+          ok = false;
+        } else if (declared > 0 &&
+                   body.size() < static_cast<std::size_t>(declared)) {
+          // Same overall deadline again for the body read: a stalled peer
+          // holds this handler for at most 2x request_timeout_ms total.
+          ok = conn.read_exact(body, static_cast<std::size_t>(declared),
+                               request_timeout_ms);
+        }
+        if (ok) {
+          if (declared >= 0 &&
+              body.size() > static_cast<std::size_t>(declared)) {
+            body.resize(static_cast<std::size_t>(declared));
+          }
+          conn.write_all(handle_request(request, std::move(body), route));
+          served.fetch_add(1, std::memory_order_relaxed);
+        }
       }
       conn.close();
     }
@@ -250,6 +322,10 @@ struct IntrospectServer::Impl {
 
 IntrospectServer::IntrospectServer(const IntrospectOptions& options)
     : impl_(std::make_unique<Impl>()) {
+  impl_->request_timeout_ms =
+      options.request_timeout_ms > 0 ? options.request_timeout_ms : 2000;
+  impl_->max_body_bytes = options.max_body_bytes;
+  impl_->route = options.route;
   impl_->listener.listen(options.host, options.port);
   const std::size_t threads =
       options.handler_threads > 0 ? options.handler_threads : 1;

@@ -17,6 +17,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -105,16 +106,48 @@ class Progress {
 #define OBS_PROGRESS(call) ((void)0)
 #endif
 
+/// One parsed request as seen by a custom route handler. `body` is only
+/// non-empty for requests that declared a Content-Length.
+struct HttpRouteRequest {
+  std::string method;  ///< "GET", "POST", ...
+  std::string target;  ///< path without the query string
+  std::string query;   ///< bytes after '?', empty when absent
+  std::string body;
+};
+
+/// What a custom route handler fills in. `retry_after`, when non-empty,
+/// is emitted as a Retry-After header (daemon backpressure responses).
+struct HttpRouteReply {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+  std::string retry_after;
+};
+
+/// Returns true when the route was handled; false falls through to the
+/// built-in GET endpoints. Runs on a handler-pool thread — implementations
+/// must be thread-safe.
+using HttpRouteHandler =
+    std::function<bool(const HttpRouteRequest&, HttpRouteReply&)>;
+
 struct IntrospectOptions {
   std::string host = "127.0.0.1";  ///< loopback unless explicitly widened
   std::uint16_t port = 0;          ///< 0 picks an ephemeral port
   std::size_t handler_threads = 2;
+  /// Overall per-read deadline for one request (headers, then body). A
+  /// stalled peer is dropped when it expires, freeing the handler thread.
+  int request_timeout_ms = 2000;
+  /// Declared request bodies above this get 413 without being read.
+  std::size_t max_body_bytes = 8 * 1024 * 1024;
+  /// Optional application route (the daemon control plane). Consulted
+  /// before the built-in endpoints, for every method.
+  HttpRouteHandler route;
 };
 
 /// The embedded HTTP server. The constructor binds and starts serving
 /// (throws std::runtime_error when the bind fails); the destructor stops
-/// the acceptor and joins the handler pool. Unknown paths get 404, methods
-/// other than GET get 405.
+/// the acceptor and joins the handler pool. Unknown paths get 404; methods
+/// other than GET get 405 unless a custom route claims them.
 class IntrospectServer {
  public:
   explicit IntrospectServer(const IntrospectOptions& options);

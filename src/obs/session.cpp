@@ -6,6 +6,7 @@
 #include <mutex>
 #include <ostream>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "obs/export.hpp"
@@ -45,17 +46,14 @@ std::atomic<const Session*> g_active_session{nullptr};
 std::mutex g_hooks_mutex;
 std::vector<std::function<void()>> g_hooks;
 
-// One best-effort flush, then die of the signal with default disposition so
-// the exit status still reports the interrupt. Not strictly async-signal-
-// safe (it takes locks and allocates) — for an interactive Ctrl-C on an
-// otherwise healthy process that trade is worth readable artifacts, and the
-// worst case is the same death the signal caused anyway.
-extern "C" void session_signal_handler(int sig) {
-  const Session* session = g_active_session.exchange(nullptr);
-  if (session != nullptr) session->emergency_flush();
-  std::signal(sig, SIG_DFL);
-  std::raise(sig);
-}
+// The handler body is the async-signal-safe minimum: store the signal
+// number into a sig_atomic_t. The Session's watcher thread polls the flag
+// and performs the actual flushing (locks, allocation, file I/O) on an
+// ordinary thread, then restores the default disposition and re-raises so
+// the exit status still reports the interrupt.
+volatile std::sig_atomic_t g_pending_signal = 0;
+
+extern "C" void session_signal_handler(int sig) { g_pending_signal = sig; }
 
 }  // namespace
 
@@ -111,20 +109,38 @@ Session::Session(const CliOptions& opt)
   if (enabled_) {
     const Session* expected = nullptr;
     if (g_active_session.compare_exchange_strong(expected, this)) {
+      g_pending_signal = 0;
       std::signal(SIGINT, session_signal_handler);
       std::signal(SIGTERM, session_signal_handler);
       signals_installed_ = true;
+      watcher_ = std::thread([this] { watch_signals(); });
     }
   }
 }
 
 Session::~Session() {
   if (signals_installed_) {
+    watcher_stop_.store(true, std::memory_order_relaxed);
+    if (watcher_.joinable()) watcher_.join();
     const Session* expected = this;
     g_active_session.compare_exchange_strong(expected, nullptr);
     std::signal(SIGINT, SIG_DFL);
     std::signal(SIGTERM, SIG_DFL);
     clear_interrupt_hooks();
+  }
+}
+
+void Session::watch_signals() {
+  while (!watcher_stop_.load(std::memory_order_relaxed)) {
+    const int sig = static_cast<int>(g_pending_signal);
+    if (sig != 0) {
+      const Session* session = g_active_session.exchange(nullptr);
+      if (session != nullptr) session->emergency_flush();
+      std::signal(sig, SIG_DFL);
+      std::raise(sig);
+      return;  // not reached for fatal dispositions; keeps the loop sane
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
   }
 }
 

@@ -6,11 +6,13 @@
 // --introspect-port starts the embedded HTTP server (obs/introspect).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
 #include <memory>
 #include <string>
+#include <thread>
 
 namespace rtsp {
 class CliOptions;
@@ -76,14 +78,24 @@ class Session {
   /// The interrupt flush path: runs the registered hooks, then writes and
   /// flushes every armed sink (series, metrics, trace, log) and stops the
   /// introspect server. Best-effort — each step swallows its own errors.
-  /// Invoked from the signal handler; exposed so tests can drive it
-  /// without raising signals.
+  /// Invoked from the signal *watcher thread* — never from the handler
+  /// itself, which only stores the signal number into a sig_atomic_t flag
+  /// (the only thing POSIX allows a handler to do portably). Exposed so
+  /// tests can drive it without raising signals.
   void emergency_flush() const;
 
  private:
+  /// Polls the handler's sig_atomic_t flag every ~20ms; on a pending
+  /// SIGINT/SIGTERM it flushes on this (ordinary) thread, restores the
+  /// default disposition and re-raises so the exit status still reports
+  /// the signal.
+  void watch_signals();
+
   bool enabled_ = false;
   bool summary_ = false;
   bool signals_installed_ = false;
+  std::atomic<bool> watcher_stop_{false};
+  std::thread watcher_;
   std::string trace_out_;
   std::string metrics_out_;
   std::string series_out_;

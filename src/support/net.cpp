@@ -1,11 +1,14 @@
 #include "support/net.hpp"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -18,6 +21,49 @@
 
 namespace rtsp::net {
 
+long long find_content_length(std::string_view headers) {
+  // Scan line by line: header names are case-insensitive per RFC 9110.
+  std::size_t pos = 0;
+  while (pos < headers.size()) {
+    std::size_t end = headers.find("\r\n", pos);
+    if (end == std::string_view::npos) end = headers.size();
+    const std::string_view line = headers.substr(pos, end - pos);
+    pos = end + 2;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) continue;
+    const std::string_view name = line.substr(0, colon);
+    constexpr std::string_view kKey = "content-length";
+    if (name.size() != kKey.size()) continue;
+    bool match = true;
+    for (std::size_t i = 0; i < kKey.size(); ++i) {
+      const char c = name[i];
+      const char lower =
+          (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+      if (lower != kKey[i]) {
+        match = false;
+        break;
+      }
+    }
+    if (!match) continue;
+    std::string_view value = line.substr(colon + 1);
+    while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
+      value.remove_prefix(1);
+    }
+    while (!value.empty() && (value.back() == ' ' || value.back() == '\r')) {
+      value.remove_suffix(1);
+    }
+    if (value.empty()) return -1;
+    long long n = 0;
+    for (const char c : value) {
+      if (c < '0' || c > '9') return -1;
+      if (n > (1LL << 40)) return -1;  // refuse absurd lengths
+      n = n * 10 + (c - '0');
+    }
+    return n;
+  }
+  return -1;
+}
+
 #if RTSP_NET_POSIX
 
 namespace {
@@ -25,6 +71,27 @@ namespace {
 [[noreturn]] void throw_errno(const std::string& what) {
   throw std::runtime_error(what + ": " + std::strerror(errno));
 }
+
+/// Overall deadline for one read call: every poll gets the time remaining,
+/// never the full original budget again.
+class Deadline {
+ public:
+  explicit Deadline(int timeout_ms)
+      : end_(std::chrono::steady_clock::now() +
+             std::chrono::milliseconds(timeout_ms > 0 ? timeout_ms : 0)) {}
+
+  /// Milliseconds left, clamped to >= 0.
+  int remaining_ms() const {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        end_ - std::chrono::steady_clock::now());
+    return left.count() > 0 ? static_cast<int>(left.count()) : 0;
+  }
+
+  bool expired() const { return remaining_ms() <= 0; }
+
+ private:
+  std::chrono::steady_clock::time_point end_;
+};
 
 /// poll() one fd for `events`; true when ready, false on timeout.
 bool wait_ready(int fd, short events, int timeout_ms) {
@@ -47,6 +114,13 @@ sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
     throw std::runtime_error("invalid IPv4 address: " + host);
   }
   return addr;
+}
+
+bool set_nonblocking(int fd, bool on) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  const int next = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  return ::fcntl(fd, F_SETFL, next) == 0;
 }
 
 }  // namespace
@@ -81,6 +155,10 @@ bool Socket::write_all(std::string_view data) {
     );
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (!wait_ready(fd_, POLLOUT, 1000)) return false;
+        continue;
+      }
       return false;
     }
     off += static_cast<std::size_t>(n);
@@ -91,12 +169,37 @@ bool Socket::write_all(std::string_view data) {
 bool Socket::read_until(std::string& buffer, std::string_view terminator,
                         std::size_t max_bytes, int timeout_ms) {
   char chunk[4096];
+  const Deadline deadline(timeout_ms);
   while (buffer.find(terminator) == std::string::npos) {
     if (buffer.size() >= max_bytes) return false;
-    if (!wait_ready(fd_, POLLIN, timeout_ms)) return false;
+    const int left = deadline.remaining_ms();
+    if (left <= 0) return false;
+    if (!wait_ready(fd_, POLLIN, left)) return false;
     const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
-    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) {
+      continue;
+    }
     if (n <= 0) return false;  // peer closed or error before the terminator
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+bool Socket::read_exact(std::string& buffer, std::size_t target_size,
+                        int timeout_ms) {
+  char chunk[4096];
+  const Deadline deadline(timeout_ms);
+  while (buffer.size() < target_size) {
+    const int left = deadline.remaining_ms();
+    if (left <= 0) return false;
+    if (!wait_ready(fd_, POLLIN, left)) return false;
+    const std::size_t want =
+        std::min(sizeof chunk, target_size - buffer.size());
+    const ssize_t n = ::recv(fd_, chunk, want, 0);
+    if (n < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) {
+      continue;
+    }
+    if (n <= 0) return false;  // short body: peer closed early
     buffer.append(chunk, static_cast<std::size_t>(n));
   }
   return true;
@@ -105,10 +208,15 @@ bool Socket::read_until(std::string& buffer, std::string_view terminator,
 void Socket::read_to_eof(std::string& buffer, std::size_t max_bytes,
                          int timeout_ms) {
   char chunk[4096];
+  const Deadline deadline(timeout_ms);
   while (buffer.size() < max_bytes) {
-    if (!wait_ready(fd_, POLLIN, timeout_ms)) return;
+    const int left = deadline.remaining_ms();
+    if (left <= 0) return;
+    if (!wait_ready(fd_, POLLIN, left)) return;
     const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
-    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) {
+      continue;
+    }
     if (n <= 0) return;
     buffer.append(chunk, static_cast<std::size_t>(n));
   }
@@ -153,37 +261,106 @@ void TcpListener::close() {
   port_ = 0;
 }
 
-HttpResponse http_get(const std::string& host, std::uint16_t port,
-                      const std::string& target, int timeout_ms) {
+Socket connect_to(const std::string& host, std::uint16_t port,
+                  int timeout_ms) {
+  const sockaddr_in addr = make_addr(host, port);
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) throw_errno("socket");
   Socket sock(fd);
-  const sockaddr_in addr = make_addr(host, port);
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
-    throw_errno("connect " + host + ":" + std::to_string(port));
+  if (!set_nonblocking(fd, true)) throw_errno("fcntl O_NONBLOCK");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    if (errno != EINPROGRESS) {
+      throw_errno("connect " + host + ":" + std::to_string(port));
+    }
+    if (!wait_ready(fd, POLLOUT, timeout_ms)) {
+      throw std::runtime_error("connect " + host + ":" +
+                               std::to_string(port) + ": timed out after " +
+                               std::to_string(timeout_ms) + "ms");
+    }
+    int err = 0;
+    socklen_t len = sizeof err;
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      errno = err != 0 ? err : errno;
+      throw_errno("connect " + host + ":" + std::to_string(port));
+    }
   }
-  const std::string request = "GET " + target +
-                              " HTTP/1.1\r\nHost: " + host +
-                              "\r\nConnection: close\r\n\r\n";
-  if (!sock.write_all(request)) throw std::runtime_error("http_get: send failed");
+  if (!set_nonblocking(fd, false)) throw_errno("fcntl restore blocking");
+  return sock;
+}
+
+namespace {
+
+HttpResponse http_request(const std::string& method, const std::string& host,
+                          std::uint16_t port, const std::string& target,
+                          const std::string& body,
+                          const std::string& content_type, int timeout_ms) {
+  const Deadline deadline(timeout_ms);
+  Socket sock = connect_to(host, port, timeout_ms);
+  std::string request = method + ' ' + target + " HTTP/1.1\r\nHost: " + host +
+                        "\r\nConnection: close\r\n";
+  if (!body.empty() || method == "POST") {
+    request += "Content-Type: " + content_type +
+               "\r\nContent-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  request += "\r\n";
+  request += body;
+  if (!sock.write_all(request)) {
+    throw std::runtime_error("http " + method + ": send failed");
+  }
 
   std::string raw;
-  sock.read_to_eof(raw, std::size_t{1} << 24, timeout_ms);
+  if (!sock.read_until(raw, "\r\n\r\n", std::size_t{1} << 20,
+                       deadline.remaining_ms())) {
+    throw std::runtime_error("http " + method +
+                             ": timed out or closed before headers");
+  }
   const std::size_t line_end = raw.find("\r\n");
   const std::size_t head_end = raw.find("\r\n\r\n");
   if (line_end == std::string::npos || head_end == std::string::npos ||
       raw.compare(0, 5, "HTTP/") != 0) {
-    throw std::runtime_error("http_get: malformed response");
+    throw std::runtime_error("http " + method + ": malformed response");
   }
   const std::size_t sp = raw.find(' ');
   if (sp == std::string::npos || sp + 4 > line_end) {
-    throw std::runtime_error("http_get: malformed status line");
+    throw std::runtime_error("http " + method + ": malformed status line");
   }
   HttpResponse resp;
   resp.status = std::stoi(raw.substr(sp + 1, 3));
   resp.headers = raw.substr(line_end + 2, head_end - line_end - 2);
   resp.body = raw.substr(head_end + 4);
+
+  const long long declared = find_content_length(resp.headers);
+  if (declared >= 0) {
+    if (resp.body.size() < static_cast<std::size_t>(declared)) {
+      if (!sock.read_exact(resp.body, static_cast<std::size_t>(declared),
+                           deadline.remaining_ms())) {
+        throw std::runtime_error("http " + method + ": truncated body (" +
+                                 std::to_string(resp.body.size()) + " of " +
+                                 std::to_string(declared) + " bytes)");
+      }
+    } else {
+      resp.body.resize(static_cast<std::size_t>(declared));
+    }
+  } else {
+    sock.read_to_eof(resp.body, std::size_t{1} << 24, deadline.remaining_ms());
+  }
   return resp;
+}
+
+}  // namespace
+
+HttpResponse http_get(const std::string& host, std::uint16_t port,
+                      const std::string& target, int timeout_ms) {
+  return http_request("GET", host, port, target, std::string{}, std::string{},
+                      timeout_ms);
+}
+
+HttpResponse http_post(const std::string& host, std::uint16_t port,
+                       const std::string& target, const std::string& body,
+                       const std::string& content_type, int timeout_ms) {
+  return http_request("POST", host, port, target, body, content_type,
+                      timeout_ms);
 }
 
 #else  // !RTSP_NET_POSIX: stubs so non-POSIX builds still link.
@@ -195,6 +372,7 @@ bool Socket::write_all(std::string_view) { return false; }
 bool Socket::read_until(std::string&, std::string_view, std::size_t, int) {
   return false;
 }
+bool Socket::read_exact(std::string&, std::size_t, int) { return false; }
 void Socket::read_to_eof(std::string&, std::size_t, int) {}
 
 void TcpListener::listen(const std::string&, std::uint16_t, int) {
@@ -203,7 +381,16 @@ void TcpListener::listen(const std::string&, std::uint16_t, int) {
 Socket TcpListener::accept(int) { return Socket{}; }
 void TcpListener::close() {}
 
+Socket connect_to(const std::string&, std::uint16_t, int) {
+  throw std::runtime_error("TCP sockets unsupported on this platform");
+}
+
 HttpResponse http_get(const std::string&, std::uint16_t, const std::string&, int) {
+  throw std::runtime_error("TCP sockets unsupported on this platform");
+}
+
+HttpResponse http_post(const std::string&, std::uint16_t, const std::string&,
+                       const std::string&, const std::string&, int) {
   throw std::runtime_error("TCP sockets unsupported on this platform");
 }
 

@@ -1,13 +1,16 @@
 // Minimal POSIX TCP primitives for the embedded introspection server
-// (obs/introspect) and its tests: an RAII socket, a loopback listener with
-// poll-based (interruptible) accept, and a tiny blocking HTTP/1.1 GET
-// client so the scrape smoke in scripts/check.sh needs no curl.
+// (obs/introspect), the daemon control plane (`rtsp serve` / `rtsp submit`)
+// and their tests: an RAII socket, a loopback listener with poll-based
+// (interruptible) accept, and tiny blocking HTTP/1.1 GET/POST clients so
+// the scrape and daemon smokes in scripts/check.sh need no curl.
 //
-// Deliberately not a general networking layer: IPv4 only, blocking I/O
-// with coarse timeouts, no TLS. Throws std::runtime_error on setup
-// failures (bind/listen/connect); per-connection read/write errors are
-// reported through return values so a dropped scraper never kills the
-// serving process.
+// Deliberately not a general networking layer: IPv4 only, blocking I/O,
+// no TLS. Every read primitive takes one *overall* deadline (`timeout_ms`
+// bounds the whole call, not each poll), so a stalled or slow-dripping
+// peer can never pin a caller for longer than the budget it was given.
+// Throws std::runtime_error on setup failures (bind/listen/connect);
+// per-connection read/write errors are reported through return values so
+// a dropped scraper never kills the serving process.
 #pragma once
 
 #include <cstdint>
@@ -36,12 +39,19 @@ class Socket {
   bool write_all(std::string_view data);
 
   /// Appends incoming bytes to `buffer` until `terminator` appears in it,
-  /// `max_bytes` is reached, the peer closes, or `timeout_ms` passes
-  /// without progress. True iff the terminator was seen.
+  /// `max_bytes` is reached, the peer closes, or the overall `timeout_ms`
+  /// deadline passes. True iff the terminator was seen. A peer that drips
+  /// one byte per poll still cannot extend the call past the deadline.
   bool read_until(std::string& buffer, std::string_view terminator,
                   std::size_t max_bytes, int timeout_ms);
 
-  /// Reads until EOF or timeout, appending to `buffer` (at most max_bytes).
+  /// Appends bytes until `buffer` reaches `target_size`, the peer closes,
+  /// or the deadline passes. True iff the target size was reached —
+  /// partial reads (short bodies) report false instead of hanging.
+  bool read_exact(std::string& buffer, std::size_t target_size,
+                  int timeout_ms);
+
+  /// Reads until EOF, the deadline, or max_bytes, appending to `buffer`.
   void read_to_eof(std::string& buffer, std::size_t max_bytes, int timeout_ms);
 
  private:
@@ -77,6 +87,13 @@ class TcpListener {
   std::uint16_t port_ = 0;
 };
 
+/// Connects to host:port with a bounded (non-blocking + poll) connect
+/// instead of the platform's multi-minute default. Throws
+/// std::runtime_error on failure or timeout; the returned socket is
+/// blocking.
+Socket connect_to(const std::string& host, std::uint16_t port,
+                  int timeout_ms);
+
 /// One parsed HTTP response (status line + raw headers + body).
 struct HttpResponse {
   int status = 0;
@@ -84,10 +101,23 @@ struct HttpResponse {
   std::string body;
 };
 
+/// Case-insensitive Content-Length lookup in a raw header block;
+/// -1 when absent or malformed.
+long long find_content_length(std::string_view headers);
+
 /// Blocking HTTP/1.1 GET of `target` (e.g. "/metrics") from host:port.
-/// Sends Connection: close and reads to EOF. Throws std::runtime_error on
-/// connect/send failure or an unparsable response.
+/// `timeout_ms` bounds the whole exchange (connect + send + read). Bodies
+/// are read to Content-Length when the server declares one, else to EOF.
+/// Throws std::runtime_error on connect/send failure, timeout, or an
+/// unparsable/truncated response.
 HttpResponse http_get(const std::string& host, std::uint16_t port,
                       const std::string& target, int timeout_ms = 5000);
+
+/// Blocking HTTP/1.1 POST of `body` to `target`, same contract as
+/// http_get. Used by `rtsp submit` to feed epochs into a running daemon.
+HttpResponse http_post(const std::string& host, std::uint16_t port,
+                       const std::string& target, const std::string& body,
+                       const std::string& content_type = "application/json",
+                       int timeout_ms = 5000);
 
 }  // namespace rtsp::net

@@ -1,0 +1,109 @@
+#include "workload/epoch_stream.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "core/feasibility.hpp"
+
+namespace rtsp {
+
+namespace {
+
+/// Free space per server for the working placement, maintained
+/// incrementally across mutations.
+std::vector<Size> free_space(const SystemModel& model,
+                             const ReplicationMatrix& x) {
+  std::vector<Size> space(model.num_servers());
+  for (ServerId i = 0; i < model.num_servers(); ++i) {
+    space[i] = model.capacity(i) - x.used_storage(i, model.objects());
+  }
+  return space;
+}
+
+/// Picks a uniform element of `candidates`; candidates must be non-empty.
+template <typename T>
+const T& pick(const std::vector<T>& candidates, Rng& rng) {
+  return candidates[rng.below(candidates.size())];
+}
+
+}  // namespace
+
+std::vector<ReplicationMatrix> make_epoch_stream(const SystemModel& model,
+                                                 const ReplicationMatrix& x_start,
+                                                 const EpochStreamSpec& spec,
+                                                 Rng& rng) {
+  if (x_start.num_servers() != model.num_servers() ||
+      x_start.num_objects() != model.num_objects()) {
+    throw std::invalid_argument("epoch stream: placement/model size mismatch");
+  }
+  if (!storage_feasible(model, x_start)) {
+    throw std::invalid_argument("epoch stream: x_start is not storage-feasible");
+  }
+  if (spec.churn < 0.0 || spec.churn > 1.0) {
+    throw std::invalid_argument("epoch stream: churn outside [0, 1]");
+  }
+
+  std::vector<ReplicationMatrix> epochs;
+  epochs.reserve(spec.count);
+  ReplicationMatrix x = x_start;
+  std::vector<Size> space = free_space(model, x);
+
+  const auto holders_of = [&](ObjectId k) {
+    std::vector<ServerId> holders;
+    x.for_each_replicator(k, [&](ServerId i) { holders.push_back(i); });
+    return holders;
+  };
+  const auto rooms_for = [&](ObjectId k) {
+    std::vector<ServerId> rooms;
+    for (ServerId j = 0; j < model.num_servers(); ++j) {
+      if (!x.test(j, k) && space[j] >= model.object_size(k)) rooms.push_back(j);
+    }
+    return rooms;
+  };
+
+  for (std::size_t e = 0; e < spec.count; ++e) {
+    for (std::size_t m = 0; m < spec.moves; ++m) {
+      const ObjectId k = static_cast<ObjectId>(rng.below(model.num_objects()));
+      const Size size = model.object_size(k);
+      // Scale churn by 2^32 once per attempt so the draw count per
+      // mutation is fixed (stream stability under spec edits).
+      const bool churn_roll =
+          rng.below(1u << 31) < static_cast<std::uint64_t>(spec.churn * (1u << 31));
+      const std::vector<ServerId> holders = holders_of(k);
+
+      if (churn_roll) {
+        if (rng.below(2) == 0) {
+          // Add a replica somewhere it fits.
+          const std::vector<ServerId> rooms = rooms_for(k);
+          if (rooms.empty()) continue;
+          const ServerId j = pick(rooms, rng);
+          x.set(j, k);
+          space[j] -= size;
+        } else {
+          // Drop a replica, never the last one.
+          if (holders.size() < 2) continue;
+          const ServerId i = pick(holders, rng);
+          x.clear(i, k);
+          space[i] += size;
+        }
+        continue;
+      }
+
+      // Relocate one replica i -> j where j has room.
+      if (holders.empty()) continue;
+      const std::vector<ServerId> rooms = rooms_for(k);
+      if (rooms.empty()) continue;
+      const ServerId i = pick(holders, rng);
+      const ServerId j = pick(rooms, rng);
+      x.clear(i, k);
+      x.set(j, k);
+      space[i] += size;
+      space[j] -= size;
+    }
+    RTSP_REQUIRE(storage_feasible(model, x));
+    epochs.push_back(x);
+  }
+  return epochs;
+}
+
+}  // namespace rtsp

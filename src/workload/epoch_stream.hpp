@@ -1,0 +1,40 @@
+// Feasibility-preserving target-placement streams for the rebalancing
+// daemon (`rtsp serve`) and its chaos harness: starting from a placement,
+// each epoch applies a bounded number of random replica relocations (and
+// occasional add/remove mutations), rejecting any move that would
+// overflow a server — so every generated epoch is storage-feasible by
+// construction and the daemon never has to bounce a generated target.
+//
+// Determinism: the stream is a pure function of (model, x_start, spec,
+// rng state); `rtsp epochs --seed S` therefore regenerates byte-identical
+// streams, which is what lets scripts/check.sh compare the daemon's final
+// placement against the generator's `--final-out`.
+#pragma once
+
+#include <vector>
+
+#include "core/replication.hpp"
+#include "core/system.hpp"
+#include "support/rng.hpp"
+
+namespace rtsp {
+
+struct EpochStreamSpec {
+  std::size_t count = 3;   ///< epochs to generate
+  std::size_t moves = 8;   ///< mutation attempts per epoch
+  /// Fraction of mutation attempts that add or drop a replica instead of
+  /// relocating one (adds and drops split evenly). Relocations dominate by
+  /// default — they are the paper's workload shape.
+  double churn = 0.25;
+};
+
+/// Generates spec.count successive targets, each mutated from the previous
+/// (the first from `x_start`). Every target is storage-feasible; replica
+/// counts never drop to zero. Throws std::invalid_argument when x_start
+/// itself is infeasible or dimensions mismatch.
+std::vector<ReplicationMatrix> make_epoch_stream(const SystemModel& model,
+                                                 const ReplicationMatrix& x_start,
+                                                 const EpochStreamSpec& spec,
+                                                 Rng& rng);
+
+}  // namespace rtsp

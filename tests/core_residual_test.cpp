@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include "core/cost_model.hpp"
 #include "core/feasibility.hpp"
 #include "core/state.hpp"
+#include "core/validator.hpp"
+#include "heuristics/registry.hpp"
 #include "test_helpers.hpp"
 
 namespace rtsp {
@@ -45,6 +48,72 @@ TEST(Residual, SnapshotsPartialExecution) {
   // The residual bound is admissible for the tail problem.
   EXPECT_EQ(r.lower_bound,
             cost_lower_bound(inst.model, r.x_mid, inst.x_new));
+}
+
+TEST(Residual, EmptyResidualFromIdenticalPlacements) {
+  // Degenerate but legal: a 1x1 system already at its goal.
+  const SystemModel tiny = testutil::uniform_model({1}, {1});
+  ReplicationMatrix x(1, 1);
+  x.set(0, 0);
+  const ResidualProblem r = make_residual(tiny, x, x);
+  EXPECT_TRUE(r.complete());
+  EXPECT_EQ(r.free_space[0], 0);
+}
+
+TEST(Residual, ReplanFromPartialConverges) {
+  // The daemon's partial-convergence path: stop a plan midway, snapshot
+  // the residual, replan it with a fresh pipeline, and the tail must land
+  // exactly on X_new.
+  const Instance inst = fig3_instance();
+  Rng rng(5);
+  const Schedule full = make_pipeline("GOLCF+H1+H2+OP1")
+                            .run(inst.model, inst.x_old, inst.x_new, rng);
+  ASSERT_GT(full.size(), 2u);
+  ExecutionState state(inst.model, inst.x_old);
+  for (std::size_t i = 0; i < full.size() / 2; ++i) {
+    state.apply(full.actions()[i]);
+  }
+  const ResidualProblem r =
+      make_residual(inst.model, state.placement(), inst.x_new);
+  ASSERT_FALSE(r.complete());
+
+  Rng tail_rng(6);
+  const Schedule tail = make_pipeline("GOLCF+H1+H2+OP1")
+                            .run(inst.model, r.x_mid, inst.x_new, tail_rng);
+  EXPECT_TRUE(Validator::is_valid(inst.model, r.x_mid, inst.x_new, tail));
+  EXPECT_GE(schedule_cost(inst.model, tail), r.lower_bound);
+}
+
+TEST(Residual, SnapshotAfterDummySourcedTransfer) {
+  // Interrupt fig1's deadlock break right after its dummy-sourced
+  // transfer: S1 frees its slot and refetches O_3 from the dummy (the
+  // always-available worst-case source). The mid-state holds O_3 twice;
+  // the residual must see the extra X_new-replica as settled, keep the
+  // remaining ring rotation outstanding, and stay replannable.
+  const Instance inst = testutil::fig1_instance();
+  ExecutionState state(inst.model, inst.x_old);
+  state.apply(Action::remove(0, 0));
+  state.apply(Action::transfer(0, 3, kDummyServer));
+  const ResidualProblem r =
+      make_residual(inst.model, state.placement(), inst.x_new);
+  EXPECT_FALSE(r.complete());
+  EXPECT_TRUE(r.x_mid.test(0, 3));
+  EXPECT_EQ(r.x_mid.replica_count(3), 2u);  // S3 still holds the original
+  // (S0, O3) is in place, so it is no longer outstanding.
+  for (const Replica& rep : r.delta.outstanding()) {
+    EXPECT_FALSE(rep == (Replica{0, 3}));
+  }
+  // S3's stale copy of O_3 is superfluous in X_new.
+  bool stale_seen = false;
+  for (const Replica& rep : r.delta.superfluous()) {
+    if (rep == (Replica{3, 3})) stale_seen = true;
+  }
+  EXPECT_TRUE(stale_seen);
+  // A pipeline replan of the residual still converges.
+  Rng rng(9);
+  const Schedule tail = make_pipeline("GOLCF+H1+H2+OP1")
+                            .run(inst.model, r.x_mid, inst.x_new, rng);
+  EXPECT_TRUE(Validator::is_valid(inst.model, r.x_mid, inst.x_new, tail));
 }
 
 }  // namespace

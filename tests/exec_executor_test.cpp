@@ -223,6 +223,86 @@ TEST(Executor, ProvenanceAttributesFaultStages) {
   }
 }
 
+TEST(Executor, BudgetZeroMatchesUnbudgetedBitForBit) {
+  const Instance inst = medium_instance(31);
+  const Schedule plan = plan_for(inst, 31);
+  FaultSpec faults;
+  faults.transient_failure_rate = 0.2;
+  faults.seed = 31;
+  ExecutorOptions unbudgeted;
+  ExecutorOptions budgeted;
+  budgeted.budget_ticks = 0;  // explicit zero means unlimited
+  const ExecutionReport a = exec::execute_schedule(
+      inst.model, inst.x_old, inst.x_new, plan, faults, unbudgeted);
+  const ExecutionReport b = exec::execute_schedule(
+      inst.model, inst.x_old, inst.x_new, plan, faults, budgeted);
+  EXPECT_TRUE(a.final_placement == b.final_placement);
+  EXPECT_EQ(a.effective.actions(), b.effective.actions());
+  EXPECT_EQ(a.actual_cost, b.actual_cost);
+  EXPECT_EQ(a.finished_at, b.finished_at);
+  EXPECT_FALSE(b.budget_exhausted);
+  EXPECT_TRUE(b.reached_goal);
+}
+
+TEST(Executor, TinyBudgetStopsEarlyWithValidEffectivePrefix) {
+  const Instance inst = medium_instance(32);
+  const Schedule plan = plan_for(inst, 32);
+  ExecutorOptions opt;
+  opt.budget_ticks = 5;  // far below the plan's cost
+  const ExecutionReport r = exec::execute_schedule(
+      inst.model, inst.x_old, inst.x_new, plan, FaultSpec{}, opt);
+  ASSERT_TRUE(r.budget_exhausted);
+  EXPECT_FALSE(r.reached_goal);
+  EXPECT_FALSE(r.final_placement == inst.x_new);
+  // The partial run is a checkpointable state: the effective prefix
+  // validates against (X_old, final_placement), and the clock only
+  // overshoots by at most the in-flight action.
+  EXPECT_TRUE(Validator::is_valid(inst.model, inst.x_old, r.final_placement,
+                                  r.effective));
+  EXPECT_GE(r.finished_at, opt.budget_ticks);
+}
+
+TEST(Executor, BudgetedTailResumesToGoal) {
+  const Instance inst = medium_instance(33);
+  const Schedule plan = plan_for(inst, 33);
+  ExecutorOptions opt;
+  opt.budget_ticks = 20;
+  ExecutionReport partial = exec::execute_schedule(
+      inst.model, inst.x_old, inst.x_new, plan, FaultSpec{}, opt);
+  int rounds = 1;
+  ReplicationMatrix x_mid = partial.final_placement;
+  Schedule cumulative = partial.effective;
+  // Re-plan the residual (X_mid -> X_new) and keep executing under the
+  // same budget — the daemon's partial-convergence loop in miniature.
+  while (partial.budget_exhausted) {
+    ASSERT_LT(rounds, 200) << "budgeted resume loop did not converge";
+    Rng rng(100 + rounds);
+    const Schedule tail = make_pipeline("GOLCF+H1+H2+OP1")
+                              .run(inst.model, x_mid, inst.x_new, rng);
+    partial = exec::execute_schedule(inst.model, x_mid, inst.x_new, tail,
+                                     FaultSpec{}, opt);
+    for (const Action& a : partial.effective) cumulative.push_back(a);
+    x_mid = partial.final_placement;
+    ++rounds;
+  }
+  EXPECT_TRUE(partial.reached_goal);
+  EXPECT_GT(rounds, 1);  // the budget actually split the work
+  EXPECT_TRUE(x_mid == inst.x_new);
+  EXPECT_TRUE(
+      Validator::is_valid(inst.model, inst.x_old, inst.x_new, cumulative));
+}
+
+TEST(Executor, GenerousBudgetDoesNotTriggerEarlyStop) {
+  const Instance inst = fig3_instance();
+  const Schedule plan = plan_for(inst);
+  ExecutorOptions opt;
+  opt.budget_ticks = 1 << 20;
+  const ExecutionReport r = exec::execute_schedule(
+      inst.model, inst.x_old, inst.x_new, plan, FaultSpec{}, opt);
+  expect_clean_goal(inst, r);
+  EXPECT_FALSE(r.budget_exhausted);
+}
+
 TEST(Executor, RejectsMalformedInputs) {
   const Instance inst = fig3_instance();
   const Schedule plan = plan_for(inst);

@@ -129,6 +129,31 @@ TEST(RetryPolicy, BackoffGrowsGeometricallyAndClamps) {
   EXPECT_EQ(backoff_wait(p, 10, rng), 35);
 }
 
+TEST(RetryPolicy, ZeroJitterConsumesNoRngDraw) {
+  RetryPolicy p;
+  p.base_backoff = 10;
+  p.jitter = 0.0;
+  Rng with_backoff(99);
+  Rng untouched(99);
+  (void)backoff_wait(p, 1, with_backoff);
+  (void)backoff_wait(p, 2, with_backoff);
+  // The stream positions must still agree: jitter-free waits are not
+  // allowed to perturb downstream draws (determinism of everything that
+  // shares the executor's stream depends on this).
+  EXPECT_EQ(with_backoff(), untouched());
+}
+
+TEST(RetryPolicy, JitteredWaitsConsumeExactlyOneDrawEach) {
+  RetryPolicy p;
+  p.base_backoff = 100;
+  p.jitter = 0.5;
+  Rng jittered(7);
+  Rng reference(7);
+  (void)backoff_wait(p, 1, jittered);
+  (void)reference();  // one draw
+  EXPECT_EQ(jittered(), reference());
+}
+
 TEST(RetryPolicy, JitterShrinksWaitWithinBoundsDeterministically) {
   RetryPolicy p;
   p.base_backoff = 100;

@@ -1,0 +1,130 @@
+// Epoch stream ("rtsp-epochs" v1) and placement ("rtsp-placement" v1)
+// documents: canonical pair encoding, stream/file round-trips, byte
+// canonicality (equal placements serialize identically — what lets
+// check.sh `cmp` the daemon's final state), and the parser negatives.
+#include "io/epoch_io.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "support/json.hpp"
+#include "test_helpers.hpp"
+
+namespace rtsp {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "/" + std::to_string(::getpid()) + "_" + name;
+}
+
+ReplicationMatrix sample_placement() {
+  ReplicationMatrix x(3, 5);
+  x.set(0, 4);
+  x.set(0, 1);
+  x.set(2, 0);
+  x.set(1, 3);
+  return x;
+}
+
+TEST(EpochIo, PlacementPairsAreCanonical) {
+  const auto pairs = placement_pairs(sample_placement());
+  ASSERT_EQ(pairs.size(), 4u);
+  // Server-major, both ascending — independent of insertion order.
+  EXPECT_EQ(pairs[0], (std::pair<ServerId, ObjectId>{0, 1}));
+  EXPECT_EQ(pairs[1], (std::pair<ServerId, ObjectId>{0, 4}));
+  EXPECT_EQ(pairs[2], (std::pair<ServerId, ObjectId>{1, 3}));
+  EXPECT_EQ(pairs[3], (std::pair<ServerId, ObjectId>{2, 0}));
+  EXPECT_TRUE(placement_from_pair_list(3, 5, pairs) == sample_placement());
+}
+
+TEST(EpochIo, PairsJsonParsesBackViaJsonValue) {
+  const ReplicationMatrix x = sample_placement();
+  const std::string json = placement_pairs_json(x);
+  const JsonValue v = parse_json(json);
+  EXPECT_TRUE(placement_from_pairs(v, 3, 5) == x);
+}
+
+TEST(EpochIo, NonCanonicalOrderRejected) {
+  const JsonValue v = parse_json("[[1,0],[0,1]]");
+  EXPECT_THROW(placement_from_pairs(v, 3, 5), std::runtime_error);
+}
+
+TEST(EpochIo, OutOfRangeIdsRejected) {
+  EXPECT_THROW(placement_from_pairs(parse_json("[[3,0]]"), 3, 5),
+               std::runtime_error);
+  EXPECT_THROW(placement_from_pairs(parse_json("[[0,5]]"), 3, 5),
+               std::runtime_error);
+  EXPECT_THROW(
+      placement_from_pair_list(3, 5, {{0, 9}}),
+      std::runtime_error);
+}
+
+TEST(EpochIo, StreamRoundTripsThroughStringAndFile) {
+  EpochStreamDoc doc;
+  doc.servers = 3;
+  doc.objects = 5;
+  doc.epochs.push_back(sample_placement());
+  ReplicationMatrix second = sample_placement();
+  second.set(1, 1);
+  doc.epochs.push_back(second);
+
+  std::ostringstream os;
+  write_epoch_stream(os, doc);
+  std::istringstream is(os.str());
+  const EpochStreamDoc back = read_epoch_stream(is);
+  EXPECT_EQ(back.servers, 3u);
+  EXPECT_EQ(back.objects, 5u);
+  ASSERT_EQ(back.epochs.size(), 2u);
+  EXPECT_TRUE(back.epochs[0] == doc.epochs[0]);
+  EXPECT_TRUE(back.epochs[1] == doc.epochs[1]);
+
+  const std::string path = temp_path("epochs_roundtrip");
+  write_epoch_stream_file(path, doc);
+  const EpochStreamDoc from_file = read_epoch_stream_file(path);
+  ASSERT_EQ(from_file.epochs.size(), 2u);
+  EXPECT_TRUE(from_file.epochs[1] == doc.epochs[1]);
+}
+
+TEST(EpochIo, StreamHeaderMismatchRejected) {
+  std::istringstream bad_format(
+      "{\"format\":\"rtsp-nope\",\"version\":1,\"servers\":1,\"objects\":1,"
+      "\"epochs\":0}\n");
+  EXPECT_THROW(read_epoch_stream(bad_format), std::runtime_error);
+
+  std::istringstream missing_epoch(
+      "{\"format\":\"rtsp-epochs\",\"version\":1,\"servers\":1,\"objects\":1,"
+      "\"epochs\":2}\n{\"epoch\":1,\"place\":[[0,0]]}\n");
+  EXPECT_THROW(read_epoch_stream(missing_epoch), std::runtime_error);
+}
+
+TEST(EpochIo, PlacementFileRoundTripsAndIsByteCanonical) {
+  const std::string a = temp_path("placement_a");
+  const std::string b = temp_path("placement_b");
+  const ReplicationMatrix x = sample_placement();
+  write_placement_file(a, x);
+  EXPECT_TRUE(read_placement_file(a) == x);
+
+  // The same replica set built in a different insertion order must
+  // serialize to identical bytes.
+  ReplicationMatrix y(3, 5);
+  y.set(1, 3);
+  y.set(2, 0);
+  y.set(0, 1);
+  y.set(0, 4);
+  write_placement_file(b, y);
+  std::ifstream fa(a, std::ios::binary);
+  std::ifstream fb(b, std::ios::binary);
+  const std::string bytes_a((std::istreambuf_iterator<char>(fa)),
+                            std::istreambuf_iterator<char>());
+  const std::string bytes_b((std::istreambuf_iterator<char>(fb)),
+                            std::istreambuf_iterator<char>());
+  EXPECT_EQ(bytes_a, bytes_b);
+}
+
+}  // namespace
+}  // namespace rtsp

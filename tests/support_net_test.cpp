@@ -1,0 +1,182 @@
+// support/net: bounded-deadline socket primitives and the tiny HTTP
+// clients, including the slow-peer regression — a stalled or dripping
+// client must never pin a handler past its deadline or block the next
+// request behind it.
+#include "support/net.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "obs/introspect.hpp"
+
+namespace rtsp {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int elapsed_ms(Clock::time_point since) {
+  return static_cast<int>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                              Clock::now() - since)
+                              .count());
+}
+
+TEST(Net, FindContentLengthParsesCaseInsensitively) {
+  EXPECT_EQ(net::find_content_length("Content-Length: 42\r\n"), 42);
+  EXPECT_EQ(net::find_content_length("content-length:7\r\n"), 7);
+  EXPECT_EQ(net::find_content_length("CONTENT-LENGTH:  0\r\n"), 0);
+  EXPECT_EQ(net::find_content_length(
+                "Host: x\r\nContent-Length: 9\r\nAccept: */*\r\n"),
+            9);
+  EXPECT_EQ(net::find_content_length("Content-Length: nope\r\n"), -1);
+  EXPECT_EQ(net::find_content_length("Host: x\r\n"), -1);
+  // A header that merely ends in the name must not match.
+  EXPECT_EQ(net::find_content_length("X-Content-Length: 5\r\n"), -1);
+}
+
+TEST(Net, ConnectToRefusedPortThrowsQuickly) {
+  net::TcpListener probe;
+  probe.listen("127.0.0.1", 0);
+  const std::uint16_t dead_port = probe.port();
+  probe.close();  // nothing listens here any more
+
+  const auto start = Clock::now();
+  EXPECT_THROW(net::connect_to("127.0.0.1", dead_port, 2000),
+               std::runtime_error);
+  EXPECT_LT(elapsed_ms(start), 2000);  // refused, not timed out
+}
+
+TEST(Net, ReadExactReportsShortBodyInsteadOfHanging) {
+  net::TcpListener listener;
+  listener.listen("127.0.0.1", 0);
+  std::thread peer([&] {
+    net::Socket s = listener.accept(2000);
+    ASSERT_TRUE(s.valid());
+    s.write_all("abc");  // promises nothing more; stays open
+    std::this_thread::sleep_for(std::chrono::milliseconds(600));
+  });
+  net::Socket c = net::connect_to("127.0.0.1", listener.port(), 1000);
+  std::string buffer;
+  const auto start = Clock::now();
+  const bool got = c.read_exact(buffer, 8, 250);
+  EXPECT_FALSE(got);  // deadline, not a hang
+  EXPECT_EQ(buffer, "abc");
+  EXPECT_GE(elapsed_ms(start), 200);
+  EXPECT_LT(elapsed_ms(start), 550);
+  peer.join();
+}
+
+TEST(Net, ReadUntilDeadlineBoundsDrippingPeer) {
+  net::TcpListener listener;
+  listener.listen("127.0.0.1", 0);
+  std::atomic<bool> stop{false};
+  std::thread peer([&] {
+    net::Socket s = listener.accept(2000);
+    ASSERT_TRUE(s.valid());
+    // Drip one byte at a time, never sending the terminator.
+    while (!stop.load()) {
+      if (!s.write_all("x")) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  });
+  net::Socket c = net::connect_to("127.0.0.1", listener.port(), 1000);
+  std::string buffer;
+  const auto start = Clock::now();
+  const bool got = c.read_until(buffer, "\r\n\r\n", 1 << 20, 300);
+  const int took = elapsed_ms(start);
+  EXPECT_FALSE(got);
+  // The drip must not extend the overall deadline (one poll of slack).
+  EXPECT_LT(took, 700);
+  EXPECT_GE(took, 250);
+  stop.store(true);
+  c.close();
+  peer.join();
+}
+
+TEST(Net, HttpGetAndPostRoundTripAgainstIntrospectServer) {
+  obs::IntrospectOptions options;
+  options.handler_threads = 2;
+  options.route = [](const obs::HttpRouteRequest& req,
+                     obs::HttpRouteReply& reply) {
+    if (req.target == "/echo" && req.method == "POST") {
+      reply.body = req.body;
+      reply.content_type = "text/plain";
+      return true;
+    }
+    if (req.target == "/busy") {
+      reply.status = 429;
+      reply.retry_after = "3";
+      reply.body = "{}";
+      return true;
+    }
+    return false;
+  };
+  obs::IntrospectServer server(options);
+
+  const net::HttpResponse health =
+      net::http_get("127.0.0.1", server.port(), "/healthz", 2000);
+  EXPECT_EQ(health.status, 200);
+  EXPECT_NE(health.body.find("\"status\""), std::string::npos);
+
+  const net::HttpResponse echo = net::http_post(
+      "127.0.0.1", server.port(), "/echo", "payload-123", "text/plain", 2000);
+  EXPECT_EQ(echo.status, 200);
+  EXPECT_EQ(echo.body, "payload-123");
+
+  const net::HttpResponse busy =
+      net::http_get("127.0.0.1", server.port(), "/busy", 2000);
+  EXPECT_EQ(busy.status, 429);
+  EXPECT_NE(busy.headers.find("Retry-After: 3"), std::string::npos);
+}
+
+// The slow-peer regression: with a single handler thread and a short
+// request timeout, a client that connects and then stalls must be dropped
+// at the deadline — the next (well-behaved) request completes promptly
+// instead of waiting behind the stalled one forever.
+TEST(Net, StalledPeerDoesNotBlockNextRequest) {
+  obs::IntrospectOptions options;
+  options.handler_threads = 1;
+  options.request_timeout_ms = 300;
+  obs::IntrospectServer server(options);
+
+  net::Socket stalled =
+      net::connect_to("127.0.0.1", server.port(), 1000);
+  ASSERT_TRUE(stalled.valid());
+  // Send nothing: the lone handler thread is now parked in the read with
+  // a 300ms deadline.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  const auto start = Clock::now();
+  const net::HttpResponse r =
+      net::http_get("127.0.0.1", server.port(), "/healthz", 5000);
+  const int took = elapsed_ms(start);
+  EXPECT_EQ(r.status, 200);
+  // Served once the stalled peer's deadline freed the handler — well under
+  // the client's own 5s budget.
+  EXPECT_LT(took, 2000);
+  stalled.close();
+}
+
+TEST(Net, OversizedDeclaredBodyRejectedWithoutReading) {
+  obs::IntrospectOptions options;
+  options.max_body_bytes = 64;
+  options.route = [](const obs::HttpRouteRequest&, obs::HttpRouteReply& reply) {
+    reply.body = "should never run";
+    return true;
+  };
+  obs::IntrospectServer server(options);
+
+  net::Socket c = net::connect_to("127.0.0.1", server.port(), 1000);
+  ASSERT_TRUE(c.write_all("POST /x HTTP/1.1\r\nHost: t\r\n"
+                          "Content-Length: 100000\r\n\r\n"));
+  std::string response;
+  EXPECT_TRUE(c.read_until(response, "\r\n\r\n", 1 << 16, 2000));
+  EXPECT_NE(response.find("413"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rtsp

@@ -9,6 +9,8 @@
 //                               scrape /metrics /healthz /progress /logz
 //                               over real HTTP and lint the payloads
 //                               (curl-free; used by scripts/check.sh)
+//   obs_lint --checkpoint FILE  daemon checkpoint (`RTSPCKP1`)
+//   obs_lint --wal FILE         daemon write-ahead log (`RTSPWAL1`)
 //
 // Any combination may be given. Checks beyond "it parses":
 //   journal: known event types; non-negative costs/ids in bounds; ticks
@@ -25,6 +27,15 @@
 //            scalars.
 //   prom:    every line a header or sample; TYPE before samples; histogram
 //            buckets cumulative with le="+Inf" last and equal to _count.
+//   checkpoint: CRC-verified parse; canonical (server-major ascending,
+//            duplicate-free, in-bounds) placement and queue targets;
+//            queue seqs unique/ascending and <= last_seq; counters
+//            internally consistent.
+//   wal:     CRC-framed parse; a torn tail is a violation (a daemon at
+//            rest must have rolled it back); ADMIT seqs ascending; at
+//            most one BEGIN open at a time and every COMMIT matches the
+//            open BEGIN. With --checkpoint given too, the generations
+//            must agree.
 //
 // Exit code 0 when everything passes, 2 on any violation (messages on
 // stderr), 1 on usage/IO errors. Wired into scripts/check.sh after a small
@@ -38,6 +49,7 @@
 #include <string>
 #include <vector>
 
+#include "io/checkpoint_io.hpp"
 #include "io/journal_io.hpp"
 #include "obs/export.hpp"
 #include "obs/introspect.hpp"
@@ -310,6 +322,129 @@ void scrape_smoke() {
   obs::Logger::instance().shutdown();
 }
 
+void lint_pairs(const std::vector<std::pair<rtsp::ServerId, rtsp::ObjectId>>& pairs,
+                std::uint64_t servers, std::uint64_t objects,
+                const std::string& what) {
+  bool first = true;
+  std::uint64_t prev = 0;
+  for (const auto& [s, k] : pairs) {
+    if (s >= servers || k >= objects) {
+      fail(what + ": pair (" + std::to_string(s) + "," + std::to_string(k) +
+           ") out of " + std::to_string(servers) + "x" + std::to_string(objects));
+      return;
+    }
+    const std::uint64_t key = (static_cast<std::uint64_t>(s) << 32) | k;
+    if (!first && key <= prev) {
+      fail(what + ": pairs not in canonical server-major ascending order");
+      return;
+    }
+    prev = key;
+    first = false;
+  }
+}
+
+rtsp::CheckpointDoc* g_checkpoint = nullptr;
+rtsp::CheckpointDoc g_checkpoint_doc;
+
+void lint_checkpoint(const std::string& path) {
+  rtsp::CheckpointDoc doc;
+  try {
+    doc = rtsp::read_checkpoint_file(path);
+  } catch (const std::exception& e) {
+    fail(std::string("checkpoint: ") + e.what());
+    return;
+  }
+  if (doc.servers == 0 || doc.objects == 0) {
+    fail("checkpoint: zero-sized model");
+  }
+  if (doc.clock < 0) fail("checkpoint: negative clock");
+  lint_pairs(doc.placement, doc.servers, doc.objects, "checkpoint placement");
+  std::uint64_t prev_seq = 0;
+  for (const rtsp::CheckpointQueueEntry& q : doc.queue) {
+    if (q.seq <= prev_seq) {
+      fail("checkpoint queue: seqs not strictly ascending");
+      break;
+    }
+    prev_seq = q.seq;
+    if (q.seq > doc.last_seq) {
+      fail("checkpoint queue: seq " + std::to_string(q.seq) +
+           " above last_seq " + std::to_string(doc.last_seq));
+    }
+    if (q.attempt == 0) fail("checkpoint queue: zero attempt");
+    lint_pairs(q.target, doc.servers, doc.objects,
+               "checkpoint queue seq " + std::to_string(q.seq));
+  }
+  const rtsp::DaemonCounters& c = doc.counters;
+  if (c.converged > c.admitted) {
+    fail("checkpoint counters: converged above admitted");
+  }
+  if (c.readmissions > c.partial_rounds) {
+    fail("checkpoint counters: readmissions above partial_rounds");
+  }
+  if (c.coalesced > c.admitted) {
+    fail("checkpoint counters: coalesced above admitted");
+  }
+  if (c.cost_paid < 0) fail("checkpoint counters: negative cost_paid");
+  g_checkpoint_doc = doc;
+  g_checkpoint = &g_checkpoint_doc;
+}
+
+void lint_wal(const std::string& path) {
+  rtsp::WalReadResult wal;
+  try {
+    wal = rtsp::read_wal_file(path);
+  } catch (const std::exception& e) {
+    fail(std::string("wal: ") + e.what());
+    return;
+  }
+  if (wal.torn()) {
+    fail("wal: torn tail (" + std::to_string(wal.rolled_back_bytes) +
+         " bytes past the valid prefix) — a daemon at rest must roll it back");
+  }
+  if (g_checkpoint != nullptr && wal.generation != g_checkpoint->generation) {
+    fail("wal generation " + std::to_string(wal.generation) +
+         " does not match checkpoint generation " +
+         std::to_string(g_checkpoint->generation));
+  }
+  std::uint64_t prev_admit = 0;
+  bool open_begin = false;
+  std::uint64_t begin_seq = 0;
+  std::uint32_t begin_attempt = 0;
+  for (std::size_t i = 0; i < wal.records.size(); ++i) {
+    const rtsp::WalRecord& r = wal.records[i];
+    const std::string at = "wal record " + std::to_string(i);
+    if (r.attempt == 0) fail(at + ": zero attempt");
+    switch (r.type) {
+      case rtsp::WalRecordType::kAdmit:
+        if (r.seq <= prev_admit) fail(at + ": admit seqs not ascending");
+        prev_admit = r.seq;
+        if (r.target.empty()) fail(at + ": admit without a target");
+        break;
+      case rtsp::WalRecordType::kBegin:
+        if (open_begin) fail(at + ": BEGIN while another epoch is open");
+        open_begin = true;
+        begin_seq = r.seq;
+        begin_attempt = r.attempt;
+        break;
+      case rtsp::WalRecordType::kCommit:
+        if (!open_begin || r.seq != begin_seq || r.attempt != begin_attempt) {
+          fail(at + ": COMMIT without matching BEGIN");
+        }
+        open_begin = false;
+        if (r.converged && r.readmit) {
+          fail(at + ": converged commit must not readmit");
+        }
+        if (r.cost < 0) fail(at + ": negative cost");
+        break;
+      default:
+        fail(at + ": unknown record type");
+    }
+  }
+  if (open_begin) {
+    fail("wal: trailing BEGIN without COMMIT (recovery should have completed it)");
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -319,10 +454,13 @@ int main(int argc, char** argv) {
   const std::string log = opt.get_string("log", "", "");
   const std::string prom = opt.get_string("prom", "", "");
   const bool smoke = opt.get_bool("scrape-smoke", "", false);
+  const std::string checkpoint = opt.get_string("checkpoint", "", "");
+  const std::string wal = opt.get_string("wal", "", "");
   if (journal.empty() && series.empty() && log.empty() && prom.empty() &&
-      !smoke) {
+      checkpoint.empty() && wal.empty() && !smoke) {
     std::cerr << "usage: obs_lint [--journal FILE] [--series FILE] "
-                 "[--log FILE] [--prom FILE] [--scrape-smoke]\n";
+                 "[--log FILE] [--prom FILE] [--checkpoint FILE] "
+                 "[--wal FILE] [--scrape-smoke]\n";
     return 1;
   }
   try {
@@ -330,6 +468,8 @@ int main(int argc, char** argv) {
     if (!series.empty()) lint_series(series);
     if (!log.empty()) lint_log(log);
     if (!prom.empty()) lint_prom(prom);
+    if (!checkpoint.empty()) lint_checkpoint(checkpoint);
+    if (!wal.empty()) lint_wal(wal);
     if (smoke) scrape_smoke();
   } catch (const std::exception& e) {
     std::cerr << "obs_lint: " << e.what() << '\n';
